@@ -1,0 +1,54 @@
+//! Wall-clock benchmarks for the universal constructions: one full
+//! `n`-process single-use execution per iteration, under the Figure-2
+//! adversary. The interesting output is in the `table_e8` binary (shared
+//! ops per operation); this tracks simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llsc_objects::FetchIncrement;
+use llsc_universal::{
+    measure, AdtTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig, ScheduleKind,
+};
+use std::sync::Arc;
+
+fn bench_constructions(c: &mut Criterion) {
+    let cfg = MeasureConfig {
+        check_linearizability: false,
+        ..MeasureConfig::default()
+    };
+    let mut group = c.benchmark_group("construction_full_run");
+    group.sample_size(10);
+    for n in [16usize, 64] {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let ops = vec![FetchIncrement::op(); n];
+        group.bench_with_input(BenchmarkId::new("adt-tree", n), &n, |b, &n| {
+            let imp = AdtTreeUniversal::new(spec.clone());
+            b.iter(|| measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("herlihy", n), &n, |b, &n| {
+            let imp = HerlihyUniversal::new(spec.clone());
+            b.iter(|| measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
+            let imp = DirectLlSc::new(spec.clone());
+            b.iter(|| measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_linearizability_check(c: &mut Criterion) {
+    let cfg = MeasureConfig::default();
+    let mut group = c.benchmark_group("measure_with_linearizability");
+    group.sample_size(10);
+    let n = 12;
+    let spec = Arc::new(FetchIncrement::new(32));
+    let ops = vec![FetchIncrement::op(); n];
+    group.bench_function(BenchmarkId::new("adt-tree+lincheck", n), |b| {
+        let imp = AdtTreeUniversal::new(spec.clone());
+        b.iter(|| measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions, bench_linearizability_check);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! E1/E2/E11: secretive complete schedules (Lemmas 4.1 & 4.2).
+fn main() {
+    llsc_bench::e1_secretive_schedules(&[4, 16, 64, 256, 1024, 4096], 20);
+}

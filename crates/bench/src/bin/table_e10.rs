@@ -1,0 +1,6 @@
+//! E10: the non-oblivious constant-time escape hatch.
+fn main() {
+    llsc_bench::e10_direct_escape_hatch(&[4, 16, 64, 256]);
+    println!();
+    llsc_bench::e10b_structural_escape_hatches(&[1, 16, 256, 4096]);
+}

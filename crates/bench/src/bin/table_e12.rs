@@ -1,0 +1,4 @@
+//! E12: k-use amortised costs of the direct LL/SC object.
+fn main() {
+    llsc_bench::e12_multi_use(&[2, 8, 32], &[1, 4, 16]);
+}

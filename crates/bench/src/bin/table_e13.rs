@@ -1,0 +1,4 @@
+//! E13: the appendix claims, exhaustively over subsets.
+fn main() {
+    llsc_bench::e13_appendix_claims(&[4, 6]);
+}

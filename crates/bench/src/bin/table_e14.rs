@@ -1,0 +1,4 @@
+//! E14: the wakeup stress portfolio.
+fn main() {
+    llsc_bench::e14_stress_portfolio(8);
+}

@@ -1,0 +1,4 @@
+//! E3: UP-set growth (Lemma 5.1).
+fn main() {
+    llsc_bench::e3_up_growth(&[4, 16, 64, 256, 1024]);
+}

@@ -1,0 +1,4 @@
+//! E4: the Indistinguishability Lemma (Lemma 5.2), exhaustive over subsets.
+fn main() {
+    llsc_bench::e4_indistinguishability(&[4, 6], &[0, 1, 42]);
+}

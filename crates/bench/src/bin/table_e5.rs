@@ -1,0 +1,6 @@
+//! E5: the wakeup lower bound (Theorem 6.1).
+fn main() {
+    llsc_bench::e5_wakeup_lower_bound(&[4, 16, 64, 256, 1024]);
+    println!();
+    llsc_bench::e5_tournament_tightness(&[4, 16, 64, 256, 1024, 4096]);
+}

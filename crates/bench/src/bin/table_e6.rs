@@ -1,0 +1,4 @@
+//! E6: randomized expected complexity (Lemma 3.1).
+fn main() {
+    llsc_bench::e6_randomized_expectation(&[4, 16, 64], 30);
+}

@@ -1,0 +1,4 @@
+//! E7: the Theorem 6.2 object reductions.
+fn main() {
+    llsc_bench::e7_reductions(&[4, 16, 64, 256]);
+}

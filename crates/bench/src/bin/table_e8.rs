@@ -1,0 +1,4 @@
+//! E8/E9: universal-construction complexity sweep (tightness).
+fn main() {
+    llsc_bench::e8_universal_constructions(&[4, 8, 16, 32, 64, 128, 256, 512]);
+}

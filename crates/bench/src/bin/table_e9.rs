@@ -1,0 +1,4 @@
+//! E9: schedule ablation for the universal constructions.
+fn main() {
+    llsc_bench::e9_schedule_ablation(&[16, 64, 256]);
+}

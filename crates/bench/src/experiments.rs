@@ -1,0 +1,887 @@
+//! The experiment implementations behind the `table_*` binaries.
+//!
+//! Every function prints its table and returns the measured rows so tests
+//! (and `EXPERIMENTS.md` updates) can consume the numbers directly. All
+//! experiments are deterministic: fixed seeds, fixed toss assignments.
+
+use crate::table::Table;
+use llsc_core::{
+    build_all_run, build_s_run, ceil_log4, check_indistinguishability, estimate_expected_complexity,
+    flow_report, secretive_complete_schedule, verify_lower_bound, AdversaryConfig, MoveConfig,
+    ProcSet,
+};
+use llsc_objects::FetchIncrement;
+use llsc_shmem::{Algorithm, ProcessId, RegisterId, SeededTosses, ZeroTosses};
+use llsc_universal::{
+    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal,
+    MeasureConfig, ObjectImplementation, ScheduleKind,
+};
+use llsc_wakeup::{
+    correct_algorithms, randomized_algorithms, ObjectWakeup, ReductionKind, TournamentWakeup,
+};
+use std::sync::Arc;
+
+/// Deterministic xorshift stream for random move configurations.
+fn xorshift_stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+/// A random move configuration over `regs` registers (no self-moves).
+pub fn random_move_config(n: usize, regs: u64, seed: u64) -> MoveConfig {
+    let mut next = xorshift_stream(seed);
+    MoveConfig::from_iter((0..n).map(|i| {
+        let src = next() % regs;
+        let dst = (src + 1 + next() % (regs - 1)) % regs;
+        (ProcessId(i), RegisterId(src), RegisterId(dst))
+    }))
+}
+
+/// One row of E1: secretive-schedule statistics for a configuration size.
+#[derive(Clone, Debug)]
+pub struct E1Row {
+    /// Number of moving processes.
+    pub n: usize,
+    /// Configurations tried.
+    pub configs: usize,
+    /// Worst movers-list length over all registers and configurations
+    /// (Lemma 4.1 caps this at 2).
+    pub worst_movers: usize,
+    /// Number of Lemma 4.2 restriction checks performed (all must hold).
+    pub restriction_checks: usize,
+}
+
+/// E1/E2: Lemma 4.1 and 4.2 over random move configurations, plus the
+/// Section-4 chain (E11).
+pub fn e1_secretive_schedules(sizes: &[usize], configs_per_size: usize) -> Vec<E1Row> {
+    let mut table = Table::new(
+        "E1/E2 - secretive complete schedules: Lemma 4.1 (movers <= 2) and Lemma 4.2 (restriction)",
+        ["n", "configs", "worst movers", "Lemma 4.2 checks", "verdict"],
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut worst = 0usize;
+        let mut restriction_checks = 0usize;
+        for c in 0..configs_per_size {
+            let regs = (n as u64 / 2).max(2);
+            let cfg = random_move_config(n, regs, c as u64 * 7919 + n as u64);
+            let sigma = secretive_complete_schedule(&cfg);
+            let flows = flow_report(&sigma, &cfg);
+            for (&r, (src, m)) in &flows {
+                assert!(m.len() <= 2, "Lemma 4.1 violated at {r}");
+                worst = worst.max(m.len());
+                // Lemma 4.2: restricting to exactly the movers preserves
+                // the source.
+                let keep: ProcSet = m.iter().copied().collect();
+                let restricted = llsc_core::restrict(&sigma, &keep);
+                let restricted_flows = flow_report(&restricted, &cfg);
+                let restricted_src = restricted_flows.get(&r).map(|(s, _)| *s).unwrap_or(r);
+                assert_eq!(restricted_src, *src, "Lemma 4.2 violated at {r}");
+                restriction_checks += 1;
+            }
+        }
+        // The paper's chain example as a fixed configuration.
+        let chain = MoveConfig::from_iter(
+            (0..n).map(|i| (ProcessId(i), RegisterId(i as u64), RegisterId(i as u64 + 1))),
+        );
+        let sigma = secretive_complete_schedule(&chain);
+        assert!(llsc_core::is_secretive(&sigma, &chain));
+        table.row([
+            n.to_string(),
+            (configs_per_size + 1).to_string(),
+            worst.to_string(),
+            restriction_checks.to_string(),
+            "PASS".to_string(),
+        ]);
+        rows.push(E1Row {
+            n,
+            configs: configs_per_size + 1,
+            worst_movers: worst,
+            restriction_checks,
+        });
+    }
+    table.print();
+    rows
+}
+
+/// One row of E3: UP growth for one algorithm at one `n`.
+#[derive(Clone, Debug)]
+pub struct E3Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Rounds of the `(All, A)`-run.
+    pub rounds: usize,
+    /// The largest `|UP(X, r)|` observed (at the final round).
+    pub max_up: usize,
+    /// Whether `|UP(X, r)| <= 4^r` held at every round.
+    pub lemma_5_1: bool,
+}
+
+/// E3: Lemma 5.1 — `|UP(X, r)| <= 4^r` across the shipped algorithms.
+pub fn e3_up_growth(ns: &[usize]) -> Vec<E3Row> {
+    let mut table = Table::new(
+        "E3 - Lemma 5.1: UP-set growth |UP(X, r)| <= 4^r under the Figure-2 adversary",
+        ["algorithm", "n", "rounds", "max |UP|", "4^r cap ok"],
+    );
+    // Rolling UP tracking: Lemma 5.1 only needs per-round max sizes, and
+    // full histories cost Θ(rounds · Σ|UP|) memory at n = 1024.
+    let cfg = AdversaryConfig {
+        track_up_history: false,
+        ..AdversaryConfig::default()
+    };
+    let mut rows = Vec::new();
+    for alg in correct_algorithms() {
+        for &n in ns {
+            let all = build_all_run(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+            let rounds = all.base.num_rounds();
+            let max_up = all.up.max_up_size(rounds);
+            let ok = all.up.lemma_5_1_holds();
+            assert!(ok, "{} n={n}", alg.name());
+            table.row([
+                alg.name().to_string(),
+                n.to_string(),
+                rounds.to_string(),
+                max_up.to_string(),
+                ok.to_string(),
+            ]);
+            rows.push(E3Row {
+                algorithm: alg.name().to_string(),
+                n,
+                rounds,
+                max_up,
+                lemma_5_1: ok,
+            });
+        }
+    }
+    table.print();
+    rows
+}
+
+/// One row of E4: indistinguishability checking for one algorithm/n.
+#[derive(Clone, Debug)]
+pub struct E4Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Subsets `S` tested.
+    pub subsets: usize,
+    /// Individual state comparisons performed.
+    pub comparisons: usize,
+    /// Violations found (must be 0).
+    pub violations: usize,
+}
+
+/// E4: Lemma 5.2 — `(All, A)` vs `(S, A)` indistinguishability over every
+/// subset `S` (exhaustive; keep `n` small) and several toss assignments.
+pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64]) -> Vec<E4Row> {
+    let mut table = Table::new(
+        "E4 - Lemma 5.2: (All,A)-run vs (S,A)-run indistinguishability, exhaustive over S",
+        ["algorithm", "n", "subsets", "comparisons", "violations"],
+    );
+    let cfg = AdversaryConfig::default();
+    let mut rows = Vec::new();
+    let algs: Vec<Box<dyn Algorithm>> = correct_algorithms()
+        .into_iter()
+        .chain(randomized_algorithms())
+        .collect();
+    for alg in &algs {
+        for &n in ns {
+            let mut subsets = 0usize;
+            let mut comparisons = 0usize;
+            let mut violations = 0usize;
+            for &seed in seeds {
+                let toss: Arc<dyn llsc_shmem::TossAssignment> = if seed == 0 {
+                    Arc::new(ZeroTosses)
+                } else {
+                    Arc::new(SeededTosses::new(seed))
+                };
+                let all = build_all_run(alg.as_ref(), n, toss.clone(), &cfg);
+                for mask in 0u32..(1 << n) {
+                    let s: ProcSet = (0..n)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(ProcessId)
+                        .collect();
+                    let srun = build_s_run(alg.as_ref(), n, toss.clone(), &s, &all, &cfg);
+                    let report = check_indistinguishability(&all, &srun);
+                    subsets += 1;
+                    comparisons += report.process_checks + report.register_checks;
+                    violations += report.violations.len();
+                }
+            }
+            assert_eq!(violations, 0, "{} n={n}", alg.name());
+            table.row([
+                alg.name().to_string(),
+                n.to_string(),
+                subsets.to_string(),
+                comparisons.to_string(),
+                violations.to_string(),
+            ]);
+            rows.push(E4Row {
+                algorithm: alg.name().to_string(),
+                n,
+                subsets,
+                comparisons,
+                violations,
+            });
+        }
+    }
+    table.print();
+    rows
+}
+
+/// One row of E5: the wakeup lower bound for one algorithm at one `n`.
+#[derive(Clone, Debug)]
+pub struct E5Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// `ceil(log4 n)` — the Theorem 6.1 bound.
+    pub bound: u64,
+    /// The winner's measured shared-access step count.
+    pub winner_steps: u64,
+    /// `t(R)`: the worst process's step count.
+    pub max_steps: u64,
+    /// Whether the bound held.
+    pub holds: bool,
+}
+
+/// E5: Theorem 6.1 — winner step counts vs `ceil(log4 n)`.
+pub fn e5_wakeup_lower_bound(ns: &[usize]) -> Vec<E5Row> {
+    let mut table = Table::new(
+        "E5 - Theorem 6.1: wakeup winner's shared-access steps vs ceil(log4 n)",
+        ["algorithm", "n", "ceil(log4 n)", "winner steps", "t(R)", "bound"],
+    );
+    // Rolling UP tracking suffices for the bound (a terminated winner's
+    // UP set is final); the refutation path rebuilds full history on
+    // demand.
+    let cfg = AdversaryConfig {
+        track_up_history: false,
+        ..AdversaryConfig::default()
+    };
+    let mut rows = Vec::new();
+    for alg in correct_algorithms() {
+        for &n in ns {
+            let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+            assert!(rep.wakeup.ok() && rep.bound_holds, "{} n={n}", alg.name());
+            table.row([
+                alg.name().to_string(),
+                n.to_string(),
+                ceil_log4(n).to_string(),
+                rep.winner_steps.to_string(),
+                rep.max_steps.to_string(),
+                "HOLDS".to_string(),
+            ]);
+            rows.push(E5Row {
+                algorithm: alg.name().to_string(),
+                n,
+                bound: ceil_log4(n),
+                winner_steps: rep.winner_steps,
+                max_steps: rep.max_steps,
+                holds: rep.bound_holds,
+            });
+        }
+    }
+    table.print();
+    rows
+}
+
+/// One row of E6: expected complexity of a randomized algorithm.
+#[derive(Clone, Debug)]
+pub struct E6Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Empirical termination rate `c`.
+    pub termination_rate: f64,
+    /// Mean winner steps over terminating runs.
+    pub mean_winner_steps: f64,
+    /// Minimum winner steps (the Lemma 3.1 `k`).
+    pub min_winner_steps: u64,
+    /// The Lemma 3.1 bound `c * k`.
+    pub lemma_3_1_bound: f64,
+    /// `log4 n`.
+    pub log4_n: f64,
+}
+
+/// E6: the randomized bound — sampled expected complexity vs
+/// `c * log4(n)` (Lemma 3.1 + Theorem 6.1).
+pub fn e6_randomized_expectation(ns: &[usize], samples: u64) -> Vec<E6Row> {
+    let mut table = Table::new(
+        "E6 - randomized wakeup: sampled expected complexity vs c*log4(n) (Lemma 3.1)",
+        ["algorithm", "n", "c", "E[winner]", "min winner", "c*k", "log4(n)"],
+    );
+    let cfg = AdversaryConfig {
+        max_rounds: 10_000,
+        ..AdversaryConfig::default()
+    };
+    let mut rows = Vec::new();
+    for alg in randomized_algorithms() {
+        for &n in ns {
+            let rep = estimate_expected_complexity(alg.as_ref(), n, 0..samples, &cfg);
+            assert!(rep.all_meet_bound, "{} n={n}", alg.name());
+            table.row([
+                alg.name().to_string(),
+                n.to_string(),
+                format!("{:.2}", rep.termination_rate),
+                format!("{:.1}", rep.mean_winner_steps),
+                rep.min_winner_steps.to_string(),
+                format!("{:.2}", rep.lemma_3_1_bound),
+                format!("{:.2}", rep.log4_n),
+            ]);
+            rows.push(E6Row {
+                algorithm: alg.name().to_string(),
+                n,
+                termination_rate: rep.termination_rate,
+                mean_winner_steps: rep.mean_winner_steps,
+                min_winner_steps: rep.min_winner_steps,
+                lemma_3_1_bound: rep.lemma_3_1_bound,
+                log4_n: rep.log4_n,
+            });
+        }
+    }
+    table.print();
+    rows
+}
+
+/// One row of E7: a Theorem 6.2 reduction at one `n`.
+#[derive(Clone, Debug)]
+pub struct E7Row {
+    /// The reduction (object type).
+    pub kind: ReductionKind,
+    /// Number of processes.
+    pub n: usize,
+    /// Ops per process on the object (`k` of Corollary 6.1).
+    pub ops_per_process: u32,
+    /// Winner's shared steps.
+    pub winner_steps: u64,
+    /// `ceil(log4 n)`.
+    pub bound: u64,
+    /// Whether wakeup held and the bound held.
+    pub ok: bool,
+}
+
+/// E7: Theorem 6.2 — all eight wakeup-from-object reductions over the
+/// direct LL/SC implementation of each object.
+pub fn e7_reductions(ns: &[usize]) -> Vec<E7Row> {
+    let mut table = Table::new(
+        "E7 - Theorem 6.2: wakeup via one shared object (direct LL/SC implementation)",
+        ["object", "n", "k (ops/proc)", "winner steps", "ceil(log4 n)", "verdict"],
+    );
+    let cfg = AdversaryConfig::default();
+    let mut rows = Vec::new();
+    for kind in ReductionKind::all() {
+        for &n in ns {
+            let alg = ObjectWakeup::direct(kind, n);
+            let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg);
+            let ok = rep.wakeup.ok() && rep.bound_holds;
+            assert!(ok, "{kind} n={n}");
+            table.row([
+                kind.label().to_string(),
+                n.to_string(),
+                kind.ops_per_process().to_string(),
+                rep.winner_steps.to_string(),
+                ceil_log4(n).to_string(),
+                "PASS".to_string(),
+            ]);
+            rows.push(E7Row {
+                kind,
+                n,
+                ops_per_process: kind.ops_per_process(),
+                winner_steps: rep.winner_steps,
+                bound: ceil_log4(n),
+                ok,
+            });
+        }
+    }
+    table.print();
+    rows
+}
+
+/// One row of E8/E9: construction costs at one `n`.
+#[derive(Clone, Debug)]
+pub struct E8Row {
+    /// Number of processes.
+    pub n: usize,
+    /// ADT Group-Update tree, adversary schedule.
+    pub adt: u64,
+    /// Naive LL/SC combining tree, adversary schedule.
+    pub naive_tree: u64,
+    /// Herlihy announce-and-help, adversary schedule.
+    pub herlihy: u64,
+    /// Direct LL/SC object, adversary schedule.
+    pub direct: u64,
+}
+
+/// E8/E9: the tightness sweep — worst-case shared ops per operation for
+/// every construction under the Figure-2 adversary.
+pub fn e8_universal_constructions(ns: &[usize]) -> Vec<E8Row> {
+    let mut table = Table::new(
+        "E8/E9 - worst-case shared ops per operation (fetch&increment under the adversary)",
+        ["n", "adt-tree", "naive-tree", "herlihy", "direct", "log2(n)+2"],
+    );
+    let cfg = MeasureConfig {
+        check_linearizability: false,
+        ..MeasureConfig::default()
+    };
+    let mut rows = Vec::new();
+    for &n in ns {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let ops = vec![FetchIncrement::op(); n];
+        let run = |imp: &dyn ObjectImplementation| {
+            measure(imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg).max_ops
+        };
+        let row = E8Row {
+            n,
+            adt: run(&AdtTreeUniversal::new(spec.clone())),
+            naive_tree: run(&CombiningTreeUniversal::new(spec.clone())),
+            herlihy: run(&HerlihyUniversal::new(spec.clone())),
+            direct: run(&DirectLlSc::new(spec.clone())),
+        };
+        table.row([
+            n.to_string(),
+            row.adt.to_string(),
+            row.naive_tree.to_string(),
+            row.herlihy.to_string(),
+            row.direct.to_string(),
+            ((n as f64).log2() as u64 + 2).to_string(),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    rows
+}
+
+/// One row of E10: direct-implementation costs.
+#[derive(Clone, Debug)]
+pub struct E10Row {
+    /// Number of processes.
+    pub n: usize,
+    /// Solo (sequential-schedule) cost.
+    pub solo: u64,
+    /// Contended (adversary-schedule) cost.
+    pub contended: u64,
+    /// The oblivious `O(log n)` tree under the adversary, for contrast.
+    pub oblivious_tree: u64,
+}
+
+/// E10: the non-oblivious escape hatch — the direct LL/SC object costs a
+/// constant 2 ops solo (below any growing bound), at the price of `Θ(n)`
+/// under full contention.
+pub fn e10_direct_escape_hatch(ns: &[usize]) -> Vec<E10Row> {
+    let mut table = Table::new(
+        "E10 - semantics-exploiting direct LL/SC object: solo vs contended",
+        ["n", "direct solo", "direct contended", "adt-tree (adversary)"],
+    );
+    let cfg = MeasureConfig {
+        check_linearizability: false,
+        ..MeasureConfig::default()
+    };
+    let mut rows = Vec::new();
+    for &n in ns {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let ops = vec![FetchIncrement::op(); n];
+        let direct = DirectLlSc::new(spec.clone());
+        let solo = measure(&direct, spec.as_ref(), n, &ops, ScheduleKind::Sequential, &cfg).max_ops;
+        let contended =
+            measure(&direct, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg).max_ops;
+        let tree = measure(
+            &AdtTreeUniversal::new(spec.clone()),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            &cfg,
+        )
+        .max_ops;
+        assert_eq!(solo, 2, "solo cost is constant");
+        table.row([
+            n.to_string(),
+            solo.to_string(),
+            contended.to_string(),
+            tree.to_string(),
+        ]);
+        rows.push(E10Row {
+            n,
+            solo,
+            contended,
+            oblivious_tree: tree,
+        });
+    }
+    table.print();
+    rows
+}
+
+/// E5 extra: the tournament winner across a wide sweep — the tightness
+/// witness for the wakeup problem itself.
+pub fn e5_tournament_tightness(ns: &[usize]) -> Vec<(usize, u64, u64)> {
+    let mut table = Table::new(
+        "E5b - tournament wakeup: winner steps vs the log4 bound (tightness for wakeup)",
+        ["n", "ceil(log4 n)", "winner steps", "ratio"],
+    );
+    let cfg = AdversaryConfig {
+        track_up_history: false,
+        ..AdversaryConfig::default()
+    };
+    let mut rows = Vec::new();
+    for &n in ns {
+        let rep = verify_lower_bound(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg);
+        assert!(rep.wakeup.ok() && rep.bound_holds);
+        let bound = ceil_log4(n);
+        table.row([
+            n.to_string(),
+            bound.to_string(),
+            rep.winner_steps.to_string(),
+            format!("{:.2}", rep.winner_steps as f64 / bound.max(1) as f64),
+        ]);
+        rows.push((n, bound, rep.winner_steps));
+    }
+    table.print();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_small_sweep_passes() {
+        let rows = e1_secretive_schedules(&[4, 9], 5);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.worst_movers <= 2));
+    }
+
+    #[test]
+    fn e3_small_sweep_passes() {
+        let rows = e3_up_growth(&[4, 8]);
+        assert!(rows.iter().all(|r| r.lemma_5_1));
+    }
+
+    #[test]
+    fn e5_small_sweep_passes() {
+        let rows = e5_wakeup_lower_bound(&[4, 16]);
+        assert!(rows.iter().all(|r| r.holds && r.winner_steps >= r.bound));
+    }
+
+    #[test]
+    fn e8_small_sweep_shows_separation() {
+        let rows = e8_universal_constructions(&[16, 64]);
+        for r in &rows {
+            assert!(r.adt < r.herlihy);
+            assert!(r.adt < r.naive_tree);
+        }
+    }
+
+    #[test]
+    fn e10_solo_cost_is_constant() {
+        let rows = e10_direct_escape_hatch(&[4, 32]);
+        assert!(rows.iter().all(|r| r.solo == 2));
+        assert!(rows.iter().all(|r| r.contended >= r.n as u64));
+    }
+
+    #[test]
+    fn random_move_config_has_no_self_moves() {
+        for seed in 0..10 {
+            let cfg = random_move_config(12, 6, seed);
+            for p in cfg.processes() {
+                let (src, dst) = cfg.get(p).unwrap();
+                assert_ne!(src, dst);
+            }
+        }
+    }
+}
+
+/// One row of E12: multi-use amortised costs of the direct object.
+#[derive(Clone, Debug)]
+pub struct E12Row {
+    /// Number of processes.
+    pub n: usize,
+    /// Operations per process.
+    pub k: usize,
+    /// Amortised worst cost, solo schedule.
+    pub solo: f64,
+    /// Amortised worst cost, adversary schedule.
+    pub adversary: f64,
+}
+
+/// E12: `k`-use amortised shared-access cost of the direct LL/SC object
+/// (Corollary 6.1's `k`-use setting, measured from the other side).
+pub fn e12_multi_use(ns: &[usize], ks: &[usize]) -> Vec<E12Row> {
+    use llsc_universal::measure_multi_use;
+    let mut table = Table::new(
+        "E12 - k-use amortised shared ops per operation (direct LL/SC fetch&increment)",
+        ["n", "k", "solo", "adversary"],
+    );
+    let mut rows = Vec::new();
+    for &n in ns {
+        for &k in ks {
+            let spec = Arc::new(FetchIncrement::new(32));
+            let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
+            let ops: Vec<Vec<llsc_shmem::Value>> =
+                (0..n).map(|_| vec![FetchIncrement::op(); k]).collect();
+            let solo = measure_multi_use(
+                Arc::clone(&imp),
+                spec.as_ref(),
+                n,
+                &ops,
+                ScheduleKind::Sequential,
+                100_000_000,
+            );
+            let adv = measure_multi_use(
+                Arc::clone(&imp),
+                spec.as_ref(),
+                n,
+                &ops,
+                ScheduleKind::Adversary,
+                100_000_000,
+            );
+            assert!(solo.responses_consistent && adv.responses_consistent);
+            table.row([
+                n.to_string(),
+                k.to_string(),
+                format!("{:.2}", solo.max_amortised),
+                format!("{:.2}", adv.max_amortised),
+            ]);
+            rows.push(E12Row {
+                n,
+                k,
+                solo: solo.max_amortised,
+                adversary: adv.max_amortised,
+            });
+        }
+    }
+    table.print();
+    rows
+}
+
+/// One row of E13: appendix-claims checking for one algorithm.
+#[derive(Clone, Debug)]
+pub struct E13Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes (subsets are exhaustive).
+    pub n: usize,
+    /// Total violations over all subsets (claims + Lemma 5.2).
+    pub violations: usize,
+}
+
+/// E13: the appendix claims (A.2-A.9) plus Lemma 5.2, exhaustively over
+/// subsets, for every shipped wakeup algorithm.
+pub fn e13_appendix_claims(ns: &[usize]) -> Vec<E13Row> {
+    use llsc_core::check_claims_all_subsets;
+    let mut table = Table::new(
+        "E13 - appendix claims A.2-A.9 + Lemma 5.2, exhaustive over subsets",
+        ["algorithm", "n", "subsets", "violations"],
+    );
+    let cfg = AdversaryConfig::default();
+    let mut rows = Vec::new();
+    for alg in correct_algorithms().into_iter().chain(randomized_algorithms()) {
+        for &n in ns {
+            let violations =
+                check_claims_all_subsets(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+            assert_eq!(violations, 0, "{} n={n}", alg.name());
+            table.row([
+                alg.name().to_string(),
+                n.to_string(),
+                (1u64 << n).to_string(),
+                violations.to_string(),
+            ]);
+            rows.push(E13Row {
+                algorithm: alg.name().to_string(),
+                n,
+                violations,
+            });
+        }
+    }
+    table.print();
+    rows
+}
+
+/// One row of E14: stress-portfolio outcomes.
+#[derive(Clone, Debug)]
+pub struct E14Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Schedules tried.
+    pub tried: usize,
+    /// Schedules passed.
+    pub passed: usize,
+    /// Whether the algorithm is expected to pass everything.
+    pub expected_clean: bool,
+}
+
+/// E14: the partial-schedule stress portfolio over correct algorithms and
+/// strawmen — what the Figure-2 adversary alone cannot show.
+pub fn e14_stress_portfolio(n: usize) -> Vec<E14Row> {
+    use llsc_core::{standard_portfolio, stress_wakeup};
+    use llsc_wakeup::strawman_algorithms;
+    let mut table = Table::new(
+        "E14 - wakeup stress portfolio (partition/sequential/random schedules)",
+        ["algorithm", "tried", "passed", "verdict"],
+    );
+    let portfolio = standard_portfolio(n, 4);
+    let mut rows = Vec::new();
+    let cases: Vec<(Box<dyn Algorithm>, bool)> = correct_algorithms()
+        .into_iter()
+        .map(|a| (a, true))
+        .chain(strawman_algorithms().into_iter().map(|a| (a, false)))
+        .collect();
+    for (alg, expected_clean) in cases {
+        let report = stress_wakeup(
+            alg.as_ref(),
+            n,
+            Arc::new(ZeroTosses),
+            &portfolio,
+            5_000_000,
+        );
+        if expected_clean {
+            assert!(report.ok(), "{}: {report}", alg.name());
+        } else {
+            assert!(!report.ok(), "{} should fail stress", alg.name());
+        }
+        table.row([
+            alg.name().to_string(),
+            report.schedules_tried.to_string(),
+            report.passed.to_string(),
+            if report.ok() { "clean" } else { "caught" }.to_string(),
+        ]);
+        rows.push(E14Row {
+            algorithm: alg.name().to_string(),
+            tried: report.schedules_tried,
+            passed: report.passed,
+            expected_clean,
+        });
+    }
+    table.print();
+    rows
+}
+
+/// One row of E9: one construction under every schedule.
+#[derive(Clone, Debug)]
+pub struct E9Row {
+    /// The construction's name.
+    pub implementation: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Worst-case ops under the contention-free sequential schedule
+    /// (`None` where the schedule is unsupported — the ADT tree's
+    /// followers poll and need fairness).
+    pub sequential: Option<u64>,
+    /// Worst-case ops under round-robin.
+    pub round_robin: u64,
+    /// Worst-case ops under a seeded random interleaving.
+    pub random: u64,
+    /// Worst-case ops under the Figure-2 adversary.
+    pub adversary: u64,
+}
+
+/// E9: schedule ablation — how each construction's worst-case cost depends
+/// on the schedule, complementing E8's adversary-only sweep.
+pub fn e9_schedule_ablation(ns: &[usize]) -> Vec<E9Row> {
+    let mut table = Table::new(
+        "E9 - schedule ablation: worst-case shared ops per operation (fetch&increment)",
+        ["construction", "n", "sequential", "round-robin", "random", "adversary"],
+    );
+    let cfg = MeasureConfig {
+        check_linearizability: false,
+        ..MeasureConfig::default()
+    };
+    let mut rows = Vec::new();
+    for &n in ns {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let ops = vec![FetchIncrement::op(); n];
+        let imps: Vec<(Box<dyn ObjectImplementation>, bool)> = vec![
+            (Box::new(AdtTreeUniversal::new(spec.clone())), false),
+            (Box::new(CombiningTreeUniversal::new(spec.clone())), true),
+            (Box::new(HerlihyUniversal::new(spec.clone())), true),
+            (Box::new(DirectLlSc::new(spec.clone())), true),
+        ];
+        for (imp, supports_sequential) in imps {
+            let run = |kind: ScheduleKind| {
+                measure(imp.as_ref(), spec.as_ref(), n, &ops, kind, &cfg).max_ops
+            };
+            let row = E9Row {
+                implementation: imp.name(),
+                n,
+                sequential: supports_sequential.then(|| run(ScheduleKind::Sequential)),
+                round_robin: run(ScheduleKind::RoundRobin),
+                random: run(ScheduleKind::RandomInterleave { seed: 17 }),
+                adversary: run(ScheduleKind::Adversary),
+            };
+            table.row([
+                row.implementation.clone(),
+                n.to_string(),
+                row.sequential
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "n/a".into()),
+                row.round_robin.to_string(),
+                row.random.to_string(),
+                row.adversary.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+    rows
+}
+
+/// One row of E10b: structural implementations' solo cost vs data size.
+#[derive(Clone, Debug)]
+pub struct E10bRow {
+    /// Implementation name.
+    pub implementation: String,
+    /// Initial items in the structure.
+    pub initial: usize,
+    /// Solo shared ops for one operation.
+    pub solo_ops: u64,
+}
+
+/// E10b: the *structural* escape hatches — pointer-based LL/SC queue and
+/// stack whose solo per-operation cost is a small constant regardless of
+/// structure size (contrast with every oblivious construction's Ω(log n)).
+pub fn e10b_structural_escape_hatches(sizes: &[usize]) -> Vec<E10bRow> {
+    use llsc_objects::{Queue, Stack};
+    use llsc_universal::{MsQueue, TreiberStack};
+    let mut table = Table::new(
+        "E10b - structural LL/SC implementations: solo ops per operation vs structure size",
+        ["implementation", "initial items", "solo ops"],
+    );
+    let cfg = MeasureConfig::default();
+    let mut rows = Vec::new();
+    for &initial in sizes {
+        let spec = Arc::new(Queue::with_numbered_items(initial));
+        let imp = MsQueue::new(Queue::with_numbered_items(initial));
+        let ops = vec![Queue::dequeue_op()];
+        let r = measure(&imp, spec.as_ref(), 1, &ops, ScheduleKind::Sequential, &cfg);
+        assert!(r.linearizable);
+        table.row([imp.name(), initial.to_string(), r.max_ops.to_string()]);
+        rows.push(E10bRow {
+            implementation: imp.name(),
+            initial,
+            solo_ops: r.max_ops,
+        });
+
+        let spec = Arc::new(Stack::with_numbered_items(initial));
+        let imp = TreiberStack::new(Stack::with_numbered_items(initial));
+        let ops = vec![Stack::pop_op()];
+        let r = measure(&imp, spec.as_ref(), 1, &ops, ScheduleKind::Sequential, &cfg);
+        assert!(r.linearizable);
+        table.row([imp.name(), initial.to_string(), r.max_ops.to_string()]);
+        rows.push(E10bRow {
+            implementation: imp.name(),
+            initial,
+            solo_ops: r.max_ops,
+        });
+    }
+    table.print();
+    rows
+}

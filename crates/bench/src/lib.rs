@@ -1,0 +1,29 @@
+//! # llsc-bench: experiment regenerators
+//!
+//! One function per experiment in `EXPERIMENTS.md`, each printing the
+//! table its `table_*` binary regenerates. The paper under reproduction is
+//! a theory paper without numbered tables or figures, so the "tables" here
+//! are the mechanised checks of its lemmas and theorems plus the
+//! complexity sweeps that exhibit each bound's shape:
+//!
+//! | Binary | Experiment | Paper artifact |
+//! |--------|------------|----------------|
+//! | `table_e1` | E1/E2/E11 | Lemmas 4.1 & 4.2 (secretive schedules) |
+//! | `table_e3` | E3 | Lemma 5.1 (`\|UP\| <= 4^r`) |
+//! | `table_e4` | E4 | Lemma 5.2 (indistinguishability) |
+//! | `table_e5` | E5 | Theorem 6.1 (wakeup winner >= `log4 n`) |
+//! | `table_e6` | E6 | Lemma 3.1 (randomized expected complexity) |
+//! | `table_e7` | E7 | Theorem 6.2 (the eight object reductions) |
+//! | `table_e8` | E8/E9 | tightness: `O(log n)` tree vs `Theta(n)` baselines |
+//! | `table_e10` | E10 | the non-oblivious constant-time escape hatch |
+//!
+//! Each function returns the rows it printed so integration tests can
+//! assert on the numbers without re-parsing stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

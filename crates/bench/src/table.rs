@@ -1,0 +1,151 @@
+//! Minimal fixed-width table rendering for the experiment binaries.
+
+use std::fmt::Display;
+
+/// A simple right-aligned text table with a title and a header row.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_bench::table::Table;
+/// let mut t = Table::new("demo", ["n", "value"]);
+/// t.row(["4", "10"]);
+/// let s = t.render();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("value"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new<T, I, S>(title: T, headers: I) -> Self
+    where
+        T: Into<String>,
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+        rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as there are headers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cell-count mismatch.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Display,
+    {
+        let cells: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total.max(self.title.len())));
+        out.push('\n');
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                line.push_str(&format!("{cell:>width$}  ", width = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(total.max(self.title.len())));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Renders the table as CSV (header row first, fields quoted only when
+    /// they contain commas or quotes) — for piping experiment output into
+    /// plotting tools.
+    pub fn render_csv(&self) -> String {
+        fn field(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let mut push_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| field(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        push_row(&self.headers);
+        for row in &self.rows {
+            push_row(row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("title", ["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["100", "20000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "title");
+        assert!(lines[2].contains("long-header"));
+        // All data lines are equally long after alignment.
+        assert_eq!(lines[4].len(), lines[5].len());
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = Table::new("t", ["name", "value"]);
+        t.row(["plain", "1"]);
+        t.row(["with,comma", "say \"hi\""]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

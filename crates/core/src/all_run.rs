@@ -1,0 +1,355 @@
+//! Construction of the `(All, A)`-run (Section 5.2) and the common
+//! round-structured-run record shared with the `(S, A)`-run.
+
+use crate::rounds::{execute_round_with, MoveOrder, RoundRecord};
+use crate::upsets::UpTracker;
+use llsc_shmem::{
+    Algorithm, Executor, ExecutorConfig, Interaction, ProcessId, RegisterId, Run,
+    TossAssignment, Value,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Limits for adversary-run construction.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversaryConfig {
+    /// Maximum number of rounds before construction stops (a terminating
+    /// algorithm finishes far earlier; hitting this limit marks the run as
+    /// not completed).
+    pub max_rounds: usize,
+    /// The underlying executor limits.
+    pub executor: ExecutorConfig,
+    /// Whether each round stores end-of-round register snapshots (needed
+    /// by the indistinguishability checker; disable for memory-light
+    /// complexity sweeps over value-heavy algorithms).
+    pub record_snapshots: bool,
+    /// Whether the `UP` tracker retains every round's snapshot (needed by
+    /// the `(S, A)`-run construction and the claims/indistinguishability
+    /// checkers) or only the latest one plus per-round max sizes (enough
+    /// for Lemma 5.1 and the Theorem 6.1 measurement, and `Θ(rounds)`
+    /// cheaper in memory).
+    pub track_up_history: bool,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            max_rounds: 100_000,
+            executor: ExecutorConfig::default(),
+            record_snapshots: true,
+            track_up_history: true,
+        }
+    }
+}
+
+impl AdversaryConfig {
+    /// A memory-light configuration: no register snapshots, no event or
+    /// history recording — only counters, verdicts, and the round
+    /// structure. Suitable for complexity sweeps; not for the wakeup or
+    /// indistinguishability checkers.
+    pub fn lightweight() -> Self {
+        AdversaryConfig {
+            record_snapshots: false,
+            track_up_history: false,
+            executor: ExecutorConfig {
+                record_details: false,
+                ..ExecutorConfig::default()
+            },
+            ..AdversaryConfig::default()
+        }
+    }
+}
+
+/// A run structured into adversary rounds, with end-of-round snapshots —
+/// the common shape of the `(All, A)`-run and every `(S, A)`-run.
+#[derive(Clone, Debug)]
+pub struct RoundedRun {
+    /// Number of processes in the system.
+    pub n: usize,
+    /// The per-round records, `rounds[r - 1]` being round `r`.
+    pub rounds: Vec<RoundRecord>,
+    /// The full underlying run.
+    pub run: Run,
+    /// The initial register contents the algorithm configured.
+    pub initial_memory: BTreeMap<RegisterId, Value>,
+    /// Whether every participating process terminated within the round
+    /// limit.
+    pub completed: bool,
+}
+
+impl RoundedRun {
+    /// `val(R, r, Σ)`: the value of register `reg` at the end of round `r`
+    /// (round 0 = initial configuration).
+    pub fn value_at(&self, reg: RegisterId, r: usize) -> Value {
+        if r == 0 {
+            return self.initial_value(reg);
+        }
+        self.rounds[r - 1]
+            .end_values
+            .get(&reg)
+            .cloned()
+            .unwrap_or_else(|| self.initial_value(reg))
+    }
+
+    fn initial_value(&self, reg: RegisterId) -> Value {
+        self.initial_memory.get(&reg).cloned().unwrap_or_default()
+    }
+
+    /// `Pset(R, r, Σ)`: the registered process set at the end of round `r`.
+    pub fn pset_at(&self, reg: RegisterId, r: usize) -> Vec<ProcessId> {
+        if r == 0 {
+            return Vec::new();
+        }
+        self.rounds[r - 1]
+            .end_psets
+            .get(&reg)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// `numtosses(p, r, Σ)`: coin tosses performed by `p` by the end of
+    /// round `r`.
+    pub fn tosses_at(&self, p: ProcessId, r: usize) -> u64 {
+        if r == 0 {
+            0
+        } else {
+            self.rounds[r - 1].end_tosses[p.0]
+        }
+    }
+
+    /// The prefix of `p`'s interaction history up to the end of round `r`.
+    /// For deterministic-given-coins programs this prefix determines
+    /// `state(p, r, Σ)`.
+    pub fn history_at(&self, p: ProcessId, r: usize) -> &[Interaction] {
+        if r == 0 {
+            &[]
+        } else {
+            &self.run.history(p)[..self.rounds[r - 1].end_history_len[p.0]]
+        }
+    }
+
+    /// `t(p, r)`: shared-memory steps performed by `p` by the end of round
+    /// `r`.
+    pub fn shared_steps_at(&self, p: ProcessId, r: usize) -> u64 {
+        if r == 0 {
+            0
+        } else {
+            self.rounds[r - 1].end_shared_steps[p.0]
+        }
+    }
+
+    /// The number of recorded rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Every register touched at any point of the run, in id order.
+    pub fn touched_registers(&self) -> Vec<RegisterId> {
+        match self.rounds.last() {
+            // Snapshots are cumulative: the last round lists every touched
+            // register.
+            Some(last) => last.end_values.keys().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// The `(All, A)`-run: the unique unextendable run permitted by the
+/// Figure-2 adversary under toss assignment `A`, together with the
+/// `UP`-set history that the `(S, A)`-runs and Theorem 6.1 need.
+#[derive(Clone, Debug)]
+pub struct AllRun {
+    /// The rounds, events, and snapshots.
+    pub base: RoundedRun,
+    /// `UP(p, r)` / `UP(R, r)` for every completed round.
+    pub up: UpTracker,
+}
+
+impl AllRun {
+    /// Convenience accessor: number of processes.
+    pub fn n(&self) -> usize {
+        self.base.n
+    }
+}
+
+/// Builds the `(All, A)`-run of `alg` for `n` processes under toss
+/// assignment `toss`.
+///
+/// Rounds are executed until every process terminates or
+/// [`AdversaryConfig::max_rounds`] is reached. `UP` update rules are
+/// applied after every round; the resulting tracker is returned inside the
+/// [`AllRun`].
+///
+/// # Examples
+///
+/// ```
+/// use llsc_core::{build_all_run, AdversaryConfig};
+/// use llsc_shmem::dsl::{done, ll};
+/// use llsc_shmem::{FnAlgorithm, RegisterId, Value, ZeroTosses};
+/// use std::sync::Arc;
+///
+/// let alg = FnAlgorithm::new("one-ll", |_p, _n| {
+///     ll(RegisterId(0), |_| done(Value::from(0i64))).into_program()
+/// });
+/// let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default());
+/// assert!(all.base.completed);
+/// assert_eq!(all.base.num_rounds(), 1);
+/// ```
+pub fn build_all_run(
+    alg: &dyn Algorithm,
+    n: usize,
+    toss: Arc<dyn TossAssignment>,
+    cfg: &AdversaryConfig,
+) -> AllRun {
+    let initial_memory: BTreeMap<RegisterId, Value> =
+        alg.initial_memory(n).into_iter().collect();
+    let mut exec = Executor::new(alg, n, toss, cfg.executor);
+    let mut up = if cfg.track_up_history {
+        UpTracker::new(n)
+    } else {
+        UpTracker::new_rolling(n)
+    };
+    let mut rounds = Vec::new();
+    let participants: Vec<ProcessId> = ProcessId::all(n).collect();
+
+    let mut r = 0;
+    while !exec.all_terminated() && r < cfg.max_rounds {
+        r += 1;
+        let rec = execute_round_with(
+            &mut exec,
+            r,
+            &participants,
+            MoveOrder::Secretive,
+            cfg.record_snapshots,
+        );
+        up.apply_round(&rec);
+        rounds.push(rec);
+    }
+
+    let completed = exec.all_terminated();
+    AllRun {
+        base: RoundedRun {
+            n,
+            rounds,
+            run: exec.into_run(),
+            initial_memory,
+            completed,
+        },
+        up,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llsc_shmem::dsl::{done, ll, sc, toss};
+    use llsc_shmem::{FnAlgorithm, SeededTosses, ZeroTosses};
+
+    fn llsc_alg() -> impl Algorithm {
+        FnAlgorithm::new("llsc", |pid: ProcessId, _n| {
+            ll(RegisterId(0), move |_| {
+                sc(RegisterId(0), Value::from(pid.0 as i64), |ok, _| {
+                    done(Value::from(ok))
+                })
+            })
+            .into_program()
+        })
+    }
+
+    #[test]
+    fn all_run_is_deterministic() {
+        let alg = llsc_alg();
+        let a = build_all_run(&alg, 6, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let b = build_all_run(&alg, 6, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        assert_eq!(a.base.run.events(), b.base.run.events());
+        assert_eq!(a.base.num_rounds(), b.base.num_rounds());
+    }
+
+    #[test]
+    fn all_run_synchronous_rounds_one_op_each() {
+        let alg = llsc_alg();
+        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        assert!(all.base.completed);
+        // Round 1: all LL. Round 2: all SC (p0 wins).
+        assert_eq!(all.base.num_rounds(), 2);
+        assert_eq!(all.base.rounds[0].groups.g1_ll_validate.len(), 4);
+        assert_eq!(all.base.rounds[1].groups.g4_sc.len(), 4);
+        assert_eq!(
+            all.base.rounds[1].successful_sc.get(&RegisterId(0)),
+            Some(&ProcessId(0))
+        );
+    }
+
+    #[test]
+    fn snapshots_are_queryable_per_round() {
+        let alg = llsc_alg();
+        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        // Round 0: initial.
+        assert_eq!(all.base.value_at(RegisterId(0), 0), Value::Unit);
+        assert!(all.base.pset_at(RegisterId(0), 0).is_empty());
+        // Round 1: all linked, value unchanged.
+        assert_eq!(all.base.value_at(RegisterId(0), 1), Value::Unit);
+        assert_eq!(all.base.pset_at(RegisterId(0), 1).len(), 3);
+        // Round 2: p0's SC installed 0 and emptied the Pset.
+        assert_eq!(all.base.value_at(RegisterId(0), 2), Value::from(0i64));
+        assert!(all.base.pset_at(RegisterId(0), 2).is_empty());
+        // Histories grow round by round.
+        assert_eq!(all.base.history_at(ProcessId(1), 0).len(), 0);
+        assert_eq!(all.base.history_at(ProcessId(1), 1).len(), 1);
+        assert!(all.base.history_at(ProcessId(1), 2).len() >= 2);
+        assert_eq!(all.base.shared_steps_at(ProcessId(1), 2), 2);
+    }
+
+    #[test]
+    fn max_rounds_limit_marks_incomplete() {
+        // An algorithm that never terminates: LL forever.
+        let alg = FnAlgorithm::new("spin", |_p, _n| {
+            fn spin() -> llsc_shmem::dsl::Step {
+                ll(RegisterId(0), |_| spin())
+            }
+            spin().into_program()
+        });
+        let cfg = AdversaryConfig {
+            max_rounds: 5,
+            ..AdversaryConfig::default()
+        };
+        let all = build_all_run(&alg, 2, Arc::new(ZeroTosses), &cfg);
+        assert!(!all.base.completed);
+        assert_eq!(all.base.num_rounds(), 5);
+    }
+
+    #[test]
+    fn randomized_algorithm_consumes_assignment() {
+        // Toss a coin; LL register (coin % 4); terminate.
+        let alg = FnAlgorithm::new("rand-ll", |_p, _n| {
+            toss(|c| ll(RegisterId(c % 4), |_| done(Value::from(0i64)))).into_program()
+        });
+        let all = build_all_run(
+            &alg,
+            4,
+            Arc::new(SeededTosses::new(99)),
+            &AdversaryConfig::default(),
+        );
+        assert!(all.base.completed);
+        for p in ProcessId::all(4) {
+            assert_eq!(all.base.tosses_at(p, all.base.num_rounds()), 1);
+        }
+        // Phase-1 tosses are recorded in the round they happen.
+        assert_eq!(all.base.rounds[0].phase1_tosses.values().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn touched_registers_lists_everything() {
+        let alg = llsc_alg();
+        let all = build_all_run(&alg, 2, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        assert_eq!(all.base.touched_registers(), vec![RegisterId(0)]);
+    }
+
+    #[test]
+    fn up_tracker_rounds_match_run_rounds() {
+        let alg = llsc_alg();
+        let all = build_all_run(&alg, 8, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        assert_eq!(all.up.rounds(), all.base.num_rounds());
+        assert!(all.up.lemma_5_1_holds());
+    }
+}

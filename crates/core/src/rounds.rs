@@ -1,0 +1,507 @@
+//! The five-phase round structure of the adversary (Figure 2 / Figure 3).
+//!
+//! Both the `(All, A)`-run and the `(S, A)`-run proceed in rounds with the
+//! same five phases; they differ only in *which* processes participate and
+//! in how the move-group is ordered (the `(S, A)`-run reuses the secretive
+//! schedule `σ_r` computed for the `(All, A)`-run). [`execute_round`]
+//! implements one round over a live [`Executor`] and records everything the
+//! `UP`-set update rules and the indistinguishability checker later need.
+
+use crate::secretive::{self, MoveConfig};
+use llsc_shmem::{
+    Executor, OpKind, Operation, ProcessId, RegisterId, Response, Value,
+};
+use std::collections::BTreeMap;
+
+/// A lean record of one shared-memory operation of a round: everything the
+/// `UP` update rules need, without the (possibly large) operand/response
+/// values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpSummary {
+    /// The invoking process.
+    pub p: ProcessId,
+    /// The operation's kind.
+    pub kind: OpKind,
+    /// The register whose state the operation targets (`dst` for a move).
+    pub register: RegisterId,
+    /// For an SC: whether it succeeded. `None` for other kinds.
+    pub sc_ok: Option<bool>,
+}
+
+/// How Phase 3 (the move group) is ordered.
+#[derive(Clone, Copy, Debug)]
+pub enum MoveOrder<'a> {
+    /// Compute a fresh secretive complete schedule for this round's move
+    /// configuration — the `(All, A)`-run behaviour.
+    Secretive,
+    /// Follow the given schedule, restricted to this round's move group —
+    /// the `(S, A)`-run behaviour ("processes in `S_{2,r}` perform one
+    /// operation each, in the order in which they appear in `σ_r`").
+    Given(&'a [ProcessId]),
+}
+
+/// The partition of a round's participants by the kind of their next
+/// shared-memory operation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundGroups {
+    /// `G_1`: processes about to perform `LL` or `validate`.
+    pub g1_ll_validate: Vec<ProcessId>,
+    /// `G_2`: processes about to perform `move`.
+    pub g2_move: Vec<ProcessId>,
+    /// `G_3`: processes about to perform `swap`.
+    pub g3_swap: Vec<ProcessId>,
+    /// `G_4`: processes about to perform `SC`.
+    pub g4_sc: Vec<ProcessId>,
+}
+
+impl RoundGroups {
+    /// All grouped processes, i.e. the participants that perform a
+    /// shared-memory operation this round.
+    pub fn all(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.g1_ll_validate
+            .iter()
+            .chain(&self.g2_move)
+            .chain(&self.g3_swap)
+            .chain(&self.g4_sc)
+            .copied()
+    }
+}
+
+/// Everything that happened in one adversary round, in enough detail to
+/// (a) apply the Section-5.3 `UP` update rules and (b) compare end-of-round
+/// configurations between runs.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    /// The processes eligible to act this round (before termination
+    /// filtering), in the order they were given.
+    pub participants: Vec<ProcessId>,
+    /// Coin tosses performed in Phase 1, per process.
+    pub phase1_tosses: BTreeMap<ProcessId, u64>,
+    /// Processes that terminated during Phase 1 of this round.
+    pub terminated_in_phase1: Vec<ProcessId>,
+    /// The group partition after Phase 1.
+    pub groups: RoundGroups,
+    /// The move configuration `(G_{2,r}, f_r)` of this round.
+    pub move_config: MoveConfig,
+    /// `σ_r`: the order in which the move group actually executed.
+    pub sigma: Vec<ProcessId>,
+    /// Every shared-memory operation of the round, in execution order
+    /// (lean summaries; the full operations live in the underlying
+    /// [`llsc_shmem::Run`] when detail recording is on).
+    pub ops: Vec<OpSummary>,
+    /// Per register: the process whose SC on it succeeded this round
+    /// (at most one per register per round).
+    pub successful_sc: BTreeMap<RegisterId, ProcessId>,
+    /// Per register: the processes that swapped it this round, in
+    /// execution order.
+    pub swaps: BTreeMap<RegisterId, Vec<ProcessId>>,
+    /// Per register: the processes that moved into it this round, in
+    /// execution order.
+    pub moves_into: BTreeMap<RegisterId, Vec<ProcessId>>,
+    /// Values of all touched registers at the end of the round (empty when
+    /// snapshot recording is disabled).
+    pub end_values: BTreeMap<RegisterId, Value>,
+    /// `Pset`s of all touched registers at the end of the round (empty when
+    /// snapshot recording is disabled).
+    pub end_psets: BTreeMap<RegisterId, Vec<ProcessId>>,
+    /// Per process: cumulative coin-toss count at the end of the round.
+    pub end_tosses: Vec<u64>,
+    /// Per process: cumulative interaction-history length at the end of
+    /// the round.
+    pub end_history_len: Vec<usize>,
+    /// Per process: cumulative shared-memory step count at the end of the
+    /// round.
+    pub end_shared_steps: Vec<u64>,
+}
+
+impl RoundRecord {
+    /// `true` iff nothing at all happened this round (no tosses, no
+    /// operations, no terminations) — the "empty rounds" that follow once
+    /// every process has terminated.
+    pub fn is_empty_round(&self) -> bool {
+        self.ops.is_empty()
+            && self.terminated_in_phase1.is_empty()
+            && self.phase1_tosses.values().all(|&t| t == 0)
+    }
+}
+
+/// Executes one five-phase round over `exec` for the given participants.
+///
+/// Phases (exactly Figure 2 / Figure 3):
+///
+/// 1. each participant, in id order, performs coin tosses until it
+///    terminates or its next step is a shared-memory operation;
+/// 2. the LL/validate group acts, in id order;
+/// 3. the move group acts, ordered per `move_order`;
+/// 4. the swap group acts, in id order;
+/// 5. the SC group acts, in id order.
+///
+/// Already-terminated participants are skipped (their rounds are empty).
+///
+/// # Panics
+///
+/// Panics if `move_order` is [`MoveOrder::Given`] and some mover of this
+/// round does not appear in the given schedule (Claim A.3 guarantees this
+/// cannot happen for the `(S, A)`-run construction).
+pub fn execute_round(
+    exec: &mut Executor,
+    round: usize,
+    participants: &[ProcessId],
+    move_order: MoveOrder<'_>,
+) -> RoundRecord {
+    execute_round_with(exec, round, participants, move_order, true)
+}
+
+/// [`execute_round`] with control over end-of-round register snapshots.
+///
+/// Snapshots power the indistinguishability checker but can dominate
+/// memory for value-heavy algorithms over many rounds; large measurement
+/// sweeps disable them.
+pub fn execute_round_with(
+    exec: &mut Executor,
+    round: usize,
+    participants: &[ProcessId],
+    move_order: MoveOrder<'_>,
+    snapshots: bool,
+) -> RoundRecord {
+    let n = exec.n();
+    let mut phase1_tosses = BTreeMap::new();
+    let mut terminated_in_phase1 = Vec::new();
+
+    // Phase 1: local steps, in id order.
+    let mut ordered: Vec<ProcessId> = participants.to_vec();
+    ordered.sort_unstable();
+    for &p in &ordered {
+        if exec.is_terminated(p) {
+            continue;
+        }
+        let tosses = exec.advance_local(p);
+        phase1_tosses.insert(p, tosses);
+        if exec.is_terminated(p) {
+            terminated_in_phase1.push(p);
+        }
+    }
+
+    // Partition survivors by the kind of their pending operation.
+    let mut groups = RoundGroups::default();
+    let mut move_config = MoveConfig::new();
+    for &p in &ordered {
+        let Some(op) = exec.pending_op(p) else { continue };
+        match op.kind() {
+            OpKind::Ll | OpKind::Validate => groups.g1_ll_validate.push(p),
+            OpKind::Move => {
+                groups.g2_move.push(p);
+                if let Operation::Move { src, dst } = op {
+                    move_config.insert(p, src, dst);
+                }
+            }
+            OpKind::Swap => groups.g3_swap.push(p),
+            OpKind::Sc => groups.g4_sc.push(p),
+        }
+    }
+
+    // Phase 3 ordering.
+    let sigma: Vec<ProcessId> = match move_order {
+        MoveOrder::Secretive => secretive::secretive_complete_schedule(&move_config),
+        MoveOrder::Given(outer) => {
+            let keep: std::collections::BTreeSet<_> = groups.g2_move.iter().copied().collect();
+            let restricted = secretive::restrict(outer, &keep);
+            assert!(
+                restricted.len() == groups.g2_move.len(),
+                "round {round}: mover(s) {:?} missing from the given σ_r (Claim A.3 violated)",
+                groups
+                    .g2_move
+                    .iter()
+                    .filter(|p| !outer.contains(p))
+                    .collect::<Vec<_>>()
+            );
+            restricted
+        }
+    };
+
+    let mut ops = Vec::new();
+    let mut successful_sc = BTreeMap::new();
+    let mut swaps: BTreeMap<RegisterId, Vec<ProcessId>> = BTreeMap::new();
+    let mut moves_into: BTreeMap<RegisterId, Vec<ProcessId>> = BTreeMap::new();
+
+    // Phases 2-5.
+    let plan: Vec<ProcessId> = groups
+        .g1_ll_validate
+        .iter()
+        .chain(sigma.iter())
+        .chain(groups.g3_swap.iter())
+        .chain(groups.g4_sc.iter())
+        .copied()
+        .collect();
+    for p in plan {
+        let (op, resp) = exec.perform_shared(p);
+        let mut sc_ok = None;
+        match (&op, &resp) {
+            (Operation::Sc(r, _), Response::Flagged { ok, .. }) => {
+                sc_ok = Some(*ok);
+                if *ok {
+                    let prev = successful_sc.insert(*r, p);
+                    debug_assert!(prev.is_none(), "two successful SCs on {r} in round {round}");
+                }
+            }
+            (Operation::Swap(r, _), _) => swaps.entry(*r).or_default().push(p),
+            (Operation::Move { dst, .. }, _) => moves_into.entry(*dst).or_default().push(p),
+            _ => {}
+        }
+        ops.push(OpSummary {
+            p,
+            kind: op.kind(),
+            register: op.target(),
+            sc_ok,
+        });
+    }
+
+    // End-of-round snapshots.
+    let (end_values, end_psets) = if snapshots {
+        (exec.memory().snapshot_values(), exec.memory().snapshot_psets())
+    } else {
+        (BTreeMap::new(), BTreeMap::new())
+    };
+    let end_tosses = ProcessId::all(n).map(|p| exec.run().tosses(p)).collect();
+    let end_history_len = ProcessId::all(n)
+        .map(|p| exec.run().history(p).len())
+        .collect();
+    let end_shared_steps = ProcessId::all(n)
+        .map(|p| exec.run().shared_steps(p))
+        .collect();
+
+    RoundRecord {
+        round,
+        participants: ordered,
+        phase1_tosses,
+        terminated_in_phase1,
+        groups,
+        move_config,
+        sigma,
+        ops,
+        successful_sc,
+        swaps,
+        moves_into,
+        end_values,
+        end_psets,
+        end_tosses,
+        end_history_len,
+        end_shared_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llsc_shmem::dsl::{done, ll, mv, sc, swap, validate};
+    use llsc_shmem::{
+        Algorithm, ExecutorConfig, FnAlgorithm, Program, Value, ZeroTosses,
+    };
+    use std::sync::Arc;
+
+    fn exec_for(alg: &dyn Algorithm, n: usize) -> Executor {
+        Executor::new(alg, n, Arc::new(ZeroTosses), ExecutorConfig::default())
+    }
+
+    fn all_pids(n: usize) -> Vec<ProcessId> {
+        ProcessId::all(n).collect()
+    }
+
+    /// Four processes, one of each op kind, all targeting distinct
+    /// registers.
+    fn mixed_alg() -> impl Algorithm {
+        FnAlgorithm::new("mixed", |pid: ProcessId, _n| {
+            let prog: Box<dyn Program> = match pid.0 {
+                0 => ll(RegisterId(0), |_| done(Value::from(0i64))).into_program(),
+                1 => mv(RegisterId(1), RegisterId(2), || done(Value::from(0i64))).into_program(),
+                2 => swap(RegisterId(3), Value::from(1i64), |_| done(Value::from(0i64)))
+                    .into_program(),
+                _ => ll(RegisterId(4), |_| {
+                    sc(RegisterId(4), Value::from(9i64), |_, _| done(Value::from(0i64)))
+                })
+                .into_program(),
+            };
+            prog
+        })
+    }
+
+    #[test]
+    fn groups_partition_by_kind() {
+        let alg = mixed_alg();
+        let mut e = exec_for(&alg, 4);
+        let rec = execute_round(&mut e, 1, &all_pids(4), MoveOrder::Secretive);
+        assert_eq!(rec.groups.g1_ll_validate, vec![ProcessId(0), ProcessId(3)]);
+        assert_eq!(rec.groups.g2_move, vec![ProcessId(1)]);
+        assert_eq!(rec.groups.g3_swap, vec![ProcessId(2)]);
+        assert!(rec.groups.g4_sc.is_empty(), "p3's SC comes next round");
+        assert_eq!(rec.ops.len(), 4);
+    }
+
+    #[test]
+    fn phases_execute_in_order_ll_move_swap_sc() {
+        let alg = mixed_alg();
+        let mut e = exec_for(&alg, 4);
+        // Round 1: LLs (p0, p3), move (p1), swap (p2).
+        let r1 = execute_round(&mut e, 1, &all_pids(4), MoveOrder::Secretive);
+        let kinds: Vec<OpKind> = r1.ops.iter().map(|o| o.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![OpKind::Ll, OpKind::Ll, OpKind::Move, OpKind::Swap]
+        );
+        // Round 2: p3's SC.
+        let r2 = execute_round(&mut e, 2, &all_pids(4), MoveOrder::Secretive);
+        let kinds2: Vec<OpKind> = r2.ops.iter().map(|o| o.kind).collect();
+        assert_eq!(kinds2, vec![OpKind::Sc]);
+        assert_eq!(r2.successful_sc.get(&RegisterId(4)), Some(&ProcessId(3)));
+    }
+
+    #[test]
+    fn sc_contention_one_winner_per_register_per_round() {
+        // All processes LL R0 in round 1, then all SC R0 in round 2; only
+        // the lowest-id process succeeds.
+        let alg = FnAlgorithm::new("contend", |pid: ProcessId, _n| {
+            ll(RegisterId(0), move |_| {
+                sc(RegisterId(0), Value::from(pid.0 as i64), |ok, _| {
+                    done(Value::from(ok))
+                })
+            })
+            .into_program()
+        });
+        let mut e = exec_for(&alg, 5);
+        execute_round(&mut e, 1, &all_pids(5), MoveOrder::Secretive);
+        let r2 = execute_round(&mut e, 2, &all_pids(5), MoveOrder::Secretive);
+        assert_eq!(r2.successful_sc.get(&RegisterId(0)), Some(&ProcessId(0)));
+        assert_eq!(e.memory().peek(RegisterId(0)), Value::from(0i64));
+        for p in ProcessId::all(5) {
+            assert_eq!(
+                e.verdict(p),
+                Some(&Value::from(p == ProcessId(0))),
+                "{p} verdict"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_order_is_by_id_and_recorded() {
+        let alg = FnAlgorithm::new("swappers", |pid: ProcessId, _n| {
+            swap(RegisterId(0), Value::from(pid.0 as i64), |_| {
+                done(Value::from(0i64))
+            })
+            .into_program()
+        });
+        let mut e = exec_for(&alg, 3);
+        let rec = execute_round(&mut e, 1, &all_pids(3), MoveOrder::Secretive);
+        assert_eq!(
+            rec.swaps.get(&RegisterId(0)),
+            Some(&vec![ProcessId(0), ProcessId(1), ProcessId(2)])
+        );
+        // Last swapper's value survives.
+        assert_eq!(e.memory().peek(RegisterId(0)), Value::from(2i64));
+    }
+
+    #[test]
+    fn move_group_uses_secretive_schedule() {
+        // The chain example: p_i: move(R_i, R_{i+1}), all in one round.
+        let alg = FnAlgorithm::new("chain", |pid: ProcessId, _n| {
+            mv(
+                RegisterId(pid.0 as u64),
+                RegisterId(pid.0 as u64 + 1),
+                || done(Value::from(0i64)),
+            )
+            .into_program()
+        })
+        .with_initial_memory(vec![(RegisterId(0), Value::from(100i64))]);
+        let mut e = exec_for(&alg, 6);
+        let rec = execute_round(&mut e, 1, &all_pids(6), MoveOrder::Secretive);
+        assert!(crate::secretive::is_secretive(&rec.sigma, &rec.move_config));
+        // Every register's movers (this round) ≤ 2.
+        for r in rec.move_config.destinations() {
+            let m = crate::secretive::movers(r, &rec.sigma, &rec.move_config);
+            assert!(m.len() <= 2, "{r} movers {m:?}");
+        }
+    }
+
+    #[test]
+    fn given_move_order_is_respected() {
+        let alg = FnAlgorithm::new("movers", |pid: ProcessId, _n| {
+            mv(RegisterId(10 + pid.0 as u64), RegisterId(0), || {
+                done(Value::from(0i64))
+            })
+            .into_program()
+        })
+        .with_initial_memory(vec![
+            (RegisterId(10), Value::from(10i64)),
+            (RegisterId(11), Value::from(11i64)),
+            (RegisterId(12), Value::from(12i64)),
+        ]);
+        // With order p2, p0, p1 the last mover into R0 is p1.
+        let order = vec![ProcessId(2), ProcessId(0), ProcessId(1)];
+        let mut e = exec_for(&alg, 3);
+        let rec = execute_round(&mut e, 1, &all_pids(3), MoveOrder::Given(&order));
+        assert_eq!(rec.sigma, order);
+        assert_eq!(e.memory().peek(RegisterId(0)), Value::from(11i64));
+    }
+
+    #[test]
+    #[should_panic(expected = "Claim A.3 violated")]
+    fn given_order_missing_mover_panics() {
+        let alg = FnAlgorithm::new("movers", |pid: ProcessId, _n| {
+            mv(RegisterId(10 + pid.0 as u64), RegisterId(0), || {
+                done(Value::from(0i64))
+            })
+            .into_program()
+        });
+        let order = vec![ProcessId(0)]; // p1 missing
+        let mut e = exec_for(&alg, 2);
+        execute_round(&mut e, 1, &all_pids(2), MoveOrder::Given(&order));
+    }
+
+    #[test]
+    fn validate_goes_to_group_one() {
+        let alg = FnAlgorithm::new("v", |_pid, _n| {
+            validate(RegisterId(0), |_, _| done(Value::from(0i64))).into_program()
+        });
+        let mut e = exec_for(&alg, 2);
+        let rec = execute_round(&mut e, 1, &all_pids(2), MoveOrder::Secretive);
+        assert_eq!(rec.groups.g1_ll_validate.len(), 2);
+    }
+
+    #[test]
+    fn terminated_participants_yield_empty_rounds() {
+        let alg = FnAlgorithm::new("instant", |_pid, _n| done(Value::from(0i64)).into_program());
+        let mut e = exec_for(&alg, 3);
+        let r1 = execute_round(&mut e, 1, &all_pids(3), MoveOrder::Secretive);
+        assert_eq!(r1.terminated_in_phase1.len(), 3);
+        let r2 = execute_round(&mut e, 2, &all_pids(3), MoveOrder::Secretive);
+        assert!(r2.is_empty_round());
+    }
+
+    #[test]
+    fn snapshots_capture_end_of_round_state() {
+        let alg = mixed_alg();
+        let mut e = exec_for(&alg, 4);
+        let rec = execute_round(&mut e, 1, &all_pids(4), MoveOrder::Secretive);
+        // p2 swapped 1 into R3.
+        assert_eq!(rec.end_values.get(&RegisterId(3)), Some(&Value::from(1i64)));
+        // p0 holds a link on R0 from its LL.
+        assert_eq!(rec.end_psets.get(&RegisterId(0)), Some(&vec![ProcessId(0)]));
+        assert_eq!(rec.end_shared_steps, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn subset_participants_only_those_act() {
+        let alg = mixed_alg();
+        let mut e = exec_for(&alg, 4);
+        let rec = execute_round(
+            &mut e,
+            1,
+            &[ProcessId(0), ProcessId(2)],
+            MoveOrder::Secretive,
+        );
+        let actors: Vec<_> = rec.ops.iter().map(|o| o.p).collect();
+        assert_eq!(actors, vec![ProcessId(0), ProcessId(2)]);
+        assert_eq!(e.run().shared_steps(ProcessId(1)), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Construction of the `(S, A)`-run (Figure 3).
+//!
+//! Given the `(All, A)`-run of an algorithm and a set `S` of processes, the
+//! `(S, A)`-run replays the same algorithm, from the same initial
+//! configuration, with the same toss assignment, but in each round `r` only
+//! the processes that had not "witnessed" anyone outside `S` by the end of
+//! round `r - 1` of the `(All, A)`-run take steps — i.e.
+//! `S_r = { p | UP(p, r - 1) ⊆ S }`. The move group of round `r` is ordered
+//! exactly as the `(All, A)`-run's secretive schedule `σ_r` (restricted to
+//! the participants; Claim A.3 guarantees this is well defined).
+//!
+//! The Indistinguishability Lemma (Lemma 5.2) asserts that every process
+//! and register whose `UP` stays inside `S` cannot tell the two runs apart;
+//! [`crate::check_indistinguishability`] verifies that mechanically.
+
+use crate::all_run::{AdversaryConfig, AllRun, RoundedRun};
+use crate::rounds::{execute_round_with, MoveOrder};
+use crate::upsets::ProcSet;
+use llsc_shmem::{Algorithm, Executor, ProcessId, TossAssignment};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The `(S, A)`-run of an algorithm, built by [`build_s_run`].
+#[derive(Clone, Debug)]
+pub struct SRun {
+    /// The rounds, events, and snapshots.
+    pub base: RoundedRun,
+    /// The set `S` this run was built for.
+    pub s: ProcSet,
+    /// `S_r` for each executed round `r` (index 0 holds `S_1`).
+    pub participants_per_round: Vec<Vec<ProcessId>>,
+}
+
+/// Builds the `(S, A)`-run corresponding to `all` for the process set `s`.
+///
+/// `alg`, `n`, and `toss` must be the same algorithm, process count, and
+/// toss assignment that produced `all` — the construction replays them from
+/// scratch. As many rounds are executed as the `(All, A)`-run had (further
+/// rounds would be empty for terminating algorithms); construction stops
+/// early once every eligible participant has terminated.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_core::{build_all_run, build_s_run, AdversaryConfig};
+/// use llsc_shmem::dsl::{done, ll};
+/// use llsc_shmem::{FnAlgorithm, ProcessId, RegisterId, Value, ZeroTosses};
+/// use std::sync::Arc;
+///
+/// let alg = FnAlgorithm::new("one-ll", |_p, _n| {
+///     ll(RegisterId(0), |_| done(Value::from(0i64))).into_program()
+/// });
+/// let cfg = AdversaryConfig::default();
+/// let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg);
+/// let s = [ProcessId(0), ProcessId(1)].into_iter().collect();
+/// let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg);
+/// // Only p0 and p1 step in the (S, A)-run.
+/// assert_eq!(srun.base.run.shared_steps(ProcessId(0)), 1);
+/// assert_eq!(srun.base.run.shared_steps(ProcessId(2)), 0);
+/// ```
+pub fn build_s_run(
+    alg: &dyn Algorithm,
+    n: usize,
+    toss: Arc<dyn TossAssignment>,
+    s: &ProcSet,
+    all: &AllRun,
+    cfg: &AdversaryConfig,
+) -> SRun {
+    assert_eq!(n, all.n(), "process count must match the (All, A)-run");
+    assert!(
+        all.up.has_full_history(),
+        "(S, A)-run construction needs an (All, A)-run built with track_up_history = true"
+    );
+    let initial_memory: BTreeMap<_, _> = alg.initial_memory(n).into_iter().collect();
+    let mut exec = Executor::new(alg, n, toss, cfg.executor);
+    let mut rounds = Vec::new();
+    let mut participants_per_round = Vec::new();
+
+    for r in 1..=all.base.num_rounds() {
+        // S_r = { p | UP(p, r-1) ⊆ S }, computed from the (All, A)-run's
+        // UP history. UP sets only grow, so S_r shrinks over rounds.
+        let s_r: Vec<ProcessId> = ProcessId::all(n)
+            .filter(|&p| all.up.proc(p, r - 1).is_subset(s))
+            .collect();
+        // Early exit: every eligible process has terminated, and
+        // eligibility only shrinks, so all remaining rounds are empty.
+        if s_r.iter().all(|&p| exec.is_terminated(p)) {
+            break;
+        }
+        let sigma_r = &all.base.rounds[r - 1].sigma;
+        let rec = execute_round_with(&mut exec, r, &s_r, MoveOrder::Given(sigma_r), cfg.record_snapshots);
+        participants_per_round.push(s_r);
+        rounds.push(rec);
+    }
+
+    let completed = participants_per_round
+        .last()
+        .map(|ps| ps.iter().all(|&p| exec.is_terminated(p)))
+        .unwrap_or(true);
+    SRun {
+        base: RoundedRun {
+            n,
+            rounds,
+            run: exec.into_run(),
+            initial_memory,
+            completed,
+        },
+        s: s.clone(),
+        participants_per_round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_run::build_all_run;
+    use llsc_shmem::dsl::{done, ll, mv, sc};
+    use llsc_shmem::{FnAlgorithm, RegisterId, Value, ZeroTosses};
+
+    fn pset<const N: usize>(ids: [usize; N]) -> ProcSet {
+        ids.into_iter().map(ProcessId).collect()
+    }
+
+    fn llsc_alg() -> impl Algorithm {
+        FnAlgorithm::new("llsc", |pid: ProcessId, _n| {
+            ll(RegisterId(0), move |_| {
+                sc(RegisterId(0), Value::from(pid.0 as i64), |ok, _| {
+                    done(Value::from(ok))
+                })
+            })
+            .into_program()
+        })
+    }
+
+    #[test]
+    fn only_s_members_step_in_round_one() {
+        let alg = llsc_alg();
+        let cfg = AdversaryConfig::default();
+        let all = build_all_run(&alg, 5, Arc::new(ZeroTosses), &cfg);
+        let s = pset([1, 3]);
+        let srun = build_s_run(&alg, 5, Arc::new(ZeroTosses), &s, &all, &cfg);
+        assert_eq!(srun.participants_per_round[0], vec![ProcessId(1), ProcessId(3)]);
+        for p in [ProcessId(0), ProcessId(2), ProcessId(4)] {
+            assert_eq!(srun.base.run.shared_steps(p), 0, "{p} must not step");
+        }
+    }
+
+    #[test]
+    fn participants_shrink_as_up_grows() {
+        // With the LL/SC algorithm, in round 2 losers of the SC learn about
+        // the winner (p0). For S excluding p0, those losers drop out of
+        // S_3... but the algorithm terminates in 2 rounds anyway, so check
+        // the S_r sets directly.
+        let alg = llsc_alg();
+        let cfg = AdversaryConfig::default();
+        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg);
+        let s = pset([1, 2, 3]);
+        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg);
+        // Round 1: UP(p,0) = {p}: p1..p3 participate.
+        assert_eq!(
+            srun.participants_per_round[0],
+            vec![ProcessId(1), ProcessId(2), ProcessId(3)]
+        );
+        // Round 2: UP(p,1) = {p} still (LL of a fresh register reveals
+        // nothing): same participants.
+        assert_eq!(
+            srun.participants_per_round[1],
+            vec![ProcessId(1), ProcessId(2), ProcessId(3)]
+        );
+    }
+
+    #[test]
+    fn s_run_winner_differs_from_all_run() {
+        // In the (All, A)-run p0's SC wins. In the (S, A)-run without p0,
+        // p1's SC wins instead — the runs differ for processes whose UP
+        // escapes S, exactly as the construction intends.
+        let alg = llsc_alg();
+        let cfg = AdversaryConfig::default();
+        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg);
+        assert_eq!(
+            all.base.rounds[1].successful_sc.get(&RegisterId(0)),
+            Some(&ProcessId(0))
+        );
+        let s = pset([1, 2, 3]);
+        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg);
+        assert_eq!(
+            srun.base.rounds[1].successful_sc.get(&RegisterId(0)),
+            Some(&ProcessId(1))
+        );
+    }
+
+    #[test]
+    fn full_s_equals_all_run() {
+        // With S = all processes, the (S, A)-run replays the (All, A)-run
+        // exactly.
+        let alg = llsc_alg();
+        let cfg = AdversaryConfig::default();
+        let all = build_all_run(&alg, 6, Arc::new(ZeroTosses), &cfg);
+        let s: ProcSet = ProcessId::all(6).collect();
+        let srun = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s, &all, &cfg);
+        assert_eq!(all.base.run.events(), srun.base.run.events());
+    }
+
+    #[test]
+    fn moves_replay_in_sigma_order() {
+        // Chain moves: p_i: move(R_i, R_{i+1}) then terminate. The S-run
+        // must order its movers as the All-run's σ_1 did.
+        let alg = FnAlgorithm::new("chain", |pid: ProcessId, _n| {
+            mv(
+                RegisterId(pid.0 as u64),
+                RegisterId(pid.0 as u64 + 1),
+                || done(Value::from(0i64)),
+            )
+            .into_program()
+        });
+        let cfg = AdversaryConfig::default();
+        let all = build_all_run(&alg, 6, Arc::new(ZeroTosses), &cfg);
+        let s = pset([0, 1, 2, 3, 4, 5]);
+        let srun = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s, &all, &cfg);
+        assert_eq!(srun.base.rounds[0].sigma, all.base.rounds[0].sigma);
+
+        // A strict subset also preserves relative σ order.
+        let s2 = pset([0, 2, 4]);
+        let srun2 = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s2, &all, &cfg);
+        let expect: Vec<ProcessId> = all.base.rounds[0]
+            .sigma
+            .iter()
+            .copied()
+            .filter(|p| s2.contains(p))
+            .collect();
+        assert_eq!(srun2.base.rounds[0].sigma, expect);
+    }
+
+    #[test]
+    fn empty_s_produces_empty_run() {
+        let alg = llsc_alg();
+        let cfg = AdversaryConfig::default();
+        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &cfg);
+        let srun = build_s_run(&alg, 3, Arc::new(ZeroTosses), &ProcSet::new(), &all, &cfg);
+        assert!(srun.base.run.events().is_empty());
+        assert!(srun.base.completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "process count must match")]
+    fn mismatched_n_panics() {
+        let alg = llsc_alg();
+        let cfg = AdversaryConfig::default();
+        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &cfg);
+        build_s_run(&alg, 4, Arc::new(ZeroTosses), &ProcSet::new(), &all, &cfg);
+    }
+}

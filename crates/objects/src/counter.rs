@@ -1,0 +1,133 @@
+//! A `k`-bit read/increment counter.
+//!
+//! This is the fourth object class of Theorem 6.2: `increment` adds 1 and
+//! returns only an acknowledgement, `read` returns the state. Because
+//! detecting "everyone is up" now takes *two* operations per process
+//! (increment, then read), the derived wakeup bound is `(1/2)·c·log₄ n`
+//! rather than `c·log₄ n` — which is why the paper states the constant
+//! separately for this case.
+
+use crate::seqspec::{encode_op, op_tag, ObjectSpec};
+use llsc_shmem::Value;
+
+const TAG_INCREMENT: i64 = 20;
+const TAG_READ: i64 = 21;
+
+/// A `k`-bit counter supporting `increment` (ack-only) and `read`.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_objects::{Counter, ObjectSpec};
+/// use llsc_shmem::Value;
+///
+/// let c = Counter::new(16);
+/// let (s, ack) = c.apply(&c.initial(), &Counter::increment_op());
+/// assert_eq!(ack, Value::Unit);
+/// let (_, v) = c.apply(&s, &Counter::read_op());
+/// assert_eq!(v, Value::from(1i64));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Counter {
+    k: u32,
+}
+
+impl Counter {
+    /// Creates a `k`-bit counter, initially 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > 126`.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0 && k <= 126, "k = {k} out of supported range 1..=126");
+        Counter { k }
+    }
+
+    /// The object's width in bits.
+    pub fn width(&self) -> u32 {
+        self.k
+    }
+
+    /// `increment()`: adds 1 modulo `2^k`, returns `ack`.
+    pub fn increment_op() -> Value {
+        encode_op(TAG_INCREMENT, [])
+    }
+
+    /// `read()`: returns the state, unchanged.
+    pub fn read_op() -> Value {
+        encode_op(TAG_READ, [])
+    }
+}
+
+impl ObjectSpec for Counter {
+    fn name(&self) -> String {
+        format!("counter(k={})", self.k)
+    }
+
+    fn initial(&self) -> Value {
+        Value::from(0i64)
+    }
+
+    fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
+        let s = state.as_int().expect("counter state is an int");
+        match op_tag(op) {
+            Some(t) if t == i128::from(TAG_INCREMENT) => {
+                (Value::Int((s + 1) % (1i128 << self.k)), Value::Unit)
+            }
+            Some(t) if t == i128::from(TAG_READ) => (state.clone(), state.clone()),
+            _ => panic!("bad counter op {op}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqspec::apply_all;
+
+    #[test]
+    fn increment_acks_and_read_observes() {
+        let c = Counter::new(8);
+        let ops = vec![
+            Counter::increment_op(),
+            Counter::increment_op(),
+            Counter::read_op(),
+        ];
+        let (state, resps) = apply_all(&c, &ops);
+        assert_eq!(state, Value::from(2i64));
+        assert_eq!(resps, vec![Value::Unit, Value::Unit, Value::from(2i64)]);
+    }
+
+    #[test]
+    fn read_does_not_mutate() {
+        let c = Counter::new(8);
+        let (s, _) = c.apply(&c.initial(), &Counter::read_op());
+        assert_eq!(s, c.initial());
+    }
+
+    #[test]
+    fn wraps_at_width() {
+        let c = Counter::new(1);
+        let (s, _) = c.apply(&Value::from(1i64), &Counter::increment_op());
+        assert_eq!(s, Value::from(0i64));
+    }
+
+    #[test]
+    fn theorem_6_2_two_op_wakeup_shape() {
+        // n increments then a read: the read sees n — the two-operation
+        // wakeup detection.
+        let n = 12;
+        let c = Counter::new(16);
+        let mut ops: Vec<Value> = (0..n).map(|_| Counter::increment_op()).collect();
+        ops.push(Counter::read_op());
+        let (_, resps) = apply_all(&c, &ops);
+        assert_eq!(resps.last().unwrap(), &Value::from(n as i64));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad counter op")]
+    fn rejects_foreign_op() {
+        let c = Counter::new(4);
+        c.apply(&c.initial(), &crate::queue::Queue::dequeue_op());
+    }
+}

@@ -1,0 +1,216 @@
+//! Additional object types from the paper's related-work and open-problems
+//! discussion: `fetch&add` and the `swap` object.
+//!
+//! * **fetch&add** — Moir's observation (cited in Section 2) is that the
+//!   Anderson and Cypher results already rule out constant-time fetch&add
+//!   from LL/SC; and the open-problems section asks whether the `Ω(log n)`
+//!   bound survives when the memory itself supports fetch&add. The type is
+//!   needed to state either question executably.
+//! * **swap object** — Cypher's lower bound (also Section 2) concerns the
+//!   swap *object* (get-and-set as an object type, as opposed to the
+//!   memory's `swap` instruction).
+//!
+//! Both solve wakeup in one operation per process the same way
+//! fetch&increment does, so the Theorem 6.2 recipe applies to them too
+//! (the tests demonstrate it; the shipped reduction table sticks to the
+//! paper's own eight cases).
+
+use crate::seqspec::{encode_op, op_arg, op_tag, ObjectSpec};
+use llsc_shmem::Value;
+
+const TAG_FETCH_ADD: i64 = 60;
+const TAG_SWAP: i64 = 61;
+
+/// A `k`-bit fetch&add object: `fetch&add(v)` adds `v` modulo `2^k` and
+/// returns the previous state.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_objects::{FetchAdd, ObjectSpec};
+/// use llsc_shmem::Value;
+///
+/// let obj = FetchAdd::new(16);
+/// let (s, prev) = obj.apply(&obj.initial(), &FetchAdd::op(5));
+/// assert_eq!(prev, Value::from(0i64));
+/// assert_eq!(s, Value::from(5i64));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchAdd {
+    k: u32,
+}
+
+impl FetchAdd {
+    /// Creates a `k`-bit fetch&add object, initially 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > 126`.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0 && k <= 126, "k = {k} out of supported range 1..=126");
+        FetchAdd { k }
+    }
+
+    /// The object's width in bits.
+    pub fn width(&self) -> u32 {
+        self.k
+    }
+
+    /// `fetch&add(v)`.
+    pub fn op(v: i64) -> Value {
+        encode_op(TAG_FETCH_ADD, [Value::from(v)])
+    }
+}
+
+impl ObjectSpec for FetchAdd {
+    fn name(&self) -> String {
+        format!("fetch&add(k={})", self.k)
+    }
+
+    fn initial(&self) -> Value {
+        Value::from(0i64)
+    }
+
+    fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
+        assert_eq!(op_tag(op), Some(i128::from(TAG_FETCH_ADD)), "bad op {op}");
+        let s = state.as_int().expect("fetch&add state is an int");
+        let v = op_arg(op, 0).and_then(Value::as_int).expect("addend");
+        let modulus = 1i128 << self.k;
+        (Value::Int((s + v).rem_euclid(modulus)), Value::Int(s))
+    }
+}
+
+/// A swap object (get-and-set): `swap(v)` installs `v` and returns the
+/// previous state.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_objects::{SwapObject, ObjectSpec};
+/// use llsc_shmem::Value;
+///
+/// let obj = SwapObject::with_initial(Value::from(1i64));
+/// let (s, prev) = obj.apply(&obj.initial(), &SwapObject::op(Value::from(2i64)));
+/// assert_eq!(prev, Value::from(1i64));
+/// assert_eq!(s, Value::from(2i64));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SwapObject {
+    initial: Value,
+}
+
+impl SwapObject {
+    /// A swap object initially holding [`Value::Unit`].
+    pub fn new() -> Self {
+        SwapObject::default()
+    }
+
+    /// A swap object initially holding `v`.
+    pub fn with_initial(v: Value) -> Self {
+        SwapObject { initial: v }
+    }
+
+    /// `swap(v)`.
+    pub fn op(v: Value) -> Value {
+        encode_op(TAG_SWAP, [v])
+    }
+}
+
+impl ObjectSpec for SwapObject {
+    fn name(&self) -> String {
+        "swap-object".into()
+    }
+
+    fn initial(&self) -> Value {
+        self.initial.clone()
+    }
+
+    fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
+        assert_eq!(op_tag(op), Some(i128::from(TAG_SWAP)), "bad op {op}");
+        let v = op_arg(op, 0).expect("swap argument").clone();
+        (v, state.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqspec::apply_all;
+
+    #[test]
+    fn fetch_add_accumulates_and_wraps() {
+        let obj = FetchAdd::new(4);
+        let ops = vec![FetchAdd::op(7), FetchAdd::op(7), FetchAdd::op(7)];
+        let (state, resps) = apply_all(&obj, &ops);
+        assert_eq!(state, Value::from(5i64), "21 mod 16");
+        assert_eq!(
+            resps,
+            vec![Value::from(0i64), Value::from(7i64), Value::from(14i64)]
+        );
+    }
+
+    #[test]
+    fn fetch_add_handles_negative_addends() {
+        let obj = FetchAdd::new(8);
+        let (s, _) = obj.apply(&Value::from(3i64), &FetchAdd::op(-5));
+        assert_eq!(s, Value::from(254i64), "-2 mod 256");
+    }
+
+    #[test]
+    fn fetch_add_with_one_is_fetch_increment() {
+        let add = FetchAdd::new(8);
+        let inc = crate::FetchIncrement::new(8);
+        let mut sa = add.initial();
+        let mut si = inc.initial();
+        for _ in 0..10 {
+            let (na, ra) = add.apply(&sa, &FetchAdd::op(1));
+            let (ni, ri) = inc.apply(&si, &crate::FetchIncrement::op());
+            assert_eq!(ra, ri);
+            sa = na;
+            si = ni;
+        }
+        assert_eq!(sa, si);
+    }
+
+    #[test]
+    fn swap_object_chains_values() {
+        let obj = SwapObject::with_initial(Value::from(0i64));
+        let ops: Vec<Value> = (1..=3).map(|i| SwapObject::op(Value::from(i as i64))).collect();
+        let (state, resps) = apply_all(&obj, &ops);
+        assert_eq!(state, Value::from(3i64));
+        assert_eq!(
+            resps,
+            vec![Value::from(0i64), Value::from(1i64), Value::from(2i64)]
+        );
+    }
+
+    #[test]
+    fn swap_object_solves_wakeup_like_a_chain() {
+        // The swap-object wakeup idea behind Cypher's bound: initialise to
+        // a token; each process swaps in its id; whoever receives the token
+        // after all n swaps... a single token does NOT identify the last
+        // process — which is why swap needs Cypher's separate argument and
+        // is not among the Theorem 6.2 one-shot reductions. This test
+        // documents the distinction: responses identify predecessors, not
+        // completion.
+        let obj = SwapObject::with_initial(Value::from(-1i64));
+        let ops: Vec<Value> = (0..4).map(|i| SwapObject::op(Value::from(i as i64))).collect();
+        let (_, resps) = apply_all(&obj, &ops);
+        // Every response is the immediate predecessor only.
+        assert_eq!(
+            resps,
+            vec![
+                Value::from(-1i64),
+                Value::from(0i64),
+                Value::from(1i64),
+                Value::from(2i64)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad op")]
+    fn cross_ops_rejected() {
+        FetchAdd::new(8).apply(&Value::from(0i64), &SwapObject::op(Value::Unit));
+    }
+}

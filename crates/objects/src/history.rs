@@ -1,0 +1,228 @@
+//! Concurrent histories of operations on a shared object.
+//!
+//! A history records invocation and response events with a logical clock;
+//! the real-time precedence order it induces is what linearizability (the
+//! paper's correctness condition for implementations, after Herlihy & Wing)
+//! is defined against.
+
+use llsc_shmem::{ProcessId, Value};
+use std::fmt;
+
+/// An opaque handle to one operation instance within a [`History`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(usize);
+
+impl OpId {
+    /// The operation's index in [`History::records`].
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Builds the handle for the operation at `index` — numbering matches
+    /// [`History::invoke`] order.
+    pub(crate) fn from_index(index: usize) -> OpId {
+        OpId(index)
+    }
+}
+
+/// One operation instance: who invoked what, when, and (if completed)
+/// the observed response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The invoking process.
+    pub p: ProcessId,
+    /// The invoked operation (in the object's encoding).
+    pub op: Value,
+    /// The observed response, or `None` while pending.
+    pub resp: Option<Value>,
+    /// Logical time of the invocation event.
+    pub invoked_at: usize,
+    /// Logical time of the response event, or `None` while pending.
+    pub responded_at: Option<usize>,
+}
+
+impl OpRecord {
+    /// `true` iff the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.resp.is_some()
+    }
+}
+
+/// A concurrent history: a sequence of invocation/response events.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_objects::History;
+/// use llsc_shmem::{ProcessId, Value};
+///
+/// let mut h = History::new();
+/// let a = h.invoke(ProcessId(0), Value::from(1i64));
+/// let b = h.invoke(ProcessId(1), Value::from(2i64)); // concurrent with a
+/// h.respond(a, Value::Unit);
+/// h.respond(b, Value::Unit);
+/// assert!(h.is_complete());
+/// assert!(!h.precedes(a, b) && !h.precedes(b, a));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    clock: usize,
+    records: Vec<OpRecord>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Records the invocation of `op` by `p`, returning its handle.
+    pub fn invoke(&mut self, p: ProcessId, op: Value) -> OpId {
+        let id = OpId(self.records.len());
+        self.records.push(OpRecord {
+            p,
+            op,
+            resp: None,
+            invoked_at: self.clock,
+            responded_at: None,
+        });
+        self.clock += 1;
+        id
+    }
+
+    /// Records the response of operation `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` already responded.
+    pub fn respond(&mut self, id: OpId, resp: Value) {
+        let rec = &mut self.records[id.0];
+        assert!(rec.resp.is_none(), "operation {id:?} already responded");
+        rec.resp = Some(resp);
+        rec.responded_at = Some(self.clock);
+        self.clock += 1;
+    }
+
+    /// All operation records, in invocation order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// The number of operations (complete or pending).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff the history has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// `true` iff every operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.records.iter().all(OpRecord::is_complete)
+    }
+
+    /// Real-time precedence: `a` completed before `b` was invoked.
+    pub fn precedes(&self, a: OpId, b: OpId) -> bool {
+        match self.records[a.0].responded_at {
+            Some(ra) => ra < self.records[b.0].invoked_at,
+            None => false,
+        }
+    }
+
+    /// Builds the *sequential* history in which the given `(process, op,
+    /// resp)` triples happen one after another — handy for tests.
+    pub fn sequential<I>(ops: I) -> Self
+    where
+        I: IntoIterator<Item = (ProcessId, Value, Value)>,
+    {
+        let mut h = History::new();
+        for (p, op, resp) in ops {
+            let id = h.invoke(p, op);
+            h.respond(id, resp);
+        }
+        h
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "history of {} op(s):", self.records.len())?;
+        for (i, r) in self.records.iter().enumerate() {
+            match (&r.resp, r.responded_at) {
+                (Some(resp), Some(t)) => writeln!(
+                    f,
+                    "  #{i} {}: {} @{} -> {} @{}",
+                    r.p, r.op, r.invoked_at, resp, t
+                )?,
+                _ => writeln!(f, "  #{i} {}: {} @{} (pending)", r.p, r.op, r.invoked_at)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_builder_orders_everything() {
+        let h = History::sequential([
+            (ProcessId(0), Value::from(1i64), Value::Unit),
+            (ProcessId(1), Value::from(2i64), Value::Unit),
+        ]);
+        assert!(h.is_complete());
+        assert_eq!(h.len(), 2);
+        let (a, b) = (OpId(0), OpId(1));
+        assert!(h.precedes(a, b));
+        assert!(!h.precedes(b, a));
+    }
+
+    #[test]
+    fn overlapping_ops_do_not_precede_each_other() {
+        let mut h = History::new();
+        let a = h.invoke(ProcessId(0), Value::from(1i64));
+        let b = h.invoke(ProcessId(1), Value::from(2i64));
+        h.respond(a, Value::Unit);
+        h.respond(b, Value::Unit);
+        assert!(!h.precedes(a, b));
+        assert!(!h.precedes(b, a));
+    }
+
+    #[test]
+    fn pending_ops_never_precede() {
+        let mut h = History::new();
+        let a = h.invoke(ProcessId(0), Value::from(1i64));
+        let b = h.invoke(ProcessId(1), Value::from(2i64));
+        h.respond(b, Value::Unit);
+        assert!(!h.is_complete());
+        assert!(!h.precedes(a, b));
+        assert!(h.records()[a.index()].resp.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already responded")]
+    fn double_respond_panics() {
+        let mut h = History::new();
+        let a = h.invoke(ProcessId(0), Value::Unit);
+        h.respond(a, Value::Unit);
+        h.respond(a, Value::Unit);
+    }
+
+    #[test]
+    fn display_lists_operations() {
+        let h = History::sequential([(ProcessId(0), Value::from(1i64), Value::from(2i64))]);
+        let s = h.to_string();
+        assert!(s.contains("p0"));
+        assert!(s.contains("-> 2"));
+    }
+
+    #[test]
+    fn empty_history_properties() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert!(h.is_complete());
+    }
+}

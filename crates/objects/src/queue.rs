@@ -1,0 +1,169 @@
+//! A FIFO queue object.
+//!
+//! Theorem 6.2 covers "a queue or a stack that may initially contain `n` or
+//! more items": initialise the queue with items `1..=n` (item `n` at the
+//! rear); the process that dequeues `n` knows everyone else has already
+//! dequeued.
+
+use crate::seqspec::{encode_op, op_arg, op_tag, ObjectSpec};
+use llsc_shmem::Value;
+
+const TAG_ENQUEUE: i64 = 10;
+const TAG_DEQUEUE: i64 = 11;
+
+/// The distinguished "queue empty" response to `dequeue`.
+pub fn empty_response() -> Value {
+    Value::Unit
+}
+
+/// A FIFO queue whose state is a tuple of values, front first.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_objects::{Queue, ObjectSpec};
+/// use llsc_shmem::Value;
+///
+/// let q = Queue::with_items((1..=3).map(|i| Value::from(i as i64)));
+/// let (s, r) = q.apply(&q.initial(), &Queue::dequeue_op());
+/// assert_eq!(r, Value::from(1i64));
+/// let (_, r2) = q.apply(&s, &Queue::dequeue_op());
+/// assert_eq!(r2, Value::from(2i64));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Queue {
+    initial_items: Vec<Value>,
+}
+
+impl Queue {
+    /// An initially empty queue.
+    pub fn new() -> Self {
+        Queue::default()
+    }
+
+    /// A queue initially containing `items`, first item at the front.
+    pub fn with_items<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        Queue {
+            initial_items: items.into_iter().collect(),
+        }
+    }
+
+    /// The Theorem 6.2 initialisation: items `1, 2, ..., n` with `n` at
+    /// the rear.
+    pub fn with_numbered_items(n: usize) -> Self {
+        Queue::with_items((1..=n).map(|i| Value::from(i as i64)))
+    }
+
+    /// `enqueue(v)`: appends `v` at the rear; responds with `ack`
+    /// ([`Value::Unit`]).
+    pub fn enqueue_op(v: Value) -> Value {
+        encode_op(TAG_ENQUEUE, [v])
+    }
+
+    /// `dequeue()`: removes and returns the front item, or
+    /// [`empty_response`] when empty.
+    pub fn dequeue_op() -> Value {
+        encode_op(TAG_DEQUEUE, [])
+    }
+}
+
+impl ObjectSpec for Queue {
+    fn name(&self) -> String {
+        format!("queue(init={})", self.initial_items.len())
+    }
+
+    fn initial(&self) -> Value {
+        Value::Tuple(self.initial_items.clone())
+    }
+
+    fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
+        let items = state.as_tuple().expect("queue state is a tuple");
+        match op_tag(op) {
+            Some(t) if t == i128::from(TAG_ENQUEUE) => {
+                let v = op_arg(op, 0).expect("enqueue argument").clone();
+                let mut next = items.to_vec();
+                next.push(v);
+                (Value::Tuple(next), Value::Unit)
+            }
+            Some(t) if t == i128::from(TAG_DEQUEUE) => match items.split_first() {
+                Some((front, rest)) => (Value::Tuple(rest.to_vec()), front.clone()),
+                None => (state.clone(), empty_response()),
+            },
+            _ => panic!("bad queue op {op}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqspec::apply_all;
+
+    #[test]
+    fn fifo_order() {
+        let q = Queue::new();
+        let ops = vec![
+            Queue::enqueue_op(Value::from(1i64)),
+            Queue::enqueue_op(Value::from(2i64)),
+            Queue::dequeue_op(),
+            Queue::enqueue_op(Value::from(3i64)),
+            Queue::dequeue_op(),
+            Queue::dequeue_op(),
+        ];
+        let (state, resps) = apply_all(&q, &ops);
+        assert_eq!(state, Value::empty_tuple());
+        assert_eq!(resps[2], Value::from(1i64));
+        assert_eq!(resps[4], Value::from(2i64));
+        assert_eq!(resps[5], Value::from(3i64));
+    }
+
+    #[test]
+    fn dequeue_on_empty_returns_empty_marker_and_keeps_state() {
+        let q = Queue::new();
+        let (s, r) = q.apply(&q.initial(), &Queue::dequeue_op());
+        assert_eq!(r, empty_response());
+        assert_eq!(s, q.initial());
+    }
+
+    #[test]
+    fn theorem_6_2_initialisation() {
+        // n dequeues drain 1..=n in order; only the n-th sees n.
+        let n = 9;
+        let q = Queue::with_numbered_items(n);
+        let ops: Vec<Value> = (0..n).map(|_| Queue::dequeue_op()).collect();
+        let (state, resps) = apply_all(&q, &ops);
+        assert_eq!(state, Value::empty_tuple());
+        for (i, r) in resps.iter().enumerate() {
+            assert_eq!(r, &Value::from((i + 1) as i64));
+        }
+        assert_eq!(resps.last().unwrap(), &Value::from(n as i64));
+    }
+
+    #[test]
+    fn enqueue_responds_ack() {
+        let q = Queue::new();
+        let (_, r) = q.apply(&q.initial(), &Queue::enqueue_op(Value::from(5i64)));
+        assert_eq!(r, Value::Unit);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad queue op")]
+    fn rejects_foreign_op() {
+        let q = Queue::new();
+        q.apply(&q.initial(), &Value::tuple([Value::from(999i64)]));
+    }
+
+    #[test]
+    fn name_mentions_initial_size() {
+        assert_eq!(Queue::with_numbered_items(4).name(), "queue(init=4)");
+    }
+
+    #[test]
+    fn arbitrary_values_can_be_queued() {
+        let q = Queue::new();
+        let v = Value::tuple([Value::from(true), Value::Unit]);
+        let (s, _) = q.apply(&q.initial(), &Queue::enqueue_op(v.clone()));
+        let (_, r) = q.apply(&s, &Queue::dequeue_op());
+        assert_eq!(r, v);
+    }
+}

@@ -1,0 +1,147 @@
+//! A LIFO stack object — the other half of Theorem 6.2's
+//! "queue or stack that may initially contain `n` or more items".
+//!
+//! For the wakeup reduction the stack is initialised with `n` at the
+//! *bottom* and `1` on top, so the process that pops `n` is the last one.
+
+use crate::seqspec::{encode_op, op_arg, op_tag, ObjectSpec};
+use llsc_shmem::Value;
+
+const TAG_PUSH: i64 = 12;
+const TAG_POP: i64 = 13;
+
+/// The distinguished "stack empty" response to `pop`.
+pub fn empty_response() -> Value {
+    Value::Unit
+}
+
+/// A LIFO stack whose state is a tuple of values, top last.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_objects::{Stack, ObjectSpec};
+/// use llsc_shmem::Value;
+///
+/// let st = Stack::new();
+/// let (s, _) = st.apply(&st.initial(), &Stack::push_op(Value::from(1i64)));
+/// let (s, _) = st.apply(&s, &Stack::push_op(Value::from(2i64)));
+/// let (_, top) = st.apply(&s, &Stack::pop_op());
+/// assert_eq!(top, Value::from(2i64));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stack {
+    initial_items: Vec<Value>,
+}
+
+impl Stack {
+    /// An initially empty stack.
+    pub fn new() -> Self {
+        Stack::default()
+    }
+
+    /// A stack initially containing `items`, bottom first (last item is the
+    /// top).
+    pub fn with_items<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        Stack {
+            initial_items: items.into_iter().collect(),
+        }
+    }
+
+    /// The Theorem 6.2 initialisation: `n` at the bottom, `1` on top, so
+    /// `n` pops return `1, 2, ..., n` in order.
+    pub fn with_numbered_items(n: usize) -> Self {
+        Stack::with_items((1..=n).rev().map(|i| Value::from(i as i64)))
+    }
+
+    /// `push(v)`: places `v` on top; responds with `ack` ([`Value::Unit`]).
+    pub fn push_op(v: Value) -> Value {
+        encode_op(TAG_PUSH, [v])
+    }
+
+    /// `pop()`: removes and returns the top item, or [`empty_response`]
+    /// when empty.
+    pub fn pop_op() -> Value {
+        encode_op(TAG_POP, [])
+    }
+}
+
+impl ObjectSpec for Stack {
+    fn name(&self) -> String {
+        format!("stack(init={})", self.initial_items.len())
+    }
+
+    fn initial(&self) -> Value {
+        Value::Tuple(self.initial_items.clone())
+    }
+
+    fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
+        let items = state.as_tuple().expect("stack state is a tuple");
+        match op_tag(op) {
+            Some(t) if t == i128::from(TAG_PUSH) => {
+                let v = op_arg(op, 0).expect("push argument").clone();
+                let mut next = items.to_vec();
+                next.push(v);
+                (Value::Tuple(next), Value::Unit)
+            }
+            Some(t) if t == i128::from(TAG_POP) => match items.split_last() {
+                Some((top, rest)) => (Value::Tuple(rest.to_vec()), top.clone()),
+                None => (state.clone(), empty_response()),
+            },
+            _ => panic!("bad stack op {op}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqspec::apply_all;
+
+    #[test]
+    fn lifo_order() {
+        let st = Stack::new();
+        let ops = vec![
+            Stack::push_op(Value::from(1i64)),
+            Stack::push_op(Value::from(2i64)),
+            Stack::pop_op(),
+            Stack::pop_op(),
+        ];
+        let (state, resps) = apply_all(&st, &ops);
+        assert_eq!(state, Value::empty_tuple());
+        assert_eq!(resps[2], Value::from(2i64));
+        assert_eq!(resps[3], Value::from(1i64));
+    }
+
+    #[test]
+    fn pop_on_empty_returns_marker() {
+        let st = Stack::new();
+        let (s, r) = st.apply(&st.initial(), &Stack::pop_op());
+        assert_eq!(r, empty_response());
+        assert_eq!(s, st.initial());
+    }
+
+    #[test]
+    fn theorem_6_2_initialisation_pops_in_order() {
+        let n = 7;
+        let st = Stack::with_numbered_items(n);
+        let ops: Vec<Value> = (0..n).map(|_| Stack::pop_op()).collect();
+        let (state, resps) = apply_all(&st, &ops);
+        assert_eq!(state, Value::empty_tuple());
+        for (i, r) in resps.iter().enumerate() {
+            assert_eq!(r, &Value::from((i + 1) as i64), "pop #{i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad stack op")]
+    fn rejects_foreign_op() {
+        let st = Stack::new();
+        st.apply(&st.initial(), &crate::queue::Queue::dequeue_op());
+    }
+
+    #[test]
+    fn name_mentions_initial_size() {
+        assert_eq!(Stack::with_numbered_items(3).name(), "stack(init=3)");
+    }
+}

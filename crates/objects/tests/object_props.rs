@@ -1,0 +1,200 @@
+//! Model-based property tests for the object specifications.
+//!
+//! Each spec is compared against an independent reference model built from
+//! std containers / native integer arithmetic: random operation sequences
+//! must produce identical responses and equivalent final states.
+
+use llsc_objects::{
+    bits, apply_all, Counter, FetchAdd, FetchAnd, FetchIncrement, FetchMultiply, FetchOr,
+    ObjectSpec, Queue, RwRegister, Stack, SwapObject,
+};
+use llsc_shmem::Value;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Queue vs VecDeque.
+    #[test]
+    fn queue_matches_vecdeque(
+        initial in prop::collection::vec(-8i64..8, 0..5),
+        ops in prop::collection::vec(prop::option::of(-8i64..8), 0..20),
+    ) {
+        let q = Queue::with_items(initial.iter().copied().map(Value::from));
+        let mut model: VecDeque<i64> = initial.into_iter().collect();
+        let mut state = q.initial();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let (next, resp) = q.apply(&state, &Queue::enqueue_op(Value::from(v)));
+                    state = next;
+                    model.push_back(v);
+                    prop_assert_eq!(resp, Value::Unit);
+                }
+                None => {
+                    let (next, resp) = q.apply(&state, &Queue::dequeue_op());
+                    state = next;
+                    match model.pop_front() {
+                        Some(v) => prop_assert_eq!(resp, Value::from(v)),
+                        None => prop_assert_eq!(resp, Value::Unit),
+                    }
+                }
+            }
+        }
+        let final_items: Vec<i64> = state
+            .as_tuple()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap() as i64)
+            .collect();
+        prop_assert_eq!(final_items, model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Stack vs Vec.
+    #[test]
+    fn stack_matches_vec(
+        ops in prop::collection::vec(prop::option::of(-8i64..8), 0..20),
+    ) {
+        let st = Stack::new();
+        let mut model: Vec<i64> = Vec::new();
+        let mut state = st.initial();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let (next, _) = st.apply(&state, &Stack::push_op(Value::from(v)));
+                    state = next;
+                    model.push(v);
+                }
+                None => {
+                    let (next, resp) = st.apply(&state, &Stack::pop_op());
+                    state = next;
+                    match model.pop() {
+                        Some(v) => prop_assert_eq!(resp, Value::from(v)),
+                        None => prop_assert_eq!(resp, Value::Unit),
+                    }
+                }
+            }
+        }
+    }
+
+    /// fetch&increment / fetch&add / counter vs native modular arithmetic.
+    #[test]
+    fn arithmetic_objects_match_native(
+        k in 1u32..30,
+        addends in prop::collection::vec(-100i64..100, 0..20),
+    ) {
+        let modulus = 1i128 << k;
+        // fetch&add.
+        let fa = FetchAdd::new(k);
+        let ops: Vec<Value> = addends.iter().map(|&v| FetchAdd::op(v)).collect();
+        let (state, resps) = apply_all(&fa, &ops);
+        let mut acc: i128 = 0;
+        for (v, resp) in addends.iter().zip(&resps) {
+            prop_assert_eq!(resp.as_int(), Some(acc));
+            acc = (acc + i128::from(*v)).rem_euclid(modulus);
+        }
+        prop_assert_eq!(state.as_int(), Some(acc));
+
+        // fetch&increment = fetch&add(1).
+        let fi = FetchIncrement::new(k);
+        let n_incs = addends.len();
+        let ops: Vec<Value> = (0..n_incs).map(|_| FetchIncrement::op()).collect();
+        let (state, _) = apply_all(&fi, &ops);
+        prop_assert_eq!(state.as_int(), Some((n_incs as i128) % modulus));
+
+        // counter increments likewise.
+        let c = Counter::new(k);
+        let ops: Vec<Value> = (0..n_incs).map(|_| Counter::increment_op()).collect();
+        let (state, _) = apply_all(&c, &ops);
+        prop_assert_eq!(state.as_int(), Some((n_incs as i128) % modulus));
+    }
+
+    /// Wide-word bit arithmetic vs u128 reference (for widths <= 128).
+    #[test]
+    fn bits_match_u128_reference(
+        k in 1usize..128,
+        a in any::<u128>(),
+        b in any::<u128>(),
+    ) {
+        let mask = if k == 128 { u128::MAX } else { (1u128 << k) - 1 };
+        let to_limbs = |x: u128| bits::normalize(vec![x as u64, (x >> 64) as u64], k);
+        let from_limbs = |w: &[u64]| -> u128 {
+            (w.first().copied().unwrap_or(0) as u128)
+                | ((w.get(1).copied().unwrap_or(0) as u128) << 64)
+        };
+        let (wa, wb) = (to_limbs(a), to_limbs(b));
+        prop_assert_eq!(from_limbs(&bits::add(&wa, &wb, k)), (a & mask).wrapping_add(b & mask) & mask);
+        prop_assert_eq!(from_limbs(&bits::mul(&wa, &wb, k)), (a & mask).wrapping_mul(b & mask) & mask);
+        prop_assert_eq!(from_limbs(&bits::and(&wa, &wb, k)), a & b & mask);
+        prop_assert_eq!(from_limbs(&bits::or(&wa, &wb, k)), (a | b) & mask);
+    }
+
+    /// fetch&and / fetch&or responses are the previous state, and the
+    /// state evolves by the corresponding bitwise law.
+    #[test]
+    fn bitwise_objects_follow_their_laws(
+        k in 1usize..100,
+        masks in prop::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let and_obj = FetchAnd::new(k);
+        let or_obj = FetchOr::new(k);
+        let mut and_state = and_obj.initial();
+        let mut or_state = or_obj.initial();
+        for m in &masks {
+            let (next, prev) = and_obj.apply(&and_state, &FetchAnd::op(vec![*m]));
+            prop_assert_eq!(&prev, &and_state);
+            let expect = bits::and(and_state.as_bits().unwrap(), &[*m], k);
+            prop_assert_eq!(next.as_bits().unwrap(), expect.as_slice());
+            and_state = next;
+
+            let (next, prev) = or_obj.apply(&or_state, &FetchOr::op(vec![*m]));
+            prop_assert_eq!(&prev, &or_state);
+            let expect = bits::or(or_state.as_bits().unwrap(), &[*m], k);
+            prop_assert_eq!(next.as_bits().unwrap(), expect.as_slice());
+            or_state = next;
+        }
+    }
+
+    /// fetch&multiply by powers of two is a shift; after >= k doublings
+    /// the state is zero.
+    #[test]
+    fn multiply_by_two_shifts(k in 2usize..150, doublings in 1usize..200) {
+        let obj = FetchMultiply::new(k);
+        let mut state = obj.initial();
+        for _ in 0..doublings {
+            let (next, _) = obj.apply(&state, &FetchMultiply::op(2));
+            state = next;
+        }
+        let w = state.as_bits().unwrap();
+        if doublings >= k {
+            prop_assert!(bits::is_zero(w));
+        } else {
+            prop_assert!(bits::bit(w, doublings));
+            prop_assert_eq!((0..k).filter(|&i| bits::bit(w, i)).count(), 1);
+        }
+    }
+
+    /// Register and swap-object chain laws.
+    #[test]
+    fn register_and_swap_chains(values in prop::collection::vec(-50i64..50, 1..15)) {
+        let reg = RwRegister::new();
+        let mut state = reg.initial();
+        for v in &values {
+            let (next, _) = reg.apply(&state, &RwRegister::write_op(Value::from(*v)));
+            state = next;
+            let (_, read) = reg.apply(&state, &RwRegister::read_op());
+            prop_assert_eq!(read, Value::from(*v));
+        }
+
+        let sw = SwapObject::new();
+        let mut state = sw.initial();
+        let mut prev_expect = Value::Unit;
+        for v in &values {
+            let (next, prev) = sw.apply(&state, &SwapObject::op(Value::from(*v)));
+            prop_assert_eq!(prev, prev_expect.clone());
+            prev_expect = Value::from(*v);
+            state = next;
+        }
+    }
+}

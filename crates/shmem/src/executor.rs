@@ -1,0 +1,482 @@
+//! The deterministic discrete-event engine.
+
+use crate::{
+    Action, Algorithm, Feedback, Operation, ProcessId, Program, Response, Run, RunEvent,
+    Scheduler, SharedMemory, TossAssignment, Value,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// Safety limits for an execution.
+///
+/// The paper's runs can be infinite; these limits turn a runaway simulation
+/// into a loud failure instead of a hang. Both default to generous values
+/// that no shipped experiment approaches.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutorConfig {
+    /// Maximum number of events recorded before the executor panics.
+    pub max_events: u64,
+    /// Maximum number of *consecutive* coin tosses a single process may
+    /// perform in one [`Executor::advance_local`] burst before the executor
+    /// panics (guards against programs that toss forever, which would make
+    /// Phase 1 of an adversary round diverge).
+    pub max_local_burst: u64,
+    /// Whether the recorded [`Run`] keeps full events and interaction
+    /// histories (`true`, the default) or only counters and verdicts
+    /// (`false` — the lightweight mode for large measurement sweeps; see
+    /// [`Run::lightweight`]).
+    pub record_details: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            max_events: 50_000_000,
+            max_local_burst: 1_000_000,
+            record_details: true,
+        }
+    }
+}
+
+/// The outcome of advancing one process by one step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The process tossed a coin.
+    Tossed(u64),
+    /// The process performed a shared-memory operation.
+    Performed(Operation, Response),
+    /// The process had already terminated; nothing happened.
+    AlreadyTerminated,
+}
+
+struct ProcState {
+    program: Box<dyn Program>,
+    /// The process's pending step. `None` only before first activation or
+    /// after termination; [`Action::Return`] never sits pending because
+    /// termination is resolved eagerly.
+    pending: Option<Action>,
+    activated: bool,
+}
+
+impl fmt::Debug for ProcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcState")
+            .field("pending", &self.pending)
+            .field("activated", &self.activated)
+            .finish()
+    }
+}
+
+/// Executes an `n`-process algorithm over a [`SharedMemory`], one step at a
+/// time, under the control of a caller-chosen schedule.
+///
+/// The executor offers three levels of control:
+///
+/// 1. **Raw steps** — [`Executor::step`] advances a chosen process by one
+///    step (toss or shared-memory operation). This is what generic
+///    [`Scheduler`]s drive via [`Executor::drive`].
+/// 2. **Phase primitives** — [`Executor::advance_local`] runs a process's
+///    coin tosses until its next step is a shared-memory operation (Phase 1
+///    of the paper's Figure-2 rounds), and
+///    [`Executor::perform_shared`] performs exactly the pending operation.
+///    The round adversary in `llsc-core` is built from these.
+/// 3. **Convenience** — [`Executor::step_round_robin`] for simple tests.
+///
+/// Determinism: given the same algorithm, toss assignment, and sequence of
+/// scheduling decisions, the executor produces the identical [`Run`].
+#[derive(Debug)]
+pub struct Executor {
+    n: usize,
+    memory: SharedMemory,
+    procs: Vec<ProcState>,
+    run: Run,
+    toss: Arc<dyn TossAssignment>,
+    config: ExecutorConfig,
+    rr_cursor: usize,
+    recorded_events: u64,
+}
+
+impl Executor {
+    /// Creates an executor for an `n`-process instance of `alg`, with coin
+    /// tosses answered by `toss`.
+    ///
+    /// The shared memory is initialised from
+    /// [`Algorithm::initial_memory`].
+    pub fn new(
+        alg: &dyn Algorithm,
+        n: usize,
+        toss: Arc<dyn TossAssignment>,
+        config: ExecutorConfig,
+    ) -> Self {
+        let memory = SharedMemory::with_initial(alg.initial_memory(n));
+        let procs = ProcessId::all(n)
+            .map(|pid| ProcState {
+                program: alg.spawn(pid, n),
+                pending: None,
+                activated: false,
+            })
+            .collect();
+        Executor {
+            n,
+            memory,
+            procs,
+            run: if config.record_details {
+                Run::new(n)
+            } else {
+                Run::lightweight(n)
+            },
+            toss,
+            config,
+            rr_cursor: 0,
+            recorded_events: 0,
+        }
+    }
+
+    /// The number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The run recorded so far.
+    pub fn run(&self) -> &Run {
+        &self.run
+    }
+
+    /// The shared memory (omniscient view; reading it is not a step).
+    pub fn memory(&self) -> &SharedMemory {
+        &self.memory
+    }
+
+    /// Consumes the executor and returns the recorded run.
+    pub fn into_run(self) -> Run {
+        self.run
+    }
+
+    /// `true` iff `p` has terminated.
+    pub fn is_terminated(&self, p: ProcessId) -> bool {
+        self.run.verdict(p).is_some()
+    }
+
+    /// The value `p` returned, if terminated.
+    pub fn verdict(&self, p: ProcessId) -> Option<&Value> {
+        self.run.verdict(p)
+    }
+
+    /// `true` iff every process has terminated.
+    pub fn all_terminated(&self) -> bool {
+        self.run.is_terminating()
+    }
+
+    /// The non-terminated processes, in id order.
+    pub fn active(&self) -> Vec<ProcessId> {
+        ProcessId::all(self.n)
+            .filter(|p| !self.is_terminated(*p))
+            .collect()
+    }
+
+    /// Feeds `feedback` to `p`'s program and resolves the resulting action,
+    /// eagerly recording termination.
+    fn feed(&mut self, p: ProcessId, feedback: Feedback) {
+        let action = self.procs[p.0].program.next(feedback);
+        if let Action::Return(v) = action {
+            self.guard_events();
+            self.run.record(RunEvent::Terminated { pid: p, value: v });
+            self.procs[p.0].pending = None;
+        } else {
+            self.procs[p.0].pending = Some(action);
+        }
+    }
+
+    fn ensure_activated(&mut self, p: ProcessId) {
+        if !self.procs[p.0].activated {
+            self.procs[p.0].activated = true;
+            self.feed(p, Feedback::Start);
+        }
+    }
+
+    fn guard_events(&mut self) {
+        self.recorded_events += 1;
+        assert!(
+            self.recorded_events < self.config.max_events,
+            "executor exceeded max_events = {} (runaway simulation?)",
+            self.config.max_events
+        );
+    }
+
+    /// The action `p` will take on its next step, or `None` if `p` has
+    /// terminated. Activates `p` if necessary (activation is a local state
+    /// transition, not a step).
+    pub fn pending_action(&mut self, p: ProcessId) -> Option<Action> {
+        self.ensure_activated(p);
+        self.procs[p.0].pending.clone()
+    }
+
+    /// The shared-memory operation `p` is poised to perform, if its next
+    /// step is a shared-memory step.
+    pub fn pending_op(&mut self, p: ProcessId) -> Option<Operation> {
+        match self.pending_action(p) {
+            Some(Action::Invoke(op)) => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Advances `p` by one step (toss or shared-memory operation).
+    pub fn step(&mut self, p: ProcessId) -> StepOutcome {
+        self.ensure_activated(p);
+        match self.procs[p.0].pending.clone() {
+            None => StepOutcome::AlreadyTerminated,
+            Some(Action::Toss) => {
+                let outcome = self.do_toss(p);
+                StepOutcome::Tossed(outcome)
+            }
+            Some(Action::Invoke(_)) => {
+                let (op, resp) = self.perform_shared(p);
+                StepOutcome::Performed(op, resp)
+            }
+            Some(Action::Return(_)) => unreachable!("Return never sits pending"),
+        }
+    }
+
+    fn do_toss(&mut self, p: ProcessId) -> u64 {
+        let index = self.run.tosses(p);
+        let outcome = self.toss.outcome(p, index);
+        self.guard_events();
+        self.run.record(RunEvent::Toss {
+            pid: p,
+            index,
+            outcome,
+        });
+        self.feed(p, Feedback::Coin(outcome));
+        outcome
+    }
+
+    /// Phase-1 primitive: performs `p`'s coin tosses until `p` terminates
+    /// or its next step is a shared-memory operation. Returns the number of
+    /// tosses performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` tosses more than
+    /// [`ExecutorConfig::max_local_burst`] times without reaching a
+    /// shared-memory step or termination.
+    pub fn advance_local(&mut self, p: ProcessId) -> u64 {
+        self.ensure_activated(p);
+        let mut count = 0u64;
+        while matches!(self.procs[p.0].pending, Some(Action::Toss)) {
+            assert!(
+                count < self.config.max_local_burst,
+                "{p} exceeded max_local_burst = {} coin tosses",
+                self.config.max_local_burst
+            );
+            self.do_toss(p);
+            count += 1;
+        }
+        count
+    }
+
+    /// Performs `p`'s pending shared-memory operation and feeds the
+    /// response back to `p`'s program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p`'s next step is not a shared-memory operation (call
+    /// [`Executor::advance_local`] or check [`Executor::pending_op`]
+    /// first).
+    pub fn perform_shared(&mut self, p: ProcessId) -> (Operation, Response) {
+        self.ensure_activated(p);
+        let op = match self.procs[p.0].pending.clone() {
+            Some(Action::Invoke(op)) => op,
+            other => panic!("{p} has no pending shared-memory operation (pending: {other:?})"),
+        };
+        let resp = self.memory.apply(p, &op);
+        self.guard_events();
+        self.run.record(RunEvent::SharedOp {
+            pid: p,
+            op: op.clone(),
+            resp: resp.clone(),
+        });
+        self.feed(p, Feedback::Response(resp.clone()));
+        (op, resp)
+    }
+
+    /// Advances the next non-terminated process (round-robin over ids) by
+    /// one step. Returns `false` when every process has terminated.
+    pub fn step_round_robin(&mut self) -> bool {
+        if self.all_terminated() {
+            return false;
+        }
+        for _ in 0..self.n {
+            let p = ProcessId(self.rr_cursor);
+            self.rr_cursor = (self.rr_cursor + 1) % self.n;
+            if !self.is_terminated(p) {
+                // The chosen process may terminate without a step (its
+                // program returns immediately on activation); that still
+                // consumes this round-robin turn.
+                self.ensure_activated(p);
+                if self.procs[p.0].pending.is_some() {
+                    self.step(p);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs the executor under `sched` until every process terminates, the
+    /// scheduler declines to pick (returns `None`), or `max_steps` steps
+    /// have been taken. Returns the number of steps taken.
+    pub fn drive(&mut self, sched: &mut dyn Scheduler, max_steps: u64) -> u64 {
+        let mut steps = 0;
+        while steps < max_steps && !self.all_terminated() {
+            let Some(p) = sched.next(self) else { break };
+            if self.is_terminated(p) {
+                continue;
+            }
+            self.ensure_activated(p);
+            if self.procs[p.0].pending.is_some() {
+                self.step(p);
+            }
+            steps += 1;
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{done, ll, sc, toss};
+    use crate::{FnAlgorithm, RegisterId, RoundRobinScheduler, ZeroTosses};
+
+    fn counter_like() -> impl Algorithm {
+        // Each process: LL(R0); SC(R0, old + 1); retry until success;
+        // return the value it installed.
+        FnAlgorithm::new("inc", |_pid, _n| {
+            fn attempt() -> crate::dsl::Step {
+                let r = RegisterId(0);
+                ll(r, move |prev| {
+                    let old = prev.as_int().unwrap_or(0);
+                    sc(r, Value::from(old + 1), move |ok, _| {
+                        if ok {
+                            done(Value::from(old + 1))
+                        } else {
+                            attempt()
+                        }
+                    })
+                })
+            }
+            attempt().into_program()
+        })
+        .with_initial_memory(vec![(RegisterId(0), Value::from(0i64))])
+    }
+
+    #[test]
+    fn round_robin_executes_counter_to_completion() {
+        let alg = counter_like();
+        let mut exec = Executor::new(&alg, 4, Arc::new(ZeroTosses), ExecutorConfig::default());
+        while exec.step_round_robin() {}
+        assert!(exec.all_terminated());
+        assert_eq!(exec.memory().peek(RegisterId(0)), Value::from(4i64));
+        // All four increments happened, with distinct installed values.
+        let mut vals: Vec<i128> = ProcessId::all(4)
+            .map(|p| exec.verdict(p).unwrap().as_int().unwrap())
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drive_with_scheduler_matches_round_robin() {
+        let alg = counter_like();
+        let mut a = Executor::new(&alg, 3, Arc::new(ZeroTosses), ExecutorConfig::default());
+        while a.step_round_robin() {}
+        let mut b = Executor::new(&alg, 3, Arc::new(ZeroTosses), ExecutorConfig::default());
+        b.drive(&mut RoundRobinScheduler::new(), 1_000_000);
+        assert!(b.all_terminated());
+        assert_eq!(a.run().events(), b.run().events());
+    }
+
+    #[test]
+    fn pending_op_peeks_without_stepping() {
+        let alg = counter_like();
+        let mut exec = Executor::new(&alg, 1, Arc::new(ZeroTosses), ExecutorConfig::default());
+        let op = exec.pending_op(ProcessId(0)).unwrap();
+        assert_eq!(op, Operation::Ll(RegisterId(0)));
+        assert_eq!(exec.run().events().len(), 0, "peeking is not a step");
+    }
+
+    #[test]
+    fn advance_local_runs_tosses_only() {
+        let alg = FnAlgorithm::new("tosser", |_pid, _n| {
+            toss(|c1| {
+                toss(move |c2| {
+                    ll(RegisterId(0), move |_| done(Value::from((c1 + c2) as i64)))
+                })
+            })
+            .into_program()
+        });
+        let mut exec = Executor::new(&alg, 1, Arc::new(crate::ConstantTosses(5)), ExecutorConfig::default());
+        let tosses = exec.advance_local(ProcessId(0));
+        assert_eq!(tosses, 2);
+        assert_eq!(exec.run().tosses(ProcessId(0)), 2);
+        assert_eq!(exec.run().shared_steps(ProcessId(0)), 0);
+        // Next step is the LL.
+        let (op, _) = exec.perform_shared(ProcessId(0));
+        assert_eq!(op, Operation::Ll(RegisterId(0)));
+        assert_eq!(exec.verdict(ProcessId(0)), Some(&Value::from(10i64)));
+    }
+
+    #[test]
+    fn immediate_return_records_termination_without_steps() {
+        let alg = FnAlgorithm::new("noop", |_pid, _n| done(Value::from(0i64)).into_program());
+        let mut exec = Executor::new(&alg, 2, Arc::new(ZeroTosses), ExecutorConfig::default());
+        assert_eq!(exec.pending_action(ProcessId(0)), None);
+        assert!(exec.is_terminated(ProcessId(0)));
+        assert_eq!(exec.run().shared_steps(ProcessId(0)), 0);
+    }
+
+    #[test]
+    fn step_on_terminated_process_is_noop() {
+        let alg = FnAlgorithm::new("noop", |_pid, _n| done(Value::Unit).into_program());
+        let mut exec = Executor::new(&alg, 1, Arc::new(ZeroTosses), ExecutorConfig::default());
+        exec.pending_action(ProcessId(0));
+        assert_eq!(exec.step(ProcessId(0)), StepOutcome::AlreadyTerminated);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_local_burst")]
+    fn infinite_tosser_trips_burst_guard() {
+        struct Forever;
+        impl Program for Forever {
+            fn next(&mut self, _f: Feedback) -> Action {
+                Action::Toss
+            }
+        }
+        let alg = FnAlgorithm::new("forever", |_pid, _n| Box::new(Forever) as Box<dyn Program>);
+        let mut exec = Executor::new(
+            &alg,
+            1,
+            Arc::new(ZeroTosses),
+            ExecutorConfig {
+                max_events: 1_000_000,
+                max_local_burst: 100,
+                record_details: true,
+            },
+        );
+        exec.advance_local(ProcessId(0));
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_run() {
+        let alg = counter_like();
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let mut e =
+                    Executor::new(&alg, 5, Arc::new(ZeroTosses), ExecutorConfig::default());
+                while e.step_round_robin() {}
+                e.into_run()
+            })
+            .collect();
+        assert_eq!(runs[0].events(), runs[1].events());
+    }
+}

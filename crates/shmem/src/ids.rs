@@ -1,0 +1,122 @@
+//! Identifier newtypes for processes and shared registers.
+
+use std::fmt;
+
+/// The identity of a process `p_i` in an `n`-process system.
+///
+/// Process ids are dense: a system of `n` processes uses ids
+/// `ProcessId(0) .. ProcessId(n - 1)`, mirroring the paper's
+/// `p_0, ..., p_{n-1}`. The id order is significant: the Figure-2 adversary
+/// schedules the LL-, swap-, and SC-groups of each round "in the order of
+/// their IDs".
+///
+/// # Examples
+///
+/// ```
+/// use llsc_shmem::ProcessId;
+/// let p = ProcessId(3);
+/// assert_eq!(p.to_string(), "p3");
+/// assert!(ProcessId(1) < ProcessId(2));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Returns an iterator over all process ids of an `n`-process system,
+    /// in id order.
+    ///
+    /// ```
+    /// use llsc_shmem::ProcessId;
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// The identity of a shared register `R_j`.
+///
+/// The paper's shared memory has an infinite number of registers
+/// `R_0, R_1, ...`; [`crate::SharedMemory`] materialises them lazily, so any
+/// `RegisterId` is always valid to use.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_shmem::RegisterId;
+/// assert_eq!(RegisterId(7).to_string(), "R7");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegisterId(pub u64);
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u64> for RegisterId {
+    fn from(i: u64) -> Self {
+        RegisterId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_ordering_follows_index() {
+        assert!(ProcessId(0) < ProcessId(1));
+        assert!(ProcessId(10) > ProcessId(9));
+        assert_eq!(ProcessId(4), ProcessId(4));
+    }
+
+    #[test]
+    fn process_id_all_yields_dense_range() {
+        let ids: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(ids.len(), 4);
+        for (i, p) in ids.iter().enumerate() {
+            assert_eq!(p.0, i);
+        }
+    }
+
+    #[test]
+    fn process_id_all_empty_system() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId(12).to_string(), "p12");
+        assert_eq!(RegisterId(0).to_string(), "R0");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ProcessId::from(5), ProcessId(5));
+        assert_eq!(RegisterId::from(5u64), RegisterId(5));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_usable_as_keys() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(RegisterId(3), "x");
+        m.insert(RegisterId(1), "y");
+        assert_eq!(m.keys().next(), Some(&RegisterId(1)));
+    }
+}

@@ -1,0 +1,354 @@
+//! The shared memory: a lazily-infinite array of registers.
+
+use crate::{OpKind, Operation, ProcessId, RegisterId, RegisterState, Response, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The paper's shared memory: registers `R_0, R_1, ...`, conceptually
+/// infinite in number and unbounded in size.
+///
+/// Registers are materialised on first touch; an untouched register behaves
+/// exactly like a register holding its configured initial value (which is
+/// [`Value::Unit`] unless set via [`SharedMemory::set_initial`]). This makes
+/// the "infinite number of words" of the paper observationally exact.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_shmem::{Operation, ProcessId, RegisterId, Response, SharedMemory, Value};
+/// let mut mem = SharedMemory::new();
+/// let p = ProcessId(0);
+/// let r = RegisterId(1_000_000); // any register exists
+/// assert_eq!(mem.apply(p, &Operation::Ll(r)), Response::Value(Value::Unit));
+/// let resp = mem.apply(p, &Operation::Sc(r, Value::from(1i64)));
+/// assert_eq!(resp.flag(), Some(true));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SharedMemory {
+    regs: BTreeMap<RegisterId, RegisterState>,
+    initial: BTreeMap<RegisterId, Value>,
+    stats: MemoryStats,
+}
+
+impl SharedMemory {
+    /// Creates an empty shared memory: every register holds
+    /// [`Value::Unit`] and has an empty `Pset`.
+    pub fn new() -> Self {
+        SharedMemory::default()
+    }
+
+    /// Creates a shared memory whose registers start with the given initial
+    /// values (all others start at [`Value::Unit`]).
+    ///
+    /// Implementations of initialised objects (e.g. a queue that "initially
+    /// contains `n` items") use this to set up their representation.
+    pub fn with_initial<I>(initial: I) -> Self
+    where
+        I: IntoIterator<Item = (RegisterId, Value)>,
+    {
+        SharedMemory {
+            initial: initial.into_iter().collect(),
+            ..SharedMemory::default()
+        }
+    }
+
+    /// Sets the initial value of `reg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` has already been touched by an operation: initial
+    /// values are part of the experiment setup, not of its execution.
+    pub fn set_initial(&mut self, reg: RegisterId, value: Value) {
+        assert!(
+            !self.regs.contains_key(&reg),
+            "set_initial({reg}) after the register was touched"
+        );
+        self.initial.insert(reg, value);
+    }
+
+    fn initial_value(&self, reg: RegisterId) -> Value {
+        self.initial.get(&reg).cloned().unwrap_or_default()
+    }
+
+    fn state_mut(&mut self, reg: RegisterId) -> &mut RegisterState {
+        if !self.regs.contains_key(&reg) {
+            let init = self.initial_value(reg);
+            self.regs.insert(reg, RegisterState::new(init));
+        }
+        self.regs.get_mut(&reg).expect("just inserted")
+    }
+
+    /// Reads the current value of `reg` without perturbing any state
+    /// (an omniscient-observer read, used by checkers — not a process step).
+    pub fn peek(&self, reg: RegisterId) -> Value {
+        self.regs
+            .get(&reg)
+            .map(|s| s.value().clone())
+            .unwrap_or_else(|| self.initial_value(reg))
+    }
+
+    /// Whether `p` is currently in `Pset(reg)` (omniscient view).
+    pub fn peek_linked(&self, reg: RegisterId, p: ProcessId) -> bool {
+        self.regs.get(&reg).is_some_and(|s| s.linked(p))
+    }
+
+    /// The set of registers that have been touched by at least one
+    /// operation, in id order.
+    pub fn touched(&self) -> impl Iterator<Item = RegisterId> + '_ {
+        self.regs.keys().copied()
+    }
+
+    /// Applies `op` on behalf of process `p` and returns the response,
+    /// following the Section-3 semantics exactly.
+    pub fn apply(&mut self, p: ProcessId, op: &Operation) -> Response {
+        self.stats.record(op.kind());
+        match op {
+            Operation::Ll(r) => Response::Value(self.state_mut(*r).ll(p)),
+            Operation::Validate(r) => {
+                let (ok, value) = self.state_mut(*r).validate(p);
+                Response::Flagged { ok, value }
+            }
+            Operation::Sc(r, v) => {
+                let (ok, value) = self.state_mut(*r).sc(p, v.clone());
+                if ok {
+                    self.stats.successful_scs += 1;
+                }
+                Response::Flagged { ok, value }
+            }
+            Operation::Swap(r, v) => Response::Value(self.state_mut(*r).swap(v.clone())),
+            Operation::Move { src, dst } => {
+                // The source is read without mutation; reading it still
+                // counts as "touching" so that snapshots list it.
+                let moved = self.state_mut(*src).value().clone();
+                self.state_mut(*dst).receive_move(moved);
+                Response::Ack
+            }
+        }
+    }
+
+    /// Cumulative operation statistics.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// A snapshot of every touched register's value, for end-of-round
+    /// comparisons. Untouched registers are omitted (they hold their initial
+    /// values by definition).
+    pub fn snapshot_values(&self) -> BTreeMap<RegisterId, Value> {
+        self.regs
+            .iter()
+            .map(|(r, s)| (*r, s.value().clone()))
+            .collect()
+    }
+
+    /// A snapshot of every touched register's `Pset`.
+    pub fn snapshot_psets(&self) -> BTreeMap<RegisterId, Vec<ProcessId>> {
+        self.regs
+            .iter()
+            .map(|(r, s)| (*r, s.pset().iter().copied().collect()))
+            .collect()
+    }
+}
+
+/// Counts of operations applied to a [`SharedMemory`], by kind.
+///
+/// These are *global* counters used for sanity checks and reporting; the
+/// per-process shared-access counts that the paper's complexity measure
+/// `t(p, R)` needs live in [`crate::Run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Number of `LL` operations applied.
+    pub lls: u64,
+    /// Number of `validate` operations applied.
+    pub validates: u64,
+    /// Number of `SC` operations applied (successful or not).
+    pub scs: u64,
+    /// Number of *successful* `SC` operations.
+    pub successful_scs: u64,
+    /// Number of `swap` operations applied.
+    pub swaps: u64,
+    /// Number of `move` operations applied.
+    pub moves: u64,
+}
+
+impl MemoryStats {
+    fn record(&mut self, kind: OpKind) {
+        match kind {
+            OpKind::Ll => self.lls += 1,
+            OpKind::Validate => self.validates += 1,
+            OpKind::Sc => self.scs += 1,
+            OpKind::Swap => self.swaps += 1,
+            OpKind::Move => self.moves += 1,
+        }
+    }
+
+    /// Total number of shared-memory operations applied.
+    pub fn total(&self) -> u64 {
+        self.lls + self.validates + self.scs + self.swaps + self.moves
+    }
+}
+
+impl fmt::Display for MemoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LL={} validate={} SC={} (ok {}) swap={} move={} total={}",
+            self.lls,
+            self.validates,
+            self.scs,
+            self.successful_scs,
+            self.swaps,
+            self.moves,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+
+    fn int(i: i64) -> Value {
+        Value::from(i)
+    }
+
+    #[test]
+    fn untouched_register_reads_initial_unit() {
+        let mem = SharedMemory::new();
+        assert_eq!(mem.peek(RegisterId(123)), Value::Unit);
+        assert!(!mem.peek_linked(RegisterId(123), P0));
+    }
+
+    #[test]
+    fn with_initial_seeds_values() {
+        let mem = SharedMemory::with_initial([(RegisterId(0), int(5))]);
+        assert_eq!(mem.peek(RegisterId(0)), int(5));
+        assert_eq!(mem.peek(RegisterId(1)), Value::Unit);
+    }
+
+    #[test]
+    fn first_ll_of_seeded_register_sees_initial_value() {
+        let mut mem = SharedMemory::with_initial([(RegisterId(0), int(5))]);
+        assert_eq!(
+            mem.apply(P0, &Operation::Ll(RegisterId(0))),
+            Response::Value(int(5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "after the register was touched")]
+    fn set_initial_after_touch_panics() {
+        let mut mem = SharedMemory::new();
+        mem.apply(P0, &Operation::Ll(RegisterId(0)));
+        mem.set_initial(RegisterId(0), int(1));
+    }
+
+    #[test]
+    fn move_copies_value_and_preserves_source() {
+        let mut mem = SharedMemory::with_initial([(RegisterId(0), int(9))]);
+        // P1 links dst; the move must invalidate that link.
+        mem.apply(P1, &Operation::Ll(RegisterId(1)));
+        let resp = mem.apply(
+            P0,
+            &Operation::Move {
+                src: RegisterId(0),
+                dst: RegisterId(1),
+            },
+        );
+        assert_eq!(resp, Response::Ack);
+        assert_eq!(mem.peek(RegisterId(1)), int(9));
+        assert_eq!(mem.peek(RegisterId(0)), int(9), "source unchanged");
+        assert!(!mem.peek_linked(RegisterId(1), P1), "move clears dst Pset");
+    }
+
+    #[test]
+    fn move_does_not_clear_source_pset() {
+        let mut mem = SharedMemory::new();
+        mem.apply(P1, &Operation::Ll(RegisterId(0)));
+        mem.apply(
+            P0,
+            &Operation::Move {
+                src: RegisterId(0),
+                dst: RegisterId(1),
+            },
+        );
+        assert!(mem.peek_linked(RegisterId(0), P1), "source Pset unchanged");
+    }
+
+    #[test]
+    fn self_move_clears_pset_but_keeps_value() {
+        let mut mem = SharedMemory::with_initial([(RegisterId(0), int(3))]);
+        mem.apply(P0, &Operation::Ll(RegisterId(0)));
+        mem.apply(
+            P1,
+            &Operation::Move {
+                src: RegisterId(0),
+                dst: RegisterId(0),
+            },
+        );
+        assert_eq!(mem.peek(RegisterId(0)), int(3));
+        assert!(!mem.peek_linked(RegisterId(0), P0));
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let mut mem = SharedMemory::new();
+        mem.apply(P0, &Operation::Ll(RegisterId(0)));
+        mem.apply(P0, &Operation::Sc(RegisterId(0), int(1)));
+        mem.apply(P1, &Operation::Sc(RegisterId(0), int(2)));
+        mem.apply(P0, &Operation::Validate(RegisterId(0)));
+        mem.apply(P0, &Operation::Swap(RegisterId(0), int(3)));
+        mem.apply(
+            P0,
+            &Operation::Move {
+                src: RegisterId(0),
+                dst: RegisterId(1),
+            },
+        );
+        let s = mem.stats();
+        assert_eq!(s.lls, 1);
+        assert_eq!(s.scs, 2);
+        assert_eq!(s.successful_scs, 1);
+        assert_eq!(s.validates, 1);
+        assert_eq!(s.swaps, 1);
+        assert_eq!(s.moves, 1);
+        assert_eq!(s.total(), 6);
+        assert!(s.to_string().contains("total=6"));
+    }
+
+    #[test]
+    fn snapshots_cover_touched_registers_only() {
+        let mut mem = SharedMemory::new();
+        mem.apply(P0, &Operation::Swap(RegisterId(2), int(4)));
+        let values = mem.snapshot_values();
+        assert_eq!(values.len(), 1);
+        assert_eq!(values[&RegisterId(2)], int(4));
+        let touched: Vec<_> = mem.touched().collect();
+        assert_eq!(touched, vec![RegisterId(2)]);
+    }
+
+    #[test]
+    fn validate_is_readlike_even_without_link() {
+        let mut mem = SharedMemory::with_initial([(RegisterId(0), int(7))]);
+        let resp = mem.apply(P0, &Operation::Validate(RegisterId(0)));
+        assert_eq!(
+            resp,
+            Response::Flagged {
+                ok: false,
+                value: int(7)
+            }
+        );
+    }
+
+    #[test]
+    fn pset_snapshot_lists_linked_processes() {
+        let mut mem = SharedMemory::new();
+        mem.apply(P0, &Operation::Ll(RegisterId(0)));
+        mem.apply(P1, &Operation::Ll(RegisterId(0)));
+        let psets = mem.snapshot_psets();
+        assert_eq!(psets[&RegisterId(0)], vec![P0, P1]);
+    }
+}

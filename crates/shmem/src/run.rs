@@ -1,0 +1,370 @@
+//! Runs: event sequences, per-process histories, and the shared-access
+//! time complexity accounting.
+
+use crate::{Operation, ProcessId, Response, Value};
+use std::fmt;
+
+/// One event of a run: a single step by a single process.
+///
+/// A run in the paper is an alternating sequence of configurations and
+/// events starting from the initial configuration; since our executor is
+/// deterministic given the schedule and toss assignment, storing the events
+/// (with their outcomes) determines every intermediate configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunEvent {
+    /// `p` tossed its `index`-th coin and obtained `outcome`.
+    Toss {
+        /// The tossing process.
+        pid: ProcessId,
+        /// 0-based index of this toss in `p`'s toss sequence.
+        index: u64,
+        /// The outcome, per the run's toss assignment.
+        outcome: u64,
+    },
+    /// `p` performed a shared-memory operation and received a response.
+    SharedOp {
+        /// The invoking process.
+        pid: ProcessId,
+        /// The operation performed.
+        op: Operation,
+        /// The response received.
+        resp: Response,
+    },
+    /// `p` entered a termination state, returning `value`.
+    Terminated {
+        /// The terminating process.
+        pid: ProcessId,
+        /// The process's return value.
+        value: Value,
+    },
+}
+
+impl RunEvent {
+    /// The process that took this step.
+    pub fn pid(&self) -> ProcessId {
+        match self {
+            RunEvent::Toss { pid, .. }
+            | RunEvent::SharedOp { pid, .. }
+            | RunEvent::Terminated { pid, .. } => *pid,
+        }
+    }
+
+    /// `true` iff this is a shared-memory step (the steps counted by the
+    /// shared-access time complexity measure).
+    pub fn is_shared(&self) -> bool {
+        matches!(self, RunEvent::SharedOp { .. })
+    }
+}
+
+impl fmt::Display for RunEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunEvent::Toss { pid, index, outcome } => {
+                write!(f, "{pid}: toss#{index} -> {outcome}")
+            }
+            RunEvent::SharedOp { pid, op, resp } => write!(f, "{pid}: {op} -> {resp}"),
+            RunEvent::Terminated { pid, value } => write!(f, "{pid}: return {value}"),
+        }
+    }
+}
+
+/// One entry of a process's *interaction history*: everything the process
+/// has locally observed.
+///
+/// For a deterministic-given-coins program, the interaction history (plus
+/// the program text) determines the process's automaton state. The
+/// indistinguishability checker of `llsc-core` therefore compares
+/// interaction histories where Lemma 5.2 compares `state(p, r, Σ)`, and
+/// toss counts where it compares `numtosses(p, r, Σ)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Interaction {
+    /// A coin toss and its outcome.
+    Toss(u64),
+    /// A shared-memory operation and its response.
+    Op(Operation, Response),
+    /// Termination with a return value.
+    Returned(Value),
+}
+
+/// A recorded run: the global event sequence plus per-process accounting.
+///
+/// Implements the complexity bookkeeping of Section 3: `t(p_i, R)` — the
+/// number of `p_i`'s shared-memory steps — is [`Run::shared_steps`], and
+/// `t(R) = max_i t(p_i, R)` is [`Run::max_shared_steps`].
+#[derive(Clone, Debug)]
+pub struct Run {
+    n: usize,
+    details: bool,
+    events: Vec<RunEvent>,
+    histories: Vec<Vec<Interaction>>,
+    shared_steps: Vec<u64>,
+    tosses: Vec<u64>,
+    verdicts: Vec<Option<Value>>,
+}
+
+impl Default for Run {
+    /// An empty zero-process run with full detail recording, matching
+    /// [`Run::new`]`(0)`.
+    fn default() -> Self {
+        Run::new(0)
+    }
+}
+
+impl Run {
+    /// Creates an empty run of an `n`-process system with full detail
+    /// recording (events and interaction histories).
+    pub fn new(n: usize) -> Self {
+        Run::with_details(n, true)
+    }
+
+    /// Creates an empty *lightweight* run: only step/toss counters and
+    /// verdicts are kept; [`Run::events`] and [`Run::history`] stay empty.
+    ///
+    /// Lightweight runs cut memory from `O(total events x value size)` to
+    /// `O(n)`, which is what the large measurement sweeps need. They cannot
+    /// feed the wakeup checker or the indistinguishability checker (both
+    /// need events/histories).
+    pub fn lightweight(n: usize) -> Self {
+        Run::with_details(n, false)
+    }
+
+    fn with_details(n: usize, details: bool) -> Self {
+        Run {
+            n,
+            details,
+            events: Vec::new(),
+            histories: vec![Vec::new(); n],
+            shared_steps: vec![0; n],
+            tosses: vec![0; n],
+            verdicts: vec![None; n],
+        }
+    }
+
+    /// Whether this run records events and histories.
+    pub fn is_detailed(&self) -> bool {
+        self.details
+    }
+
+    /// The number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Appends an event, updating all per-process accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's process id is out of range or the process has
+    /// already terminated.
+    pub fn record(&mut self, ev: RunEvent) {
+        let pid = ev.pid();
+        assert!(pid.0 < self.n, "event for out-of-range {pid}");
+        assert!(
+            self.verdicts[pid.0].is_none(),
+            "event for terminated {pid}"
+        );
+        match &ev {
+            RunEvent::Toss { outcome, .. } => {
+                self.tosses[pid.0] += 1;
+                if self.details {
+                    self.histories[pid.0].push(Interaction::Toss(*outcome));
+                }
+            }
+            RunEvent::SharedOp { op, resp, .. } => {
+                self.shared_steps[pid.0] += 1;
+                if self.details {
+                    self.histories[pid.0].push(Interaction::Op(op.clone(), resp.clone()));
+                }
+            }
+            RunEvent::Terminated { value, .. } => {
+                self.verdicts[pid.0] = Some(value.clone());
+                if self.details {
+                    self.histories[pid.0].push(Interaction::Returned(value.clone()));
+                }
+            }
+        }
+        if self.details {
+            self.events.push(ev);
+        }
+    }
+
+    /// The global event sequence, in execution order.
+    pub fn events(&self) -> &[RunEvent] {
+        &self.events
+    }
+
+    /// `t(p, R)`: the number of shared-memory steps `p` has performed.
+    pub fn shared_steps(&self, p: ProcessId) -> u64 {
+        self.shared_steps[p.0]
+    }
+
+    /// `t(R) = max_p t(p, R)`: the worst per-process shared-access count.
+    pub fn max_shared_steps(&self) -> u64 {
+        self.shared_steps.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `numtosses(p)`: the number of coin tosses `p` has performed.
+    pub fn tosses(&self, p: ProcessId) -> u64 {
+        self.tosses[p.0]
+    }
+
+    /// The value `p` returned, if `p` has terminated.
+    pub fn verdict(&self, p: ProcessId) -> Option<&Value> {
+        self.verdicts[p.0].as_ref()
+    }
+
+    /// `true` iff every process has terminated (the run is a
+    /// *terminating run* in the paper's sense).
+    pub fn is_terminating(&self) -> bool {
+        self.verdicts.iter().all(Option::is_some)
+    }
+
+    /// The processes that have terminated so far, in id order.
+    pub fn terminated(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| ProcessId(i))
+    }
+
+    /// `p`'s interaction history: everything `p` has observed, in order.
+    pub fn history(&self, p: ProcessId) -> &[Interaction] {
+        &self.histories[p.0]
+    }
+
+    /// `true` iff `p` has taken at least one step (toss, shared op, or
+    /// termination).
+    pub fn has_stepped(&self, p: ProcessId) -> bool {
+        !self.histories[p.0].is_empty()
+    }
+
+    /// The index (into [`Run::events`]) of the first event in which each
+    /// process takes a step, or `None` for processes that never step.
+    /// Used by the wakeup checker's "everyone took a step before anyone
+    /// returned 1" condition.
+    pub fn first_step_index(&self, p: ProcessId) -> Option<usize> {
+        self.events.iter().position(|e| e.pid() == p)
+    }
+}
+
+impl fmt::Display for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run of {} processes, {} events:", self.n, self.events.len())?;
+        for ev in &self.events {
+            writeln!(f, "  {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegisterId;
+
+    fn op_event(pid: usize) -> RunEvent {
+        RunEvent::SharedOp {
+            pid: ProcessId(pid),
+            op: Operation::Ll(RegisterId(0)),
+            resp: Response::Value(Value::Unit),
+        }
+    }
+
+    #[test]
+    fn accounting_tracks_steps_and_tosses() {
+        let mut run = Run::new(2);
+        run.record(RunEvent::Toss {
+            pid: ProcessId(0),
+            index: 0,
+            outcome: 3,
+        });
+        run.record(op_event(0));
+        run.record(op_event(1));
+        run.record(op_event(1));
+        assert_eq!(run.shared_steps(ProcessId(0)), 1);
+        assert_eq!(run.shared_steps(ProcessId(1)), 2);
+        assert_eq!(run.max_shared_steps(), 2);
+        assert_eq!(run.tosses(ProcessId(0)), 1);
+        assert_eq!(run.tosses(ProcessId(1)), 0);
+    }
+
+    #[test]
+    fn termination_tracking() {
+        let mut run = Run::new(2);
+        assert!(!run.is_terminating());
+        run.record(RunEvent::Terminated {
+            pid: ProcessId(0),
+            value: Value::from(1i64),
+        });
+        assert_eq!(run.verdict(ProcessId(0)), Some(&Value::from(1i64)));
+        assert_eq!(run.verdict(ProcessId(1)), None);
+        assert!(!run.is_terminating());
+        run.record(RunEvent::Terminated {
+            pid: ProcessId(1),
+            value: Value::from(0i64),
+        });
+        assert!(run.is_terminating());
+        assert_eq!(run.terminated().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated")]
+    fn events_after_termination_panic() {
+        let mut run = Run::new(1);
+        run.record(RunEvent::Terminated {
+            pid: ProcessId(0),
+            value: Value::Unit,
+        });
+        run.record(op_event(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_pid_panics() {
+        let mut run = Run::new(1);
+        run.record(op_event(5));
+    }
+
+    #[test]
+    fn histories_capture_observations_in_order() {
+        let mut run = Run::new(1);
+        run.record(RunEvent::Toss {
+            pid: ProcessId(0),
+            index: 0,
+            outcome: 7,
+        });
+        run.record(op_event(0));
+        let h = run.history(ProcessId(0));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0], Interaction::Toss(7));
+        assert!(matches!(h[1], Interaction::Op(..)));
+    }
+
+    #[test]
+    fn first_step_index_and_has_stepped() {
+        let mut run = Run::new(3);
+        run.record(op_event(1));
+        run.record(op_event(0));
+        assert_eq!(run.first_step_index(ProcessId(1)), Some(0));
+        assert_eq!(run.first_step_index(ProcessId(0)), Some(1));
+        assert_eq!(run.first_step_index(ProcessId(2)), None);
+        assert!(run.has_stepped(ProcessId(0)));
+        assert!(!run.has_stepped(ProcessId(2)));
+    }
+
+    #[test]
+    fn empty_run_max_steps_is_zero() {
+        let run = Run::new(0);
+        assert_eq!(run.max_shared_steps(), 0);
+        assert!(run.is_terminating(), "vacuously terminating");
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let mut run = Run::new(1);
+        run.record(op_event(0));
+        let s = run.to_string();
+        assert!(s.contains("p0: LL(R0)"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Register values of unbounded size.
+//!
+//! The paper's shared memory consists of registers "each of an unbounded
+//! size". [`Value`] models such unbounded words as a small recursive term
+//! language: signed integers of arbitrary practical width, booleans, process
+//! and register names, and tuples/sequences of values. This is expressive
+//! enough to hold anything the paper's constructions store in a register —
+//! counters, process sets, announced operations, whole object states, and
+//! linked structures encoded by register names.
+
+use crate::{ProcessId, RegisterId};
+use std::fmt;
+
+/// The contents of a shared register: an unbounded, structured word.
+///
+/// `Value` is a deep-comparable, hashable term. Registers initially hold
+/// [`Value::Unit`] unless the experiment configures otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_shmem::Value;
+/// let v = Value::tuple([Value::from(1i64), Value::from(true)]);
+/// assert_eq!(v.index(0).and_then(Value::as_int), Some(1));
+/// assert_eq!(v.index(1).and_then(Value::as_bool), Some(true));
+/// assert_eq!(v.to_string(), "(1, true)");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The distinguished initial value of every register ("⊥").
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer. 128 bits covers every quantity the paper's
+    /// algorithms store numerically; quantities wider than that (such as the
+    /// `k`-bit words of fetch&and objects with `k ≥ n`) are stored as
+    /// [`Value::Bits`].
+    Int(i128),
+    /// A process name.
+    Pid(ProcessId),
+    /// A register name (registers can point at registers, enabling linked
+    /// structures and the `move` operation's indirection patterns).
+    Reg(RegisterId),
+    /// An arbitrary-width bit string, least-significant word first.
+    /// Width is `words.len() * 64` bits.
+    Bits(Vec<u64>),
+    /// An ordered sequence of values.
+    Tuple(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a tuple value from an iterator of elements.
+    ///
+    /// ```
+    /// use llsc_shmem::Value;
+    /// let t = Value::tuple([Value::Unit, Value::from(2i64)]);
+    /// assert_eq!(t.len(), Some(2));
+    /// ```
+    pub fn tuple<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Tuple(items.into_iter().collect())
+    }
+
+    /// Builds an empty tuple (distinct from [`Value::Unit`]).
+    pub fn empty_tuple() -> Value {
+        Value::Tuple(Vec::new())
+    }
+
+    /// Builds a bit string of `words * 64` bits, all zero.
+    pub fn zero_bits(words: usize) -> Value {
+        Value::Bits(vec![0; words])
+    }
+
+    /// Builds a bit string of `words * 64` bits, all one.
+    pub fn ones_bits(words: usize) -> Value {
+        Value::Bits(vec![u64::MAX; words])
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the process name, if this is a [`Value::Pid`].
+    pub fn as_pid(&self) -> Option<ProcessId> {
+        match self {
+            Value::Pid(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Returns the register name, if this is a [`Value::Reg`].
+    pub fn as_reg(&self) -> Option<RegisterId> {
+        match self {
+            Value::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements, if this is a [`Value::Tuple`].
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// Returns the words of the bit string, if this is a [`Value::Bits`].
+    pub fn as_bits(&self) -> Option<&[u64]> {
+        match self {
+            Value::Bits(ws) => Some(ws),
+            _ => None,
+        }
+    }
+
+    /// Returns element `i` of a tuple, or `None` for non-tuples or
+    /// out-of-range indices.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        self.as_tuple().and_then(|vs| vs.get(i))
+    }
+
+    /// The number of elements of a tuple, or `None` for non-tuples.
+    pub fn len(&self) -> Option<usize> {
+        self.as_tuple().map(<[Value]>::len)
+    }
+
+    /// Whether this is a tuple with no elements. Non-tuples are not "empty".
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
+    /// `true` iff this is [`Value::Unit`].
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+
+    /// Reads bit `i` (0-based, little-endian) of a [`Value::Bits`] string.
+    ///
+    /// Bits beyond the stored width read as zero; non-bit-strings read as
+    /// `None`.
+    pub fn bit(&self, i: usize) -> Option<bool> {
+        let ws = self.as_bits()?;
+        let (word, off) = (i / 64, i % 64);
+        Some(ws.get(word).is_some_and(|w| (w >> off) & 1 == 1))
+    }
+
+    /// Returns a copy of this bit string with bit `i` set to `b`.
+    ///
+    /// Returns `None` for non-bit-strings or out-of-width indices.
+    pub fn with_bit(&self, i: usize, b: bool) -> Option<Value> {
+        let mut ws = self.as_bits()?.to_vec();
+        let (word, off) = (i / 64, i % 64);
+        let w = ws.get_mut(word)?;
+        if b {
+            *w |= 1 << off;
+        } else {
+            *w &= !(1 << off);
+        }
+        Some(Value::Bits(ws))
+    }
+
+    /// A structural size measure: the number of nodes in the value term.
+    /// Useful for asserting that experiments do not accidentally blow up
+    /// register contents.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Tuple(vs) => 1 + vs.iter().map(Value::size).sum::<usize>(),
+            Value::Bits(ws) => 1 + ws.len(),
+            _ => 1,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i128::from(i))
+    }
+}
+
+impl From<i128> for Value {
+    fn from(i: i128) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        Value::Int(i128::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i128)
+    }
+}
+
+impl From<ProcessId> for Value {
+    fn from(p: ProcessId) -> Self {
+        Value::Pid(p)
+    }
+}
+
+impl From<RegisterId> for Value {
+    fn from(r: RegisterId) -> Self {
+        Value::Reg(r)
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Value::tuple(iter)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "⊥"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Pid(p) => write!(f, "{p}"),
+            Value::Reg(r) => write!(f, "{r}"),
+            Value::Bits(ws) => {
+                write!(f, "0x")?;
+                for w in ws.iter().rev() {
+                    write!(f, "{w:016x}")?;
+                }
+                Ok(())
+            }
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unit() {
+        assert_eq!(Value::default(), Value::Unit);
+        assert!(Value::default().is_unit());
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::from(5i64).as_int(), Some(5));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(ProcessId(2)).as_pid(), Some(ProcessId(2)));
+        assert_eq!(Value::from(RegisterId(9)).as_reg(), Some(RegisterId(9)));
+        assert_eq!(Value::Unit.as_int(), None);
+        assert_eq!(Value::from(1i64).as_bool(), None);
+    }
+
+    #[test]
+    fn tuple_indexing() {
+        let t = Value::tuple([Value::from(1i64), Value::from(2i64)]);
+        assert_eq!(t.index(0), Some(&Value::from(1i64)));
+        assert_eq!(t.index(2), None);
+        assert_eq!(t.len(), Some(2));
+        assert!(!t.is_empty());
+        assert!(Value::empty_tuple().is_empty());
+        assert_eq!(Value::Unit.index(0), None);
+    }
+
+    #[test]
+    fn bit_access_round_trips() {
+        let z = Value::zero_bits(2);
+        assert_eq!(z.bit(0), Some(false));
+        assert_eq!(z.bit(127), Some(false));
+        // Out-of-width bits read as zero.
+        assert_eq!(z.bit(500), Some(false));
+        let v = z.with_bit(70, true).unwrap();
+        assert_eq!(v.bit(70), Some(true));
+        assert_eq!(v.bit(69), Some(false));
+        let back = v.with_bit(70, false).unwrap();
+        assert_eq!(back, Value::zero_bits(2));
+        // Setting out of width fails rather than silently growing.
+        assert_eq!(z.with_bit(128, true), None);
+    }
+
+    #[test]
+    fn ones_bits_has_all_bits_set() {
+        let v = Value::ones_bits(1);
+        for i in 0..64 {
+            assert_eq!(v.bit(i), Some(true));
+        }
+    }
+
+    #[test]
+    fn bit_on_non_bits_is_none() {
+        assert_eq!(Value::from(3i64).bit(0), None);
+        assert_eq!(Value::Unit.with_bit(0, true), None);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Value::Unit.size(), 1);
+        let t = Value::tuple([Value::Unit, Value::tuple([Value::from(1i64)])]);
+        assert_eq!(t.size(), 4);
+        assert_eq!(Value::zero_bits(3).size(), 4);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_structured() {
+        assert_eq!(Value::Unit.to_string(), "⊥");
+        assert_eq!(
+            Value::tuple([Value::from(1i64), Value::Bool(false)]).to_string(),
+            "(1, false)"
+        );
+        assert_eq!(Value::Bits(vec![0xff]).to_string(), "0x00000000000000ff");
+    }
+
+    #[test]
+    fn from_iterator_builds_tuple() {
+        let t: Value = (0..3).map(|i| Value::from(i as i64)).collect();
+        assert_eq!(t.len(), Some(3));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut vs = [Value::tuple([Value::from(1i64)]),
+            Value::Unit,
+            Value::from(false),
+            Value::from(-3i64)];
+        vs.sort();
+        // Unit sorts first per variant order.
+        assert_eq!(vs[0], Value::Unit);
+    }
+}

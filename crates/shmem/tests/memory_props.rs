@@ -1,0 +1,218 @@
+//! Property-based validation of the shared-memory semantics against an
+//! independent oracle.
+//!
+//! The oracle re-implements the Section-3 register semantics from the
+//! paper's text, as directly as possible (one `match` per operation over a
+//! `(value, pset)` pair), with none of the structure of the production
+//! `SharedMemory`. Random operation sequences must behave identically on
+//! both.
+
+use llsc_shmem::{Operation, ProcessId, RegisterId, Response, SharedMemory, Value};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The oracle: a literal transcription of the paper's operation semantics.
+#[derive(Default)]
+struct Oracle {
+    regs: BTreeMap<RegisterId, (Value, BTreeSet<ProcessId>)>,
+}
+
+impl Oracle {
+    fn reg(&mut self, r: RegisterId) -> &mut (Value, BTreeSet<ProcessId>) {
+        self.regs.entry(r).or_default()
+    }
+
+    fn apply(&mut self, p: ProcessId, op: &Operation) -> Response {
+        match op {
+            Operation::Ll(r) => {
+                let (v, pset) = self.reg(*r);
+                pset.insert(p);
+                Response::Value(v.clone())
+            }
+            Operation::Validate(r) => {
+                let (v, pset) = self.reg(*r);
+                Response::Flagged {
+                    ok: pset.contains(&p),
+                    value: v.clone(),
+                }
+            }
+            Operation::Sc(r, new) => {
+                let (v, pset) = self.reg(*r);
+                if pset.contains(&p) {
+                    let prev = v.clone();
+                    *v = new.clone();
+                    pset.clear();
+                    Response::Flagged {
+                        ok: true,
+                        value: prev,
+                    }
+                } else {
+                    Response::Flagged {
+                        ok: false,
+                        value: v.clone(),
+                    }
+                }
+            }
+            Operation::Swap(r, new) => {
+                let (v, pset) = self.reg(*r);
+                let prev = v.clone();
+                *v = new.clone();
+                pset.clear();
+                Response::Value(prev)
+            }
+            Operation::Move { src, dst } => {
+                let moved = self.reg(*src).0.clone();
+                let (v, pset) = self.reg(*dst);
+                *v = moved;
+                pset.clear();
+                Response::Ack
+            }
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = (usize, Operation)> {
+    let reg = 0u64..4;
+    let pid = 0usize..3;
+    let val = (-4i64..4).prop_map(Value::from);
+    prop_oneof![
+        (pid.clone(), reg.clone()).prop_map(|(p, r)| (p, Operation::Ll(RegisterId(r)))),
+        (pid.clone(), reg.clone()).prop_map(|(p, r)| (p, Operation::Validate(RegisterId(r)))),
+        (pid.clone(), reg.clone(), val.clone())
+            .prop_map(|(p, r, v)| (p, Operation::Sc(RegisterId(r), v))),
+        (pid.clone(), reg.clone(), val)
+            .prop_map(|(p, r, v)| (p, Operation::Swap(RegisterId(r), v))),
+        (pid, reg.clone(), reg).prop_map(|(p, a, b)| {
+            (
+                p,
+                Operation::Move {
+                    src: RegisterId(a),
+                    dst: RegisterId(b),
+                },
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// SharedMemory agrees with the literal oracle on random histories.
+    #[test]
+    fn memory_matches_oracle(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut mem = SharedMemory::new();
+        let mut oracle = Oracle::default();
+        for (p, op) in &ops {
+            let got = mem.apply(ProcessId(*p), op);
+            let want = oracle.apply(ProcessId(*p), op);
+            prop_assert_eq!(got, want, "op {} by p{}", op, p);
+        }
+        // Final states agree too.
+        for (r, (v, pset)) in &oracle.regs {
+            prop_assert_eq!(&mem.peek(*r), v);
+            for p in 0..3 {
+                prop_assert_eq!(
+                    mem.peek_linked(*r, ProcessId(p)),
+                    pset.contains(&ProcessId(p))
+                );
+            }
+        }
+    }
+
+    /// An SC succeeds iff no successful SC, swap, or move-into happened on
+    /// the register since the caller's latest LL.
+    #[test]
+    fn sc_success_characterisation(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut mem = SharedMemory::new();
+        // For each (process, register): index of the last LL; for each
+        // register: index of the last invalidating write.
+        let mut last_ll: BTreeMap<(usize, u64), usize> = BTreeMap::new();
+        let mut last_invalidate: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, (p, op)) in ops.iter().enumerate() {
+            let resp = mem.apply(ProcessId(*p), op);
+            match op {
+                Operation::Ll(r) => {
+                    last_ll.insert((*p, r.0), i);
+                }
+                Operation::Sc(r, _) => {
+                    let expected = match last_ll.get(&(*p, r.0)) {
+                        None => false,
+                        Some(&t_ll) => last_invalidate.get(&r.0).is_none_or(|&t_w| t_w < t_ll),
+                    };
+                    prop_assert_eq!(resp.flag(), Some(expected), "step {}", i);
+                    if expected {
+                        last_invalidate.insert(r.0, i);
+                        // A successful SC also invalidates the winner's
+                        // own link.
+                        last_ll.retain(|&(_, reg), &mut t| !(reg == r.0 && t <= i));
+                    }
+                }
+                Operation::Swap(r, _) => {
+                    last_invalidate.insert(r.0, i);
+                    last_ll.retain(|&(_, reg), &mut t| !(reg == r.0 && t <= i));
+                }
+                Operation::Move { dst, .. } => {
+                    last_invalidate.insert(dst.0, i);
+                    last_ll.retain(|&(_, reg), &mut t| !(reg == dst.0 && t <= i));
+                }
+                Operation::Validate(_) => {}
+            }
+        }
+    }
+
+    /// `validate` never changes any observable state.
+    #[test]
+    fn validate_is_pure(
+        ops in prop::collection::vec(op_strategy(), 0..30),
+        probe_reg in 0u64..4,
+        probe_pid in 0usize..3,
+    ) {
+        let mut mem = SharedMemory::new();
+        for (p, op) in &ops {
+            mem.apply(ProcessId(*p), op);
+        }
+        let value_before = mem.peek(RegisterId(probe_reg));
+        let links_before: Vec<bool> = (0..3)
+            .map(|p| mem.peek_linked(RegisterId(probe_reg), ProcessId(p)))
+            .collect();
+        mem.apply(ProcessId(probe_pid), &Operation::Validate(RegisterId(probe_reg)));
+        prop_assert_eq!(mem.peek(RegisterId(probe_reg)), value_before);
+        let links_after: Vec<bool> = (0..3)
+            .map(|p| mem.peek_linked(RegisterId(probe_reg), ProcessId(p)))
+            .collect();
+        prop_assert_eq!(links_before, links_after);
+    }
+
+    /// `move` leaves its source completely untouched.
+    #[test]
+    fn move_preserves_source(
+        ops in prop::collection::vec(op_strategy(), 0..30),
+        src in 0u64..4,
+        dst in 0u64..4,
+    ) {
+        let mut mem = SharedMemory::new();
+        for (p, op) in &ops {
+            mem.apply(ProcessId(*p), op);
+        }
+        let value_before = mem.peek(RegisterId(src));
+        let links_before: Vec<bool> = (0..3)
+            .map(|p| mem.peek_linked(RegisterId(src), ProcessId(p)))
+            .collect();
+        mem.apply(
+            ProcessId(0),
+            &Operation::Move {
+                src: RegisterId(src),
+                dst: RegisterId(dst),
+            },
+        );
+        if src != dst {
+            prop_assert_eq!(mem.peek(RegisterId(src)), value_before.clone());
+            let links_after: Vec<bool> = (0..3)
+                .map(|p| mem.peek_linked(RegisterId(src), ProcessId(p)))
+                .collect();
+            prop_assert_eq!(links_before, links_after);
+        }
+        // The destination always carries the source's value.
+        prop_assert_eq!(mem.peek(RegisterId(dst)), value_before);
+    }
+}

@@ -1,0 +1,369 @@
+//! The measurement harness: run an implementation under a schedule, count
+//! shared-memory operations per process, and check linearizability.
+//!
+//! This is the executable form of the paper's complexity measure: the
+//! *worst-case shared-access time complexity* of an implementation is the
+//! maximum, over processes, of the number of shared-memory operations a
+//! process performs to complete one operation on the implemented object —
+//! [`MeasureResult::max_ops`] under the schedule that maximises it.
+
+use crate::implementation::ObjectImplementation;
+use llsc_core::{build_all_run, AdversaryConfig};
+use llsc_objects::{is_linearizable, History, ObjectSpec};
+use llsc_shmem::dsl::done;
+use llsc_shmem::{
+    Algorithm, Executor, ExecutorConfig, ProcessId, Program, RandomScheduler, RegisterId,
+    RoundRobinScheduler, Run, RunEvent, Scheduler, SequentialScheduler, Value, ZeroTosses,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// Which schedule to measure under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// One process at a time, to completion — the contention-free
+    /// (best-case) schedule.
+    Sequential,
+    /// Step-by-step round-robin interleaving.
+    RoundRobin,
+    /// Uniformly random interleaving with a fixed seed.
+    RandomInterleave {
+        /// The scheduler seed.
+        seed: u64,
+    },
+    /// The paper's Figure-2 five-phase round adversary.
+    Adversary,
+}
+
+/// Limits and switches for a measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureConfig {
+    /// Maximum executor steps for the non-adversary schedules.
+    pub max_steps: u64,
+    /// Adversary limits (for [`ScheduleKind::Adversary`]).
+    pub adversary: AdversaryConfig,
+    /// Whether to run the linearizability checker (requires at most
+    /// [`llsc_objects::MAX_OPS`] operations; disable for large sweeps).
+    pub check_linearizability: bool,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            max_steps: 50_000_000,
+            adversary: AdversaryConfig::default(),
+            check_linearizability: true,
+        }
+    }
+}
+
+/// The outcome of one measurement.
+#[derive(Clone, Debug)]
+pub struct MeasureResult {
+    /// The implementation's name.
+    pub implementation: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Shared-memory operations performed by each process.
+    pub per_process_ops: Vec<u64>,
+    /// `max_p` of the above — the shared-access time complexity of this
+    /// run.
+    pub max_ops: u64,
+    /// Sum over processes.
+    pub total_ops: u64,
+    /// Mean over processes.
+    pub mean_ops: f64,
+    /// Each process's response (indexed by process id).
+    pub responses: Vec<Value>,
+    /// Whether the recorded history linearizes against the specification
+    /// (`true` when the check is disabled — see
+    /// [`MeasureConfig::check_linearizability`] and [`MeasureResult::lin_checked`]).
+    pub linearizable: bool,
+    /// Whether the linearizability check actually ran.
+    pub lin_checked: bool,
+    /// The recorded concurrent history.
+    pub history: History,
+}
+
+impl fmt::Display for MeasureResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} max={} mean={:.1} total={} linearizable={}{}",
+            self.implementation,
+            self.n,
+            self.max_ops,
+            self.mean_ops,
+            self.total_ops,
+            self.linearizable,
+            if self.lin_checked { "" } else { " (unchecked)" }
+        )
+    }
+}
+
+/// Adapts an implementation plus one operation per process into an
+/// [`Algorithm`] whose per-process return value is the operation's
+/// response.
+struct ImplAlgorithm<'a> {
+    imp: &'a dyn ObjectImplementation,
+    ops: &'a [Value],
+}
+
+impl Algorithm for ImplAlgorithm<'_> {
+    fn name(&self) -> &'static str {
+        "object-implementation"
+    }
+
+    fn spawn(&self, pid: ProcessId, n: usize) -> Box<dyn Program> {
+        let op = self.ops[pid.0].clone();
+        self.imp.invoke(pid, n, op, Box::new(done)).into_program()
+    }
+
+    fn initial_memory(&self, n: usize) -> Vec<(RegisterId, Value)> {
+        self.imp.initial_memory(n)
+    }
+}
+
+/// Builds the concurrent history of a single-use run: each process's
+/// operation is invoked at its first step and responds at its termination.
+fn history_of(run: &Run, ops: &[Value]) -> History {
+    let mut h = History::new();
+    let mut ids = vec![None; run.n()];
+    for ev in run.events() {
+        match ev {
+            RunEvent::Toss { pid, .. } | RunEvent::SharedOp { pid, .. } => {
+                if ids[pid.0].is_none() {
+                    ids[pid.0] = Some(h.invoke(*pid, ops[pid.0].clone()));
+                }
+            }
+            RunEvent::Terminated { pid, value } => {
+                let id = match ids[pid.0] {
+                    Some(id) => id,
+                    // A process that terminates without any step still
+                    // logically invoked its operation.
+                    None => {
+                        let id = h.invoke(*pid, ops[pid.0].clone());
+                        ids[pid.0] = Some(id);
+                        id
+                    }
+                };
+                h.respond(id, value.clone());
+            }
+        }
+    }
+    h
+}
+
+/// Runs `imp` with `n` processes, process `p` applying `ops[p]`, under the
+/// given schedule, and measures shared-access costs.
+///
+/// # Panics
+///
+/// Panics if `ops.len() != n`, if the run fails to complete within the
+/// configured limits, or if linearizability checking is enabled and the
+/// history is too large for the checker.
+pub fn measure(
+    imp: &dyn ObjectImplementation,
+    spec: &dyn ObjectSpec,
+    n: usize,
+    ops: &[Value],
+    kind: ScheduleKind,
+    cfg: &MeasureConfig,
+) -> MeasureResult {
+    assert_eq!(ops.len(), n, "one operation per process");
+    let alg = ImplAlgorithm { imp, ops };
+
+    // When linearizability checking is off, drop event/history/snapshot
+    // recording: complexity sweeps over value-heavy constructions would
+    // otherwise hold every operand value in memory.
+    let light = !cfg.check_linearizability;
+    let run: Run = match kind {
+        ScheduleKind::Adversary => {
+            let adv_cfg = if light {
+                AdversaryConfig {
+                    max_rounds: cfg.adversary.max_rounds,
+                    ..AdversaryConfig::lightweight()
+                }
+            } else {
+                cfg.adversary
+            };
+            let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &adv_cfg);
+            assert!(
+                all.base.completed,
+                "{}: adversary run did not complete within {} rounds",
+                imp.name(),
+                adv_cfg.max_rounds
+            );
+            all.base.run
+        }
+        other => {
+            let exec_cfg = ExecutorConfig {
+                record_details: !light,
+                ..ExecutorConfig::default()
+            };
+            let mut exec = Executor::new(&alg, n, Arc::new(ZeroTosses), exec_cfg);
+            let mut sched: Box<dyn Scheduler> = match other {
+                ScheduleKind::Sequential => Box::new(SequentialScheduler::new()),
+                ScheduleKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+                ScheduleKind::RandomInterleave { seed } => Box::new(RandomScheduler::new(seed)),
+                ScheduleKind::Adversary => unreachable!(),
+            };
+            exec.drive(sched.as_mut(), cfg.max_steps);
+            assert!(
+                exec.all_terminated(),
+                "{}: run did not complete within {} steps",
+                imp.name(),
+                cfg.max_steps
+            );
+            exec.into_run()
+        }
+    };
+
+    let per_process_ops: Vec<u64> = ProcessId::all(n).map(|p| run.shared_steps(p)).collect();
+    let max_ops = per_process_ops.iter().copied().max().unwrap_or(0);
+    let total_ops: u64 = per_process_ops.iter().sum();
+    let responses: Vec<Value> = ProcessId::all(n)
+        .map(|p| run.verdict(p).cloned().expect("terminated"))
+        .collect();
+    let history = if run.is_detailed() {
+        history_of(&run, ops)
+    } else {
+        History::new()
+    };
+    let (linearizable, lin_checked) = if cfg.check_linearizability {
+        (is_linearizable(spec, &history), true)
+    } else {
+        (true, false)
+    };
+
+    MeasureResult {
+        implementation: imp.name(),
+        n,
+        per_process_ops,
+        max_ops,
+        total_ops,
+        mean_ops: if n == 0 { 0.0 } else { total_ops as f64 / n as f64 },
+        responses,
+        linearizable,
+        lin_checked,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectLlSc;
+    use llsc_objects::FetchIncrement;
+
+    fn setup(n: usize) -> (Arc<FetchIncrement>, DirectLlSc, Vec<Value>) {
+        let spec = Arc::new(FetchIncrement::new(16));
+        let imp = DirectLlSc::new(spec.clone());
+        let ops = vec![FetchIncrement::op(); n];
+        (spec, imp, ops)
+    }
+
+    #[test]
+    fn per_process_accounting_sums_up() {
+        let (spec, imp, ops) = setup(4);
+        let r = measure(
+            &imp,
+            spec.as_ref(),
+            4,
+            &ops,
+            ScheduleKind::RoundRobin,
+            &MeasureConfig::default(),
+        );
+        assert_eq!(r.per_process_ops.len(), 4);
+        assert_eq!(r.total_ops, r.per_process_ops.iter().sum::<u64>());
+        assert_eq!(
+            r.max_ops,
+            *r.per_process_ops.iter().max().unwrap()
+        );
+        assert!((r.mean_ops - r.total_ops as f64 / 4.0).abs() < 1e-12);
+        assert!(r.lin_checked && r.linearizable);
+    }
+
+    #[test]
+    fn responses_are_indexed_by_process() {
+        let (spec, imp, ops) = setup(3);
+        let r = measure(
+            &imp,
+            spec.as_ref(),
+            3,
+            &ops,
+            ScheduleKind::Sequential,
+            &MeasureConfig::default(),
+        );
+        // Sequential: p0 sees 0, p1 sees 1, p2 sees 2.
+        let got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn history_matches_run_shape() {
+        let (spec, imp, ops) = setup(2);
+        let r = measure(
+            &imp,
+            spec.as_ref(),
+            2,
+            &ops,
+            ScheduleKind::Sequential,
+            &MeasureConfig::default(),
+        );
+        assert!(r.history.is_complete());
+        assert_eq!(r.history.len(), 2);
+        // Sequential runs produce a sequential history: op 0 precedes op 1.
+        let recs = r.history.records();
+        assert!(recs[0].responded_at.unwrap() < recs[1].invoked_at);
+    }
+
+    #[test]
+    fn disabled_check_reports_unchecked() {
+        let (spec, imp, ops) = setup(2);
+        let cfg = MeasureConfig {
+            check_linearizability: false,
+            ..MeasureConfig::default()
+        };
+        let r = measure(&imp, spec.as_ref(), 2, &ops, ScheduleKind::Sequential, &cfg);
+        assert!(r.linearizable && !r.lin_checked);
+        assert!(r.to_string().contains("(unchecked)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one operation per process")]
+    fn mismatched_ops_panic() {
+        let (spec, imp, ops) = setup(2);
+        measure(
+            &imp,
+            spec.as_ref(),
+            3,
+            &ops,
+            ScheduleKind::Sequential,
+            &MeasureConfig::default(),
+        );
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let (spec, imp, ops) = setup(5);
+        let a = measure(
+            &imp,
+            spec.as_ref(),
+            5,
+            &ops,
+            ScheduleKind::RandomInterleave { seed: 8 },
+            &MeasureConfig::default(),
+        );
+        let b = measure(
+            &imp,
+            spec.as_ref(),
+            5,
+            &ops,
+            ScheduleKind::RandomInterleave { seed: 8 },
+            &MeasureConfig::default(),
+        );
+        assert_eq!(a.per_process_ops, b.per_process_ops);
+        assert_eq!(a.responses, b.responses);
+    }
+}

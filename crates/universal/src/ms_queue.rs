@@ -1,0 +1,348 @@
+//! A Michael–Scott-style linked queue over LL/SC — a *structural*
+//! semantics-exploiting implementation.
+//!
+//! [`crate::DirectLlSc`] exploits type semantics in the bluntest way: the
+//! whole state lives in one unbounded register. Real LL/SC queues exploit
+//! the semantics *structurally* — a linked list of nodes with head/tail
+//! pointers, each operation touching O(1) registers regardless of queue
+//! length. This module reproduces that classic design inside the paper's
+//! memory model, using [`Value::Reg`] register names as pointers:
+//!
+//! * every node is a register holding `(item, next)` where `next` is
+//!   another node's register name or [`Value::Unit`];
+//! * `HEAD`/`TAIL` registers hold node names; a dummy node anchors the
+//!   empty queue, exactly as in Michael & Scott's algorithm;
+//! * `enqueue` links a fresh node after the tail with LL/SC on the tail
+//!   node's register (helping lagging tails forward), `dequeue` swings
+//!   `HEAD` with LL/SC.
+//!
+//! Being type-aware, it is *not* subject to the paper's oblivious lower
+//! bound — solo cost is a small constant (measured in the tests) — while
+//! remaining lock-free and linearizable under every schedule. Node
+//! allocation uses a host-side atomic counter (the model's registers are
+//! free and infinite; uniqueness of names is all that matters).
+
+use crate::implementation::ObjectImplementation;
+use llsc_objects::{op_arg, op_tag, ObjectSpec, Queue};
+use llsc_shmem::dsl::{ll, read, sc, swap, Step};
+use llsc_shmem::{ProcessId, RegisterId, Value};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `HEAD` register: holds the name of the current dummy/front node.
+const HEAD: RegisterId = RegisterId(10);
+/// `TAIL` register: holds the name of the last (or second-to-last) node.
+const TAIL: RegisterId = RegisterId(11);
+/// Node registers are allocated upward from here.
+const NODE_BASE: u64 = 5_000_000;
+
+fn node(item: Value, next: Value) -> Value {
+    Value::tuple([item, next])
+}
+
+fn node_item(v: &Value) -> &Value {
+    v.index(0).expect("node item")
+}
+
+fn node_next(v: &Value) -> &Value {
+    v.index(1).expect("node next")
+}
+
+/// The Michael–Scott-style LL/SC queue (multi-use, lock-free,
+/// linearizable; solo cost O(1) per operation).
+///
+/// # Examples
+///
+/// ```
+/// use llsc_universal::{MsQueue, measure, MeasureConfig, ScheduleKind};
+/// use llsc_objects::Queue;
+/// use llsc_shmem::Value;
+///
+/// let spec = std::sync::Arc::new(Queue::new());
+/// let imp = MsQueue::new(Queue::new());
+/// let ops = vec![
+///     Queue::enqueue_op(Value::from(7i64)),
+///     Queue::dequeue_op(),
+///     Queue::dequeue_op(),
+/// ];
+/// let r = measure(&imp, spec.as_ref(), 3, &ops, ScheduleKind::RandomInterleave { seed: 1 },
+///                 &MeasureConfig::default());
+/// assert!(r.linearizable);
+/// ```
+pub struct MsQueue {
+    initial_items: Vec<Value>,
+    next_node: AtomicU64,
+}
+
+impl MsQueue {
+    /// Creates the implementation; `spec` supplies the initial items.
+    pub fn new(spec: Queue) -> Self {
+        let initial = spec.initial();
+        let items = initial.as_tuple().expect("queue state is a tuple").to_vec();
+        MsQueue {
+            next_node: AtomicU64::new(NODE_BASE + items.len() as u64 + 1),
+            initial_items: items,
+        }
+    }
+
+    fn alloc(&self) -> RegisterId {
+        RegisterId(self.next_node.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for MsQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MsQueue")
+            .field("initial_items", &self.initial_items.len())
+            .finish()
+    }
+}
+
+impl ObjectImplementation for MsQueue {
+    fn name(&self) -> String {
+        format!("ms-queue(init={})", self.initial_items.len())
+    }
+
+    fn initial_memory(&self, _n: usize) -> Vec<(RegisterId, Value)> {
+        // Dummy node at NODE_BASE, then one node per initial item, linked
+        // in order; HEAD points at the dummy, TAIL at the last node.
+        let count = self.initial_items.len() as u64;
+        let mut mem = Vec::new();
+        for (i, item) in self.initial_items.iter().enumerate() {
+            let id = NODE_BASE + 1 + i as u64;
+            let next = if (i as u64) + 1 < count {
+                Value::Reg(RegisterId(id + 1))
+            } else {
+                Value::Unit
+            };
+            mem.push((RegisterId(id), node(item.clone(), next)));
+        }
+        let dummy_next = if count > 0 {
+            Value::Reg(RegisterId(NODE_BASE + 1))
+        } else {
+            Value::Unit
+        };
+        mem.push((RegisterId(NODE_BASE), node(Value::Unit, dummy_next)));
+        mem.push((HEAD, Value::Reg(RegisterId(NODE_BASE))));
+        let tail_node = if count > 0 { NODE_BASE + count } else { NODE_BASE };
+        mem.push((TAIL, Value::Reg(RegisterId(tail_node))));
+        mem
+    }
+
+    fn invoke(
+        &self,
+        _pid: ProcessId,
+        _n: usize,
+        op: Value,
+        k: Box<dyn FnOnce(Value) -> Step>,
+    ) -> Step {
+        match op_tag(&op) {
+            t if t == op_tag(&Queue::dequeue_op()) => dequeue(k),
+            t if t == op_tag(&Queue::enqueue_op(Value::Unit)) => {
+                let item = op_arg(&op, 0).expect("enqueue item").clone();
+                let fresh = self.alloc();
+                // Publish the fresh node's contents (next = Unit), then
+                // link it in.
+                swap(fresh, node(item, Value::Unit), move |_| enqueue(fresh, k))
+            }
+            _ => panic!("ms-queue: unsupported operation {op}"),
+        }
+    }
+
+    fn is_multi_use(&self) -> bool {
+        true
+    }
+}
+
+/// The enqueue loop: read the tail, try to link `fresh` after it, helping
+/// a lagging tail pointer forward when needed.
+fn enqueue(fresh: RegisterId, k: Box<dyn FnOnce(Value) -> Step>) -> Step {
+    ll(TAIL, move |tail_val| {
+        let t = tail_val.as_reg().expect("TAIL holds a node name");
+        ll(t, move |tnode| {
+            match node_next(&tnode) {
+                Value::Unit => {
+                    // Tail is the real last node: link after it.
+                    let linked = node(node_item(&tnode).clone(), Value::Reg(fresh));
+                    sc(t, linked, move |ok, _| {
+                        if ok {
+                            // Swing TAIL (failure is fine: someone helped).
+                            sc(TAIL, Value::Reg(fresh), move |_, _| k(Value::Unit))
+                        } else {
+                            enqueue(fresh, k)
+                        }
+                    })
+                }
+                Value::Reg(next) => {
+                    // Tail lags: help swing it forward and retry.
+                    let next = *next;
+                    sc(TAIL, Value::Reg(next), move |_, _| enqueue(fresh, k))
+                }
+                other => unreachable!("node next is a name or Unit, got {other}"),
+            }
+        })
+    })
+}
+
+/// The dequeue loop: swing HEAD past the dummy to the first real node.
+fn dequeue(k: Box<dyn FnOnce(Value) -> Step>) -> Step {
+    ll(HEAD, move |head_val| {
+        let h = head_val.as_reg().expect("HEAD holds a node name");
+        read(h, move |hnode| {
+            match node_next(&hnode) {
+                Value::Unit => k(llsc_objects::queue_empty_response()),
+                Value::Reg(first) => {
+                    let first = *first;
+                    read(first, move |fnode| {
+                        let item = node_item(&fnode).clone();
+                        sc(HEAD, Value::Reg(first), move |ok, _| {
+                            if ok {
+                                k(item)
+                            } else {
+                                dequeue(k)
+                            }
+                        })
+                    })
+                }
+                other => unreachable!("node next is a name or Unit, got {other}"),
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{measure, MeasureConfig, ScheduleKind};
+    use llsc_objects::ObjectSpec;
+    use std::sync::Arc;
+
+    fn check(
+        initial: usize,
+        ops: Vec<Value>,
+        kind: ScheduleKind,
+    ) -> crate::measure::MeasureResult {
+        let n = ops.len();
+        let spec = Arc::new(Queue::with_numbered_items(initial));
+        let imp = MsQueue::new(Queue::with_numbered_items(initial));
+        measure(&imp, spec.as_ref(), n, &ops, kind, &MeasureConfig::default())
+    }
+
+    #[test]
+    fn initialised_queue_dequeues_in_order() {
+        let r = check(4, vec![Queue::dequeue_op(); 4], ScheduleKind::Sequential);
+        assert!(r.linearizable);
+        let got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_dequeue_reports_empty() {
+        let r = check(0, vec![Queue::dequeue_op(); 2], ScheduleKind::Sequential);
+        assert!(r.linearizable);
+        for resp in &r.responses {
+            assert_eq!(resp, &llsc_objects::queue_empty_response());
+        }
+    }
+
+    #[test]
+    fn linearizable_under_contended_schedules() {
+        let ops = vec![
+            Queue::enqueue_op(Value::from(10i64)),
+            Queue::enqueue_op(Value::from(20i64)),
+            Queue::dequeue_op(),
+            Queue::dequeue_op(),
+            Queue::dequeue_op(),
+        ];
+        for kind in [
+            ScheduleKind::RoundRobin,
+            ScheduleKind::RandomInterleave { seed: 3 },
+            ScheduleKind::RandomInterleave { seed: 77 },
+            ScheduleKind::Adversary,
+        ] {
+            let r = check(1, ops.clone(), kind);
+            assert!(r.linearizable, "{kind:?}\n{}", r.history);
+        }
+    }
+
+    #[test]
+    fn solo_cost_is_constant_independent_of_length() {
+        // The structural advantage over DirectLlSc: O(1) registers touched
+        // per op even for a long queue — and, unlike the oblivious
+        // constructions, no dependence on n.
+        for initial in [1usize, 64, 512] {
+            let r = check(initial, vec![Queue::dequeue_op()], ScheduleKind::Sequential);
+            assert!(r.max_ops <= 4, "init={initial}: {} ops", r.max_ops);
+        }
+        // Enqueues likewise: publish + LL TAIL + LL node + SC + SC.
+        let spec = Arc::new(Queue::new());
+        let imp = MsQueue::new(Queue::new());
+        let ops = vec![Queue::enqueue_op(Value::from(1i64))];
+        let r = measure(
+            &imp,
+            spec.as_ref(),
+            1,
+            &ops,
+            ScheduleKind::Sequential,
+            &MeasureConfig::default(),
+        );
+        assert!(r.max_ops <= 5, "{} ops", r.max_ops);
+    }
+
+    #[test]
+    fn multi_use_chains_work() {
+        use crate::measure_multi_use;
+        let spec: Arc<dyn ObjectSpec> = Arc::new(Queue::new());
+        let imp: Arc<dyn ObjectImplementation> = Arc::new(MsQueue::new(Queue::new()));
+        let ops = vec![
+            vec![
+                Queue::enqueue_op(Value::from(1i64)),
+                Queue::enqueue_op(Value::from(2i64)),
+            ],
+            vec![Queue::dequeue_op(), Queue::dequeue_op()],
+        ];
+        let r = measure_multi_use(
+            imp,
+            spec.as_ref(),
+            2,
+            &ops,
+            ScheduleKind::RoundRobin,
+            1_000_000,
+        );
+        // Queue is not a counting object; the generic consistency flag is
+        // reported true (unchecked); assert the run completed with sane
+        // amortised cost instead.
+        assert!(r.max_amortised <= 16.0, "{}", r.max_amortised);
+    }
+
+    #[test]
+    fn helping_swings_lagging_tails() {
+        // Two concurrent enqueues under round-robin force the lag/help
+        // path; the queue must still linearize and both items must be
+        // dequeueable.
+        let ops = vec![
+            Queue::enqueue_op(Value::from(1i64)),
+            Queue::enqueue_op(Value::from(2i64)),
+        ];
+        let r = check(0, ops, ScheduleKind::RoundRobin);
+        assert!(r.linearizable);
+        // Drain sequentially afterwards via a fresh instance seeded the
+        // same way is not possible (state lives in the run); instead check
+        // the enqueue acks.
+        for resp in &r.responses {
+            assert_eq!(resp, &Value::Unit);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported operation")]
+    fn foreign_ops_are_rejected() {
+        let imp = MsQueue::new(Queue::new());
+        let _ = imp.invoke(
+            ProcessId(0),
+            1,
+            llsc_objects::Counter::read_op(),
+            Box::new(llsc_shmem::dsl::done),
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Multi-operation (`k`-use and long-lived) measurement.
+//!
+//! The paper's lower bound is proved for *single-use* implementations —
+//! which makes it stronger, since any `k`-use or long-lived implementation
+//! contains a single-use one. This module measures the other direction:
+//! what implementations cost when each process applies a whole sequence of
+//! operations, the setting of Corollary 6.1's `k`-use definition and of
+//! real deployments.
+//!
+//! Only multi-use implementations (per
+//! [`ObjectImplementation::is_multi_use`]) can be driven here; of the
+//! shipped constructions that is [`crate::DirectLlSc`]. The amortised
+//! numbers it produces quantify the paper's introduction: contention-free,
+//! the direct object needs 2 shared ops per operation *regardless of `k`
+//! or `n`*, while under the adversary the per-operation cost is `Θ(n)`.
+
+use crate::implementation::ObjectImplementation;
+use crate::measure::ScheduleKind;
+use llsc_objects::{apply_all, ObjectSpec};
+use llsc_shmem::dsl::{done, Step};
+use llsc_shmem::{
+    Algorithm, Executor, ExecutorConfig, ProcessId, Program, RandomScheduler, RegisterId,
+    RoundRobinScheduler, Run, Scheduler, SequentialScheduler, Value, ZeroTosses,
+};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// The outcome of a multi-operation measurement.
+#[derive(Clone, Debug)]
+pub struct MultiUseResult {
+    /// The implementation's name.
+    pub implementation: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Operations applied by each process (first process's count).
+    pub ops_per_process: usize,
+    /// Shared-memory steps per process (whole sequence).
+    pub per_process_ops: Vec<u64>,
+    /// The worst process's *amortised* cost: shared steps divided by
+    /// operations applied.
+    pub max_amortised: f64,
+    /// Mean amortised cost over processes.
+    pub mean_amortised: f64,
+    /// For commutative counting objects (fetch&increment, fetch&add): the
+    /// observed response multiset matches a sequential execution of all
+    /// operations. Reported `true` without checking for other specs.
+    pub responses_consistent: bool,
+}
+
+impl fmt::Display for MultiUseResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} k={} amortised max={:.2} mean={:.2} consistent={}",
+            self.implementation,
+            self.n,
+            self.ops_per_process,
+            self.max_amortised,
+            self.mean_amortised,
+            self.responses_consistent
+        )
+    }
+}
+
+/// An algorithm in which process `p` applies `ops[p]` in order through a
+/// shared (`Arc`'d) implementation and returns the tuple of responses.
+struct ArcAlgorithm {
+    imp: Arc<dyn ObjectImplementation>,
+    ops: Vec<Vec<Value>>,
+}
+
+impl Algorithm for ArcAlgorithm {
+    fn name(&self) -> &'static str {
+        "multi-use-implementation"
+    }
+
+    fn spawn(&self, pid: ProcessId, n: usize) -> Box<dyn Program> {
+        fn chain(
+            imp: Arc<dyn ObjectImplementation>,
+            pid: ProcessId,
+            n: usize,
+            mut remaining: VecDeque<Value>,
+            mut collected: Vec<Value>,
+        ) -> Step {
+            match remaining.pop_front() {
+                None => done(Value::Tuple(collected)),
+                Some(op) => {
+                    let imp2 = Arc::clone(&imp);
+                    imp.invoke(
+                        pid,
+                        n,
+                        op,
+                        Box::new(move |resp| {
+                            collected.push(resp);
+                            chain(imp2, pid, n, remaining, collected)
+                        }),
+                    )
+                }
+            }
+        }
+        let ops = self.ops[pid.0].iter().cloned().collect();
+        chain(Arc::clone(&self.imp), pid, n, ops, Vec::new()).into_program()
+    }
+
+    fn initial_memory(&self, n: usize) -> Vec<(RegisterId, Value)> {
+        self.imp.initial_memory(n)
+    }
+}
+
+/// Measures a multi-use implementation: process `p` applies `ops[p]` in
+/// order; amortised shared-access cost and (for counting objects) response
+/// consistency are reported.
+///
+/// `imp` is taken by `Arc` so per-process programs can chain invocations
+/// with `'static` continuations.
+///
+/// # Panics
+///
+/// Panics if `imp` is single-use, `ops.len() != n`, or the run does not
+/// complete within `max_steps`.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_universal::{measure_multi_use, DirectLlSc, ObjectImplementation, ScheduleKind};
+/// use llsc_objects::FetchIncrement;
+/// use std::sync::Arc;
+///
+/// let spec = Arc::new(FetchIncrement::new(32));
+/// let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
+/// let ops = vec![vec![FetchIncrement::op(); 8]; 4];
+/// let r = measure_multi_use(imp, spec.as_ref(), 4, &ops, ScheduleKind::Sequential, 1_000_000);
+/// assert!(r.responses_consistent);
+/// assert_eq!(r.max_amortised, 2.0); // LL + SC per operation, solo
+/// ```
+pub fn measure_multi_use(
+    imp: Arc<dyn ObjectImplementation>,
+    spec: &dyn ObjectSpec,
+    n: usize,
+    ops: &[Vec<Value>],
+    kind: ScheduleKind,
+    max_steps: u64,
+) -> MultiUseResult {
+    assert!(imp.is_multi_use(), "{} is single-use", imp.name());
+    assert_eq!(ops.len(), n, "one operation sequence per process");
+
+    let alg = ArcAlgorithm {
+        imp: Arc::clone(&imp),
+        ops: ops.to_vec(),
+    };
+    let run = match kind {
+        ScheduleKind::Adversary => {
+            let cfg = llsc_core::AdversaryConfig::lightweight();
+            let all = llsc_core::build_all_run(&alg, n, Arc::new(ZeroTosses), &cfg);
+            assert!(all.base.completed, "adversary run did not complete");
+            all.base.run
+        }
+        other => {
+            let mut exec = Executor::new(&alg, n, Arc::new(ZeroTosses), ExecutorConfig::default());
+            let mut sched: Box<dyn Scheduler> = match other {
+                ScheduleKind::Sequential => Box::new(SequentialScheduler::new()),
+                ScheduleKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+                ScheduleKind::RandomInterleave { seed } => Box::new(RandomScheduler::new(seed)),
+                ScheduleKind::Adversary => unreachable!(),
+            };
+            exec.drive(sched.as_mut(), max_steps);
+            assert!(exec.all_terminated(), "run did not complete");
+            exec.into_run()
+        }
+    };
+
+    let per_process_ops: Vec<u64> = ProcessId::all(n).map(|p| run.shared_steps(p)).collect();
+    let amortised: Vec<f64> = per_process_ops
+        .iter()
+        .zip(ops)
+        .map(|(&steps, seq)| steps as f64 / seq.len().max(1) as f64)
+        .collect();
+    let responses_consistent = check_counting_consistency(spec, &run, ops, n);
+
+    MultiUseResult {
+        implementation: imp.name(),
+        n,
+        ops_per_process: ops.first().map(Vec::len).unwrap_or(0),
+        per_process_ops,
+        max_amortised: amortised.iter().copied().fold(0.0, f64::max),
+        mean_amortised: amortised.iter().sum::<f64>() / n.max(1) as f64,
+        responses_consistent,
+    }
+}
+
+/// For commutative counting objects, the multiset of responses of any
+/// linearizable execution equals that of a sequential execution of the
+/// same operations (the response depends only on how many operations
+/// preceded, not which). Checked for fetch&increment / fetch&add; other
+/// specs return `true` unchecked.
+fn check_counting_consistency(
+    spec: &dyn ObjectSpec,
+    run: &Run,
+    ops: &[Vec<Value>],
+    n: usize,
+) -> bool {
+    if !spec.name().starts_with("fetch&increment") && !spec.name().starts_with("fetch&add") {
+        return true;
+    }
+    let mut observed: Vec<Value> = Vec::new();
+    for p in ProcessId::all(n) {
+        let Some(v) = run.verdict(p) else { return false };
+        let Some(items) = v.as_tuple() else { return false };
+        observed.extend(items.iter().cloned());
+    }
+    let flat: Vec<Value> = ops.iter().flatten().cloned().collect();
+    let (_, mut expected) = apply_all(spec, &flat);
+    observed.sort();
+    expected.sort();
+    observed == expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectLlSc;
+    use llsc_objects::{Counter, FetchIncrement};
+
+    #[test]
+    fn direct_object_amortised_solo_cost_is_two() {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
+        for k in [1usize, 4, 16] {
+            let ops: Vec<Vec<Value>> = (0..4).map(|_| vec![FetchIncrement::op(); k]).collect();
+            let r = measure_multi_use(
+                Arc::clone(&imp),
+                spec.as_ref(),
+                4,
+                &ops,
+                ScheduleKind::Sequential,
+                10_000_000,
+            );
+            assert!(r.responses_consistent, "k={k}");
+            assert!(
+                (r.max_amortised - 2.0).abs() < 1e-9,
+                "k={k}: {}",
+                r.max_amortised
+            );
+        }
+    }
+
+    #[test]
+    fn direct_object_contended_amortised_cost_is_linear() {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
+        let n = 8;
+        let k = 4;
+        let ops: Vec<Vec<Value>> = (0..n).map(|_| vec![FetchIncrement::op(); k]).collect();
+        let r = measure_multi_use(
+            Arc::clone(&imp),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            10_000_000,
+        );
+        assert_eq!(r.ops_per_process, k);
+        assert!(r.responses_consistent);
+        // Under the adversary one SC succeeds per round: amortised Θ(n).
+        assert!(r.max_amortised >= n as f64 / 2.0, "{}", r.max_amortised);
+    }
+
+    #[test]
+    fn round_robin_multi_use_is_consistent() {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
+        let ops: Vec<Vec<Value>> = (0..5).map(|_| vec![FetchIncrement::op(); 3]).collect();
+        let r = measure_multi_use(
+            imp,
+            spec.as_ref(),
+            5,
+            &ops,
+            ScheduleKind::RoundRobin,
+            10_000_000,
+        );
+        assert!(r.responses_consistent);
+        assert!(r.to_string().contains("consistent=true"));
+    }
+
+    #[test]
+    fn uneven_sequences_are_supported() {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
+        let ops = vec![
+            vec![FetchIncrement::op(); 5],
+            vec![FetchIncrement::op(); 1],
+            vec![],
+        ];
+        let r = measure_multi_use(
+            imp,
+            spec.as_ref(),
+            3,
+            &ops,
+            ScheduleKind::RandomInterleave { seed: 2 },
+            1_000_000,
+        );
+        assert!(r.responses_consistent);
+        assert_eq!(r.per_process_ops[2], 0, "no ops, no steps");
+    }
+
+    #[test]
+    fn non_counting_spec_skips_the_multiset_check() {
+        let spec = Arc::new(Counter::new(16));
+        let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
+        let ops: Vec<Vec<Value>> = (0..3)
+            .map(|_| vec![Counter::increment_op(), Counter::read_op()])
+            .collect();
+        let r = measure_multi_use(
+            imp,
+            spec.as_ref(),
+            3,
+            &ops,
+            ScheduleKind::RoundRobin,
+            1_000_000,
+        );
+        assert!(r.responses_consistent, "unchecked specs report true");
+    }
+
+    #[test]
+    #[should_panic(expected = "single-use")]
+    fn single_use_implementations_are_rejected() {
+        let spec = Arc::new(FetchIncrement::new(16));
+        let imp: Arc<dyn ObjectImplementation> =
+            Arc::new(crate::AdtTreeUniversal::new(spec.clone()));
+        let ops = vec![vec![FetchIncrement::op()]; 2];
+        measure_multi_use(imp, spec.as_ref(), 2, &ops, ScheduleKind::RoundRobin, 1000);
+    }
+}

@@ -1,0 +1,236 @@
+//! A Treiber stack over LL/SC — the companion structural implementation
+//! to [`crate::MsQueue`].
+//!
+//! `TOP` holds the name of the top node (or [`Value::Unit`] when empty);
+//! each node register holds `(item, below)`. A push publishes a fresh node
+//! pointing at the observed top and swings `TOP` with SC; a pop swings
+//! `TOP` to the node below. Nodes are never reused, so the model sees no
+//! ABA. Solo cost: 3 shared ops per push, 3 per pop.
+
+use crate::implementation::ObjectImplementation;
+use llsc_objects::{op_arg, op_tag, Stack};
+use llsc_shmem::dsl::{ll, read, sc, swap, Step};
+use llsc_shmem::{ProcessId, RegisterId, Value};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `TOP` register: the top node's name, or Unit.
+const TOP: RegisterId = RegisterId(12);
+/// Node registers are allocated upward from here.
+const NODE_BASE: u64 = 6_000_000;
+
+fn node(item: Value, below: Value) -> Value {
+    Value::tuple([item, below])
+}
+
+/// The Treiber LL/SC stack (multi-use, lock-free, linearizable; solo cost
+/// O(1) per operation).
+///
+/// # Examples
+///
+/// ```
+/// use llsc_universal::{TreiberStack, measure, MeasureConfig, ScheduleKind};
+/// use llsc_objects::Stack;
+/// use llsc_shmem::Value;
+///
+/// let spec = std::sync::Arc::new(Stack::new());
+/// let imp = TreiberStack::new(Stack::new());
+/// let ops = vec![Stack::push_op(Value::from(1i64)), Stack::pop_op()];
+/// let r = measure(&imp, spec.as_ref(), 2, &ops, ScheduleKind::RoundRobin,
+///                 &MeasureConfig::default());
+/// assert!(r.linearizable);
+/// ```
+pub struct TreiberStack {
+    initial_items: Vec<Value>,
+    next_node: AtomicU64,
+}
+
+impl TreiberStack {
+    /// Creates the implementation; `spec` supplies the initial items
+    /// (bottom first, as in [`Stack`]).
+    pub fn new(spec: Stack) -> Self {
+        use llsc_objects::ObjectSpec;
+        let items = spec
+            .initial()
+            .as_tuple()
+            .expect("stack state is a tuple")
+            .to_vec();
+        TreiberStack {
+            next_node: AtomicU64::new(NODE_BASE + items.len() as u64),
+            initial_items: items,
+        }
+    }
+
+    fn alloc(&self) -> RegisterId {
+        RegisterId(self.next_node.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for TreiberStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreiberStack")
+            .field("initial_items", &self.initial_items.len())
+            .finish()
+    }
+}
+
+impl ObjectImplementation for TreiberStack {
+    fn name(&self) -> String {
+        format!("treiber-stack(init={})", self.initial_items.len())
+    }
+
+    fn initial_memory(&self, _n: usize) -> Vec<(RegisterId, Value)> {
+        // Items bottom-first: node i sits above node i-1.
+        let mut mem = Vec::new();
+        let mut below = Value::Unit;
+        for (i, item) in self.initial_items.iter().enumerate() {
+            let id = RegisterId(NODE_BASE + i as u64);
+            mem.push((id, node(item.clone(), below.clone())));
+            below = Value::Reg(id);
+        }
+        mem.push((TOP, below));
+        mem
+    }
+
+    fn invoke(
+        &self,
+        _pid: ProcessId,
+        _n: usize,
+        op: Value,
+        k: Box<dyn FnOnce(Value) -> Step>,
+    ) -> Step {
+        match op_tag(&op) {
+            t if t == op_tag(&Stack::pop_op()) => pop(k),
+            t if t == op_tag(&Stack::push_op(Value::Unit)) => {
+                let item = op_arg(&op, 0).expect("push item").clone();
+                push(self.alloc(), item, k)
+            }
+            _ => panic!("treiber-stack: unsupported operation {op}"),
+        }
+    }
+
+    fn is_multi_use(&self) -> bool {
+        true
+    }
+}
+
+fn push(fresh: RegisterId, item: Value, k: Box<dyn FnOnce(Value) -> Step>) -> Step {
+    ll(TOP, move |top| {
+        // Publish the node pointing at the observed top, then swing TOP.
+        swap(fresh, node(item.clone(), top), move |_| {
+            sc(TOP, Value::Reg(fresh), move |ok, _| {
+                if ok {
+                    k(Value::Unit)
+                } else {
+                    push(fresh, item, k)
+                }
+            })
+        })
+    })
+}
+
+fn pop(k: Box<dyn FnOnce(Value) -> Step>) -> Step {
+    ll(TOP, move |top| match top {
+        Value::Unit => k(llsc_objects::stack_empty_response()),
+        Value::Reg(t) => read(t, move |tnode| {
+            let item = tnode.index(0).expect("node item").clone();
+            let below = tnode.index(1).expect("node below").clone();
+            sc(TOP, below, move |ok, _| if ok { k(item) } else { pop(k) })
+        }),
+        other => unreachable!("TOP holds a name or Unit, got {other}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{measure, MeasureConfig, ScheduleKind};
+    use llsc_objects::ObjectSpec;
+    use std::sync::Arc;
+
+    fn check(initial: usize, ops: Vec<Value>, kind: ScheduleKind) -> crate::measure::MeasureResult {
+        let n = ops.len();
+        let spec = Arc::new(Stack::with_numbered_items(initial));
+        let imp = TreiberStack::new(Stack::with_numbered_items(initial));
+        measure(&imp, spec.as_ref(), n, &ops, kind, &MeasureConfig::default())
+    }
+
+    #[test]
+    fn initialised_stack_pops_in_order() {
+        let r = check(4, vec![Stack::pop_op(); 4], ScheduleKind::Sequential);
+        assert!(r.linearizable);
+        let got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4], "numbered stack pops 1..n");
+    }
+
+    #[test]
+    fn empty_pop_reports_empty() {
+        let r = check(0, vec![Stack::pop_op(); 2], ScheduleKind::RoundRobin);
+        assert!(r.linearizable);
+        for resp in &r.responses {
+            assert_eq!(resp, &llsc_objects::stack_empty_response());
+        }
+    }
+
+    #[test]
+    fn linearizable_under_contended_schedules() {
+        let ops = vec![
+            Stack::push_op(Value::from(10i64)),
+            Stack::push_op(Value::from(20i64)),
+            Stack::pop_op(),
+            Stack::pop_op(),
+            Stack::pop_op(),
+        ];
+        for kind in [
+            ScheduleKind::RoundRobin,
+            ScheduleKind::RandomInterleave { seed: 5 },
+            ScheduleKind::RandomInterleave { seed: 91 },
+            ScheduleKind::Adversary,
+        ] {
+            let r = check(1, ops.clone(), kind);
+            assert!(r.linearizable, "{kind:?}\n{}", r.history);
+        }
+    }
+
+    #[test]
+    fn solo_cost_is_constant_independent_of_depth() {
+        for initial in [1usize, 64, 512] {
+            let r = check(initial, vec![Stack::pop_op()], ScheduleKind::Sequential);
+            assert_eq!(r.max_ops, 3, "init={initial}");
+        }
+        let r = check(0, vec![Stack::push_op(Value::from(1i64))], ScheduleKind::Sequential);
+        assert_eq!(r.max_ops, 3);
+    }
+
+    #[test]
+    fn multi_use_push_pop_round_trips() {
+        use crate::measure_multi_use;
+        let spec: Arc<dyn ObjectSpec> = Arc::new(Stack::new());
+        let imp: Arc<dyn ObjectImplementation> = Arc::new(TreiberStack::new(Stack::new()));
+        let ops = vec![
+            vec![Stack::push_op(Value::from(1i64)), Stack::pop_op()],
+            vec![Stack::push_op(Value::from(2i64)), Stack::pop_op()],
+        ];
+        let r = measure_multi_use(
+            imp,
+            spec.as_ref(),
+            2,
+            &ops,
+            ScheduleKind::RandomInterleave { seed: 8 },
+            1_000_000,
+        );
+        assert!(r.max_amortised <= 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported operation")]
+    fn foreign_ops_are_rejected() {
+        let imp = TreiberStack::new(Stack::new());
+        let _ = imp.invoke(
+            ProcessId(0),
+            1,
+            llsc_objects::Queue::dequeue_op(),
+            Box::new(llsc_shmem::dsl::done),
+        );
+    }
+}

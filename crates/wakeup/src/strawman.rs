@@ -1,0 +1,187 @@
+//! Deliberately broken "wakeup" algorithms.
+//!
+//! Theorem 6.1's driver ([`llsc_core::verify_lower_bound`]) does more than
+//! measure step counts: when an algorithm's winner returns 1 in fewer than
+//! `⌈log₄ n⌉` steps, it *constructs* the `(S, A)`-run in which the winner
+//! still returns 1 while processes outside `S` never step — a concrete
+//! wakeup violation. These strawmen exist to exercise that refutation
+//! path; every one of them is wrong in the specific way the paper's
+//! argument detects.
+
+use llsc_shmem::dsl::{done, ll, sc, Step};
+use llsc_shmem::{Algorithm, ProcessId, Program, RegisterId, Value};
+
+const COUNTER: RegisterId = RegisterId(0);
+
+/// Returns 1 after a single LL, with no evidence anyone else is up.
+/// Violates wakeup condition 3; refuted constructively for every `n > 4`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrematureWakeup;
+
+impl Algorithm for PrematureWakeup {
+    fn name(&self) -> &'static str {
+        "strawman-premature"
+    }
+
+    fn spawn(&self, _pid: ProcessId, _n: usize) -> Box<dyn Program> {
+        ll(COUNTER, |_| done(Value::from(1i64))).into_program()
+    }
+}
+
+/// Everyone returns 0: violates wakeup condition 2 (a terminating run must
+/// have a winner). The winner-based refutation does not even apply — the
+/// `(All, A)`-run itself fails the specification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SilentWakeup;
+
+impl Algorithm for SilentWakeup {
+    fn name(&self) -> &'static str {
+        "strawman-silent"
+    }
+
+    fn spawn(&self, _pid: ProcessId, _n: usize) -> Box<dyn Program> {
+        ll(COUNTER, |_| done(Value::from(0i64))).into_program()
+    }
+}
+
+/// The counter algorithm, but declaring victory at `⌈n/2⌉` increments:
+/// the "winner" has evidence for only half the processes. Interestingly,
+/// the Figure-2 adversary does *not* expose this one — in the
+/// `(All, A)`-run everybody LLs in round 1 before anyone can return, so
+/// condition 3 holds there, and the winner's `Θ(n)` step count clears the
+/// `log₄ n` bar. The violation surfaces under a schedule that runs only
+/// half the processes (see the tests) — a reminder that the paper's
+/// adversary is crafted for the lower-bound argument, not as a complete
+/// correctness oracle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HalfCountWakeup;
+
+impl Algorithm for HalfCountWakeup {
+    fn name(&self) -> &'static str {
+        "strawman-half-count"
+    }
+
+    fn spawn(&self, _pid: ProcessId, n: usize) -> Box<dyn Program> {
+        fn attempt(n: usize) -> Step {
+            ll(COUNTER, move |prev| {
+                let v = prev.as_int().unwrap_or(0);
+                sc(COUNTER, Value::from(v + 1), move |ok, _| {
+                    if !ok {
+                        attempt(n)
+                    } else if v + 1 == n.div_ceil(2) as i128 {
+                        done(Value::from(1i64))
+                    } else {
+                        done(Value::from(0i64))
+                    }
+                })
+            })
+        }
+        attempt(n).into_program()
+    }
+}
+
+/// Returns 1 without taking a single step. The most extreme violation:
+/// `UP(p, 0) = {p}`, so the refuting `(S, A)`-run has `|S| = 1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoStepWakeup;
+
+impl Algorithm for NoStepWakeup {
+    fn name(&self) -> &'static str {
+        "strawman-no-step"
+    }
+
+    fn spawn(&self, _pid: ProcessId, _n: usize) -> Box<dyn Program> {
+        done(Value::from(1i64)).into_program()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llsc_core::{verify_lower_bound, AdversaryConfig, WakeupViolation};
+    use llsc_shmem::ZeroTosses;
+    use std::sync::Arc;
+
+    fn report(alg: &dyn Algorithm, n: usize) -> llsc_core::LowerBoundReport {
+        verify_lower_bound(alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default())
+    }
+
+    #[test]
+    fn premature_is_refuted_with_s_run_evidence() {
+        let rep = report(&PrematureWakeup, 32);
+        assert!(!rep.wakeup.ok());
+        assert!(!rep.bound_holds);
+        let refutation = rep.refutation.expect("refutation constructed");
+        assert!(refutation.s.len() < 32);
+        assert!(refutation.winner_returns_one_in_s_run);
+        assert!(!refutation.never_step.is_empty());
+        assert!(refutation
+            .violations
+            .iter()
+            .any(|v| matches!(v, WakeupViolation::PrematureWinner { .. })));
+    }
+
+    #[test]
+    fn silent_fails_condition_two() {
+        let rep = report(&SilentWakeup, 8);
+        assert!(rep
+            .wakeup
+            .violations
+            .contains(&WakeupViolation::NoWinner));
+        assert!(rep.winner.is_none());
+        // With no winner there is nothing to refute.
+        assert!(rep.refutation.is_none());
+    }
+
+    #[test]
+    fn half_count_passes_the_adversary_but_fails_a_partial_schedule() {
+        // Under the (All, A)-run everyone steps in round 1, so the
+        // adversary does not expose the bug...
+        let rep = report(&HalfCountWakeup, 10);
+        assert!(rep.wakeup.ok());
+        assert!(rep.bound_holds);
+        // ...but running only the first half of the processes does: the
+        // ⌈n/2⌉-th increment declares victory while p5..p9 never stepped.
+        use llsc_shmem::{Executor, ExecutorConfig, ListScheduler};
+        let mut e = Executor::new(
+            &HalfCountWakeup,
+            10,
+            Arc::new(ZeroTosses),
+            ExecutorConfig::default(),
+        );
+        let order: Vec<ProcessId> = (0..5).flat_map(|_| (0..5).map(ProcessId)).collect();
+        let mut sched = ListScheduler::new(order.into_iter().cycle().take(200));
+        e.drive(&mut sched, 200);
+        let check = llsc_core::check_wakeup(e.run());
+        assert!(check
+            .violations
+            .iter()
+            .any(|v| matches!(v, WakeupViolation::PrematureWinner { .. })),
+            "{check}");
+    }
+
+    #[test]
+    fn no_step_is_the_extreme_case() {
+        let rep = report(&NoStepWakeup, 16);
+        assert!(!rep.wakeup.ok());
+        assert!(!rep.bound_holds);
+        assert_eq!(rep.winner_steps, 0);
+        let refutation = rep.refutation.expect("refutation constructed");
+        assert_eq!(refutation.s.len(), 1, "UP(winner, 0) = {{winner}}");
+        // Nobody — not even the winner — takes a toss or shared-memory
+        // step in the (S, A)-run.
+        assert_eq!(refutation.never_step.len(), 16);
+    }
+
+    #[test]
+    fn strawmen_have_distinct_names() {
+        let names = [
+            PrematureWakeup.name(),
+            SilentWakeup.name(),
+            HalfCountWakeup.name(),
+            NoStepWakeup.name(),
+        ];
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run the Theorem 6.1 lower-bound driver on one algorithm.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the `(All, A)`-run of the tournament wakeup algorithm under the
+//! paper's five-phase adversary, checks the wakeup specification, and
+//! reports the winner's shared-access step count against `log₄ n`.
+
+use llsc_lowerbound::core::{ceil_log4, verify_lower_bound, AdversaryConfig};
+use llsc_lowerbound::shmem::ZeroTosses;
+use llsc_lowerbound::wakeup::TournamentWakeup;
+use std::sync::Arc;
+
+fn main() {
+    let n = 64;
+    println!("Theorem 6.1 driver: tournament wakeup, n = {n}\n");
+
+    let report = verify_lower_bound(
+        &TournamentWakeup,
+        n,
+        Arc::new(ZeroTosses),
+        &AdversaryConfig::default(),
+    );
+
+    println!("(All, A)-run: {} rounds, completed = {}", report.rounds, report.completed);
+    println!("wakeup check: {}", report.wakeup);
+    let winner = report.winner.expect("a terminating wakeup run has a winner");
+    println!("winner: {winner} with {} shared-memory operations", report.winner_steps);
+    println!("t(R) = max over processes: {} operations", report.max_steps);
+    println!(
+        "bound: ceil(log4 {n}) = {}  ->  {}",
+        ceil_log4(n),
+        if report.bound_holds { "HOLDS" } else { "REFUTED" }
+    );
+    println!(
+        "|UP(winner, r)| = {} (Lemma 5.1 cap: 4^r = {})",
+        report.up_winner_size,
+        4u64.saturating_pow(report.winner_steps as u32)
+    );
+
+    assert!(report.wakeup.ok() && report.bound_holds);
+    println!("\nThe winner performed {}x the log4(n) minimum — the paper's",
+        report.winner_steps as f64 / report.log4_n);
+    println!("Ω(log n) bound is tight within a small constant factor.");
+}

@@ -1,0 +1,86 @@
+//! Universal constructions head-to-head (experiments E8/E9/E10): the
+//! `O(log n)` Group-Update tree versus the `Θ(n)` baselines versus the
+//! non-oblivious direct object.
+//!
+//! ```text
+//! cargo run --release --example universal_constructions
+//! ```
+
+use llsc_lowerbound::objects::FetchIncrement;
+use llsc_lowerbound::universal::{
+    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal,
+    MeasureConfig, ScheduleKind,
+};
+use std::sync::Arc;
+
+fn main() {
+    let ns = [4usize, 8, 16, 32, 64, 128, 256];
+    let cfg = MeasureConfig {
+        check_linearizability: false, // checked in the test suite; sweeps here
+        ..MeasureConfig::default()
+    };
+
+    println!("Worst-case shared ops per object operation (fetch&increment, Figure-2 adversary)");
+    println!("{:-<86}", "");
+    println!(
+        "{:>6} {:>14} {:>18} {:>16} {:>14} {:>12}",
+        "n", "adt-tree", "combining-naive", "herlihy", "direct", "log2(n)+2"
+    );
+    for n in ns {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let ops = vec![FetchIncrement::op(); n];
+        let row: Vec<u64> = [
+            &AdtTreeUniversal::new(spec.clone()) as &dyn llsc_lowerbound::universal::ObjectImplementation,
+            &CombiningTreeUniversal::new(spec.clone()),
+            &HerlihyUniversal::new(spec.clone()),
+            &DirectLlSc::new(spec.clone()),
+        ]
+        .iter()
+        .map(|imp| measure(*imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg).max_ops)
+        .collect();
+        println!(
+            "{:>6} {:>14} {:>18} {:>16} {:>14} {:>12}",
+            n,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            (n as f64).log2() as u64 + 2
+        );
+    }
+
+    println!();
+    println!("The non-oblivious escape hatch: direct LL/SC, contended vs uncontended");
+    println!("{:-<60}", "");
+    println!("{:>6} {:>22} {:>22}", "n", "sequential (solo)", "adversary (contended)");
+    for n in [4usize, 16, 64, 256] {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let ops = vec![FetchIncrement::op(); n];
+        let solo = measure(
+            &DirectLlSc::new(spec.clone()),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Sequential,
+            &cfg,
+        );
+        let contended = measure(
+            &DirectLlSc::new(spec.clone()),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            &cfg,
+        );
+        println!("{:>6} {:>22} {:>22}", n, solo.max_ops, contended.max_ops);
+    }
+
+    println!();
+    println!("Reading the tables:");
+    println!("  * adt-tree grows like log2(n) + 2 — the paper's O(log n) upper bound, tight");
+    println!("    against the Omega(log n) lower bound.");
+    println!("  * the naive combining tree and the Herlihy construction grow linearly —");
+    println!("    obliviousness without the Group-Update discipline costs Theta(n).");
+    println!("  * the direct object costs a constant 2 ops solo: beating log n requires");
+    println!("    exploiting the type's semantics, exactly as the paper concludes.");
+}

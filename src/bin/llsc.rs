@@ -1,0 +1,333 @@
+//! `llsc` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! llsc wakeup    --alg tournament-wakeup --n 64        Theorem 6.1 driver
+//! llsc trace     --alg counter-wakeup    --n 4         round-by-round trace
+//! llsc stress    --alg counter-wakeup    --n 6         partial-schedule sweep
+//! llsc indist    --alg bitset-wakeup     --n 5         Lemma 5.2, all subsets
+//! llsc secretive --n 8 [--seed 7]                      Section-4 schedules
+//! llsc universal --n 64 [--imp adt|naive|herlihy|direct] [--schedule adversary|rr|seq]
+//! llsc list                                            available algorithms
+//! ```
+//!
+//! Every subcommand is deterministic; `--seed` selects toss assignments or
+//! random configurations where applicable.
+
+use llsc_lowerbound::core::{
+    build_all_run, build_s_run, check_appendix_claims, check_indistinguishability,
+    is_secretive, movers, secretive_complete_schedule, standard_portfolio, stress_wakeup,
+    trace_all_run, verify_lower_bound, AdversaryConfig, MoveConfig, ProcSet,
+};
+use llsc_lowerbound::objects::FetchIncrement;
+use llsc_lowerbound::shmem::{
+    Algorithm, ProcessId, RegisterId, SeededTosses, TossAssignment, ZeroTosses,
+};
+use llsc_lowerbound::universal::{
+    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal,
+    MeasureConfig, ObjectImplementation, ScheduleKind,
+};
+use llsc_lowerbound::wakeup::{correct_algorithms, randomized_algorithms, strawman_algorithms};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "wakeup" => cmd_wakeup(&opts),
+        "trace" => cmd_trace(&opts),
+        "stress" => cmd_stress(&opts),
+        "indist" => cmd_indist(&opts),
+        "secretive" => cmd_secretive(&opts),
+        "universal" => cmd_universal(&opts),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: llsc <subcommand> [options]
+
+subcommands:
+  wakeup     --alg <name> --n <N> [--seed <s>]   run the Theorem 6.1 driver
+  trace      --alg <name> --n <N> [--seed <s>]   print the (All, A)-run
+  stress     --alg <name> --n <N> [--seed <s>]   partial-schedule stress sweep
+  indist     --alg <name> --n <N> [--seed <s>]   Lemma 5.2, exhaustive subsets
+  secretive  --n <N> [--seed <s>]                Section-4 schedule demo
+  universal  --n <N> [--imp <i>] [--schedule <k>] measure a construction
+  list                                            list algorithm names
+
+options:
+  --alg       an algorithm name from `llsc list`
+  --n         number of processes (default 8)
+  --seed      toss-assignment / configuration seed (default: deterministic)
+  --imp       adt | naive | herlihy | direct       (default adt)
+  --schedule  adversary | rr | seq | random        (default adversary)";
+
+struct Opts {
+    flags: BTreeMap<String, String>,
+}
+
+impl Opts {
+    fn n(&self) -> Result<usize, String> {
+        match self.flags.get("n") {
+            None => Ok(8),
+            Some(v) => v.parse().map_err(|_| format!("bad --n value `{v}`")),
+        }
+    }
+
+    fn seed(&self) -> Result<Option<u64>, String> {
+        match self.flags.get("seed") {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad --seed value `{v}`")),
+        }
+    }
+
+    fn toss(&self) -> Result<Arc<dyn TossAssignment>, String> {
+        Ok(match self.seed()? {
+            Some(s) => Arc::new(SeededTosses::new(s)),
+            None => Arc::new(ZeroTosses),
+        })
+    }
+
+    fn alg(&self) -> Result<Box<dyn Algorithm>, String> {
+        let name = self
+            .flags
+            .get("alg")
+            .ok_or_else(|| "missing --alg (see `llsc list`)".to_string())?;
+        all_algorithms()
+            .into_iter()
+            .find(|a| a.name() == name)
+            .ok_or_else(|| format!("unknown algorithm `{name}` (see `llsc list`)"))
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(Opts { flags })
+}
+
+fn all_algorithms() -> Vec<Box<dyn Algorithm>> {
+    correct_algorithms()
+        .into_iter()
+        .chain(randomized_algorithms())
+        .chain(strawman_algorithms())
+        .collect()
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("correct wakeup algorithms:");
+    for a in correct_algorithms() {
+        println!("  {}", a.name());
+    }
+    println!("randomized wakeup algorithms:");
+    for a in randomized_algorithms() {
+        println!("  {}", a.name());
+    }
+    println!("strawmen (deliberately broken):");
+    for a in strawman_algorithms() {
+        println!("  {}", a.name());
+    }
+    Ok(())
+}
+
+fn cmd_wakeup(opts: &Opts) -> Result<(), String> {
+    let alg = opts.alg()?;
+    let n = opts.n()?;
+    let rep = verify_lower_bound(alg.as_ref(), n, opts.toss()?, &AdversaryConfig::default());
+    println!("{rep}");
+    println!("wakeup: {}", rep.wakeup);
+    if let Some(refutation) = &rep.refutation {
+        println!(
+            "refuted: |S| = {}, winner-returns-1-in-(S,A)-run = {}, {} process(es) never step",
+            refutation.s.len(),
+            refutation.winner_returns_one_in_s_run,
+            refutation.never_step.len()
+        );
+        for v in &refutation.violations {
+            println!("  violation: {v}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let alg = opts.alg()?;
+    let n = opts.n()?;
+    let all = build_all_run(alg.as_ref(), n, opts.toss()?, &AdversaryConfig::default());
+    print!("{}", trace_all_run(&all, 50));
+    Ok(())
+}
+
+fn cmd_stress(opts: &Opts) -> Result<(), String> {
+    let alg = opts.alg()?;
+    let n = opts.n()?;
+    let report = stress_wakeup(
+        alg.as_ref(),
+        n,
+        opts.toss()?,
+        &standard_portfolio(n, 5),
+        5_000_000,
+    );
+    println!("{report}");
+    for f in &report.failures {
+        println!("  under {}:", f.schedule);
+        for v in &f.violations {
+            println!("    {v}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_indist(opts: &Opts) -> Result<(), String> {
+    let alg = opts.alg()?;
+    let n = opts.n()?;
+    if n > 12 {
+        return Err("indist enumerates all 2^n subsets; use --n <= 12".into());
+    }
+    let toss = opts.toss()?;
+    let cfg = AdversaryConfig::default();
+    let all = build_all_run(alg.as_ref(), n, toss.clone(), &cfg);
+    let mut comparisons = 0usize;
+    let mut claim_instances = 0usize;
+    for mask in 0u32..(1 << n) {
+        let s: ProcSet = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(ProcessId)
+            .collect();
+        let srun = build_s_run(alg.as_ref(), n, toss.clone(), &s, &all, &cfg);
+        let lemma = check_indistinguishability(&all, &srun);
+        let claims = check_appendix_claims(&all, &srun);
+        comparisons += lemma.process_checks + lemma.register_checks;
+        claim_instances += claims.instances;
+        if !lemma.ok() || !claims.ok() {
+            println!("VIOLATION for S = {s:?}");
+            for v in &lemma.violations {
+                println!("  {v}");
+            }
+            for v in &claims.violations {
+                println!("  {v}");
+            }
+            return Err("indistinguishability violated".into());
+        }
+    }
+    println!(
+        "Lemma 5.2 + appendix claims: all {} subsets pass ({} comparisons, {} claim instances, 0 violations)",
+        1u64 << n,
+        comparisons,
+        claim_instances
+    );
+    Ok(())
+}
+
+fn cmd_secretive(opts: &Opts) -> Result<(), String> {
+    let n = opts.n()?;
+    let cfg = match opts.seed()? {
+        None => {
+            println!("the Section-4 chain: p_i moves R_i into R_(i+1)");
+            MoveConfig::from_iter(
+                (0..n).map(|i| (ProcessId(i), RegisterId(i as u64), RegisterId(i as u64 + 1))),
+            )
+        }
+        Some(seed) => {
+            println!("random move configuration (seed {seed})");
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let regs = (n as u64 / 2).max(2);
+            MoveConfig::from_iter((0..n).map(|i| {
+                let src = next() % regs;
+                let dst = (src + 1 + next() % (regs - 1)) % regs;
+                (ProcessId(i), RegisterId(src), RegisterId(dst))
+            }))
+        }
+    };
+    println!("config: {cfg}");
+    let sigma = secretive_complete_schedule(&cfg);
+    let names: Vec<String> = sigma.iter().map(ToString::to_string).collect();
+    println!("secretive schedule: [{}]", names.join(", "));
+    println!("is_secretive: {}", is_secretive(&sigma, &cfg));
+    let mut worst = 0;
+    for r in cfg.destinations() {
+        let m = movers(r, &sigma, &cfg);
+        worst = worst.max(m.len());
+        let ms: Vec<String> = m.iter().map(ToString::to_string).collect();
+        println!("  movers({r}) = [{}]", ms.join(", "));
+    }
+    println!("worst movers-list length: {worst} (Lemma 4.1 cap: 2)");
+    Ok(())
+}
+
+fn cmd_universal(opts: &Opts) -> Result<(), String> {
+    let n = opts.n()?;
+    let spec = Arc::new(FetchIncrement::new(32));
+    let imp: Box<dyn ObjectImplementation> =
+        match opts.flags.get("imp").map(String::as_str).unwrap_or("adt") {
+            "adt" => Box::new(AdtTreeUniversal::new(spec.clone())),
+            "naive" => Box::new(CombiningTreeUniversal::new(spec.clone())),
+            "herlihy" => Box::new(HerlihyUniversal::new(spec.clone())),
+            "direct" => Box::new(DirectLlSc::new(spec.clone())),
+            other => return Err(format!("unknown --imp `{other}`")),
+        };
+    let schedule = match opts
+        .flags
+        .get("schedule")
+        .map(String::as_str)
+        .unwrap_or("adversary")
+    {
+        "adversary" => ScheduleKind::Adversary,
+        "rr" => ScheduleKind::RoundRobin,
+        "seq" => ScheduleKind::Sequential,
+        "random" => ScheduleKind::RandomInterleave {
+            seed: opts.seed()?.unwrap_or(1),
+        },
+        other => return Err(format!("unknown --schedule `{other}`")),
+    };
+    let cfg = MeasureConfig {
+        check_linearizability: n <= 64,
+        ..MeasureConfig::default()
+    };
+    let ops = vec![FetchIncrement::op(); n];
+    let result = measure(imp.as_ref(), spec.as_ref(), n, &ops, schedule, &cfg);
+    println!("{result}");
+    println!("per-process ops: {:?}", result.per_process_ops);
+    Ok(())
+}

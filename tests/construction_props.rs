@@ -1,0 +1,171 @@
+//! Property-based linearizability testing of the universal constructions:
+//! random operation mixes, random schedules, every construction.
+//!
+//! The unit tests exercise uniform workloads (everyone increments,
+//! everyone dequeues); these properties randomise the operations per
+//! process and the interleaving, and require the observed history to
+//! linearize against the sequential specification.
+
+use llsc_lowerbound::objects::{Counter, ObjectSpec, Queue, Stack};
+use llsc_lowerbound::shmem::Value;
+use llsc_lowerbound::universal::{
+    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal,
+    MeasureConfig, MsQueue, ObjectImplementation, ScheduleKind, TreiberStack,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds each construction over the given spec.
+fn constructions(spec: Arc<dyn ObjectSpec>) -> Vec<Box<dyn ObjectImplementation>> {
+    vec![
+        Box::new(AdtTreeUniversal::new(spec.clone())),
+        Box::new(CombiningTreeUniversal::new(spec.clone())),
+        Box::new(HerlihyUniversal::new(spec.clone())),
+        Box::new(DirectLlSc::new(spec.clone())),
+    ]
+}
+
+fn queue_op_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..100).prop_map(|v| Queue::enqueue_op(Value::from(v))),
+        Just(Queue::dequeue_op()),
+    ]
+}
+
+fn stack_op_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..100).prop_map(|v| Stack::push_op(Value::from(v))),
+        Just(Stack::pop_op()),
+    ]
+}
+
+fn counter_op_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Counter::increment_op()),
+        Just(Counter::read_op()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mixed queue operations linearize through every construction — and
+    /// through the structural Michael-Scott queue — under a random
+    /// schedule (and the adversary).
+    #[test]
+    fn queue_mixes_linearize(
+        ops in prop::collection::vec(queue_op_strategy(), 2..7),
+        initial in prop::collection::vec(0i64..50, 0..4),
+        seed in 0u64..500,
+    ) {
+        let n = ops.len();
+        let items: Vec<Value> = initial.into_iter().map(Value::from).collect();
+        let spec: Arc<dyn ObjectSpec> = Arc::new(Queue::with_items(items.clone()));
+        let mut imps = constructions(spec.clone());
+        imps.push(Box::new(MsQueue::new(Queue::with_items(items))));
+        for imp in imps {
+            for kind in [ScheduleKind::RandomInterleave { seed }, ScheduleKind::Adversary] {
+                let r = measure(
+                    imp.as_ref(),
+                    spec.as_ref(),
+                    n,
+                    &ops,
+                    kind,
+                    &MeasureConfig::default(),
+                );
+                prop_assert!(
+                    r.linearizable,
+                    "{} under {kind:?}: history not linearizable\n{}",
+                    imp.name(),
+                    r.history
+                );
+            }
+        }
+    }
+
+    /// Mixed stack operations linearize through every construction — and
+    /// through the structural Treiber stack.
+    #[test]
+    fn stack_mixes_linearize(
+        ops in prop::collection::vec(stack_op_strategy(), 2..7),
+        seed in 0u64..500,
+    ) {
+        let n = ops.len();
+        let spec: Arc<dyn ObjectSpec> = Arc::new(Stack::new());
+        let mut imps = constructions(spec.clone());
+        imps.push(Box::new(TreiberStack::new(Stack::new())));
+        for imp in imps {
+            let r = measure(
+                imp.as_ref(),
+                spec.as_ref(),
+                n,
+                &ops,
+                ScheduleKind::RandomInterleave { seed },
+                &MeasureConfig::default(),
+            );
+            prop_assert!(r.linearizable, "{}", imp.name());
+        }
+    }
+
+    /// Counter increments/reads linearize, and the observed reads never
+    /// exceed the number of increments.
+    #[test]
+    fn counter_mixes_linearize(
+        ops in prop::collection::vec(counter_op_strategy(), 2..8),
+        seed in 0u64..500,
+    ) {
+        let n = ops.len();
+        let total_incs = ops
+            .iter()
+            .filter(|o| o == &&Counter::increment_op())
+            .count() as i128;
+        let spec: Arc<dyn ObjectSpec> = Arc::new(Counter::new(16));
+        for imp in constructions(spec.clone()) {
+            let r = measure(
+                imp.as_ref(),
+                spec.as_ref(),
+                n,
+                &ops,
+                ScheduleKind::RandomInterleave { seed },
+                &MeasureConfig::default(),
+            );
+            prop_assert!(r.linearizable, "{}", imp.name());
+            for (p, resp) in r.responses.iter().enumerate() {
+                if ops[p] == Counter::read_op() {
+                    let v = resp.as_int().expect("read returns an int");
+                    prop_assert!(
+                        (0..=total_incs).contains(&v),
+                        "{}: read {v} of {total_incs} increments",
+                        imp.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The constructions agree with each other on commutative workloads:
+    /// the multiset of fetch&increment responses is {0..n-1} for all of
+    /// them under any schedule.
+    #[test]
+    fn constructions_agree_on_increment_multisets(
+        n in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        use llsc_lowerbound::objects::FetchIncrement;
+        let spec: Arc<dyn ObjectSpec> = Arc::new(FetchIncrement::new(16));
+        let ops = vec![FetchIncrement::op(); n];
+        for imp in constructions(spec.clone()) {
+            let r = measure(
+                imp.as_ref(),
+                spec.as_ref(),
+                n,
+                &ops,
+                ScheduleKind::RandomInterleave { seed },
+                &MeasureConfig::default(),
+            );
+            let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, (0..n as i128).collect::<Vec<_>>(), "{}", imp.name());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests over the paper's core claims.
+//!
+//! The headline property: Lemmas 5.1 and 5.2 are universally quantified
+//! over *algorithms* — so we generate random straight-line programs (every
+//! process performs an arbitrary script of LL/validate/SC/swap/move
+//! operations over a small register set), build the `(All, A)`-run, and
+//! check the `UP` bound and the indistinguishability of every `(S, A)`-run
+//! against it. Any unsoundness in the update rules, the secretive
+//! scheduling, or the `(S, A)` construction shows up here as a violation.
+
+use llsc_lowerbound::core::{
+    build_all_run, build_s_run, check_indistinguishability, is_secretive, movers,
+    restriction_preserves_source, secretive_complete_schedule, AdversaryConfig, MoveConfig,
+    ProcSet,
+};
+use llsc_lowerbound::objects::{
+    check_linearizability, is_linearizable, FetchIncrement, History, ObjectSpec, Queue,
+};
+use llsc_lowerbound::shmem::dsl::{done, Step};
+use llsc_lowerbound::shmem::{
+    Algorithm, FnAlgorithm, Operation, ProcessId, Program, RegisterId, SeededTosses, Value,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One scripted shared-memory operation over a small register universe.
+#[derive(Clone, Copy, Debug)]
+enum ScriptOp {
+    Ll(u64),
+    Validate(u64),
+    Sc(u64),
+    Swap(u64),
+    Move(u64, u64),
+}
+
+const REGISTERS: u64 = 4;
+
+fn script_op_strategy() -> impl Strategy<Value = ScriptOp> {
+    prop_oneof![
+        (0..REGISTERS).prop_map(ScriptOp::Ll),
+        (0..REGISTERS).prop_map(ScriptOp::Validate),
+        (0..REGISTERS).prop_map(ScriptOp::Sc),
+        (0..REGISTERS).prop_map(ScriptOp::Swap),
+        (0..REGISTERS, 1..REGISTERS).prop_map(|(src, delta)| {
+            // Distinct destination: self-moves are outside the model.
+            ScriptOp::Move(src, (src + delta) % REGISTERS)
+        }),
+    ]
+}
+
+fn scripts_strategy(n: usize) -> impl Strategy<Value = Vec<Vec<ScriptOp>>> {
+    prop::collection::vec(prop::collection::vec(script_op_strategy(), 0..6), n)
+}
+
+/// Builds the program of one process from its script. SC/swap write
+/// distinctive values so runs are information-rich.
+fn script_program(pid: ProcessId, script: &[ScriptOp]) -> Box<dyn Program> {
+    let mut step: Step = done(Value::from(0i64));
+    for (i, op) in script.iter().enumerate().rev() {
+        let marker = Value::tuple([Value::Pid(pid), Value::from(i)]);
+        let operation = match *op {
+            ScriptOp::Ll(r) => Operation::Ll(RegisterId(r)),
+            ScriptOp::Validate(r) => Operation::Validate(RegisterId(r)),
+            ScriptOp::Sc(r) => Operation::Sc(RegisterId(r), marker),
+            ScriptOp::Swap(r) => Operation::Swap(RegisterId(r), marker),
+            ScriptOp::Move(src, dst) => Operation::Move {
+                src: RegisterId(src),
+                dst: RegisterId(dst),
+            },
+        };
+        step = Step::Op(operation, Box::new(move |_| step));
+    }
+    step.into_program()
+}
+
+fn scripted_algorithm(scripts: Vec<Vec<ScriptOp>>) -> impl Algorithm {
+    FnAlgorithm::new("scripted", move |pid: ProcessId, _n| {
+        script_program(pid, &scripts[pid.0])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 5.1 and Lemma 5.2 hold for arbitrary programs: every subset S
+    /// of processes yields an indistinguishable (S, A)-run.
+    #[test]
+    fn lemmas_5_1_and_5_2_for_random_programs(
+        scripts in scripts_strategy(4),
+        seed in 0u64..1000,
+    ) {
+        let n = scripts.len();
+        let alg = scripted_algorithm(scripts);
+        let cfg = AdversaryConfig::default();
+        let toss = Arc::new(SeededTosses::new(seed));
+        let all = build_all_run(&alg, n, toss.clone(), &cfg);
+        prop_assert!(all.base.completed);
+        prop_assert!(all.up.lemma_5_1_holds());
+        for mask in 0u32..(1 << n) {
+            let s: ProcSet = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(ProcessId)
+                .collect();
+            let srun = build_s_run(&alg, n, toss.clone(), &s, &all, &cfg);
+            let report = check_indistinguishability(&all, &srun);
+            prop_assert!(
+                report.ok(),
+                "S = {:?}: {:?}",
+                s,
+                report.violations
+            );
+        }
+    }
+
+    /// Lemma 4.1: the constructed schedule is secretive for arbitrary
+    /// configurations; Lemma 4.2: restricting to the movers preserves the
+    /// source.
+    #[test]
+    fn lemmas_4_1_and_4_2_for_random_configs(
+        moves in prop::collection::vec((0u64..8, 1u64..8), 1..24),
+    ) {
+        let cfg = MoveConfig::from_iter(moves.iter().enumerate().map(|(i, &(src, delta))| {
+            (ProcessId(i), RegisterId(src), RegisterId((src + delta) % 8))
+        }));
+        let sigma = secretive_complete_schedule(&cfg);
+        prop_assert!(is_secretive(&sigma, &cfg));
+        for r in cfg.destinations() {
+            let m = movers(r, &sigma, &cfg);
+            prop_assert!(m.len() <= 2, "{r}: {m:?}");
+            let keep: ProcSet = m.into_iter().collect();
+            prop_assert!(restriction_preserves_source(r, &sigma, &cfg, &keep));
+        }
+    }
+
+    /// Sequential histories generated straight from a specification are
+    /// always linearizable; corrupting one response breaks exactly that.
+    #[test]
+    fn generated_sequential_histories_linearize(ops_count in 1usize..10) {
+        let spec = FetchIncrement::new(16);
+        let mut h = History::new();
+        let mut state = spec.initial();
+        for i in 0..ops_count {
+            let id = h.invoke(ProcessId(i % 3), FetchIncrement::op());
+            let (next, resp) = spec.apply(&state, &FetchIncrement::op());
+            state = next;
+            h.respond(id, resp);
+        }
+        prop_assert!(is_linearizable(&spec, &h));
+    }
+
+    /// A queue history that dequeues values never enqueued is never
+    /// linearizable.
+    #[test]
+    fn phantom_dequeues_never_linearize(bogus in 100i64..200) {
+        let q = Queue::new();
+        let h = History::sequential([
+            (ProcessId(0), Queue::enqueue_op(Value::from(1i64)), Value::Unit),
+            (ProcessId(1), Queue::dequeue_op(), Value::from(bogus)),
+        ]);
+        prop_assert!(!is_linearizable(&q, &h));
+    }
+
+    /// The linearizability checker returns a witness that really is a
+    /// valid linearisation: replaying it through the spec reproduces the
+    /// observed responses.
+    #[test]
+    fn witnesses_replay_correctly(perm in prop::sample::select(vec![0usize, 1, 2, 3, 4, 5])) {
+        // Concurrent increments responding in an arbitrary rotation.
+        let spec = FetchIncrement::new(16);
+        let mut h = History::new();
+        let k = 4usize;
+        let ids: Vec<_> = (0..k).map(|i| h.invoke(ProcessId(i), FetchIncrement::op())).collect();
+        for (offset, id) in ids.iter().enumerate() {
+            let v = (offset + perm) % k;
+            h.respond(*id, Value::from(v as i64));
+        }
+        match check_linearizability(&spec, &h) {
+            llsc_lowerbound::objects::LinCheck::Linearizable { witness } => {
+                let mut state = spec.initial();
+                for id in &witness {
+                    let rec = &h.records()[id.index()];
+                    let (next, resp) = spec.apply(&state, &rec.op);
+                    state = next;
+                    prop_assert_eq!(Some(&resp), rec.resp.as_ref());
+                }
+            }
+            llsc_lowerbound::objects::LinCheck::NotLinearizable => {
+                // Distinct responses 0..k always linearize for
+                // fetch&increment (all ops concurrent).
+                prop_assert!(false, "rotation {perm} should linearize");
+            }
+        }
+    }
+}
