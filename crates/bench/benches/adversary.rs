@@ -2,42 +2,27 @@
 //! `(All, A)`-runs (the five-phase adversary plus `UP` tracking) and
 //! `(S, A)`-runs, across wakeup algorithms and system sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llsc_bench::harness::time_case;
 use llsc_core::{build_all_run, build_s_run, AdversaryConfig, ProcSet};
 use llsc_shmem::{ProcessId, ZeroTosses};
 use llsc_wakeup::{CounterWakeup, TournamentWakeup};
 use std::sync::Arc;
 
-fn bench_all_run(c: &mut Criterion) {
+fn main() {
     let cfg = AdversaryConfig::default();
-    let mut group = c.benchmark_group("build_all_run");
-    group.sample_size(10);
     for n in [16usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::new("counter", n), &n, |b, &n| {
-            b.iter(|| build_all_run(&CounterWakeup, n, Arc::new(ZeroTosses), &cfg));
+        time_case(&format!("build_all_run/counter/{n}"), 10, || {
+            build_all_run(&CounterWakeup, n, Arc::new(ZeroTosses), &cfg)
         });
-        group.bench_with_input(BenchmarkId::new("tournament", n), &n, |b, &n| {
-            b.iter(|| build_all_run(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg));
+        time_case(&format!("build_all_run/tournament/{n}"), 10, || {
+            build_all_run(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg)
         });
     }
-    group.finish();
-}
-
-fn bench_s_run(c: &mut Criterion) {
-    let cfg = AdversaryConfig::default();
-    let mut group = c.benchmark_group("build_s_run");
-    group.sample_size(10);
     for n in [16usize, 64] {
         let all = build_all_run(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg);
         let s: ProcSet = (0..n / 2).map(ProcessId).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                build_s_run(&TournamentWakeup, n, Arc::new(ZeroTosses), &s, &all, &cfg)
-            });
+        time_case(&format!("build_s_run/{n}"), 10, || {
+            build_s_run(&TournamentWakeup, n, Arc::new(ZeroTosses), &s, &all, &cfg)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_all_run, bench_s_run);
-criterion_main!(benches);

@@ -3,39 +3,24 @@
 //! flows. Complements experiment E1, which checks correctness; this
 //! measures the cost of the constructive algorithm itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use llsc_bench::random_move_config;
-use llsc_core::{movers, secretive_complete_schedule};
+use llsc_bench::harness::time_case;
+use llsc_core::{movers, random_move_config, secretive_complete_schedule};
 
-fn bench_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("secretive_complete_schedule");
-    group.sample_size(20);
+fn main() {
     for n in [16usize, 64, 256, 1024] {
         let cfg = random_move_config(n, (n as u64 / 2).max(2), 7);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
-            b.iter(|| secretive_complete_schedule(std::hint::black_box(cfg)));
+        time_case(&format!("secretive_complete_schedule/{n}"), 20, || {
+            secretive_complete_schedule(std::hint::black_box(&cfg))
         });
     }
-    group.finish();
-}
-
-fn bench_movers_evaluation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("movers_flow_evaluation");
-    group.sample_size(20);
     for n in [64usize, 1024] {
         let cfg = random_move_config(n, (n as u64 / 2).max(2), 11);
         let sigma = secretive_complete_schedule(&cfg);
         let dests: Vec<_> = cfg.destinations().into_iter().collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                for &r in &dests {
-                    std::hint::black_box(movers(r, &sigma, &cfg));
-                }
-            });
+        time_case(&format!("movers_flow_evaluation/{n}"), 20, || {
+            for &r in &dests {
+                std::hint::black_box(movers(r, &sigma, &cfg));
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_construction, bench_movers_evaluation);
-criterion_main!(benches);

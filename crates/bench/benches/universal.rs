@@ -3,52 +3,66 @@
 //! adversary. The interesting output is in the `table_e8` binary (shared
 //! ops per operation); this tracks simulator throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llsc_bench::harness::time_case;
 use llsc_objects::FetchIncrement;
 use llsc_universal::{
     measure, AdtTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig, ScheduleKind,
 };
 use std::sync::Arc;
 
-fn bench_constructions(c: &mut Criterion) {
+fn main() {
     let cfg = MeasureConfig {
         check_linearizability: false,
         ..MeasureConfig::default()
     };
-    let mut group = c.benchmark_group("construction_full_run");
-    group.sample_size(10);
     for n in [16usize, 64] {
         let spec = Arc::new(FetchIncrement::new(32));
         let ops = vec![FetchIncrement::op(); n];
-        group.bench_with_input(BenchmarkId::new("adt-tree", n), &n, |b, &n| {
-            let imp = AdtTreeUniversal::new(spec.clone());
-            b.iter(|| measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg));
+        let adt = AdtTreeUniversal::new(spec.clone());
+        time_case(&format!("construction_full_run/adt-tree/{n}"), 10, || {
+            measure(&adt, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg)
         });
-        group.bench_with_input(BenchmarkId::new("herlihy", n), &n, |b, &n| {
-            let imp = HerlihyUniversal::new(spec.clone());
-            b.iter(|| measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg));
+        let herlihy = HerlihyUniversal::new(spec.clone());
+        time_case(&format!("construction_full_run/herlihy/{n}"), 10, || {
+            measure(
+                &herlihy,
+                spec.as_ref(),
+                n,
+                &ops,
+                ScheduleKind::Adversary,
+                &cfg,
+            )
         });
-        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
-            let imp = DirectLlSc::new(spec.clone());
-            b.iter(|| measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg));
+        let direct = DirectLlSc::new(spec.clone());
+        time_case(&format!("construction_full_run/direct/{n}"), 10, || {
+            measure(
+                &direct,
+                spec.as_ref(),
+                n,
+                &ops,
+                ScheduleKind::Adversary,
+                &cfg,
+            )
         });
     }
-    group.finish();
-}
 
-fn bench_linearizability_check(c: &mut Criterion) {
-    let cfg = MeasureConfig::default();
-    let mut group = c.benchmark_group("measure_with_linearizability");
-    group.sample_size(10);
+    let lincheck_cfg = MeasureConfig::default();
     let n = 12;
     let spec = Arc::new(FetchIncrement::new(32));
     let ops = vec![FetchIncrement::op(); n];
-    group.bench_function(BenchmarkId::new("adt-tree+lincheck", n), |b| {
-        let imp = AdtTreeUniversal::new(spec.clone());
-        b.iter(|| measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg));
-    });
-    group.finish();
+    let adt = AdtTreeUniversal::new(spec.clone());
+    time_case(
+        "measure_with_linearizability/adt-tree+lincheck/12",
+        10,
+        || {
+            measure(
+                &adt,
+                spec.as_ref(),
+                n,
+                &ops,
+                ScheduleKind::Adversary,
+                &lincheck_cfg,
+            )
+        },
+    );
 }
-
-criterion_group!(benches, bench_constructions, bench_linearizability_check);
-criterion_main!(benches);

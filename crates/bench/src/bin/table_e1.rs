@@ -1,4 +1,10 @@
 //! E1/E2/E11: secretive complete schedules (Lemmas 4.1 & 4.2).
-fn main() {
-    llsc_bench::e1_secretive_schedules(&[4, 16, 64, 256, 1024, 4096], 20);
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e1_secretive_schedules(&[4, 16, 64, 256, 1024, 4096], 20, &sweep);
+    opts.emit(&[&exp.table])
 }

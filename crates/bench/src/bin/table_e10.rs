@@ -1,6 +1,11 @@
-//! E10: the non-oblivious constant-time escape hatch.
-fn main() {
-    llsc_bench::e10_direct_escape_hatch(&[4, 16, 64, 256]);
-    println!();
-    llsc_bench::e10b_structural_escape_hatches(&[1, 16, 256, 4096]);
+//! E10: the non-oblivious escape hatches.
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let a = llsc_bench::e10_direct_escape_hatch(&[4, 16, 64, 256], &sweep);
+    let b = llsc_bench::e10b_structural_escape_hatches(&[1, 16, 256, 4096], &sweep);
+    opts.emit(&[&a.table, &b.table])
 }

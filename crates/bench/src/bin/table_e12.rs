@@ -1,4 +1,10 @@
-//! E12: k-use amortised costs of the direct LL/SC object.
-fn main() {
-    llsc_bench::e12_multi_use(&[2, 8, 32], &[1, 4, 16]);
+//! E12: k-use amortised costs of the direct object.
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e12_multi_use(&[2, 8, 32], &[1, 4, 16], &sweep);
+    opts.emit(&[&exp.table])
 }

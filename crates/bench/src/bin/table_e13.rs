@@ -1,4 +1,10 @@
-//! E13: the appendix claims, exhaustively over subsets.
-fn main() {
-    llsc_bench::e13_appendix_claims(&[4, 6]);
+//! E13: the appendix claims, exhaustive over subsets.
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e13_appendix_claims(&[4, 6], &sweep);
+    opts.emit(&[&exp.table])
 }

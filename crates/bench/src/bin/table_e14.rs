@@ -1,4 +1,10 @@
 //! E14: the wakeup stress portfolio.
-fn main() {
-    llsc_bench::e14_stress_portfolio(8);
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e14_stress_portfolio(8, &sweep);
+    opts.emit(&[&exp.table])
 }

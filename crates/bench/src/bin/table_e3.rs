@@ -1,4 +1,10 @@
 //! E3: UP-set growth (Lemma 5.1).
-fn main() {
-    llsc_bench::e3_up_growth(&[4, 16, 64, 256, 1024]);
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e3_up_growth(&[4, 16, 64, 256, 1024], &sweep);
+    opts.emit(&[&exp.table])
 }

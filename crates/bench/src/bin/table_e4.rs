@@ -1,4 +1,10 @@
-//! E4: the Indistinguishability Lemma (Lemma 5.2), exhaustive over subsets.
-fn main() {
-    llsc_bench::e4_indistinguishability(&[4, 6], &[0, 1, 42]);
+//! E4: indistinguishability (Lemma 5.2).
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e4_indistinguishability(&[4, 6], &[0, 1, 42], &sweep);
+    opts.emit(&[&exp.table])
 }

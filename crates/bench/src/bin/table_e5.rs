@@ -1,6 +1,11 @@
 //! E5: the wakeup lower bound (Theorem 6.1).
-fn main() {
-    llsc_bench::e5_wakeup_lower_bound(&[4, 16, 64, 256, 1024]);
-    println!();
-    llsc_bench::e5_tournament_tightness(&[4, 16, 64, 256, 1024, 4096]);
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let a = llsc_bench::e5_wakeup_lower_bound(&[4, 16, 64, 256, 1024], &sweep);
+    let b = llsc_bench::e5_tournament_tightness(&[4, 16, 64, 256, 1024, 4096], &sweep);
+    opts.emit(&[&a.table, &b.table])
 }

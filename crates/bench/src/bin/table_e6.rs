@@ -1,4 +1,10 @@
 //! E6: randomized expected complexity (Lemma 3.1).
-fn main() {
-    llsc_bench::e6_randomized_expectation(&[4, 16, 64], 30);
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e6_randomized_expectation(&[4, 16, 64], 30, &sweep);
+    opts.emit(&[&exp.table])
 }

@@ -1,4 +1,10 @@
 //! E7: the Theorem 6.2 object reductions.
-fn main() {
-    llsc_bench::e7_reductions(&[4, 16, 64, 256]);
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e7_reductions(&[4, 16, 64, 256], &sweep);
+    opts.emit(&[&exp.table])
 }

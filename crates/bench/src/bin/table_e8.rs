@@ -1,4 +1,10 @@
-//! E8/E9: universal-construction complexity sweep (tightness).
-fn main() {
-    llsc_bench::e8_universal_constructions(&[4, 8, 16, 32, 64, 128, 256, 512]);
+//! E8/E9: universal-construction tightness sweep.
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e8_universal_constructions(&[4, 8, 16, 32, 64, 128, 256, 512], &sweep);
+    opts.emit(&[&exp.table])
 }

@@ -1,4 +1,10 @@
-//! E9: schedule ablation for the universal constructions.
-fn main() {
-    llsc_bench::e9_schedule_ablation(&[16, 64, 256]);
+//! E9: schedule ablation for the constructions.
+use llsc_bench::harness::HarnessOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_env();
+    let sweep = opts.sweep();
+    let exp = llsc_bench::e9_schedule_ablation(&[16, 64, 256], &sweep);
+    opts.emit(&[&exp.table])
 }

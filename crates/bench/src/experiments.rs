@@ -1,45 +1,42 @@
 //! The experiment implementations behind the `table_*` binaries.
 //!
-//! Every function prints its table and returns the measured rows so tests
-//! (and `EXPERIMENTS.md` updates) can consume the numbers directly. All
-//! experiments are deterministic: fixed seeds, fixed toss assignments.
+//! Every function runs its independent trials on the shared [`Sweep`]
+//! engine and returns an [`Experiment`] — the rendered table plus the
+//! typed rows, so tests (and `EXPERIMENTS.md` updates) can consume the
+//! numbers directly. All experiments are deterministic: fixed seeds, fixed
+//! toss assignments, and trial results merged in index order, so the
+//! tables are byte-identical at every thread count.
 
+use crate::harness::Experiment;
 use crate::table::Table;
 use llsc_core::{
-    build_all_run, build_s_run, ceil_log4, check_indistinguishability, estimate_expected_complexity,
-    flow_report, secretive_complete_schedule, verify_lower_bound, AdversaryConfig, MoveConfig,
-    ProcSet,
+    build_all_run, ceil_log4, check_claims_all_subsets_sweep, estimate_expected_complexity_sweep,
+    flow_report, indist_all_subsets, secretive_complete_schedule, verify_lower_bound,
+    AdversaryConfig, MoveConfig, ProcSet,
 };
+// Re-exported for callers that predate the move of the seeding helpers
+// into `llsc_core` (see `crates/core/src/secretive.rs`).
+pub use llsc_core::random_move_config;
 use llsc_objects::FetchIncrement;
-use llsc_shmem::{Algorithm, ProcessId, RegisterId, SeededTosses, ZeroTosses};
+use llsc_shmem::{Algorithm, ProcessId, RegisterId, SeededTosses, Sweep, ZeroTosses};
 use llsc_universal::{
-    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal,
-    MeasureConfig, ObjectImplementation, ScheduleKind,
+    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig,
+    ObjectImplementation, ScheduleKind,
 };
 use llsc_wakeup::{
     correct_algorithms, randomized_algorithms, ObjectWakeup, ReductionKind, TournamentWakeup,
 };
 use std::sync::Arc;
 
-/// Deterministic xorshift stream for random move configurations.
-fn xorshift_stream(seed: u64) -> impl FnMut() -> u64 {
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-    move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
+/// The `(algorithm index, n)` product used by the per-algorithm sweeps.
+fn alg_size_pairs(algs: usize, ns: &[usize]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(algs * ns.len());
+    for a in 0..algs {
+        for &n in ns {
+            pairs.push((a, n));
+        }
     }
-}
-
-/// A random move configuration over `regs` registers (no self-moves).
-pub fn random_move_config(n: usize, regs: u64, seed: u64) -> MoveConfig {
-    let mut next = xorshift_stream(seed);
-    MoveConfig::from_iter((0..n).map(|i| {
-        let src = next() % regs;
-        let dst = (src + 1 + next() % (regs - 1)) % regs;
-        (ProcessId(i), RegisterId(src), RegisterId(dst))
-    }))
+    pairs
 }
 
 /// One row of E1: secretive-schedule statistics for a configuration size.
@@ -57,21 +54,34 @@ pub struct E1Row {
 }
 
 /// E1/E2: Lemma 4.1 and 4.2 over random move configurations, plus the
-/// Section-4 chain (E11).
-pub fn e1_secretive_schedules(sizes: &[usize], configs_per_size: usize) -> Vec<E1Row> {
+/// Section-4 chain (E11). Random configurations fan out over the sweep.
+pub fn e1_secretive_schedules(
+    sizes: &[usize],
+    configs_per_size: usize,
+    sweep: &Sweep,
+) -> Experiment<E1Row> {
     let mut table = Table::new(
         "E1/E2 - secretive complete schedules: Lemma 4.1 (movers <= 2) and Lemma 4.2 (restriction)",
-        ["n", "configs", "worst movers", "Lemma 4.2 checks", "verdict"],
+        [
+            "n",
+            "configs",
+            "worst movers",
+            "Lemma 4.2 checks",
+            "verdict",
+        ],
     );
     let mut rows = Vec::new();
     for &n in sizes {
-        let mut worst = 0usize;
-        let mut restriction_checks = 0usize;
-        for c in 0..configs_per_size {
+        // Each random configuration is one independent trial returning its
+        // (worst movers, restriction checks) tally.
+        let tallies = sweep.run_indexed(configs_per_size, |trial| {
+            let c = trial.index;
             let regs = (n as u64 / 2).max(2);
             let cfg = random_move_config(n, regs, c as u64 * 7919 + n as u64);
             let sigma = secretive_complete_schedule(&cfg);
             let flows = flow_report(&sigma, &cfg);
+            let mut worst = 0usize;
+            let mut restriction_checks = 0usize;
             for (&r, (src, m)) in &flows {
                 assert!(m.len() <= 2, "Lemma 4.1 violated at {r}");
                 worst = worst.max(m.len());
@@ -84,7 +94,10 @@ pub fn e1_secretive_schedules(sizes: &[usize], configs_per_size: usize) -> Vec<E
                 assert_eq!(restricted_src, *src, "Lemma 4.2 violated at {r}");
                 restriction_checks += 1;
             }
-        }
+            (worst, restriction_checks)
+        });
+        let worst = tallies.iter().map(|&(w, _)| w).max().unwrap_or(0);
+        let restriction_checks: usize = tallies.iter().map(|&(_, c)| c).sum();
         // The paper's chain example as a fixed configuration.
         let chain = MoveConfig::from_iter(
             (0..n).map(|i| (ProcessId(i), RegisterId(i as u64), RegisterId(i as u64 + 1))),
@@ -105,8 +118,7 @@ pub fn e1_secretive_schedules(sizes: &[usize], configs_per_size: usize) -> Vec<E
             restriction_checks,
         });
     }
-    table.print();
-    rows
+    Experiment { table, rows }
 }
 
 /// One row of E3: UP growth for one algorithm at one `n`.
@@ -124,8 +136,9 @@ pub struct E3Row {
     pub lemma_5_1: bool,
 }
 
-/// E3: Lemma 5.1 — `|UP(X, r)| <= 4^r` across the shipped algorithms.
-pub fn e3_up_growth(ns: &[usize]) -> Vec<E3Row> {
+/// E3: Lemma 5.1 — `|UP(X, r)| <= 4^r` across the shipped algorithms,
+/// one `(algorithm, n)` run per trial.
+pub fn e3_up_growth(ns: &[usize], sweep: &Sweep) -> Experiment<E3Row> {
     let mut table = Table::new(
         "E3 - Lemma 5.1: UP-set growth |UP(X, r)| <= 4^r under the Figure-2 adversary",
         ["algorithm", "n", "rounds", "max |UP|", "4^r cap ok"],
@@ -136,32 +149,33 @@ pub fn e3_up_growth(ns: &[usize]) -> Vec<E3Row> {
         track_up_history: false,
         ..AdversaryConfig::default()
     };
-    let mut rows = Vec::new();
-    for alg in correct_algorithms() {
-        for &n in ns {
-            let all = build_all_run(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
-            let rounds = all.base.num_rounds();
-            let max_up = all.up.max_up_size(rounds);
-            let ok = all.up.lemma_5_1_holds();
-            assert!(ok, "{} n={n}", alg.name());
-            table.row([
-                alg.name().to_string(),
-                n.to_string(),
-                rounds.to_string(),
-                max_up.to_string(),
-                ok.to_string(),
-            ]);
-            rows.push(E3Row {
-                algorithm: alg.name().to_string(),
-                n,
-                rounds,
-                max_up,
-                lemma_5_1: ok,
-            });
+    let algs = correct_algorithms();
+    let pairs = alg_size_pairs(algs.len(), ns);
+    let rows = sweep.run(&pairs, |_trial, &(a, n)| {
+        let alg = &algs[a];
+        let all = build_all_run(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+        let rounds = all.base.num_rounds();
+        let max_up = all.up.max_up_size(rounds);
+        let ok = all.up.lemma_5_1_holds();
+        assert!(ok, "{} n={n}", alg.name());
+        E3Row {
+            algorithm: alg.name().to_string(),
+            n,
+            rounds,
+            max_up,
+            lemma_5_1: ok,
         }
+    });
+    for r in &rows {
+        table.row([
+            r.algorithm.clone(),
+            r.n.to_string(),
+            r.rounds.to_string(),
+            r.max_up.to_string(),
+            r.lemma_5_1.to_string(),
+        ]);
     }
-    table.print();
-    rows
+    Experiment { table, rows }
 }
 
 /// One row of E4: indistinguishability checking for one algorithm/n.
@@ -181,7 +195,8 @@ pub struct E4Row {
 
 /// E4: Lemma 5.2 — `(All, A)` vs `(S, A)` indistinguishability over every
 /// subset `S` (exhaustive; keep `n` small) and several toss assignments.
-pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64]) -> Vec<E4Row> {
+/// The `2^n` subsets of each run fan out over the sweep.
+pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64], sweep: &Sweep) -> Experiment<E4Row> {
     let mut table = Table::new(
         "E4 - Lemma 5.2: (All,A)-run vs (S,A)-run indistinguishability, exhaustive over S",
         ["algorithm", "n", "subsets", "comparisons", "violations"],
@@ -203,18 +218,10 @@ pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64]) -> Vec<E4Row> {
                 } else {
                     Arc::new(SeededTosses::new(seed))
                 };
-                let all = build_all_run(alg.as_ref(), n, toss.clone(), &cfg);
-                for mask in 0u32..(1 << n) {
-                    let s: ProcSet = (0..n)
-                        .filter(|i| mask & (1 << i) != 0)
-                        .map(ProcessId)
-                        .collect();
-                    let srun = build_s_run(alg.as_ref(), n, toss.clone(), &s, &all, &cfg);
-                    let report = check_indistinguishability(&all, &srun);
-                    subsets += 1;
-                    comparisons += report.process_checks + report.register_checks;
-                    violations += report.violations.len();
-                }
+                let report = indist_all_subsets(alg.as_ref(), n, toss, &cfg, false, sweep);
+                subsets += report.subsets;
+                comparisons += report.comparisons;
+                violations += report.violations.len();
             }
             assert_eq!(violations, 0, "{} n={n}", alg.name());
             table.row([
@@ -233,8 +240,7 @@ pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64]) -> Vec<E4Row> {
             });
         }
     }
-    table.print();
-    rows
+    Experiment { table, rows }
 }
 
 /// One row of E5: the wakeup lower bound for one algorithm at one `n`.
@@ -254,11 +260,19 @@ pub struct E5Row {
     pub holds: bool,
 }
 
-/// E5: Theorem 6.1 — winner step counts vs `ceil(log4 n)`.
-pub fn e5_wakeup_lower_bound(ns: &[usize]) -> Vec<E5Row> {
+/// E5: Theorem 6.1 — winner step counts vs `ceil(log4 n)`, one
+/// `(algorithm, n)` verification per trial.
+pub fn e5_wakeup_lower_bound(ns: &[usize], sweep: &Sweep) -> Experiment<E5Row> {
     let mut table = Table::new(
         "E5 - Theorem 6.1: wakeup winner's shared-access steps vs ceil(log4 n)",
-        ["algorithm", "n", "ceil(log4 n)", "winner steps", "t(R)", "bound"],
+        [
+            "algorithm",
+            "n",
+            "ceil(log4 n)",
+            "winner steps",
+            "t(R)",
+            "bound",
+        ],
     );
     // Rolling UP tracking suffices for the bound (a terminated winner's
     // UP set is final); the refutation path rebuilds full history on
@@ -267,31 +281,32 @@ pub fn e5_wakeup_lower_bound(ns: &[usize]) -> Vec<E5Row> {
         track_up_history: false,
         ..AdversaryConfig::default()
     };
-    let mut rows = Vec::new();
-    for alg in correct_algorithms() {
-        for &n in ns {
-            let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
-            assert!(rep.wakeup.ok() && rep.bound_holds, "{} n={n}", alg.name());
-            table.row([
-                alg.name().to_string(),
-                n.to_string(),
-                ceil_log4(n).to_string(),
-                rep.winner_steps.to_string(),
-                rep.max_steps.to_string(),
-                "HOLDS".to_string(),
-            ]);
-            rows.push(E5Row {
-                algorithm: alg.name().to_string(),
-                n,
-                bound: ceil_log4(n),
-                winner_steps: rep.winner_steps,
-                max_steps: rep.max_steps,
-                holds: rep.bound_holds,
-            });
+    let algs = correct_algorithms();
+    let pairs = alg_size_pairs(algs.len(), ns);
+    let rows = sweep.run(&pairs, |_trial, &(a, n)| {
+        let alg = &algs[a];
+        let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+        assert!(rep.wakeup.ok() && rep.bound_holds, "{} n={n}", alg.name());
+        E5Row {
+            algorithm: alg.name().to_string(),
+            n,
+            bound: ceil_log4(n),
+            winner_steps: rep.winner_steps,
+            max_steps: rep.max_steps,
+            holds: rep.bound_holds,
         }
+    });
+    for r in &rows {
+        table.row([
+            r.algorithm.clone(),
+            r.n.to_string(),
+            r.bound.to_string(),
+            r.winner_steps.to_string(),
+            r.max_steps.to_string(),
+            "HOLDS".to_string(),
+        ]);
     }
-    table.print();
-    rows
+    Experiment { table, rows }
 }
 
 /// One row of E6: expected complexity of a randomized algorithm.
@@ -314,20 +329,30 @@ pub struct E6Row {
 }
 
 /// E6: the randomized bound — sampled expected complexity vs
-/// `c * log4(n)` (Lemma 3.1 + Theorem 6.1).
-pub fn e6_randomized_expectation(ns: &[usize], samples: u64) -> Vec<E6Row> {
+/// `c * log4(n)` (Lemma 3.1 + Theorem 6.1). The toss-assignment samples
+/// of each `(algorithm, n)` estimate fan out over the sweep.
+pub fn e6_randomized_expectation(ns: &[usize], samples: u64, sweep: &Sweep) -> Experiment<E6Row> {
     let mut table = Table::new(
         "E6 - randomized wakeup: sampled expected complexity vs c*log4(n) (Lemma 3.1)",
-        ["algorithm", "n", "c", "E[winner]", "min winner", "c*k", "log4(n)"],
+        [
+            "algorithm",
+            "n",
+            "c",
+            "E[winner]",
+            "min winner",
+            "c*k",
+            "log4(n)",
+        ],
     );
     let cfg = AdversaryConfig {
         max_rounds: 10_000,
         ..AdversaryConfig::default()
     };
+    let seeds: Vec<u64> = (0..samples).collect();
     let mut rows = Vec::new();
     for alg in randomized_algorithms() {
         for &n in ns {
-            let rep = estimate_expected_complexity(alg.as_ref(), n, 0..samples, &cfg);
+            let rep = estimate_expected_complexity_sweep(alg.as_ref(), n, &seeds, &cfg, sweep);
             assert!(rep.all_meet_bound, "{} n={n}", alg.name());
             table.row([
                 alg.name().to_string(),
@@ -349,8 +374,7 @@ pub fn e6_randomized_expectation(ns: &[usize], samples: u64) -> Vec<E6Row> {
             });
         }
     }
-    table.print();
-    rows
+    Experiment { table, rows }
 }
 
 /// One row of E7: a Theorem 6.2 reduction at one `n`.
@@ -371,40 +395,53 @@ pub struct E7Row {
 }
 
 /// E7: Theorem 6.2 — all eight wakeup-from-object reductions over the
-/// direct LL/SC implementation of each object.
-pub fn e7_reductions(ns: &[usize]) -> Vec<E7Row> {
+/// direct LL/SC implementation of each object, one `(object, n)` run per
+/// trial.
+pub fn e7_reductions(ns: &[usize], sweep: &Sweep) -> Experiment<E7Row> {
     let mut table = Table::new(
         "E7 - Theorem 6.2: wakeup via one shared object (direct LL/SC implementation)",
-        ["object", "n", "k (ops/proc)", "winner steps", "ceil(log4 n)", "verdict"],
+        [
+            "object",
+            "n",
+            "k (ops/proc)",
+            "winner steps",
+            "ceil(log4 n)",
+            "verdict",
+        ],
     );
     let cfg = AdversaryConfig::default();
-    let mut rows = Vec::new();
-    for kind in ReductionKind::all() {
+    let kinds = ReductionKind::all();
+    let mut cases = Vec::new();
+    for kind in kinds {
         for &n in ns {
-            let alg = ObjectWakeup::direct(kind, n);
-            let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg);
-            let ok = rep.wakeup.ok() && rep.bound_holds;
-            assert!(ok, "{kind} n={n}");
-            table.row([
-                kind.label().to_string(),
-                n.to_string(),
-                kind.ops_per_process().to_string(),
-                rep.winner_steps.to_string(),
-                ceil_log4(n).to_string(),
-                "PASS".to_string(),
-            ]);
-            rows.push(E7Row {
-                kind,
-                n,
-                ops_per_process: kind.ops_per_process(),
-                winner_steps: rep.winner_steps,
-                bound: ceil_log4(n),
-                ok,
-            });
+            cases.push((kind, n));
         }
     }
-    table.print();
-    rows
+    let rows = sweep.run(&cases, |_trial, &(kind, n)| {
+        let alg = ObjectWakeup::direct(kind, n);
+        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg);
+        let ok = rep.wakeup.ok() && rep.bound_holds;
+        assert!(ok, "{kind} n={n}");
+        E7Row {
+            kind,
+            n,
+            ops_per_process: kind.ops_per_process(),
+            winner_steps: rep.winner_steps,
+            bound: ceil_log4(n),
+            ok,
+        }
+    });
+    for r in &rows {
+        table.row([
+            r.kind.label().to_string(),
+            r.n.to_string(),
+            r.ops_per_process.to_string(),
+            r.winner_steps.to_string(),
+            r.bound.to_string(),
+            "PASS".to_string(),
+        ]);
+    }
+    Experiment { table, rows }
 }
 
 /// One row of E8/E9: construction costs at one `n`.
@@ -423,29 +460,58 @@ pub struct E8Row {
 }
 
 /// E8/E9: the tightness sweep — worst-case shared ops per operation for
-/// every construction under the Figure-2 adversary.
-pub fn e8_universal_constructions(ns: &[usize]) -> Vec<E8Row> {
+/// every construction under the Figure-2 adversary. Each
+/// `(n, construction)` measurement is one trial.
+pub fn e8_universal_constructions(ns: &[usize], sweep: &Sweep) -> Experiment<E8Row> {
     let mut table = Table::new(
         "E8/E9 - worst-case shared ops per operation (fetch&increment under the adversary)",
-        ["n", "adt-tree", "naive-tree", "herlihy", "direct", "log2(n)+2"],
+        [
+            "n",
+            "adt-tree",
+            "naive-tree",
+            "herlihy",
+            "direct",
+            "log2(n)+2",
+        ],
     );
     let cfg = MeasureConfig {
         check_linearizability: false,
         ..MeasureConfig::default()
     };
-    let mut rows = Vec::new();
+    const IMPS: usize = 4;
+    let mut cases = Vec::new();
     for &n in ns {
+        for imp in 0..IMPS {
+            cases.push((n, imp));
+        }
+    }
+    let costs = sweep.run(&cases, |_trial, &(n, imp)| {
         let spec = Arc::new(FetchIncrement::new(32));
         let ops = vec![FetchIncrement::op(); n];
-        let run = |imp: &dyn ObjectImplementation| {
-            measure(imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg).max_ops
+        let imp: Box<dyn ObjectImplementation> = match imp {
+            0 => Box::new(AdtTreeUniversal::new(spec.clone())),
+            1 => Box::new(CombiningTreeUniversal::new(spec.clone())),
+            2 => Box::new(HerlihyUniversal::new(spec.clone())),
+            _ => Box::new(DirectLlSc::new(spec.clone())),
         };
+        measure(
+            imp.as_ref(),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            &cfg,
+        )
+        .max_ops
+    });
+    let mut rows = Vec::new();
+    for (group, &n) in costs.chunks_exact(IMPS).zip(ns) {
         let row = E8Row {
             n,
-            adt: run(&AdtTreeUniversal::new(spec.clone())),
-            naive_tree: run(&CombiningTreeUniversal::new(spec.clone())),
-            herlihy: run(&HerlihyUniversal::new(spec.clone())),
-            direct: run(&DirectLlSc::new(spec.clone())),
+            adt: group[0],
+            naive_tree: group[1],
+            herlihy: group[2],
+            direct: group[3],
         };
         table.row([
             n.to_string(),
@@ -457,312 +523,7 @@ pub fn e8_universal_constructions(ns: &[usize]) -> Vec<E8Row> {
         ]);
         rows.push(row);
     }
-    table.print();
-    rows
-}
-
-/// One row of E10: direct-implementation costs.
-#[derive(Clone, Debug)]
-pub struct E10Row {
-    /// Number of processes.
-    pub n: usize,
-    /// Solo (sequential-schedule) cost.
-    pub solo: u64,
-    /// Contended (adversary-schedule) cost.
-    pub contended: u64,
-    /// The oblivious `O(log n)` tree under the adversary, for contrast.
-    pub oblivious_tree: u64,
-}
-
-/// E10: the non-oblivious escape hatch — the direct LL/SC object costs a
-/// constant 2 ops solo (below any growing bound), at the price of `Θ(n)`
-/// under full contention.
-pub fn e10_direct_escape_hatch(ns: &[usize]) -> Vec<E10Row> {
-    let mut table = Table::new(
-        "E10 - semantics-exploiting direct LL/SC object: solo vs contended",
-        ["n", "direct solo", "direct contended", "adt-tree (adversary)"],
-    );
-    let cfg = MeasureConfig {
-        check_linearizability: false,
-        ..MeasureConfig::default()
-    };
-    let mut rows = Vec::new();
-    for &n in ns {
-        let spec = Arc::new(FetchIncrement::new(32));
-        let ops = vec![FetchIncrement::op(); n];
-        let direct = DirectLlSc::new(spec.clone());
-        let solo = measure(&direct, spec.as_ref(), n, &ops, ScheduleKind::Sequential, &cfg).max_ops;
-        let contended =
-            measure(&direct, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg).max_ops;
-        let tree = measure(
-            &AdtTreeUniversal::new(spec.clone()),
-            spec.as_ref(),
-            n,
-            &ops,
-            ScheduleKind::Adversary,
-            &cfg,
-        )
-        .max_ops;
-        assert_eq!(solo, 2, "solo cost is constant");
-        table.row([
-            n.to_string(),
-            solo.to_string(),
-            contended.to_string(),
-            tree.to_string(),
-        ]);
-        rows.push(E10Row {
-            n,
-            solo,
-            contended,
-            oblivious_tree: tree,
-        });
-    }
-    table.print();
-    rows
-}
-
-/// E5 extra: the tournament winner across a wide sweep — the tightness
-/// witness for the wakeup problem itself.
-pub fn e5_tournament_tightness(ns: &[usize]) -> Vec<(usize, u64, u64)> {
-    let mut table = Table::new(
-        "E5b - tournament wakeup: winner steps vs the log4 bound (tightness for wakeup)",
-        ["n", "ceil(log4 n)", "winner steps", "ratio"],
-    );
-    let cfg = AdversaryConfig {
-        track_up_history: false,
-        ..AdversaryConfig::default()
-    };
-    let mut rows = Vec::new();
-    for &n in ns {
-        let rep = verify_lower_bound(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg);
-        assert!(rep.wakeup.ok() && rep.bound_holds);
-        let bound = ceil_log4(n);
-        table.row([
-            n.to_string(),
-            bound.to_string(),
-            rep.winner_steps.to_string(),
-            format!("{:.2}", rep.winner_steps as f64 / bound.max(1) as f64),
-        ]);
-        rows.push((n, bound, rep.winner_steps));
-    }
-    table.print();
-    rows
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn e1_small_sweep_passes() {
-        let rows = e1_secretive_schedules(&[4, 9], 5);
-        assert_eq!(rows.len(), 2);
-        assert!(rows.iter().all(|r| r.worst_movers <= 2));
-    }
-
-    #[test]
-    fn e3_small_sweep_passes() {
-        let rows = e3_up_growth(&[4, 8]);
-        assert!(rows.iter().all(|r| r.lemma_5_1));
-    }
-
-    #[test]
-    fn e5_small_sweep_passes() {
-        let rows = e5_wakeup_lower_bound(&[4, 16]);
-        assert!(rows.iter().all(|r| r.holds && r.winner_steps >= r.bound));
-    }
-
-    #[test]
-    fn e8_small_sweep_shows_separation() {
-        let rows = e8_universal_constructions(&[16, 64]);
-        for r in &rows {
-            assert!(r.adt < r.herlihy);
-            assert!(r.adt < r.naive_tree);
-        }
-    }
-
-    #[test]
-    fn e10_solo_cost_is_constant() {
-        let rows = e10_direct_escape_hatch(&[4, 32]);
-        assert!(rows.iter().all(|r| r.solo == 2));
-        assert!(rows.iter().all(|r| r.contended >= r.n as u64));
-    }
-
-    #[test]
-    fn random_move_config_has_no_self_moves() {
-        for seed in 0..10 {
-            let cfg = random_move_config(12, 6, seed);
-            for p in cfg.processes() {
-                let (src, dst) = cfg.get(p).unwrap();
-                assert_ne!(src, dst);
-            }
-        }
-    }
-}
-
-/// One row of E12: multi-use amortised costs of the direct object.
-#[derive(Clone, Debug)]
-pub struct E12Row {
-    /// Number of processes.
-    pub n: usize,
-    /// Operations per process.
-    pub k: usize,
-    /// Amortised worst cost, solo schedule.
-    pub solo: f64,
-    /// Amortised worst cost, adversary schedule.
-    pub adversary: f64,
-}
-
-/// E12: `k`-use amortised shared-access cost of the direct LL/SC object
-/// (Corollary 6.1's `k`-use setting, measured from the other side).
-pub fn e12_multi_use(ns: &[usize], ks: &[usize]) -> Vec<E12Row> {
-    use llsc_universal::measure_multi_use;
-    let mut table = Table::new(
-        "E12 - k-use amortised shared ops per operation (direct LL/SC fetch&increment)",
-        ["n", "k", "solo", "adversary"],
-    );
-    let mut rows = Vec::new();
-    for &n in ns {
-        for &k in ks {
-            let spec = Arc::new(FetchIncrement::new(32));
-            let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
-            let ops: Vec<Vec<llsc_shmem::Value>> =
-                (0..n).map(|_| vec![FetchIncrement::op(); k]).collect();
-            let solo = measure_multi_use(
-                Arc::clone(&imp),
-                spec.as_ref(),
-                n,
-                &ops,
-                ScheduleKind::Sequential,
-                100_000_000,
-            );
-            let adv = measure_multi_use(
-                Arc::clone(&imp),
-                spec.as_ref(),
-                n,
-                &ops,
-                ScheduleKind::Adversary,
-                100_000_000,
-            );
-            assert!(solo.responses_consistent && adv.responses_consistent);
-            table.row([
-                n.to_string(),
-                k.to_string(),
-                format!("{:.2}", solo.max_amortised),
-                format!("{:.2}", adv.max_amortised),
-            ]);
-            rows.push(E12Row {
-                n,
-                k,
-                solo: solo.max_amortised,
-                adversary: adv.max_amortised,
-            });
-        }
-    }
-    table.print();
-    rows
-}
-
-/// One row of E13: appendix-claims checking for one algorithm.
-#[derive(Clone, Debug)]
-pub struct E13Row {
-    /// Algorithm name.
-    pub algorithm: String,
-    /// Number of processes (subsets are exhaustive).
-    pub n: usize,
-    /// Total violations over all subsets (claims + Lemma 5.2).
-    pub violations: usize,
-}
-
-/// E13: the appendix claims (A.2-A.9) plus Lemma 5.2, exhaustively over
-/// subsets, for every shipped wakeup algorithm.
-pub fn e13_appendix_claims(ns: &[usize]) -> Vec<E13Row> {
-    use llsc_core::check_claims_all_subsets;
-    let mut table = Table::new(
-        "E13 - appendix claims A.2-A.9 + Lemma 5.2, exhaustive over subsets",
-        ["algorithm", "n", "subsets", "violations"],
-    );
-    let cfg = AdversaryConfig::default();
-    let mut rows = Vec::new();
-    for alg in correct_algorithms().into_iter().chain(randomized_algorithms()) {
-        for &n in ns {
-            let violations =
-                check_claims_all_subsets(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
-            assert_eq!(violations, 0, "{} n={n}", alg.name());
-            table.row([
-                alg.name().to_string(),
-                n.to_string(),
-                (1u64 << n).to_string(),
-                violations.to_string(),
-            ]);
-            rows.push(E13Row {
-                algorithm: alg.name().to_string(),
-                n,
-                violations,
-            });
-        }
-    }
-    table.print();
-    rows
-}
-
-/// One row of E14: stress-portfolio outcomes.
-#[derive(Clone, Debug)]
-pub struct E14Row {
-    /// Algorithm name.
-    pub algorithm: String,
-    /// Schedules tried.
-    pub tried: usize,
-    /// Schedules passed.
-    pub passed: usize,
-    /// Whether the algorithm is expected to pass everything.
-    pub expected_clean: bool,
-}
-
-/// E14: the partial-schedule stress portfolio over correct algorithms and
-/// strawmen — what the Figure-2 adversary alone cannot show.
-pub fn e14_stress_portfolio(n: usize) -> Vec<E14Row> {
-    use llsc_core::{standard_portfolio, stress_wakeup};
-    use llsc_wakeup::strawman_algorithms;
-    let mut table = Table::new(
-        "E14 - wakeup stress portfolio (partition/sequential/random schedules)",
-        ["algorithm", "tried", "passed", "verdict"],
-    );
-    let portfolio = standard_portfolio(n, 4);
-    let mut rows = Vec::new();
-    let cases: Vec<(Box<dyn Algorithm>, bool)> = correct_algorithms()
-        .into_iter()
-        .map(|a| (a, true))
-        .chain(strawman_algorithms().into_iter().map(|a| (a, false)))
-        .collect();
-    for (alg, expected_clean) in cases {
-        let report = stress_wakeup(
-            alg.as_ref(),
-            n,
-            Arc::new(ZeroTosses),
-            &portfolio,
-            5_000_000,
-        );
-        if expected_clean {
-            assert!(report.ok(), "{}: {report}", alg.name());
-        } else {
-            assert!(!report.ok(), "{} should fail stress", alg.name());
-        }
-        table.row([
-            alg.name().to_string(),
-            report.schedules_tried.to_string(),
-            report.passed.to_string(),
-            if report.ok() { "clean" } else { "caught" }.to_string(),
-        ]);
-        rows.push(E14Row {
-            algorithm: alg.name().to_string(),
-            tried: report.schedules_tried,
-            passed: report.passed,
-            expected_clean,
-        });
-    }
-    table.print();
-    rows
+    Experiment { table, rows }
 }
 
 /// One row of E9: one construction under every schedule.
@@ -785,53 +546,144 @@ pub struct E9Row {
 }
 
 /// E9: schedule ablation — how each construction's worst-case cost depends
-/// on the schedule, complementing E8's adversary-only sweep.
-pub fn e9_schedule_ablation(ns: &[usize]) -> Vec<E9Row> {
+/// on the schedule, complementing E8's adversary-only sweep. Each
+/// `(n, construction)` row (four measurements) is one trial.
+pub fn e9_schedule_ablation(ns: &[usize], sweep: &Sweep) -> Experiment<E9Row> {
     let mut table = Table::new(
         "E9 - schedule ablation: worst-case shared ops per operation (fetch&increment)",
-        ["construction", "n", "sequential", "round-robin", "random", "adversary"],
+        [
+            "construction",
+            "n",
+            "sequential",
+            "round-robin",
+            "random",
+            "adversary",
+        ],
     );
     let cfg = MeasureConfig {
         check_linearizability: false,
         ..MeasureConfig::default()
     };
-    let mut rows = Vec::new();
+    const IMPS: usize = 4;
+    let mut cases = Vec::new();
     for &n in ns {
-        let spec = Arc::new(FetchIncrement::new(32));
-        let ops = vec![FetchIncrement::op(); n];
-        let imps: Vec<(Box<dyn ObjectImplementation>, bool)> = vec![
-            (Box::new(AdtTreeUniversal::new(spec.clone())), false),
-            (Box::new(CombiningTreeUniversal::new(spec.clone())), true),
-            (Box::new(HerlihyUniversal::new(spec.clone())), true),
-            (Box::new(DirectLlSc::new(spec.clone())), true),
-        ];
-        for (imp, supports_sequential) in imps {
-            let run = |kind: ScheduleKind| {
-                measure(imp.as_ref(), spec.as_ref(), n, &ops, kind, &cfg).max_ops
-            };
-            let row = E9Row {
-                implementation: imp.name(),
-                n,
-                sequential: supports_sequential.then(|| run(ScheduleKind::Sequential)),
-                round_robin: run(ScheduleKind::RoundRobin),
-                random: run(ScheduleKind::RandomInterleave { seed: 17 }),
-                adversary: run(ScheduleKind::Adversary),
-            };
-            table.row([
-                row.implementation.clone(),
-                n.to_string(),
-                row.sequential
-                    .map(|v| v.to_string())
-                    .unwrap_or_else(|| "n/a".into()),
-                row.round_robin.to_string(),
-                row.random.to_string(),
-                row.adversary.to_string(),
-            ]);
-            rows.push(row);
+        for imp in 0..IMPS {
+            cases.push((n, imp));
         }
     }
-    table.print();
-    rows
+    let rows = sweep.run(&cases, |_trial, &(n, imp)| {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let ops = vec![FetchIncrement::op(); n];
+        let (imp, supports_sequential): (Box<dyn ObjectImplementation>, bool) = match imp {
+            0 => (Box::new(AdtTreeUniversal::new(spec.clone())), false),
+            1 => (Box::new(CombiningTreeUniversal::new(spec.clone())), true),
+            2 => (Box::new(HerlihyUniversal::new(spec.clone())), true),
+            _ => (Box::new(DirectLlSc::new(spec.clone())), true),
+        };
+        let run =
+            |kind: ScheduleKind| measure(imp.as_ref(), spec.as_ref(), n, &ops, kind, &cfg).max_ops;
+        E9Row {
+            implementation: imp.name(),
+            n,
+            sequential: supports_sequential.then(|| run(ScheduleKind::Sequential)),
+            round_robin: run(ScheduleKind::RoundRobin),
+            random: run(ScheduleKind::RandomInterleave { seed: 17 }),
+            adversary: run(ScheduleKind::Adversary),
+        }
+    });
+    for row in &rows {
+        table.row([
+            row.implementation.clone(),
+            row.n.to_string(),
+            row.sequential
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "n/a".into()),
+            row.round_robin.to_string(),
+            row.random.to_string(),
+            row.adversary.to_string(),
+        ]);
+    }
+    Experiment { table, rows }
+}
+
+/// One row of E10: direct-implementation costs.
+#[derive(Clone, Debug)]
+pub struct E10Row {
+    /// Number of processes.
+    pub n: usize,
+    /// Solo (sequential-schedule) cost.
+    pub solo: u64,
+    /// Contended (adversary-schedule) cost.
+    pub contended: u64,
+    /// The oblivious `O(log n)` tree under the adversary, for contrast.
+    pub oblivious_tree: u64,
+}
+
+/// E10: the non-oblivious escape hatch — the direct LL/SC object costs a
+/// constant 2 ops solo (below any growing bound), at the price of `Θ(n)`
+/// under full contention. One `n` per trial.
+pub fn e10_direct_escape_hatch(ns: &[usize], sweep: &Sweep) -> Experiment<E10Row> {
+    let mut table = Table::new(
+        "E10 - semantics-exploiting direct LL/SC object: solo vs contended",
+        [
+            "n",
+            "direct solo",
+            "direct contended",
+            "adt-tree (adversary)",
+        ],
+    );
+    let cfg = MeasureConfig {
+        check_linearizability: false,
+        ..MeasureConfig::default()
+    };
+    let rows = sweep.run(ns, |_trial, &n| {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let ops = vec![FetchIncrement::op(); n];
+        let direct = DirectLlSc::new(spec.clone());
+        let solo = measure(
+            &direct,
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Sequential,
+            &cfg,
+        )
+        .max_ops;
+        let contended = measure(
+            &direct,
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            &cfg,
+        )
+        .max_ops;
+        let tree = measure(
+            &AdtTreeUniversal::new(spec.clone()),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            &cfg,
+        )
+        .max_ops;
+        assert_eq!(solo, 2, "solo cost is constant");
+        E10Row {
+            n,
+            solo,
+            contended,
+            oblivious_tree: tree,
+        }
+    });
+    for r in &rows {
+        table.row([
+            r.n.to_string(),
+            r.solo.to_string(),
+            r.contended.to_string(),
+            r.oblivious_tree.to_string(),
+        ]);
+    }
+    Experiment { table, rows }
 }
 
 /// One row of E10b: structural implementations' solo cost vs data size.
@@ -848,7 +700,8 @@ pub struct E10bRow {
 /// E10b: the *structural* escape hatches — pointer-based LL/SC queue and
 /// stack whose solo per-operation cost is a small constant regardless of
 /// structure size (contrast with every oblivious construction's Ω(log n)).
-pub fn e10b_structural_escape_hatches(sizes: &[usize]) -> Vec<E10bRow> {
+/// Each initial size (queue + stack measurement) is one trial.
+pub fn e10b_structural_escape_hatches(sizes: &[usize], sweep: &Sweep) -> Experiment<E10bRow> {
     use llsc_objects::{Queue, Stack};
     use llsc_universal::{MsQueue, TreiberStack};
     let mut table = Table::new(
@@ -856,32 +709,301 @@ pub fn e10b_structural_escape_hatches(sizes: &[usize]) -> Vec<E10bRow> {
         ["implementation", "initial items", "solo ops"],
     );
     let cfg = MeasureConfig::default();
-    let mut rows = Vec::new();
-    for &initial in sizes {
+    let pairs = sweep.run(sizes, |_trial, &initial| {
         let spec = Arc::new(Queue::with_numbered_items(initial));
         let imp = MsQueue::new(Queue::with_numbered_items(initial));
         let ops = vec![Queue::dequeue_op()];
         let r = measure(&imp, spec.as_ref(), 1, &ops, ScheduleKind::Sequential, &cfg);
         assert!(r.linearizable);
-        table.row([imp.name(), initial.to_string(), r.max_ops.to_string()]);
-        rows.push(E10bRow {
+        let queue_row = E10bRow {
             implementation: imp.name(),
             initial,
             solo_ops: r.max_ops,
-        });
+        };
 
         let spec = Arc::new(Stack::with_numbered_items(initial));
         let imp = TreiberStack::new(Stack::with_numbered_items(initial));
         let ops = vec![Stack::pop_op()];
         let r = measure(&imp, spec.as_ref(), 1, &ops, ScheduleKind::Sequential, &cfg);
         assert!(r.linearizable);
-        table.row([imp.name(), initial.to_string(), r.max_ops.to_string()]);
-        rows.push(E10bRow {
+        let stack_row = E10bRow {
             implementation: imp.name(),
             initial,
             solo_ops: r.max_ops,
+        };
+        [queue_row, stack_row]
+    });
+    let rows: Vec<E10bRow> = pairs.into_iter().flatten().collect();
+    for r in &rows {
+        table.row([
+            r.implementation.clone(),
+            r.initial.to_string(),
+            r.solo_ops.to_string(),
+        ]);
+    }
+    Experiment { table, rows }
+}
+
+/// One row of E12: multi-use amortised costs of the direct object.
+#[derive(Clone, Debug)]
+pub struct E12Row {
+    /// Number of processes.
+    pub n: usize,
+    /// Operations per process.
+    pub k: usize,
+    /// Amortised worst cost, solo schedule.
+    pub solo: f64,
+    /// Amortised worst cost, adversary schedule.
+    pub adversary: f64,
+}
+
+/// E12: `k`-use amortised shared-access cost of the direct LL/SC object
+/// (Corollary 6.1's `k`-use setting, measured from the other side). One
+/// `(n, k)` cell per trial.
+pub fn e12_multi_use(ns: &[usize], ks: &[usize], sweep: &Sweep) -> Experiment<E12Row> {
+    use llsc_universal::measure_multi_use;
+    let mut table = Table::new(
+        "E12 - k-use amortised shared ops per operation (direct LL/SC fetch&increment)",
+        ["n", "k", "solo", "adversary"],
+    );
+    let mut cases = Vec::new();
+    for &n in ns {
+        for &k in ks {
+            cases.push((n, k));
+        }
+    }
+    let rows = sweep.run(&cases, |_trial, &(n, k)| {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
+        let ops: Vec<Vec<llsc_shmem::Value>> =
+            (0..n).map(|_| vec![FetchIncrement::op(); k]).collect();
+        let solo = measure_multi_use(
+            Arc::clone(&imp),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Sequential,
+            100_000_000,
+        );
+        let adv = measure_multi_use(
+            Arc::clone(&imp),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            100_000_000,
+        );
+        assert!(solo.responses_consistent && adv.responses_consistent);
+        E12Row {
+            n,
+            k,
+            solo: solo.max_amortised,
+            adversary: adv.max_amortised,
+        }
+    });
+    for r in &rows {
+        table.row([
+            r.n.to_string(),
+            r.k.to_string(),
+            format!("{:.2}", r.solo),
+            format!("{:.2}", r.adversary),
+        ]);
+    }
+    Experiment { table, rows }
+}
+
+/// One row of E13: appendix-claims checking for one algorithm.
+#[derive(Clone, Debug)]
+pub struct E13Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes (subsets are exhaustive).
+    pub n: usize,
+    /// Total violations over all subsets (claims + Lemma 5.2).
+    pub violations: usize,
+}
+
+/// E13: the appendix claims (A.2-A.9) plus Lemma 5.2, exhaustively over
+/// subsets, for every shipped wakeup algorithm. The `2^n` subsets of each
+/// check fan out over the sweep.
+pub fn e13_appendix_claims(ns: &[usize], sweep: &Sweep) -> Experiment<E13Row> {
+    let mut table = Table::new(
+        "E13 - appendix claims A.2-A.9 + Lemma 5.2, exhaustive over subsets",
+        ["algorithm", "n", "subsets", "violations"],
+    );
+    let cfg = AdversaryConfig::default();
+    let mut rows = Vec::new();
+    for alg in correct_algorithms()
+        .into_iter()
+        .chain(randomized_algorithms())
+    {
+        for &n in ns {
+            let violations =
+                check_claims_all_subsets_sweep(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg, sweep);
+            assert_eq!(violations, 0, "{} n={n}", alg.name());
+            table.row([
+                alg.name().to_string(),
+                n.to_string(),
+                (1u64 << n).to_string(),
+                violations.to_string(),
+            ]);
+            rows.push(E13Row {
+                algorithm: alg.name().to_string(),
+                n,
+                violations,
+            });
+        }
+    }
+    Experiment { table, rows }
+}
+
+/// One row of E14: stress-portfolio outcomes.
+#[derive(Clone, Debug)]
+pub struct E14Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Schedules tried.
+    pub tried: usize,
+    /// Schedules passed.
+    pub passed: usize,
+    /// Whether the algorithm is expected to pass everything.
+    pub expected_clean: bool,
+}
+
+/// E14: the partial-schedule stress portfolio over correct algorithms and
+/// strawmen — what the Figure-2 adversary alone cannot show. Each
+/// algorithm's portfolio schedules fan out over the sweep.
+pub fn e14_stress_portfolio(n: usize, sweep: &Sweep) -> Experiment<E14Row> {
+    use llsc_core::{standard_portfolio, stress_wakeup_sweep};
+    use llsc_wakeup::strawman_algorithms;
+    let mut table = Table::new(
+        "E14 - wakeup stress portfolio (partition/sequential/random schedules)",
+        ["algorithm", "tried", "passed", "verdict"],
+    );
+    let portfolio = standard_portfolio(n, 4);
+    let mut rows = Vec::new();
+    let cases: Vec<(Box<dyn Algorithm>, bool)> = correct_algorithms()
+        .into_iter()
+        .map(|a| (a, true))
+        .chain(strawman_algorithms().into_iter().map(|a| (a, false)))
+        .collect();
+    for (alg, expected_clean) in cases {
+        let report = stress_wakeup_sweep(
+            alg.as_ref(),
+            n,
+            Arc::new(ZeroTosses),
+            &portfolio,
+            5_000_000,
+            sweep,
+        );
+        if expected_clean {
+            assert!(report.ok(), "{}: {report}", alg.name());
+        } else {
+            assert!(!report.ok(), "{} should fail stress", alg.name());
+        }
+        table.row([
+            alg.name().to_string(),
+            report.schedules_tried.to_string(),
+            report.passed.to_string(),
+            if report.ok() { "clean" } else { "caught" }.to_string(),
+        ]);
+        rows.push(E14Row {
+            algorithm: alg.name().to_string(),
+            tried: report.schedules_tried,
+            passed: report.passed,
+            expected_clean,
         });
     }
-    table.print();
-    rows
+    Experiment { table, rows }
+}
+
+/// E5 extra: the tournament winner across a wide sweep — the tightness
+/// witness for the wakeup problem itself. One `n` per trial.
+pub fn e5_tournament_tightness(ns: &[usize], sweep: &Sweep) -> Experiment<(usize, u64, u64)> {
+    let mut table = Table::new(
+        "E5b - tournament wakeup: winner steps vs the log4 bound (tightness for wakeup)",
+        ["n", "ceil(log4 n)", "winner steps", "ratio"],
+    );
+    let cfg = AdversaryConfig {
+        track_up_history: false,
+        ..AdversaryConfig::default()
+    };
+    let rows = sweep.run(ns, |_trial, &n| {
+        let rep = verify_lower_bound(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg);
+        assert!(rep.wakeup.ok() && rep.bound_holds);
+        (n, ceil_log4(n), rep.winner_steps)
+    });
+    for &(n, bound, winner_steps) in &rows {
+        table.row([
+            n.to_string(),
+            bound.to_string(),
+            winner_steps.to_string(),
+            format!("{:.2}", winner_steps as f64 / bound.max(1) as f64),
+        ]);
+    }
+    Experiment { table, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_small_sweep_passes() {
+        let exp = e1_secretive_schedules(&[4, 9], 5, &Sweep::sequential());
+        assert_eq!(exp.rows.len(), 2);
+        assert!(exp.rows.iter().all(|r| r.worst_movers <= 2));
+    }
+
+    #[test]
+    fn e3_small_sweep_passes() {
+        let exp = e3_up_growth(&[4, 8], &Sweep::sequential());
+        assert!(exp.rows.iter().all(|r| r.lemma_5_1));
+    }
+
+    #[test]
+    fn e5_small_sweep_passes() {
+        let exp = e5_wakeup_lower_bound(&[4, 16], &Sweep::sequential());
+        assert!(exp
+            .rows
+            .iter()
+            .all(|r| r.holds && r.winner_steps >= r.bound));
+    }
+
+    #[test]
+    fn e8_small_sweep_shows_separation() {
+        let exp = e8_universal_constructions(&[16, 64], &Sweep::sequential());
+        for r in &exp.rows {
+            assert!(r.adt < r.herlihy);
+            assert!(r.adt < r.naive_tree);
+        }
+    }
+
+    #[test]
+    fn e10_solo_cost_is_constant() {
+        let exp = e10_direct_escape_hatch(&[4, 32], &Sweep::sequential());
+        assert!(exp.rows.iter().all(|r| r.solo == 2));
+        assert!(exp.rows.iter().all(|r| r.contended >= r.n as u64));
+    }
+
+    #[test]
+    fn random_move_config_has_no_self_moves() {
+        for seed in 0..10 {
+            let cfg = random_move_config(12, 6, seed);
+            for p in cfg.processes() {
+                let (src, dst) = cfg.get(p).unwrap();
+                assert_ne!(src, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_are_identical_across_thread_counts() {
+        let base = e1_secretive_schedules(&[4, 9], 6, &Sweep::sequential());
+        for threads in [2, 4, 8] {
+            let par = e1_secretive_schedules(&[4, 9], 6, &Sweep::with_threads(threads));
+            assert_eq!(par.table.render(), base.table.render(), "threads={threads}");
+            assert_eq!(par.table.render_json(), base.table.render_json());
+        }
+    }
 }

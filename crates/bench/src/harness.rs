@@ -1,0 +1,167 @@
+//! The shared command-line harness behind the `table_*` binaries.
+//!
+//! Every experiment binary accepts the same two flags:
+//!
+//! * `--threads N` — fan the experiment's independent trials out over `N`
+//!   worker threads (default 1). Output is **byte-identical** at every
+//!   thread count: trials are merged in index order by the
+//!   [`Sweep`] engine, and neither the tables nor the JSON artifacts
+//!   embed the thread count.
+//! * `--json PATH` — additionally write the printed tables as a
+//!   `{"tables":[…]}` JSON artifact (see [`Table::render_json`]).
+//!
+//! A binary's `main` is three lines:
+//!
+//! ```no_run
+//! use llsc_bench::harness::HarnessOpts;
+//! let opts = HarnessOpts::from_env();
+//! let exp = llsc_bench::e3_up_growth(&[4, 16], &opts.sweep());
+//! opts.emit(&[&exp.table]);
+//! ```
+
+use crate::table::Table;
+pub use llsc_shmem::{Sweep, Trial};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// One experiment's output: the rendered table plus the typed rows behind
+/// it (tests assert on the rows; the harness prints and serialises the
+/// table).
+#[derive(Clone, Debug)]
+pub struct Experiment<R> {
+    /// The rendered table.
+    pub table: Table,
+    /// The typed measurements, one per table row (or per logical unit).
+    pub rows: Vec<R>,
+}
+
+/// The parsed common flags of a `table_*` binary.
+#[derive(Clone, Debug, Default)]
+pub struct HarnessOpts {
+    /// Worker threads for the experiment's sweeps (default 1).
+    pub threads: usize,
+    /// Where to write the JSON artifact, if requested.
+    pub json: Option<PathBuf>,
+}
+
+impl HarnessOpts {
+    /// Parses `--threads N` and `--json PATH` from an argument list
+    /// (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<HarnessOpts, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut opts = HarnessOpts {
+            threads: 1,
+            json: None,
+        };
+        let mut args = args.into_iter().map(Into::into);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let v = args.next().ok_or("--threads needs a value")?;
+                    opts.threads = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&t| t >= 1)
+                        .ok_or_else(|| format!("bad --threads value `{v}`"))?;
+                }
+                "--json" => {
+                    let v = args.next().ok_or("--json needs a path")?;
+                    opts.json = Some(PathBuf::from(v));
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process's own arguments, exiting with usage on error.
+    pub fn from_env() -> HarnessOpts {
+        match HarnessOpts::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}\n\nusage: [--threads N] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The [`Sweep`] these options describe.
+    pub fn sweep(&self) -> Sweep {
+        Sweep::with_threads(self.threads)
+    }
+
+    /// Prints each table to stdout and, when `--json` was given, writes
+    /// the `{"tables":[…]}` artifact. Returns failure only on an
+    /// artifact-write error.
+    pub fn emit(&self, tables: &[&Table]) -> ExitCode {
+        for table in tables {
+            table.print();
+        }
+        if let Some(path) = &self.json {
+            let artifact = Table::render_json_artifact(tables);
+            if let Err(e) = std::fs::write(path, artifact) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        ExitCode::SUCCESS
+    }
+}
+
+/// A minimal wall-clock micro-benchmark: one warm-up call, then `samples`
+/// timed runs of `f`; prints the minimum and mean duration.
+///
+/// The `benches/` targets are plain `harness = false` binaries built on
+/// this (the build environment has no registry access, so criterion is
+/// deliberately not a dependency — see the workspace manifest).
+pub fn time_case<T>(label: &str, samples: u32, mut f: impl FnMut() -> T) {
+    use std::time::{Duration, Instant};
+    assert!(samples > 0, "need at least one sample");
+    std::hint::black_box(f());
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let elapsed = start.elapsed();
+        total += elapsed;
+        best = best.min(elapsed);
+    }
+    println!(
+        "{label:<52} min {best:>12.3?}  mean {:>12.3?}",
+        total / samples
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_flags_in_any_order() {
+        let opts = HarnessOpts::parse(["--json", "out.json", "--threads", "4"]).unwrap();
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.json, Some(PathBuf::from("out.json")));
+        assert_eq!(opts.sweep().threads, 4);
+    }
+
+    #[test]
+    fn defaults_are_sequential_and_no_artifact() {
+        let opts = HarnessOpts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(opts.threads, 1);
+        assert!(opts.json.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(HarnessOpts::parse(["--threads"]).is_err());
+        assert!(HarnessOpts::parse(["--threads", "0"]).is_err());
+        assert!(HarnessOpts::parse(["--threads", "x"]).is_err());
+        assert!(HarnessOpts::parse(["--json"]).is_err());
+        assert!(HarnessOpts::parse(["--frobnicate"]).is_err());
+    }
+}

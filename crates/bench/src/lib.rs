@@ -17,13 +17,18 @@
 //! | `table_e8` | E8/E9 | tightness: `O(log n)` tree vs `Theta(n)` baselines |
 //! | `table_e10` | E10 | the non-oblivious constant-time escape hatch |
 //!
-//! Each function returns the rows it printed so integration tests can
-//! assert on the numbers without re-parsing stdout.
+//! Each function returns an [`harness::Experiment`] — the rendered table
+//! plus its typed rows — so integration tests can assert on the numbers
+//! without re-parsing stdout. Every binary accepts `--threads N`
+//! (deterministic parallel fan-out; output byte-identical at any thread
+//! count) and `--json PATH` (a structured artifact of the same tables);
+//! see [`harness`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use experiments::*;

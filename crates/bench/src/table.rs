@@ -32,7 +32,7 @@ impl Table {
         Table {
             title: title.into(),
             headers: headers.into_iter().map(Into::into).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -88,6 +88,143 @@ impl Table {
         println!("{}", self.render());
     }
 
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as a JSON object:
+    /// `{"title": …, "headers": […], "rows": [[…]]}`.
+    ///
+    /// All cells are emitted as strings — exactly the strings the text
+    /// table shows — so the artifact is a faithful, diffable record of the
+    /// printed numbers. Nothing machine-dependent (thread counts, wall
+    /// times) is embedded: regenerating with a different `--threads` value
+    /// produces a byte-identical file.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use llsc_bench::table::Table;
+    /// let mut t = Table::new("demo", ["n", "value"]);
+    /// t.row(["4", "10"]);
+    /// let json = t.render_json();
+    /// assert_eq!(
+    ///     json,
+    ///     "{\"title\":\"demo\",\"headers\":[\"n\",\"value\"],\"rows\":[[\"4\",\"10\"]]}"
+    /// );
+    /// let back = Table::from_json(&json).unwrap();
+    /// assert_eq!(back.render(), t.render());
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"title\":");
+        push_json_string(&mut out, &self.title);
+        out.push_str(",\"headers\":[");
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, h);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, cell);
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders a group of tables as one artifact:
+    /// `{"tables":[…]}` — the format every `table_*` binary's `--json`
+    /// flag writes, even for a single table.
+    pub fn render_json_artifact(tables: &[&Table]) -> String {
+        let mut out = String::from("{\"tables\":[");
+        for (i, t) in tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.render_json());
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses a table back from the [`Table::render_json`] format.
+    pub fn from_json(json: &str) -> Result<Table, String> {
+        let (value, rest) = json::parse_value(json.trim_start())?;
+        if !rest.trim_start().is_empty() {
+            return Err("trailing data after JSON value".into());
+        }
+        Table::from_json_value(&value)
+    }
+
+    /// Parses a `{"tables":[…]}` artifact back into its tables.
+    pub fn from_json_artifact(json: &str) -> Result<Vec<Table>, String> {
+        let (value, rest) = json::parse_value(json.trim_start())?;
+        if !rest.trim_start().is_empty() {
+            return Err("trailing data after JSON value".into());
+        }
+        let tables = value
+            .field("tables")
+            .ok_or("artifact has no `tables` field")?
+            .as_array()
+            .ok_or("`tables` is not an array")?;
+        tables.iter().map(Table::from_json_value).collect()
+    }
+
+    fn from_json_value(value: &json::Value) -> Result<Table, String> {
+        let title = value
+            .field("title")
+            .and_then(json::Value::as_str)
+            .ok_or("missing string `title`")?;
+        let headers: Vec<String> = value
+            .field("headers")
+            .and_then(json::Value::as_array)
+            .ok_or("missing array `headers`")?
+            .iter()
+            .map(|h| h.as_str().map(str::to_string).ok_or("non-string header"))
+            .collect::<Result<_, _>>()?;
+        let mut table = Table::new(title, headers);
+        for row in value
+            .field("rows")
+            .and_then(json::Value::as_array)
+            .ok_or("missing array `rows`")?
+        {
+            let cells: Vec<String> = row
+                .as_array()
+                .ok_or("non-array row")?
+                .iter()
+                .map(|c| c.as_str().map(str::to_string).ok_or("non-string cell"))
+                .collect::<Result<_, _>>()?;
+            if cells.len() != table.headers.len() {
+                return Err("row width mismatch in JSON".into());
+            }
+            table.rows.push(cells);
+        }
+        Ok(table)
+    }
+
     /// Renders the table as CSV (header row first, fields quoted only when
     /// they contain commas or quotes) — for piping experiment output into
     /// plotting tools.
@@ -110,6 +247,146 @@ impl Table {
             push_row(row);
         }
         out
+    }
+}
+
+/// Escapes `s` into `out` as a JSON string literal.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The minimal JSON reader backing [`Table::from_json`]: objects, arrays,
+/// and strings (the only value kinds the table schema uses), with standard
+/// escape handling. Hand-rolled because the build environment has no
+/// registry access for a serde dependency.
+mod json {
+    /// A parsed JSON value restricted to the table schema's shapes.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// A string literal.
+        Str(String),
+        /// An array of values.
+        Array(Vec<Value>),
+        /// An object, in source order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Looks up an object field by key.
+        pub fn field(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one value, returning it and the unconsumed input.
+    pub fn parse_value(input: &str) -> Result<(Value, &str), String> {
+        let input = input.trim_start();
+        match input.chars().next() {
+            Some('"') => {
+                let (s, rest) = parse_string(input)?;
+                Ok((Value::Str(s), rest))
+            }
+            Some('[') => {
+                let mut rest = input[1..].trim_start();
+                let mut items = Vec::new();
+                if let Some(stripped) = rest.strip_prefix(']') {
+                    return Ok((Value::Array(items), stripped));
+                }
+                loop {
+                    let (item, r) = parse_value(rest)?;
+                    items.push(item);
+                    rest = r.trim_start();
+                    match rest.chars().next() {
+                        Some(',') => rest = rest[1..].trim_start(),
+                        Some(']') => return Ok((Value::Array(items), &rest[1..])),
+                        _ => return Err("expected `,` or `]` in array".into()),
+                    }
+                }
+            }
+            Some('{') => {
+                let mut rest = input[1..].trim_start();
+                let mut fields = Vec::new();
+                if let Some(stripped) = rest.strip_prefix('}') {
+                    return Ok((Value::Object(fields), stripped));
+                }
+                loop {
+                    let (key, r) = parse_string(rest.trim_start())?;
+                    let r = r.trim_start();
+                    let r = r.strip_prefix(':').ok_or("expected `:` after object key")?;
+                    let (value, r) = parse_value(r)?;
+                    fields.push((key, value));
+                    rest = r.trim_start();
+                    match rest.chars().next() {
+                        Some(',') => rest = rest[1..].trim_start(),
+                        Some('}') => return Ok((Value::Object(fields), &rest[1..])),
+                        _ => return Err("expected `,` or `}` in object".into()),
+                    }
+                }
+            }
+            _ => Err("expected a string, array, or object".into()),
+        }
+    }
+
+    fn parse_string(input: &str) -> Result<(String, &str), String> {
+        let rest = input.strip_prefix('"').ok_or("expected a string literal")?;
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((out, &rest[i + 1..])),
+                '\\' => match chars.next().map(|(_, e)| e) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                            code =
+                                code * 16 + h.to_digit(16).ok_or("bad hex digit in \\u escape")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    _ => return Err("unsupported string escape".into()),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string literal".into())
     }
 }
 
@@ -147,5 +424,37 @@ mod tests {
     fn rejects_wrong_width() {
         let mut t = Table::new("t", ["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn json_round_trips_including_escapes() {
+        let mut t = Table::new("quo\"ted \\ title\n", ["a", "b"]);
+        t.row(["x,y", "tab\there"]);
+        t.row(["", "\u{1}"]);
+        let back = Table::from_json(&t.render_json()).unwrap();
+        assert_eq!(back.title(), t.title());
+        assert_eq!(back.headers(), t.headers());
+        assert_eq!(back.rows(), t.rows());
+    }
+
+    #[test]
+    fn artifact_round_trips_multiple_tables() {
+        let mut a = Table::new("first", ["n"]);
+        a.row(["1"]);
+        let b = Table::new("second (empty)", ["x", "y"]);
+        let artifact = Table::render_json_artifact(&[&a, &b]);
+        assert!(artifact.ends_with('\n'));
+        let back = Table::from_json_artifact(&artifact).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].render(), a.render());
+        assert_eq!(back[1].render(), b.render());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(Table::from_json("{\"title\":\"t\"}").is_err());
+        assert!(Table::from_json("[1]").is_err());
+        assert!(Table::from_json("{\"title\":\"t\",\"headers\":[\"a\"],\"rows\":[[]]}").is_err());
+        assert!(Table::from_json("").is_err());
     }
 }

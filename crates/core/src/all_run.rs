@@ -4,8 +4,8 @@
 use crate::rounds::{execute_round_with, MoveOrder, RoundRecord};
 use crate::upsets::UpTracker;
 use llsc_shmem::{
-    Algorithm, Executor, ExecutorConfig, Interaction, ProcessId, RegisterId, Run,
-    TossAssignment, Value,
+    Algorithm, Executor, ExecutorConfig, Interaction, ProcessId, RegisterId, Run, TossAssignment,
+    Value,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -201,8 +201,7 @@ pub fn build_all_run(
     toss: Arc<dyn TossAssignment>,
     cfg: &AdversaryConfig,
 ) -> AllRun {
-    let initial_memory: BTreeMap<RegisterId, Value> =
-        alg.initial_memory(n).into_iter().collect();
+    let initial_memory: BTreeMap<RegisterId, Value> = alg.initial_memory(n).into_iter().collect();
     let mut exec = Executor::new(alg, n, toss, cfg.executor);
     let mut up = if cfg.track_up_history {
         UpTracker::new(n)

@@ -30,7 +30,6 @@
 
 use crate::all_run::AllRun;
 use crate::s_run::SRun;
-use crate::upsets::ProcSet;
 use llsc_shmem::{OpKind, ProcessId, RegisterId};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -98,7 +97,10 @@ impl fmt::Display for ClaimViolation {
                 write!(f, "A.3 round {round}: {p} moves in (S,A) but not (All,A)")
             }
             ClaimViolation::UpShrank { r, round } => {
-                write!(f, "A.4 round {round}: UP({r}) shrank across a successful SC")
+                write!(
+                    f,
+                    "A.4 round {round}: UP({r}) shrank across a successful SC"
+                )
             }
             ClaimViolation::ScRegisterEscapesS { p, r, round } => {
                 write!(f, "A.5 round {round}: {p} SCs {r} but UP({r}) escapes S")
@@ -161,7 +163,12 @@ pub fn check_appendix_claims(all: &AllRun, srun: &SRun) -> ClaimsReport {
             .map(|o| (o.p, (o.kind, o.register)))
             .collect();
         let s_ops: BTreeMap<ProcessId, (OpKind, RegisterId)> = s_rec
-            .map(|rec| rec.ops.iter().map(|o| (o.p, (o.kind, o.register))).collect())
+            .map(|rec| {
+                rec.ops
+                    .iter()
+                    .map(|o| (o.p, (o.kind, o.register)))
+                    .collect()
+            })
             .unwrap_or_default();
 
         // ---- A.2: participation and operation agreement ----
@@ -200,13 +207,11 @@ pub fn check_appendix_claims(all: &AllRun, srun: &SRun) -> ClaimsReport {
                                     // (same point as the All-run) — if it
                                     // is still live, A.2(3) is violated.
                                     if srun.base.run.verdict(p).is_none() {
-                                        report.violations.push(
-                                            ClaimViolation::Participation {
-                                                p,
-                                                round: r,
-                                                detail: "missing its operation".into(),
-                                            },
-                                        );
+                                        report.violations.push(ClaimViolation::Participation {
+                                            p,
+                                            round: r,
+                                            detail: "missing its operation".into(),
+                                        });
                                     }
                                 }
                             }
@@ -235,7 +240,9 @@ pub fn check_appendix_claims(all: &AllRun, srun: &SRun) -> ClaimsReport {
             let before = all.up.reg(reg, r - 1);
             let after = all.up.reg(reg, r);
             if !before.is_subset(&after) {
-                report.violations.push(ClaimViolation::UpShrank { r: reg, round: r });
+                report
+                    .violations
+                    .push(ClaimViolation::UpShrank { r: reg, round: r });
             }
         }
 
@@ -298,7 +305,6 @@ pub fn check_appendix_claims(all: &AllRun, srun: &SRun) -> ClaimsReport {
     report
 }
 
-
 /// Convenience: the claims plus the lemma itself on every subset of a
 /// small system. Returns the total number of violations (0 for sound
 /// machinery).
@@ -308,21 +314,22 @@ pub fn check_claims_all_subsets(
     toss: std::sync::Arc<dyn llsc_shmem::TossAssignment>,
     cfg: &crate::AdversaryConfig,
 ) -> usize {
-    assert!(n <= 16, "exhaustive subset check needs small n");
-    let all = crate::build_all_run(alg, n, toss.clone(), cfg);
-    let mut violations = 0;
-    for mask in 0u32..(1 << n) {
-        let s: ProcSet = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(ProcessId)
-            .collect();
-        let srun = crate::build_s_run(alg, n, toss.clone(), &s, &all, cfg);
-        violations += check_appendix_claims(&all, &srun).violations.len();
-        violations += crate::check_indistinguishability(&all, &srun)
-            .violations
-            .len();
-    }
-    violations
+    check_claims_all_subsets_sweep(alg, n, toss, cfg, &llsc_shmem::Sweep::sequential())
+}
+
+/// [`check_claims_all_subsets`], fanning the `2^n` subsets out over the
+/// given [`llsc_shmem::Sweep`]. The count is independent of the sweep's
+/// thread count.
+pub fn check_claims_all_subsets_sweep(
+    alg: &dyn llsc_shmem::Algorithm,
+    n: usize,
+    toss: std::sync::Arc<dyn llsc_shmem::TossAssignment>,
+    cfg: &crate::AdversaryConfig,
+    sweep: &llsc_shmem::Sweep,
+) -> usize {
+    crate::subsets::indist_all_subsets(alg, n, toss, cfg, true, sweep)
+        .violations
+        .len()
 }
 
 #[cfg(test)]
@@ -330,6 +337,7 @@ mod tests {
     use super::*;
     use crate::all_run::{build_all_run, AdversaryConfig};
     use crate::s_run::build_s_run;
+    use crate::upsets::ProcSet;
     use llsc_shmem::dsl::{done, ll, mv, sc, swap};
     use llsc_shmem::{Algorithm, FnAlgorithm, Program, SeededTosses, Value, ZeroTosses};
     use std::sync::Arc;
@@ -363,11 +371,9 @@ mod tests {
                 })
                 .into_program(),
                 _ => ll(RegisterId(0), move |_| {
-                    sc(
-                        RegisterId(0),
-                        Value::from((pid.0 + n) as i64),
-                        |_, _| done(Value::from(0i64)),
-                    )
+                    sc(RegisterId(0), Value::from((pid.0 + n) as i64), |_, _| {
+                        done(Value::from(0i64))
+                    })
                 })
                 .into_program(),
             };
@@ -392,8 +398,7 @@ mod tests {
             } else {
                 Arc::new(SeededTosses::new(seed))
             };
-            let violations =
-                check_claims_all_subsets(&alg, 6, toss, &AdversaryConfig::default());
+            let violations = check_claims_all_subsets(&alg, 6, toss, &AdversaryConfig::default());
             assert_eq!(violations, 0, "seed={seed}");
         }
     }

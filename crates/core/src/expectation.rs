@@ -16,7 +16,7 @@
 use crate::all_run::{build_all_run, AdversaryConfig};
 use crate::theorem::{ceil_log4, log4};
 use crate::wakeup::check_wakeup;
-use llsc_shmem::{Algorithm, SeededTosses};
+use llsc_shmem::{Algorithm, SeededTosses, Sweep};
 use std::fmt;
 use std::sync::Arc;
 
@@ -100,27 +100,63 @@ pub fn estimate_expected_complexity(
     seeds: impl IntoIterator<Item = u64>,
     cfg: &AdversaryConfig,
 ) -> ExpectationReport {
-    let mut samples = 0usize;
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    estimate_expected_complexity_sweep(alg, n, &seeds, cfg, &Sweep::sequential())
+}
+
+/// What one sampled toss assignment contributed to the estimate.
+struct Sample {
+    terminated: bool,
+    wakeup_ok: bool,
+    winner_steps: Option<u64>,
+    max_steps: Option<u64>,
+}
+
+/// [`estimate_expected_complexity`], fanning the seed samples out over the
+/// given [`Sweep`]. Each seed's `(All, A)`-run is independent, and samples
+/// are merged in seed order, so the report is identical at any thread
+/// count.
+pub fn estimate_expected_complexity_sweep(
+    alg: &dyn Algorithm,
+    n: usize,
+    seeds: &[u64],
+    cfg: &AdversaryConfig,
+    sweep: &Sweep,
+) -> ExpectationReport {
+    let sampled = sweep.run(seeds, |_trial, &seed| {
+        let all = build_all_run(alg, n, Arc::new(SeededTosses::new(seed)), cfg);
+        if !all.base.completed {
+            return Sample {
+                terminated: false,
+                wakeup_ok: false,
+                winner_steps: None,
+                max_steps: None,
+            };
+        }
+        let check = check_wakeup(&all.base.run);
+        Sample {
+            terminated: true,
+            wakeup_ok: check.ok(),
+            winner_steps: check.first_winner().map(|w| all.base.run.shared_steps(w)),
+            max_steps: Some(all.base.run.max_shared_steps()),
+        }
+    });
+
+    let samples = sampled.len();
     let mut terminating = 0usize;
     let mut wakeup_ok = 0usize;
     let mut winner_steps: Vec<u64> = Vec::new();
     let mut max_steps: Vec<u64> = Vec::new();
-
-    for seed in seeds {
-        samples += 1;
-        let all = build_all_run(alg, n, Arc::new(SeededTosses::new(seed)), cfg);
-        if !all.base.completed {
+    for sample in sampled {
+        if !sample.terminated {
             continue;
         }
         terminating += 1;
-        let check = check_wakeup(&all.base.run);
-        if check.ok() {
+        if sample.wakeup_ok {
             wakeup_ok += 1;
         }
-        if let Some(w) = check.first_winner() {
-            winner_steps.push(all.base.run.shared_steps(w));
-        }
-        max_steps.push(all.base.run.max_shared_steps());
+        winner_steps.extend(sample.winner_steps);
+        max_steps.extend(sample.max_steps);
     }
 
     let c = if samples == 0 {
@@ -196,8 +232,7 @@ mod tests {
     fn randomized_wakeup_meets_expected_bound() {
         let alg = randomized_counter_wakeup();
         for n in [4, 8, 16] {
-            let rep =
-                estimate_expected_complexity(&alg, n, 0..20, &AdversaryConfig::default());
+            let rep = estimate_expected_complexity(&alg, n, 0..20, &AdversaryConfig::default());
             assert_eq!(rep.termination_rate, 1.0, "n={n}");
             assert_eq!(rep.wakeup_ok_rate, 1.0, "n={n}");
             assert!(rep.all_meet_bound, "n={n}: min={}", rep.min_winner_steps);

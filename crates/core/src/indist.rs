@@ -298,8 +298,7 @@ mod tests {
                 )
                 .into_program()
             } else {
-                validate(RegisterId(n as u64 - 1), |_, _| done(Value::from(0i64)))
-                    .into_program()
+                validate(RegisterId(n as u64 - 1), |_, _| done(Value::from(0i64))).into_program()
             };
             prog
         })

@@ -63,25 +63,37 @@ mod rounds;
 mod s_run;
 mod secretive;
 mod stress;
+mod subsets;
 mod theorem;
 mod trace;
 mod upsets;
 mod wakeup;
 
 pub use all_run::{build_all_run, AdversaryConfig, AllRun, RoundedRun};
-pub use claims::{check_appendix_claims, check_claims_all_subsets, ClaimViolation, ClaimsReport};
-pub use expectation::{estimate_expected_complexity, ExpectationReport};
+pub use claims::{
+    check_appendix_claims, check_claims_all_subsets, check_claims_all_subsets_sweep,
+    ClaimViolation, ClaimsReport,
+};
+pub use expectation::{
+    estimate_expected_complexity, estimate_expected_complexity_sweep, ExpectationReport,
+};
 pub use indist::{check_indistinguishability, IndistReport, IndistViolation};
-pub use rounds::{execute_round, execute_round_with, MoveOrder, OpSummary, RoundGroups, RoundRecord};
+pub use rounds::{
+    execute_round, execute_round_with, MoveOrder, OpSummary, RoundGroups, RoundRecord,
+};
 pub use s_run::{build_s_run, SRun};
 pub use secretive::{
-    flow_report, is_complete, is_secretive, movers, restrict, restriction_preserves_source,
-    secretive_complete_schedule, source, MoveConfig,
+    flow_report, is_complete, is_secretive, movers, random_move_config, restrict,
+    restriction_preserves_source, secretive_complete_schedule, source, MoveConfig,
 };
+pub use stress::{
+    standard_portfolio, stress_wakeup, stress_wakeup_sweep, StressFailure, StressReport,
+    StressSchedule,
+};
+pub use subsets::{indist_all_subsets, SubsetSweepReport};
 pub use theorem::{
     ceil_log4, log4, report_from_all_run, verify_lower_bound, LowerBoundReport, Refutation,
 };
-pub use stress::{standard_portfolio, stress_wakeup, StressFailure, StressReport, StressSchedule};
 pub use trace::{trace_all_run, trace_round, trace_up_sets};
 pub use upsets::{lemma_5_1_bound, ProcSet, UpSnapshot, UpTracker};
 pub use wakeup::{check_wakeup, WakeupCheck, WakeupViolation};

@@ -8,9 +8,7 @@
 //! `UP`-set update rules and the indistinguishability checker later need.
 
 use crate::secretive::{self, MoveConfig};
-use llsc_shmem::{
-    Executor, OpKind, Operation, ProcessId, RegisterId, Response, Value,
-};
+use llsc_shmem::{Executor, OpKind, Operation, ProcessId, RegisterId, Response, Value};
 use std::collections::BTreeMap;
 
 /// A lean record of one shared-memory operation of a round: everything the
@@ -188,7 +186,9 @@ pub fn execute_round_with(
     let mut groups = RoundGroups::default();
     let mut move_config = MoveConfig::new();
     for &p in &ordered {
-        let Some(op) = exec.pending_op(p) else { continue };
+        let Some(op) = exec.pending_op(p) else {
+            continue;
+        };
         match op.kind() {
             OpKind::Ll | OpKind::Validate => groups.g1_ll_validate.push(p),
             OpKind::Move => {
@@ -260,7 +260,10 @@ pub fn execute_round_with(
 
     // End-of-round snapshots.
     let (end_values, end_psets) = if snapshots {
-        (exec.memory().snapshot_values(), exec.memory().snapshot_psets())
+        (
+            exec.memory().snapshot_values(),
+            exec.memory().snapshot_psets(),
+        )
     } else {
         (BTreeMap::new(), BTreeMap::new())
     };
@@ -296,9 +299,7 @@ pub fn execute_round_with(
 mod tests {
     use super::*;
     use llsc_shmem::dsl::{done, ll, mv, sc, swap, validate};
-    use llsc_shmem::{
-        Algorithm, ExecutorConfig, FnAlgorithm, Program, Value, ZeroTosses,
-    };
+    use llsc_shmem::{Algorithm, ExecutorConfig, FnAlgorithm, Program, Value, ZeroTosses};
     use std::sync::Arc;
 
     fn exec_for(alg: &dyn Algorithm, n: usize) -> Executor {
@@ -316,10 +317,14 @@ mod tests {
             let prog: Box<dyn Program> = match pid.0 {
                 0 => ll(RegisterId(0), |_| done(Value::from(0i64))).into_program(),
                 1 => mv(RegisterId(1), RegisterId(2), || done(Value::from(0i64))).into_program(),
-                2 => swap(RegisterId(3), Value::from(1i64), |_| done(Value::from(0i64)))
-                    .into_program(),
+                2 => swap(RegisterId(3), Value::from(1i64), |_| {
+                    done(Value::from(0i64))
+                })
+                .into_program(),
                 _ => ll(RegisterId(4), |_| {
-                    sc(RegisterId(4), Value::from(9i64), |_, _| done(Value::from(0i64)))
+                    sc(RegisterId(4), Value::from(9i64), |_, _| {
+                        done(Value::from(0i64))
+                    })
                 })
                 .into_program(),
             };

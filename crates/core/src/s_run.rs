@@ -88,7 +88,13 @@ pub fn build_s_run(
             break;
         }
         let sigma_r = &all.base.rounds[r - 1].sigma;
-        let rec = execute_round_with(&mut exec, r, &s_r, MoveOrder::Given(sigma_r), cfg.record_snapshots);
+        let rec = execute_round_with(
+            &mut exec,
+            r,
+            &s_r,
+            MoveOrder::Given(sigma_r),
+            cfg.record_snapshots,
+        );
         participants_per_round.push(s_r);
         rounds.push(rec);
     }
@@ -139,7 +145,10 @@ mod tests {
         let all = build_all_run(&alg, 5, Arc::new(ZeroTosses), &cfg);
         let s = pset([1, 3]);
         let srun = build_s_run(&alg, 5, Arc::new(ZeroTosses), &s, &all, &cfg);
-        assert_eq!(srun.participants_per_round[0], vec![ProcessId(1), ProcessId(3)]);
+        assert_eq!(
+            srun.participants_per_round[0],
+            vec![ProcessId(1), ProcessId(3)]
+        );
         for p in [ProcessId(0), ProcessId(2), ProcessId(4)] {
             assert_eq!(srun.base.run.shared_steps(p), 0, "{p} must not step");
         }

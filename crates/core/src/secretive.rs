@@ -16,6 +16,7 @@
 //! [`source`] support the restriction property of Lemma 4.2 that the
 //! `(S, A)`-run construction relies on.
 
+use llsc_shmem::rng::XorShift64;
 use llsc_shmem::{ProcessId, RegisterId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -110,6 +111,26 @@ impl FromIterator<(ProcessId, RegisterId, RegisterId)> for MoveConfig {
         }
         cfg
     }
+}
+
+/// A random move configuration over `regs` registers (no self-moves),
+/// drawn from the repository's deterministic [`XorShift64`] stream.
+///
+/// This is the generator behind the E1/E2 experiment tables and the
+/// `llsc secretive --seed` demo; its output for a given `(n, regs, seed)`
+/// is stable across releases (the committed tables depend on it).
+///
+/// # Panics
+///
+/// Panics if `regs < 2` (self-moves are outside the Section-4 model).
+pub fn random_move_config(n: usize, regs: u64, seed: u64) -> MoveConfig {
+    assert!(regs >= 2, "need at least 2 registers to avoid self-moves");
+    let mut rng = XorShift64::new(seed);
+    MoveConfig::from_iter((0..n).map(|i| {
+        let src = rng.next_u64() % regs;
+        let dst = (src + 1 + rng.next_u64() % (regs - 1)) % regs;
+        (ProcessId(i), RegisterId(src), RegisterId(dst))
+    }))
 }
 
 impl fmt::Display for MoveConfig {
@@ -241,7 +262,11 @@ pub fn is_secretive(schedule: &[ProcessId], cfg: &MoveConfig) -> bool {
 /// `σ|A`: the subsequence of `schedule` containing exactly the processes in
 /// `keep`.
 pub fn restrict(schedule: &[ProcessId], keep: &BTreeSet<ProcessId>) -> Vec<ProcessId> {
-    schedule.iter().copied().filter(|p| keep.contains(p)).collect()
+    schedule
+        .iter()
+        .copied()
+        .filter(|p| keep.contains(p))
+        .collect()
 }
 
 /// Constructs a secretive complete schedule for `cfg` — the algorithm of

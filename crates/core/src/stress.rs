@@ -16,8 +16,8 @@
 
 use crate::wakeup::{check_wakeup, WakeupViolation};
 use llsc_shmem::{
-    Algorithm, Executor, ExecutorConfig, PartitionScheduler, ProcessId, RandomScheduler,
-    Scheduler, SequentialScheduler, TossAssignment,
+    Algorithm, Executor, ExecutorConfig, PartitionScheduler, ProcessId, RandomScheduler, Scheduler,
+    SequentialScheduler, Sweep, TossAssignment,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -99,9 +99,7 @@ impl fmt::Display for StressReport {
 pub fn standard_portfolio(n: usize, random_seeds: u64) -> Vec<StressSchedule> {
     let mut schedules = Vec::new();
     for k in 1..n {
-        schedules.push(StressSchedule::Partition(
-            (0..k).map(ProcessId).collect(),
-        ));
+        schedules.push(StressSchedule::Partition((0..k).map(ProcessId).collect()));
     }
     // Odd processes only; every third process.
     for stride in [2usize, 3] {
@@ -130,9 +128,22 @@ pub fn stress_wakeup(
     portfolio: &[StressSchedule],
     max_steps: u64,
 ) -> StressReport {
-    let mut report = StressReport::default();
-    for schedule in portfolio {
-        report.schedules_tried += 1;
+    stress_wakeup_sweep(alg, n, toss, portfolio, max_steps, &Sweep::sequential())
+}
+
+/// [`stress_wakeup`], fanning the portfolio's schedules out over the given
+/// [`Sweep`]. Each schedule drives its own executor, and failures are
+/// merged in portfolio order, so the report is identical at any thread
+/// count.
+pub fn stress_wakeup_sweep(
+    alg: &dyn Algorithm,
+    n: usize,
+    toss: Arc<dyn TossAssignment>,
+    portfolio: &[StressSchedule],
+    max_steps: u64,
+    sweep: &Sweep,
+) -> StressReport {
+    let outcomes = sweep.run(portfolio, |_trial, schedule| {
         let mut exec = Executor::new(alg, n, toss.clone(), ExecutorConfig::default());
         let mut sched: Box<dyn Scheduler> = match schedule {
             StressSchedule::Partition(ps) => Box::new(PartitionScheduler::new(ps.clone())),
@@ -144,12 +155,23 @@ pub fn stress_wakeup(
         // For non-terminating prefixes only conditions 1 and 3 apply;
         // check_wakeup already restricts NoWinner to terminating runs.
         if check.ok() {
-            report.passed += 1;
+            None
         } else {
-            report.failures.push(StressFailure {
+            Some(StressFailure {
                 schedule: schedule.clone(),
                 violations: check.violations,
-            });
+            })
+        }
+    });
+
+    let mut report = StressReport {
+        schedules_tried: outcomes.len(),
+        ..StressReport::default()
+    };
+    for outcome in outcomes {
+        match outcome {
+            None => report.passed += 1,
+            Some(failure) => report.failures.push(failure),
         }
     }
     report

@@ -1,0 +1,185 @@
+//! Exhaustive subset sweeps: Lemma 5.2 (and optionally the appendix
+//! claims) over every `S ⊆ {p_0, …, p_{n-1}}`.
+//!
+//! This is the heaviest verification loop in the repository — `2^n`
+//! `(S, A)`-runs per `(All, A)`-run — and it is embarrassingly parallel:
+//! each subset's run is built independently against the shared
+//! `(All, A)`-run. [`indist_all_subsets`] therefore fans the masks out
+//! over a [`Sweep`], merging per-subset tallies in mask order so the
+//! report is identical at any thread count.
+
+use crate::all_run::{build_all_run, AdversaryConfig};
+use crate::claims::check_appendix_claims;
+use crate::indist::check_indistinguishability;
+use crate::s_run::build_s_run;
+use crate::upsets::ProcSet;
+use llsc_shmem::{Algorithm, ProcessId, Sweep, TossAssignment};
+use std::fmt;
+use std::sync::Arc;
+
+/// The aggregate outcome of an exhaustive subset sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SubsetSweepReport {
+    /// Subsets `S` tested (always `2^n`).
+    pub subsets: usize,
+    /// Individual Lemma 5.2 state comparisons performed (process checks
+    /// plus register checks, summed over subsets).
+    pub comparisons: usize,
+    /// Appendix-claim instances evaluated (0 unless claims were checked).
+    pub claim_instances: usize,
+    /// Every violation found, rendered with the subset that exposed it.
+    /// Sound machinery leaves this empty.
+    pub violations: Vec<String>,
+}
+
+impl SubsetSweepReport {
+    /// `true` iff no subset exposed a violation.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for SubsetSweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "subset sweep: {} subsets, {} comparisons, {} claim instances, {} violation(s)",
+            self.subsets,
+            self.comparisons,
+            self.claim_instances,
+            self.violations.len()
+        )
+    }
+}
+
+/// Checks Lemma 5.2 — and, when `check_claims` is set, claims A.2 – A.9 —
+/// on every subset of an `n`-process system, fanning the `2^n` masks out
+/// over `sweep`.
+///
+/// The `(All, A)`-run is built once and shared (read-only) by all worker
+/// threads; each trial builds one `(S, A)`-run and compares. Tallies are
+/// merged in mask order, so the report does not depend on `sweep.threads`.
+///
+/// # Panics
+///
+/// Panics if `n > 16` (the enumeration is exhaustive).
+pub fn indist_all_subsets(
+    alg: &dyn Algorithm,
+    n: usize,
+    toss: Arc<dyn TossAssignment>,
+    cfg: &AdversaryConfig,
+    check_claims: bool,
+    sweep: &Sweep,
+) -> SubsetSweepReport {
+    assert!(n <= 16, "exhaustive subset check needs small n");
+    let all = build_all_run(alg, n, toss.clone(), cfg);
+
+    let per_mask = sweep.run_indexed(1usize << n, |trial| {
+        let mask = trial.index;
+        let s: ProcSet = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(ProcessId)
+            .collect();
+        let srun = build_s_run(alg, n, toss.clone(), &s, &all, cfg);
+        let lemma = check_indistinguishability(&all, &srun);
+        let mut partial = SubsetSweepReport {
+            subsets: 1,
+            comparisons: lemma.process_checks + lemma.register_checks,
+            claim_instances: 0,
+            violations: lemma
+                .violations
+                .iter()
+                .map(|v| format!("S={s:?}: {v}"))
+                .collect(),
+        };
+        if check_claims {
+            let claims = check_appendix_claims(&all, &srun);
+            partial.claim_instances = claims.instances;
+            partial
+                .violations
+                .extend(claims.violations.iter().map(|v| format!("S={s:?}: {v}")));
+        }
+        partial
+    });
+
+    let mut report = SubsetSweepReport::default();
+    for partial in per_mask {
+        report.subsets += partial.subsets;
+        report.comparisons += partial.comparisons;
+        report.claim_instances += partial.claim_instances;
+        report.violations.extend(partial.violations);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llsc_shmem::dsl::{done, ll, sc};
+    use llsc_shmem::{FnAlgorithm, RegisterId, Value, ZeroTosses};
+
+    fn llsc_contenders() -> impl Algorithm {
+        FnAlgorithm::new("llsc", |pid: ProcessId, _n| {
+            fn attempt(pid: ProcessId) -> llsc_shmem::dsl::Step {
+                ll(RegisterId(0), move |_| {
+                    sc(RegisterId(0), Value::from(pid.0 as i64), move |ok, _| {
+                        if ok {
+                            done(Value::from(1i64))
+                        } else {
+                            attempt(pid)
+                        }
+                    })
+                })
+            }
+            attempt(pid).into_program()
+        })
+    }
+
+    #[test]
+    fn sweep_report_is_thread_count_invariant() {
+        let alg = llsc_contenders();
+        let cfg = AdversaryConfig::default();
+        let base = indist_all_subsets(
+            &alg,
+            5,
+            Arc::new(ZeroTosses),
+            &cfg,
+            true,
+            &Sweep::sequential(),
+        );
+        assert!(base.ok(), "{:?}", base.violations);
+        assert_eq!(base.subsets, 32);
+        assert!(base.comparisons > 0);
+        assert!(base.claim_instances > 0);
+        for threads in [2, 4, 8] {
+            let par = indist_all_subsets(
+                &alg,
+                5,
+                Arc::new(ZeroTosses),
+                &cfg,
+                true,
+                &Sweep::with_threads(threads),
+            );
+            assert_eq!(par.subsets, base.subsets, "threads={threads}");
+            assert_eq!(par.comparisons, base.comparisons, "threads={threads}");
+            assert_eq!(par.claim_instances, base.claim_instances);
+            assert_eq!(par.violations, base.violations);
+        }
+    }
+
+    #[test]
+    fn claims_can_be_skipped() {
+        let alg = llsc_contenders();
+        let report = indist_all_subsets(
+            &alg,
+            4,
+            Arc::new(ZeroTosses),
+            &AdversaryConfig::default(),
+            false,
+            &Sweep::sequential(),
+        );
+        assert!(report.ok());
+        assert_eq!(report.claim_instances, 0);
+        assert!(report.to_string().contains("16 subsets"));
+    }
+}

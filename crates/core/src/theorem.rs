@@ -95,7 +95,9 @@ impl fmt::Display for LowerBoundReport {
             self.algorithm,
             self.n,
             self.rounds,
-            self.winner.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+            self.winner
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
             self.winner_steps,
             self.max_steps,
             self.log4_n,
@@ -187,11 +189,7 @@ pub fn report_from_all_run(
                     .collect();
                 Some(Refutation {
                     s,
-                    winner_returns_one_in_s_run: srun
-                        .base
-                        .run
-                        .verdict(w)
-                        .and_then(|v| v.as_int())
+                    winner_returns_one_in_s_run: srun.base.run.verdict(w).and_then(|v| v.as_int())
                         == Some(1),
                     never_step,
                     violations: s_wakeup.violations,
@@ -278,12 +276,8 @@ mod tests {
     fn correct_algorithm_meets_the_bound() {
         let alg = counter_wakeup();
         for n in [2, 4, 8, 16, 32] {
-            let rep = verify_lower_bound(
-                &alg,
-                n,
-                Arc::new(ZeroTosses),
-                &AdversaryConfig::default(),
-            );
+            let rep =
+                verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
             assert!(rep.completed, "n={n}");
             assert!(rep.wakeup.ok(), "n={n}: {}", rep.wakeup);
             assert!(
@@ -306,8 +300,7 @@ mod tests {
     fn broken_algorithm_is_refuted_constructively() {
         let alg = premature_wakeup();
         let n = 16;
-        let rep =
-            verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
         // The (All, A)-run itself already violates wakeup (premature
         // winner), and the bound fails.
         assert!(!rep.wakeup.ok());
@@ -332,12 +325,8 @@ mod tests {
         let alg = counter_wakeup();
         let mut prev_bound = 0;
         for n in [4, 16, 64, 256] {
-            let rep = verify_lower_bound(
-                &alg,
-                n,
-                Arc::new(ZeroTosses),
-                &AdversaryConfig::default(),
-            );
+            let rep =
+                verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
             let bound = ceil_log4(n);
             assert!(bound >= prev_bound);
             assert!(rep.winner_steps >= bound, "n={n}");
@@ -362,8 +351,7 @@ mod tests {
     #[test]
     fn report_display_summarises() {
         let alg = counter_wakeup();
-        let rep =
-            verify_lower_bound(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let rep = verify_lower_bound(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default());
         let s = rep.to_string();
         assert!(s.contains("counter-wakeup"));
         assert!(s.contains("HOLDS"));

@@ -94,7 +94,11 @@ pub fn trace_all_run(all: &AllRun, max_rounds: usize) -> String {
         out.push_str(&trace_up_sets(&all.up, i + 1));
     }
     if all.base.num_rounds() > max_rounds {
-        let _ = writeln!(out, "... {} more round(s)", all.base.num_rounds() - max_rounds);
+        let _ = writeln!(
+            out,
+            "... {} more round(s)",
+            all.base.num_rounds() - max_rounds
+        );
     }
     out
 }
@@ -111,13 +115,16 @@ mod tests {
         FnAlgorithm::new("mixed", |pid: ProcessId, _n| {
             let prog: Box<dyn Program> = match pid.0 {
                 0 => ll(RegisterId(0), |_| {
-                    sc(RegisterId(0), Value::from(1i64), |_, _| done(Value::from(0i64)))
+                    sc(RegisterId(0), Value::from(1i64), |_, _| {
+                        done(Value::from(0i64))
+                    })
                 })
                 .into_program(),
-                1 => swap(RegisterId(1), Value::from(2i64), |_| done(Value::from(0i64)))
-                    .into_program(),
-                _ => mv(RegisterId(1), RegisterId(2), || done(Value::from(0i64)))
-                    .into_program(),
+                1 => swap(RegisterId(1), Value::from(2i64), |_| {
+                    done(Value::from(0i64))
+                })
+                .into_program(),
+                _ => mv(RegisterId(1), RegisterId(2), || done(Value::from(0i64))).into_program(),
             };
             prog
         })

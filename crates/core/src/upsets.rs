@@ -32,9 +32,7 @@ pub struct UpSnapshot {
 impl UpSnapshot {
     fn initial(n: usize) -> Self {
         UpSnapshot {
-            procs: ProcessId::all(n)
-                .map(|p| ProcSet::from([p]))
-                .collect(),
+            procs: ProcessId::all(n).map(|p| ProcSet::from([p])).collect(),
             regs: BTreeMap::new(),
         }
     }
@@ -217,9 +215,7 @@ impl UpTracker {
             .chain(rec.swaps.values().flatten().copied())
             .chain(rec.move_config.processes())
         {
-            old_procs
-                .entry(p)
-                .or_insert_with(|| prev.proc(p).clone());
+            old_procs.entry(p).or_insert_with(|| prev.proc(p).clone());
         }
 
         if self.keep_history {
@@ -283,10 +279,7 @@ impl UpTracker {
                 // Rules P3-P5: swap on R.
                 OpKind::Swap => {
                     let swappers = rec.swaps.get(&r).expect("recorded");
-                    let my_pos = swappers
-                        .iter()
-                        .position(|q| *q == p)
-                        .expect("p swapped r");
+                    let my_pos = swappers.iter().position(|q| *q == p).expect("p swapped r");
                     if my_pos == 0 {
                         if rec.moves_into.contains_key(&r) {
                             // Rule P4: first swapper, after moves into R.
@@ -461,8 +454,10 @@ mod tests {
         // learns UP(R0, 1) = {p0}.
         let alg = FnAlgorithm::new("val", |pid: ProcessId, _n| {
             let prog: Box<dyn Program> = match pid.0 {
-                0 => swap(RegisterId(0), Value::from(1i64), |_| done(Value::from(0i64)))
-                    .into_program(),
+                0 => swap(RegisterId(0), Value::from(1i64), |_| {
+                    done(Value::from(0i64))
+                })
+                .into_program(),
                 _ => validate(RegisterId(0), |_, _| {
                     validate(RegisterId(0), |_, _| done(Value::from(0i64)))
                 })

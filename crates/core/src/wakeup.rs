@@ -141,12 +141,10 @@ pub fn check_wakeup(run: &Run) -> WakeupCheck {
         if let Some(v) = run.verdict(p) {
             match v.as_int() {
                 Some(0) | Some(1) => {}
-                _ => check
-                    .violations
-                    .push(WakeupViolation::NonBinaryReturn {
-                        p,
-                        value: v.clone(),
-                    }),
+                _ => check.violations.push(WakeupViolation::NonBinaryReturn {
+                    p,
+                    value: v.clone(),
+                }),
             }
         }
     }
@@ -164,9 +162,8 @@ pub fn check_wakeup(run: &Run) -> WakeupCheck {
                 if value.as_int() == Some(1) {
                     check.winners.push(*pid);
                     if !premature_reported {
-                        let missing: Vec<ProcessId> = ProcessId::all(n)
-                            .filter(|q| !stepped[q.0])
-                            .collect();
+                        let missing: Vec<ProcessId> =
+                            ProcessId::all(n).filter(|q| !stepped[q.0]).collect();
                         if !missing.is_empty() {
                             premature_reported = true;
                             check.violations.push(WakeupViolation::PrematureWinner {

@@ -175,7 +175,9 @@ mod tests {
     #[test]
     fn swap_object_chains_values() {
         let obj = SwapObject::with_initial(Value::from(0i64));
-        let ops: Vec<Value> = (1..=3).map(|i| SwapObject::op(Value::from(i as i64))).collect();
+        let ops: Vec<Value> = (1..=3)
+            .map(|i| SwapObject::op(Value::from(i as i64)))
+            .collect();
         let (state, resps) = apply_all(&obj, &ops);
         assert_eq!(state, Value::from(3i64));
         assert_eq!(
@@ -194,7 +196,9 @@ mod tests {
         // documents the distinction: responses identify predecessors, not
         // completion.
         let obj = SwapObject::with_initial(Value::from(-1i64));
-        let ops: Vec<Value> = (0..4).map(|i| SwapObject::op(Value::from(i as i64))).collect();
+        let ops: Vec<Value> = (0..4)
+            .map(|i| SwapObject::op(Value::from(i as i64)))
+            .collect();
         let (_, resps) = apply_all(&obj, &ops);
         // Every response is the immediate predecessor only.
         assert_eq!(

@@ -68,7 +68,11 @@ impl ObjectSpec for FetchIncrement {
     }
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
-        assert_eq!(op_tag(op), Some(i128::from(TAG_FETCH_INCREMENT)), "bad op {op}");
+        assert_eq!(
+            op_tag(op),
+            Some(i128::from(TAG_FETCH_INCREMENT)),
+            "bad op {op}"
+        );
         let s = state.as_int().expect("fetch&increment state is an int");
         let modulus = 1i128 << self.k;
         (Value::Int((s + 1) % modulus), Value::Int(s))
@@ -139,13 +143,20 @@ impl ObjectSpec for FetchMultiply {
     }
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
-        assert_eq!(op_tag(op), Some(i128::from(TAG_FETCH_MULTIPLY)), "bad op {op}");
+        assert_eq!(
+            op_tag(op),
+            Some(i128::from(TAG_FETCH_MULTIPLY)),
+            "bad op {op}"
+        );
         let s = state.as_bits().expect("fetch&multiply state is bits");
         let v = op_arg(op, 0)
             .and_then(Value::as_bits)
             .expect("fetch&multiply argument is bits");
         let next = bits::mul(s, v, self.k);
-        (Value::Bits(next), Value::Bits(bits::normalize(s.to_vec(), self.k)))
+        (
+            Value::Bits(next),
+            Value::Bits(bits::normalize(s.to_vec(), self.k)),
+        )
     }
 }
 

@@ -73,7 +73,10 @@ impl ObjectSpec for FetchAnd {
     }
 
     fn initial(&self) -> Value {
-        Value::Bits(bits::normalize(vec![u64::MAX; bits::limbs_for(self.k)], self.k))
+        Value::Bits(bits::normalize(
+            vec![u64::MAX; bits::limbs_for(self.k)],
+            self.k,
+        ))
     }
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {

@@ -70,7 +70,11 @@ pub fn check_linearizability(spec: &dyn ObjectSpec, history: &History) -> LinChe
         return LinCheck::Linearizable { witness: vec![] };
     }
 
-    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     let mut visited: HashSet<(u128, Value)> = HashSet::new();
     let mut witness: Vec<OpId> = Vec::new();
 
@@ -105,9 +109,7 @@ pub fn check_linearizability(spec: &dyn ObjectSpec, history: &History) -> LinChe
             // Minimality: no other remaining op completed before cand's
             // invocation.
             let minimal = (0..history.len()).all(|j| {
-                j == i
-                    || remaining & (1 << j) == 0
-                    || !history.precedes(OpId::from_index(j), cand)
+                j == i || remaining & (1 << j) == 0 || !history.precedes(OpId::from_index(j), cand)
             });
             if !minimal {
                 continue;
@@ -306,8 +308,14 @@ mod tests {
         let c = CasRegister::with_initial(Value::from(0i64));
         // Both CASes from 0 claim to have seen 0: impossible.
         let mut h = History::new();
-        let a = h.invoke(p(0), CasRegister::cas_op(Value::from(0i64), Value::from(1i64)));
-        let b = h.invoke(p(1), CasRegister::cas_op(Value::from(0i64), Value::from(2i64)));
+        let a = h.invoke(
+            p(0),
+            CasRegister::cas_op(Value::from(0i64), Value::from(1i64)),
+        );
+        let b = h.invoke(
+            p(1),
+            CasRegister::cas_op(Value::from(0i64), Value::from(2i64)),
+        );
         h.respond(a, Value::from(0i64));
         h.respond(b, Value::from(0i64));
         // Wait: a CAS response is the previous value; if a ran first, b
@@ -322,7 +330,9 @@ mod tests {
         // permutation — exercises memoisation.
         let c = FetchIncrement::new(16);
         let mut h = History::new();
-        let ids: Vec<OpId> = (0..12).map(|i| h.invoke(p(i), FetchIncrement::op())).collect();
+        let ids: Vec<OpId> = (0..12)
+            .map(|i| h.invoke(p(i), FetchIncrement::op()))
+            .collect();
         // Respond in reverse invocation order with values 0..12 assigned to
         // the responder order.
         for (v, id) in ids.iter().rev().enumerate() {

@@ -1,8 +1,8 @@
 //! The deterministic discrete-event engine.
 
 use crate::{
-    Action, Algorithm, Feedback, Operation, ProcessId, Program, Response, Run, RunEvent,
-    Scheduler, SharedMemory, TossAssignment, Value,
+    Action, Algorithm, Feedback, Operation, ProcessId, Program, Response, Run, RunEvent, Scheduler,
+    SharedMemory, TossAssignment, Value,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -34,6 +34,21 @@ impl Default for ExecutorConfig {
             max_events: 50_000_000,
             max_local_burst: 1_000_000,
             record_details: true,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// The configuration the large measurement sweeps use: counters and
+    /// verdicts only (see [`Run::lightweight`]), same safety limits.
+    ///
+    /// Runs recorded this way still produce a full
+    /// [`OpCounters`](crate::OpCounters) summary via
+    /// [`Executor::counters`] — structured stats without trace memory.
+    pub fn lightweight() -> Self {
+        ExecutorConfig {
+            record_details: false,
+            ..ExecutorConfig::default()
         }
     }
 }
@@ -140,6 +155,12 @@ impl Executor {
     /// The run recorded so far.
     pub fn run(&self) -> &Run {
         &self.run
+    }
+
+    /// The cheap structured summary of the run so far (available in both
+    /// detailed and lightweight recording modes).
+    pub fn counters(&self) -> crate::OpCounters {
+        self.run.counters()
     }
 
     /// The shared memory (omniscient view; reading it is not a step).
@@ -409,13 +430,16 @@ mod tests {
     fn advance_local_runs_tosses_only() {
         let alg = FnAlgorithm::new("tosser", |_pid, _n| {
             toss(|c1| {
-                toss(move |c2| {
-                    ll(RegisterId(0), move |_| done(Value::from((c1 + c2) as i64)))
-                })
+                toss(move |c2| ll(RegisterId(0), move |_| done(Value::from((c1 + c2) as i64))))
             })
             .into_program()
         });
-        let mut exec = Executor::new(&alg, 1, Arc::new(crate::ConstantTosses(5)), ExecutorConfig::default());
+        let mut exec = Executor::new(
+            &alg,
+            1,
+            Arc::new(crate::ConstantTosses(5)),
+            ExecutorConfig::default(),
+        );
         let tosses = exec.advance_local(ProcessId(0));
         assert_eq!(tosses, 2);
         assert_eq!(exec.run().tosses(ProcessId(0)), 2);
@@ -471,8 +495,7 @@ mod tests {
         let alg = counter_like();
         let runs: Vec<_> = (0..2)
             .map(|_| {
-                let mut e =
-                    Executor::new(&alg, 5, Arc::new(ZeroTosses), ExecutorConfig::default());
+                let mut e = Executor::new(&alg, 5, Arc::new(ZeroTosses), ExecutorConfig::default());
                 while e.step_round_robin() {}
                 e.into_run()
             })

@@ -75,6 +75,8 @@ mod scheduler;
 mod value;
 
 pub mod dsl;
+pub mod rng;
+pub mod sweep;
 
 pub use coin::{ConstantTosses, MapTosses, SeededTosses, TossAssignment, ZeroTosses};
 pub use executor::{Executor, ExecutorConfig, StepOutcome};
@@ -83,9 +85,10 @@ pub use memory::{MemoryStats, SharedMemory};
 pub use op::{OpKind, Operation, Response};
 pub use process::{Action, Algorithm, Feedback, FnAlgorithm, Program};
 pub use register::RegisterState;
-pub use run::{Interaction, Run, RunEvent};
+pub use run::{Interaction, OpCounters, Run, RunEvent};
 pub use scheduler::{
     ListScheduler, PartitionScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
     SequentialScheduler,
 };
+pub use sweep::{Sweep, Trial};
 pub use value::Value;

@@ -98,7 +98,12 @@ pub trait Program {
 /// configurations many times (for the `(All, A)`-run, each `(S, A)`-run,
 /// and each toss assignment), so algorithms are described by factories
 /// rather than by live program instances.
-pub trait Algorithm {
+///
+/// Algorithms are `Send + Sync`: the parallel sweep engine
+/// ([`crate::sweep`]) shares one factory across worker threads, each of
+/// which spawns its own (non-`Send`) programs. Factories are immutable
+/// descriptions, so this costs implementations nothing.
+pub trait Algorithm: Send + Sync {
     /// A short human-readable name, used in reports and tables.
     fn name(&self) -> &'static str;
 
@@ -137,7 +142,7 @@ pub struct FnAlgorithm<F> {
 
 impl<F> FnAlgorithm<F>
 where
-    F: Fn(crate::ProcessId, usize) -> Box<dyn Program>,
+    F: Fn(crate::ProcessId, usize) -> Box<dyn Program> + Send + Sync,
 {
     /// Creates an algorithm from a spawn closure.
     pub fn new(name: &'static str, spawn: F) -> Self {
@@ -157,13 +162,15 @@ where
 
 impl<F> fmt::Debug for FnAlgorithm<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnAlgorithm").field("name", &self.name).finish()
+        f.debug_struct("FnAlgorithm")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
 impl<F> Algorithm for FnAlgorithm<F>
 where
-    F: Fn(crate::ProcessId, usize) -> Box<dyn Program>,
+    F: Fn(crate::ProcessId, usize) -> Box<dyn Program> + Send + Sync,
 {
     fn name(&self) -> &'static str {
         self.name
@@ -213,10 +220,11 @@ mod tests {
 
     #[test]
     fn fn_algorithm_initial_memory() {
-        let alg = FnAlgorithm::new("t", |_pid, _n| {
-            crate::dsl::done(Value::Unit).into_program()
-        })
-        .with_initial_memory(vec![(RegisterId(0), Value::from(5i64))]);
-        assert_eq!(alg.initial_memory(4), vec![(RegisterId(0), Value::from(5i64))]);
+        let alg = FnAlgorithm::new("t", |_pid, _n| crate::dsl::done(Value::Unit).into_program())
+            .with_initial_memory(vec![(RegisterId(0), Value::from(5i64))]);
+        assert_eq!(
+            alg.initial_memory(4),
+            vec![(RegisterId(0), Value::from(5i64))]
+        );
     }
 }

@@ -59,7 +59,11 @@ impl RunEvent {
 impl fmt::Display for RunEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunEvent::Toss { pid, index, outcome } => {
+            RunEvent::Toss {
+                pid,
+                index,
+                outcome,
+            } => {
                 write!(f, "{pid}: toss#{index} -> {outcome}")
             }
             RunEvent::SharedOp { pid, op, resp } => write!(f, "{pid}: {op} -> {resp}"),
@@ -96,10 +100,65 @@ pub struct Run {
     n: usize,
     details: bool,
     events: Vec<RunEvent>,
+    /// Total events recorded, maintained even in lightweight mode (where
+    /// `events` itself stays empty).
+    event_count: u64,
     histories: Vec<Vec<Interaction>>,
     shared_steps: Vec<u64>,
     tosses: Vec<u64>,
     verdicts: Vec<Option<Value>>,
+}
+
+/// A cheap structured summary of a run: per-process operation and toss
+/// counts plus the totals, available in both detailed and lightweight
+/// recording modes.
+///
+/// This is what the large measurement sweeps report instead of full
+/// traces: `O(n)` numbers rather than `O(events)` history, but still
+/// machine-readable (the bench crate serialises it into the `BENCH_*.json`
+/// artifacts).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// `t(p, R)` per process: shared-memory operations performed.
+    pub ops: Vec<u64>,
+    /// `numtosses(p)` per process: coin tosses performed.
+    pub tosses: Vec<u64>,
+    /// Total events recorded (tosses + shared ops + terminations).
+    pub events: u64,
+    /// Processes that have terminated.
+    pub terminated: usize,
+}
+
+impl OpCounters {
+    /// `t(R) = max_p t(p, R)`.
+    pub fn max_ops(&self) -> u64 {
+        self.ops.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total shared-memory operations across all processes.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Total coin tosses across all processes.
+    pub fn total_tosses(&self) -> u64 {
+        self.tosses.iter().sum()
+    }
+}
+
+impl fmt::Display for OpCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} procs ({} terminated): {} ops (max {}), {} tosses, {} events",
+            self.ops.len(),
+            self.terminated,
+            self.total_ops(),
+            self.max_ops(),
+            self.total_tosses(),
+            self.events
+        )
+    }
 }
 
 impl Default for Run {
@@ -133,6 +192,7 @@ impl Run {
             n,
             details,
             events: Vec::new(),
+            event_count: 0,
             histories: vec![Vec::new(); n],
             shared_steps: vec![0; n],
             tosses: vec![0; n],
@@ -159,10 +219,7 @@ impl Run {
     pub fn record(&mut self, ev: RunEvent) {
         let pid = ev.pid();
         assert!(pid.0 < self.n, "event for out-of-range {pid}");
-        assert!(
-            self.verdicts[pid.0].is_none(),
-            "event for terminated {pid}"
-        );
+        assert!(self.verdicts[pid.0].is_none(), "event for terminated {pid}");
         match &ev {
             RunEvent::Toss { outcome, .. } => {
                 self.tosses[pid.0] += 1;
@@ -183,6 +240,7 @@ impl Run {
                 }
             }
         }
+        self.event_count += 1;
         if self.details {
             self.events.push(ev);
         }
@@ -191,6 +249,23 @@ impl Run {
     /// The global event sequence, in execution order.
     pub fn events(&self) -> &[RunEvent] {
         &self.events
+    }
+
+    /// Total events recorded, including in lightweight mode (where
+    /// [`Run::events`] stays empty).
+    pub fn event_count(&self) -> u64 {
+        self.event_count
+    }
+
+    /// The cheap structured summary of this run — per-process ops/tosses,
+    /// totals, and termination count. Works in both recording modes.
+    pub fn counters(&self) -> OpCounters {
+        OpCounters {
+            ops: self.shared_steps.clone(),
+            tosses: self.tosses.clone(),
+            events: self.event_count,
+            terminated: self.verdicts.iter().filter(|v| v.is_some()).count(),
+        }
     }
 
     /// `t(p, R)`: the number of shared-memory steps `p` has performed.
@@ -250,7 +325,12 @@ impl Run {
 
 impl fmt::Display for Run {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "run of {} processes, {} events:", self.n, self.events.len())?;
+        writeln!(
+            f,
+            "run of {} processes, {} events:",
+            self.n,
+            self.events.len()
+        )?;
         for ev in &self.events {
             writeln!(f, "  {ev}")?;
         }
@@ -351,6 +431,39 @@ mod tests {
         assert_eq!(run.first_step_index(ProcessId(2)), None);
         assert!(run.has_stepped(ProcessId(0)));
         assert!(!run.has_stepped(ProcessId(2)));
+    }
+
+    #[test]
+    fn counters_summarise_both_recording_modes() {
+        for lightweight in [false, true] {
+            let mut run = if lightweight {
+                Run::lightweight(2)
+            } else {
+                Run::new(2)
+            };
+            run.record(RunEvent::Toss {
+                pid: ProcessId(0),
+                index: 0,
+                outcome: 1,
+            });
+            run.record(op_event(0));
+            run.record(op_event(1));
+            run.record(RunEvent::Terminated {
+                pid: ProcessId(1),
+                value: Value::Unit,
+            });
+            let c = run.counters();
+            assert_eq!(c.ops, vec![1, 1]);
+            assert_eq!(c.tosses, vec![1, 0]);
+            assert_eq!(c.events, 4);
+            assert_eq!(c.terminated, 1);
+            assert_eq!(c.max_ops(), 1);
+            assert_eq!(c.total_ops(), 2);
+            assert_eq!(c.total_tosses(), 1);
+            assert_eq!(run.event_count(), 4);
+            assert_eq!(run.events().is_empty(), lightweight);
+            assert!(c.to_string().contains("2 procs"));
+        }
     }
 
     #[test]

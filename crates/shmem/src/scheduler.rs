@@ -185,7 +185,12 @@ mod tests {
     }
 
     fn exec(n: usize) -> Executor {
-        Executor::new(&two_ll_alg(), n, std::sync::Arc::new(ZeroTosses), ExecutorConfig::default())
+        Executor::new(
+            &two_ll_alg(),
+            n,
+            std::sync::Arc::new(ZeroTosses),
+            ExecutorConfig::default(),
+        )
     }
 
     #[test]

@@ -346,10 +346,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut vs = [Value::tuple([Value::from(1i64)]),
+        let mut vs = [
+            Value::tuple([Value::from(1i64)]),
             Value::Unit,
             Value::from(false),
-            Value::from(-3i64)];
+            Value::from(-3i64),
+        ];
         vs.sort();
         // Unit sorts first per variant order.
         assert_eq!(vs[0], Value::Unit);

@@ -6,10 +6,16 @@
 //! `(value, pset)` pair), with none of the structure of the production
 //! `SharedMemory`. Random operation sequences must behave identically on
 //! both.
+//!
+//! Inputs are drawn from the repository's deterministic [`XorShift64`]
+//! stream (seeded per case), so every run exercises the same histories and
+//! failures reproduce from the printed seed alone.
 
+use llsc_shmem::rng::XorShift64;
 use llsc_shmem::{Operation, ProcessId, RegisterId, Response, SharedMemory, Value};
-use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
+
+const CASES: u64 = 256;
 
 /// The oracle: a literal transcription of the paper's operation semantics.
 #[derive(Default)]
@@ -71,58 +77,64 @@ impl Oracle {
     }
 }
 
-fn op_strategy() -> impl Strategy<Value = (usize, Operation)> {
-    let reg = 0u64..4;
-    let pid = 0usize..3;
-    let val = (-4i64..4).prop_map(Value::from);
-    prop_oneof![
-        (pid.clone(), reg.clone()).prop_map(|(p, r)| (p, Operation::Ll(RegisterId(r)))),
-        (pid.clone(), reg.clone()).prop_map(|(p, r)| (p, Operation::Validate(RegisterId(r)))),
-        (pid.clone(), reg.clone(), val.clone())
-            .prop_map(|(p, r, v)| (p, Operation::Sc(RegisterId(r), v))),
-        (pid.clone(), reg.clone(), val)
-            .prop_map(|(p, r, v)| (p, Operation::Swap(RegisterId(r), v))),
-        (pid, reg.clone(), reg).prop_map(|(p, a, b)| {
-            (
-                p,
-                Operation::Move {
-                    src: RegisterId(a),
-                    dst: RegisterId(b),
-                },
-            )
-        }),
-    ]
+/// Draws a random `(process, operation)` pair: uniform over the five
+/// operation kinds, registers in `0..4`, processes in `0..3`, written
+/// values in `-4..4`.
+fn random_op(rng: &mut XorShift64) -> (usize, Operation) {
+    let p = rng.index(3);
+    let r = RegisterId(rng.below(4));
+    let op = match rng.index(5) {
+        0 => Operation::Ll(r),
+        1 => Operation::Validate(r),
+        2 => Operation::Sc(r, Value::from(rng.range_i64(-4, 4))),
+        3 => Operation::Swap(r, Value::from(rng.range_i64(-4, 4))),
+        _ => Operation::Move {
+            src: r,
+            dst: RegisterId(rng.below(4)),
+        },
+    };
+    (p, op)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_history(rng: &mut XorShift64, max_len: usize) -> Vec<(usize, Operation)> {
+    let len = rng.index(max_len + 1);
+    (0..len).map(|_| random_op(rng)).collect()
+}
 
-    /// SharedMemory agrees with the literal oracle on random histories.
-    #[test]
-    fn memory_matches_oracle(ops in prop::collection::vec(op_strategy(), 0..60)) {
+/// SharedMemory agrees with the literal oracle on random histories.
+#[test]
+fn memory_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(case);
+        let ops = random_history(&mut rng, 60);
         let mut mem = SharedMemory::new();
         let mut oracle = Oracle::default();
         for (p, op) in &ops {
             let got = mem.apply(ProcessId(*p), op);
             let want = oracle.apply(ProcessId(*p), op);
-            prop_assert_eq!(got, want, "op {} by p{}", op, p);
+            assert_eq!(got, want, "case {case}: op {op} by p{p}");
         }
         // Final states agree too.
         for (r, (v, pset)) in &oracle.regs {
-            prop_assert_eq!(&mem.peek(*r), v);
+            assert_eq!(&mem.peek(*r), v, "case {case}");
             for p in 0..3 {
-                prop_assert_eq!(
+                assert_eq!(
                     mem.peek_linked(*r, ProcessId(p)),
-                    pset.contains(&ProcessId(p))
+                    pset.contains(&ProcessId(p)),
+                    "case {case}"
                 );
             }
         }
     }
+}
 
-    /// An SC succeeds iff no successful SC, swap, or move-into happened on
-    /// the register since the caller's latest LL.
-    #[test]
-    fn sc_success_characterisation(ops in prop::collection::vec(op_strategy(), 0..60)) {
+/// An SC succeeds iff no successful SC, swap, or move-into happened on
+/// the register since the caller's latest LL.
+#[test]
+fn sc_success_characterisation() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x5C00 + case);
+        let ops = random_history(&mut rng, 60);
         let mut mem = SharedMemory::new();
         // For each (process, register): index of the last LL; for each
         // register: index of the last invalidating write.
@@ -139,7 +151,7 @@ proptest! {
                         None => false,
                         Some(&t_ll) => last_invalidate.get(&r.0).is_none_or(|&t_w| t_w < t_ll),
                     };
-                    prop_assert_eq!(resp.flag(), Some(expected), "step {}", i);
+                    assert_eq!(resp.flag(), Some(expected), "case {case}, step {i}");
                     if expected {
                         last_invalidate.insert(r.0, i);
                         // A successful SC also invalidates the winner's
@@ -159,14 +171,16 @@ proptest! {
             }
         }
     }
+}
 
-    /// `validate` never changes any observable state.
-    #[test]
-    fn validate_is_pure(
-        ops in prop::collection::vec(op_strategy(), 0..30),
-        probe_reg in 0u64..4,
-        probe_pid in 0usize..3,
-    ) {
+/// `validate` never changes any observable state.
+#[test]
+fn validate_is_pure() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x7A11 + case);
+        let ops = random_history(&mut rng, 30);
+        let probe_reg = rng.below(4);
+        let probe_pid = rng.index(3);
         let mut mem = SharedMemory::new();
         for (p, op) in &ops {
             mem.apply(ProcessId(*p), op);
@@ -175,21 +189,26 @@ proptest! {
         let links_before: Vec<bool> = (0..3)
             .map(|p| mem.peek_linked(RegisterId(probe_reg), ProcessId(p)))
             .collect();
-        mem.apply(ProcessId(probe_pid), &Operation::Validate(RegisterId(probe_reg)));
-        prop_assert_eq!(mem.peek(RegisterId(probe_reg)), value_before);
+        mem.apply(
+            ProcessId(probe_pid),
+            &Operation::Validate(RegisterId(probe_reg)),
+        );
+        assert_eq!(mem.peek(RegisterId(probe_reg)), value_before, "case {case}");
         let links_after: Vec<bool> = (0..3)
             .map(|p| mem.peek_linked(RegisterId(probe_reg), ProcessId(p)))
             .collect();
-        prop_assert_eq!(links_before, links_after);
+        assert_eq!(links_before, links_after, "case {case}");
     }
+}
 
-    /// `move` leaves its source completely untouched.
-    #[test]
-    fn move_preserves_source(
-        ops in prop::collection::vec(op_strategy(), 0..30),
-        src in 0u64..4,
-        dst in 0u64..4,
-    ) {
+/// `move` leaves its source completely untouched.
+#[test]
+fn move_preserves_source() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x30F3 + case);
+        let ops = random_history(&mut rng, 30);
+        let src = rng.below(4);
+        let dst = rng.below(4);
         let mut mem = SharedMemory::new();
         for (p, op) in &ops {
             mem.apply(ProcessId(*p), op);
@@ -206,13 +225,17 @@ proptest! {
             },
         );
         if src != dst {
-            prop_assert_eq!(mem.peek(RegisterId(src)), value_before.clone());
+            assert_eq!(
+                mem.peek(RegisterId(src)),
+                value_before.clone(),
+                "case {case}"
+            );
             let links_after: Vec<bool> = (0..3)
                 .map(|p| mem.peek_linked(RegisterId(src), ProcessId(p)))
                 .collect();
-            prop_assert_eq!(links_before, links_after);
+            assert_eq!(links_before, links_after, "case {case}");
         }
         // The destination always carries the source's value.
-        prop_assert_eq!(mem.peek(RegisterId(dst)), value_before);
+        assert_eq!(mem.peek(RegisterId(dst)), value_before, "case {case}");
     }
 }

@@ -95,7 +95,10 @@ fn replay_response(spec: &dyn ObjectSpec, log: &Value, p: ProcessId) -> Value {
         .iter()
         .position(|e| entry_pid(e) == p)
         .expect("p's entry is in the log");
-    let ops: Vec<Value> = entries[..=upto].iter().map(|e| entry_op(e).clone()).collect();
+    let ops: Vec<Value> = entries[..=upto]
+        .iter()
+        .map(|e| entry_op(e).clone())
+        .collect();
     let (_, resps) = apply_all(spec, &ops);
     resps.into_iter().next_back().expect("non-empty prefix")
 }
@@ -156,9 +159,7 @@ impl ObjectImplementation for AdtTreeUniversal {
     fn initial_memory(&self, n: usize) -> Vec<(RegisterId, Value)> {
         // The log and every meeting point start at the Unit marker.
         let slots = leaf_slots(n);
-        (0..slots)
-            .map(|i| (node_reg(i), Value::Unit))
-            .collect()
+        (0..slots).map(|i| (node_reg(i), Value::Unit)).collect()
     }
 
     fn invoke(
@@ -231,7 +232,14 @@ mod tests {
         let spec = Arc::new(FetchIncrement::new(32));
         let imp = AdtTreeUniversal::new(spec.clone());
         let ops = vec![FetchIncrement::op(); n];
-        measure(&imp, spec.as_ref(), n, &ops, kind, &MeasureConfig::default())
+        measure(
+            &imp,
+            spec.as_ref(),
+            n,
+            &ops,
+            kind,
+            &MeasureConfig::default(),
+        )
     }
 
     #[test]
@@ -256,8 +264,7 @@ mod tests {
             for n in [1, 2, 3, 5, 8] {
                 let r = fi(n, kind);
                 assert!(r.linearizable, "{kind:?} n={n}");
-                let mut got: Vec<i128> =
-                    r.responses.iter().map(|v| v.as_int().unwrap()).collect();
+                let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
                 got.sort_unstable();
                 assert_eq!(got, (0..n as i128).collect::<Vec<_>>(), "{kind:?} n={n}");
             }
@@ -328,7 +335,14 @@ mod tests {
         let q = Arc::new(Queue::with_numbered_items(6));
         let imp = AdtTreeUniversal::new(q.clone());
         let ops = vec![Queue::dequeue_op(); 6];
-        let r = measure(&imp, q.as_ref(), 6, &ops, ScheduleKind::Adversary, &MeasureConfig::default());
+        let r = measure(
+            &imp,
+            q.as_ref(),
+            6,
+            &ops,
+            ScheduleKind::Adversary,
+            &MeasureConfig::default(),
+        );
         assert!(r.linearizable);
         let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
         got.sort_unstable();
@@ -356,7 +370,12 @@ mod tests {
             entry(ProcessId(3), &Value::from(1i64)),
         ]);
         let u = union(&a, &b);
-        let pids: Vec<usize> = u.as_tuple().unwrap().iter().map(|e| entry_pid(e).0).collect();
+        let pids: Vec<usize> = u
+            .as_tuple()
+            .unwrap()
+            .iter()
+            .map(|e| entry_pid(e).0)
+            .collect();
         assert_eq!(pids, vec![0, 3]);
     }
 

@@ -94,7 +94,10 @@ fn replay_response(spec: &dyn ObjectSpec, log: &Value, p: ProcessId) -> Value {
         .iter()
         .position(|e| entry_pid(e) == p)
         .expect("p's entry is in the log");
-    let ops: Vec<Value> = entries[..=upto].iter().map(|e| entry_op(e).clone()).collect();
+    let ops: Vec<Value> = entries[..=upto]
+        .iter()
+        .map(|e| entry_op(e).clone())
+        .collect();
     let (_, resps) = apply_all(spec, &ops);
     resps.into_iter().next_back().expect("non-empty prefix")
 }
@@ -232,7 +235,14 @@ mod tests {
         let spec = Arc::new(FetchIncrement::new(32));
         let imp = CombiningTreeUniversal::new(spec.clone());
         let ops = vec![FetchIncrement::op(); n];
-        measure(&imp, spec.as_ref(), n, &ops, kind, &MeasureConfig::default())
+        measure(
+            &imp,
+            spec.as_ref(),
+            n,
+            &ops,
+            kind,
+            &MeasureConfig::default(),
+        )
     }
 
     #[test]
@@ -332,7 +342,14 @@ mod tests {
         let q = Arc::new(Queue::with_numbered_items(6));
         let imp = CombiningTreeUniversal::new(q.clone());
         let ops = vec![Queue::dequeue_op(); 6];
-        let r = measure(&imp, q.as_ref(), 6, &ops, ScheduleKind::Adversary, &MeasureConfig::default());
+        let r = measure(
+            &imp,
+            q.as_ref(),
+            6,
+            &ops,
+            ScheduleKind::Adversary,
+            &MeasureConfig::default(),
+        );
         assert!(r.linearizable);
         let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
         got.sort_unstable();

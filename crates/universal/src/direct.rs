@@ -194,14 +194,17 @@ mod tests {
                 pid,
                 n,
                 Counter::increment_op(),
-                Box::new(move |_ack| {
-                    imp3.invoke(pid, n, Counter::read_op(), Box::new(done))
-                }),
+                Box::new(move |_ack| imp3.invoke(pid, n, Counter::read_op(), Box::new(done))),
             )
             .into_program()
         })
         .with_initial_memory(imp.initial_memory(3));
-        let mut e = Executor::new(&alg, 3, std::sync::Arc::new(ZeroTosses), ExecutorConfig::default());
+        let mut e = Executor::new(
+            &alg,
+            3,
+            std::sync::Arc::new(ZeroTosses),
+            ExecutorConfig::default(),
+        );
         while e.step_round_robin() {}
         // The last reader sees 3.
         let max = llsc_shmem::ProcessId::all(3)

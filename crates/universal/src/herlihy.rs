@@ -68,7 +68,10 @@ fn replay_response(spec: &dyn ObjectSpec, log: &Value, p: ProcessId) -> Value {
         .iter()
         .position(|e| entry_pid(e) == p)
         .expect("p's entry is in the log");
-    let ops: Vec<Value> = entries[..=upto].iter().map(|e| entry_op(e).clone()).collect();
+    let ops: Vec<Value> = entries[..=upto]
+        .iter()
+        .map(|e| entry_op(e).clone())
+        .collect();
     let (_, resps) = apply_all(spec, &ops);
     resps.into_iter().next_back().expect("non-empty prefix")
 }
@@ -189,7 +192,14 @@ mod tests {
         let spec = Arc::new(FetchIncrement::new(32));
         let imp = HerlihyUniversal::new(spec.clone());
         let ops = vec![FetchIncrement::op(); n];
-        measure(&imp, spec.as_ref(), n, &ops, kind, &MeasureConfig::default())
+        measure(
+            &imp,
+            spec.as_ref(),
+            n,
+            &ops,
+            kind,
+            &MeasureConfig::default(),
+        )
     }
 
     #[test]
@@ -203,11 +213,7 @@ mod tests {
             let r = fi(6, kind);
             assert!(r.linearizable, "{kind:?}");
             // Every response is a distinct value in 0..6.
-            let mut got: Vec<i128> = r
-                .responses
-                .iter()
-                .map(|v| v.as_int().unwrap())
-                .collect();
+            let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
             got.sort_unstable();
             assert_eq!(got, (0..6).collect::<Vec<i128>>(), "{kind:?}");
         }

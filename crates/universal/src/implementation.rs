@@ -82,12 +82,7 @@ mod tests {
             Value::from(1i64),
             Box::new(|r1| {
                 assert_eq!(r1, Value::from(1i64));
-                Echo.invoke(
-                    ProcessId(0),
-                    1,
-                    Value::from(2i64),
-                    Box::new(done),
-                )
+                Echo.invoke(ProcessId(0), 1, Value::from(2i64), Box::new(done))
             }),
         );
         let mut prog = step.into_program();

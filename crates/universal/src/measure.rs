@@ -242,7 +242,11 @@ pub fn measure(
         per_process_ops,
         max_ops,
         total_ops,
-        mean_ops: if n == 0 { 0.0 } else { total_ops as f64 / n as f64 },
+        mean_ops: if n == 0 {
+            0.0
+        } else {
+            total_ops as f64 / n as f64
+        },
         responses,
         linearizable,
         lin_checked,
@@ -276,10 +280,7 @@ mod tests {
         );
         assert_eq!(r.per_process_ops.len(), 4);
         assert_eq!(r.total_ops, r.per_process_ops.iter().sum::<u64>());
-        assert_eq!(
-            r.max_ops,
-            *r.per_process_ops.iter().max().unwrap()
-        );
+        assert_eq!(r.max_ops, *r.per_process_ops.iter().max().unwrap());
         assert!((r.mean_ops - r.total_ops as f64 / 4.0).abs() < 1e-12);
         assert!(r.lin_checked && r.linearizable);
     }

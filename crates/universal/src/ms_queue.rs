@@ -124,7 +124,11 @@ impl ObjectImplementation for MsQueue {
         };
         mem.push((RegisterId(NODE_BASE), node(Value::Unit, dummy_next)));
         mem.push((HEAD, Value::Reg(RegisterId(NODE_BASE))));
-        let tail_node = if count > 0 { NODE_BASE + count } else { NODE_BASE };
+        let tail_node = if count > 0 {
+            NODE_BASE + count
+        } else {
+            NODE_BASE
+        };
         mem.push((TAIL, Value::Reg(RegisterId(tail_node))));
         mem
     }
@@ -188,24 +192,22 @@ fn enqueue(fresh: RegisterId, k: Box<dyn FnOnce(Value) -> Step>) -> Step {
 fn dequeue(k: Box<dyn FnOnce(Value) -> Step>) -> Step {
     ll(HEAD, move |head_val| {
         let h = head_val.as_reg().expect("HEAD holds a node name");
-        read(h, move |hnode| {
-            match node_next(&hnode) {
-                Value::Unit => k(llsc_objects::queue_empty_response()),
-                Value::Reg(first) => {
-                    let first = *first;
-                    read(first, move |fnode| {
-                        let item = node_item(&fnode).clone();
-                        sc(HEAD, Value::Reg(first), move |ok, _| {
-                            if ok {
-                                k(item)
-                            } else {
-                                dequeue(k)
-                            }
-                        })
+        read(h, move |hnode| match node_next(&hnode) {
+            Value::Unit => k(llsc_objects::queue_empty_response()),
+            Value::Reg(first) => {
+                let first = *first;
+                read(first, move |fnode| {
+                    let item = node_item(&fnode).clone();
+                    sc(HEAD, Value::Reg(first), move |ok, _| {
+                        if ok {
+                            k(item)
+                        } else {
+                            dequeue(k)
+                        }
                     })
-                }
-                other => unreachable!("node next is a name or Unit, got {other}"),
+                })
             }
+            other => unreachable!("node next is a name or Unit, got {other}"),
         })
     })
 }
@@ -217,15 +219,18 @@ mod tests {
     use llsc_objects::ObjectSpec;
     use std::sync::Arc;
 
-    fn check(
-        initial: usize,
-        ops: Vec<Value>,
-        kind: ScheduleKind,
-    ) -> crate::measure::MeasureResult {
+    fn check(initial: usize, ops: Vec<Value>, kind: ScheduleKind) -> crate::measure::MeasureResult {
         let n = ops.len();
         let spec = Arc::new(Queue::with_numbered_items(initial));
         let imp = MsQueue::new(Queue::with_numbered_items(initial));
-        measure(&imp, spec.as_ref(), n, &ops, kind, &MeasureConfig::default())
+        measure(
+            &imp,
+            spec.as_ref(),
+            n,
+            &ops,
+            kind,
+            &MeasureConfig::default(),
+        )
     }
 
     #[test]

@@ -205,8 +205,12 @@ fn check_counting_consistency(
     }
     let mut observed: Vec<Value> = Vec::new();
     for p in ProcessId::all(n) {
-        let Some(v) = run.verdict(p) else { return false };
-        let Some(items) = v.as_tuple() else { return false };
+        let Some(v) = run.verdict(p) else {
+            return false;
+        };
+        let Some(items) = v.as_tuple() else {
+            return false;
+        };
         observed.extend(items.iter().cloned());
     }
     let flat: Vec<Value> = ops.iter().flatten().cloned().collect();

@@ -152,7 +152,14 @@ mod tests {
         let n = ops.len();
         let spec = Arc::new(Stack::with_numbered_items(initial));
         let imp = TreiberStack::new(Stack::with_numbered_items(initial));
-        measure(&imp, spec.as_ref(), n, &ops, kind, &MeasureConfig::default())
+        measure(
+            &imp,
+            spec.as_ref(),
+            n,
+            &ops,
+            kind,
+            &MeasureConfig::default(),
+        )
     }
 
     #[test]
@@ -198,7 +205,11 @@ mod tests {
             let r = check(initial, vec![Stack::pop_op()], ScheduleKind::Sequential);
             assert_eq!(r.max_ops, 3, "init={initial}");
         }
-        let r = check(0, vec![Stack::push_op(Value::from(1i64))], ScheduleKind::Sequential);
+        let r = check(
+            0,
+            vec![Stack::push_op(Value::from(1i64))],
+            ScheduleKind::Sequential,
+        );
         assert_eq!(r.max_ops, 3);
     }
 

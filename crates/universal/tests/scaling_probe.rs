@@ -1,18 +1,55 @@
 use llsc_objects::FetchIncrement;
-use llsc_universal::{measure, AdtTreeUniversal, CombiningTreeUniversal, HerlihyUniversal, MeasureConfig, ScheduleKind};
+use llsc_universal::{
+    measure, AdtTreeUniversal, CombiningTreeUniversal, HerlihyUniversal, MeasureConfig,
+    ScheduleKind,
+};
 use std::sync::Arc;
 
 #[test]
 #[ignore]
 fn probe() {
-    let cfg = MeasureConfig { check_linearizability: false, ..MeasureConfig::default() };
+    let cfg = MeasureConfig {
+        check_linearizability: false,
+        ..MeasureConfig::default()
+    };
     for n in [4, 8, 16, 32, 64, 128, 256] {
         let spec = Arc::new(FetchIncrement::new(32));
         let ops = vec![FetchIncrement::op(); n];
-        let adt_adv = measure(&AdtTreeUniversal::new(spec.clone()), spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg);
-        let adt_rr = measure(&AdtTreeUniversal::new(spec.clone()), spec.as_ref(), n, &ops, ScheduleKind::RoundRobin, &cfg);
-        let naive_adv = measure(&CombiningTreeUniversal::new(spec.clone()), spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg);
-        let her_adv = measure(&HerlihyUniversal::new(spec.clone()), spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg);
-        println!("n={n:4}  adt_adv={:4}  adt_rr={:4}  naive_adv={:4}  herlihy_adv={:4}", adt_adv.max_ops, adt_rr.max_ops, naive_adv.max_ops, her_adv.max_ops);
+        let adt_adv = measure(
+            &AdtTreeUniversal::new(spec.clone()),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            &cfg,
+        );
+        let adt_rr = measure(
+            &AdtTreeUniversal::new(spec.clone()),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::RoundRobin,
+            &cfg,
+        );
+        let naive_adv = measure(
+            &CombiningTreeUniversal::new(spec.clone()),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            &cfg,
+        );
+        let her_adv = measure(
+            &HerlihyUniversal::new(spec.clone()),
+            spec.as_ref(),
+            n,
+            &ops,
+            ScheduleKind::Adversary,
+            &cfg,
+        );
+        println!(
+            "n={n:4}  adt_adv={:4}  adt_rr={:4}  naive_adv={:4}  herlihy_adv={:4}",
+            adt_adv.max_ops, adt_rr.max_ops, naive_adv.max_ops, her_adv.max_ops
+        );
     }
 }

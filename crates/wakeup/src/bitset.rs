@@ -81,8 +81,12 @@ mod tests {
     #[test]
     fn satisfies_wakeup_under_the_adversary() {
         for n in [1, 2, 5, 16, 65, 130] {
-            let all =
-                build_all_run(&BitsetWakeup, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+            let all = build_all_run(
+                &BitsetWakeup,
+                n,
+                Arc::new(ZeroTosses),
+                &AdversaryConfig::default(),
+            );
             assert!(all.base.completed, "n={n}");
             let check = check_wakeup(&all.base.run);
             assert!(check.ok(), "n={n}: {check}");

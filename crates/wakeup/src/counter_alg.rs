@@ -61,14 +61,19 @@ impl Algorithm for CounterWakeup {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llsc_core::{build_all_run, check_wakeup, verify_lower_bound, AdversaryConfig, ceil_log4};
+    use llsc_core::{build_all_run, ceil_log4, check_wakeup, verify_lower_bound, AdversaryConfig};
     use llsc_shmem::{Executor, ExecutorConfig, RandomScheduler, ZeroTosses};
     use std::sync::Arc;
 
     #[test]
     fn satisfies_wakeup_under_the_adversary() {
         for n in [1, 2, 3, 7, 16, 33] {
-            let all = build_all_run(&CounterWakeup, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+            let all = build_all_run(
+                &CounterWakeup,
+                n,
+                Arc::new(ZeroTosses),
+                &AdversaryConfig::default(),
+            );
             assert!(all.base.completed, "n={n}");
             let check = check_wakeup(&all.base.run);
             assert!(check.ok(), "n={n}: {check}");
@@ -111,8 +116,18 @@ mod tests {
 
     #[test]
     fn adversary_run_is_deterministic() {
-        let a = build_all_run(&CounterWakeup, 9, Arc::new(ZeroTosses), &AdversaryConfig::default());
-        let b = build_all_run(&CounterWakeup, 9, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let a = build_all_run(
+            &CounterWakeup,
+            9,
+            Arc::new(ZeroTosses),
+            &AdversaryConfig::default(),
+        );
+        let b = build_all_run(
+            &CounterWakeup,
+            9,
+            Arc::new(ZeroTosses),
+            &AdversaryConfig::default(),
+        );
         assert_eq!(a.base.run.events(), b.base.run.events());
     }
 }

@@ -161,17 +161,21 @@ fn fallback_count(n: usize) -> Step {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llsc_core::{
-        build_all_run, check_wakeup, verify_lower_bound, AdversaryConfig,
+    use llsc_core::{build_all_run, check_wakeup, verify_lower_bound, AdversaryConfig};
+    use llsc_shmem::{
+        Executor, ExecutorConfig, OpKind, RandomScheduler, SequentialScheduler, ZeroTosses,
     };
-    use llsc_shmem::{Executor, ExecutorConfig, OpKind, RandomScheduler, SequentialScheduler, ZeroTosses};
     use std::sync::Arc;
 
     #[test]
     fn satisfies_wakeup_under_the_adversary() {
         for n in [1, 2, 3, 6, 8, 16, 31] {
-            let all =
-                build_all_run(&GossipWakeup, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+            let all = build_all_run(
+                &GossipWakeup,
+                n,
+                Arc::new(ZeroTosses),
+                &AdversaryConfig::default(),
+            );
             assert!(all.base.completed, "n={n}");
             let check = check_wakeup(&all.base.run);
             assert!(check.ok(), "n={n}: {check}");
@@ -180,8 +184,12 @@ mod tests {
 
     #[test]
     fn exercises_every_operation_kind_under_the_adversary() {
-        let all =
-            build_all_run(&GossipWakeup, 8, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let all = build_all_run(
+            &GossipWakeup,
+            8,
+            Arc::new(ZeroTosses),
+            &AdversaryConfig::default(),
+        );
         let mut kinds = std::collections::BTreeSet::new();
         for rec in &all.base.rounds {
             for op in &rec.ops {
@@ -228,8 +236,12 @@ mod tests {
 
     #[test]
     fn up_tracking_handles_move_rounds() {
-        let all =
-            build_all_run(&GossipWakeup, 16, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let all = build_all_run(
+            &GossipWakeup,
+            16,
+            Arc::new(ZeroTosses),
+            &AdversaryConfig::default(),
+        );
         assert!(all.up.lemma_5_1_holds());
         // Knowledge does spread through the move/validate path: someone
         // knows more than themselves well before termination.

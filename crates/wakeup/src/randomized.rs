@@ -113,9 +113,7 @@ impl Algorithm for BackoffWakeup {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llsc_core::{
-        build_all_run, check_wakeup, estimate_expected_complexity, AdversaryConfig,
-    };
+    use llsc_core::{build_all_run, check_wakeup, estimate_expected_complexity, AdversaryConfig};
     use llsc_shmem::{SeededTosses, ZeroTosses};
     use std::sync::Arc;
 
@@ -177,7 +175,10 @@ mod tests {
                 assert!(check_wakeup(&all.base.run).ok(), "seed={seed}");
             }
         }
-        assert!(terminated >= 10, "most assignments terminate: {terminated}/15");
+        assert!(
+            terminated >= 10,
+            "most assignments terminate: {terminated}/15"
+        );
     }
 
     #[test]

@@ -30,8 +30,8 @@
 //! Herlihy construction, or the ADT tree — experiment E7 sweeps them all.
 
 use llsc_objects::{
-    bits, Counter, FetchAnd, FetchComplement, FetchIncrement, FetchMultiply, FetchOr,
-    ObjectSpec, Queue, Stack,
+    bits, Counter, FetchAnd, FetchComplement, FetchIncrement, FetchMultiply, FetchOr, ObjectSpec,
+    Queue, Stack,
 };
 use llsc_shmem::dsl::{done, Step};
 use llsc_shmem::{Algorithm, ProcessId, Program, RegisterId, Value};
@@ -135,17 +135,23 @@ impl ReductionKind {
             ReductionKind::FetchIncrement => resp.as_int() == Some(n as i128 - 1),
             ReductionKind::FetchAnd => {
                 // All first-n bits cleared except pid's own.
-                let Some(w) = resp.as_bits() else { return false };
+                let Some(w) = resp.as_bits() else {
+                    return false;
+                };
                 (0..n).all(|i| bits::bit(w, i) == (i == pid.0))
             }
             ReductionKind::FetchOr | ReductionKind::FetchComplement => {
                 // All first-n bits set except pid's own.
-                let Some(w) = resp.as_bits() else { return false };
+                let Some(w) = resp.as_bits() else {
+                    return false;
+                };
                 (0..n).all(|i| bits::bit(w, i) == (i != pid.0))
             }
             ReductionKind::FetchMultiply => {
                 // Response = 2^(n-1): exactly n-1 doublings preceded.
-                let Some(w) = resp.as_bits() else { return false };
+                let Some(w) = resp.as_bits() else {
+                    return false;
+                };
                 (0..n).all(|i| bits::bit(w, i) == (i == n - 1))
             }
             ReductionKind::Queue | ReductionKind::Stack => resp.as_int() == Some(n as i128),
@@ -311,12 +317,8 @@ mod tests {
         for kind in ReductionKind::all() {
             for n in [4, 16, 64] {
                 let alg = ObjectWakeup::direct(kind, n);
-                let rep = verify_lower_bound(
-                    &alg,
-                    n,
-                    Arc::new(ZeroTosses),
-                    &AdversaryConfig::default(),
-                );
+                let rep =
+                    verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
                 assert!(rep.bound_holds, "{kind} n={n}: {}", rep.winner_steps);
                 assert!(rep.refutation.is_none(), "{kind} n={n}");
             }
@@ -335,8 +337,7 @@ mod tests {
                 assert!(all.base.completed, "adt {kind} n={n}");
                 assert!(check_wakeup(&all.base.run).ok(), "adt {kind} n={n}");
 
-                let her =
-                    ObjectWakeup::new(kind, n, Arc::new(HerlihyUniversal::new(spec.clone())));
+                let her = ObjectWakeup::new(kind, n, Arc::new(HerlihyUniversal::new(spec.clone())));
                 let all = build_all_run(&her, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
                 assert!(all.base.completed, "herlihy {kind} n={n}");
                 assert!(check_wakeup(&all.base.run).ok(), "herlihy {kind} n={n}");

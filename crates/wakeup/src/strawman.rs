@@ -124,10 +124,7 @@ mod tests {
     #[test]
     fn silent_fails_condition_two() {
         let rep = report(&SilentWakeup, 8);
-        assert!(rep
-            .wakeup
-            .violations
-            .contains(&WakeupViolation::NoWinner));
+        assert!(rep.wakeup.violations.contains(&WakeupViolation::NoWinner));
         assert!(rep.winner.is_none());
         // With no winner there is nothing to refute.
         assert!(rep.refutation.is_none());
@@ -153,11 +150,13 @@ mod tests {
         let mut sched = ListScheduler::new(order.into_iter().cycle().take(200));
         e.drive(&mut sched, 200);
         let check = llsc_core::check_wakeup(e.run());
-        assert!(check
-            .violations
-            .iter()
-            .any(|v| matches!(v, WakeupViolation::PrematureWinner { .. })),
-            "{check}");
+        assert!(
+            check
+                .violations
+                .iter()
+                .any(|v| matches!(v, WakeupViolation::PrematureWinner { .. })),
+            "{check}"
+        );
     }
 
     #[test]

@@ -121,9 +121,7 @@ fn climb(n: usize, child: u64, bits: Vec<u64>) -> Step {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llsc_core::{
-        build_all_run, ceil_log4, check_wakeup, verify_lower_bound, AdversaryConfig,
-    };
+    use llsc_core::{build_all_run, ceil_log4, check_wakeup, verify_lower_bound, AdversaryConfig};
     use llsc_shmem::{Executor, ExecutorConfig, RandomScheduler, ZeroTosses};
     use std::sync::Arc;
 

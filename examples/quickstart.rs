@@ -24,15 +24,27 @@ fn main() {
         &AdversaryConfig::default(),
     );
 
-    println!("(All, A)-run: {} rounds, completed = {}", report.rounds, report.completed);
+    println!(
+        "(All, A)-run: {} rounds, completed = {}",
+        report.rounds, report.completed
+    );
     println!("wakeup check: {}", report.wakeup);
-    let winner = report.winner.expect("a terminating wakeup run has a winner");
-    println!("winner: {winner} with {} shared-memory operations", report.winner_steps);
+    let winner = report
+        .winner
+        .expect("a terminating wakeup run has a winner");
+    println!(
+        "winner: {winner} with {} shared-memory operations",
+        report.winner_steps
+    );
     println!("t(R) = max over processes: {} operations", report.max_steps);
     println!(
         "bound: ceil(log4 {n}) = {}  ->  {}",
         ceil_log4(n),
-        if report.bound_holds { "HOLDS" } else { "REFUTED" }
+        if report.bound_holds {
+            "HOLDS"
+        } else {
+            "REFUTED"
+        }
     );
     println!(
         "|UP(winner, r)| = {} (Lemma 5.1 cap: 4^r = {})",
@@ -41,7 +53,9 @@ fn main() {
     );
 
     assert!(report.wakeup.ok() && report.bound_holds);
-    println!("\nThe winner performed {}x the log4(n) minimum — the paper's",
-        report.winner_steps as f64 / report.log4_n);
+    println!(
+        "\nThe winner performed {}x the log4(n) minimum — the paper's",
+        report.winner_steps as f64 / report.log4_n
+    );
     println!("Ω(log n) bound is tight within a small constant factor.");
 }

@@ -34,7 +34,10 @@ fn show(label: &str, schedule: &[ProcessId], cfg: &MoveConfig, n: usize) {
             println!(
                 "  {r}: source {}  movers [{}]",
                 source(r, schedule, cfg),
-                m.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                m.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
         }
     }
@@ -53,7 +56,12 @@ fn main() {
 
     // 1. The naive schedule: R_n ends up revealing all n movers.
     let naive: Vec<ProcessId> = (0..n).map(ProcessId).collect();
-    show("1. naive id-order schedule (the information leak)", &naive, &cfg, n);
+    show(
+        "1. naive id-order schedule (the information leak)",
+        &naive,
+        &cfg,
+        n,
+    );
 
     // 2. The paper's alternative: evens before odds.
     let mut even_odd: Vec<ProcessId> = (0..n).step_by(2).map(ProcessId).collect();
@@ -62,7 +70,12 @@ fn main() {
 
     // 3. The Figure-1 two-stage construction (Lemma 4.1).
     let sigma = secretive_complete_schedule(&cfg);
-    show("3. the Figure-1 secretive complete schedule", &sigma, &cfg, n);
+    show(
+        "3. the Figure-1 secretive complete schedule",
+        &sigma,
+        &cfg,
+        n,
+    );
 
     println!("Lemma 4.1: a secretive schedule always exists — every register ends");
     println!("with at most two movers, so reading any one register reveals at most");

@@ -8,8 +8,8 @@
 
 use llsc_lowerbound::objects::FetchIncrement;
 use llsc_lowerbound::universal::{
-    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal,
-    MeasureConfig, ScheduleKind,
+    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig,
+    ScheduleKind,
 };
 use std::sync::Arc;
 
@@ -30,7 +30,8 @@ fn main() {
         let spec = Arc::new(FetchIncrement::new(32));
         let ops = vec![FetchIncrement::op(); n];
         let row: Vec<u64> = [
-            &AdtTreeUniversal::new(spec.clone()) as &dyn llsc_lowerbound::universal::ObjectImplementation,
+            &AdtTreeUniversal::new(spec.clone())
+                as &dyn llsc_lowerbound::universal::ObjectImplementation,
             &CombiningTreeUniversal::new(spec.clone()),
             &HerlihyUniversal::new(spec.clone()),
             &DirectLlSc::new(spec.clone()),
@@ -52,7 +53,10 @@ fn main() {
     println!();
     println!("The non-oblivious escape hatch: direct LL/SC, contended vs uncontended");
     println!("{:-<60}", "");
-    println!("{:>6} {:>22} {:>22}", "n", "sequential (solo)", "adversary (contended)");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "n", "sequential (solo)", "adversary (contended)"
+    );
     for n in [4usize, 16, 64, 256] {
         let spec = Arc::new(FetchIncrement::new(32));
         let ops = vec![FetchIncrement::op(); n];

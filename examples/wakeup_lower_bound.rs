@@ -50,7 +50,11 @@ fn main() {
     let n = 64;
     for alg in strawman_algorithms() {
         let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
-        print!("{:<22} n={n}: wakeup {}", alg.name(), if rep.wakeup.ok() { "ok" } else { "VIOLATED" });
+        print!(
+            "{:<22} n={n}: wakeup {}",
+            alg.name(),
+            if rep.wakeup.ok() { "ok" } else { "VIOLATED" }
+        );
         match rep.refutation {
             Some(r) => println!(
                 " | refuted: |S| = {}, {} processes never step in the (S, A)-run",

@@ -11,23 +11,29 @@
 //! ```
 //!
 //! Every subcommand is deterministic; `--seed` selects toss assignments or
-//! random configurations where applicable.
+//! random configurations where applicable. The heavy subcommands
+//! (`stress`, `indist`) also take `--threads N` — a deterministic parallel
+//! fan-out whose output is byte-identical at any thread count — and, along
+//! with `wakeup`, `--json PATH` to write the result as the same
+//! `{"tables":[…]}` artifact the `table_*` binaries produce.
 
+use llsc_lowerbound::bench::table::Table;
 use llsc_lowerbound::core::{
-    build_all_run, build_s_run, check_appendix_claims, check_indistinguishability,
-    is_secretive, movers, secretive_complete_schedule, standard_portfolio, stress_wakeup,
-    trace_all_run, verify_lower_bound, AdversaryConfig, MoveConfig, ProcSet,
+    build_all_run, indist_all_subsets, is_secretive, movers, random_move_config,
+    secretive_complete_schedule, standard_portfolio, stress_wakeup_sweep, trace_all_run,
+    verify_lower_bound, AdversaryConfig, MoveConfig,
 };
 use llsc_lowerbound::objects::FetchIncrement;
 use llsc_lowerbound::shmem::{
-    Algorithm, ProcessId, RegisterId, SeededTosses, TossAssignment, ZeroTosses,
+    Algorithm, ProcessId, RegisterId, SeededTosses, Sweep, TossAssignment, ZeroTosses,
 };
 use llsc_lowerbound::universal::{
-    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal,
-    MeasureConfig, ObjectImplementation, ScheduleKind,
+    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig,
+    ObjectImplementation, ScheduleKind,
 };
 use llsc_lowerbound::wakeup::{correct_algorithms, randomized_algorithms, strawman_algorithms};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -82,6 +88,10 @@ options:
   --alg       an algorithm name from `llsc list`
   --n         number of processes (default 8)
   --seed      toss-assignment / configuration seed (default: deterministic)
+  --threads   worker threads for stress/indist sweeps (default 1;
+              output is byte-identical at any thread count)
+  --json      write the result as a {\"tables\":[...]} artifact
+              (wakeup, stress, indist)
   --imp       adt | naive | herlihy | direct       (default adt)
   --schedule  adversary | rr | seq | random        (default adversary)";
 
@@ -114,6 +124,38 @@ impl Opts {
         })
     }
 
+    fn threads(&self) -> Result<usize, String> {
+        match self.flags.get("threads") {
+            None => Ok(1),
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .ok_or_else(|| format!("bad --threads value `{v}`")),
+        }
+    }
+
+    fn sweep(&self) -> Result<Sweep, String> {
+        Ok(Sweep::with_threads(self.threads()?))
+    }
+
+    fn json(&self) -> Option<PathBuf> {
+        self.flags.get("json").map(PathBuf::from)
+    }
+
+    /// Writes the subcommand's result tables as a `{"tables":[…]}`
+    /// artifact when `--json` was given — the same schema the `table_*`
+    /// binaries emit.
+    fn emit_json(&self, tables: &[&Table]) -> Result<(), String> {
+        if let Some(path) = self.json() {
+            let artifact = Table::render_json_artifact(tables);
+            std::fs::write(&path, artifact)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+
     fn alg(&self) -> Result<Box<dyn Algorithm>, String> {
         let name = self
             .flags
@@ -133,9 +175,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
     }
     Ok(Opts { flags })
@@ -182,6 +222,28 @@ fn cmd_wakeup(opts: &Opts) -> Result<(), String> {
             println!("  violation: {v}");
         }
     }
+    let mut table = Table::new(
+        "wakeup: Theorem 6.1 driver",
+        [
+            "algorithm",
+            "n",
+            "rounds",
+            "winner steps",
+            "max steps",
+            "log4(n)",
+            "bound",
+        ],
+    );
+    table.row([
+        rep.algorithm.clone(),
+        rep.n.to_string(),
+        rep.rounds.to_string(),
+        rep.winner_steps.to_string(),
+        rep.max_steps.to_string(),
+        format!("{:.2}", rep.log4_n),
+        if rep.bound_holds { "HOLDS" } else { "REFUTED" }.to_string(),
+    ]);
+    opts.emit_json(&[&table])?;
     Ok(())
 }
 
@@ -196,12 +258,14 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
 fn cmd_stress(opts: &Opts) -> Result<(), String> {
     let alg = opts.alg()?;
     let n = opts.n()?;
-    let report = stress_wakeup(
+    let sweep = opts.sweep()?;
+    let report = stress_wakeup_sweep(
         alg.as_ref(),
         n,
         opts.toss()?,
         &standard_portfolio(n, 5),
         5_000_000,
+        &sweep,
     );
     println!("{report}");
     for f in &report.failures {
@@ -210,6 +274,18 @@ fn cmd_stress(opts: &Opts) -> Result<(), String> {
             println!("    {v}");
         }
     }
+    let mut table = Table::new(
+        "stress: partial-schedule sweep",
+        ["algorithm", "n", "schedules", "passed", "failures"],
+    );
+    table.row([
+        alg.name().to_string(),
+        n.to_string(),
+        report.schedules_tried.to_string(),
+        report.passed.to_string(),
+        report.failures.len().to_string(),
+    ]);
+    opts.emit_json(&[&table])?;
     Ok(())
 }
 
@@ -221,36 +297,38 @@ fn cmd_indist(opts: &Opts) -> Result<(), String> {
     }
     let toss = opts.toss()?;
     let cfg = AdversaryConfig::default();
-    let all = build_all_run(alg.as_ref(), n, toss.clone(), &cfg);
-    let mut comparisons = 0usize;
-    let mut claim_instances = 0usize;
-    for mask in 0u32..(1 << n) {
-        let s: ProcSet = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(ProcessId)
-            .collect();
-        let srun = build_s_run(alg.as_ref(), n, toss.clone(), &s, &all, &cfg);
-        let lemma = check_indistinguishability(&all, &srun);
-        let claims = check_appendix_claims(&all, &srun);
-        comparisons += lemma.process_checks + lemma.register_checks;
-        claim_instances += claims.instances;
-        if !lemma.ok() || !claims.ok() {
-            println!("VIOLATION for S = {s:?}");
-            for v in &lemma.violations {
-                println!("  {v}");
-            }
-            for v in &claims.violations {
-                println!("  {v}");
-            }
-            return Err("indistinguishability violated".into());
+    let sweep = opts.sweep()?;
+    let report = indist_all_subsets(alg.as_ref(), n, toss, &cfg, true, &sweep);
+    if !report.ok() {
+        for v in &report.violations {
+            println!("VIOLATION for {v}");
         }
+        return Err("indistinguishability violated".into());
     }
     println!(
         "Lemma 5.2 + appendix claims: all {} subsets pass ({} comparisons, {} claim instances, 0 violations)",
-        1u64 << n,
-        comparisons,
-        claim_instances
+        report.subsets, report.comparisons, report.claim_instances
     );
+    let mut table = Table::new(
+        "indist: Lemma 5.2 over all subsets",
+        [
+            "algorithm",
+            "n",
+            "subsets",
+            "comparisons",
+            "claim instances",
+            "violations",
+        ],
+    );
+    table.row([
+        alg.name().to_string(),
+        n.to_string(),
+        report.subsets.to_string(),
+        report.comparisons.to_string(),
+        report.claim_instances.to_string(),
+        report.violations.len().to_string(),
+    ]);
+    opts.emit_json(&[&table])?;
     Ok(())
 }
 
@@ -265,19 +343,7 @@ fn cmd_secretive(opts: &Opts) -> Result<(), String> {
         }
         Some(seed) => {
             println!("random move configuration (seed {seed})");
-            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                state
-            };
-            let regs = (n as u64 / 2).max(2);
-            MoveConfig::from_iter((0..n).map(|i| {
-                let src = next() % regs;
-                let dst = (src + 1 + next() % (regs - 1)) % regs;
-                (ProcessId(i), RegisterId(src), RegisterId(dst))
-            }))
+            random_move_config(n, (n as u64 / 2).max(2), seed)
         }
     };
     println!("config: {cfg}");

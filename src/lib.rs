@@ -9,7 +9,7 @@
 //! the matching `O(log n)` oblivious universal construction that makes
 //! the bound tight.
 //!
-//! This crate is a facade: it re-exports the five member crates under
+//! This crate is a facade: it re-exports the member crates under
 //! stable module names. See the workspace `README.md` for a tour and
 //! `DESIGN.md`/`EXPERIMENTS.md` for the paper-to-code mapping.
 //!
@@ -20,6 +20,7 @@
 //! | [`objects`] | `llsc-objects` | Sequential specs of the Theorem 6.2 types; linearizability checking |
 //! | [`wakeup`] | `llsc-wakeup` | Wakeup algorithms (correct, randomized, strawmen) and the object reductions |
 //! | [`universal`] | `llsc-universal` | Oblivious universal constructions and the direct LL/SC escape hatch |
+//! | [`bench`] | `llsc-bench` | E1–E14 experiment regenerators, the deterministic parallel harness, and the table/JSON renderers |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use llsc_bench as bench;
 pub use llsc_core as core;
 pub use llsc_objects as objects;
 pub use llsc_shmem as shmem;

@@ -5,15 +5,22 @@
 //! everyone dequeues); these properties randomise the operations per
 //! process and the interleaving, and require the observed history to
 //! linearize against the sequential specification.
+//!
+//! The random cases are driven by the repository's deterministic
+//! [`XorShift64`] generator rather than an external property-testing
+//! framework (the build environment is offline), so every run explores the
+//! exact same case set; a failure message names the seed that produced it.
 
 use llsc_lowerbound::objects::{Counter, ObjectSpec, Queue, Stack};
+use llsc_lowerbound::shmem::rng::XorShift64;
 use llsc_lowerbound::shmem::Value;
 use llsc_lowerbound::universal::{
-    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal,
-    MeasureConfig, MsQueue, ObjectImplementation, ScheduleKind, TreiberStack,
+    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig,
+    MsQueue, ObjectImplementation, ScheduleKind, TreiberStack,
 };
-use proptest::prelude::*;
 use std::sync::Arc;
+
+const CASES: u64 = 24;
 
 /// Builds each construction over the given spec.
 fn constructions(spec: Arc<dyn ObjectSpec>) -> Vec<Box<dyn ObjectImplementation>> {
@@ -25,46 +32,50 @@ fn constructions(spec: Arc<dyn ObjectSpec>) -> Vec<Box<dyn ObjectImplementation>
     ]
 }
 
-fn queue_op_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (0i64..100).prop_map(|v| Queue::enqueue_op(Value::from(v))),
-        Just(Queue::dequeue_op()),
-    ]
+fn random_queue_op(rng: &mut XorShift64) -> Value {
+    if rng.chance(1, 2) {
+        Queue::enqueue_op(Value::from(rng.range_i64(0, 100)))
+    } else {
+        Queue::dequeue_op()
+    }
 }
 
-fn stack_op_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (0i64..100).prop_map(|v| Stack::push_op(Value::from(v))),
-        Just(Stack::pop_op()),
-    ]
+fn random_stack_op(rng: &mut XorShift64) -> Value {
+    if rng.chance(1, 2) {
+        Stack::push_op(Value::from(rng.range_i64(0, 100)))
+    } else {
+        Stack::pop_op()
+    }
 }
 
-fn counter_op_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Counter::increment_op()),
-        Just(Counter::read_op()),
-    ]
+fn random_counter_op(rng: &mut XorShift64) -> Value {
+    if rng.chance(1, 2) {
+        Counter::increment_op()
+    } else {
+        Counter::read_op()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Mixed queue operations linearize through every construction — and
-    /// through the structural Michael-Scott queue — under a random
-    /// schedule (and the adversary).
-    #[test]
-    fn queue_mixes_linearize(
-        ops in prop::collection::vec(queue_op_strategy(), 2..7),
-        initial in prop::collection::vec(0i64..50, 0..4),
-        seed in 0u64..500,
-    ) {
-        let n = ops.len();
+/// Mixed queue operations linearize through every construction — and
+/// through the structural Michael-Scott queue — under a random
+/// schedule (and the adversary).
+#[test]
+fn queue_mixes_linearize() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x0E0E + case);
+        let n = 2 + rng.index(5);
+        let ops: Vec<Value> = (0..n).map(|_| random_queue_op(&mut rng)).collect();
+        let initial: Vec<i64> = (0..rng.index(4)).map(|_| rng.range_i64(0, 50)).collect();
+        let seed = rng.below(500);
         let items: Vec<Value> = initial.into_iter().map(Value::from).collect();
         let spec: Arc<dyn ObjectSpec> = Arc::new(Queue::with_items(items.clone()));
         let mut imps = constructions(spec.clone());
         imps.push(Box::new(MsQueue::new(Queue::with_items(items))));
         for imp in imps {
-            for kind in [ScheduleKind::RandomInterleave { seed }, ScheduleKind::Adversary] {
+            for kind in [
+                ScheduleKind::RandomInterleave { seed },
+                ScheduleKind::Adversary,
+            ] {
                 let r = measure(
                     imp.as_ref(),
                     spec.as_ref(),
@@ -73,24 +84,26 @@ proptest! {
                     kind,
                     &MeasureConfig::default(),
                 );
-                prop_assert!(
+                assert!(
                     r.linearizable,
-                    "{} under {kind:?}: history not linearizable\n{}",
+                    "case {case}: {} under {kind:?}: history not linearizable\n{}",
                     imp.name(),
                     r.history
                 );
             }
         }
     }
+}
 
-    /// Mixed stack operations linearize through every construction — and
-    /// through the structural Treiber stack.
-    #[test]
-    fn stack_mixes_linearize(
-        ops in prop::collection::vec(stack_op_strategy(), 2..7),
-        seed in 0u64..500,
-    ) {
-        let n = ops.len();
+/// Mixed stack operations linearize through every construction — and
+/// through the structural Treiber stack.
+#[test]
+fn stack_mixes_linearize() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x57A5 + case);
+        let n = 2 + rng.index(5);
+        let ops: Vec<Value> = (0..n).map(|_| random_stack_op(&mut rng)).collect();
+        let seed = rng.below(500);
         let spec: Arc<dyn ObjectSpec> = Arc::new(Stack::new());
         let mut imps = constructions(spec.clone());
         imps.push(Box::new(TreiberStack::new(Stack::new())));
@@ -103,18 +116,20 @@ proptest! {
                 ScheduleKind::RandomInterleave { seed },
                 &MeasureConfig::default(),
             );
-            prop_assert!(r.linearizable, "{}", imp.name());
+            assert!(r.linearizable, "case {case}: {}", imp.name());
         }
     }
+}
 
-    /// Counter increments/reads linearize, and the observed reads never
-    /// exceed the number of increments.
-    #[test]
-    fn counter_mixes_linearize(
-        ops in prop::collection::vec(counter_op_strategy(), 2..8),
-        seed in 0u64..500,
-    ) {
-        let n = ops.len();
+/// Counter increments/reads linearize, and the observed reads never
+/// exceed the number of increments.
+#[test]
+fn counter_mixes_linearize() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0xC072 + case);
+        let n = 2 + rng.index(6);
+        let ops: Vec<Value> = (0..n).map(|_| random_counter_op(&mut rng)).collect();
+        let seed = rng.below(500);
         let total_incs = ops
             .iter()
             .filter(|o| o == &&Counter::increment_op())
@@ -129,28 +144,30 @@ proptest! {
                 ScheduleKind::RandomInterleave { seed },
                 &MeasureConfig::default(),
             );
-            prop_assert!(r.linearizable, "{}", imp.name());
+            assert!(r.linearizable, "case {case}: {}", imp.name());
             for (p, resp) in r.responses.iter().enumerate() {
                 if ops[p] == Counter::read_op() {
                     let v = resp.as_int().expect("read returns an int");
-                    prop_assert!(
+                    assert!(
                         (0..=total_incs).contains(&v),
-                        "{}: read {v} of {total_incs} increments",
+                        "case {case}: {}: read {v} of {total_incs} increments",
                         imp.name()
                     );
                 }
             }
         }
     }
+}
 
-    /// The constructions agree with each other on commutative workloads:
-    /// the multiset of fetch&increment responses is {0..n-1} for all of
-    /// them under any schedule.
-    #[test]
-    fn constructions_agree_on_increment_multisets(
-        n in 2usize..8,
-        seed in 0u64..500,
-    ) {
+/// The constructions agree with each other on commutative workloads:
+/// the multiset of fetch&increment responses is {0..n-1} for all of
+/// them under any schedule.
+#[test]
+fn constructions_agree_on_increment_multisets() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0xA67E + case);
+        let n = 2 + rng.index(6);
+        let seed = rng.below(500);
         use llsc_lowerbound::objects::FetchIncrement;
         let spec: Arc<dyn ObjectSpec> = Arc::new(FetchIncrement::new(16));
         let ops = vec![FetchIncrement::op(); n];
@@ -165,7 +182,12 @@ proptest! {
             );
             let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
             got.sort_unstable();
-            prop_assert_eq!(got, (0..n as i128).collect::<Vec<_>>(), "{}", imp.name());
+            assert_eq!(
+                got,
+                (0..n as i128).collect::<Vec<_>>(),
+                "case {case}: {}",
+                imp.name()
+            );
         }
     }
 }

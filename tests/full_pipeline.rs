@@ -192,12 +192,7 @@ fn adversary_runs_are_reproducible_across_invocations() {
     for alg in correct_algorithms() {
         let a = build_all_run(alg.as_ref(), 10, Arc::new(SeededTosses::new(5)), &cfg);
         let b = build_all_run(alg.as_ref(), 10, Arc::new(SeededTosses::new(5)), &cfg);
-        assert_eq!(
-            a.base.run.events(),
-            b.base.run.events(),
-            "{}",
-            alg.name()
-        );
+        assert_eq!(a.base.run.events(), b.base.run.events(), "{}", alg.name());
         assert_eq!(a.base.num_rounds(), b.base.num_rounds());
     }
 }

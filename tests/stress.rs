@@ -7,9 +7,7 @@
 
 use llsc_lowerbound::core::{standard_portfolio, stress_wakeup, StressSchedule};
 use llsc_lowerbound::shmem::{SeededTosses, ZeroTosses};
-use llsc_lowerbound::wakeup::{
-    correct_algorithms, HalfCountWakeup, NoStepWakeup, PrematureWakeup,
-};
+use llsc_lowerbound::wakeup::{correct_algorithms, HalfCountWakeup, NoStepWakeup, PrematureWakeup};
 use std::sync::Arc;
 
 #[test]
@@ -67,7 +65,10 @@ fn half_count_falls_to_partition_schedules() {
 #[test]
 fn premature_and_no_step_fail_almost_everywhere() {
     for (name, alg) in [
-        ("premature", &PrematureWakeup as &dyn llsc_lowerbound::shmem::Algorithm),
+        (
+            "premature",
+            &PrematureWakeup as &dyn llsc_lowerbound::shmem::Algorithm,
+        ),
         ("no-step", &NoStepWakeup),
     ] {
         let report = stress_wakeup(
