@@ -19,7 +19,8 @@ fn main() {
         });
     }
     for n in [16usize, 64] {
-        let all = build_all_run(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg)
+            .expect("the tournament adversary run stays within the default budgets");
         let s: ProcSet = (0..n / 2).map(ProcessId).collect();
         time_case(&format!("build_s_run/{n}"), 10, || {
             build_s_run(&TournamentWakeup, n, Arc::new(ZeroTosses), &s, &all, &cfg)

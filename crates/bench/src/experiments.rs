@@ -10,21 +10,25 @@
 use crate::harness::Experiment;
 use crate::table::Table;
 use llsc_core::{
-    build_all_run, ceil_log4, check_claims_all_subsets_sweep, estimate_expected_complexity_sweep,
-    flow_report, indist_all_subsets, secretive_complete_schedule, verify_lower_bound,
-    AdversaryConfig, MoveConfig, ProcSet,
+    build_all_run, ceil_log4, check_claims_all_subsets_sweep, check_wakeup,
+    estimate_expected_complexity_sweep, flow_report, indist_all_subsets,
+    secretive_complete_schedule, verify_lower_bound, AdversaryConfig, MoveConfig, ProcSet,
 };
 // Re-exported for callers that predate the move of the seeding helpers
 // into `llsc_core` (see `crates/core/src/secretive.rs`).
 pub use llsc_core::random_move_config;
 use llsc_objects::FetchIncrement;
-use llsc_shmem::{Algorithm, ProcessId, RegisterId, SeededTosses, Sweep, ZeroTosses};
+use llsc_shmem::{
+    Algorithm, CrashPlan, CrashScheduler, Executor, ExecutorConfig, ProcessId, RegisterId,
+    RoundRobinScheduler, RunOutcome, SeededTosses, Sweep, TrialFailure, ZeroTosses,
+};
 use llsc_universal::{
     measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig,
     ObjectImplementation, ScheduleKind,
 };
 use llsc_wakeup::{
-    correct_algorithms, randomized_algorithms, ObjectWakeup, ReductionKind, TournamentWakeup,
+    correct_algorithms, randomized_algorithms, CounterWakeup, ObjectWakeup,
+    RandomizedCounterWakeup, ReductionKind, TournamentWakeup,
 };
 use std::sync::Arc;
 
@@ -153,7 +157,8 @@ pub fn e3_up_growth(ns: &[usize], sweep: &Sweep) -> Experiment<E3Row> {
     let pairs = alg_size_pairs(algs.len(), ns);
     let rows = sweep.run(&pairs, |_trial, &(a, n)| {
         let alg = &algs[a];
-        let all = build_all_run(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg)
+            .expect("E3 runs stay within the default executor budgets");
         let rounds = all.base.num_rounds();
         let max_up = all.up.max_up_size(rounds);
         let ok = all.up.lemma_5_1_holds();
@@ -218,7 +223,8 @@ pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64], sweep: &Sweep) -> Ex
                 } else {
                     Arc::new(SeededTosses::new(seed))
                 };
-                let report = indist_all_subsets(alg.as_ref(), n, toss, &cfg, false, sweep);
+                let report = indist_all_subsets(alg.as_ref(), n, toss, &cfg, false, sweep)
+                    .expect("E4 subset runs stay within the default executor budgets");
                 subsets += report.subsets;
                 comparisons += report.comparisons;
                 violations += report.violations.len();
@@ -285,7 +291,8 @@ pub fn e5_wakeup_lower_bound(ns: &[usize], sweep: &Sweep) -> Experiment<E5Row> {
     let pairs = alg_size_pairs(algs.len(), ns);
     let rows = sweep.run(&pairs, |_trial, &(a, n)| {
         let alg = &algs[a];
-        let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+        let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg)
+            .expect("E5 runs stay within the default executor budgets");
         assert!(rep.wakeup.ok() && rep.bound_holds, "{} n={n}", alg.name());
         E5Row {
             algorithm: alg.name().to_string(),
@@ -352,7 +359,8 @@ pub fn e6_randomized_expectation(ns: &[usize], samples: u64, sweep: &Sweep) -> E
     let mut rows = Vec::new();
     for alg in randomized_algorithms() {
         for &n in ns {
-            let rep = estimate_expected_complexity_sweep(alg.as_ref(), n, &seeds, &cfg, sweep);
+            let rep = estimate_expected_complexity_sweep(alg.as_ref(), n, &seeds, &cfg, sweep)
+                .expect("E6 sampled runs stay within the default executor budgets");
             assert!(rep.all_meet_bound, "{} n={n}", alg.name());
             table.row([
                 alg.name().to_string(),
@@ -419,7 +427,8 @@ pub fn e7_reductions(ns: &[usize], sweep: &Sweep) -> Experiment<E7Row> {
     }
     let rows = sweep.run(&cases, |_trial, &(kind, n)| {
         let alg = ObjectWakeup::direct(kind, n);
-        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg);
+        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg)
+            .expect("E7 reduction runs stay within the default executor budgets");
         let ok = rep.wakeup.ok() && rep.bound_holds;
         assert!(ok, "{kind} n={n}");
         E7Row {
@@ -502,6 +511,7 @@ pub fn e8_universal_constructions(ns: &[usize], sweep: &Sweep) -> Experiment<E8R
             ScheduleKind::Adversary,
             &cfg,
         )
+        .expect("E8 measurements complete within the configured budgets")
         .max_ops
     });
     let mut rows = Vec::new();
@@ -580,8 +590,11 @@ pub fn e9_schedule_ablation(ns: &[usize], sweep: &Sweep) -> Experiment<E9Row> {
             2 => (Box::new(HerlihyUniversal::new(spec.clone())), true),
             _ => (Box::new(DirectLlSc::new(spec.clone())), true),
         };
-        let run =
-            |kind: ScheduleKind| measure(imp.as_ref(), spec.as_ref(), n, &ops, kind, &cfg).max_ops;
+        let run = |kind: ScheduleKind| {
+            measure(imp.as_ref(), spec.as_ref(), n, &ops, kind, &cfg)
+                .expect("E9 measurements complete within the configured budgets")
+                .max_ops
+        };
         E9Row {
             implementation: imp.name(),
             n,
@@ -648,6 +661,7 @@ pub fn e10_direct_escape_hatch(ns: &[usize], sweep: &Sweep) -> Experiment<E10Row
             ScheduleKind::Sequential,
             &cfg,
         )
+        .expect("E10 solo runs complete within the configured budgets")
         .max_ops;
         let contended = measure(
             &direct,
@@ -657,6 +671,7 @@ pub fn e10_direct_escape_hatch(ns: &[usize], sweep: &Sweep) -> Experiment<E10Row
             ScheduleKind::Adversary,
             &cfg,
         )
+        .expect("E10 adversary runs complete within the configured budgets")
         .max_ops;
         let tree = measure(
             &AdtTreeUniversal::new(spec.clone()),
@@ -666,6 +681,7 @@ pub fn e10_direct_escape_hatch(ns: &[usize], sweep: &Sweep) -> Experiment<E10Row
             ScheduleKind::Adversary,
             &cfg,
         )
+        .expect("E10 tree runs complete within the configured budgets")
         .max_ops;
         assert_eq!(solo, 2, "solo cost is constant");
         E10Row {
@@ -713,7 +729,8 @@ pub fn e10b_structural_escape_hatches(sizes: &[usize], sweep: &Sweep) -> Experim
         let spec = Arc::new(Queue::with_numbered_items(initial));
         let imp = MsQueue::new(Queue::with_numbered_items(initial));
         let ops = vec![Queue::dequeue_op()];
-        let r = measure(&imp, spec.as_ref(), 1, &ops, ScheduleKind::Sequential, &cfg);
+        let r = measure(&imp, spec.as_ref(), 1, &ops, ScheduleKind::Sequential, &cfg)
+            .expect("E10b solo queue runs complete within the configured budgets");
         assert!(r.linearizable);
         let queue_row = E10bRow {
             implementation: imp.name(),
@@ -724,7 +741,8 @@ pub fn e10b_structural_escape_hatches(sizes: &[usize], sweep: &Sweep) -> Experim
         let spec = Arc::new(Stack::with_numbered_items(initial));
         let imp = TreiberStack::new(Stack::with_numbered_items(initial));
         let ops = vec![Stack::pop_op()];
-        let r = measure(&imp, spec.as_ref(), 1, &ops, ScheduleKind::Sequential, &cfg);
+        let r = measure(&imp, spec.as_ref(), 1, &ops, ScheduleKind::Sequential, &cfg)
+            .expect("E10b solo stack runs complete within the configured budgets");
         assert!(r.linearizable);
         let stack_row = E10bRow {
             implementation: imp.name(),
@@ -784,7 +802,8 @@ pub fn e12_multi_use(ns: &[usize], ks: &[usize], sweep: &Sweep) -> Experiment<E1
             &ops,
             ScheduleKind::Sequential,
             100_000_000,
-        );
+        )
+        .expect("E12 solo runs complete within the step budget");
         let adv = measure_multi_use(
             Arc::clone(&imp),
             spec.as_ref(),
@@ -792,7 +811,8 @@ pub fn e12_multi_use(ns: &[usize], ks: &[usize], sweep: &Sweep) -> Experiment<E1
             &ops,
             ScheduleKind::Adversary,
             100_000_000,
-        );
+        )
+        .expect("E12 adversary runs complete within the step budget");
         assert!(solo.responses_consistent && adv.responses_consistent);
         E12Row {
             n,
@@ -839,7 +859,8 @@ pub fn e13_appendix_claims(ns: &[usize], sweep: &Sweep) -> Experiment<E13Row> {
     {
         for &n in ns {
             let violations =
-                check_claims_all_subsets_sweep(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg, sweep);
+                check_claims_all_subsets_sweep(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg, sweep)
+                    .expect("E13 subset runs stay within the default executor budgets");
             assert_eq!(violations, 0, "{} n={n}", alg.name());
             table.row([
                 alg.name().to_string(),
@@ -895,7 +916,8 @@ pub fn e14_stress_portfolio(n: usize, sweep: &Sweep) -> Experiment<E14Row> {
             &portfolio,
             5_000_000,
             sweep,
-        );
+        )
+        .expect("E14 stress schedules stay within the default executor budgets");
         if expected_clean {
             assert!(report.ok(), "{}: {report}", alg.name());
         } else {
@@ -929,7 +951,8 @@ pub fn e5_tournament_tightness(ns: &[usize], sweep: &Sweep) -> Experiment<(usize
         ..AdversaryConfig::default()
     };
     let rows = sweep.run(ns, |_trial, &n| {
-        let rep = verify_lower_bound(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg);
+        let rep = verify_lower_bound(&TournamentWakeup, n, Arc::new(ZeroTosses), &cfg)
+            .expect("E5b runs stay within the default executor budgets");
         assert!(rep.wakeup.ok() && rep.bound_holds);
         (n, ceil_log4(n), rep.winner_steps)
     });
@@ -942,6 +965,179 @@ pub fn e5_tournament_tightness(ns: &[usize], sweep: &Sweep) -> Experiment<(usize
         ]);
     }
     Experiment { table, rows }
+}
+
+/// One row of E15: how one wakeup solution degrades when `crashed`
+/// processes are crash-faulted mid-run.
+#[derive(Clone, Debug)]
+pub struct E15Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of crash-faulted processes (`k`).
+    pub crashed: usize,
+    /// Trials run for this `(algorithm, k)` cell.
+    pub trials: usize,
+    /// Trials that completed anyway (every victim's crash point fell
+    /// after its termination, so nobody actually died).
+    pub completed: usize,
+    /// Trials the executor correctly classified as
+    /// [`RunOutcome::Crashed`].
+    pub crash_reported: usize,
+    /// Trials that exhausted the event budget while survivors spun on a
+    /// dead process.
+    pub budget_exhausted: usize,
+    /// Whether every trial's run prefix satisfied the checkable wakeup
+    /// conditions (no premature winner, binary returns).
+    pub safety_ok: bool,
+}
+
+/// The algorithms E15 degrades: the three wakeup solutions the paper's
+/// bound covers plus the oblivious universal construction solving wakeup
+/// through the fetch&increment reduction.
+fn e15_algorithm(idx: usize, n: usize) -> Box<dyn Algorithm> {
+    match idx {
+        0 => Box::new(TournamentWakeup),
+        1 => Box::new(CounterWakeup),
+        2 => Box::new(RandomizedCounterWakeup),
+        3 => {
+            let kind = ReductionKind::FetchIncrement;
+            Box::new(ObjectWakeup::new(
+                kind,
+                n,
+                Arc::new(AdtTreeUniversal::new(kind.spec_for(n))),
+            ))
+        }
+        _ => unreachable!("E15 has 4 algorithms"),
+    }
+}
+
+/// The step cap [`CrashScheduler::drive`] runs each E15 trial under; runs
+/// a crash leaves spinning stop here (and classify as `Crashed`) unless
+/// the event budget fires first.
+const E15_MAX_STEPS: u64 = 40_000;
+
+/// E15: graceful degradation under crash faults. Each trial runs one
+/// wakeup algorithm under a round-robin schedule with `k` processes
+/// crash-faulted at seeded points ([`CrashPlan::seeded`]), then classifies
+/// the result with [`Executor::run_outcome`] and checks the surviving run
+/// prefix against the wakeup specification. `k = 0` trials must complete —
+/// a starved `max_events` makes them panic, which the panic-isolated
+/// sweep reports as [`TrialFailure`]s instead of aborting the experiment.
+///
+/// Trials fan out over the sweep; rows and failures are merged in index
+/// order, so the output is byte-identical at every thread count.
+pub fn e15_crash_degradation(
+    n: usize,
+    ks: &[usize],
+    reps: usize,
+    max_events: u64,
+    sweep: &Sweep,
+) -> (Experiment<E15Row>, Vec<TrialFailure>) {
+    const ALGS: usize = 4;
+    assert!(reps >= 1, "need at least one repetition per cell");
+    let mut items = Vec::with_capacity(ALGS * ks.len() * reps);
+    for a in 0..ALGS {
+        for &k in ks {
+            for rep in 0..reps {
+                items.push((a, k, rep));
+            }
+        }
+    }
+
+    let outcomes = sweep.run_fallible(&items, |trial, &(a, k, _rep)| {
+        let alg = e15_algorithm(a, n);
+        let cfg = ExecutorConfig {
+            max_events,
+            ..ExecutorConfig::default()
+        };
+        let mut exec = Executor::new(
+            alg.as_ref(),
+            n,
+            Arc::new(SeededTosses::new(trial.seed)),
+            cfg,
+        );
+        // Crash points land inside the early part of the run, where every
+        // algorithm still has live waiters to strand.
+        let plan = CrashPlan::seeded(trial.seed, n, k, 8 * n as u64);
+        let mut sched = CrashScheduler::new(RoundRobinScheduler::new(), plan);
+        // A budget/burst fault is sticky, so `run_outcome` reports it;
+        // the drive result itself carries no extra information here.
+        let _ = sched.drive(&mut exec, E15_MAX_STEPS);
+        let outcome = exec.run_outcome();
+        if k == 0 {
+            assert!(
+                matches!(outcome, RunOutcome::Completed),
+                "{}: fault-free trial must complete, got {outcome} (seed {:#018x})",
+                alg.name(),
+                trial.seed
+            );
+        }
+        let check = check_wakeup(&exec.into_run());
+        (outcome, check.ok())
+    });
+
+    let names: Vec<String> = (0..ALGS)
+        .map(|a| e15_algorithm(a, n).name().to_string())
+        .collect();
+    let mut failures = Vec::new();
+    let mut cells: Vec<E15Row> = Vec::new();
+    for ((a, k, _rep), result) in items.iter().zip(outcomes) {
+        if cells
+            .last()
+            .is_none_or(|c| c.algorithm != names[*a] || c.crashed != *k)
+        {
+            cells.push(E15Row {
+                algorithm: names[*a].clone(),
+                crashed: *k,
+                trials: 0,
+                completed: 0,
+                crash_reported: 0,
+                budget_exhausted: 0,
+                safety_ok: true,
+            });
+        }
+        let cell = cells.last_mut().expect("cell pushed above");
+        match result {
+            Ok((outcome, safe)) => {
+                cell.trials += 1;
+                cell.safety_ok &= safe;
+                match outcome {
+                    RunOutcome::Completed => cell.completed += 1,
+                    RunOutcome::Crashed { .. } => cell.crash_reported += 1,
+                    RunOutcome::BudgetExhausted { .. } => cell.budget_exhausted += 1,
+                    RunOutcome::DivergedLocalBurst { pid } => {
+                        unreachable!("E15 local sections are finite, yet {pid} diverged")
+                    }
+                }
+            }
+            Err(f) => failures.push(f),
+        }
+    }
+
+    let mut table = Table::new(
+        format!("E15 - crash-fault degradation (n = {n}, {reps} trials per cell)"),
+        [
+            "algorithm",
+            "crashed",
+            "trials",
+            "completed",
+            "crash reported",
+            "budget exhausted",
+            "safety",
+        ],
+    );
+    for r in &cells {
+        table.row([
+            r.algorithm.clone(),
+            r.crashed.to_string(),
+            r.trials.to_string(),
+            r.completed.to_string(),
+            r.crash_reported.to_string(),
+            r.budget_exhausted.to_string(),
+            if r.safety_ok { "ok" } else { "VIOLATED" }.to_string(),
+        ]);
+    }
+    (Experiment { table, rows: cells }, failures)
 }
 
 #[cfg(test)]
@@ -994,6 +1190,62 @@ mod tests {
                 let (src, dst) = cfg.get(p).unwrap();
                 assert_ne!(src, dst);
             }
+        }
+    }
+
+    #[test]
+    fn e15_classifies_crash_outcomes_and_stays_safe() {
+        let (exp, failures) = e15_crash_degradation(8, &[0, 2], 3, 2_000_000, &Sweep::sequential());
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(exp.rows.len(), 8, "4 algorithms x 2 crash counts");
+        let mut stranded = 0;
+        for r in &exp.rows {
+            assert!(
+                r.safety_ok,
+                "{}: wakeup safety must survive crashes",
+                r.algorithm
+            );
+            assert_eq!(r.trials, 3);
+            assert_eq!(
+                r.completed + r.crash_reported + r.budget_exhausted,
+                r.trials,
+                "{}: every trial classifies",
+                r.algorithm
+            );
+            if r.crashed == 0 {
+                assert_eq!(
+                    r.completed, 3,
+                    "{}: fault-free trials complete",
+                    r.algorithm
+                );
+            } else {
+                stranded += r.crash_reported + r.budget_exhausted;
+            }
+        }
+        // A victim that terminates before its crash point survives, so not
+        // every k=2 trial strands a survivor — but some must.
+        assert!(stranded > 0, "k=2 trials must strand some survivor");
+    }
+
+    #[test]
+    fn e15_starved_budget_surfaces_isolated_failures() {
+        let (exp, failures) = e15_crash_degradation(8, &[0], 2, 10, &Sweep::sequential());
+        assert!(!failures.is_empty(), "starved k=0 trials must panic");
+        assert!(failures
+            .iter()
+            .all(|f| f.payload.contains("fault-free trial must complete")));
+        // Panics are isolated: the experiment still renders its table.
+        assert!(exp.table.render().contains("E15"));
+    }
+
+    #[test]
+    fn e15_is_identical_across_thread_counts() {
+        let (base, base_f) = e15_crash_degradation(8, &[0, 1], 2, 2_000_000, &Sweep::sequential());
+        for threads in [2, 4] {
+            let (par, par_f) =
+                e15_crash_degradation(8, &[0, 1], 2, 2_000_000, &Sweep::with_threads(threads));
+            assert_eq!(par.table.render(), base.table.render(), "threads={threads}");
+            assert_eq!(par_f.len(), base_f.len());
         }
     }
 

@@ -10,6 +10,13 @@
 //! * `--json PATH` — additionally write the printed tables as a
 //!   `{"tables":[…]}` JSON artifact (see [`Table::render_json`]).
 //!
+//! Fault-injection binaries additionally accept `--max-events N`, the
+//! per-trial event budget (see [`HarnessOpts::max_events`]), and report
+//! panic-isolated trial failures through
+//! [`HarnessOpts::emit_with_failures`]: the failures are listed on
+//! stderr, recorded in the JSON artifact's `"failures"` array, and turn
+//! the exit code nonzero.
+//!
 //! A binary's `main` is three lines:
 //!
 //! ```no_run
@@ -20,7 +27,7 @@
 //! ```
 
 use crate::table::Table;
-pub use llsc_shmem::{Sweep, Trial};
+pub use llsc_shmem::{Sweep, Trial, TrialFailure};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -42,6 +49,11 @@ pub struct HarnessOpts {
     pub threads: usize,
     /// Where to write the JSON artifact, if requested.
     pub json: Option<PathBuf>,
+    /// Per-trial event budget override (`--max-events N`). Experiments
+    /// that inject faults pass this to [`llsc_shmem::ExecutorConfig`];
+    /// starving it is the supported way to exercise the
+    /// budget-exhaustion path end to end.
+    pub max_events: Option<u64>,
 }
 
 impl HarnessOpts {
@@ -55,6 +67,7 @@ impl HarnessOpts {
         let mut opts = HarnessOpts {
             threads: 1,
             json: None,
+            max_events: None,
         };
         let mut args = args.into_iter().map(Into::into);
         while let Some(arg) = args.next() {
@@ -71,6 +84,15 @@ impl HarnessOpts {
                     let v = args.next().ok_or("--json needs a path")?;
                     opts.json = Some(PathBuf::from(v));
                 }
+                "--max-events" => {
+                    let v = args.next().ok_or("--max-events needs a value")?;
+                    opts.max_events = Some(
+                        v.parse::<u64>()
+                            .ok()
+                            .filter(|&e| e >= 1)
+                            .ok_or_else(|| format!("bad --max-events value `{v}`"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -82,7 +104,7 @@ impl HarnessOpts {
         match HarnessOpts::parse(std::env::args().skip(1)) {
             Ok(opts) => opts,
             Err(e) => {
-                eprintln!("error: {e}\n\nusage: [--threads N] [--json PATH]");
+                eprintln!("error: {e}\n\nusage: [--threads N] [--json PATH] [--max-events N]");
                 std::process::exit(2);
             }
         }
@@ -97,18 +119,38 @@ impl HarnessOpts {
     /// the `{"tables":[…]}` artifact. Returns failure only on an
     /// artifact-write error.
     pub fn emit(&self, tables: &[&Table]) -> ExitCode {
+        self.emit_with_failures(tables, &[])
+    }
+
+    /// [`HarnessOpts::emit`] for fault-tolerant experiments: prints the
+    /// tables, lists every isolated trial failure on stderr, and — when
+    /// `--json` was given — writes the
+    /// `{"tables":[…],"failures":[…]}` artifact (the `failures` key is
+    /// omitted when there are none, keeping clean artifacts
+    /// byte-identical to [`HarnessOpts::emit`]'s). Returns
+    /// [`ExitCode::FAILURE`] iff any trial failed or the artifact could
+    /// not be written — partial results are still emitted either way.
+    pub fn emit_with_failures(&self, tables: &[&Table], failures: &[TrialFailure]) -> ExitCode {
         for table in tables {
             table.print();
         }
+        for f in failures {
+            eprintln!("trial failure: {f}");
+        }
         if let Some(path) = &self.json {
-            let artifact = Table::render_json_artifact(tables);
+            let artifact = Table::render_json_artifact_with_failures(tables, failures);
             if let Err(e) = std::fs::write(path, artifact) {
                 eprintln!("error: cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote {}", path.display());
         }
-        ExitCode::SUCCESS
+        if failures.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("{} trial(s) failed", failures.len());
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -142,10 +184,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_both_flags_in_any_order() {
-        let opts = HarnessOpts::parse(["--json", "out.json", "--threads", "4"]).unwrap();
+    fn parses_all_flags_in_any_order() {
+        let opts =
+            HarnessOpts::parse(["--json", "out.json", "--max-events", "50", "--threads", "4"])
+                .unwrap();
         assert_eq!(opts.threads, 4);
         assert_eq!(opts.json, Some(PathBuf::from("out.json")));
+        assert_eq!(opts.max_events, Some(50));
         assert_eq!(opts.sweep().threads, 4);
     }
 
@@ -154,6 +199,7 @@ mod tests {
         let opts = HarnessOpts::parse(Vec::<String>::new()).unwrap();
         assert_eq!(opts.threads, 1);
         assert!(opts.json.is_none());
+        assert!(opts.max_events.is_none());
     }
 
     #[test]
@@ -162,6 +208,39 @@ mod tests {
         assert!(HarnessOpts::parse(["--threads", "0"]).is_err());
         assert!(HarnessOpts::parse(["--threads", "x"]).is_err());
         assert!(HarnessOpts::parse(["--json"]).is_err());
+        assert!(HarnessOpts::parse(["--max-events"]).is_err());
+        assert!(HarnessOpts::parse(["--max-events", "0"]).is_err());
+        assert!(HarnessOpts::parse(["--max-events", "lots"]).is_err());
         assert!(HarnessOpts::parse(["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn emit_with_failures_writes_artifact_and_fails() {
+        let dir = std::env::temp_dir().join("llsc-bench-harness-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("failures.json");
+        let opts = HarnessOpts {
+            threads: 1,
+            json: Some(path.clone()),
+            max_events: None,
+        };
+        let mut t = Table::new("t", ["c"]);
+        t.row(["1"]);
+        let failures = vec![TrialFailure {
+            index: 3,
+            seed: 9,
+            payload: "boom".into(),
+        }];
+        let code = opts.emit_with_failures(&[&t], &failures);
+        assert_eq!(code, ExitCode::FAILURE);
+        let artifact = std::fs::read_to_string(&path).unwrap();
+        assert!(artifact.contains("\"failures\""));
+        assert!(artifact.contains("boom"));
+        assert_eq!(Table::from_json_artifact(&artifact).unwrap().len(), 1);
+        // A clean emit through the same path succeeds and omits the key.
+        assert_eq!(opts.emit_with_failures(&[&t], &[]), ExitCode::SUCCESS);
+        let artifact = std::fs::read_to_string(&path).unwrap();
+        assert!(!artifact.contains("failures"));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -16,12 +16,15 @@
 //! | `table_e7` | E7 | Theorem 6.2 (the eight object reductions) |
 //! | `table_e8` | E8/E9 | tightness: `O(log n)` tree vs `Theta(n)` baselines |
 //! | `table_e10` | E10 | the non-oblivious constant-time escape hatch |
+//! | `table_e15` | E15 | crash-fault degradation (graceful failure modes) |
 //!
 //! Each function returns an [`harness::Experiment`] — the rendered table
 //! plus its typed rows — so integration tests can assert on the numbers
 //! without re-parsing stdout. Every binary accepts `--threads N`
 //! (deterministic parallel fan-out; output byte-identical at any thread
 //! count) and `--json PATH` (a structured artifact of the same tables);
+//! fault-injection binaries additionally accept `--max-events N` and
+//! report isolated trial failures in the artifact's `"failures"` array;
 //! see [`harness`].
 
 #![forbid(unsafe_code)]

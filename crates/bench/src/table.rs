@@ -159,6 +159,21 @@ impl Table {
     /// `{"tables":[…]}` — the format every `table_*` binary's `--json`
     /// flag writes, even for a single table.
     pub fn render_json_artifact(tables: &[&Table]) -> String {
+        Table::render_json_artifact_with_failures(tables, &[])
+    }
+
+    /// The fault-aware artifact: `{"tables":[…],"failures":[…]}`.
+    ///
+    /// Each failure is an all-string object
+    /// `{"trial":"…","seed":"0x…","message":"…"}` recording one isolated
+    /// trial panic (see [`llsc_shmem::Sweep::run_fallible`]). The
+    /// `failures` key is omitted entirely when there are none, so a clean
+    /// run's artifact is byte-identical to [`Table::render_json_artifact`]
+    /// and to artifacts written before failures were recorded.
+    pub fn render_json_artifact_with_failures(
+        tables: &[&Table],
+        failures: &[llsc_shmem::TrialFailure],
+    ) -> String {
         let mut out = String::from("{\"tables\":[");
         for (i, t) in tables.iter().enumerate() {
             if i > 0 {
@@ -166,7 +181,24 @@ impl Table {
             }
             out.push_str(&t.render_json());
         }
-        out.push_str("]}\n");
+        out.push(']');
+        if !failures.is_empty() {
+            out.push_str(",\"failures\":[");
+            for (i, f) in failures.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"trial\":");
+                push_json_string(&mut out, &f.index.to_string());
+                out.push_str(",\"seed\":");
+                push_json_string(&mut out, &format!("{:#018x}", f.seed));
+                out.push_str(",\"message\":");
+                push_json_string(&mut out, &f.payload);
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push_str("}\n");
         out
     }
 
@@ -448,6 +480,36 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert_eq!(back[0].render(), a.render());
         assert_eq!(back[1].render(), b.render());
+    }
+
+    #[test]
+    fn failure_free_artifact_matches_legacy_format() {
+        let mut a = Table::new("t", ["c"]);
+        a.row(["1"]);
+        assert_eq!(
+            Table::render_json_artifact_with_failures(&[&a], &[]),
+            Table::render_json_artifact(&[&a]),
+            "omitting the failures key keeps clean artifacts byte-identical"
+        );
+    }
+
+    #[test]
+    fn failures_render_next_to_tables_and_stay_parseable() {
+        let mut a = Table::new("t", ["c"]);
+        a.row(["1"]);
+        let failures = vec![llsc_shmem::TrialFailure {
+            index: 7,
+            seed: 0x1234,
+            payload: "budget \"starved\"".to_string(),
+        }];
+        let artifact = Table::render_json_artifact_with_failures(&[&a], &failures);
+        assert!(artifact.contains("\"failures\":[{\"trial\":\"7\""));
+        assert!(artifact.contains("\"seed\":\"0x0000000000001234\""));
+        assert!(artifact.contains("budget \\\"starved\\\""));
+        // The extra key must not break the artifact parser.
+        let back = Table::from_json_artifact(&artifact).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].render(), a.render());
     }
 
     #[test]

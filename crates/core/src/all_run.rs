@@ -75,6 +75,13 @@ pub struct RoundedRun {
     /// Whether every participating process terminated within the round
     /// limit.
     pub completed: bool,
+    /// The executor's final classification of the run
+    /// ([`llsc_shmem::Executor::run_outcome`]): `Completed`, or why the
+    /// run is partial. For an `(S, A)`-run, processes outside `S` never
+    /// terminating makes the outcome `BudgetExhausted` even though the
+    /// construction itself completed — check [`RoundedRun::completed`]
+    /// for the construction-level notion.
+    pub outcome: llsc_shmem::RunOutcome,
 }
 
 impl RoundedRun {
@@ -191,16 +198,23 @@ impl AllRun {
 /// let alg = FnAlgorithm::new("one-ll", |_p, _n| {
 ///     ll(RegisterId(0), |_| done(Value::from(0i64))).into_program()
 /// });
-/// let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default());
+/// let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
 /// assert!(all.base.completed);
 /// assert_eq!(all.base.num_rounds(), 1);
 /// ```
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`](llsc_shmem::RunError) a round
+/// reports (diverging Phase-1 burst, exhausted event budget). Hitting
+/// [`AdversaryConfig::max_rounds`] is *not* an error: the run is returned
+/// with [`RoundedRun::completed`] `false`.
 pub fn build_all_run(
     alg: &dyn Algorithm,
     n: usize,
     toss: Arc<dyn TossAssignment>,
     cfg: &AdversaryConfig,
-) -> AllRun {
+) -> Result<AllRun, llsc_shmem::RunError> {
     let initial_memory: BTreeMap<RegisterId, Value> = alg.initial_memory(n).into_iter().collect();
     let mut exec = Executor::new(alg, n, toss, cfg.executor);
     let mut up = if cfg.track_up_history {
@@ -220,22 +234,24 @@ pub fn build_all_run(
             &participants,
             MoveOrder::Secretive,
             cfg.record_snapshots,
-        );
+        )?;
         up.apply_round(&rec);
         rounds.push(rec);
     }
 
     let completed = exec.all_terminated();
-    AllRun {
+    let outcome = exec.run_outcome();
+    Ok(AllRun {
         base: RoundedRun {
             n,
             rounds,
             run: exec.into_run(),
             initial_memory,
             completed,
+            outcome,
         },
         up,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -258,8 +274,8 @@ mod tests {
     #[test]
     fn all_run_is_deterministic() {
         let alg = llsc_alg();
-        let a = build_all_run(&alg, 6, Arc::new(ZeroTosses), &AdversaryConfig::default());
-        let b = build_all_run(&alg, 6, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let a = build_all_run(&alg, 6, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
+        let b = build_all_run(&alg, 6, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         assert_eq!(a.base.run.events(), b.base.run.events());
         assert_eq!(a.base.num_rounds(), b.base.num_rounds());
     }
@@ -267,7 +283,8 @@ mod tests {
     #[test]
     fn all_run_synchronous_rounds_one_op_each() {
         let alg = llsc_alg();
-        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let all =
+            build_all_run(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         assert!(all.base.completed);
         // Round 1: all LL. Round 2: all SC (p0 wins).
         assert_eq!(all.base.num_rounds(), 2);
@@ -282,7 +299,8 @@ mod tests {
     #[test]
     fn snapshots_are_queryable_per_round() {
         let alg = llsc_alg();
-        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let all =
+            build_all_run(&alg, 3, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         // Round 0: initial.
         assert_eq!(all.base.value_at(RegisterId(0), 0), Value::Unit);
         assert!(all.base.pset_at(RegisterId(0), 0).is_empty());
@@ -312,7 +330,7 @@ mod tests {
             max_rounds: 5,
             ..AdversaryConfig::default()
         };
-        let all = build_all_run(&alg, 2, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 2, Arc::new(ZeroTosses), &cfg).unwrap();
         assert!(!all.base.completed);
         assert_eq!(all.base.num_rounds(), 5);
     }
@@ -328,7 +346,8 @@ mod tests {
             4,
             Arc::new(SeededTosses::new(99)),
             &AdversaryConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(all.base.completed);
         for p in ProcessId::all(4) {
             assert_eq!(all.base.tosses_at(p, all.base.num_rounds()), 1);
@@ -340,14 +359,16 @@ mod tests {
     #[test]
     fn touched_registers_lists_everything() {
         let alg = llsc_alg();
-        let all = build_all_run(&alg, 2, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let all =
+            build_all_run(&alg, 2, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         assert_eq!(all.base.touched_registers(), vec![RegisterId(0)]);
     }
 
     #[test]
     fn up_tracker_rounds_match_run_rounds() {
         let alg = llsc_alg();
-        let all = build_all_run(&alg, 8, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let all =
+            build_all_run(&alg, 8, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         assert_eq!(all.up.rounds(), all.base.num_rounds());
         assert!(all.up.lemma_5_1_holds());
     }

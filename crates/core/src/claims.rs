@@ -308,12 +308,16 @@ pub fn check_appendix_claims(all: &AllRun, srun: &SRun) -> ClaimsReport {
 /// Convenience: the claims plus the lemma itself on every subset of a
 /// small system. Returns the total number of violations (0 for sound
 /// machinery).
+///
+/// # Errors
+///
+/// Propagates the first [`llsc_shmem::RunError`] any subset run reports.
 pub fn check_claims_all_subsets(
     alg: &dyn llsc_shmem::Algorithm,
     n: usize,
     toss: std::sync::Arc<dyn llsc_shmem::TossAssignment>,
     cfg: &crate::AdversaryConfig,
-) -> usize {
+) -> Result<usize, llsc_shmem::RunError> {
     check_claims_all_subsets_sweep(alg, n, toss, cfg, &llsc_shmem::Sweep::sequential())
 }
 
@@ -326,10 +330,12 @@ pub fn check_claims_all_subsets_sweep(
     toss: std::sync::Arc<dyn llsc_shmem::TossAssignment>,
     cfg: &crate::AdversaryConfig,
     sweep: &llsc_shmem::Sweep,
-) -> usize {
-    crate::subsets::indist_all_subsets(alg, n, toss, cfg, true, sweep)
-        .violations
-        .len()
+) -> Result<usize, llsc_shmem::RunError> {
+    Ok(
+        crate::subsets::indist_all_subsets(alg, n, toss, cfg, true, sweep)?
+            .violations
+            .len(),
+    )
 }
 
 #[cfg(test)]
@@ -385,7 +391,8 @@ mod tests {
     fn claims_hold_for_llsc_contenders_all_subsets() {
         let alg = llsc_contenders();
         let violations =
-            check_claims_all_subsets(&alg, 5, Arc::new(ZeroTosses), &AdversaryConfig::default());
+            check_claims_all_subsets(&alg, 5, Arc::new(ZeroTosses), &AdversaryConfig::default())
+                .unwrap();
         assert_eq!(violations, 0);
     }
 
@@ -398,7 +405,8 @@ mod tests {
             } else {
                 Arc::new(SeededTosses::new(seed))
             };
-            let violations = check_claims_all_subsets(&alg, 6, toss, &AdversaryConfig::default());
+            let violations =
+                check_claims_all_subsets(&alg, 6, toss, &AdversaryConfig::default()).unwrap();
             assert_eq!(violations, 0, "seed={seed}");
         }
     }
@@ -409,9 +417,9 @@ mod tests {
         // directly (not just via indistinguishability).
         let alg = llsc_contenders();
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 6, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 6, Arc::new(ZeroTosses), &cfg).unwrap();
         let s: ProcSet = [1, 2, 4].into_iter().map(ProcessId).collect();
-        let srun = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
         let report = check_appendix_claims(&all, &srun);
         assert!(report.ok(), "{:?}", report.violations);
         assert!(report.instances > 0);
@@ -425,7 +433,7 @@ mod tests {
         // relative to the previous round at each successful SC.
         let alg = llsc_contenders();
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg).unwrap();
         // At least two rounds with successful SCs on R0.
         let sc_rounds = all
             .base
@@ -435,7 +443,7 @@ mod tests {
             .count();
         assert!(sc_rounds >= 2);
         let s: ProcSet = ProcessId::all(4).collect();
-        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
         assert!(check_appendix_claims(&all, &srun).ok());
     }
 

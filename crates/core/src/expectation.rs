@@ -16,7 +16,7 @@
 use crate::all_run::{build_all_run, AdversaryConfig};
 use crate::theorem::{ceil_log4, log4};
 use crate::wakeup::check_wakeup;
-use llsc_shmem::{Algorithm, SeededTosses, Sweep};
+use llsc_shmem::{Algorithm, RunError, SeededTosses, Sweep};
 use std::fmt;
 use std::sync::Arc;
 
@@ -90,7 +90,7 @@ impl fmt::Display for ExpectationReport {
 /// let alg = FnAlgorithm::new("one-ll", |_p, _n| {
 ///     ll(RegisterId(0), |_| done(Value::from(1i64))).into_program()
 /// });
-/// let rep = estimate_expected_complexity(&alg, 2, 0..8, &AdversaryConfig::default());
+/// let rep = estimate_expected_complexity(&alg, 2, 0..8, &AdversaryConfig::default()).unwrap();
 /// assert_eq!(rep.samples, 8);
 /// assert_eq!(rep.termination_rate, 1.0);
 /// ```
@@ -99,7 +99,7 @@ pub fn estimate_expected_complexity(
     n: usize,
     seeds: impl IntoIterator<Item = u64>,
     cfg: &AdversaryConfig,
-) -> ExpectationReport {
+) -> Result<ExpectationReport, RunError> {
     let seeds: Vec<u64> = seeds.into_iter().collect();
     estimate_expected_complexity_sweep(alg, n, &seeds, cfg, &Sweep::sequential())
 }
@@ -116,31 +116,40 @@ struct Sample {
 /// given [`Sweep`]. Each seed's `(All, A)`-run is independent, and samples
 /// are merged in seed order, so the report is identical at any thread
 /// count.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-seed-index) [`RunError`] any sampled run
+/// reports; the other samples still execute to completion under the
+/// sweep's panic/fault isolation.
 pub fn estimate_expected_complexity_sweep(
     alg: &dyn Algorithm,
     n: usize,
     seeds: &[u64],
     cfg: &AdversaryConfig,
     sweep: &Sweep,
-) -> ExpectationReport {
-    let sampled = sweep.run(seeds, |_trial, &seed| {
-        let all = build_all_run(alg, n, Arc::new(SeededTosses::new(seed)), cfg);
-        if !all.base.completed {
-            return Sample {
-                terminated: false,
-                wakeup_ok: false,
-                winner_steps: None,
-                max_steps: None,
-            };
-        }
-        let check = check_wakeup(&all.base.run);
-        Sample {
-            terminated: true,
-            wakeup_ok: check.ok(),
-            winner_steps: check.first_winner().map(|w| all.base.run.shared_steps(w)),
-            max_steps: Some(all.base.run.max_shared_steps()),
-        }
-    });
+) -> Result<ExpectationReport, RunError> {
+    let sampled = sweep
+        .run(seeds, |_trial, &seed| {
+            let all = build_all_run(alg, n, Arc::new(SeededTosses::new(seed)), cfg)?;
+            if !all.base.completed {
+                return Ok(Sample {
+                    terminated: false,
+                    wakeup_ok: false,
+                    winner_steps: None,
+                    max_steps: None,
+                });
+            }
+            let check = check_wakeup(&all.base.run);
+            Ok(Sample {
+                terminated: true,
+                wakeup_ok: check.ok(),
+                winner_steps: check.first_winner().map(|w| all.base.run.shared_steps(w)),
+                max_steps: Some(all.base.run.max_shared_steps()),
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<Sample>, RunError>>()?;
 
     let samples = sampled.len();
     let mut terminating = 0usize;
@@ -174,7 +183,7 @@ pub fn estimate_expected_complexity_sweep(
     let min_winner = winner_steps.iter().copied().min().unwrap_or(0);
     let bound = ceil_log4(n);
 
-    ExpectationReport {
+    Ok(ExpectationReport {
         algorithm: alg.name().to_string(),
         n,
         samples,
@@ -191,7 +200,7 @@ pub fn estimate_expected_complexity_sweep(
         log4_n: log4(n),
         lemma_3_1_bound: c * min_winner as f64,
         all_meet_bound: winner_steps.iter().all(|&s| s >= bound),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -232,7 +241,8 @@ mod tests {
     fn randomized_wakeup_meets_expected_bound() {
         let alg = randomized_counter_wakeup();
         for n in [4, 8, 16] {
-            let rep = estimate_expected_complexity(&alg, n, 0..20, &AdversaryConfig::default());
+            let rep =
+                estimate_expected_complexity(&alg, n, 0..20, &AdversaryConfig::default()).unwrap();
             assert_eq!(rep.termination_rate, 1.0, "n={n}");
             assert_eq!(rep.wakeup_ok_rate, 1.0, "n={n}");
             assert!(rep.all_meet_bound, "n={n}: min={}", rep.min_winner_steps);
@@ -265,7 +275,7 @@ mod tests {
             max_rounds: 50,
             ..AdversaryConfig::default()
         };
-        let rep = estimate_expected_complexity(&alg, 2, 0..40, &cfg);
+        let rep = estimate_expected_complexity(&alg, 2, 0..40, &cfg).unwrap();
         assert!(rep.termination_rate < 1.0);
         // With 2 processes and independent fair-ish coins, some runs do
         // terminate.
@@ -276,8 +286,8 @@ mod tests {
     #[test]
     fn report_is_reproducible_for_same_seeds() {
         let alg = randomized_counter_wakeup();
-        let a = estimate_expected_complexity(&alg, 4, 0..10, &AdversaryConfig::default());
-        let b = estimate_expected_complexity(&alg, 4, 0..10, &AdversaryConfig::default());
+        let a = estimate_expected_complexity(&alg, 4, 0..10, &AdversaryConfig::default()).unwrap();
+        let b = estimate_expected_complexity(&alg, 4, 0..10, &AdversaryConfig::default()).unwrap();
         assert_eq!(a.mean_winner_steps, b.mean_winner_steps);
         assert_eq!(a.min_winner_steps, b.min_winner_steps);
         assert_eq!(a.mean_max_steps, b.mean_max_steps);
@@ -287,7 +297,8 @@ mod tests {
     fn empty_seed_set_is_degenerate_but_defined() {
         let alg = randomized_counter_wakeup();
         let rep =
-            estimate_expected_complexity(&alg, 4, std::iter::empty(), &AdversaryConfig::default());
+            estimate_expected_complexity(&alg, 4, std::iter::empty(), &AdversaryConfig::default())
+                .unwrap();
         assert_eq!(rep.samples, 0);
         assert_eq!(rep.termination_rate, 0.0);
         assert_eq!(rep.lemma_3_1_bound, 0.0);
@@ -296,7 +307,7 @@ mod tests {
     #[test]
     fn display_summarises() {
         let alg = randomized_counter_wakeup();
-        let rep = estimate_expected_complexity(&alg, 4, 0..4, &AdversaryConfig::default());
+        let rep = estimate_expected_complexity(&alg, 4, 0..4, &AdversaryConfig::default()).unwrap();
         assert!(rep.to_string().contains("rand-counter-wakeup"));
     }
 }

@@ -223,14 +223,14 @@ mod tests {
             Some(s) => Arc::new(SeededTosses::new(s)),
             None => Arc::new(ZeroTosses),
         };
-        let all = build_all_run(alg, n, toss.clone(), &cfg);
+        let all = build_all_run(alg, n, toss.clone(), &cfg).unwrap();
         // Exhaustive over subsets for small n.
         for mask in 0..(1u32 << n) {
             let s: ProcSet = (0..n)
                 .filter(|i| mask & (1 << i) != 0)
                 .map(ProcessId)
                 .collect();
-            let srun = build_s_run(alg, n, toss.clone(), &s, &all, &cfg);
+            let srun = build_s_run(alg, n, toss.clone(), &s, &all, &cfg).unwrap();
             let report = check_indistinguishability(&all, &srun);
             assert!(
                 report.ok(),
@@ -345,9 +345,9 @@ mod tests {
             .into_program()
         });
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg).unwrap();
         let s = pset([1, 2, 3]);
-        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
         // UP(p1, 2) includes p0, so the lemma says nothing about p1.
         assert!(!all.up.proc(ProcessId(1), 2).is_subset(&s));
         // And indeed p1's histories differ at round 2 (SC failed vs
@@ -378,9 +378,9 @@ mod tests {
             .into_program()
         });
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg).unwrap();
         let small = pset([1]);
-        let mut srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &small, &all, &cfg);
+        let mut srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &small, &all, &cfg).unwrap();
         srun.s = pset([1, 2, 3]); // lie about S
         let report = check_indistinguishability(&all, &srun);
         assert!(!report.ok(), "mislabelled run must be flagged");
@@ -394,9 +394,9 @@ mod tests {
     fn report_display_mentions_counts() {
         let alg = FnAlgorithm::new("noop", |_p, _n| done(Value::from(0i64)).into_program());
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 2, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 2, Arc::new(ZeroTosses), &cfg).unwrap();
         let s: ProcSet = ProcessId::all(2).collect();
-        let srun = build_s_run(&alg, 2, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&alg, 2, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
         let report = check_indistinguishability(&all, &srun);
         assert!(report.to_string().contains("0 violation(s)"));
     }

@@ -45,7 +45,8 @@
 //!     attempt(n).into_program()
 //! });
 //!
-//! let report = verify_lower_bound(&alg, 16, Arc::new(ZeroTosses), &AdversaryConfig::default());
+//! let report = verify_lower_bound(&alg, 16, Arc::new(ZeroTosses), &AdversaryConfig::default())
+//!     .expect("the run stays within the default event budget");
 //! assert!(report.wakeup.ok());
 //! assert!(report.bound_holds);
 //! assert!(report.winner_steps >= ceil_log4(16));

@@ -8,7 +8,7 @@
 //! `UP`-set update rules and the indistinguishability checker later need.
 
 use crate::secretive::{self, MoveConfig};
-use llsc_shmem::{Executor, OpKind, Operation, ProcessId, RegisterId, Response, Value};
+use llsc_shmem::{Executor, OpKind, Operation, ProcessId, RegisterId, Response, RunError, Value};
 use std::collections::BTreeMap;
 
 /// A lean record of one shared-memory operation of a round: everything the
@@ -136,7 +136,14 @@ impl RoundRecord {
 /// 4. the swap group acts, in id order;
 /// 5. the SC group acts, in id order.
 ///
-/// Already-terminated participants are skipped (their rounds are empty).
+/// Already-terminated (or crashed) participants are skipped — their
+/// rounds are empty, which is exactly the paper's "delayed forever"
+/// adversary move.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] the executor reports (a diverging
+/// Phase-1 burst or an exhausted event budget).
 ///
 /// # Panics
 ///
@@ -148,7 +155,7 @@ pub fn execute_round(
     round: usize,
     participants: &[ProcessId],
     move_order: MoveOrder<'_>,
-) -> RoundRecord {
+) -> Result<RoundRecord, RunError> {
     execute_round_with(exec, round, participants, move_order, true)
 }
 
@@ -163,7 +170,7 @@ pub fn execute_round_with(
     participants: &[ProcessId],
     move_order: MoveOrder<'_>,
     snapshots: bool,
-) -> RoundRecord {
+) -> Result<RoundRecord, RunError> {
     let n = exec.n();
     let mut phase1_tosses = BTreeMap::new();
     let mut terminated_in_phase1 = Vec::new();
@@ -172,10 +179,10 @@ pub fn execute_round_with(
     let mut ordered: Vec<ProcessId> = participants.to_vec();
     ordered.sort_unstable();
     for &p in &ordered {
-        if exec.is_terminated(p) {
+        if !exec.is_runnable(p) {
             continue;
         }
-        let tosses = exec.advance_local(p);
+        let tosses = exec.advance_local(p)?;
         phase1_tosses.insert(p, tosses);
         if exec.is_terminated(p) {
             terminated_in_phase1.push(p);
@@ -186,6 +193,9 @@ pub fn execute_round_with(
     let mut groups = RoundGroups::default();
     let mut move_config = MoveConfig::new();
     for &p in &ordered {
+        if !exec.is_runnable(p) {
+            continue;
+        }
         let Some(op) = exec.pending_op(p) else {
             continue;
         };
@@ -236,7 +246,7 @@ pub fn execute_round_with(
         .copied()
         .collect();
     for p in plan {
-        let (op, resp) = exec.perform_shared(p);
+        let (op, resp) = exec.perform_shared(p)?;
         let mut sc_ok = None;
         match (&op, &resp) {
             (Operation::Sc(r, _), Response::Flagged { ok, .. }) => {
@@ -275,7 +285,7 @@ pub fn execute_round_with(
         .map(|p| exec.run().shared_steps(p))
         .collect();
 
-    RoundRecord {
+    Ok(RoundRecord {
         round,
         participants: ordered,
         phase1_tosses,
@@ -292,7 +302,7 @@ pub fn execute_round_with(
         end_tosses,
         end_history_len,
         end_shared_steps,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -336,7 +346,7 @@ mod tests {
     fn groups_partition_by_kind() {
         let alg = mixed_alg();
         let mut e = exec_for(&alg, 4);
-        let rec = execute_round(&mut e, 1, &all_pids(4), MoveOrder::Secretive);
+        let rec = execute_round(&mut e, 1, &all_pids(4), MoveOrder::Secretive).unwrap();
         assert_eq!(rec.groups.g1_ll_validate, vec![ProcessId(0), ProcessId(3)]);
         assert_eq!(rec.groups.g2_move, vec![ProcessId(1)]);
         assert_eq!(rec.groups.g3_swap, vec![ProcessId(2)]);
@@ -349,14 +359,14 @@ mod tests {
         let alg = mixed_alg();
         let mut e = exec_for(&alg, 4);
         // Round 1: LLs (p0, p3), move (p1), swap (p2).
-        let r1 = execute_round(&mut e, 1, &all_pids(4), MoveOrder::Secretive);
+        let r1 = execute_round(&mut e, 1, &all_pids(4), MoveOrder::Secretive).unwrap();
         let kinds: Vec<OpKind> = r1.ops.iter().map(|o| o.kind).collect();
         assert_eq!(
             kinds,
             vec![OpKind::Ll, OpKind::Ll, OpKind::Move, OpKind::Swap]
         );
         // Round 2: p3's SC.
-        let r2 = execute_round(&mut e, 2, &all_pids(4), MoveOrder::Secretive);
+        let r2 = execute_round(&mut e, 2, &all_pids(4), MoveOrder::Secretive).unwrap();
         let kinds2: Vec<OpKind> = r2.ops.iter().map(|o| o.kind).collect();
         assert_eq!(kinds2, vec![OpKind::Sc]);
         assert_eq!(r2.successful_sc.get(&RegisterId(4)), Some(&ProcessId(3)));
@@ -375,8 +385,8 @@ mod tests {
             .into_program()
         });
         let mut e = exec_for(&alg, 5);
-        execute_round(&mut e, 1, &all_pids(5), MoveOrder::Secretive);
-        let r2 = execute_round(&mut e, 2, &all_pids(5), MoveOrder::Secretive);
+        execute_round(&mut e, 1, &all_pids(5), MoveOrder::Secretive).unwrap();
+        let r2 = execute_round(&mut e, 2, &all_pids(5), MoveOrder::Secretive).unwrap();
         assert_eq!(r2.successful_sc.get(&RegisterId(0)), Some(&ProcessId(0)));
         assert_eq!(e.memory().peek(RegisterId(0)), Value::from(0i64));
         for p in ProcessId::all(5) {
@@ -397,7 +407,7 @@ mod tests {
             .into_program()
         });
         let mut e = exec_for(&alg, 3);
-        let rec = execute_round(&mut e, 1, &all_pids(3), MoveOrder::Secretive);
+        let rec = execute_round(&mut e, 1, &all_pids(3), MoveOrder::Secretive).unwrap();
         assert_eq!(
             rec.swaps.get(&RegisterId(0)),
             Some(&vec![ProcessId(0), ProcessId(1), ProcessId(2)])
@@ -419,7 +429,7 @@ mod tests {
         })
         .with_initial_memory(vec![(RegisterId(0), Value::from(100i64))]);
         let mut e = exec_for(&alg, 6);
-        let rec = execute_round(&mut e, 1, &all_pids(6), MoveOrder::Secretive);
+        let rec = execute_round(&mut e, 1, &all_pids(6), MoveOrder::Secretive).unwrap();
         assert!(crate::secretive::is_secretive(&rec.sigma, &rec.move_config));
         // Every register's movers (this round) ≤ 2.
         for r in rec.move_config.destinations() {
@@ -444,7 +454,7 @@ mod tests {
         // With order p2, p0, p1 the last mover into R0 is p1.
         let order = vec![ProcessId(2), ProcessId(0), ProcessId(1)];
         let mut e = exec_for(&alg, 3);
-        let rec = execute_round(&mut e, 1, &all_pids(3), MoveOrder::Given(&order));
+        let rec = execute_round(&mut e, 1, &all_pids(3), MoveOrder::Given(&order)).unwrap();
         assert_eq!(rec.sigma, order);
         assert_eq!(e.memory().peek(RegisterId(0)), Value::from(11i64));
     }
@@ -460,7 +470,7 @@ mod tests {
         });
         let order = vec![ProcessId(0)]; // p1 missing
         let mut e = exec_for(&alg, 2);
-        execute_round(&mut e, 1, &all_pids(2), MoveOrder::Given(&order));
+        execute_round(&mut e, 1, &all_pids(2), MoveOrder::Given(&order)).unwrap();
     }
 
     #[test]
@@ -469,7 +479,7 @@ mod tests {
             validate(RegisterId(0), |_, _| done(Value::from(0i64))).into_program()
         });
         let mut e = exec_for(&alg, 2);
-        let rec = execute_round(&mut e, 1, &all_pids(2), MoveOrder::Secretive);
+        let rec = execute_round(&mut e, 1, &all_pids(2), MoveOrder::Secretive).unwrap();
         assert_eq!(rec.groups.g1_ll_validate.len(), 2);
     }
 
@@ -477,9 +487,9 @@ mod tests {
     fn terminated_participants_yield_empty_rounds() {
         let alg = FnAlgorithm::new("instant", |_pid, _n| done(Value::from(0i64)).into_program());
         let mut e = exec_for(&alg, 3);
-        let r1 = execute_round(&mut e, 1, &all_pids(3), MoveOrder::Secretive);
+        let r1 = execute_round(&mut e, 1, &all_pids(3), MoveOrder::Secretive).unwrap();
         assert_eq!(r1.terminated_in_phase1.len(), 3);
-        let r2 = execute_round(&mut e, 2, &all_pids(3), MoveOrder::Secretive);
+        let r2 = execute_round(&mut e, 2, &all_pids(3), MoveOrder::Secretive).unwrap();
         assert!(r2.is_empty_round());
     }
 
@@ -487,7 +497,7 @@ mod tests {
     fn snapshots_capture_end_of_round_state() {
         let alg = mixed_alg();
         let mut e = exec_for(&alg, 4);
-        let rec = execute_round(&mut e, 1, &all_pids(4), MoveOrder::Secretive);
+        let rec = execute_round(&mut e, 1, &all_pids(4), MoveOrder::Secretive).unwrap();
         // p2 swapped 1 into R3.
         assert_eq!(rec.end_values.get(&RegisterId(3)), Some(&Value::from(1i64)));
         // p0 holds a link on R0 from its LL.
@@ -504,7 +514,8 @@ mod tests {
             1,
             &[ProcessId(0), ProcessId(2)],
             MoveOrder::Secretive,
-        );
+        )
+        .unwrap();
         let actors: Vec<_> = rec.ops.iter().map(|o| o.p).collect();
         assert_eq!(actors, vec![ProcessId(0), ProcessId(2)]);
         assert_eq!(e.run().shared_steps(ProcessId(1)), 0);

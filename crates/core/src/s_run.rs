@@ -51,9 +51,9 @@ pub struct SRun {
 ///     ll(RegisterId(0), |_| done(Value::from(0i64))).into_program()
 /// });
 /// let cfg = AdversaryConfig::default();
-/// let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg);
+/// let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg).unwrap();
 /// let s = [ProcessId(0), ProcessId(1)].into_iter().collect();
-/// let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg);
+/// let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
 /// // Only p0 and p1 step in the (S, A)-run.
 /// assert_eq!(srun.base.run.shared_steps(ProcessId(0)), 1);
 /// assert_eq!(srun.base.run.shared_steps(ProcessId(2)), 0);
@@ -65,7 +65,7 @@ pub fn build_s_run(
     s: &ProcSet,
     all: &AllRun,
     cfg: &AdversaryConfig,
-) -> SRun {
+) -> Result<SRun, llsc_shmem::RunError> {
     assert_eq!(n, all.n(), "process count must match the (All, A)-run");
     assert!(
         all.up.has_full_history(),
@@ -94,7 +94,7 @@ pub fn build_s_run(
             &s_r,
             MoveOrder::Given(sigma_r),
             cfg.record_snapshots,
-        );
+        )?;
         participants_per_round.push(s_r);
         rounds.push(rec);
     }
@@ -103,17 +103,19 @@ pub fn build_s_run(
         .last()
         .map(|ps| ps.iter().all(|&p| exec.is_terminated(p)))
         .unwrap_or(true);
-    SRun {
+    let outcome = exec.run_outcome();
+    Ok(SRun {
         base: RoundedRun {
             n,
             rounds,
             run: exec.into_run(),
             initial_memory,
             completed,
+            outcome,
         },
         s: s.clone(),
         participants_per_round,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -142,9 +144,9 @@ mod tests {
     fn only_s_members_step_in_round_one() {
         let alg = llsc_alg();
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 5, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 5, Arc::new(ZeroTosses), &cfg).unwrap();
         let s = pset([1, 3]);
-        let srun = build_s_run(&alg, 5, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&alg, 5, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
         assert_eq!(
             srun.participants_per_round[0],
             vec![ProcessId(1), ProcessId(3)]
@@ -162,9 +164,9 @@ mod tests {
         // the S_r sets directly.
         let alg = llsc_alg();
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg).unwrap();
         let s = pset([1, 2, 3]);
-        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
         // Round 1: UP(p,0) = {p}: p1..p3 participate.
         assert_eq!(
             srun.participants_per_round[0],
@@ -185,13 +187,13 @@ mod tests {
         // escapes S, exactly as the construction intends.
         let alg = llsc_alg();
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg).unwrap();
         assert_eq!(
             all.base.rounds[1].successful_sc.get(&RegisterId(0)),
             Some(&ProcessId(0))
         );
         let s = pset([1, 2, 3]);
-        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
         assert_eq!(
             srun.base.rounds[1].successful_sc.get(&RegisterId(0)),
             Some(&ProcessId(1))
@@ -204,9 +206,9 @@ mod tests {
         // exactly.
         let alg = llsc_alg();
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 6, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 6, Arc::new(ZeroTosses), &cfg).unwrap();
         let s: ProcSet = ProcessId::all(6).collect();
-        let srun = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
         assert_eq!(all.base.run.events(), srun.base.run.events());
     }
 
@@ -223,14 +225,14 @@ mod tests {
             .into_program()
         });
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 6, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, 6, Arc::new(ZeroTosses), &cfg).unwrap();
         let s = pset([0, 1, 2, 3, 4, 5]);
-        let srun = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
         assert_eq!(srun.base.rounds[0].sigma, all.base.rounds[0].sigma);
 
         // A strict subset also preserves relative σ order.
         let s2 = pset([0, 2, 4]);
-        let srun2 = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s2, &all, &cfg);
+        let srun2 = build_s_run(&alg, 6, Arc::new(ZeroTosses), &s2, &all, &cfg).unwrap();
         let expect: Vec<ProcessId> = all.base.rounds[0]
             .sigma
             .iter()
@@ -244,8 +246,8 @@ mod tests {
     fn empty_s_produces_empty_run() {
         let alg = llsc_alg();
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &cfg);
-        let srun = build_s_run(&alg, 3, Arc::new(ZeroTosses), &ProcSet::new(), &all, &cfg);
+        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &cfg).unwrap();
+        let srun = build_s_run(&alg, 3, Arc::new(ZeroTosses), &ProcSet::new(), &all, &cfg).unwrap();
         assert!(srun.base.run.events().is_empty());
         assert!(srun.base.completed);
     }
@@ -255,7 +257,7 @@ mod tests {
     fn mismatched_n_panics() {
         let alg = llsc_alg();
         let cfg = AdversaryConfig::default();
-        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &cfg);
-        build_s_run(&alg, 4, Arc::new(ZeroTosses), &ProcSet::new(), &all, &cfg);
+        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &cfg).unwrap();
+        build_s_run(&alg, 4, Arc::new(ZeroTosses), &ProcSet::new(), &all, &cfg).unwrap();
     }
 }

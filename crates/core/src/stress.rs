@@ -16,8 +16,8 @@
 
 use crate::wakeup::{check_wakeup, WakeupViolation};
 use llsc_shmem::{
-    Algorithm, Executor, ExecutorConfig, PartitionScheduler, ProcessId, RandomScheduler, Scheduler,
-    SequentialScheduler, Sweep, TossAssignment,
+    Algorithm, Executor, ExecutorConfig, PartitionScheduler, ProcessId, RandomScheduler, RunError,
+    Scheduler, SequentialScheduler, Sweep, TossAssignment,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -121,13 +121,19 @@ pub fn standard_portfolio(n: usize, random_seeds: u64) -> Vec<StressSchedule> {
 /// Partition schedules usually leave the run non-terminating (the excluded
 /// processes never step); condition 3 is still checked on the prefix —
 /// which is exactly how partial-participation bugs are caught.
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`] any schedule's executor reports
+/// (event budget, divergent local burst). A schedule that merely runs out
+/// of `max_steps` is *not* an error — its prefix is still checked.
 pub fn stress_wakeup(
     alg: &dyn Algorithm,
     n: usize,
     toss: Arc<dyn TossAssignment>,
     portfolio: &[StressSchedule],
     max_steps: u64,
-) -> StressReport {
+) -> Result<StressReport, RunError> {
     stress_wakeup_sweep(alg, n, toss, portfolio, max_steps, &Sweep::sequential())
 }
 
@@ -142,7 +148,7 @@ pub fn stress_wakeup_sweep(
     portfolio: &[StressSchedule],
     max_steps: u64,
     sweep: &Sweep,
-) -> StressReport {
+) -> Result<StressReport, RunError> {
     let outcomes = sweep.run(portfolio, |_trial, schedule| {
         let mut exec = Executor::new(alg, n, toss.clone(), ExecutorConfig::default());
         let mut sched: Box<dyn Scheduler> = match schedule {
@@ -150,17 +156,17 @@ pub fn stress_wakeup_sweep(
             StressSchedule::Sequential => Box::new(SequentialScheduler::new()),
             StressSchedule::Random(seed) => Box::new(RandomScheduler::new(*seed)),
         };
-        exec.drive(sched.as_mut(), max_steps);
+        exec.drive(sched.as_mut(), max_steps)?;
         let check = check_wakeup(exec.run());
         // For non-terminating prefixes only conditions 1 and 3 apply;
         // check_wakeup already restricts NoWinner to terminating runs.
         if check.ok() {
-            None
+            Ok(None)
         } else {
-            Some(StressFailure {
+            Ok(Some(StressFailure {
                 schedule: schedule.clone(),
                 violations: check.violations,
-            })
+            }))
         }
     });
 
@@ -169,12 +175,12 @@ pub fn stress_wakeup_sweep(
         ..StressReport::default()
     };
     for outcome in outcomes {
-        match outcome {
+        match outcome? {
             None => report.passed += 1,
             Some(failure) => report.failures.push(failure),
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -218,7 +224,8 @@ mod tests {
             Arc::new(ZeroTosses),
             &standard_portfolio(4, 2),
             10_000,
-        );
+        )
+        .unwrap();
         assert!(!report.ok());
         assert!(report.to_string().contains("FAILED"));
         // Every partition schedule catches it.
@@ -255,7 +262,8 @@ mod tests {
             Arc::new(ZeroTosses),
             &standard_portfolio(5, 3),
             100_000,
-        );
+        )
+        .unwrap();
         assert!(report.ok(), "{report}");
         assert_eq!(report.passed, report.schedules_tried);
     }

@@ -13,7 +13,7 @@ use crate::claims::check_appendix_claims;
 use crate::indist::check_indistinguishability;
 use crate::s_run::build_s_run;
 use crate::upsets::ProcSet;
-use llsc_shmem::{Algorithm, ProcessId, Sweep, TossAssignment};
+use llsc_shmem::{Algorithm, ProcessId, RunError, Sweep, TossAssignment};
 use std::fmt;
 use std::sync::Arc;
 
@@ -60,6 +60,11 @@ impl fmt::Display for SubsetSweepReport {
 /// threads; each trial builds one `(S, A)`-run and compares. Tallies are
 /// merged in mask order, so the report does not depend on `sweep.threads`.
 ///
+/// # Errors
+///
+/// Propagates the first [`RunError`] the `(All, A)`-run or any
+/// `(S, A)`-run reports.
+///
 /// # Panics
 ///
 /// Panics if `n > 16` (the enumeration is exhaustive).
@@ -70,9 +75,9 @@ pub fn indist_all_subsets(
     cfg: &AdversaryConfig,
     check_claims: bool,
     sweep: &Sweep,
-) -> SubsetSweepReport {
+) -> Result<SubsetSweepReport, RunError> {
     assert!(n <= 16, "exhaustive subset check needs small n");
-    let all = build_all_run(alg, n, toss.clone(), cfg);
+    let all = build_all_run(alg, n, toss.clone(), cfg)?;
 
     let per_mask = sweep.run_indexed(1usize << n, |trial| {
         let mask = trial.index;
@@ -80,7 +85,7 @@ pub fn indist_all_subsets(
             .filter(|i| mask & (1 << i) != 0)
             .map(ProcessId)
             .collect();
-        let srun = build_s_run(alg, n, toss.clone(), &s, &all, cfg);
+        let srun = build_s_run(alg, n, toss.clone(), &s, &all, cfg)?;
         let lemma = check_indistinguishability(&all, &srun);
         let mut partial = SubsetSweepReport {
             subsets: 1,
@@ -99,17 +104,18 @@ pub fn indist_all_subsets(
                 .violations
                 .extend(claims.violations.iter().map(|v| format!("S={s:?}: {v}")));
         }
-        partial
+        Ok(partial)
     });
 
     let mut report = SubsetSweepReport::default();
     for partial in per_mask {
+        let partial: SubsetSweepReport = partial?;
         report.subsets += partial.subsets;
         report.comparisons += partial.comparisons;
         report.claim_instances += partial.claim_instances;
         report.violations.extend(partial.violations);
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -146,7 +152,8 @@ mod tests {
             &cfg,
             true,
             &Sweep::sequential(),
-        );
+        )
+        .unwrap();
         assert!(base.ok(), "{:?}", base.violations);
         assert_eq!(base.subsets, 32);
         assert!(base.comparisons > 0);
@@ -159,7 +166,8 @@ mod tests {
                 &cfg,
                 true,
                 &Sweep::with_threads(threads),
-            );
+            )
+            .unwrap();
             assert_eq!(par.subsets, base.subsets, "threads={threads}");
             assert_eq!(par.comparisons, base.comparisons, "threads={threads}");
             assert_eq!(par.claim_instances, base.claim_instances);
@@ -177,7 +185,8 @@ mod tests {
             &AdversaryConfig::default(),
             false,
             &Sweep::sequential(),
-        );
+        )
+        .unwrap();
         assert!(report.ok());
         assert_eq!(report.claim_instances, 0);
         assert!(report.to_string().contains("16 subsets"));

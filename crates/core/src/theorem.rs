@@ -21,7 +21,7 @@ use crate::all_run::{build_all_run, AdversaryConfig, AllRun};
 use crate::s_run::build_s_run;
 use crate::upsets::ProcSet;
 use crate::wakeup::{check_wakeup, WakeupCheck, WakeupViolation};
-use llsc_shmem::{Algorithm, ProcessId, TossAssignment};
+use llsc_shmem::{Algorithm, ProcessId, RunError, TossAssignment};
 use std::fmt;
 use std::sync::Arc;
 
@@ -114,13 +114,18 @@ impl fmt::Display for LowerBoundReport {
 /// is below `⌈log₄ n⌉` (possible only for algorithms that violate the
 /// wakeup specification) it also contains the constructed `(S, A)`-run
 /// [`Refutation`].
+///
+/// # Errors
+///
+/// Propagates any [`RunError`] (event-budget exhaustion, local-burst
+/// divergence) the underlying runs report.
 pub fn verify_lower_bound(
     alg: &dyn Algorithm,
     n: usize,
     toss: Arc<dyn TossAssignment>,
     cfg: &AdversaryConfig,
-) -> LowerBoundReport {
-    let all = build_all_run(alg, n, toss.clone(), cfg);
+) -> Result<LowerBoundReport, RunError> {
+    let all = build_all_run(alg, n, toss.clone(), cfg)?;
     report_from_all_run(alg, n, toss, cfg, &all)
 }
 
@@ -132,7 +137,7 @@ pub fn report_from_all_run(
     toss: Arc<dyn TossAssignment>,
     cfg: &AdversaryConfig,
     all: &AllRun,
-) -> LowerBoundReport {
+) -> Result<LowerBoundReport, RunError> {
     assert!(
         all.base.run.is_detailed(),
         "the Theorem 6.1 driver needs a detailed run (events/verdicts);          build the (All, A)-run with record_details = true —          AdversaryConfig::lightweight() is for complexity sweeps only"
@@ -175,10 +180,10 @@ pub fn report_from_all_run(
                 let all_full = if all.up.has_full_history() {
                     all
                 } else {
-                    rebuilt = build_all_run(alg, n, toss.clone(), &full_cfg);
+                    rebuilt = build_all_run(alg, n, toss.clone(), &full_cfg)?;
                     &rebuilt
                 };
-                let srun = build_s_run(alg, n, toss, &s, all_full, &full_cfg);
+                let srun = build_s_run(alg, n, toss, &s, all_full, &full_cfg)?;
                 let s_wakeup = check_wakeup(&srun.base.run);
                 let never_step: Vec<ProcessId> = ProcessId::all(n)
                     .filter(|&p| {
@@ -202,7 +207,7 @@ pub fn report_from_all_run(
         None => (0, None),
     };
 
-    LowerBoundReport {
+    Ok(LowerBoundReport {
         algorithm: alg.name().to_string(),
         n,
         rounds: all.base.num_rounds(),
@@ -215,7 +220,7 @@ pub fn report_from_all_run(
         log4_n: log4(n),
         bound_holds,
         refutation,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -277,7 +282,8 @@ mod tests {
         let alg = counter_wakeup();
         for n in [2, 4, 8, 16, 32] {
             let rep =
-                verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+                verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default())
+                    .unwrap();
             assert!(rep.completed, "n={n}");
             assert!(rep.wakeup.ok(), "n={n}: {}", rep.wakeup);
             assert!(
@@ -300,7 +306,8 @@ mod tests {
     fn broken_algorithm_is_refuted_constructively() {
         let alg = premature_wakeup();
         let n = 16;
-        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let rep =
+            verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         // The (All, A)-run itself already violates wakeup (premature
         // winner), and the bound fails.
         assert!(!rep.wakeup.ok());
@@ -326,7 +333,8 @@ mod tests {
         let mut prev_bound = 0;
         for n in [4, 16, 64, 256] {
             let rep =
-                verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+                verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default())
+                    .unwrap();
             let bound = ceil_log4(n);
             assert!(bound >= prev_bound);
             assert!(rep.winner_steps >= bound, "n={n}");
@@ -345,13 +353,15 @@ mod tests {
             4,
             Arc::new(ZeroTosses),
             &AdversaryConfig::lightweight(),
-        );
+        )
+        .unwrap();
     }
 
     #[test]
     fn report_display_summarises() {
         let alg = counter_wakeup();
-        let rep = verify_lower_bound(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let rep =
+            verify_lower_bound(&alg, 4, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         let s = rep.to_string();
         assert!(s.contains("counter-wakeup"));
         assert!(s.contains("HOLDS"));

@@ -133,7 +133,8 @@ mod tests {
     #[test]
     fn trace_mentions_every_phase() {
         let alg = mixed();
-        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let all =
+            build_all_run(&alg, 3, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         let text = trace_all_run(&all, 10);
         assert!(text.contains("phase 2 (LL/validate)"));
         assert!(text.contains("phase 3 (moves, secretive order)"));
@@ -163,7 +164,8 @@ mod tests {
             }
             attempt(n).into_program()
         });
-        let all = build_all_run(&alg, 8, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let all =
+            build_all_run(&alg, 8, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         let text = trace_all_run(&all, 2);
         assert!(text.contains("more round(s)"));
     }
@@ -171,7 +173,8 @@ mod tests {
     #[test]
     fn sc_outcomes_are_annotated() {
         let alg = mixed();
-        let all = build_all_run(&alg, 3, Arc::new(ZeroTosses), &AdversaryConfig::default());
+        let all =
+            build_all_run(&alg, 3, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap();
         let text = trace_all_run(&all, 10);
         assert!(text.contains("-> success"));
     }

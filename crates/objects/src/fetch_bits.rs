@@ -81,8 +81,12 @@ impl ObjectSpec for FetchAnd {
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
         assert_eq!(op_tag(op), Some(i128::from(TAG_FETCH_AND)), "bad op {op}");
-        let s = state.as_bits().expect("fetch&and state is bits");
-        let v = op_arg(op, 0).and_then(Value::as_bits).expect("bits arg");
+        let s = state
+            .as_bits()
+            .expect("fetch&and state register must hold a Bits value (set by initial())");
+        let v = op_arg(op, 0)
+            .and_then(Value::as_bits)
+            .expect("fetch&and/fetch&or operations carry exactly one Bits argument");
         (
             Value::Bits(bits::and(s, v, self.k)),
             Value::Bits(bits::normalize(s.to_vec(), self.k)),
@@ -138,8 +142,12 @@ impl ObjectSpec for FetchOr {
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
         assert_eq!(op_tag(op), Some(i128::from(TAG_FETCH_OR)), "bad op {op}");
-        let s = state.as_bits().expect("fetch&or state is bits");
-        let v = op_arg(op, 0).and_then(Value::as_bits).expect("bits arg");
+        let s = state
+            .as_bits()
+            .expect("fetch&or state register must hold a Bits value (set by initial())");
+        let v = op_arg(op, 0)
+            .and_then(Value::as_bits)
+            .expect("fetch&and/fetch&or operations carry exactly one Bits argument");
         (
             Value::Bits(bits::or(s, v, self.k)),
             Value::Bits(bits::normalize(s.to_vec(), self.k)),
@@ -191,10 +199,13 @@ impl ObjectSpec for FetchComplement {
             Some(i128::from(TAG_FETCH_COMPLEMENT)),
             "bad op {op}"
         );
-        let s = state.as_bits().expect("fetch&complement state is bits");
+        let s = state
+            .as_bits()
+            .expect("fetch&complement state register must hold a Bits value (set by initial())");
         let i = op_arg(op, 0)
             .and_then(Value::as_int)
-            .expect("bit index arg") as usize;
+            .expect("fetch&complement operations carry exactly one integer bit-index argument")
+            as usize;
         (
             Value::Bits(bits::complement_bit(s, i, self.k)),
             Value::Bits(bits::normalize(s.to_vec(), self.k)),

@@ -1,0 +1,323 @@
+//! The crash-fault adversary: deterministic crash-stop injection.
+//!
+//! Jayanti's adversary gets its power from delaying processes; a
+//! crash-stop fault is the limit case where a process is delayed
+//! *forever*. [`CrashPlan`] decides *who* crashes and *when* (an event
+//! count in the global run — the adversary watches the run, exactly like
+//! a [`Scheduler`]), and [`CrashScheduler`] wraps an inner scheduler and
+//! injects the crashes while driving, so the same plan replayed against
+//! the same algorithm and seed produces the identical partial run.
+//!
+//! Everything here is seeded and deterministic: [`CrashPlan::seeded`]
+//! derives victims and crash points purely from `(seed, n, k, window)`,
+//! which is how the E15 degradation experiment stays `--threads`-invariant.
+//!
+//! # Examples
+//!
+//! ```
+//! use llsc_shmem::dsl::{done, ll, sc};
+//! use llsc_shmem::{
+//!     CrashPlan, CrashScheduler, Executor, ExecutorConfig, FnAlgorithm, ProcessId,
+//!     RegisterId, RoundRobinScheduler, RunOutcome, Value, ZeroTosses,
+//! };
+//! use std::sync::Arc;
+//!
+//! // A no-op algorithm with one process crashed at the very first event:
+//! // the run ends as a (correctly reported) partial execution.
+//! let alg = FnAlgorithm::new("noop", |_pid, _n| {
+//!     ll(RegisterId(0), |_| done(Value::Unit)).into_program()
+//! });
+//! let mut exec = Executor::new(&alg, 2, Arc::new(ZeroTosses), ExecutorConfig::default());
+//! let plan = CrashPlan::at([(ProcessId(1), 0)]);
+//! let mut sched = CrashScheduler::new(RoundRobinScheduler::new(), plan);
+//! sched.drive(&mut exec, 1_000).unwrap();
+//! assert_eq!(exec.run_outcome(), RunOutcome::Crashed { pid: ProcessId(1) });
+//! ```
+
+use crate::rng::XorShift64;
+use crate::{Executor, ProcessId, RunError, Scheduler};
+
+/// A deterministic crash schedule: which processes crash, and at which
+/// global event count each crash fires.
+///
+/// A crash with threshold `t` fires as soon as the executor has recorded
+/// at least `t` events (threshold 0 crashes the process before it takes
+/// any step). Crashes against already-terminated processes are no-ops — a
+/// process that finished before its crash point simply survived.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// `(victim, event-count threshold)` pairs, in victim id order.
+    crashes: Vec<(ProcessId, u64)>,
+}
+
+impl CrashPlan {
+    /// The empty plan: no process ever crashes.
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// A plan from explicit `(victim, event threshold)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same victim appears twice.
+    pub fn at<I: IntoIterator<Item = (ProcessId, u64)>>(crashes: I) -> Self {
+        let mut crashes: Vec<(ProcessId, u64)> = crashes.into_iter().collect();
+        crashes.sort_by_key(|(p, _)| p.0);
+        assert!(
+            crashes.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate victim in crash plan"
+        );
+        CrashPlan { crashes }
+    }
+
+    /// A deterministic plan derived purely from `(seed, n, k, window)`:
+    /// `k` distinct victims out of `n` processes (chosen by a seeded
+    /// Fisher–Yates shuffle), each with an independent crash threshold in
+    /// `0..window` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn seeded(seed: u64, n: usize, k: usize, window: u64) -> Self {
+        assert!(k <= n, "cannot crash {k} of {n} processes");
+        let mut rng = XorShift64::new(seed ^ 0xC4A5_11FA_057B_ED5E);
+        let mut pool: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: the first k slots become the victim set.
+        for i in 0..k {
+            let j = i + rng.index(n - i);
+            pool.swap(i, j);
+        }
+        let crashes: Vec<(ProcessId, u64)> = pool[..k]
+            .iter()
+            .map(|&p| (ProcessId(p), rng.below(window.max(1))))
+            .collect();
+        CrashPlan::at(crashes)
+    }
+
+    /// The planned crashes, in victim id order.
+    pub fn crashes(&self) -> &[(ProcessId, u64)] {
+        &self.crashes
+    }
+
+    /// The number of planned crashes.
+    pub fn len(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// `true` iff the plan crashes nobody.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+}
+
+/// Drives an executor under an inner [`Scheduler`] while injecting the
+/// crashes of a [`CrashPlan`].
+///
+/// This is a *driver*, not a `Scheduler` implementation: injecting a
+/// crash mutates the executor, which `Scheduler::next`'s shared borrow
+/// cannot do. [`CrashScheduler::drive`] interleaves fault injection with
+/// single steps of [`Executor::drive`], checking for due crashes before
+/// every scheduling decision, so a crash point is honoured at exactly the
+/// same event count regardless of the inner schedule.
+#[derive(Clone, Debug)]
+pub struct CrashScheduler<S> {
+    inner: S,
+    plan: CrashPlan,
+}
+
+impl<S: Scheduler> CrashScheduler<S> {
+    /// Wraps `inner` with the given crash plan.
+    pub fn new(inner: S, plan: CrashPlan) -> Self {
+        CrashScheduler { inner, plan }
+    }
+
+    /// The crash plan.
+    pub fn plan(&self) -> &CrashPlan {
+        &self.plan
+    }
+
+    /// Crashes every process whose threshold has been reached. Terminated
+    /// processes survive their crash point (see [`CrashPlan`]).
+    fn apply_due_crashes(&self, exec: &mut Executor) {
+        for &(p, at) in self.plan.crashes() {
+            if exec.recorded_events() >= at && exec.is_runnable(p) {
+                exec.crash(p);
+            }
+        }
+    }
+
+    /// Runs the executor under the inner scheduler until every process
+    /// settles (terminates or crashes), the inner scheduler declines, or
+    /// `max_steps` steps have been taken. Returns the steps taken;
+    /// classify the result with [`Executor::run_outcome`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RunError`] the executor reports
+    /// (budget/burst faults — a crash injected by this driver is a
+    /// recorded fact about the run, not an `Err`).
+    pub fn drive(&mut self, exec: &mut Executor, max_steps: u64) -> Result<u64, RunError> {
+        let mut steps = 0;
+        loop {
+            self.apply_due_crashes(exec);
+            if steps >= max_steps || exec.all_settled() {
+                return Ok(steps);
+            }
+            let took = exec.drive(&mut self.inner, 1)?;
+            if took == 0 {
+                // The inner scheduler declined.
+                return Ok(steps);
+            }
+            steps += took;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{done, ll, sc};
+    use crate::{
+        Algorithm, ExecutorConfig, FnAlgorithm, RegisterId, RoundRobinScheduler, RunOutcome, Value,
+        ZeroTosses,
+    };
+    use std::sync::Arc;
+
+    /// The counter-increment algorithm: each process LL/SC-increments R0
+    /// once and returns the value it installed.
+    fn counter_like() -> impl Algorithm {
+        FnAlgorithm::new("inc", |_pid, _n| {
+            fn attempt() -> crate::dsl::Step {
+                let r = RegisterId(0);
+                ll(r, move |prev| {
+                    let old = prev.as_int().unwrap_or(0);
+                    sc(r, Value::from(old + 1), move |ok, _| {
+                        if ok {
+                            done(Value::from(old + 1))
+                        } else {
+                            attempt()
+                        }
+                    })
+                })
+            }
+            attempt().into_program()
+        })
+        .with_initial_memory(vec![(RegisterId(0), Value::from(0i64))])
+    }
+
+    fn exec(n: usize) -> Executor {
+        Executor::new(
+            &counter_like(),
+            n,
+            Arc::new(ZeroTosses),
+            ExecutorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let mut a = exec(3);
+        CrashScheduler::new(RoundRobinScheduler::new(), CrashPlan::none())
+            .drive(&mut a, 1_000)
+            .unwrap();
+        let mut b = exec(3);
+        b.drive(&mut RoundRobinScheduler::new(), 1_000).unwrap();
+        assert_eq!(a.run().events(), b.run().events());
+        assert_eq!(a.run_outcome(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn crash_at_zero_keeps_victim_stepless() {
+        let mut e = exec(3);
+        let plan = CrashPlan::at([(ProcessId(1), 0)]);
+        CrashScheduler::new(RoundRobinScheduler::new(), plan)
+            .drive(&mut e, 1_000)
+            .unwrap();
+        assert_eq!(e.run().shared_steps(ProcessId(1)), 0);
+        assert!(e.is_terminated(ProcessId(0)) && e.is_terminated(ProcessId(2)));
+        assert_eq!(e.run_outcome(), RunOutcome::Crashed { pid: ProcessId(1) });
+        // Survivors observed a 2-process world: the counter reads 2.
+        assert_eq!(e.memory().peek(RegisterId(0)), Value::from(2i64));
+    }
+
+    #[test]
+    fn terminated_process_survives_its_crash_point() {
+        // p0 finishes long before event 1000; the crash is a no-op.
+        let mut e = exec(2);
+        let plan = CrashPlan::at([(ProcessId(0), 1_000)]);
+        CrashScheduler::new(RoundRobinScheduler::new(), plan)
+            .drive(&mut e, 10_000)
+            .unwrap();
+        assert_eq!(e.run_outcome(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_well_formed() {
+        for k in 0..=5 {
+            let a = CrashPlan::seeded(42, 5, k, 100);
+            let b = CrashPlan::seeded(42, 5, k, 100);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), k);
+            assert_eq!(a.is_empty(), k == 0);
+            // Victims are distinct and in range (CrashPlan::at checks
+            // duplicates; thresholds are within the window).
+            assert!(a.crashes().iter().all(|(p, at)| p.0 < 5 && *at < 100));
+        }
+        // Different seeds give different plans (for a window this large a
+        // collision across all k would be astonishing).
+        let plans: Vec<_> = (0..8)
+            .map(|s| CrashPlan::seeded(s, 16, 8, 1_000_000))
+            .collect();
+        assert!(plans.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn seeded_drive_is_reproducible() {
+        let run_once = || {
+            let mut e = exec(6);
+            let plan = CrashPlan::seeded(7, 6, 2, 10);
+            CrashScheduler::new(RoundRobinScheduler::new(), plan)
+                .drive(&mut e, 10_000)
+                .unwrap();
+            (e.run().events().to_vec(), e.run_outcome())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate victim")]
+    fn duplicate_victims_are_rejected() {
+        CrashPlan::at([(ProcessId(0), 1), (ProcessId(0), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot crash")]
+    fn seeded_rejects_k_above_n() {
+        CrashPlan::seeded(0, 3, 4, 10);
+    }
+
+    #[test]
+    fn budget_faults_propagate_through_the_wrapper() {
+        let alg = FnAlgorithm::new("ll-forever", |_pid, _n| {
+            fn attempt() -> crate::dsl::Step {
+                ll(RegisterId(0), move |_| attempt())
+            }
+            attempt().into_program()
+        });
+        let mut e = Executor::new(
+            &alg,
+            2,
+            Arc::new(ZeroTosses),
+            ExecutorConfig {
+                max_events: 20,
+                max_local_burst: 10,
+                record_details: true,
+            },
+        );
+        let err = CrashScheduler::new(RoundRobinScheduler::new(), CrashPlan::none())
+            .drive(&mut e, 1_000_000)
+            .unwrap_err();
+        assert_eq!(err, RunError::BudgetExhausted { events: 20 });
+    }
+}

@@ -378,7 +378,7 @@ mod tests {
             std::sync::Arc::new(SeededTosses::new(11)),
             ExecutorConfig::default(),
         );
-        while e.step_round_robin() {}
+        while e.step_round_robin().unwrap() {}
         assert!(e.all_terminated());
         for p in ProcessId::all(3) {
             assert_eq!(e.run().shared_steps(p), 1);

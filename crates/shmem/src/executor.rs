@@ -1,8 +1,8 @@
 //! The deterministic discrete-event engine.
 
 use crate::{
-    Action, Algorithm, Feedback, Operation, ProcessId, Program, Response, Run, RunEvent, Scheduler,
-    SharedMemory, TossAssignment, Value,
+    Action, Algorithm, Feedback, Operation, ProcessId, Program, Response, Run, RunError, RunEvent,
+    RunOutcome, Scheduler, SharedMemory, TossAssignment, Value,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -10,16 +10,20 @@ use std::sync::Arc;
 /// Safety limits for an execution.
 ///
 /// The paper's runs can be infinite; these limits turn a runaway simulation
-/// into a loud failure instead of a hang. Both default to generous values
-/// that no shipped experiment approaches.
+/// into a structured [`RunError`] instead of a hang. Both default to
+/// generous values that no shipped experiment approaches.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecutorConfig {
-    /// Maximum number of events recorded before the executor panics.
+    /// Maximum number of events recorded before the executor reports
+    /// [`RunError::BudgetExhausted`]. Termination events are counted but
+    /// never trip the budget themselves (there are at most `n` of them,
+    /// and each one is progress).
     pub max_events: u64,
     /// Maximum number of *consecutive* coin tosses a single process may
     /// perform in one [`Executor::advance_local`] burst before the executor
-    /// panics (guards against programs that toss forever, which would make
-    /// Phase 1 of an adversary round diverge).
+    /// reports [`RunError::DivergedLocalBurst`] (guards against programs
+    /// that toss forever, which would make Phase 1 of an adversary round
+    /// diverge).
     pub max_local_burst: u64,
     /// Whether the recorded [`Run`] keeps full events and interaction
     /// histories (`true`, the default) or only counters and verdicts
@@ -99,6 +103,17 @@ impl fmt::Debug for ProcState {
 ///
 /// Determinism: given the same algorithm, toss assignment, and sequence of
 /// scheduling decisions, the executor produces the identical [`Run`].
+///
+/// # Faults and crashes
+///
+/// Stepping calls are fallible: when a configured limit fires they return
+/// a [`RunError`] instead of panicking, and the fault is *sticky* — every
+/// later stepping call returns the same error, and
+/// [`Executor::run_outcome`] reports it. Processes can also be *crashed*
+/// ([`Executor::crash`]), the crash-stop limit case of an adversarial
+/// scheduler that delays a process forever: a crashed process takes no
+/// further steps, schedulers skip it, and a drive that ends with crashed
+/// survivors classifies as [`RunOutcome::Crashed`].
 #[derive(Debug)]
 pub struct Executor {
     n: usize,
@@ -109,6 +124,8 @@ pub struct Executor {
     config: ExecutorConfig,
     rr_cursor: usize,
     recorded_events: u64,
+    /// The first structural fault reported, if any; makes faults sticky.
+    fault: Option<RunError>,
 }
 
 impl Executor {
@@ -144,6 +161,7 @@ impl Executor {
             config,
             rr_cursor: 0,
             recorded_events: 0,
+            fault: None,
         }
     }
 
@@ -188,19 +206,86 @@ impl Executor {
         self.run.is_terminating()
     }
 
-    /// The non-terminated processes, in id order.
+    /// `true` iff `p` has been crash-stopped (see [`Executor::crash`]).
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.run.is_crashed(p)
+    }
+
+    /// `true` iff `p` can still take steps: neither terminated nor
+    /// crashed.
+    pub fn is_runnable(&self, p: ProcessId) -> bool {
+        !self.is_terminated(p) && !self.is_crashed(p)
+    }
+
+    /// `true` iff every process is settled — terminated or crashed — so no
+    /// further step is possible. With no crashes this is exactly
+    /// [`Executor::all_terminated`].
+    pub fn all_settled(&self) -> bool {
+        ProcessId::all(self.n).all(|p| !self.is_runnable(p))
+    }
+
+    /// Crash-stops `p`: it takes no further steps, schedulers skip it, and
+    /// the run classifies as [`RunOutcome::Crashed`] unless `p` had
+    /// already terminated. Returns `true` iff the crash took effect
+    /// (`false` when `p` is already terminated or already crashed).
+    ///
+    /// Crashing is the limit case of the paper's adversary — a scheduler
+    /// that delays `p` forever — so every recorded prefix remains a legal
+    /// run of the algorithm.
+    pub fn crash(&mut self, p: ProcessId) -> bool {
+        if !self.is_runnable(p) {
+            return false;
+        }
+        self.run.mark_crashed(p);
+        true
+    }
+
+    /// The structural fault reported so far, if any (sticky).
+    pub fn fault(&self) -> Option<RunError> {
+        self.fault
+    }
+
+    /// Total events recorded so far (tosses + shared ops + terminations).
+    pub fn recorded_events(&self) -> u64 {
+        self.recorded_events
+    }
+
+    /// Classifies the run as it stands: [`RunOutcome::Completed`] when
+    /// every process terminated; a sticky fault if one fired; otherwise
+    /// [`RunOutcome::Crashed`] when a crashed process blocks completion,
+    /// or [`RunOutcome::BudgetExhausted`] for a run that simply stopped
+    /// (the caller's step limit ran out or its scheduler declined) with
+    /// live processes remaining.
+    pub fn run_outcome(&self) -> RunOutcome {
+        if let Some(f) = self.fault {
+            return f.into();
+        }
+        if self.all_terminated() {
+            return RunOutcome::Completed;
+        }
+        if let Some(pid) = ProcessId::all(self.n).find(|p| self.is_crashed(*p)) {
+            return RunOutcome::Crashed { pid };
+        }
+        RunOutcome::BudgetExhausted {
+            events: self.recorded_events,
+        }
+    }
+
+    /// The runnable (non-terminated, non-crashed) processes, in id order.
     pub fn active(&self) -> Vec<ProcessId> {
         ProcessId::all(self.n)
-            .filter(|p| !self.is_terminated(*p))
+            .filter(|p| self.is_runnable(*p))
             .collect()
     }
 
     /// Feeds `feedback` to `p`'s program and resolves the resulting action,
-    /// eagerly recording termination.
+    /// eagerly recording termination. Termination events count toward the
+    /// event budget but never trip it (there are at most `n`, and each one
+    /// is progress), which keeps activation and peeking infallible.
     fn feed(&mut self, p: ProcessId, feedback: Feedback) {
         let action = self.procs[p.0].program.next(feedback);
         if let Action::Return(v) = action {
-            self.guard_events();
+            self.recorded_events += 1;
             self.run.record(RunEvent::Terminated { pid: p, value: v });
             self.procs[p.0].pending = None;
         } else {
@@ -215,13 +300,30 @@ impl Executor {
         }
     }
 
-    fn guard_events(&mut self) {
+    /// Counts one toss/shared-op event against the budget; reports (and
+    /// stickies) [`RunError::BudgetExhausted`] when the budget fires.
+    fn guard_events(&mut self) -> Result<(), RunError> {
         self.recorded_events += 1;
-        assert!(
-            self.recorded_events < self.config.max_events,
-            "executor exceeded max_events = {} (runaway simulation?)",
-            self.config.max_events
-        );
+        if self.recorded_events >= self.config.max_events {
+            let err = RunError::BudgetExhausted {
+                events: self.recorded_events,
+            };
+            self.fault = Some(err);
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Returns the sticky fault if one has fired, or an error for stepping
+    /// a crashed process — the common preamble of every stepping call.
+    fn check_steppable(&self, p: ProcessId) -> Result<(), RunError> {
+        if let Some(f) = self.fault {
+            return Err(f);
+        }
+        if self.is_crashed(p) {
+            return Err(RunError::Crashed { pid: p });
+        }
+        Ok(())
     }
 
     /// The action `p` will take on its next step, or `None` if `p` has
@@ -242,124 +344,151 @@ impl Executor {
     }
 
     /// Advances `p` by one step (toss or shared-memory operation).
-    pub fn step(&mut self, p: ProcessId) -> StepOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns the sticky fault if a limit has already fired,
+    /// [`RunError::Crashed`] if `p` was crashed, or
+    /// [`RunError::BudgetExhausted`] if this step fires the event budget.
+    pub fn step(&mut self, p: ProcessId) -> Result<StepOutcome, RunError> {
+        self.check_steppable(p)?;
         self.ensure_activated(p);
         match self.procs[p.0].pending.clone() {
-            None => StepOutcome::AlreadyTerminated,
+            None => Ok(StepOutcome::AlreadyTerminated),
             Some(Action::Toss) => {
-                let outcome = self.do_toss(p);
-                StepOutcome::Tossed(outcome)
+                let outcome = self.do_toss(p)?;
+                Ok(StepOutcome::Tossed(outcome))
             }
             Some(Action::Invoke(_)) => {
-                let (op, resp) = self.perform_shared(p);
-                StepOutcome::Performed(op, resp)
+                let (op, resp) = self.perform_shared(p)?;
+                Ok(StepOutcome::Performed(op, resp))
             }
             Some(Action::Return(_)) => unreachable!("Return never sits pending"),
         }
     }
 
-    fn do_toss(&mut self, p: ProcessId) -> u64 {
+    fn do_toss(&mut self, p: ProcessId) -> Result<u64, RunError> {
         let index = self.run.tosses(p);
         let outcome = self.toss.outcome(p, index);
-        self.guard_events();
+        self.guard_events()?;
         self.run.record(RunEvent::Toss {
             pid: p,
             index,
             outcome,
         });
         self.feed(p, Feedback::Coin(outcome));
-        outcome
+        Ok(outcome)
     }
 
     /// Phase-1 primitive: performs `p`'s coin tosses until `p` terminates
     /// or its next step is a shared-memory operation. Returns the number of
     /// tosses performed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `p` tosses more than
+    /// Returns [`RunError::DivergedLocalBurst`] if `p` tosses
     /// [`ExecutorConfig::max_local_burst`] times without reaching a
-    /// shared-memory step or termination.
-    pub fn advance_local(&mut self, p: ProcessId) -> u64 {
+    /// shared-memory step or termination, [`RunError::Crashed`] if `p` was
+    /// crashed, or [`RunError::BudgetExhausted`] if the event budget fires
+    /// mid-burst. All are sticky.
+    pub fn advance_local(&mut self, p: ProcessId) -> Result<u64, RunError> {
+        self.check_steppable(p)?;
         self.ensure_activated(p);
         let mut count = 0u64;
         while matches!(self.procs[p.0].pending, Some(Action::Toss)) {
-            assert!(
-                count < self.config.max_local_burst,
-                "{p} exceeded max_local_burst = {} coin tosses",
-                self.config.max_local_burst
-            );
-            self.do_toss(p);
+            if count >= self.config.max_local_burst {
+                let err = RunError::DivergedLocalBurst { pid: p };
+                self.fault = Some(err);
+                return Err(err);
+            }
+            self.do_toss(p)?;
             count += 1;
         }
-        count
+        Ok(count)
     }
 
     /// Performs `p`'s pending shared-memory operation and feeds the
     /// response back to `p`'s program.
     ///
+    /// # Errors
+    ///
+    /// Returns the sticky fault, [`RunError::Crashed`] for a crashed `p`,
+    /// or [`RunError::BudgetExhausted`] if this operation fires the event
+    /// budget.
+    ///
     /// # Panics
     ///
-    /// Panics if `p`'s next step is not a shared-memory operation (call
+    /// Panics if `p`'s next step is not a shared-memory operation — a
+    /// caller contract violation, not a run fault (call
     /// [`Executor::advance_local`] or check [`Executor::pending_op`]
     /// first).
-    pub fn perform_shared(&mut self, p: ProcessId) -> (Operation, Response) {
+    pub fn perform_shared(&mut self, p: ProcessId) -> Result<(Operation, Response), RunError> {
+        self.check_steppable(p)?;
         self.ensure_activated(p);
         let op = match self.procs[p.0].pending.clone() {
             Some(Action::Invoke(op)) => op,
             other => panic!("{p} has no pending shared-memory operation (pending: {other:?})"),
         };
         let resp = self.memory.apply(p, &op);
-        self.guard_events();
+        self.guard_events()?;
         self.run.record(RunEvent::SharedOp {
             pid: p,
             op: op.clone(),
             resp: resp.clone(),
         });
         self.feed(p, Feedback::Response(resp.clone()));
-        (op, resp)
+        Ok((op, resp))
     }
 
-    /// Advances the next non-terminated process (round-robin over ids) by
-    /// one step. Returns `false` when every process has terminated.
-    pub fn step_round_robin(&mut self) -> bool {
-        if self.all_terminated() {
-            return false;
+    /// Advances the next runnable process (round-robin over ids) by one
+    /// step. Returns `Ok(false)` when every process is settled
+    /// (terminated or crashed).
+    pub fn step_round_robin(&mut self) -> Result<bool, RunError> {
+        if self.all_settled() {
+            return Ok(false);
         }
         for _ in 0..self.n {
             let p = ProcessId(self.rr_cursor);
             self.rr_cursor = (self.rr_cursor + 1) % self.n;
-            if !self.is_terminated(p) {
+            if self.is_runnable(p) {
                 // The chosen process may terminate without a step (its
                 // program returns immediately on activation); that still
                 // consumes this round-robin turn.
+                self.check_steppable(p)?;
                 self.ensure_activated(p);
                 if self.procs[p.0].pending.is_some() {
-                    self.step(p);
+                    self.step(p)?;
                 }
-                return true;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 
-    /// Runs the executor under `sched` until every process terminates, the
-    /// scheduler declines to pick (returns `None`), or `max_steps` steps
-    /// have been taken. Returns the number of steps taken.
-    pub fn drive(&mut self, sched: &mut dyn Scheduler, max_steps: u64) -> u64 {
+    /// Runs the executor under `sched` until every process settles
+    /// (terminates or is crashed), the scheduler declines to pick
+    /// (returns `None`), or `max_steps` steps have been taken. Returns
+    /// the number of steps taken; crashed or terminated picks are skipped
+    /// without consuming a step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RunError`] a step reports; the fault is
+    /// sticky, and [`Executor::run_outcome`] classifies it afterwards.
+    pub fn drive(&mut self, sched: &mut dyn Scheduler, max_steps: u64) -> Result<u64, RunError> {
         let mut steps = 0;
-        while steps < max_steps && !self.all_terminated() {
+        while steps < max_steps && !self.all_settled() {
             let Some(p) = sched.next(self) else { break };
-            if self.is_terminated(p) {
+            if !self.is_runnable(p) {
                 continue;
             }
             self.ensure_activated(p);
             if self.procs[p.0].pending.is_some() {
-                self.step(p);
+                self.step(p)?;
             }
             steps += 1;
         }
-        steps
+        Ok(steps)
     }
 }
 
@@ -391,11 +520,22 @@ mod tests {
         .with_initial_memory(vec![(RegisterId(0), Value::from(0i64))])
     }
 
+    /// Each process: LL(R0) forever — floods the event budget without
+    /// ever terminating or tossing.
+    fn ll_forever() -> impl Algorithm {
+        FnAlgorithm::new("ll-forever", |_pid, _n| {
+            fn attempt() -> crate::dsl::Step {
+                ll(RegisterId(0), move |_| attempt())
+            }
+            attempt().into_program()
+        })
+    }
+
     #[test]
     fn round_robin_executes_counter_to_completion() {
         let alg = counter_like();
         let mut exec = Executor::new(&alg, 4, Arc::new(ZeroTosses), ExecutorConfig::default());
-        while exec.step_round_robin() {}
+        while exec.step_round_robin().unwrap() {}
         assert!(exec.all_terminated());
         assert_eq!(exec.memory().peek(RegisterId(0)), Value::from(4i64));
         // All four increments happened, with distinct installed values.
@@ -410,10 +550,11 @@ mod tests {
     fn drive_with_scheduler_matches_round_robin() {
         let alg = counter_like();
         let mut a = Executor::new(&alg, 3, Arc::new(ZeroTosses), ExecutorConfig::default());
-        while a.step_round_robin() {}
+        while a.step_round_robin().unwrap() {}
         let mut b = Executor::new(&alg, 3, Arc::new(ZeroTosses), ExecutorConfig::default());
-        b.drive(&mut RoundRobinScheduler::new(), 1_000_000);
+        b.drive(&mut RoundRobinScheduler::new(), 1_000_000).unwrap();
         assert!(b.all_terminated());
+        assert_eq!(b.run_outcome(), crate::RunOutcome::Completed);
         assert_eq!(a.run().events(), b.run().events());
     }
 
@@ -440,12 +581,12 @@ mod tests {
             Arc::new(crate::ConstantTosses(5)),
             ExecutorConfig::default(),
         );
-        let tosses = exec.advance_local(ProcessId(0));
+        let tosses = exec.advance_local(ProcessId(0)).unwrap();
         assert_eq!(tosses, 2);
         assert_eq!(exec.run().tosses(ProcessId(0)), 2);
         assert_eq!(exec.run().shared_steps(ProcessId(0)), 0);
         // Next step is the LL.
-        let (op, _) = exec.perform_shared(ProcessId(0));
+        let (op, _) = exec.perform_shared(ProcessId(0)).unwrap();
         assert_eq!(op, Operation::Ll(RegisterId(0)));
         assert_eq!(exec.verdict(ProcessId(0)), Some(&Value::from(10i64)));
     }
@@ -464,12 +605,14 @@ mod tests {
         let alg = FnAlgorithm::new("noop", |_pid, _n| done(Value::Unit).into_program());
         let mut exec = Executor::new(&alg, 1, Arc::new(ZeroTosses), ExecutorConfig::default());
         exec.pending_action(ProcessId(0));
-        assert_eq!(exec.step(ProcessId(0)), StepOutcome::AlreadyTerminated);
+        assert_eq!(
+            exec.step(ProcessId(0)).unwrap(),
+            StepOutcome::AlreadyTerminated
+        );
     }
 
     #[test]
-    #[should_panic(expected = "max_local_burst")]
-    fn infinite_tosser_trips_burst_guard() {
+    fn infinite_tosser_reports_diverged_local_burst() {
         struct Forever;
         impl Program for Forever {
             fn next(&mut self, _f: Feedback) -> Action {
@@ -487,7 +630,91 @@ mod tests {
                 record_details: true,
             },
         );
-        exec.advance_local(ProcessId(0));
+        let p = ProcessId(0);
+        let err = exec.advance_local(p).unwrap_err();
+        assert_eq!(err, RunError::DivergedLocalBurst { pid: p });
+        assert_eq!(exec.run().tosses(p), 100, "bursts stop at the limit");
+        // The fault is sticky and classifies the run.
+        assert_eq!(exec.fault(), Some(err));
+        assert_eq!(exec.step(p), Err(err));
+        assert_eq!(
+            exec.run_outcome(),
+            RunOutcome::DivergedLocalBurst { pid: p }
+        );
+    }
+
+    #[test]
+    fn event_flood_reports_budget_exhausted() {
+        let alg = ll_forever();
+        let mut exec = Executor::new(
+            &alg,
+            2,
+            Arc::new(ZeroTosses),
+            ExecutorConfig {
+                max_events: 50,
+                max_local_burst: 1_000,
+                record_details: true,
+            },
+        );
+        let err = exec
+            .drive(&mut RoundRobinScheduler::new(), 1_000_000)
+            .unwrap_err();
+        assert_eq!(err, RunError::BudgetExhausted { events: 50 });
+        assert_eq!(exec.recorded_events(), 50);
+        // Sticky: every stepping entry point reports the same fault.
+        assert_eq!(exec.step(ProcessId(0)), Err(err));
+        assert_eq!(exec.advance_local(ProcessId(1)), Err(err));
+        assert_eq!(
+            exec.run_outcome(),
+            RunOutcome::BudgetExhausted { events: 50 }
+        );
+    }
+
+    #[test]
+    fn termination_events_never_trip_the_budget() {
+        // Two processes terminating immediately under max_events = 1: the
+        // terminations are counted but are progress, not a fault.
+        let alg = FnAlgorithm::new("noop", |_pid, _n| done(Value::Unit).into_program());
+        let mut exec = Executor::new(
+            &alg,
+            2,
+            Arc::new(ZeroTosses),
+            ExecutorConfig {
+                max_events: 1,
+                max_local_burst: 10,
+                record_details: true,
+            },
+        );
+        exec.drive(&mut RoundRobinScheduler::new(), 10).unwrap();
+        assert!(exec.all_terminated());
+        assert_eq!(exec.recorded_events(), 2);
+        assert_eq!(exec.run_outcome(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn crashed_process_is_skipped_and_classified() {
+        let alg = counter_like();
+        let mut exec = Executor::new(&alg, 3, Arc::new(ZeroTosses), ExecutorConfig::default());
+        let victim = ProcessId(1);
+        assert!(exec.crash(victim));
+        assert!(!exec.crash(victim), "crashing twice is a no-op");
+        assert!(exec.is_crashed(victim) && !exec.is_runnable(victim));
+        assert_eq!(exec.active(), vec![ProcessId(0), ProcessId(2)]);
+        // Stepping a crashed process is a structured error, not a panic.
+        assert_eq!(exec.step(victim), Err(RunError::Crashed { pid: victim }));
+        // The survivors run to completion; the run classifies as Crashed.
+        let steps = exec
+            .drive(&mut RoundRobinScheduler::new(), 1_000_000)
+            .unwrap();
+        assert!(steps > 0);
+        assert!(exec.all_settled() && !exec.all_terminated());
+        assert_eq!(exec.run_outcome(), RunOutcome::Crashed { pid: victim });
+        assert_eq!(exec.memory().peek(RegisterId(0)), Value::from(2i64));
+        // A terminated process cannot crash.
+        assert!(!exec.crash(ProcessId(0)));
+        let run = exec.into_run();
+        assert!(run.is_crashed(victim));
+        assert_eq!(run.crashed().collect::<Vec<_>>(), vec![victim]);
     }
 
     #[test]
@@ -496,7 +723,7 @@ mod tests {
         let runs: Vec<_> = (0..2)
             .map(|_| {
                 let mut e = Executor::new(&alg, 5, Arc::new(ZeroTosses), ExecutorConfig::default());
-                while e.step_round_robin() {}
+                while e.step_round_robin().unwrap() {}
                 e.into_run()
             })
             .collect();

@@ -27,6 +27,13 @@
 //! five-phase round adversary, `UP`-set tracking, and the
 //! indistinguishability machinery on top of the primitives exposed here.
 //!
+//! Execution is fault-tolerant by construction: safety-limit trips are
+//! structured [`RunError`]s rather than panics (classified per run by
+//! [`RunOutcome`]), crash-stop faults are first-class ([`Executor::crash`],
+//! the seeded [`CrashPlan`]/[`CrashScheduler`] adversary), and the
+//! [`Sweep`] trial engine isolates per-trial panics into [`TrialFailure`]
+//! rows ([`Sweep::run_fallible`]).
+//!
 //! ## Example
 //!
 //! ```
@@ -51,7 +58,7 @@
 //!
 //! let mut exec = Executor::new(&OneShotSc, 3, std::sync::Arc::new(ZeroTosses), ExecutorConfig::default());
 //! // Run all three processes round-robin to completion.
-//! while exec.step_round_robin() {}
+//! while exec.step_round_robin().unwrap() {}
 //! // Exactly one SC succeeds.
 //! let winners = (0..3)
 //!     .filter(|&i| exec.verdict(ProcessId(i)) == Some(&Value::from(true)))
@@ -64,10 +71,12 @@
 #![warn(missing_debug_implementations)]
 
 mod coin;
+mod crash;
 mod executor;
 mod ids;
 mod memory;
 mod op;
+mod outcome;
 mod process;
 mod register;
 mod run;
@@ -79,10 +88,12 @@ pub mod rng;
 pub mod sweep;
 
 pub use coin::{ConstantTosses, MapTosses, SeededTosses, TossAssignment, ZeroTosses};
+pub use crash::{CrashPlan, CrashScheduler};
 pub use executor::{Executor, ExecutorConfig, StepOutcome};
 pub use ids::{ProcessId, RegisterId};
 pub use memory::{MemoryStats, SharedMemory};
 pub use op::{OpKind, Operation, Response};
+pub use outcome::{RunError, RunOutcome};
 pub use process::{Action, Algorithm, Feedback, FnAlgorithm, Program};
 pub use register::RegisterState;
 pub use run::{Interaction, OpCounters, Run, RunEvent};
@@ -90,5 +101,5 @@ pub use scheduler::{
     ListScheduler, PartitionScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
     SequentialScheduler,
 };
-pub use sweep::{Sweep, Trial};
+pub use sweep::{Sweep, Trial, TrialFailure};
 pub use value::Value;

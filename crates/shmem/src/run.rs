@@ -107,6 +107,9 @@ pub struct Run {
     shared_steps: Vec<u64>,
     tosses: Vec<u64>,
     verdicts: Vec<Option<Value>>,
+    /// Crash-stop flags (see [`Run::mark_crashed`]); a crashed process
+    /// takes no further events.
+    crashed: Vec<bool>,
 }
 
 /// A cheap structured summary of a run: per-process operation and toss
@@ -197,6 +200,7 @@ impl Run {
             shared_steps: vec![0; n],
             tosses: vec![0; n],
             verdicts: vec![None; n],
+            crashed: vec![false; n],
         }
     }
 
@@ -220,6 +224,7 @@ impl Run {
         let pid = ev.pid();
         assert!(pid.0 < self.n, "event for out-of-range {pid}");
         assert!(self.verdicts[pid.0].is_none(), "event for terminated {pid}");
+        assert!(!self.crashed[pid.0], "event for crashed {pid}");
         match &ev {
             RunEvent::Toss { outcome, .. } => {
                 self.tosses[pid.0] += 1;
@@ -300,6 +305,34 @@ impl Run {
             .iter()
             .enumerate()
             .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| ProcessId(i))
+    }
+
+    /// Marks `p` as crash-stopped: it takes no further events. Crashing is
+    /// the limit case of an adversarial scheduler that delays `p` forever
+    /// — the recorded prefix stays a legal run of the algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or has already terminated (a
+    /// terminated process cannot crash).
+    pub fn mark_crashed(&mut self, p: ProcessId) {
+        assert!(p.0 < self.n, "crash for out-of-range {p}");
+        assert!(self.verdicts[p.0].is_none(), "crash for terminated {p}");
+        self.crashed[p.0] = true;
+    }
+
+    /// `true` iff `p` has been crash-stopped.
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.crashed[p.0]
+    }
+
+    /// The processes crashed so far, in id order.
+    pub fn crashed(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.crashed
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c)
             .map(|(i, _)| ProcessId(i))
     }
 

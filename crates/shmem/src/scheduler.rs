@@ -16,12 +16,15 @@ use crate::{Executor, ProcessId};
 pub trait Scheduler {
     /// Returns the process to step next, or `None` to stop the execution.
     ///
-    /// Returning a terminated process is allowed (the executor skips it),
-    /// which keeps simple schedulers simple.
+    /// Returning a terminated or crashed process is allowed (the executor
+    /// skips it), which keeps simple schedulers simple; the built-in
+    /// schedulers nevertheless skip non-runnable processes themselves so
+    /// that a drive over a partially-crashed system still ends.
     fn next(&mut self, exec: &Executor) -> Option<ProcessId>;
 }
 
-/// Cycles through processes in id order, skipping terminated ones.
+/// Cycles through processes in id order, skipping terminated and crashed
+/// ones.
 ///
 /// Under round-robin, contending LL/SC loops interleave maximally — the
 /// classic "synchronous" schedule used by the upper-bound measurements.
@@ -46,7 +49,7 @@ impl Scheduler for RoundRobinScheduler {
         for _ in 0..n {
             let p = ProcessId(self.cursor);
             self.cursor = (self.cursor + 1) % n;
-            if !exec.is_terminated(p) {
+            if exec.is_runnable(p) {
                 return Some(p);
             }
         }
@@ -69,7 +72,7 @@ impl SequentialScheduler {
 
 impl Scheduler for SequentialScheduler {
     fn next(&mut self, exec: &Executor) -> Option<ProcessId> {
-        ProcessId::all(exec.n()).find(|p| !exec.is_terminated(*p))
+        ProcessId::all(exec.n()).find(|p| exec.is_runnable(*p))
     }
 }
 
@@ -126,7 +129,7 @@ impl Scheduler for PartitionScheduler {
         for _ in 0..k {
             let p = self.subset[self.cursor % k.max(1)];
             self.cursor = (self.cursor + 1) % k.max(1);
-            if !exec.is_terminated(p) {
+            if exec.is_runnable(p) {
                 return Some(p);
             }
         }
@@ -134,7 +137,7 @@ impl Scheduler for PartitionScheduler {
     }
 }
 
-/// Picks uniformly among non-terminated processes using a seeded SplitMix64
+/// Picks uniformly among runnable (non-terminated, non-crashed) processes using a seeded SplitMix64
 /// stream; fully deterministic per seed.
 #[derive(Clone, Copy, Debug)]
 pub struct RandomScheduler {
@@ -197,7 +200,7 @@ mod tests {
     fn round_robin_interleaves() {
         let mut e = exec(2);
         let mut s = RoundRobinScheduler::new();
-        e.drive(&mut s, 100);
+        e.drive(&mut s, 100).unwrap();
         assert!(e.all_terminated());
         let pids: Vec<_> = e.run().events().iter().map(|ev| ev.pid().0).collect();
         // p0, p1 alternate: op, op, op, op, then terminations interleaved.
@@ -209,7 +212,7 @@ mod tests {
     fn sequential_runs_one_process_at_a_time() {
         let mut e = exec(2);
         let mut s = SequentialScheduler::new();
-        e.drive(&mut s, 100);
+        e.drive(&mut s, 100).unwrap();
         assert!(e.all_terminated());
         let pids: Vec<_> = e
             .run()
@@ -225,7 +228,7 @@ mod tests {
     fn list_scheduler_follows_exact_order() {
         let mut e = exec(2);
         let mut s = ListScheduler::new([ProcessId(1), ProcessId(0), ProcessId(1), ProcessId(0)]);
-        e.drive(&mut s, 100);
+        e.drive(&mut s, 100).unwrap();
         assert!(e.all_terminated());
         let pids: Vec<_> = e
             .run()
@@ -241,7 +244,7 @@ mod tests {
     fn list_scheduler_stops_when_exhausted() {
         let mut e = exec(2);
         let mut s = ListScheduler::new([ProcessId(0)]);
-        let steps = e.drive(&mut s, 100);
+        let steps = e.drive(&mut s, 100).unwrap();
         assert_eq!(steps, 1);
         assert!(!e.all_terminated());
     }
@@ -250,7 +253,7 @@ mod tests {
     fn partition_scheduler_never_runs_outsiders() {
         let mut e = exec(4);
         let mut s = PartitionScheduler::new([ProcessId(1), ProcessId(3)]);
-        e.drive(&mut s, 1000);
+        e.drive(&mut s, 1000).unwrap();
         for p in [ProcessId(0), ProcessId(2)] {
             assert_eq!(e.run().shared_steps(p), 0, "{p}");
             assert!(!e.is_terminated(p));
@@ -264,7 +267,7 @@ mod tests {
     fn partition_scheduler_stops_when_subset_done() {
         let mut e = exec(3);
         let mut s = PartitionScheduler::new([ProcessId(0)]);
-        let steps = e.drive(&mut s, 1000);
+        let steps = e.drive(&mut s, 1000).unwrap();
         // p0: two LLs + termination bookkeeping; then the scheduler
         // declines.
         assert!(steps <= 4);
@@ -278,7 +281,7 @@ mod tests {
             .map(|_| {
                 let mut e = exec(4);
                 let mut s = RandomScheduler::new(7);
-                e.drive(&mut s, 1000);
+                e.drive(&mut s, 1000).unwrap();
                 e.into_run().events().to_vec()
             })
             .collect();
@@ -289,14 +292,37 @@ mod tests {
     fn random_scheduler_completes_everything() {
         let mut e = exec(4);
         let mut s = RandomScheduler::new(3);
-        e.drive(&mut s, 10_000);
+        e.drive(&mut s, 10_000).unwrap();
         assert!(e.all_terminated());
+    }
+
+    #[test]
+    fn schedulers_skip_crashed_processes() {
+        // Round-robin over {p0 crashed, p1, p2}: p1 and p2 finish, the
+        // drive ends cleanly, and the run classifies as Crashed.
+        let mut e = exec(3);
+        e.crash(ProcessId(0));
+        let mut s = RoundRobinScheduler::new();
+        e.drive(&mut s, 1000).unwrap();
+        assert!(e.all_settled() && !e.all_terminated());
+        assert_eq!(e.run().shared_steps(ProcessId(0)), 0);
+        assert!(e.is_terminated(ProcessId(1)) && e.is_terminated(ProcessId(2)));
+        assert_eq!(
+            e.run_outcome(),
+            crate::RunOutcome::Crashed { pid: ProcessId(0) }
+        );
+
+        // Sequential over an all-crashed system declines immediately.
+        let mut e = exec(2);
+        e.crash(ProcessId(0));
+        e.crash(ProcessId(1));
+        assert_eq!(e.drive(&mut SequentialScheduler::new(), 10).unwrap(), 0);
     }
 
     #[test]
     fn round_robin_on_empty_system_stops() {
         let mut e = exec(0);
         let mut s = RoundRobinScheduler::new();
-        assert_eq!(e.drive(&mut s, 10), 0);
+        assert_eq!(e.drive(&mut s, 10).unwrap(), 0);
     }
 }

@@ -27,8 +27,10 @@
 //! ```
 
 use crate::rng::trial_seed;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// One unit of work within a sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +40,41 @@ pub struct Trial {
     /// The trial's private seed, derived from `(sweep seed, index)` by
     /// [`trial_seed`]. Identical across thread counts and run orders.
     pub seed: u64,
+}
+
+/// A trial that panicked inside [`Sweep::run_fallible`]: the identifying
+/// `(index, seed)` pair plus the stringified panic payload, so a failure
+/// row in a JSON artifact is enough to replay the one bad trial.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// The failing trial's position in the sweep.
+    pub index: usize,
+    /// The failing trial's derived seed.
+    pub seed: u64,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim;
+    /// anything else is labelled opaque).
+    pub payload: String,
+}
+
+impl fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trial {} (seed {:#018x}) panicked: {}",
+            self.index, self.seed, self.payload
+        )
+    }
+}
+
+/// Stringifies a panic payload (the `Box<dyn Any>` from `catch_unwind`).
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// A batch of independent deterministic trials: thread count + sweep seed.
@@ -85,9 +122,37 @@ impl Sweep {
     ///
     /// # Panics
     ///
-    /// Propagates the first panic raised by any trial (worker panics are
-    /// joined by `std::thread::scope`).
+    /// Re-raises the first (lowest-index) panic any trial recorded — but
+    /// only after every other trial has run to completion, via
+    /// [`Sweep::run_fallible`]: one diverging seed no longer takes the
+    /// rest of the sweep down with it.
     pub fn run<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(Trial, &I) -> T + Sync,
+    {
+        self.run_fallible(items, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(out) => out,
+                Err(failure) => panic!("{failure}"),
+            })
+            .collect()
+    }
+
+    /// Runs `f` once per item, isolating panics: the result vector is in
+    /// item order, with each panicking trial recorded as a
+    /// [`TrialFailure`] (index, seed, stringified payload) while every
+    /// other trial still completes and returns `Ok`.
+    ///
+    /// Each trial closure runs under [`std::panic::catch_unwind`], and
+    /// results are merged through per-slot locks with poison recovery, so
+    /// neither the unwind nor the merge can cascade one bad seed into the
+    /// loss of the whole sweep. As with [`Sweep::run`], `f` must be a pure
+    /// function of `(trial, item)`; that purity is also what makes it
+    /// unwind-safe to retry or record.
+    pub fn run_fallible<I, T, F>(&self, items: &[I], f: F) -> Vec<Result<T, TrialFailure>>
     where
         I: Sync,
         T: Send,
@@ -98,31 +163,57 @@ impl Sweep {
             index,
             seed: trial_seed(self.seed, index),
         };
+        let guarded = |t: Trial, item: &I| -> Result<T, TrialFailure> {
+            catch_unwind(AssertUnwindSafe(|| f(t, item))).map_err(|payload| TrialFailure {
+                index: t.index,
+                seed: t.seed,
+                payload: payload_string(payload),
+            })
+        };
         if threads <= 1 {
             return items
                 .iter()
                 .enumerate()
-                .map(|(i, item)| f(trial(i), item))
+                .map(|(i, item)| guarded(trial(i), item))
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<T>>> = Mutex::new(items.iter().map(|_| None).collect());
+        // One slot per trial, so a worker's lock scope covers exactly its
+        // own slot: the old single-Mutex merge let any panicking trial
+        // poison the shared vector and cascade into every other trial's
+        // result. Results are computed before locking, and the merge
+        // recovers from a poisoned slot regardless.
+        let slots: Vec<Mutex<Option<Result<T, TrialFailure>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
-                    let out = f(trial(i), item);
-                    slots.lock().unwrap()[i] = Some(out);
+                    let out = guarded(trial(i), item);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                 });
             }
         });
         slots
-            .into_inner()
-            .unwrap()
             .into_iter()
-            .map(|slot| slot.expect("every trial index was claimed exactly once"))
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every trial index was claimed exactly once")
+            })
             .collect()
+    }
+
+    /// The fallible counterpart of [`Sweep::run_indexed`]: runs `f` once
+    /// per index in `0..count` with panic isolation.
+    pub fn run_indexed_fallible<T, F>(&self, count: usize, f: F) -> Vec<Result<T, TrialFailure>>
+    where
+        T: Send,
+        F: Fn(Trial) -> T + Sync,
+    {
+        let indices: Vec<usize> = (0..count).collect();
+        self.run_fallible(&indices, |t, _| f(t))
     }
 
     /// Runs `f` once per index in `0..count` (a sweep whose items are just
@@ -194,6 +285,86 @@ mod tests {
         let items = vec![1u64, 2];
         let out = Sweep::with_threads(64).run(&items, |_, &x| x + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn panicking_trial_leaves_other_results_intact() {
+        // Trial 3 panics; with the old single-Mutex merge the poisoned
+        // lock cascaded into losing the whole multi-thread sweep. Now the
+        // other 16 trials' results all survive, and the failure row
+        // carries the trial's identity and payload.
+        let items: Vec<usize> = (0..17).collect();
+        for threads in [1, 4] {
+            let out = Sweep::with_threads(threads).run_fallible(&items, |t, &x| {
+                if x == 3 {
+                    panic!("deliberate failure in trial {}", t.index);
+                }
+                x * 10
+            });
+            assert_eq!(out.len(), 17);
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    let f = r.as_ref().unwrap_err();
+                    assert_eq!(f.index, 3);
+                    assert_eq!(f.seed, crate::rng::trial_seed(0, 3));
+                    assert!(f.payload.contains("deliberate failure in trial 3"));
+                    assert!(f.to_string().contains("trial 3"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_fallible_is_thread_invariant() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |t: Trial, x: &u64| {
+            if x % 7 == 0 {
+                panic!("bad seed {:#x}", t.seed);
+            }
+            t.seed ^ x
+        };
+        let base = Sweep::sequential().run_fallible(&items, f);
+        for threads in [2, 8] {
+            assert_eq!(Sweep::with_threads(threads).run_fallible(&items, f), base);
+        }
+    }
+
+    #[test]
+    fn run_repanics_with_the_first_failure_after_completion() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..10).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Sweep::with_threads(2).run(&items, |_, &x| {
+                if x == 5 {
+                    panic!("boom");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        let err = result.unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("re-panic carries the formatted TrialFailure");
+        assert!(msg.contains("trial 5"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            9,
+            "all other trials completed before the re-panic"
+        );
+    }
+
+    #[test]
+    fn run_indexed_fallible_matches_indexed() {
+        let ok = Sweep::with_threads(3).run_indexed_fallible(5, |t| t.index * 2);
+        assert_eq!(
+            ok.into_iter().collect::<Result<Vec<_>, _>>().unwrap(),
+            vec![0, 2, 4, 6, 8]
+        );
     }
 
     #[test]

@@ -116,7 +116,8 @@ fn replay_response(spec: &dyn ObjectSpec, log: &Value, p: ProcessId) -> Value {
 /// let spec = Arc::new(FetchIncrement::new(16));
 /// let imp = AdtTreeUniversal::new(spec.clone());
 /// let ops = vec![FetchIncrement::op(); 8];
-/// let r = measure(&imp, spec.as_ref(), 8, &ops, ScheduleKind::Adversary, &MeasureConfig::default());
+/// let r = measure(&imp, spec.as_ref(), 8, &ops, ScheduleKind::Adversary, &MeasureConfig::default())
+///     .expect("the adversary run completes within the default budgets");
 /// assert!(r.linearizable);
 /// ```
 pub struct AdtTreeUniversal {
@@ -240,6 +241,7 @@ mod tests {
             kind,
             &MeasureConfig::default(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -289,7 +291,7 @@ mod tests {
             let spec = Arc::new(FetchIncrement::new(32));
             let imp = AdtTreeUniversal::new(spec.clone());
             let ops = vec![FetchIncrement::op(); n];
-            let r = measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg);
+            let r = measure(&imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg).unwrap();
             let log2 = (n as f64).log2();
             assert!(
                 (r.max_ops as f64) <= 4.0 * log2 + 6.0,
@@ -312,7 +314,8 @@ mod tests {
             &ops,
             ScheduleKind::Adversary,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         let herlihy = measure(
             &crate::HerlihyUniversal::new(spec.clone()),
             spec.as_ref(),
@@ -320,7 +323,8 @@ mod tests {
             &ops,
             ScheduleKind::Adversary,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(
             adt.max_ops < herlihy.max_ops && adt.max_ops < naive.max_ops,
             "adt={} herlihy={} naive={}",
@@ -342,7 +346,8 @@ mod tests {
             &ops,
             ScheduleKind::Adversary,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(r.linearizable);
         let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
         got.sort_unstable();
@@ -358,7 +363,8 @@ mod tests {
             &ops,
             ScheduleKind::RandomInterleave { seed: 4 },
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(r.linearizable);
     }
 

@@ -45,25 +45,34 @@ fn entry(p: ProcessId, op: &Value) -> Value {
 }
 
 fn entry_pid(e: &Value) -> ProcessId {
-    e.index(0).and_then(Value::as_pid).expect("entry pid")
+    e.index(0)
+        .and_then(Value::as_pid)
+        .expect("a batch entry is (Pid, op); slot 0 must be the contributing process id")
 }
 
 fn entry_op(e: &Value) -> &Value {
-    e.index(1).expect("entry op")
+    e.index(1)
+        .expect("a batch entry is (Pid, op); slot 1 must be the contributed operation")
 }
 
 fn contains(batch: &Value, p: ProcessId) -> bool {
     batch
         .as_tuple()
-        .expect("batch tuple")
+        .expect("a combining-tree batch register always holds a tuple of entries")
         .iter()
         .any(|e| entry_pid(e) == p)
 }
 
 /// Union of two batches, deduplicated by process id, sorted by process id.
 fn union(a: &Value, b: &Value) -> Value {
-    let mut entries: Vec<Value> = a.as_tuple().expect("batch").to_vec();
-    for e in b.as_tuple().expect("batch") {
+    let mut entries: Vec<Value> = a
+        .as_tuple()
+        .expect("union: left batch must be a tuple of entries")
+        .to_vec();
+    for e in b
+        .as_tuple()
+        .expect("union: right batch must be a tuple of entries")
+    {
         if !entries.iter().any(|x| entry_pid(x) == entry_pid(e)) {
             entries.push(e.clone());
         }
@@ -75,10 +84,13 @@ fn union(a: &Value, b: &Value) -> Value {
 /// Appends to `log` every entry of `batch` not already present, in
 /// ascending pid order (the existing prefix is preserved).
 fn extend_log(log: &Value, batch: &Value) -> Value {
-    let mut entries = log.as_tuple().expect("log").to_vec();
+    let mut entries = log
+        .as_tuple()
+        .expect("the root log register always holds a tuple of entries")
+        .to_vec();
     let mut fresh: Vec<Value> = batch
         .as_tuple()
-        .expect("batch")
+        .expect("extend_log: the appended batch must be a tuple of entries")
         .iter()
         .filter(|e| !contains(log, entry_pid(e)))
         .cloned()
@@ -89,17 +101,22 @@ fn extend_log(log: &Value, batch: &Value) -> Value {
 }
 
 fn replay_response(spec: &dyn ObjectSpec, log: &Value, p: ProcessId) -> Value {
-    let entries = log.as_tuple().expect("log");
+    let entries = log
+        .as_tuple()
+        .expect("the root log register always holds a tuple of entries");
     let upto = entries
         .iter()
         .position(|e| entry_pid(e) == p)
-        .expect("p's entry is in the log");
+        .expect("replay_response is only called after p's entry reached the root log");
     let ops: Vec<Value> = entries[..=upto]
         .iter()
         .map(|e| entry_op(e).clone())
         .collect();
     let (_, resps) = apply_all(spec, &ops);
-    resps.into_iter().next_back().expect("non-empty prefix")
+    resps
+        .into_iter()
+        .next_back()
+        .expect("the replayed prefix ends at p's own entry, so it is non-empty")
 }
 
 /// The lock-free LL/SC combining tree (oblivious, single-use, wait-free
@@ -115,7 +132,8 @@ fn replay_response(spec: &dyn ObjectSpec, log: &Value, p: ProcessId) -> Value {
 /// let spec = Arc::new(FetchIncrement::new(16));
 /// let imp = CombiningTreeUniversal::new(spec.clone());
 /// let ops = vec![FetchIncrement::op(); 8];
-/// let r = measure(&imp, spec.as_ref(), 8, &ops, ScheduleKind::RoundRobin, &MeasureConfig::default());
+/// let r = measure(&imp, spec.as_ref(), 8, &ops, ScheduleKind::RoundRobin, &MeasureConfig::default())
+///     .expect("the round-robin run completes within the default budgets");
 /// assert!(r.linearizable);
 /// ```
 pub struct CombiningTreeUniversal {
@@ -243,6 +261,7 @@ mod tests {
             kind,
             &MeasureConfig::default(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -349,7 +368,8 @@ mod tests {
             &ops,
             ScheduleKind::Adversary,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(r.linearizable);
         let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
         got.sort_unstable();
@@ -365,7 +385,8 @@ mod tests {
             &ops,
             ScheduleKind::RandomInterleave { seed: 2 },
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(r.linearizable);
     }
 }

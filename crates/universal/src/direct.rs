@@ -39,7 +39,8 @@ const STATE_REG: RegisterId = RegisterId(0);
 /// let spec = Arc::new(FetchIncrement::new(16));
 /// let imp = DirectLlSc::new(spec.clone());
 /// let ops = vec![FetchIncrement::op(); 4];
-/// let result = measure(&imp, spec.as_ref(), 4, &ops, ScheduleKind::Sequential, &MeasureConfig::default());
+/// let result = measure(&imp, spec.as_ref(), 4, &ops, ScheduleKind::Sequential, &MeasureConfig::default())
+///     .expect("solo runs complete within the default budgets");
 /// assert!(result.linearizable);
 /// // Contention-free: exactly 2 shared ops (LL + SC) per operation.
 /// assert_eq!(result.max_ops, 2);
@@ -120,7 +121,8 @@ mod tests {
                 &ops,
                 ScheduleKind::Sequential,
                 &MeasureConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(r.linearizable, "n={n}");
             assert_eq!(r.max_ops, 2, "n={n}: solo cost is LL+SC");
         }
@@ -140,7 +142,8 @@ mod tests {
                 &ops,
                 ScheduleKind::Adversary,
                 &MeasureConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(r.linearizable, "n={n}");
             // Under the round adversary every round exactly one SC wins, so
             // the last process performs Θ(n) operations.
@@ -162,7 +165,8 @@ mod tests {
             &ops,
             ScheduleKind::Adversary,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(r.linearizable);
 
         let st = Arc::new(Stack::with_numbered_items(5));
@@ -175,7 +179,8 @@ mod tests {
             &ops,
             ScheduleKind::RandomInterleave { seed: 3 },
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(r.linearizable);
     }
 
@@ -205,7 +210,7 @@ mod tests {
             std::sync::Arc::new(ZeroTosses),
             ExecutorConfig::default(),
         );
-        while e.step_round_robin() {}
+        while e.step_round_robin().unwrap() {}
         // The last reader sees 3.
         let max = llsc_shmem::ProcessId::all(3)
             .map(|p| e.verdict(p).unwrap().as_int().unwrap())

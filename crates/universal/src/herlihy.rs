@@ -88,7 +88,8 @@ fn replay_response(spec: &dyn ObjectSpec, log: &Value, p: ProcessId) -> Value {
 /// let spec = Arc::new(FetchIncrement::new(16));
 /// let imp = HerlihyUniversal::new(spec.clone());
 /// let ops = vec![FetchIncrement::op(); 4];
-/// let r = measure(&imp, spec.as_ref(), 4, &ops, ScheduleKind::Adversary, &MeasureConfig::default());
+/// let r = measure(&imp, spec.as_ref(), 4, &ops, ScheduleKind::Adversary, &MeasureConfig::default())
+///     .expect("the adversary run completes within the default budgets");
 /// assert!(r.linearizable);
 /// ```
 pub struct HerlihyUniversal {
@@ -200,6 +201,7 @@ mod tests {
             kind,
             &MeasureConfig::default(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -260,7 +262,8 @@ mod tests {
             &ops,
             ScheduleKind::RoundRobin,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(r.linearizable);
         let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
         got.sort_unstable();

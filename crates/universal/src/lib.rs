@@ -41,9 +41,9 @@
 //! let cfg = MeasureConfig::default();
 //!
 //! let tree = measure(&AdtTreeUniversal::new(spec.clone()), spec.as_ref(), n, &ops,
-//!                    ScheduleKind::Adversary, &cfg);
+//!                    ScheduleKind::Adversary, &cfg).expect("run completes");
 //! let flat = measure(&HerlihyUniversal::new(spec.clone()), spec.as_ref(), n, &ops,
-//!                    ScheduleKind::Adversary, &cfg);
+//!                    ScheduleKind::Adversary, &cfg).expect("run completes");
 //! assert!(tree.linearizable && flat.linearizable);
 //! assert!(tree.max_ops < flat.max_ops, "log n beats n");
 //! ```

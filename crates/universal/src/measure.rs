@@ -13,7 +13,8 @@ use llsc_objects::{is_linearizable, History, ObjectSpec};
 use llsc_shmem::dsl::done;
 use llsc_shmem::{
     Algorithm, Executor, ExecutorConfig, ProcessId, Program, RandomScheduler, RegisterId,
-    RoundRobinScheduler, Run, RunEvent, Scheduler, SequentialScheduler, Value, ZeroTosses,
+    RoundRobinScheduler, Run, RunError, RunEvent, Scheduler, SequentialScheduler, Value,
+    ZeroTosses,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -157,11 +158,18 @@ fn history_of(run: &Run, ops: &[Value]) -> History {
 /// Runs `imp` with `n` processes, process `p` applying `ops[p]`, under the
 /// given schedule, and measures shared-access costs.
 ///
+/// # Errors
+///
+/// Returns the structured [`RunError`] when the run fails to complete
+/// within the configured limits: `BudgetExhausted` when the step, round,
+/// or event budget ran out, `DivergedLocalBurst` when a process spun
+/// locally without bound.
+///
 /// # Panics
 ///
-/// Panics if `ops.len() != n`, if the run fails to complete within the
-/// configured limits, or if linearizability checking is enabled and the
-/// history is too large for the checker.
+/// Panics if `ops.len() != n` (a caller bug, not a run outcome), or if
+/// linearizability checking is enabled and the history is too large for
+/// the checker.
 pub fn measure(
     imp: &dyn ObjectImplementation,
     spec: &dyn ObjectSpec,
@@ -169,7 +177,7 @@ pub fn measure(
     ops: &[Value],
     kind: ScheduleKind,
     cfg: &MeasureConfig,
-) -> MeasureResult {
+) -> Result<MeasureResult, RunError> {
     assert_eq!(ops.len(), n, "one operation per process");
     let alg = ImplAlgorithm { imp, ops };
 
@@ -187,13 +195,11 @@ pub fn measure(
             } else {
                 cfg.adversary
             };
-            let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &adv_cfg);
-            assert!(
-                all.base.completed,
-                "{}: adversary run did not complete within {} rounds",
-                imp.name(),
-                adv_cfg.max_rounds
-            );
+            let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &adv_cfg)?;
+            // Hitting max_rounds leaves the executor fault-free, so the
+            // outcome classifies it as BudgetExhausted — exactly what the
+            // caller should see for "did not complete within the limits".
+            all.base.outcome.into_result()?;
             all.base.run
         }
         other => {
@@ -208,13 +214,8 @@ pub fn measure(
                 ScheduleKind::RandomInterleave { seed } => Box::new(RandomScheduler::new(seed)),
                 ScheduleKind::Adversary => unreachable!(),
             };
-            exec.drive(sched.as_mut(), cfg.max_steps);
-            assert!(
-                exec.all_terminated(),
-                "{}: run did not complete within {} steps",
-                imp.name(),
-                cfg.max_steps
-            );
+            exec.drive(sched.as_mut(), cfg.max_steps)?;
+            exec.run_outcome().into_result()?;
             exec.into_run()
         }
     };
@@ -236,7 +237,7 @@ pub fn measure(
         (true, false)
     };
 
-    MeasureResult {
+    Ok(MeasureResult {
         implementation: imp.name(),
         n,
         per_process_ops,
@@ -251,7 +252,7 @@ pub fn measure(
         linearizable,
         lin_checked,
         history,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -277,7 +278,8 @@ mod tests {
             &ops,
             ScheduleKind::RoundRobin,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(r.per_process_ops.len(), 4);
         assert_eq!(r.total_ops, r.per_process_ops.iter().sum::<u64>());
         assert_eq!(r.max_ops, *r.per_process_ops.iter().max().unwrap());
@@ -295,7 +297,8 @@ mod tests {
             &ops,
             ScheduleKind::Sequential,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         // Sequential: p0 sees 0, p1 sees 1, p2 sees 2.
         let got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
         assert_eq!(got, vec![0, 1, 2]);
@@ -311,7 +314,8 @@ mod tests {
             &ops,
             ScheduleKind::Sequential,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(r.history.is_complete());
         assert_eq!(r.history.len(), 2);
         // Sequential runs produce a sequential history: op 0 precedes op 1.
@@ -326,7 +330,7 @@ mod tests {
             check_linearizability: false,
             ..MeasureConfig::default()
         };
-        let r = measure(&imp, spec.as_ref(), 2, &ops, ScheduleKind::Sequential, &cfg);
+        let r = measure(&imp, spec.as_ref(), 2, &ops, ScheduleKind::Sequential, &cfg).unwrap();
         assert!(r.linearizable && !r.lin_checked);
         assert!(r.to_string().contains("(unchecked)"));
     }
@@ -342,7 +346,8 @@ mod tests {
             &ops,
             ScheduleKind::Sequential,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
     }
 
     #[test]
@@ -355,7 +360,8 @@ mod tests {
             &ops,
             ScheduleKind::RandomInterleave { seed: 8 },
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         let b = measure(
             &imp,
             spec.as_ref(),
@@ -363,7 +369,8 @@ mod tests {
             &ops,
             ScheduleKind::RandomInterleave { seed: 8 },
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(a.per_process_ops, b.per_process_ops);
         assert_eq!(a.responses, b.responses);
     }

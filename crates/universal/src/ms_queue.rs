@@ -66,7 +66,7 @@ fn node_next(v: &Value) -> &Value {
 ///     Queue::dequeue_op(),
 /// ];
 /// let r = measure(&imp, spec.as_ref(), 3, &ops, ScheduleKind::RandomInterleave { seed: 1 },
-///                 &MeasureConfig::default());
+///                 &MeasureConfig::default()).expect("run completes");
 /// assert!(r.linearizable);
 /// ```
 pub struct MsQueue {
@@ -231,6 +231,7 @@ mod tests {
             kind,
             &MeasureConfig::default(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -290,7 +291,8 @@ mod tests {
             &ops,
             ScheduleKind::Sequential,
             &MeasureConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(r.max_ops <= 5, "{} ops", r.max_ops);
     }
 
@@ -313,7 +315,8 @@ mod tests {
             &ops,
             ScheduleKind::RoundRobin,
             1_000_000,
-        );
+        )
+        .unwrap();
         // Queue is not a counting object; the generic consistency flag is
         // reported true (unchecked); assert the run completed with sane
         // amortised cost instead.

@@ -20,7 +20,7 @@ use llsc_objects::{apply_all, ObjectSpec};
 use llsc_shmem::dsl::{done, Step};
 use llsc_shmem::{
     Algorithm, Executor, ExecutorConfig, ProcessId, Program, RandomScheduler, RegisterId,
-    RoundRobinScheduler, Run, Scheduler, SequentialScheduler, Value, ZeroTosses,
+    RoundRobinScheduler, Run, RunError, Scheduler, SequentialScheduler, Value, ZeroTosses,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -115,10 +115,15 @@ impl Algorithm for ArcAlgorithm {
 /// `imp` is taken by `Arc` so per-process programs can chain invocations
 /// with `'static` continuations.
 ///
+/// # Errors
+///
+/// Returns the structured [`RunError`] when the run does not complete
+/// within `max_steps` (or the executor's event budget).
+///
 /// # Panics
 ///
-/// Panics if `imp` is single-use, `ops.len() != n`, or the run does not
-/// complete within `max_steps`.
+/// Panics if `imp` is single-use or `ops.len() != n` — caller bugs, not
+/// run outcomes.
 ///
 /// # Examples
 ///
@@ -130,7 +135,8 @@ impl Algorithm for ArcAlgorithm {
 /// let spec = Arc::new(FetchIncrement::new(32));
 /// let imp: Arc<dyn ObjectImplementation> = Arc::new(DirectLlSc::new(spec.clone()));
 /// let ops = vec![vec![FetchIncrement::op(); 8]; 4];
-/// let r = measure_multi_use(imp, spec.as_ref(), 4, &ops, ScheduleKind::Sequential, 1_000_000);
+/// let r = measure_multi_use(imp, spec.as_ref(), 4, &ops, ScheduleKind::Sequential, 1_000_000)
+///     .expect("solo runs complete well within the step budget");
 /// assert!(r.responses_consistent);
 /// assert_eq!(r.max_amortised, 2.0); // LL + SC per operation, solo
 /// ```
@@ -141,7 +147,7 @@ pub fn measure_multi_use(
     ops: &[Vec<Value>],
     kind: ScheduleKind,
     max_steps: u64,
-) -> MultiUseResult {
+) -> Result<MultiUseResult, RunError> {
     assert!(imp.is_multi_use(), "{} is single-use", imp.name());
     assert_eq!(ops.len(), n, "one operation sequence per process");
 
@@ -152,8 +158,8 @@ pub fn measure_multi_use(
     let run = match kind {
         ScheduleKind::Adversary => {
             let cfg = llsc_core::AdversaryConfig::lightweight();
-            let all = llsc_core::build_all_run(&alg, n, Arc::new(ZeroTosses), &cfg);
-            assert!(all.base.completed, "adversary run did not complete");
+            let all = llsc_core::build_all_run(&alg, n, Arc::new(ZeroTosses), &cfg)?;
+            all.base.outcome.into_result()?;
             all.base.run
         }
         other => {
@@ -164,8 +170,8 @@ pub fn measure_multi_use(
                 ScheduleKind::RandomInterleave { seed } => Box::new(RandomScheduler::new(seed)),
                 ScheduleKind::Adversary => unreachable!(),
             };
-            exec.drive(sched.as_mut(), max_steps);
-            assert!(exec.all_terminated(), "run did not complete");
+            exec.drive(sched.as_mut(), max_steps)?;
+            exec.run_outcome().into_result()?;
             exec.into_run()
         }
     };
@@ -178,7 +184,7 @@ pub fn measure_multi_use(
         .collect();
     let responses_consistent = check_counting_consistency(spec, &run, ops, n);
 
-    MultiUseResult {
+    Ok(MultiUseResult {
         implementation: imp.name(),
         n,
         ops_per_process: ops.first().map(Vec::len).unwrap_or(0),
@@ -186,7 +192,7 @@ pub fn measure_multi_use(
         max_amortised: amortised.iter().copied().fold(0.0, f64::max),
         mean_amortised: amortised.iter().sum::<f64>() / n.max(1) as f64,
         responses_consistent,
-    }
+    })
 }
 
 /// For commutative counting objects, the multiset of responses of any
@@ -239,7 +245,8 @@ mod tests {
                 &ops,
                 ScheduleKind::Sequential,
                 10_000_000,
-            );
+            )
+            .unwrap();
             assert!(r.responses_consistent, "k={k}");
             assert!(
                 (r.max_amortised - 2.0).abs() < 1e-9,
@@ -263,7 +270,8 @@ mod tests {
             &ops,
             ScheduleKind::Adversary,
             10_000_000,
-        );
+        )
+        .unwrap();
         assert_eq!(r.ops_per_process, k);
         assert!(r.responses_consistent);
         // Under the adversary one SC succeeds per round: amortised Θ(n).
@@ -282,7 +290,8 @@ mod tests {
             &ops,
             ScheduleKind::RoundRobin,
             10_000_000,
-        );
+        )
+        .unwrap();
         assert!(r.responses_consistent);
         assert!(r.to_string().contains("consistent=true"));
     }
@@ -303,7 +312,8 @@ mod tests {
             &ops,
             ScheduleKind::RandomInterleave { seed: 2 },
             1_000_000,
-        );
+        )
+        .unwrap();
         assert!(r.responses_consistent);
         assert_eq!(r.per_process_ops[2], 0, "no ops, no steps");
     }
@@ -322,7 +332,8 @@ mod tests {
             &ops,
             ScheduleKind::RoundRobin,
             1_000_000,
-        );
+        )
+        .unwrap();
         assert!(r.responses_consistent, "unchecked specs report true");
     }
 
@@ -333,6 +344,6 @@ mod tests {
         let imp: Arc<dyn ObjectImplementation> =
             Arc::new(crate::AdtTreeUniversal::new(spec.clone()));
         let ops = vec![vec![FetchIncrement::op()]; 2];
-        measure_multi_use(imp, spec.as_ref(), 2, &ops, ScheduleKind::RoundRobin, 1000);
+        measure_multi_use(imp, spec.as_ref(), 2, &ops, ScheduleKind::RoundRobin, 1000).unwrap();
     }
 }

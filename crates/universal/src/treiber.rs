@@ -37,7 +37,7 @@ fn node(item: Value, below: Value) -> Value {
 /// let imp = TreiberStack::new(Stack::new());
 /// let ops = vec![Stack::push_op(Value::from(1i64)), Stack::pop_op()];
 /// let r = measure(&imp, spec.as_ref(), 2, &ops, ScheduleKind::RoundRobin,
-///                 &MeasureConfig::default());
+///                 &MeasureConfig::default()).expect("run completes");
 /// assert!(r.linearizable);
 /// ```
 pub struct TreiberStack {
@@ -160,6 +160,7 @@ mod tests {
             kind,
             &MeasureConfig::default(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -229,7 +230,8 @@ mod tests {
             &ops,
             ScheduleKind::RandomInterleave { seed: 8 },
             1_000_000,
-        );
+        )
+        .unwrap();
         assert!(r.max_amortised <= 10.0);
     }
 

@@ -22,7 +22,8 @@ fn probe() {
             &ops,
             ScheduleKind::Adversary,
             &cfg,
-        );
+        )
+        .unwrap();
         let adt_rr = measure(
             &AdtTreeUniversal::new(spec.clone()),
             spec.as_ref(),
@@ -30,7 +31,8 @@ fn probe() {
             &ops,
             ScheduleKind::RoundRobin,
             &cfg,
-        );
+        )
+        .unwrap();
         let naive_adv = measure(
             &CombiningTreeUniversal::new(spec.clone()),
             spec.as_ref(),
@@ -38,7 +40,8 @@ fn probe() {
             &ops,
             ScheduleKind::Adversary,
             &cfg,
-        );
+        )
+        .unwrap();
         let her_adv = measure(
             &HerlihyUniversal::new(spec.clone()),
             spec.as_ref(),
@@ -46,7 +49,8 @@ fn probe() {
             &ops,
             ScheduleKind::Adversary,
             &cfg,
-        );
+        )
+        .unwrap();
         println!(
             "n={n:4}  adt_adv={:4}  adt_rr={:4}  naive_adv={:4}  herlihy_adv={:4}",
             adt_adv.max_ops, adt_rr.max_ops, naive_adv.max_ops, her_adv.max_ops

@@ -34,7 +34,8 @@ fn all_set_except(v: &Value, n: usize, except: usize) -> bool {
 /// use llsc_shmem::ZeroTosses;
 /// use std::sync::Arc;
 ///
-/// let rep = verify_lower_bound(&BitsetWakeup, 8, Arc::new(ZeroTosses), &AdversaryConfig::default());
+/// let rep = verify_lower_bound(&BitsetWakeup, 8, Arc::new(ZeroTosses), &AdversaryConfig::default())
+///     .expect("the adversary run completes within the default budgets");
 /// assert!(rep.wakeup.ok());
 /// assert!(rep.bound_holds);
 /// ```
@@ -86,7 +87,8 @@ mod tests {
                 n,
                 Arc::new(ZeroTosses),
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(all.base.completed, "n={n}");
             let check = check_wakeup(&all.base.run);
             assert!(check.ok(), "n={n}: {check}");
@@ -104,7 +106,7 @@ mod tests {
                 Arc::new(ZeroTosses),
                 ExecutorConfig::default(),
             );
-            e.drive(&mut RandomScheduler::new(seed), 1_000_000);
+            e.drive(&mut RandomScheduler::new(seed), 1_000_000).unwrap();
             assert!(e.all_terminated(), "seed={seed}");
             assert!(check_wakeup(e.run()).ok(), "seed={seed}");
         }
@@ -118,7 +120,8 @@ mod tests {
                 n,
                 Arc::new(ZeroTosses),
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(rep.bound_holds, "n={n}");
             assert!(rep.refutation.is_none());
         }

@@ -27,7 +27,8 @@ const COUNTER: RegisterId = RegisterId(0);
 /// use llsc_shmem::ZeroTosses;
 /// use std::sync::Arc;
 ///
-/// let rep = verify_lower_bound(&CounterWakeup, 8, Arc::new(ZeroTosses), &AdversaryConfig::default());
+/// let rep = verify_lower_bound(&CounterWakeup, 8, Arc::new(ZeroTosses), &AdversaryConfig::default())
+///     .expect("the adversary run completes within the default budgets");
 /// assert!(rep.wakeup.ok());
 /// assert!(rep.bound_holds);
 /// ```
@@ -73,7 +74,8 @@ mod tests {
                 n,
                 Arc::new(ZeroTosses),
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(all.base.completed, "n={n}");
             let check = check_wakeup(&all.base.run);
             assert!(check.ok(), "n={n}: {check}");
@@ -91,7 +93,7 @@ mod tests {
                 ExecutorConfig::default(),
             );
             let mut s = RandomScheduler::new(seed);
-            e.drive(&mut s, 1_000_000);
+            e.drive(&mut s, 1_000_000).unwrap();
             assert!(e.all_terminated(), "seed={seed}");
             let check = check_wakeup(e.run());
             assert!(check.ok(), "seed={seed}: {check}");
@@ -106,7 +108,8 @@ mod tests {
                 n,
                 Arc::new(ZeroTosses),
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(rep.bound_holds, "n={n}");
             assert!(rep.winner_steps >= ceil_log4(n));
             // And the worst case is Θ(n): the adversary serialises SCs.
@@ -121,13 +124,15 @@ mod tests {
             9,
             Arc::new(ZeroTosses),
             &AdversaryConfig::default(),
-        );
+        )
+        .unwrap();
         let b = build_all_run(
             &CounterWakeup,
             9,
             Arc::new(ZeroTosses),
             &AdversaryConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(a.base.run.events(), b.base.run.events());
     }
 }

@@ -86,7 +86,8 @@ fn is_full(bits: &[u64], n: usize) -> bool {
 /// use llsc_shmem::ZeroTosses;
 /// use std::sync::Arc;
 ///
-/// let rep = verify_lower_bound(&GossipWakeup, 16, Arc::new(ZeroTosses), &AdversaryConfig::default());
+/// let rep = verify_lower_bound(&GossipWakeup, 16, Arc::new(ZeroTosses), &AdversaryConfig::default())
+///     .expect("the adversary run completes within the default budgets");
 /// assert!(rep.wakeup.ok());
 /// assert!(rep.bound_holds);
 /// ```
@@ -175,7 +176,8 @@ mod tests {
                 n,
                 Arc::new(ZeroTosses),
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(all.base.completed, "n={n}");
             let check = check_wakeup(&all.base.run);
             assert!(check.ok(), "n={n}: {check}");
@@ -189,7 +191,8 @@ mod tests {
             8,
             Arc::new(ZeroTosses),
             &AdversaryConfig::default(),
-        );
+        )
+        .unwrap();
         let mut kinds = std::collections::BTreeSet::new();
         for rec in &all.base.rounds {
             for op in &rec.ops {
@@ -209,7 +212,7 @@ mod tests {
             Arc::new(ZeroTosses),
             ExecutorConfig::default(),
         );
-        e.drive(&mut SequentialScheduler::new(), 1_000_000);
+        e.drive(&mut SequentialScheduler::new(), 1_000_000).unwrap();
         let fallback_kinds: std::collections::BTreeSet<OpKind> = e
             .run()
             .events()
@@ -241,7 +244,8 @@ mod tests {
             16,
             Arc::new(ZeroTosses),
             &AdversaryConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(all.up.lemma_5_1_holds());
         // Knowledge does spread through the move/validate path: someone
         // knows more than themselves well before termination.
@@ -263,7 +267,7 @@ mod tests {
             Arc::new(ZeroTosses),
             ExecutorConfig::default(),
         );
-        e.drive(&mut SequentialScheduler::new(), 1_000_000);
+        e.drive(&mut SequentialScheduler::new(), 1_000_000).unwrap();
         assert!(e.all_terminated());
         let check = check_wakeup(e.run());
         assert!(check.ok(), "{check}");
@@ -280,7 +284,7 @@ mod tests {
                 Arc::new(ZeroTosses),
                 ExecutorConfig::default(),
             );
-            e.drive(&mut RandomScheduler::new(seed), 1_000_000);
+            e.drive(&mut RandomScheduler::new(seed), 1_000_000).unwrap();
             assert!(e.all_terminated(), "seed={seed}");
             assert!(check_wakeup(e.run()).ok(), "seed={seed}");
         }
@@ -294,7 +298,8 @@ mod tests {
                 n,
                 Arc::new(ZeroTosses),
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(rep.bound_holds, "n={n}");
             assert!(rep.refutation.is_none());
         }
@@ -311,7 +316,7 @@ mod tests {
                 track_up_history: false,
                 ..AdversaryConfig::default()
             };
-            let all = build_all_run(&GossipWakeup, n, Arc::new(ZeroTosses), &cfg);
+            let all = build_all_run(&GossipWakeup, n, Arc::new(ZeroTosses), &cfg).unwrap();
             let dims = n.next_power_of_two().trailing_zeros().max(1) as usize;
             assert!(
                 all.base.num_rounds() <= 1 + 3 * dims + 2,

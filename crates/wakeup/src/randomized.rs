@@ -32,7 +32,8 @@ const SCRATCH_BASE: u64 = 200;
 /// use llsc_wakeup::RandomizedCounterWakeup;
 ///
 /// let rep = estimate_expected_complexity(
-///     &RandomizedCounterWakeup, 8, 0..16, &AdversaryConfig::default());
+///     &RandomizedCounterWakeup, 8, 0..16, &AdversaryConfig::default())
+///     .expect("every sampled run completes within the default budgets");
 /// assert_eq!(rep.termination_rate, 1.0);
 /// assert!(rep.all_meet_bound);
 /// ```
@@ -125,7 +126,8 @@ mod tests {
                 6,
                 Arc::new(SeededTosses::new(seed)),
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(all.base.completed, "seed={seed}");
             assert!(check_wakeup(&all.base.run).ok(), "seed={seed}");
         }
@@ -138,13 +140,15 @@ mod tests {
             4,
             Arc::new(SeededTosses::new(1)),
             &AdversaryConfig::default(),
-        );
+        )
+        .unwrap();
         let b = build_all_run(
             &RandomizedCounterWakeup,
             4,
             Arc::new(SeededTosses::new(2)),
             &AdversaryConfig::default(),
-        );
+        )
+        .unwrap();
         assert_ne!(a.base.run.events(), b.base.run.events());
     }
 
@@ -156,7 +160,8 @@ mod tests {
                 n,
                 0..25,
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert_eq!(rep.termination_rate, 1.0, "n={n}");
             assert_eq!(rep.wakeup_ok_rate, 1.0, "n={n}");
             assert!(rep.all_meet_bound, "n={n}");
@@ -169,7 +174,8 @@ mod tests {
         let cfg = AdversaryConfig::default();
         let mut terminated = 0;
         for seed in 0..15 {
-            let all = build_all_run(&BackoffWakeup, 5, Arc::new(SeededTosses::new(seed)), &cfg);
+            let all =
+                build_all_run(&BackoffWakeup, 5, Arc::new(SeededTosses::new(seed)), &cfg).unwrap();
             if all.base.completed {
                 terminated += 1;
                 assert!(check_wakeup(&all.base.run).ok(), "seed={seed}");
@@ -194,7 +200,8 @@ mod tests {
             3,
             Arc::new(llsc_shmem::ConstantTosses(1)),
             &cfg,
-        );
+        )
+        .unwrap();
         assert!(!all.base.completed);
     }
 
@@ -207,7 +214,8 @@ mod tests {
             4,
             Arc::new(ZeroTosses),
             &AdversaryConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(all.base.completed);
         assert!(check_wakeup(&all.base.run).ok());
         for p in llsc_shmem::ProcessId::all(4) {

@@ -180,7 +180,8 @@ impl fmt::Display for ReductionKind {
 /// // Wakeup from a dequeue on an initially-full queue, over the direct
 /// // LL/SC queue implementation.
 /// let alg = ObjectWakeup::direct(ReductionKind::Queue, 8);
-/// let rep = verify_lower_bound(&alg, 8, Arc::new(ZeroTosses), &AdversaryConfig::default());
+/// let rep = verify_lower_bound(&alg, 8, Arc::new(ZeroTosses), &AdversaryConfig::default())
+///     .expect("the adversary run completes within the default budgets");
 /// assert!(rep.wakeup.ok());
 /// assert!(rep.bound_holds);
 /// ```
@@ -303,7 +304,8 @@ mod tests {
         for kind in ReductionKind::all() {
             for n in [2, 3, 8, 17] {
                 let alg = ObjectWakeup::direct(kind, n);
-                let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+                let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default())
+                    .unwrap();
                 assert!(all.base.completed, "{kind} n={n}");
                 let check = check_wakeup(&all.base.run);
                 assert!(check.ok(), "{kind} n={n}: {check}");
@@ -318,7 +320,8 @@ mod tests {
             for n in [4, 16, 64] {
                 let alg = ObjectWakeup::direct(kind, n);
                 let rep =
-                    verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+                    verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default())
+                        .unwrap();
                 assert!(rep.bound_holds, "{kind} n={n}: {}", rep.winner_steps);
                 assert!(rep.refutation.is_none(), "{kind} n={n}");
             }
@@ -333,12 +336,14 @@ mod tests {
             for n in [4, 9] {
                 let spec = kind.spec_for(n);
                 let adt = ObjectWakeup::new(kind, n, Arc::new(AdtTreeUniversal::new(spec.clone())));
-                let all = build_all_run(&adt, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+                let all = build_all_run(&adt, n, Arc::new(ZeroTosses), &AdversaryConfig::default())
+                    .unwrap();
                 assert!(all.base.completed, "adt {kind} n={n}");
                 assert!(check_wakeup(&all.base.run).ok(), "adt {kind} n={n}");
 
                 let her = ObjectWakeup::new(kind, n, Arc::new(HerlihyUniversal::new(spec.clone())));
-                let all = build_all_run(&her, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+                let all = build_all_run(&her, n, Arc::new(ZeroTosses), &AdversaryConfig::default())
+                    .unwrap();
                 assert!(all.base.completed, "herlihy {kind} n={n}");
                 assert!(check_wakeup(&all.base.run).ok(), "herlihy {kind} n={n}");
             }

@@ -103,7 +103,7 @@ mod tests {
     use std::sync::Arc;
 
     fn report(alg: &dyn Algorithm, n: usize) -> llsc_core::LowerBoundReport {
-        verify_lower_bound(alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default())
+        verify_lower_bound(alg, n, Arc::new(ZeroTosses), &AdversaryConfig::default()).unwrap()
     }
 
     #[test]
@@ -148,7 +148,7 @@ mod tests {
         );
         let order: Vec<ProcessId> = (0..5).flat_map(|_| (0..5).map(ProcessId)).collect();
         let mut sched = ListScheduler::new(order.into_iter().cycle().take(200));
-        e.drive(&mut sched, 200);
+        e.drive(&mut sched, 200).unwrap();
         let check = llsc_core::check_wakeup(e.run());
         assert!(
             check

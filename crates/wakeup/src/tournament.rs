@@ -75,7 +75,8 @@ fn subtree_nonempty(v: u64, n: usize) -> bool {
 /// use llsc_shmem::ZeroTosses;
 /// use std::sync::Arc;
 ///
-/// let rep = verify_lower_bound(&TournamentWakeup, 64, Arc::new(ZeroTosses), &AdversaryConfig::default());
+/// let rep = verify_lower_bound(&TournamentWakeup, 64, Arc::new(ZeroTosses), &AdversaryConfig::default())
+///     .expect("the adversary run completes within the default budgets");
 /// assert!(rep.wakeup.ok());
 /// // Winner cost sits between log4(n) and 2*log4(n) + 1.
 /// assert!(rep.winner_steps >= ceil_log4(64));
@@ -133,7 +134,8 @@ mod tests {
                 n,
                 Arc::new(ZeroTosses),
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(all.base.completed, "n={n}");
             let check = check_wakeup(&all.base.run);
             assert!(check.ok(), "n={n}: {check}");
@@ -151,7 +153,7 @@ mod tests {
                     Arc::new(ZeroTosses),
                     ExecutorConfig::default(),
                 );
-                e.drive(&mut RandomScheduler::new(seed), 1_000_000);
+                e.drive(&mut RandomScheduler::new(seed), 1_000_000).unwrap();
                 assert!(e.all_terminated(), "seed={seed} n={n}");
                 assert!(check_wakeup(e.run()).ok(), "seed={seed} n={n}");
             }
@@ -169,7 +171,8 @@ mod tests {
                 n,
                 Arc::new(ZeroTosses),
                 &AdversaryConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(rep.wakeup.ok(), "n={n}");
             assert!(rep.bound_holds, "n={n}");
             let log2 = (n as f64).log2().ceil() as u64;
@@ -193,7 +196,8 @@ mod tests {
             16,
             Arc::new(ZeroTosses),
             &AdversaryConfig::default(),
-        );
+        )
+        .unwrap();
         let check = check_wakeup(&all.base.run);
         let winner = check.first_winner().unwrap();
         for p in llsc_shmem::ProcessId::all(16) {

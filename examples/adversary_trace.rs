@@ -18,11 +18,13 @@ fn main() {
     let cfg = AdversaryConfig::default();
 
     println!("=== tournament wakeup, n = 4 ===\n");
-    let all = build_all_run(&TournamentWakeup, 4, Arc::new(ZeroTosses), &cfg);
+    let all = build_all_run(&TournamentWakeup, 4, Arc::new(ZeroTosses), &cfg)
+        .expect("the tournament run stays within the default budgets");
     print!("{}", trace_all_run(&all, 20));
 
     println!("\n=== gossip wakeup, n = 4 (moves, swaps, validates) ===\n");
-    let all = build_all_run(&GossipWakeup, 4, Arc::new(ZeroTosses), &cfg);
+    let all = build_all_run(&GossipWakeup, 4, Arc::new(ZeroTosses), &cfg)
+        .expect("the gossip run stays within the default budgets");
     print!("{}", trace_all_run(&all, 20));
 
     println!("\nReading the trace:");

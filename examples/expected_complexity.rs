@@ -28,7 +28,8 @@ fn main() {
     println!("{:-<74}", "");
     for alg in randomized_algorithms() {
         for n in [4usize, 16, 64] {
-            let rep = estimate_expected_complexity(alg.as_ref(), n, 0..40, &cfg);
+            let rep = estimate_expected_complexity(alg.as_ref(), n, 0..40, &cfg)
+                .expect("every sampled run stays within the default budgets");
             assert!(rep.all_meet_bound);
             println!(
                 "{:<28} {:>5} {:>6.2} {:>10.1} {:>11} {:>8.2}",
@@ -47,7 +48,8 @@ fn main() {
         max_rounds: 50,
         ..AdversaryConfig::default()
     };
-    let all = build_all_run(&BackoffWakeup, 4, Arc::new(ConstantTosses(1)), &tight);
+    let all = build_all_run(&BackoffWakeup, 4, Arc::new(ConstantTosses(1)), &tight)
+        .expect("the truncated run stays within the default event budget");
     println!(
         "  backoff-wakeup under ConstantTosses(1): completed = {} after {} rounds",
         all.base.completed,

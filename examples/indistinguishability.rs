@@ -17,7 +17,8 @@ fn main() {
     let cfg = AdversaryConfig::default();
     println!("Lemma 5.2 on the counter wakeup algorithm, n = {n}\n");
 
-    let all = build_all_run(&CounterWakeup, n, Arc::new(ZeroTosses), &cfg);
+    let all = build_all_run(&CounterWakeup, n, Arc::new(ZeroTosses), &cfg)
+        .expect("the counter run stays within the default budgets");
     println!(
         "(All, A)-run: {} rounds, {} events",
         all.base.num_rounds(),
@@ -44,7 +45,8 @@ fn main() {
             .filter(|i| mask & (1 << i) != 0)
             .map(ProcessId)
             .collect();
-        let srun = build_s_run(&CounterWakeup, n, Arc::new(ZeroTosses), &s, &all, &cfg);
+        let srun = build_s_run(&CounterWakeup, n, Arc::new(ZeroTosses), &s, &all, &cfg)
+            .expect("each (S, A)-run stays within the default budgets");
         let report = check_indistinguishability(&all, &srun);
         assert!(
             report.ok(),

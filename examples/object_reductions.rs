@@ -30,7 +30,8 @@ fn main() {
     println!("{:-<76}", "");
     for kind in ReductionKind::all() {
         let alg = ObjectWakeup::direct(kind, n);
-        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg);
+        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg)
+            .expect("the reduction run stays within the default budgets");
         assert!(rep.wakeup.ok() && rep.bound_holds);
         println!(
             "{:<18} {:>12} {:>14} {:>14}  wakeup solved, bound holds",
@@ -46,7 +47,8 @@ fn main() {
     let kind = ReductionKind::Queue;
     let spec = kind.spec_for(n);
     let alg = ObjectWakeup::new(kind, n, Arc::new(AdtTreeUniversal::new(spec)));
-    let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg);
+    let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg)
+        .expect("the oblivious reduction run stays within the default budgets");
     assert!(rep.wakeup.ok() && rep.bound_holds);
     println!(
         "queue via adt-group-update: winner {} steps (>= {} required, O(log n) achieved)",

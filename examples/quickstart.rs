@@ -22,7 +22,8 @@ fn main() {
         n,
         Arc::new(ZeroTosses),
         &AdversaryConfig::default(),
-    );
+    )
+    .expect("the adversary run stays within the default budgets");
 
     println!(
         "(All, A)-run: {} rounds, completed = {}",

@@ -37,7 +37,11 @@ fn main() {
             &DirectLlSc::new(spec.clone()),
         ]
         .iter()
-        .map(|imp| measure(*imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg).max_ops)
+        .map(|imp| {
+            measure(*imp, spec.as_ref(), n, &ops, ScheduleKind::Adversary, &cfg)
+                .expect("each construction run completes within the default budgets")
+                .max_ops
+        })
         .collect();
         println!(
             "{:>6} {:>14} {:>18} {:>16} {:>14} {:>12}",
@@ -67,7 +71,8 @@ fn main() {
             &ops,
             ScheduleKind::Sequential,
             &cfg,
-        );
+        )
+        .expect("the solo run completes within the default budgets");
         let contended = measure(
             &DirectLlSc::new(spec.clone()),
             spec.as_ref(),
@@ -75,7 +80,8 @@ fn main() {
             &ops,
             ScheduleKind::Adversary,
             &cfg,
-        );
+        )
+        .expect("the contended run completes within the default budgets");
         println!("{:>6} {:>22} {:>22}", n, solo.max_ops, contended.max_ops);
     }
 

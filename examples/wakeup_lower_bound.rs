@@ -34,7 +34,8 @@ fn main() {
     for alg in correct_algorithms() {
         print!("{:<22}", alg.name());
         for n in ns {
-            let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+            let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg)
+                .expect("each adversary run stays within the default budgets");
             assert!(rep.wakeup.ok(), "{} violates wakeup at n={n}", alg.name());
             assert!(rep.bound_holds, "{} beats the bound at n={n}?!", alg.name());
             print!("{:>10}", rep.winner_steps);
@@ -49,7 +50,8 @@ fn main() {
     println!("{:-<78}", "");
     let n = 64;
     for alg in strawman_algorithms() {
-        let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+        let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg)
+            .expect("each strawman run stays within the default budgets");
         print!(
             "{:<22} n={n}: wakeup {}",
             alg.name(),

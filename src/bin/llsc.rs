@@ -208,7 +208,8 @@ fn cmd_list() -> Result<(), String> {
 fn cmd_wakeup(opts: &Opts) -> Result<(), String> {
     let alg = opts.alg()?;
     let n = opts.n()?;
-    let rep = verify_lower_bound(alg.as_ref(), n, opts.toss()?, &AdversaryConfig::default());
+    let rep = verify_lower_bound(alg.as_ref(), n, opts.toss()?, &AdversaryConfig::default())
+        .map_err(|e| format!("wakeup run failed: {e}"))?;
     println!("{rep}");
     println!("wakeup: {}", rep.wakeup);
     if let Some(refutation) = &rep.refutation {
@@ -250,7 +251,8 @@ fn cmd_wakeup(opts: &Opts) -> Result<(), String> {
 fn cmd_trace(opts: &Opts) -> Result<(), String> {
     let alg = opts.alg()?;
     let n = opts.n()?;
-    let all = build_all_run(alg.as_ref(), n, opts.toss()?, &AdversaryConfig::default());
+    let all = build_all_run(alg.as_ref(), n, opts.toss()?, &AdversaryConfig::default())
+        .map_err(|e| format!("trace run failed: {e}"))?;
     print!("{}", trace_all_run(&all, 50));
     Ok(())
 }
@@ -266,7 +268,8 @@ fn cmd_stress(opts: &Opts) -> Result<(), String> {
         &standard_portfolio(n, 5),
         5_000_000,
         &sweep,
-    );
+    )
+    .map_err(|e| format!("stress run failed: {e}"))?;
     println!("{report}");
     for f in &report.failures {
         println!("  under {}:", f.schedule);
@@ -298,7 +301,8 @@ fn cmd_indist(opts: &Opts) -> Result<(), String> {
     let toss = opts.toss()?;
     let cfg = AdversaryConfig::default();
     let sweep = opts.sweep()?;
-    let report = indist_all_subsets(alg.as_ref(), n, toss, &cfg, true, &sweep);
+    let report = indist_all_subsets(alg.as_ref(), n, toss, &cfg, true, &sweep)
+        .map_err(|e| format!("indist run failed: {e}"))?;
     if !report.ok() {
         for v in &report.violations {
             println!("VIOLATION for {v}");
@@ -392,7 +396,8 @@ fn cmd_universal(opts: &Opts) -> Result<(), String> {
         ..MeasureConfig::default()
     };
     let ops = vec![FetchIncrement::op(); n];
-    let result = measure(imp.as_ref(), spec.as_ref(), n, &ops, schedule, &cfg);
+    let result = measure(imp.as_ref(), spec.as_ref(), n, &ops, schedule, &cfg)
+        .map_err(|e| format!("universal run failed: {e}"))?;
     println!("{result}");
     println!("per-process ops: {:?}", result.per_process_ops);
     Ok(())

@@ -20,7 +20,7 @@
 //! | [`objects`] | `llsc-objects` | Sequential specs of the Theorem 6.2 types; linearizability checking |
 //! | [`wakeup`] | `llsc-wakeup` | Wakeup algorithms (correct, randomized, strawmen) and the object reductions |
 //! | [`universal`] | `llsc-universal` | Oblivious universal constructions and the direct LL/SC escape hatch |
-//! | [`bench`] | `llsc-bench` | E1–E14 experiment regenerators, the deterministic parallel harness, and the table/JSON renderers |
+//! | [`bench`] | `llsc-bench` | E1–E15 experiment regenerators, the deterministic parallel harness, and the table/JSON renderers |
 //!
 //! ## Quickstart
 //!
@@ -32,7 +32,8 @@
 //!
 //! let n = 256;
 //! let report = verify_lower_bound(
-//!     &TournamentWakeup, n, Arc::new(ZeroTosses), &AdversaryConfig::default());
+//!     &TournamentWakeup, n, Arc::new(ZeroTosses), &AdversaryConfig::default())
+//!     .expect("the adversary run stays within the default budgets");
 //! assert!(report.wakeup.ok());
 //! // Theorem 6.1: the winner performed at least ceil(log4 n) = 4 shared ops...
 //! assert!(report.winner_steps >= ceil_log4(n));

@@ -83,7 +83,8 @@ fn queue_mixes_linearize() {
                     &ops,
                     kind,
                     &MeasureConfig::default(),
-                );
+                )
+                .unwrap();
                 assert!(
                     r.linearizable,
                     "case {case}: {} under {kind:?}: history not linearizable\n{}",
@@ -115,7 +116,8 @@ fn stack_mixes_linearize() {
                 &ops,
                 ScheduleKind::RandomInterleave { seed },
                 &MeasureConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(r.linearizable, "case {case}: {}", imp.name());
         }
     }
@@ -143,7 +145,8 @@ fn counter_mixes_linearize() {
                 &ops,
                 ScheduleKind::RandomInterleave { seed },
                 &MeasureConfig::default(),
-            );
+            )
+            .unwrap();
             assert!(r.linearizable, "case {case}: {}", imp.name());
             for (p, resp) in r.responses.iter().enumerate() {
                 if ops[p] == Counter::read_op() {
@@ -179,7 +182,8 @@ fn constructions_agree_on_increment_multisets() {
                 &ops,
                 ScheduleKind::RandomInterleave { seed },
                 &MeasureConfig::default(),
-            );
+            )
+            .unwrap();
             let mut got: Vec<i128> = r.responses.iter().map(|v| v.as_int().unwrap()).collect();
             got.sort_unstable();
             assert_eq!(

@@ -19,7 +19,7 @@ fn correct_algorithms_pass_the_full_pipeline() {
     let cfg = AdversaryConfig::default();
     for alg in correct_algorithms() {
         for n in [2, 5, 16, 33, 64] {
-            let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+            let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg).unwrap();
             assert!(rep.completed, "{} n={n}", alg.name());
             assert!(rep.wakeup.ok(), "{} n={n}: {}", alg.name(), rep.wakeup);
             assert!(rep.bound_holds, "{} n={n}", alg.name());
@@ -34,7 +34,7 @@ fn randomized_algorithms_meet_the_expected_bound() {
     let cfg = AdversaryConfig::default();
     for alg in randomized_algorithms() {
         for n in [4, 16] {
-            let rep = estimate_expected_complexity(alg.as_ref(), n, 0..15, &cfg);
+            let rep = estimate_expected_complexity(alg.as_ref(), n, 0..15, &cfg).unwrap();
             assert!(rep.termination_rate > 0.9, "{} n={n}", alg.name());
             assert!(rep.all_meet_bound, "{} n={n}", alg.name());
             // Lemma 3.1: expected complexity >= c * k >= c * ceil(log4 n).
@@ -60,7 +60,7 @@ fn lemma_5_1_holds_for_every_algorithm_and_assignment() {
             } else {
                 Arc::new(SeededTosses::new(seed))
             };
-            let all = build_all_run(alg.as_ref(), 12, toss, &cfg);
+            let all = build_all_run(alg.as_ref(), 12, toss, &cfg).unwrap();
             assert!(all.base.completed, "{} seed={seed}", alg.name());
             assert!(all.up.lemma_5_1_holds(), "{} seed={seed}", alg.name());
         }
@@ -78,7 +78,7 @@ fn all_reductions_over_all_constructions() {
     for kind in ReductionKind::all() {
         // Direct.
         let alg = ObjectWakeup::direct(kind, n);
-        let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &cfg).unwrap();
         assert!(all.base.completed, "direct {kind}");
         assert!(check_wakeup(&all.base.run).ok(), "direct {kind}");
         assert!(all.up.lemma_5_1_holds(), "direct {kind}");
@@ -89,13 +89,13 @@ fn all_reductions_over_all_constructions() {
         // ADT Group-Update tree.
         let spec = kind.spec_for(n);
         let alg = ObjectWakeup::new(kind, n, Arc::new(AdtTreeUniversal::new(spec.clone())));
-        let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &cfg).unwrap();
         assert!(all.base.completed, "adt {kind}");
         assert!(check_wakeup(&all.base.run).ok(), "adt {kind}");
 
         // Herlihy.
         let alg = ObjectWakeup::new(kind, n, Arc::new(HerlihyUniversal::new(spec)));
-        let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &cfg);
+        let all = build_all_run(&alg, n, Arc::new(ZeroTosses), &cfg).unwrap();
         assert!(all.base.completed, "herlihy {kind}");
         assert!(check_wakeup(&all.base.run).ok(), "herlihy {kind}");
     }
@@ -115,7 +115,7 @@ fn oblivious_constructions_pay_the_lower_bound_in_wakeup() {
             n,
             Arc::new(AdtTreeUniversal::new(spec)),
         );
-        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg);
+        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg).unwrap();
         assert!(rep.wakeup.ok(), "n={n}");
         assert!(rep.bound_holds, "n={n}");
         // The ADT tree keeps even the winner within O(log n).
@@ -141,7 +141,7 @@ fn wakeup_through_structural_implementations() {
             n,
             Arc::new(MsQueue::new(Queue::with_numbered_items(n))),
         );
-        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg);
+        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg).unwrap();
         assert!(rep.wakeup.ok(), "ms-queue n={n}: {}", rep.wakeup);
         assert!(rep.bound_holds, "ms-queue n={n}");
 
@@ -150,7 +150,7 @@ fn wakeup_through_structural_implementations() {
             n,
             Arc::new(TreiberStack::new(Stack::with_numbered_items(n))),
         );
-        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg);
+        let rep = verify_lower_bound(&alg, n, Arc::new(ZeroTosses), &cfg).unwrap();
         assert!(rep.wakeup.ok(), "treiber n={n}: {}", rep.wakeup);
         assert!(rep.bound_holds, "treiber n={n}");
     }
@@ -161,7 +161,7 @@ fn strawmen_are_rejected_somewhere_in_the_pipeline() {
     let cfg = AdversaryConfig::default();
     let n = 32;
     for alg in strawman_algorithms() {
-        let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg);
+        let rep = verify_lower_bound(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg).unwrap();
         let caught_by_checker = !rep.wakeup.ok();
         let caught_by_bound = !rep.bound_holds;
         // half-count is the special case caught by neither under the
@@ -190,8 +190,8 @@ fn strawmen_are_rejected_somewhere_in_the_pipeline() {
 fn adversary_runs_are_reproducible_across_invocations() {
     let cfg = AdversaryConfig::default();
     for alg in correct_algorithms() {
-        let a = build_all_run(alg.as_ref(), 10, Arc::new(SeededTosses::new(5)), &cfg);
-        let b = build_all_run(alg.as_ref(), 10, Arc::new(SeededTosses::new(5)), &cfg);
+        let a = build_all_run(alg.as_ref(), 10, Arc::new(SeededTosses::new(5)), &cfg).unwrap();
+        let b = build_all_run(alg.as_ref(), 10, Arc::new(SeededTosses::new(5)), &cfg).unwrap();
         assert_eq!(a.base.run.events(), b.base.run.events(), "{}", alg.name());
         assert_eq!(a.base.num_rounds(), b.base.num_rounds());
     }

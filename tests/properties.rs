@@ -103,7 +103,7 @@ fn lemmas_5_1_and_5_2_for_random_programs() {
         let alg = scripted_algorithm(scripts.clone());
         let cfg = AdversaryConfig::default();
         let toss = Arc::new(SeededTosses::new(seed));
-        let all = build_all_run(&alg, n, toss.clone(), &cfg);
+        let all = build_all_run(&alg, n, toss.clone(), &cfg).unwrap();
         assert!(all.base.completed, "case {case}: {scripts:?}");
         assert!(all.up.lemma_5_1_holds(), "case {case}: {scripts:?}");
         for mask in 0u32..(1 << n) {
@@ -111,7 +111,7 @@ fn lemmas_5_1_and_5_2_for_random_programs() {
                 .filter(|i| mask & (1 << i) != 0)
                 .map(ProcessId)
                 .collect();
-            let srun = build_s_run(&alg, n, toss.clone(), &s, &all, &cfg);
+            let srun = build_s_run(&alg, n, toss.clone(), &s, &all, &cfg).unwrap();
             let report = check_indistinguishability(&all, &srun);
             assert!(
                 report.ok(),

@@ -20,7 +20,8 @@ fn correct_algorithms_survive_the_full_portfolio() {
                 Arc::new(ZeroTosses),
                 &standard_portfolio(n, 4),
                 2_000_000,
-            );
+            )
+            .unwrap();
             assert!(report.ok(), "{} n={n}: {report}", alg.name());
         }
     }
@@ -36,7 +37,8 @@ fn randomized_counter_survives_with_real_coins() {
             Arc::new(SeededTosses::new(seed)),
             &standard_portfolio(6, 3),
             2_000_000,
-        );
+        )
+        .unwrap();
         assert!(report.ok(), "seed={seed}: {report}");
     }
 }
@@ -52,7 +54,8 @@ fn half_count_falls_to_partition_schedules() {
         Arc::new(ZeroTosses),
         &standard_portfolio(n, 2),
         1_000_000,
-    );
+    )
+    .unwrap();
     assert!(!report.ok());
     let caught_partitions = report
         .failures
@@ -77,7 +80,8 @@ fn premature_and_no_step_fail_almost_everywhere() {
             Arc::new(ZeroTosses),
             &standard_portfolio(6, 2),
             1_000_000,
-        );
+        )
+        .unwrap();
         assert!(!report.ok(), "{name}");
         // These fail even the smallest partition.
         assert!(
