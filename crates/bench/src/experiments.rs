@@ -19,15 +19,17 @@ use llsc_core::{
 pub use llsc_core::random_move_config;
 use llsc_objects::FetchIncrement;
 use llsc_shmem::{
-    Algorithm, CrashPlan, CrashScheduler, Executor, ExecutorConfig, ProcessId, RegisterId,
-    RoundRobinScheduler, RunOutcome, SeededTosses, Sweep, TrialFailure, ZeroTosses,
+    Algorithm, CrashPlan, CrashScheduler, Executor, ExecutorConfig, FaultPlan, ProcessId,
+    RegisterId, RoundRobinScheduler, RunOutcome, SeededTosses, Sweep, TrialFailure, ZeroTosses,
 };
 use llsc_universal::{
-    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig,
+    measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HardenedAdtTreeUniversal,
+    HardenedCombiningTreeUniversal, HardenedDirectLlSc, HerlihyUniversal, MeasureConfig,
     ObjectImplementation, ScheduleKind,
 };
 use llsc_wakeup::{
-    correct_algorithms, randomized_algorithms, CounterWakeup, ObjectWakeup,
+    correct_algorithms, randomized_algorithms, CounterWakeup, HardenedCounterWakeup,
+    HardenedRandomizedCounterWakeup, HardenedTournamentWakeup, ObjectWakeup,
     RandomizedCounterWakeup, ReductionKind, TournamentWakeup,
 };
 use std::sync::Arc;
@@ -1044,41 +1046,51 @@ pub fn e15_crash_degradation(
         }
     }
 
-    let outcomes = sweep.run_fallible(&items, |trial, &(a, k, _rep)| {
-        let alg = e15_algorithm(a, n);
-        let cfg = ExecutorConfig {
-            max_events,
-            ..ExecutorConfig::default()
-        };
-        let mut exec = Executor::new(
-            alg.as_ref(),
-            n,
-            Arc::new(SeededTosses::new(trial.seed)),
-            cfg,
-        );
-        // Crash points land inside the early part of the run, where every
-        // algorithm still has live waiters to strand.
-        let plan = CrashPlan::seeded(trial.seed, n, k, 8 * n as u64);
-        let mut sched = CrashScheduler::new(RoundRobinScheduler::new(), plan);
-        // A budget/burst fault is sticky, so `run_outcome` reports it;
-        // the drive result itself carries no extra information here.
-        let _ = sched.drive(&mut exec, E15_MAX_STEPS);
-        let outcome = exec.run_outcome();
-        if k == 0 {
-            assert!(
-                matches!(outcome, RunOutcome::Completed),
-                "{}: fault-free trial must complete, got {outcome} (seed {:#018x})",
-                alg.name(),
-                trial.seed
-            );
-        }
-        let check = check_wakeup(&exec.into_run());
-        (outcome, check.ok())
-    });
-
     let names: Vec<String> = (0..ALGS)
         .map(|a| e15_algorithm(a, n).name().to_string())
         .collect();
+    let outcomes = sweep.run_fallible_with(
+        &items,
+        |trial, &(a, k, _rep)| {
+            let alg = e15_algorithm(a, n);
+            let cfg = ExecutorConfig {
+                max_events,
+                ..ExecutorConfig::default()
+            };
+            let mut exec = Executor::new(
+                alg.as_ref(),
+                n,
+                Arc::new(SeededTosses::new(trial.seed)),
+                cfg,
+            );
+            // Crash points land inside the early part of the run, where every
+            // algorithm still has live waiters to strand.
+            let plan = CrashPlan::seeded(trial.seed, n, k, 8 * n as u64);
+            let mut sched = CrashScheduler::new(RoundRobinScheduler::new(), plan);
+            // A budget/burst fault is sticky, so `run_outcome` reports it;
+            // the drive result itself carries no extra information here.
+            let _ = sched.drive(&mut exec, E15_MAX_STEPS);
+            let outcome = exec.run_outcome();
+            if k == 0 {
+                assert!(
+                    matches!(outcome, RunOutcome::Completed),
+                    "{}: fault-free trial must complete, got {outcome} (seed {:#018x})",
+                    alg.name(),
+                    trial.seed
+                );
+            }
+            let check = check_wakeup(&exec.into_run());
+            (outcome, check.ok())
+        },
+        |trial, &(a, k, _rep)| {
+            format!(
+                "alg={} n={n} crash-plan:k={k},window={} tosses=seeded:{:#018x}",
+                names[a],
+                8 * n as u64,
+                trial.seed
+            )
+        },
+    );
     let mut failures = Vec::new();
     let mut cells: Vec<E15Row> = Vec::new();
     for ((a, k, _rep), result) in items.iter().zip(outcomes) {
@@ -1108,6 +1120,9 @@ pub fn e15_crash_degradation(
                     RunOutcome::DivergedLocalBurst { pid } => {
                         unreachable!("E15 local sections are finite, yet {pid} diverged")
                     }
+                    RunOutcome::FaultInjected { .. } => {
+                        unreachable!("E15 injects crash faults only, never memory faults")
+                    }
                 }
             }
             Err(f) => failures.push(f),
@@ -1135,6 +1150,311 @@ pub fn e15_crash_degradation(
             r.crash_reported.to_string(),
             r.budget_exhausted.to_string(),
             if r.safety_ok { "ok" } else { "VIOLATED" }.to_string(),
+        ]);
+    }
+    (Experiment { table, rows: cells }, failures)
+}
+
+/// One row of E16: how one fault-hardened wakeup solution degrades as the
+/// memory-fault budget grows.
+#[derive(Clone, Debug)]
+pub struct E16Row {
+    /// Algorithm name (the hardened twin's).
+    pub algorithm: String,
+    /// Fault budget `f`: the plan schedules `f` spurious SC failures plus
+    /// `f` register corruptions inside the early event window.
+    pub faults: usize,
+    /// Trials run for this `(algorithm, f)` cell.
+    pub trials: usize,
+    /// Trials that terminated with a correct wakeup answer (recovery).
+    pub recovered: usize,
+    /// Trials that terminated with a wrong answer *and* at least one
+    /// published detection — the algorithm knew something was off.
+    pub detected_wrong: usize,
+    /// Trials that terminated with a wrong answer and no detection — the
+    /// failure mode hardening exists to eliminate.
+    pub silent_wrong: usize,
+    /// Trials that exhausted their step/event budget (honest stalls, e.g.
+    /// an orphaned follower polling a corrupted log).
+    pub stalled: usize,
+    /// Faults actually delivered across the cell's trials
+    /// ([`llsc_shmem::FaultStats::total`]).
+    pub injected: u64,
+    /// Detections published to the telemetry registers across the cell.
+    pub detected: u64,
+    /// Mean shared-memory accesses per trial — the degradation curve's
+    /// cost axis (extra accesses come from retries and backoff).
+    pub mean_ops: f64,
+}
+
+/// The hardened algorithms E16 degrades: the three hardened wakeup
+/// solutions plus the three hardened universal constructions solving
+/// wakeup through the fetch&increment reduction.
+fn e16_algorithm(idx: usize, n: usize) -> Box<dyn Algorithm> {
+    let kind = ReductionKind::FetchIncrement;
+    match idx {
+        0 => Box::new(HardenedCounterWakeup),
+        1 => Box::new(HardenedTournamentWakeup),
+        2 => Box::new(HardenedRandomizedCounterWakeup),
+        3 => Box::new(ObjectWakeup::new(
+            kind,
+            n,
+            Arc::new(HardenedDirectLlSc::new(kind.spec_for(n))),
+        )),
+        4 => Box::new(ObjectWakeup::new(
+            kind,
+            n,
+            Arc::new(HardenedCombiningTreeUniversal::new(kind.spec_for(n))),
+        )),
+        5 => Box::new(ObjectWakeup::new(
+            kind,
+            n,
+            Arc::new(HardenedAdtTreeUniversal::new(kind.spec_for(n))),
+        )),
+        _ => unreachable!("E16 has 6 algorithms"),
+    }
+}
+
+/// The unhardened twin of [`e16_algorithm`]`(idx, _)` — the zero-cost
+/// baseline every `f = 0` trial is compared against, access for access.
+fn e16_unhardened_twin(idx: usize, n: usize) -> Box<dyn Algorithm> {
+    let kind = ReductionKind::FetchIncrement;
+    match idx {
+        0 => Box::new(CounterWakeup),
+        1 => Box::new(TournamentWakeup),
+        2 => Box::new(RandomizedCounterWakeup),
+        3 => Box::new(ObjectWakeup::new(
+            kind,
+            n,
+            Arc::new(DirectLlSc::new(kind.spec_for(n))),
+        )),
+        4 => Box::new(ObjectWakeup::new(
+            kind,
+            n,
+            Arc::new(CombiningTreeUniversal::new(kind.spec_for(n))),
+        )),
+        5 => Box::new(ObjectWakeup::new(
+            kind,
+            n,
+            Arc::new(AdtTreeUniversal::new(kind.spec_for(n))),
+        )),
+        _ => unreachable!("E16 has 6 algorithms"),
+    }
+}
+
+/// The step cap each E16 trial's round-robin drive runs under; orphaned
+/// followers polling a corrupted log stop here and classify as stalled.
+const E16_MAX_STEPS: u64 = 40_000;
+
+/// Drives `alg` under a round-robin schedule with `plan`'s memory faults
+/// armed and returns `(outcome, total shared accesses, published
+/// detections, faults delivered, wakeup check passed)`.
+fn e16_trial(
+    alg: &dyn Algorithm,
+    n: usize,
+    seed: u64,
+    plan: FaultPlan,
+    max_events: u64,
+) -> (RunOutcome, u64, u64, u64, bool) {
+    let cfg = ExecutorConfig {
+        max_events,
+        ..ExecutorConfig::default()
+    };
+    let mut exec = Executor::new(alg, n, Arc::new(SeededTosses::new(seed)), cfg);
+    exec.set_fault_plan(plan);
+    let _ = exec.drive(&mut RoundRobinScheduler::new(), E16_MAX_STEPS);
+    let outcome = exec.run_outcome();
+    let ops = exec.memory().stats().total();
+    // Both telemetry ranges: the hardened wakeup algorithms publish at
+    // one base, the hardened universal constructions at another.
+    let detected: u64 = (0..n)
+        .map(ProcessId)
+        .map(|p| {
+            let wakeup = exec.memory().peek(llsc_wakeup::hardened_detect_reg(p));
+            let universal = exec.memory().peek(llsc_universal::hardened_detect_reg(p));
+            wakeup.as_int().unwrap_or(0).max(0) as u64
+                + universal.as_int().unwrap_or(0).max(0) as u64
+        })
+        .sum();
+    let injected = exec.fault_stats().total();
+    let safe = check_wakeup(&exec.into_run()).ok();
+    (outcome, ops, detected, injected, safe)
+}
+
+/// E16: graceful degradation under memory faults. Each trial runs one
+/// *hardened* wakeup solution under a round-robin schedule with a seeded
+/// [`FaultPlan`] delivering up to `f` spurious SC failures and `f`
+/// register corruptions inside the early event window, then classifies
+/// the result: **recovered** (terminated, correct answer),
+/// **detected-wrong** (wrong answer, but the algorithm published a
+/// detection), **silent-wrong** (wrong answer, no detection), or
+/// **stalled** (budget exhausted, e.g. an orphaned follower honestly
+/// polling a corrupted log).
+///
+/// Every `f = 0` trial must recover *and* spend exactly as many shared
+/// accesses as its unhardened twin under the same seed — the zero-cost
+/// guarantee. A violation panics, which the panic-isolated sweep reports
+/// as a [`TrialFailure`] (with the fault plan in its context) instead of
+/// aborting the experiment. Rows and failures merge in index order, so
+/// the output is byte-identical at every thread count.
+pub fn e16_fault_degradation(
+    n: usize,
+    fs: &[usize],
+    reps: usize,
+    max_events: u64,
+    sweep: &Sweep,
+) -> (Experiment<E16Row>, Vec<TrialFailure>) {
+    const ALGS: usize = 6;
+    assert!(reps >= 1, "need at least one repetition per cell");
+    let mut items = Vec::with_capacity(ALGS * fs.len() * reps);
+    for a in 0..ALGS {
+        for &f in fs {
+            for rep in 0..reps {
+                items.push((a, f, rep));
+            }
+        }
+    }
+
+    // The reduction wrapper's name alone does not say which hardened
+    // construction backs it, so the three `ObjectWakeup` rows carry
+    // explicit labels.
+    let names: Vec<String> = (0..ALGS)
+        .map(|a| match a {
+            3 => "wakeup-from-fetch&increment[hardened-direct-llsc]".to_string(),
+            4 => "wakeup-from-fetch&increment[hardened-combining-tree]".to_string(),
+            5 => "wakeup-from-fetch&increment[hardened-adt-group-update]".to_string(),
+            _ => e16_algorithm(a, n).name().to_string(),
+        })
+        .collect();
+    // Fault times land inside the early part of the run, where every
+    // algorithm still has SCs in flight and registers worth corrupting.
+    let plan_for = |seed: u64, f: usize| FaultPlan::seeded(seed, f, f, 4 * n as u64);
+    let outcomes = sweep.run_fallible_with(
+        &items,
+        |trial, &(a, f, _rep)| {
+            let alg = e16_algorithm(a, n);
+            let plan = plan_for(trial.seed, f);
+            let (outcome, ops, detected, injected, safe) =
+                e16_trial(alg.as_ref(), n, trial.seed, plan, max_events);
+            if f == 0 {
+                assert!(
+                    matches!(outcome, RunOutcome::Completed) && safe,
+                    "{}: fault-free trial must complete correctly, got {outcome} \
+                     (seed {:#018x})",
+                    alg.name(),
+                    trial.seed
+                );
+                let twin = e16_unhardened_twin(a, n);
+                let (_, twin_ops, _, _, _) =
+                    e16_trial(twin.as_ref(), n, trial.seed, FaultPlan::none(), max_events);
+                assert_eq!(
+                    ops,
+                    twin_ops,
+                    "{}: hardening must be zero-cost without faults, but spent {ops} \
+                     accesses vs the twin's {twin_ops} (seed {:#018x})",
+                    alg.name(),
+                    trial.seed
+                );
+            }
+            (outcome, ops, detected, safe, injected)
+        },
+        |trial, &(a, f, _rep)| {
+            format!(
+                "alg={} n={n} {} tosses=seeded:{:#018x}",
+                names[a],
+                plan_for(trial.seed, f).summary(),
+                trial.seed
+            )
+        },
+    );
+
+    let mut failures = Vec::new();
+    let mut cells: Vec<E16Row> = Vec::new();
+    let mut cell_ops: Vec<u64> = Vec::new();
+    for ((a, f, _rep), result) in items.iter().zip(outcomes) {
+        if cells
+            .last()
+            .is_none_or(|c| c.algorithm != names[*a] || c.faults != *f)
+        {
+            cells.push(E16Row {
+                algorithm: names[*a].clone(),
+                faults: *f,
+                trials: 0,
+                recovered: 0,
+                detected_wrong: 0,
+                silent_wrong: 0,
+                stalled: 0,
+                injected: 0,
+                detected: 0,
+                mean_ops: 0.0,
+            });
+            cell_ops.push(0);
+        }
+        let cell = cells.last_mut().expect("cell pushed above");
+        let ops_sum = cell_ops.last_mut().expect("pushed alongside the cell");
+        match result {
+            Ok((outcome, ops, detected, safe, injected)) => {
+                cell.trials += 1;
+                cell.injected += injected;
+                cell.detected += detected;
+                *ops_sum += ops;
+                match outcome {
+                    RunOutcome::Completed | RunOutcome::FaultInjected { .. } => {
+                        if safe {
+                            cell.recovered += 1;
+                        } else if detected > 0 {
+                            cell.detected_wrong += 1;
+                        } else {
+                            cell.silent_wrong += 1;
+                        }
+                    }
+                    RunOutcome::BudgetExhausted { .. } => cell.stalled += 1,
+                    RunOutcome::Crashed { pid } => {
+                        unreachable!("E16 injects memory faults only, yet {pid} crashed")
+                    }
+                    RunOutcome::DivergedLocalBurst { pid } => {
+                        unreachable!("E16 local sections are finite, yet {pid} diverged")
+                    }
+                }
+            }
+            Err(fail) => failures.push(fail),
+        }
+    }
+    for (cell, &ops) in cells.iter_mut().zip(&cell_ops) {
+        cell.mean_ops = if cell.trials == 0 {
+            0.0
+        } else {
+            ops as f64 / cell.trials as f64
+        };
+    }
+
+    let mut table = Table::new(
+        format!("E16 - memory-fault degradation (n = {n}, {reps} trials per cell)"),
+        [
+            "algorithm",
+            "faults",
+            "trials",
+            "recovered",
+            "detected wrong",
+            "silent wrong",
+            "stalled",
+            "injected",
+            "detected",
+            "mean ops",
+        ],
+    );
+    for r in &cells {
+        table.row([
+            r.algorithm.clone(),
+            r.faults.to_string(),
+            r.trials.to_string(),
+            r.recovered.to_string(),
+            r.detected_wrong.to_string(),
+            r.silent_wrong.to_string(),
+            r.stalled.to_string(),
+            r.injected.to_string(),
+            r.detected.to_string(),
+            format!("{:.1}", r.mean_ops),
         ]);
     }
     (Experiment { table, rows: cells }, failures)
@@ -1234,6 +1554,11 @@ mod tests {
         assert!(failures
             .iter()
             .all(|f| f.payload.contains("fault-free trial must complete")));
+        // Every failure carries its reproduction context: algorithm, crash
+        // plan, and the toss seed.
+        assert!(failures
+            .iter()
+            .all(|f| f.context.contains("crash-plan:k=0") && f.context.contains("tosses=seeded")));
         // Panics are isolated: the experiment still renders its table.
         assert!(exp.table.render().contains("E15"));
     }
@@ -1247,6 +1572,65 @@ mod tests {
             assert_eq!(par.table.render(), base.table.render(), "threads={threads}");
             assert_eq!(par_f.len(), base_f.len());
         }
+    }
+
+    #[test]
+    fn e16_fault_free_trials_recover_at_twin_cost() {
+        let (exp, failures) = e16_fault_degradation(8, &[0], 2, 2_000_000, &Sweep::sequential());
+        // The zero-cost comparison runs inside each trial; a mismatch
+        // would surface here as a failure.
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(exp.rows.len(), 6, "one f=0 cell per hardened algorithm");
+        for r in &exp.rows {
+            assert_eq!(r.recovered, r.trials, "{}: f=0 must recover", r.algorithm);
+            assert_eq!(r.injected, 0, "{}: f=0 injects nothing", r.algorithm);
+            assert_eq!(r.detected, 0, "{}: f=0 detects nothing", r.algorithm);
+        }
+    }
+
+    #[test]
+    fn e16_classifies_every_faulty_trial() {
+        let (exp, failures) = e16_fault_degradation(8, &[1, 4], 3, 2_000_000, &Sweep::sequential());
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(exp.rows.len(), 12, "6 algorithms x 2 fault budgets");
+        let mut injected_total = 0;
+        for r in &exp.rows {
+            assert_eq!(r.trials, 3);
+            assert_eq!(
+                r.recovered + r.detected_wrong + r.silent_wrong + r.stalled,
+                r.trials,
+                "{}: every trial classifies into exactly one bucket",
+                r.algorithm
+            );
+            assert_eq!(
+                r.silent_wrong, 0,
+                "{}: hardened algorithms never fail silently",
+                r.algorithm
+            );
+            injected_total += r.injected;
+        }
+        assert!(injected_total > 0, "some scheduled faults must land");
+    }
+
+    #[test]
+    fn e16_is_identical_across_thread_counts() {
+        let (base, base_f) = e16_fault_degradation(8, &[0, 2], 2, 2_000_000, &Sweep::sequential());
+        for threads in [2, 4] {
+            let (par, par_f) =
+                e16_fault_degradation(8, &[0, 2], 2, 2_000_000, &Sweep::with_threads(threads));
+            assert_eq!(par.table.render(), base.table.render(), "threads={threads}");
+            assert_eq!(par_f.len(), base_f.len());
+        }
+    }
+
+    #[test]
+    fn e16_starved_budget_surfaces_isolated_failures_with_context() {
+        let (exp, failures) = e16_fault_degradation(8, &[0], 1, 40, &Sweep::sequential());
+        assert!(!failures.is_empty(), "starved f=0 trials must panic");
+        assert!(failures
+            .iter()
+            .all(|f| f.context.contains("fault-plan:none") && f.context.contains("alg=")));
+        assert!(exp.table.render().contains("E16"));
     }
 
     #[test]

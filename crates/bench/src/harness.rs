@@ -17,6 +17,18 @@
 //! stderr, recorded in the JSON artifact's `"failures"` array, and turn
 //! the exit code nonzero.
 //!
+//! Three resilience flags tune the sweep itself:
+//!
+//! * `--seed S` — the sweep's base seed (default 0); per-trial seeds are
+//!   derived deterministically, so two runs with the same seed are
+//!   byte-identical at any `--threads`.
+//! * `--retries N` — re-run a panicking trial up to `N` extra times under
+//!   deterministically derived seeds before recording a failure
+//!   (default 0; see [`llsc_shmem::Sweep::with_retries`]).
+//! * `--trial-timeout-ms MS` — a per-trial wall-clock deadline converting
+//!   hung trials into structured failures (default off; see
+//!   [`llsc_shmem::Sweep::with_trial_timeout`]).
+//!
 //! A binary's `main` is three lines:
 //!
 //! ```no_run
@@ -54,6 +66,16 @@ pub struct HarnessOpts {
     /// starving it is the supported way to exercise the
     /// budget-exhaustion path end to end.
     pub max_events: Option<u64>,
+    /// The sweep's base seed (`--seed S`, default 0). Every per-trial
+    /// seed derives from it, so artifacts record everything needed to
+    /// reproduce a run.
+    pub seed: u64,
+    /// Deterministic re-runs of panicking trials (`--retries N`,
+    /// default 0).
+    pub retries: u32,
+    /// Per-trial wall-clock deadline in milliseconds
+    /// (`--trial-timeout-ms MS`, default off).
+    pub trial_timeout_ms: Option<u64>,
 }
 
 impl HarnessOpts {
@@ -68,6 +90,9 @@ impl HarnessOpts {
             threads: 1,
             json: None,
             max_events: None,
+            seed: 0,
+            retries: 0,
+            trial_timeout_ms: None,
         };
         let mut args = args.into_iter().map(Into::into);
         while let Some(arg) = args.next() {
@@ -93,6 +118,27 @@ impl HarnessOpts {
                             .ok_or_else(|| format!("bad --max-events value `{v}`"))?,
                     );
                 }
+                "--seed" => {
+                    let v = args.next().ok_or("--seed needs a value")?;
+                    opts.seed = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --seed value `{v}`"))?;
+                }
+                "--retries" => {
+                    let v = args.next().ok_or("--retries needs a value")?;
+                    opts.retries = v
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad --retries value `{v}`"))?;
+                }
+                "--trial-timeout-ms" => {
+                    let v = args.next().ok_or("--trial-timeout-ms needs a value")?;
+                    opts.trial_timeout_ms = Some(
+                        v.parse::<u64>()
+                            .ok()
+                            .filter(|&ms| ms >= 1)
+                            .ok_or_else(|| format!("bad --trial-timeout-ms value `{v}`"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -104,7 +150,10 @@ impl HarnessOpts {
         match HarnessOpts::parse(std::env::args().skip(1)) {
             Ok(opts) => opts,
             Err(e) => {
-                eprintln!("error: {e}\n\nusage: [--threads N] [--json PATH] [--max-events N]");
+                eprintln!(
+                    "error: {e}\n\nusage: [--threads N] [--json PATH] [--max-events N] \
+                     [--seed S] [--retries N] [--trial-timeout-ms MS]"
+                );
                 std::process::exit(2);
             }
         }
@@ -112,7 +161,13 @@ impl HarnessOpts {
 
     /// The [`Sweep`] these options describe.
     pub fn sweep(&self) -> Sweep {
-        Sweep::with_threads(self.threads)
+        let sweep = Sweep::with_threads(self.threads)
+            .seeded(self.seed)
+            .with_retries(self.retries);
+        match self.trial_timeout_ms {
+            Some(ms) => sweep.with_trial_timeout(std::time::Duration::from_millis(ms)),
+            None => sweep,
+        }
     }
 
     /// Prints each table to stdout and, when `--json` was given, writes
@@ -185,13 +240,35 @@ mod tests {
 
     #[test]
     fn parses_all_flags_in_any_order() {
-        let opts =
-            HarnessOpts::parse(["--json", "out.json", "--max-events", "50", "--threads", "4"])
-                .unwrap();
+        let opts = HarnessOpts::parse([
+            "--json",
+            "out.json",
+            "--max-events",
+            "50",
+            "--retries",
+            "2",
+            "--seed",
+            "7",
+            "--trial-timeout-ms",
+            "250",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
         assert_eq!(opts.threads, 4);
         assert_eq!(opts.json, Some(PathBuf::from("out.json")));
         assert_eq!(opts.max_events, Some(50));
-        assert_eq!(opts.sweep().threads, 4);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.retries, 2);
+        assert_eq!(opts.trial_timeout_ms, Some(250));
+        let sweep = opts.sweep();
+        assert_eq!(sweep.threads, 4);
+        assert_eq!(sweep.seed, 7);
+        assert_eq!(sweep.retries, 2);
+        assert_eq!(
+            sweep.trial_timeout,
+            Some(std::time::Duration::from_millis(250))
+        );
     }
 
     #[test]
@@ -200,6 +277,10 @@ mod tests {
         assert_eq!(opts.threads, 1);
         assert!(opts.json.is_none());
         assert!(opts.max_events.is_none());
+        assert_eq!(opts.seed, 0);
+        assert_eq!(opts.retries, 0);
+        assert!(opts.trial_timeout_ms.is_none());
+        assert!(opts.sweep().trial_timeout.is_none());
     }
 
     #[test]
@@ -211,6 +292,10 @@ mod tests {
         assert!(HarnessOpts::parse(["--max-events"]).is_err());
         assert!(HarnessOpts::parse(["--max-events", "0"]).is_err());
         assert!(HarnessOpts::parse(["--max-events", "lots"]).is_err());
+        assert!(HarnessOpts::parse(["--seed"]).is_err());
+        assert!(HarnessOpts::parse(["--seed", "-1"]).is_err());
+        assert!(HarnessOpts::parse(["--retries", "many"]).is_err());
+        assert!(HarnessOpts::parse(["--trial-timeout-ms", "0"]).is_err());
         assert!(HarnessOpts::parse(["--frobnicate"]).is_err());
     }
 
@@ -223,6 +308,9 @@ mod tests {
             threads: 1,
             json: Some(path.clone()),
             max_events: None,
+            seed: 0,
+            retries: 0,
+            trial_timeout_ms: None,
         };
         let mut t = Table::new("t", ["c"]);
         t.row(["1"]);
@@ -230,6 +318,8 @@ mod tests {
             index: 3,
             seed: 9,
             payload: "boom".into(),
+            context: String::new(),
+            attempts: 1,
         }];
         let code = opts.emit_with_failures(&[&t], &failures);
         assert_eq!(code, ExitCode::FAILURE);

@@ -17,15 +17,17 @@
 //! | `table_e8` | E8/E9 | tightness: `O(log n)` tree vs `Theta(n)` baselines |
 //! | `table_e10` | E10 | the non-oblivious constant-time escape hatch |
 //! | `table_e15` | E15 | crash-fault degradation (graceful failure modes) |
+//! | `table_e16` | E16 | memory-fault degradation (hardened algorithms) |
 //!
 //! Each function returns an [`harness::Experiment`] — the rendered table
 //! plus its typed rows — so integration tests can assert on the numbers
 //! without re-parsing stdout. Every binary accepts `--threads N`
 //! (deterministic parallel fan-out; output byte-identical at any thread
-//! count) and `--json PATH` (a structured artifact of the same tables);
-//! fault-injection binaries additionally accept `--max-events N` and
-//! report isolated trial failures in the artifact's `"failures"` array;
-//! see [`harness`].
+//! count), `--json PATH` (a structured artifact of the same tables), and
+//! the sweep-resilience flags `--seed S`, `--retries N`, and
+//! `--trial-timeout-ms MS`; fault-injection binaries additionally accept
+//! `--max-events N` and report isolated trial failures in the artifact's
+//! `"failures"` array; see [`harness`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

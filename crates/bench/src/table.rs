@@ -166,7 +166,12 @@ impl Table {
     ///
     /// Each failure is an all-string object
     /// `{"trial":"…","seed":"0x…","message":"…"}` recording one isolated
-    /// trial panic (see [`llsc_shmem::Sweep::run_fallible`]). The
+    /// trial panic (see [`llsc_shmem::Sweep::run_fallible`]), extended
+    /// with a `"context"` key when the experiment recorded one (the
+    /// fault/crash plan summary that makes the trial reproducible from
+    /// the artifact alone) and an `"attempts"` key when deterministic
+    /// retries ran (see [`llsc_shmem::Sweep::with_retries`]); both keys
+    /// are omitted otherwise, so legacy artifacts are byte-identical. The
     /// `failures` key is omitted entirely when there are none, so a clean
     /// run's artifact is byte-identical to [`Table::render_json_artifact`]
     /// and to artifacts written before failures were recorded.
@@ -194,6 +199,14 @@ impl Table {
                 push_json_string(&mut out, &format!("{:#018x}", f.seed));
                 out.push_str(",\"message\":");
                 push_json_string(&mut out, &f.payload);
+                if !f.context.is_empty() {
+                    out.push_str(",\"context\":");
+                    push_json_string(&mut out, &f.context);
+                }
+                if f.attempts != 1 {
+                    out.push_str(",\"attempts\":");
+                    push_json_string(&mut out, &f.attempts.to_string());
+                }
                 out.push('}');
             }
             out.push(']');
@@ -501,15 +514,38 @@ mod tests {
             index: 7,
             seed: 0x1234,
             payload: "budget \"starved\"".to_string(),
+            context: String::new(),
+            attempts: 1,
         }];
         let artifact = Table::render_json_artifact_with_failures(&[&a], &failures);
         assert!(artifact.contains("\"failures\":[{\"trial\":\"7\""));
         assert!(artifact.contains("\"seed\":\"0x0000000000001234\""));
         assert!(artifact.contains("budget \\\"starved\\\""));
+        // Without context/retries the legacy three-key shape is kept.
+        assert!(!artifact.contains("\"context\""));
+        assert!(!artifact.contains("\"attempts\""));
         // The extra key must not break the artifact parser.
         let back = Table::from_json_artifact(&artifact).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].render(), a.render());
+    }
+
+    #[test]
+    fn failure_context_and_attempts_render_when_present() {
+        let mut a = Table::new("t", ["c"]);
+        a.row(["1"]);
+        let failures = vec![llsc_shmem::TrialFailure {
+            index: 2,
+            seed: 5,
+            payload: "boom".to_string(),
+            context: "alg=x n=8 fault-plan:none".to_string(),
+            attempts: 3,
+        }];
+        let artifact = Table::render_json_artifact_with_failures(&[&a], &failures);
+        assert!(artifact.contains("\"context\":\"alg=x n=8 fault-plan:none\""));
+        assert!(artifact.contains("\"attempts\":\"3\""));
+        let back = Table::from_json_artifact(&artifact).unwrap();
+        assert_eq!(back.len(), 1, "extra keys stay parseable");
     }
 
     #[test]

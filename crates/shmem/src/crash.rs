@@ -298,6 +298,66 @@ mod tests {
     }
 
     #[test]
+    fn crashing_everyone_at_event_zero_settles_with_no_events() {
+        let mut e = exec(3);
+        let plan = CrashPlan::at((0..3).map(|p| (ProcessId(p), 0)));
+        let steps = CrashScheduler::new(RoundRobinScheduler::new(), plan)
+            .drive(&mut e, 1_000)
+            .unwrap();
+        assert_eq!(steps, 0, "nobody was left to step");
+        assert_eq!(e.recorded_events(), 0);
+        assert!(e.all_settled() && !e.all_terminated());
+        assert_eq!(e.run_outcome(), RunOutcome::Crashed { pid: ProcessId(0) });
+    }
+
+    #[test]
+    fn threshold_beyond_the_runs_end_never_fires() {
+        // The whole run finishes in well under 1000 events; a crash point
+        // scheduled out there is dead code in the plan.
+        let mut e = exec(4);
+        let plan = CrashPlan::at([(ProcessId(2), 1_000), (ProcessId(3), u64::MAX)]);
+        CrashScheduler::new(RoundRobinScheduler::new(), plan)
+            .drive(&mut e, 100_000)
+            .unwrap();
+        assert_eq!(e.run_outcome(), RunOutcome::Completed);
+        assert!(!e.is_crashed(ProcessId(2)) && !e.is_crashed(ProcessId(3)));
+    }
+
+    #[test]
+    fn repeated_crashes_of_one_process_are_noops() {
+        // CrashPlan::at rejects duplicate victims; at the executor level a
+        // second crash of the same process (or of a settled one) reports
+        // `false` and changes nothing.
+        let mut e = exec(2);
+        assert!(e.crash(ProcessId(1)));
+        assert!(!e.crash(ProcessId(1)), "double crash is a no-op");
+        e.drive(&mut RoundRobinScheduler::new(), 1_000).unwrap();
+        assert!(!e.crash(ProcessId(0)), "terminated processes cannot crash");
+        assert_eq!(e.run_outcome(), RunOutcome::Crashed { pid: ProcessId(1) });
+    }
+
+    #[test]
+    fn seeded_with_k_equal_to_n_crashes_everyone() {
+        let plan = CrashPlan::seeded(3, 4, 4, 10);
+        assert_eq!(plan.len(), 4);
+        let victims: Vec<usize> = plan.crashes().iter().map(|(p, _)| p.0).collect();
+        assert_eq!(victims, vec![0, 1, 2, 3], "all of them, in id order");
+        let mut e = exec(4);
+        CrashScheduler::new(RoundRobinScheduler::new(), plan)
+            .drive(&mut e, 10_000)
+            .unwrap();
+        assert!(!e.all_terminated(), "k = n leaves no survivor group");
+        assert!(matches!(e.run_outcome(), RunOutcome::Crashed { .. }));
+    }
+
+    #[test]
+    fn seeded_with_zero_window_crashes_at_event_zero() {
+        // window = 0 clamps to 1, so every threshold is exactly 0.
+        let plan = CrashPlan::seeded(5, 3, 2, 0);
+        assert!(plan.crashes().iter().all(|&(_, at)| at == 0));
+    }
+
+    #[test]
     fn budget_faults_propagate_through_the_wrapper() {
         let alg = FnAlgorithm::new("ll-forever", |_pid, _n| {
             fn attempt() -> crate::dsl::Step {

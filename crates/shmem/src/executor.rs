@@ -1,8 +1,9 @@
 //! The deterministic discrete-event engine.
 
 use crate::{
-    Action, Algorithm, Feedback, Operation, ProcessId, Program, Response, Run, RunError, RunEvent,
-    RunOutcome, Scheduler, SharedMemory, TossAssignment, Value,
+    Action, Algorithm, FaultInjector, FaultPlan, FaultStats, Feedback, Operation, ProcessId,
+    Program, Response, Run, RunError, RunEvent, RunOutcome, Scheduler, SharedMemory,
+    TossAssignment, Value,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -126,6 +127,9 @@ pub struct Executor {
     recorded_events: u64,
     /// The first structural fault reported, if any; makes faults sticky.
     fault: Option<RunError>,
+    /// The memory-fault adversary, if one was armed
+    /// ([`Executor::set_fault_plan`]).
+    injector: Option<FaultInjector>,
 }
 
 impl Executor {
@@ -162,7 +166,27 @@ impl Executor {
             rr_cursor: 0,
             recorded_events: 0,
             fault: None,
+            injector: None,
         }
+    }
+
+    /// Arms the memory-fault adversary: faults from `plan` are delivered
+    /// at their event thresholds as the run progresses (see
+    /// [`FaultPlan`]). Injection happens inside the executor's own
+    /// stepping path, so it composes with any [`Scheduler`] — including
+    /// the [`CrashScheduler`](crate::CrashScheduler) wrapper — without a
+    /// wrapper of its own.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Faults delivered so far by the armed plan (all zero when no plan
+    /// was set).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector
+            .as_ref()
+            .map(FaultInjector::stats)
+            .unwrap_or_default()
     }
 
     /// The number of processes.
@@ -251,7 +275,9 @@ impl Executor {
     }
 
     /// Classifies the run as it stands: [`RunOutcome::Completed`] when
-    /// every process terminated; a sticky fault if one fired; otherwise
+    /// every process terminated ([`RunOutcome::FaultInjected`] if the
+    /// armed fault plan delivered faults along the way); a sticky fault
+    /// if one fired; otherwise
     /// [`RunOutcome::Crashed`] when a crashed process blocks completion,
     /// or [`RunOutcome::BudgetExhausted`] for a run that simply stopped
     /// (the caller's step limit ran out or its scheduler declined) with
@@ -261,6 +287,13 @@ impl Executor {
             return f.into();
         }
         if self.all_terminated() {
+            let stats = self.fault_stats();
+            if stats.total() > 0 {
+                return RunOutcome::FaultInjected {
+                    spurious_sc: stats.spurious_sc,
+                    corruptions: stats.corruptions,
+                };
+            }
             return RunOutcome::Completed;
         }
         if let Some(pid) = ProcessId::all(self.n).find(|p| self.is_crashed(*p)) {
@@ -302,6 +335,11 @@ impl Executor {
 
     /// Counts one toss/shared-op event against the budget; reports (and
     /// stickies) [`RunError::BudgetExhausted`] when the budget fires.
+    /// Also polls the ambient per-trial wall-clock deadline (armed by
+    /// [`Sweep`](crate::Sweep) timeouts) every 512 events, so a hung
+    /// trial panics into a structured
+    /// [`TrialFailure`](crate::TrialFailure) instead of stalling its
+    /// sweep.
     fn guard_events(&mut self) -> Result<(), RunError> {
         self.recorded_events += 1;
         if self.recorded_events >= self.config.max_events {
@@ -310,6 +348,9 @@ impl Executor {
             };
             self.fault = Some(err);
             return Err(err);
+        }
+        if self.recorded_events.is_multiple_of(512) {
+            crate::sweep::check_trial_deadline(self.recorded_events);
         }
         Ok(())
     }
@@ -429,7 +470,7 @@ impl Executor {
             Some(Action::Invoke(op)) => op,
             other => panic!("{p} has no pending shared-memory operation (pending: {other:?})"),
         };
-        let resp = self.memory.apply(p, &op);
+        let resp = self.apply_with_faults(p, &op);
         self.guard_events()?;
         self.run.record(RunEvent::SharedOp {
             pid: p,
@@ -438,6 +479,42 @@ impl Executor {
         });
         self.feed(p, Feedback::Response(resp.clone()));
         Ok((op, resp))
+    }
+
+    /// Applies `op` through the armed fault injector (when one is set):
+    /// due corruptions rewrite the register the operation is about to
+    /// observe, then a due spurious entry suppresses the operation if it
+    /// is an SC whose `Pset` condition holds. With no injector (or no due
+    /// fault) this is exactly [`SharedMemory::apply`].
+    fn apply_with_faults(&mut self, p: ProcessId, op: &Operation) -> Response {
+        let Some(mut inj) = self.injector.take() else {
+            return self.memory.apply(p, op);
+        };
+        // Transient corruption strikes the register this operation reads
+        // (its *observed* register: the source of a move, the target of
+        // everything else) just before the operation applies, so the
+        // corrupted value is what the process sees.
+        while let Some(clear_pset) = inj.take_corruption(self.recorded_events) {
+            let reg = op.observed();
+            let fresh = inj.corrupt_value(&self.memory.peek(reg));
+            self.memory.corrupt(reg, fresh, clear_pset);
+        }
+        // A due spurious entry waits for an SC that would have succeeded;
+        // suppressing an already-failing SC would inject nothing.
+        let resp = match op {
+            Operation::Sc(r, _) if inj.spurious_due(self.recorded_events) => {
+                match self.memory.suppress_sc(p, *r) {
+                    Some(resp) => {
+                        inj.consume_spurious();
+                        resp
+                    }
+                    None => self.memory.apply(p, op),
+                }
+            }
+            _ => self.memory.apply(p, op),
+        };
+        self.injector = Some(inj);
+        resp
     }
 
     /// Advances the next runnable process (round-robin over ids) by one
@@ -728,5 +805,91 @@ mod tests {
             })
             .collect();
         assert_eq!(runs[0].events(), runs[1].events());
+    }
+
+    #[test]
+    fn spurious_sc_fails_a_would_succeed_sc_and_the_retry_recovers() {
+        // One process, counter_like: events are LL(1), SC(2), ... Schedule
+        // the spurious fault at the first SC (event threshold 0 is due
+        // immediately; it waits for a qualifying SC).
+        let alg = counter_like();
+        let mut exec = Executor::new(&alg, 1, Arc::new(ZeroTosses), ExecutorConfig::default());
+        exec.set_fault_plan(FaultPlan::at([0], [], 7));
+        while exec.step_round_robin().unwrap() {}
+        assert!(exec.all_terminated());
+        // The retry loop recovered: the increment still landed.
+        assert_eq!(exec.memory().peek(RegisterId(0)), Value::from(1i64));
+        assert_eq!(exec.fault_stats().spurious_sc, 1);
+        assert_eq!(
+            exec.run_outcome(),
+            RunOutcome::FaultInjected {
+                spurious_sc: 1,
+                corruptions: 0
+            }
+        );
+        assert!(exec.run_outcome().is_completed());
+        // Cost of the recovery: LL, failed SC, then LL + SC again.
+        assert_eq!(exec.run().shared_steps(ProcessId(0)), 4);
+    }
+
+    #[test]
+    fn spurious_entry_waits_for_a_qualifying_sc() {
+        // A solo run whose only SCs would succeed: the entry fires on the
+        // first SC, not on the preceding LL.
+        let alg = counter_like();
+        let mut exec = Executor::new(&alg, 1, Arc::new(ZeroTosses), ExecutorConfig::default());
+        exec.set_fault_plan(FaultPlan::at([0], [], 7));
+        // Event 0: the LL — not an SC, the fault stays pending.
+        exec.step(ProcessId(0)).unwrap();
+        assert_eq!(exec.fault_stats().spurious_sc, 0);
+        // Event 1: the SC — suppressed.
+        exec.step(ProcessId(0)).unwrap();
+        assert_eq!(exec.fault_stats().spurious_sc, 1);
+    }
+
+    #[test]
+    fn corruption_rewrites_the_observed_register() {
+        let alg = counter_like();
+        let mut exec = Executor::new(&alg, 1, Arc::new(ZeroTosses), ExecutorConfig::default());
+        // Corrupt at event 0: the first LL observes a corrupted counter.
+        exec.set_fault_plan(FaultPlan::at([], [(0, false)], 3));
+        let (_, resp) = exec.perform_shared(ProcessId(0)).unwrap();
+        let seen = match resp {
+            Response::Value(v) => v,
+            other => panic!("LL returns a value, got {other:?}"),
+        };
+        assert_ne!(seen, Value::from(0i64), "the LL saw the corrupted value");
+        assert_eq!(exec.fault_stats().corruptions, 1);
+        // Same-type corruption: still an Int.
+        assert!(seen.as_int().is_some());
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        let alg = counter_like();
+        let mut base = Executor::new(&alg, 3, Arc::new(ZeroTosses), ExecutorConfig::default());
+        while base.step_round_robin().unwrap() {}
+        let mut armed = Executor::new(&alg, 3, Arc::new(ZeroTosses), ExecutorConfig::default());
+        armed.set_fault_plan(FaultPlan::none());
+        while armed.step_round_robin().unwrap() {}
+        assert_eq!(armed.run_outcome(), RunOutcome::Completed);
+        assert_eq!(base.run().events(), armed.run().events());
+        assert_eq!(base.memory().stats(), armed.memory().stats());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let alg = counter_like();
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                let mut e = Executor::new(&alg, 4, Arc::new(ZeroTosses), ExecutorConfig::default());
+                e.set_fault_plan(FaultPlan::seeded(11, 2, 2, 16));
+                while e.step_round_robin().unwrap() {}
+                let stats = e.fault_stats();
+                (e.into_run(), stats)
+            })
+            .collect();
+        assert_eq!(runs[0].0.events(), runs[1].0.events());
+        assert_eq!(runs[0].1, runs[1].1);
     }
 }

@@ -30,9 +30,13 @@
 //! Execution is fault-tolerant by construction: safety-limit trips are
 //! structured [`RunError`]s rather than panics (classified per run by
 //! [`RunOutcome`]), crash-stop faults are first-class ([`Executor::crash`],
-//! the seeded [`CrashPlan`]/[`CrashScheduler`] adversary), and the
-//! [`Sweep`] trial engine isolates per-trial panics into [`TrialFailure`]
-//! rows ([`Sweep::run_fallible`]).
+//! the seeded [`CrashPlan`]/[`CrashScheduler`] adversary), memory faults —
+//! spurious SC failures and transient register corruption, the weak-LL/SC
+//! semantics of real hardware — are injected deterministically by a seeded
+//! [`FaultPlan`] ([`Executor::set_fault_plan`]), and the [`Sweep`] trial
+//! engine isolates per-trial panics into [`TrialFailure`] rows
+//! ([`Sweep::run_fallible`]), with optional deterministic retries and
+//! per-trial wall-clock deadlines.
 //!
 //! ## Example
 //!
@@ -73,6 +77,7 @@
 mod coin;
 mod crash;
 mod executor;
+mod fault;
 mod ids;
 mod memory;
 mod op;
@@ -90,6 +95,7 @@ pub mod sweep;
 pub use coin::{ConstantTosses, MapTosses, SeededTosses, TossAssignment, ZeroTosses};
 pub use crash::{CrashPlan, CrashScheduler};
 pub use executor::{Executor, ExecutorConfig, StepOutcome};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use ids::{ProcessId, RegisterId};
 pub use memory::{MemoryStats, SharedMemory};
 pub use op::{OpKind, Operation, Response};

@@ -126,6 +126,33 @@ impl SharedMemory {
         }
     }
 
+    /// Applies a *spurious* `SC` failure on behalf of `p`: if `p` is
+    /// linked to `reg` (the SC would have succeeded), the link is silently
+    /// dropped — [`RegisterState::suppress_sc`] — and the failed-SC
+    /// response is returned. Returns `None` when `p` holds no link, in
+    /// which case the SC would fail anyway and suppression would inject
+    /// nothing; the caller should apply the operation normally and keep
+    /// the fault pending.
+    ///
+    /// The suppressed SC is still a shared access and is counted in
+    /// [`MemoryStats::scs`] (but not as successful).
+    pub fn suppress_sc(&mut self, p: ProcessId, reg: RegisterId) -> Option<Response> {
+        if !self.regs.get(&reg).is_some_and(|s| s.linked(p)) {
+            return None;
+        }
+        self.stats.record(OpKind::Sc);
+        let value = self.state_mut(reg).suppress_sc(p);
+        Some(Response::Flagged { ok: false, value })
+    }
+
+    /// Transient corruption of `reg`: the value becomes `value` and, when
+    /// `clear_pset` is set, every link is dropped. A fault-injector
+    /// primitive — not a process step, so it is not counted in
+    /// [`MemoryStats`].
+    pub fn corrupt(&mut self, reg: RegisterId, value: Value, clear_pset: bool) {
+        self.state_mut(reg).corrupt(value, clear_pset);
+    }
+
     /// Cumulative operation statistics.
     pub fn stats(&self) -> &MemoryStats {
         &self.stats
@@ -317,6 +344,43 @@ mod tests {
         assert_eq!(s.moves, 1);
         assert_eq!(s.total(), 6);
         assert!(s.to_string().contains("total=6"));
+    }
+
+    #[test]
+    fn suppress_sc_requires_a_live_link_and_counts_as_an_sc() {
+        let mut mem = SharedMemory::with_initial([(RegisterId(0), int(3))]);
+        // No link yet: suppression has nothing to inject.
+        assert_eq!(mem.suppress_sc(P0, RegisterId(0)), None);
+        assert_eq!(mem.stats().scs, 0);
+        mem.apply(P0, &Operation::Ll(RegisterId(0)));
+        let resp = mem.suppress_sc(P0, RegisterId(0));
+        assert_eq!(
+            resp,
+            Some(Response::Flagged {
+                ok: false,
+                value: int(3)
+            })
+        );
+        assert!(!mem.peek_linked(RegisterId(0), P0));
+        assert_eq!(mem.peek(RegisterId(0)), int(3), "value untouched");
+        let s = mem.stats();
+        assert_eq!(s.scs, 1, "a spurious SC is still a shared access");
+        assert_eq!(s.successful_scs, 0);
+    }
+
+    #[test]
+    fn corrupt_rewrites_without_counting_an_operation() {
+        let mut mem = SharedMemory::with_initial([(RegisterId(0), int(3))]);
+        mem.apply(P0, &Operation::Ll(RegisterId(0)));
+        mem.corrupt(RegisterId(0), int(99), false);
+        assert_eq!(mem.peek(RegisterId(0)), int(99));
+        assert!(mem.peek_linked(RegisterId(0), P0), "links kept");
+        mem.corrupt(RegisterId(0), int(100), true);
+        assert!(!mem.peek_linked(RegisterId(0), P0), "links cleared");
+        assert_eq!(mem.stats().total(), 1, "corruption is not a step");
+        // Corrupting an untouched register materialises it.
+        mem.corrupt(RegisterId(5), int(1), true);
+        assert_eq!(mem.peek(RegisterId(5)), int(1));
     }
 
     #[test]

@@ -80,6 +80,16 @@ impl std::error::Error for RunError {}
 pub enum RunOutcome {
     /// Every process terminated.
     Completed,
+    /// Every process terminated, but the memory-fault adversary delivered
+    /// faults along the way (see [`FaultPlan`](crate::FaultPlan)): the
+    /// run *completed under fire*, and whether the algorithm's answers
+    /// survived is for the experiment's checker to decide.
+    FaultInjected {
+        /// Spurious SC failures delivered.
+        spurious_sc: u64,
+        /// Register corruptions delivered.
+        corruptions: u64,
+    },
     /// The event budget fired, or the drive stopped (step limit, scheduler
     /// declined) with live processes remaining.
     BudgetExhausted {
@@ -101,16 +111,22 @@ pub enum RunOutcome {
 }
 
 impl RunOutcome {
-    /// `true` iff the run completed (every process terminated).
+    /// `true` iff the run completed (every process terminated) — with or
+    /// without injected faults.
     pub fn is_completed(&self) -> bool {
-        matches!(self, RunOutcome::Completed)
+        matches!(
+            self,
+            RunOutcome::Completed | RunOutcome::FaultInjected { .. }
+        )
     }
 
-    /// The outcome as a `Result`: `Ok(())` for [`RunOutcome::Completed`],
-    /// otherwise the corresponding [`RunError`].
+    /// The outcome as a `Result`: `Ok(())` for the completing arms
+    /// ([`RunOutcome::Completed`] and [`RunOutcome::FaultInjected`] —
+    /// every process terminated), otherwise the corresponding
+    /// [`RunError`].
     pub fn into_result(self) -> Result<(), RunError> {
         match self {
-            RunOutcome::Completed => Ok(()),
+            RunOutcome::Completed | RunOutcome::FaultInjected { .. } => Ok(()),
             RunOutcome::BudgetExhausted { events } => Err(RunError::BudgetExhausted { events }),
             RunOutcome::DivergedLocalBurst { pid } => Err(RunError::DivergedLocalBurst { pid }),
             RunOutcome::Crashed { pid } => Err(RunError::Crashed { pid }),
@@ -121,6 +137,7 @@ impl RunOutcome {
     pub fn label(&self) -> &'static str {
         match self {
             RunOutcome::Completed => "completed",
+            RunOutcome::FaultInjected { .. } => "fault-injected",
             RunOutcome::BudgetExhausted { .. } => "budget-exhausted",
             RunOutcome::DivergedLocalBurst { .. } => "diverged",
             RunOutcome::Crashed { .. } => "crashed",
@@ -142,9 +159,17 @@ impl fmt::Display for RunOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunOutcome::Completed => f.write_str("completed"),
+            RunOutcome::FaultInjected {
+                spurious_sc,
+                corruptions,
+            } => write!(
+                f,
+                "completed under {spurious_sc} spurious SC failure(s) and \
+                 {corruptions} corruption(s)"
+            ),
             other => match other.into_result() {
                 Err(e) => e.fmt(f),
-                Ok(()) => unreachable!("only Completed maps to Ok"),
+                Ok(()) => unreachable!("the completing arms are handled above"),
             },
         }
     }
@@ -167,6 +192,20 @@ mod tests {
         }
         assert_eq!(RunOutcome::Completed.into_result(), Ok(()));
         assert!(RunOutcome::Completed.is_completed());
+    }
+
+    #[test]
+    fn fault_injected_counts_as_completed() {
+        let o = RunOutcome::FaultInjected {
+            spurious_sc: 2,
+            corruptions: 1,
+        };
+        assert!(o.is_completed(), "every process terminated");
+        assert_eq!(o.into_result(), Ok(()));
+        assert_eq!(o.label(), "fault-injected");
+        let s = o.to_string();
+        assert!(s.contains("2 spurious"), "{s}");
+        assert!(s.contains("1 corruption"), "{s}");
     }
 
     #[test]

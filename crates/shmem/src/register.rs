@@ -101,6 +101,26 @@ impl RegisterState {
         self.value = moved;
         self.pset.clear();
     }
+
+    /// A *spurious* `SC` failure by `p` — the weak-LL/SC fault mode: `p`'s
+    /// reservation is silently lost (as by a cache-line eviction), so only
+    /// `p` leaves `Pset(R)`; the value and every other process's link are
+    /// untouched. Returns the current value, matching the failed-SC
+    /// response shape.
+    pub fn suppress_sc(&mut self, p: ProcessId) -> Value {
+        self.pset.remove(&p);
+        self.value.clone()
+    }
+
+    /// Transient corruption: the value becomes `v` and, when `clear_pset`
+    /// is set, every link is dropped. A fault-injector primitive, not one
+    /// of the paper's operations.
+    pub fn corrupt(&mut self, v: Value, clear_pset: bool) {
+        self.value = v;
+        if clear_pset {
+            self.pset.clear();
+        }
+    }
 }
 
 impl fmt::Display for RegisterState {
@@ -228,6 +248,32 @@ mod tests {
         assert!(r.sc(P1, int(1)).0);
         assert!(!r.sc(P0, int(2)).0);
         assert_eq!(r.value(), &int(1));
+    }
+
+    #[test]
+    fn suppress_sc_drops_only_the_callers_link() {
+        let mut r = RegisterState::new(int(4));
+        r.ll(P0);
+        r.ll(P1);
+        assert_eq!(r.suppress_sc(P0), int(4), "value reported, not changed");
+        assert!(!r.linked(P0), "the caller's reservation is lost");
+        assert!(r.linked(P1), "other links survive a spurious failure");
+        assert_eq!(r.value(), &int(4));
+        // The victim's retry must re-LL before an SC can succeed again.
+        assert_eq!(r.sc(P0, int(9)), (false, int(4)));
+        assert!(r.sc(P1, int(9)).0, "P1's link was untouched");
+    }
+
+    #[test]
+    fn corrupt_replaces_value_and_optionally_clears_pset() {
+        let mut r = RegisterState::new(int(1));
+        r.ll(P0);
+        r.corrupt(int(7), false);
+        assert_eq!(r.value(), &int(7));
+        assert!(r.linked(P0), "clear_pset=false keeps links");
+        r.corrupt(int(8), true);
+        assert_eq!(r.value(), &int(8));
+        assert!(!r.linked(P0), "clear_pset=true drops links");
     }
 
     #[test]

@@ -26,11 +26,13 @@
 //! assert_eq!(serial, parallel);
 //! ```
 
-use crate::rng::trial_seed;
+use crate::rng::{retry_seed, trial_seed};
+use std::cell::Cell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// One unit of work within a sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,17 +45,24 @@ pub struct Trial {
 }
 
 /// A trial that panicked inside [`Sweep::run_fallible`]: the identifying
-/// `(index, seed)` pair plus the stringified panic payload, so a failure
-/// row in a JSON artifact is enough to replay the one bad trial.
+/// `(index, seed)` pair plus the stringified panic payload and the
+/// experiment-provided context (its fault/crash plan summary), so a
+/// failure row in a JSON artifact is enough to replay the one bad trial.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TrialFailure {
     /// The failing trial's position in the sweep.
     pub index: usize,
-    /// The failing trial's derived seed.
+    /// The failing trial's *base* derived seed (attempt 0's seed; retry
+    /// attempts derive theirs from it via [`retry_seed`]).
     pub seed: u64,
-    /// The panic payload, stringified (`&str`/`String` payloads verbatim;
-    /// anything else is labelled opaque).
+    /// The panic payload of the last attempt, stringified (`&str`/`String`
+    /// payloads verbatim; anything else is labelled opaque).
     pub payload: String,
+    /// Experiment-provided reproduction context (for example the trial's
+    /// fault/crash plan summary); empty when the sweep attached none.
+    pub context: String,
+    /// Total attempts made (1 = no retries configured or needed).
+    pub attempts: u32,
 }
 
 impl fmt::Display for TrialFailure {
@@ -62,7 +71,14 @@ impl fmt::Display for TrialFailure {
             f,
             "trial {} (seed {:#018x}) panicked: {}",
             self.index, self.seed, self.payload
-        )
+        )?;
+        if !self.context.is_empty() {
+            write!(f, " [{}]", self.context)?;
+        }
+        if self.attempts > 1 {
+            write!(f, " (after {} attempts)", self.attempts)?;
+        }
+        Ok(())
     }
 }
 
@@ -77,13 +93,62 @@ fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// A batch of independent deterministic trials: thread count + sweep seed.
+thread_local! {
+    /// The wall-clock deadline of the trial currently running on this
+    /// worker thread, if its sweep configured one.
+    static TRIAL_DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Polls the ambient per-trial deadline; called from long-running loops
+/// inside a trial (the executor's event guard does). Panics — into the
+/// trial's [`TrialFailure`] — when the deadline has passed. A no-op on
+/// threads with no armed deadline, so code under test or outside sweeps
+/// is unaffected.
+pub(crate) fn check_trial_deadline(events: u64) {
+    let expired = TRIAL_DEADLINE.with(|d| d.get().is_some_and(|t| Instant::now() >= t));
+    if expired {
+        panic!("trial wall-clock deadline exceeded after {events} recorded events");
+    }
+}
+
+/// Arms the calling thread's trial deadline for one attempt; the guard
+/// restores the previous state on drop, *including* across the unwind of
+/// a timed-out (panicking) trial.
+struct DeadlineGuard {
+    prev: Option<Instant>,
+}
+
+fn arm_deadline(timeout: Option<Duration>) -> DeadlineGuard {
+    let prev = TRIAL_DEADLINE.with(Cell::get);
+    TRIAL_DEADLINE.with(|d| d.set(timeout.map(|t| Instant::now() + t)));
+    DeadlineGuard { prev }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        TRIAL_DEADLINE.with(|d| d.set(prev));
+    }
+}
+
+/// A batch of independent deterministic trials: thread count, sweep seed,
+/// retry budget, and optional per-trial wall-clock deadline.
 #[derive(Clone, Copy, Debug)]
 pub struct Sweep {
     /// Worker threads to fan trials out over (clamped to at least 1).
     pub threads: usize,
     /// The sweep seed from which every trial seed is derived.
     pub seed: u64,
+    /// Deterministic re-runs granted to a panicking trial before it is
+    /// reported as a [`TrialFailure`] (attempt `k` runs under
+    /// [`retry_seed`]`(trial.seed, k)`). Default 0: fail on first panic.
+    pub retries: u32,
+    /// Per-trial wall-clock deadline; `None` (the default) disables the
+    /// check. Timeouts convert a hung trial into a structured failure,
+    /// at the price of machine-speed dependence *in failure rows only* —
+    /// trials that finish in time are untouched, so passing artifacts
+    /// stay byte-identical.
+    pub trial_timeout: Option<Duration>,
 }
 
 impl Default for Sweep {
@@ -98,17 +163,35 @@ impl Sweep {
         Sweep {
             threads: 1,
             seed: 0,
+            retries: 0,
+            trial_timeout: None,
         }
     }
 
     /// A sweep over `threads` workers with the default seed 0.
     pub fn with_threads(threads: usize) -> Self {
-        Sweep { threads, seed: 0 }
+        Sweep {
+            threads,
+            ..Sweep::sequential()
+        }
     }
 
     /// Sets the sweep seed (builder style).
     pub fn seeded(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the retry budget (builder style); see [`Sweep::retries`].
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the per-trial wall-clock deadline (builder style); see
+    /// [`Sweep::trial_timeout`].
+    pub fn with_trial_timeout(mut self, timeout: Duration) -> Self {
+        self.trial_timeout = Some(timeout);
         self
     }
 
@@ -152,11 +235,35 @@ impl Sweep {
     /// loss of the whole sweep. As with [`Sweep::run`], `f` must be a pure
     /// function of `(trial, item)`; that purity is also what makes it
     /// unwind-safe to retry or record.
+    ///
+    /// A panicking trial is re-run [`Sweep::retries`] times under
+    /// deterministic derived seeds before it is reported, and each attempt
+    /// runs under the sweep's [`Sweep::trial_timeout`], if one is set.
     pub fn run_fallible<I, T, F>(&self, items: &[I], f: F) -> Vec<Result<T, TrialFailure>>
     where
         I: Sync,
         T: Send,
         F: Fn(Trial, &I) -> T + Sync,
+    {
+        self.run_fallible_with(items, f, |_, _| String::new())
+    }
+
+    /// [`Sweep::run_fallible`] with a reproduction-context callback:
+    /// `context(trial, item)` is evaluated for each *failing* trial and
+    /// recorded in its [`TrialFailure::context`] (experiments put their
+    /// fault/crash plan summaries there, making any failure row in a JSON
+    /// artifact reproducible on its own).
+    pub fn run_fallible_with<I, T, F, C>(
+        &self,
+        items: &[I],
+        f: F,
+        context: C,
+    ) -> Vec<Result<T, TrialFailure>>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(Trial, &I) -> T + Sync,
+        C: Fn(Trial, &I) -> String + Sync,
     {
         let threads = self.threads.max(1).min(items.len().max(1));
         let trial = |index: usize| Trial {
@@ -164,10 +271,25 @@ impl Sweep {
             seed: trial_seed(self.seed, index),
         };
         let guarded = |t: Trial, item: &I| -> Result<T, TrialFailure> {
-            catch_unwind(AssertUnwindSafe(|| f(t, item))).map_err(|payload| TrialFailure {
+            let attempts = self.retries.saturating_add(1);
+            let mut last_payload = String::new();
+            for attempt in 0..attempts {
+                let attempt_trial = Trial {
+                    index: t.index,
+                    seed: retry_seed(t.seed, attempt),
+                };
+                let _deadline = arm_deadline(self.trial_timeout);
+                match catch_unwind(AssertUnwindSafe(|| f(attempt_trial, item))) {
+                    Ok(out) => return Ok(out),
+                    Err(payload) => last_payload = payload_string(payload),
+                }
+            }
+            Err(TrialFailure {
                 index: t.index,
                 seed: t.seed,
-                payload: payload_string(payload),
+                payload: last_payload,
+                context: context(t, item),
+                attempts,
             })
         };
         if threads <= 1 {
@@ -372,5 +494,113 @@ mod tests {
         assert_eq!(threads_or_default(Some(6)), 6);
         assert_eq!(threads_or_default(Some(0)), 1);
         assert_eq!(threads_or_default(None), 1);
+    }
+
+    #[test]
+    fn retries_rerun_under_derived_seeds_until_success() {
+        // The trial panics on its base seed but succeeds on any retry
+        // seed: with retries it recovers, without it fails — and the
+        // failure records the attempt count and the base seed.
+        let items = vec![0usize];
+        let base = crate::rng::trial_seed(0, 0);
+        let f = |t: Trial, _: &usize| {
+            if t.seed == base {
+                panic!("transient failure on the base seed");
+            }
+            t.seed
+        };
+        let with = Sweep::sequential().with_retries(2).run_fallible(&items, f);
+        assert_eq!(
+            with[0],
+            Ok(crate::rng::retry_seed(base, 1)),
+            "first retry succeeded deterministically"
+        );
+        let without = Sweep::sequential().run_fallible(&items, f);
+        let failure = without[0].as_ref().unwrap_err();
+        assert_eq!(failure.attempts, 1);
+        assert_eq!(failure.seed, base, "failure reports the base seed");
+        assert!(
+            !failure.to_string().contains("attempts"),
+            "1 attempt is implied"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_last_payload_and_attempt_count() {
+        let out = Sweep::sequential()
+            .with_retries(3)
+            .run_fallible(&[0usize], |t: Trial, _| -> usize {
+                panic!("always bad (seed {:#x})", t.seed)
+            });
+        let f = out[0].as_ref().unwrap_err();
+        assert_eq!(f.attempts, 4, "1 original + 3 retries");
+        let last = crate::rng::retry_seed(f.seed, 3);
+        assert!(
+            f.payload.contains(&format!("{last:#x}")),
+            "payload is from the final attempt: {}",
+            f.payload
+        );
+        assert!(f.to_string().contains("after 4 attempts"), "{f}");
+    }
+
+    #[test]
+    fn context_callback_is_recorded_on_failures() {
+        let items: Vec<usize> = (0..4).collect();
+        let out = Sweep::sequential().run_fallible_with(
+            &items,
+            |_, &x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            },
+            |t, &x| format!("item={x} index={}", t.index),
+        );
+        let f = out[2].as_ref().unwrap_err();
+        assert_eq!(f.context, "item=2 index=2");
+        assert!(f.to_string().contains("[item=2 index=2]"), "{f}");
+        assert!(out[1].is_ok(), "context evaluation is failure-only");
+    }
+
+    #[test]
+    fn trial_timeout_converts_a_hung_trial_into_a_failure() {
+        use std::time::Duration;
+        let items: Vec<u64> = (0..3).collect();
+        let out = Sweep::sequential()
+            .with_trial_timeout(Duration::from_millis(10))
+            .run_fallible(&items, |_, &x| {
+                if x == 1 {
+                    // A "hung" trial: spin until the ambient deadline
+                    // fires (checked the way the executor checks it).
+                    let mut events = 0u64;
+                    loop {
+                        events += 1;
+                        if events % 512 == 0 {
+                            check_trial_deadline(events);
+                        }
+                    }
+                }
+                x
+            });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[2], Ok(2), "later trials run after the timeout");
+        let f = out[1].as_ref().unwrap_err();
+        assert!(
+            f.payload.contains("wall-clock deadline exceeded"),
+            "{}",
+            f.payload
+        );
+    }
+
+    #[test]
+    fn deadline_is_cleared_after_each_trial_even_across_unwind() {
+        use std::time::Duration;
+        // A timed sweep whose trial panics must not leave a stale
+        // deadline armed on the worker thread.
+        let _ = Sweep::sequential()
+            .with_trial_timeout(Duration::from_millis(1))
+            .run_fallible(&[0usize], |_, _| -> usize { panic!("bad") });
+        std::thread::sleep(Duration::from_millis(2));
+        check_trial_deadline(0); // must not panic: no deadline armed here
     }
 }

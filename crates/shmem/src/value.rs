@@ -170,6 +170,41 @@ impl Value {
         Some(Value::Bits(ws))
     }
 
+    /// A 64-bit structural checksum of the value term (FNV-1a over a
+    /// variant-tagged traversal). Hardened algorithms store a value's
+    /// fingerprint next to the value itself so a transiently corrupted
+    /// register is *detectable*: any single-field mutation changes the
+    /// fingerprint, and forging a matching one would require corrupting
+    /// value and checksum consistently.
+    ///
+    /// ```
+    /// use llsc_shmem::Value;
+    /// let v = Value::tuple([Value::from(1i64), Value::from(true)]);
+    /// assert_eq!(v.fingerprint(), v.clone().fingerprint());
+    /// assert_ne!(v.fingerprint(), Value::Unit.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(0x0000_0100_0000_01B3)
+        }
+        fn go(v: &Value, h: u64) -> u64 {
+            match v {
+                Value::Unit => mix(h, 1),
+                Value::Bool(b) => mix(mix(h, 2), u64::from(*b)),
+                Value::Int(i) => mix(mix(mix(h, 3), *i as u64), (*i >> 64) as u64),
+                Value::Pid(p) => mix(mix(h, 4), p.0 as u64),
+                Value::Reg(r) => mix(mix(h, 5), r.0),
+                Value::Bits(ws) => ws
+                    .iter()
+                    .fold(mix(mix(h, 6), ws.len() as u64), |h, w| mix(h, *w)),
+                Value::Tuple(vs) => vs
+                    .iter()
+                    .fold(mix(mix(h, 7), vs.len() as u64), |h, v| go(v, h)),
+            }
+        }
+        go(self, 0xcbf2_9ce4_8422_2325)
+    }
+
     /// A structural size measure: the number of nodes in the value term.
     /// Useful for asserting that experiments do not accidentally blow up
     /// register contents.
@@ -336,6 +371,32 @@ mod tests {
             "(1, false)"
         );
         assert_eq!(Value::Bits(vec![0xff]).to_string(), "0x00000000000000ff");
+    }
+
+    #[test]
+    fn fingerprint_separates_structure() {
+        // Distinct values that a naive (untagged, unlengthed) hash would
+        // conflate must fingerprint differently.
+        let distinct = [
+            Value::Unit,
+            Value::Bool(false),
+            Value::from(0i64),
+            Value::from(1i64),
+            Value::Pid(ProcessId(0)),
+            Value::Reg(RegisterId(0)),
+            Value::zero_bits(1),
+            Value::zero_bits(2),
+            Value::empty_tuple(),
+            Value::tuple([Value::Unit]),
+            Value::tuple([Value::Unit, Value::Unit]),
+            Value::tuple([Value::from(1i64), Value::from(2i64)]),
+            Value::tuple([Value::from(2i64), Value::from(1i64)]),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &distinct {
+            assert!(seen.insert(v.fingerprint()), "collision at {v}");
+            assert_eq!(v.fingerprint(), v.fingerprint(), "stable for {v}");
+        }
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!   for any type, which is exactly why the paper concludes that
 //!   sublogarithmic implementations "must necessarily exploit the semantics
 //!   of the type being implemented".
+//! * [`HardenedDirectLlSc`], [`HardenedCombiningTreeUniversal`] and
+//!   [`HardenedAdtTreeUniversal`] — fault-hardened twins of the direct
+//!   loop and both trees, self-validating with epoch counters and
+//!   [`llsc_shmem::Value::fingerprint`] checksums against the
+//!   [`llsc_shmem::FaultPlan`] adversary's spurious SC failures and
+//!   register corruption, at zero extra shared-access cost when no fault
+//!   fires (experiment E16).
 //! * [`MsQueue`] and [`TreiberStack`] — *structural* escape hatches: the
 //!   classic pointer-based LL/SC queue and stack, rebuilt inside the
 //!   model with register names as pointers. O(1) registers touched per
@@ -55,6 +62,7 @@
 mod adt_tree;
 mod combining_tree;
 mod direct;
+mod hardened;
 mod herlihy;
 mod implementation;
 mod measure;
@@ -65,6 +73,10 @@ mod treiber;
 pub use adt_tree::AdtTreeUniversal;
 pub use combining_tree::CombiningTreeUniversal;
 pub use direct::DirectLlSc;
+pub use hardened::{
+    hardened_detect_reg, HardenedAdtTreeUniversal, HardenedCombiningTreeUniversal,
+    HardenedDirectLlSc, BACKOFF_CAP, DETECT_BASE,
+};
 pub use herlihy::HerlihyUniversal;
 pub use implementation::ObjectImplementation;
 pub use measure::{measure, MeasureConfig, MeasureResult, ScheduleKind};

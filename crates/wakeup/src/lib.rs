@@ -15,6 +15,13 @@
 //! * **Randomized solutions** — [`RandomizedCounterWakeup`] and
 //!   [`BackoffWakeup`], with genuine coin tosses on the execution path,
 //!   for the expected-complexity experiments (Lemma 3.1).
+//! * **Fault-hardened solutions** — [`HardenedCounterWakeup`],
+//!   [`HardenedRandomizedCounterWakeup`] and [`HardenedTournamentWakeup`]:
+//!   twins of the corresponding algorithms above that diagnose spurious SC
+//!   failures and register corruption (the [`llsc_shmem::FaultPlan`]
+//!   adversary) with free checks and checksummed payloads, retry with
+//!   bounded backoff, and publish detections to telemetry registers —
+//!   at zero extra shared-access cost when no fault fires.
 //! * **Strawmen** — [`PrematureWakeup`], [`SilentWakeup`],
 //!   [`HalfCountWakeup`], [`NoStepWakeup`]: deliberately broken algorithms
 //!   that the Theorem 6.1 driver refutes (constructing the `(S, A)`-run
@@ -30,6 +37,7 @@
 mod bitset;
 mod counter_alg;
 mod gossip;
+mod hardened;
 mod randomized;
 mod reductions;
 mod strawman;
@@ -38,6 +46,10 @@ mod tournament;
 pub use bitset::BitsetWakeup;
 pub use counter_alg::CounterWakeup;
 pub use gossip::GossipWakeup;
+pub use hardened::{
+    hardened_detect_reg, HardenedCounterWakeup, HardenedRandomizedCounterWakeup,
+    HardenedTournamentWakeup, BACKOFF_CAP, DETECT_BASE,
+};
 pub use randomized::{BackoffWakeup, RandomizedCounterWakeup};
 pub use reductions::{ObjectWakeup, ReductionKind};
 pub use strawman::{HalfCountWakeup, NoStepWakeup, PrematureWakeup, SilentWakeup};
@@ -62,6 +74,18 @@ pub fn randomized_algorithms() -> Vec<Box<dyn Algorithm>> {
     vec![Box::new(RandomizedCounterWakeup), Box::new(BackoffWakeup)]
 }
 
+/// The fault-hardened wakeup algorithms: twins of the counter, randomized
+/// counter, and tournament solutions that detect and recover from the
+/// [`llsc_shmem::FaultPlan`] adversary's spurious SC failures and register
+/// corruption. The standard sweep set for experiment E16.
+pub fn hardened_algorithms() -> Vec<Box<dyn Algorithm>> {
+    vec![
+        Box::new(HardenedCounterWakeup),
+        Box::new(HardenedRandomizedCounterWakeup),
+        Box::new(HardenedTournamentWakeup),
+    ]
+}
+
 /// The deliberately broken algorithms, for the refutation experiments.
 pub fn strawman_algorithms() -> Vec<Box<dyn Algorithm>> {
     vec![
@@ -82,10 +106,11 @@ mod tests {
         for alg in correct_algorithms()
             .iter()
             .chain(randomized_algorithms().iter())
+            .chain(hardened_algorithms().iter())
             .chain(strawman_algorithms().iter())
         {
             assert!(names.insert(alg.name().to_string()), "dup {}", alg.name());
         }
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 13);
     }
 }

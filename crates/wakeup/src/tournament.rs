@@ -24,39 +24,39 @@ use llsc_shmem::dsl::{done, swap, Step};
 use llsc_shmem::{Algorithm, ProcessId, Program, RegisterId, Value};
 
 /// Meeting-point registers: `NODE_BASE + heap_index`.
-const NODE_BASE: u64 = 100;
+pub(crate) const NODE_BASE: u64 = 100;
 /// The victory register the final leader swaps before returning 1.
-const DONE_REG: RegisterId = RegisterId(99);
+pub(crate) const DONE_REG: RegisterId = RegisterId(99);
 
-fn node_reg(heap_index: u64) -> RegisterId {
+pub(crate) fn node_reg(heap_index: u64) -> RegisterId {
     RegisterId(NODE_BASE + heap_index)
 }
 
-fn leaf_slots(n: usize) -> u64 {
+pub(crate) fn leaf_slots(n: usize) -> u64 {
     (n.max(1) as u64).next_power_of_two()
 }
 
-fn limbs(n: usize) -> usize {
+pub(crate) fn limbs(n: usize) -> usize {
     n.div_ceil(64).max(1)
 }
 
-fn own_bits(pid: ProcessId, n: usize) -> Vec<u64> {
+pub(crate) fn own_bits(pid: ProcessId, n: usize) -> Vec<u64> {
     let mut w = vec![0u64; limbs(n)];
     w[pid.0 / 64] |= 1 << (pid.0 % 64);
     w
 }
 
-fn or_bits(a: &[u64], b: &[u64]) -> Vec<u64> {
+pub(crate) fn or_bits(a: &[u64], b: &[u64]) -> Vec<u64> {
     (0..a.len().max(b.len()))
         .map(|i| a.get(i).copied().unwrap_or(0) | b.get(i).copied().unwrap_or(0))
         .collect()
 }
 
-fn is_full(bits: &[u64], n: usize) -> bool {
+pub(crate) fn is_full(bits: &[u64], n: usize) -> bool {
     (0..n).all(|i| bits.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1))
 }
 
-fn subtree_nonempty(v: u64, n: usize) -> bool {
+pub(crate) fn subtree_nonempty(v: u64, n: usize) -> bool {
     let slots = leaf_slots(n);
     let mut low = v;
     while low < slots {
