@@ -1,0 +1,111 @@
+//! Bench-smoke: wall-clock baselines for the subset-sweep hot path.
+//!
+//! Times E4 (Lemma 5.2 indistinguishability, exhaustive over subsets),
+//! E6 (sampled randomized expectation), and E13 (appendix claims) with
+//! [`llsc_bench::harness::measure_case`] — the exact workloads of the
+//! corresponding `table_*` binaries — and writes a `BENCH_pr4.json`
+//! artifact recording, per experiment: the id, min/mean wall-clock, and
+//! (for the subset sweeps) simulated executor events per second.
+//!
+//! Usage: `bench_smoke [--out PATH] [--samples N]` (defaults:
+//! `BENCH_pr4.json`, 10 samples). Single-threaded sweeps throughout, so
+//! the numbers are comparable on the 1-core reference container.
+
+use llsc_bench::harness::measure_case;
+use llsc_shmem::Sweep;
+
+struct Case {
+    id: &'static str,
+    min_ms: f64,
+    mean_ms: f64,
+    /// Total simulated executor events of one run, when the experiment
+    /// reports them (the subset sweeps do; E6 rows do not).
+    events: Option<u64>,
+}
+
+fn main() {
+    let mut out = String::from("BENCH_pr4.json");
+    let mut samples: u32 = 10;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .expect("--samples needs a value")
+                    .parse()
+                    .expect("--samples must be a positive integer");
+                assert!(samples > 0, "--samples must be >= 1");
+            }
+            other => {
+                eprintln!(
+                    "error: unknown flag `{other}`\nusage: bench_smoke [--out PATH] [--samples N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sweep = Sweep::sequential();
+    let mut cases = Vec::new();
+
+    let e4 = llsc_bench::e4_indistinguishability(&[4, 6], &[0, 1, 42], &sweep);
+    let e4_events: u64 = e4.rows.iter().map(|r| r.events).sum();
+    let (min, mean) = measure_case(samples, || {
+        llsc_bench::e4_indistinguishability(&[4, 6], &[0, 1, 42], &sweep)
+    });
+    println!("e4  min {min:>10.3?}  mean {mean:>10.3?}  ({e4_events} events/run)");
+    cases.push(Case {
+        id: "e4",
+        min_ms: min.as_secs_f64() * 1e3,
+        mean_ms: mean.as_secs_f64() * 1e3,
+        events: Some(e4_events),
+    });
+
+    let (min, mean) = measure_case(samples, || {
+        llsc_bench::e6_randomized_expectation(&[4, 16, 64], 30, &sweep)
+    });
+    println!("e6  min {min:>10.3?}  mean {mean:>10.3?}");
+    cases.push(Case {
+        id: "e6",
+        min_ms: min.as_secs_f64() * 1e3,
+        mean_ms: mean.as_secs_f64() * 1e3,
+        events: None,
+    });
+
+    let e13 = llsc_bench::e13_appendix_claims(&[4, 6], &sweep);
+    let e13_events: u64 = e13.rows.iter().map(|r| r.events).sum();
+    let (min, mean) = measure_case(samples, || llsc_bench::e13_appendix_claims(&[4, 6], &sweep));
+    println!("e13 min {min:>10.3?}  mean {mean:>10.3?}  ({e13_events} events/run)");
+    cases.push(Case {
+        id: "e13",
+        min_ms: min.as_secs_f64() * 1e3,
+        mean_ms: mean.as_secs_f64() * 1e3,
+        events: Some(e13_events),
+    });
+
+    let mut json = String::from("{\"bench\":\"pr4\",\"samples\":");
+    json.push_str(&samples.to_string());
+    json.push_str(",\"cases\":[");
+    for (i, c) in cases.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"experiment\":\"{}\",\"wall_ms_min\":{:.3},\"wall_ms_mean\":{:.3}",
+            c.id, c.min_ms, c.mean_ms
+        ));
+        if let Some(events) = c.events {
+            let eps = events as f64 / (c.min_ms / 1e3);
+            json.push_str(&format!(
+                ",\"events_per_run\":{events},\"events_per_sec\":{:.0}",
+                eps
+            ));
+        }
+        json.push('}');
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out, json).expect("cannot write the bench artifact");
+    eprintln!("wrote {out}");
+}

@@ -10,9 +10,9 @@
 use crate::harness::Experiment;
 use crate::table::Table;
 use llsc_core::{
-    build_all_run, ceil_log4, check_claims_all_subsets_sweep, check_wakeup,
-    estimate_expected_complexity_sweep, flow_report, indist_all_subsets,
-    secretive_complete_schedule, verify_lower_bound, AdversaryConfig, MoveConfig, ProcSet,
+    build_all_run, ceil_log4, check_wakeup, estimate_expected_complexity_sweep, flow_report,
+    indist_all_subsets, secretive_complete_schedule, verify_lower_bound, AdversaryConfig,
+    MoveConfig, ProcSet,
 };
 // Re-exported for callers that predate the move of the seeding helpers
 // into `llsc_core` (see `crates/core/src/secretive.rs`).
@@ -198,6 +198,8 @@ pub struct E4Row {
     pub comparisons: usize,
     /// Violations found (must be 0).
     pub violations: usize,
+    /// Total simulated executor events across the sweeps behind this row.
+    pub events: u64,
 }
 
 /// E4: Lemma 5.2 — `(All, A)` vs `(S, A)` indistinguishability over every
@@ -219,6 +221,7 @@ pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64], sweep: &Sweep) -> Ex
             let mut subsets = 0usize;
             let mut comparisons = 0usize;
             let mut violations = 0usize;
+            let mut events = 0u64;
             for &seed in seeds {
                 let toss: Arc<dyn llsc_shmem::TossAssignment> = if seed == 0 {
                     Arc::new(ZeroTosses)
@@ -230,6 +233,7 @@ pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64], sweep: &Sweep) -> Ex
                 subsets += report.subsets;
                 comparisons += report.comparisons;
                 violations += report.violations.len();
+                events += report.events;
             }
             assert_eq!(violations, 0, "{} n={n}", alg.name());
             table.row([
@@ -245,6 +249,7 @@ pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64], sweep: &Sweep) -> Ex
                 subsets,
                 comparisons,
                 violations,
+                events,
             });
         }
     }
@@ -843,6 +848,8 @@ pub struct E13Row {
     pub n: usize,
     /// Total violations over all subsets (claims + Lemma 5.2).
     pub violations: usize,
+    /// Total simulated executor events across the sweep behind this row.
+    pub events: u64,
 }
 
 /// E13: the appendix claims (A.2-A.9) plus Lemma 5.2, exhaustively over
@@ -860,9 +867,10 @@ pub fn e13_appendix_claims(ns: &[usize], sweep: &Sweep) -> Experiment<E13Row> {
         .chain(randomized_algorithms())
     {
         for &n in ns {
-            let violations =
-                check_claims_all_subsets_sweep(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg, sweep)
+            let report =
+                indist_all_subsets(alg.as_ref(), n, Arc::new(ZeroTosses), &cfg, true, sweep)
                     .expect("E13 subset runs stay within the default executor budgets");
+            let violations = report.violations.len();
             assert_eq!(violations, 0, "{} n={n}", alg.name());
             table.row([
                 alg.name().to_string(),
@@ -874,6 +882,7 @@ pub fn e13_appendix_claims(ns: &[usize], sweep: &Sweep) -> Experiment<E13Row> {
                 algorithm: alg.name().to_string(),
                 n,
                 violations,
+                events: report.events,
             });
         }
     }

@@ -215,7 +215,18 @@ impl HarnessOpts {
 /// The `benches/` targets are plain `harness = false` binaries built on
 /// this (the build environment has no registry access, so criterion is
 /// deliberately not a dependency — see the workspace manifest).
-pub fn time_case<T>(label: &str, samples: u32, mut f: impl FnMut() -> T) {
+pub fn time_case<T>(label: &str, samples: u32, f: impl FnMut() -> T) {
+    let (best, mean) = measure_case(samples, f);
+    println!("{label:<52} min {best:>12.3?}  mean {mean:>12.3?}");
+}
+
+/// The measurement behind [`time_case`]: one warm-up call, then `samples`
+/// timed runs of `f`. Returns `(min, mean)` so callers (the bench-smoke
+/// job) can serialise the numbers instead of only printing them.
+pub fn measure_case<T>(
+    samples: u32,
+    mut f: impl FnMut() -> T,
+) -> (std::time::Duration, std::time::Duration) {
     use std::time::{Duration, Instant};
     assert!(samples > 0, "need at least one sample");
     std::hint::black_box(f());
@@ -228,10 +239,7 @@ pub fn time_case<T>(label: &str, samples: u32, mut f: impl FnMut() -> T) {
         total += elapsed;
         best = best.min(elapsed);
     }
-    println!(
-        "{label:<52} min {best:>12.3?}  mean {:>12.3?}",
-        total / samples
-    );
+    (best, total / samples)
 }
 
 #[cfg(test)]

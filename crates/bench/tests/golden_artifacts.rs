@@ -1,0 +1,45 @@
+//! Golden-artifact regression tests for the subset-sweep hot path.
+//!
+//! The zero-allocation rework of the simulator (bitmask `Pset`s,
+//! clone-free executor dispatch, shared All-run) must not change a single
+//! byte of experiment output — determinism is the regression oracle. The
+//! fixtures under `tests/fixtures/` were produced by the pre-optimisation
+//! code path (`table_e4 --json` / `table_e13 --json` at `--threads 1`,
+//! which is byte-identical to `--threads 4`); these tests regenerate the
+//! artifacts in-process with the same seeds and assert byte equality.
+
+use llsc_bench::table::Table;
+use llsc_shmem::Sweep;
+
+/// E4 with the `table_e4` parameters (`ns = [4, 6]`, seeds `0, 1, 42`):
+/// the JSON artifact is byte-identical to the checked-in old-path fixture,
+/// at one worker thread and at four.
+#[test]
+fn e4_artifact_matches_old_path_fixture() {
+    let fixture = include_str!("fixtures/e4.json");
+    for threads in [1, 4] {
+        let sweep = Sweep::with_threads(threads);
+        let exp = llsc_bench::e4_indistinguishability(&[4, 6], &[0, 1, 42], &sweep);
+        let artifact = Table::render_json_artifact_with_failures(&[&exp.table], &[]);
+        assert_eq!(
+            artifact, fixture,
+            "E4 artifact diverged from the old-path fixture at --threads {threads}"
+        );
+    }
+}
+
+/// E13 with the `table_e13` parameters (`ns = [4, 6]`, `ZeroTosses`):
+/// byte-identical to the checked-in old-path fixture at 1 and 4 threads.
+#[test]
+fn e13_artifact_matches_old_path_fixture() {
+    let fixture = include_str!("fixtures/e13.json");
+    for threads in [1, 4] {
+        let sweep = Sweep::with_threads(threads);
+        let exp = llsc_bench::e13_appendix_claims(&[4, 6], &sweep);
+        let artifact = Table::render_json_artifact_with_failures(&[&exp.table], &[]);
+        assert_eq!(
+            artifact, fixture,
+            "E13 artifact diverged from the old-path fixture at --threads {threads}"
+        );
+    }
+}

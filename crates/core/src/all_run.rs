@@ -4,8 +4,8 @@
 use crate::rounds::{execute_round_with, MoveOrder, RoundRecord};
 use crate::upsets::UpTracker;
 use llsc_shmem::{
-    Algorithm, Executor, ExecutorConfig, Interaction, ProcessId, RegisterId, Run, TossAssignment,
-    Value,
+    Algorithm, Executor, ExecutorConfig, Interaction, ProcMask, ProcessId, RegisterId, Run,
+    TossAssignment, Value,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -70,8 +70,10 @@ pub struct RoundedRun {
     pub rounds: Vec<RoundRecord>,
     /// The full underlying run.
     pub run: Run,
-    /// The initial register contents the algorithm configured.
-    pub initial_memory: BTreeMap<RegisterId, Value>,
+    /// The initial register contents the algorithm configured. Shared:
+    /// every `(S, A)`-run of a subset sweep holds the same map as its
+    /// `(All, A)`-run (one `Arc` bump per trial instead of a rebuild).
+    pub initial_memory: Arc<BTreeMap<RegisterId, Value>>,
     /// Whether every participating process terminated within the round
     /// limit.
     pub completed: bool,
@@ -103,9 +105,9 @@ impl RoundedRun {
     }
 
     /// `Pset(R, r, Σ)`: the registered process set at the end of round `r`.
-    pub fn pset_at(&self, reg: RegisterId, r: usize) -> Vec<ProcessId> {
+    pub fn pset_at(&self, reg: RegisterId, r: usize) -> ProcMask {
         if r == 0 {
-            return Vec::new();
+            return ProcMask::new();
         }
         self.rounds[r - 1]
             .end_psets
@@ -215,7 +217,8 @@ pub fn build_all_run(
     toss: Arc<dyn TossAssignment>,
     cfg: &AdversaryConfig,
 ) -> Result<AllRun, llsc_shmem::RunError> {
-    let initial_memory: BTreeMap<RegisterId, Value> = alg.initial_memory(n).into_iter().collect();
+    let initial_memory: Arc<BTreeMap<RegisterId, Value>> =
+        Arc::new(alg.initial_memory(n).into_iter().collect());
     let mut exec = Executor::new(alg, n, toss, cfg.executor);
     let mut up = if cfg.track_up_history {
         UpTracker::new(n)

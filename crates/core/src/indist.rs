@@ -188,7 +188,7 @@ pub fn check_indistinguishability(all: &AllRun, srun: &SRun) -> IndistReport {
                 if !all.up.proc(p, r).is_subset(s) {
                     continue;
                 }
-                if pset_all.contains(&p) != pset_s.contains(&p) {
+                if pset_all.contains(p) != pset_s.contains(p) {
                     report.violations.push(IndistViolation::RegisterPset {
                         r: reg,
                         p,

@@ -8,7 +8,9 @@
 //! `UP`-set update rules and the indistinguishability checker later need.
 
 use crate::secretive::{self, MoveConfig};
-use llsc_shmem::{Executor, OpKind, Operation, ProcessId, RegisterId, Response, RunError, Value};
+use llsc_shmem::{
+    Executor, OpKind, Operation, ProcMask, ProcessId, RegisterId, Response, RunError, Value,
+};
 use std::collections::BTreeMap;
 
 /// A lean record of one shared-memory operation of a round: everything the
@@ -101,9 +103,9 @@ pub struct RoundRecord {
     /// Values of all touched registers at the end of the round (empty when
     /// snapshot recording is disabled).
     pub end_values: BTreeMap<RegisterId, Value>,
-    /// `Pset`s of all touched registers at the end of the round (empty when
-    /// snapshot recording is disabled).
-    pub end_psets: BTreeMap<RegisterId, Vec<ProcessId>>,
+    /// `Pset`s of all touched registers at the end of the round, as
+    /// bitmasks (empty when snapshot recording is disabled).
+    pub end_psets: BTreeMap<RegisterId, ProcMask>,
     /// Per process: cumulative coin-toss count at the end of the round.
     pub end_tosses: Vec<u64>,
     /// Per process: cumulative interaction-history length at the end of
@@ -203,7 +205,7 @@ pub fn execute_round_with(
             OpKind::Ll | OpKind::Validate => groups.g1_ll_validate.push(p),
             OpKind::Move => {
                 groups.g2_move.push(p);
-                if let Operation::Move { src, dst } = op {
+                if let Operation::Move { src, dst } = *op {
                     move_config.insert(p, src, dst);
                 }
             }
@@ -216,7 +218,7 @@ pub fn execute_round_with(
     let sigma: Vec<ProcessId> = match move_order {
         MoveOrder::Secretive => secretive::secretive_complete_schedule(&move_config),
         MoveOrder::Given(outer) => {
-            let keep: std::collections::BTreeSet<_> = groups.g2_move.iter().copied().collect();
+            let keep: ProcMask = groups.g2_move.iter().copied().collect();
             let restricted = secretive::restrict(outer, &keep);
             assert!(
                 restricted.len() == groups.g2_move.len(),
@@ -501,7 +503,10 @@ mod tests {
         // p2 swapped 1 into R3.
         assert_eq!(rec.end_values.get(&RegisterId(3)), Some(&Value::from(1i64)));
         // p0 holds a link on R0 from its LL.
-        assert_eq!(rec.end_psets.get(&RegisterId(0)), Some(&vec![ProcessId(0)]));
+        assert_eq!(
+            rec.end_psets.get(&RegisterId(0)),
+            Some(&ProcMask::from([ProcessId(0)]))
+        );
         assert_eq!(rec.end_shared_steps, vec![1, 1, 1, 1]);
     }
 

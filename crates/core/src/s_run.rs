@@ -17,7 +17,6 @@ use crate::all_run::{AdversaryConfig, AllRun, RoundedRun};
 use crate::rounds::{execute_round_with, MoveOrder};
 use crate::upsets::ProcSet;
 use llsc_shmem::{Algorithm, Executor, ProcessId, TossAssignment};
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The `(S, A)`-run of an algorithm, built by [`build_s_run`].
@@ -66,13 +65,36 @@ pub fn build_s_run(
     all: &AllRun,
     cfg: &AdversaryConfig,
 ) -> Result<SRun, llsc_shmem::RunError> {
+    let mut exec = Executor::new(alg, n, toss, cfg.executor);
+    build_s_run_with(&mut exec, alg, s, all, cfg)
+}
+
+/// The scratch-reusing core of [`build_s_run`]: replays the construction
+/// on `exec`, which is [`Executor::reset`] first and left reusable (with
+/// an empty run, via [`Executor::take_run`]) afterwards.
+///
+/// This is the per-trial entry point of the exhaustive subset sweeps
+/// ([`crate::indist_all_subsets`]): one executor per *worker* is reset
+/// between the `2^n` trials instead of constructed per trial, and the
+/// `(S, A)`-run shares the `(All, A)`-run's initial-memory map instead of
+/// rebuilding it. `exec` must have been built for the same algorithm,
+/// process count, toss assignment, and executor config that produced
+/// `all` — reset restores exactly that initial state, so the result is
+/// byte-identical to [`build_s_run`]'s.
+pub fn build_s_run_with(
+    exec: &mut Executor,
+    alg: &dyn Algorithm,
+    s: &ProcSet,
+    all: &AllRun,
+    cfg: &AdversaryConfig,
+) -> Result<SRun, llsc_shmem::RunError> {
+    let n = exec.n();
     assert_eq!(n, all.n(), "process count must match the (All, A)-run");
     assert!(
         all.up.has_full_history(),
         "(S, A)-run construction needs an (All, A)-run built with track_up_history = true"
     );
-    let initial_memory: BTreeMap<_, _> = alg.initial_memory(n).into_iter().collect();
-    let mut exec = Executor::new(alg, n, toss, cfg.executor);
+    exec.reset(alg);
     let mut rounds = Vec::new();
     let mut participants_per_round = Vec::new();
 
@@ -89,7 +111,7 @@ pub fn build_s_run(
         }
         let sigma_r = &all.base.rounds[r - 1].sigma;
         let rec = execute_round_with(
-            &mut exec,
+            exec,
             r,
             &s_r,
             MoveOrder::Given(sigma_r),
@@ -108,8 +130,8 @@ pub fn build_s_run(
         base: RoundedRun {
             n,
             rounds,
-            run: exec.into_run(),
-            initial_memory,
+            run: exec.take_run(),
+            initial_memory: Arc::clone(&all.base.initial_memory),
             completed,
             outcome,
         },
@@ -237,9 +259,42 @@ mod tests {
             .sigma
             .iter()
             .copied()
-            .filter(|p| s2.contains(p))
+            .filter(|p| s2.contains(*p))
             .collect();
         assert_eq!(srun2.base.rounds[0].sigma, expect);
+    }
+
+    #[test]
+    fn reused_executor_builds_identical_s_runs() {
+        // One executor reset across every subset of a 4-process system
+        // must reproduce the fresh-executor construction exactly — the
+        // invariant the 2^n subset sweeps rely on.
+        let alg = llsc_alg();
+        let cfg = AdversaryConfig::default();
+        let all = build_all_run(&alg, 4, Arc::new(ZeroTosses), &cfg).unwrap();
+        let mut exec = Executor::new(&alg, 4, Arc::new(ZeroTosses), cfg.executor);
+        for mask in 0..16usize {
+            let s: ProcSet = (0..4)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(ProcessId)
+                .collect();
+            let fresh = build_s_run(&alg, 4, Arc::new(ZeroTosses), &s, &all, &cfg).unwrap();
+            let reused = build_s_run_with(&mut exec, &alg, &s, &all, &cfg).unwrap();
+            assert_eq!(
+                fresh.base.run.events(),
+                reused.base.run.events(),
+                "mask={mask}"
+            );
+            assert_eq!(
+                fresh.participants_per_round, reused.participants_per_round,
+                "mask={mask}"
+            );
+            assert_eq!(fresh.base.completed, reused.base.completed, "mask={mask}");
+            assert!(
+                Arc::ptr_eq(&reused.base.initial_memory, &all.base.initial_memory),
+                "the S-run shares the All-run's initial memory"
+            );
+        }
     }
 
     #[test]

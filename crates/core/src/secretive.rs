@@ -17,7 +17,7 @@
 //! `(S, A)`-run construction relies on.
 
 use llsc_shmem::rng::XorShift64;
-use llsc_shmem::{ProcessId, RegisterId};
+use llsc_shmem::{ProcMask, ProcessId, RegisterId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -261,11 +261,11 @@ pub fn is_secretive(schedule: &[ProcessId], cfg: &MoveConfig) -> bool {
 
 /// `σ|A`: the subsequence of `schedule` containing exactly the processes in
 /// `keep`.
-pub fn restrict(schedule: &[ProcessId], keep: &BTreeSet<ProcessId>) -> Vec<ProcessId> {
+pub fn restrict(schedule: &[ProcessId], keep: &ProcMask) -> Vec<ProcessId> {
     schedule
         .iter()
         .copied()
-        .filter(|p| keep.contains(p))
+        .filter(|p| keep.contains(*p))
         .collect()
 }
 
@@ -349,7 +349,7 @@ pub fn restriction_preserves_source(
     r: RegisterId,
     sigma: &[ProcessId],
     cfg: &MoveConfig,
-    keep: &BTreeSet<ProcessId>,
+    keep: &ProcMask,
 ) -> bool {
     let restricted = restrict(sigma, keep);
     source(r, &restricted, cfg) == source(r, sigma, cfg)
@@ -473,7 +473,7 @@ mod tests {
     #[test]
     fn restrict_keeps_order() {
         let sigma = vec![p(4), p(1), p(3), p(2)];
-        let keep: BTreeSet<_> = [p(2), p(1)].into_iter().collect();
+        let keep: ProcMask = [p(2), p(1)].into_iter().collect();
         assert_eq!(restrict(&sigma, &keep), vec![p(1), p(2)]);
     }
 
@@ -484,7 +484,7 @@ mod tests {
         let cfg = chain(8);
         let sigma = secretive_complete_schedule(&cfg);
         for i in 0..=8u64 {
-            let keep: BTreeSet<_> = movers(reg(i), &sigma, &cfg).into_iter().collect();
+            let keep: ProcMask = movers(reg(i), &sigma, &cfg).into_iter().collect();
             assert!(
                 restriction_preserves_source(reg(i), &sigma, &cfg, &keep),
                 "register R{i}"
@@ -497,7 +497,7 @@ mod tests {
         let cfg = chain(6);
         let sigma = secretive_complete_schedule(&cfg);
         for i in 0..=6u64 {
-            let mut keep: BTreeSet<_> = movers(reg(i), &sigma, &cfg).into_iter().collect();
+            let mut keep: ProcMask = movers(reg(i), &sigma, &cfg).into_iter().collect();
             // Any superset works too.
             keep.insert(p(0));
             keep.insert(p(5));
@@ -556,7 +556,7 @@ mod tests {
             let cfg = random_cfg(12, 5, seed);
             let sigma = secretive_complete_schedule(&cfg);
             for r in cfg.destinations() {
-                let keep: BTreeSet<_> = movers(r, &sigma, &cfg).into_iter().collect();
+                let keep: ProcMask = movers(r, &sigma, &cfg).into_iter().collect();
                 assert!(
                     restriction_preserves_source(r, &sigma, &cfg, &keep),
                     "seed={seed} register={r} cfg={cfg}"

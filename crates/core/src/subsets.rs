@@ -11,9 +11,9 @@
 use crate::all_run::{build_all_run, AdversaryConfig};
 use crate::claims::check_appendix_claims;
 use crate::indist::check_indistinguishability;
-use crate::s_run::build_s_run;
+use crate::s_run::build_s_run_with;
 use crate::upsets::ProcSet;
-use llsc_shmem::{Algorithm, ProcessId, RunError, Sweep, TossAssignment};
+use llsc_shmem::{Algorithm, Executor, ProcessId, RunError, Sweep, TossAssignment};
 use std::fmt;
 use std::sync::Arc;
 
@@ -27,6 +27,10 @@ pub struct SubsetSweepReport {
     pub comparisons: usize,
     /// Appendix-claim instances evaluated (0 unless claims were checked).
     pub claim_instances: usize,
+    /// Total simulated executor events across the `(All, A)`-run and every
+    /// `(S, A)`-run of the sweep — the denominator of the bench-smoke
+    /// events/sec figure.
+    pub events: u64,
     /// Every violation found, rendered with the subset that exposed it.
     /// Sound machinery leaves this empty.
     pub violations: Vec<String>,
@@ -56,9 +60,13 @@ impl fmt::Display for SubsetSweepReport {
 /// on every subset of an `n`-process system, fanning the `2^n` masks out
 /// over `sweep`.
 ///
-/// The `(All, A)`-run is built once and shared (read-only) by all worker
-/// threads; each trial builds one `(S, A)`-run and compares. Tallies are
-/// merged in mask order, so the report does not depend on `sweep.threads`.
+/// The `(All, A)`-run is built **once** per sweep and shared immutably
+/// (behind an [`Arc`]) by all worker threads; each trial builds one
+/// `(S, A)`-run against it and compares. Each *worker* keeps one reusable
+/// executor as its sweep scratch ([`Sweep::run_indexed_with_scratch`]),
+/// reset between trials instead of reallocated, and every `(S, A)`-run
+/// shares the `(All, A)`-run's initial-memory map. Tallies are merged in
+/// mask order, so the report does not depend on `sweep.threads`.
 ///
 /// # Errors
 ///
@@ -77,42 +85,51 @@ pub fn indist_all_subsets(
     sweep: &Sweep,
 ) -> Result<SubsetSweepReport, RunError> {
     assert!(n <= 16, "exhaustive subset check needs small n");
-    let all = build_all_run(alg, n, toss.clone(), cfg)?;
+    let all = Arc::new(build_all_run(alg, n, toss.clone(), cfg)?);
 
-    let per_mask = sweep.run_indexed(1usize << n, |trial| {
-        let mask = trial.index;
-        let s: ProcSet = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(ProcessId)
-            .collect();
-        let srun = build_s_run(alg, n, toss.clone(), &s, &all, cfg)?;
-        let lemma = check_indistinguishability(&all, &srun);
-        let mut partial = SubsetSweepReport {
-            subsets: 1,
-            comparisons: lemma.process_checks + lemma.register_checks,
-            claim_instances: 0,
-            violations: lemma
-                .violations
-                .iter()
-                .map(|v| format!("S={s:?}: {v}"))
-                .collect(),
-        };
-        if check_claims {
-            let claims = check_appendix_claims(&all, &srun);
-            partial.claim_instances = claims.instances;
-            partial
-                .violations
-                .extend(claims.violations.iter().map(|v| format!("S={s:?}: {v}")));
-        }
-        Ok(partial)
-    });
+    let per_mask = sweep.run_indexed_with_scratch(
+        1usize << n,
+        || Executor::new(alg, n, toss.clone(), cfg.executor),
+        |exec, trial| {
+            let mask = trial.index;
+            let s: ProcSet = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(ProcessId)
+                .collect();
+            let srun = build_s_run_with(exec, alg, &s, &all, cfg)?;
+            let lemma = check_indistinguishability(&all, &srun);
+            let mut partial = SubsetSweepReport {
+                subsets: 1,
+                comparisons: lemma.process_checks + lemma.register_checks,
+                claim_instances: 0,
+                events: srun.base.run.event_count(),
+                violations: lemma
+                    .violations
+                    .iter()
+                    .map(|v| format!("S={s:?}: {v}"))
+                    .collect(),
+            };
+            if check_claims {
+                let claims = check_appendix_claims(&all, &srun);
+                partial.claim_instances = claims.instances;
+                partial
+                    .violations
+                    .extend(claims.violations.iter().map(|v| format!("S={s:?}: {v}")));
+            }
+            Ok(partial)
+        },
+    );
 
-    let mut report = SubsetSweepReport::default();
+    let mut report = SubsetSweepReport {
+        events: all.base.run.event_count(),
+        ..SubsetSweepReport::default()
+    };
     for partial in per_mask {
         let partial: SubsetSweepReport = partial?;
         report.subsets += partial.subsets;
         report.comparisons += partial.comparisons;
         report.claim_instances += partial.claim_instances;
+        report.events += partial.events;
         report.violations.extend(partial.violations);
     }
     Ok(report)

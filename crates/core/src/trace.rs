@@ -72,7 +72,7 @@ pub fn trace_up_sets(up: &UpTracker, round: usize) -> String {
     }
     let _ = writeln!(out);
     for (r, set) in &snapshot.regs {
-        let members: Vec<String> = set.iter().map(ToString::to_string).collect();
+        let members: Vec<String> = set.iter().map(|p| p.to_string()).collect();
         let _ = writeln!(out, "  UP({r}, {round}) = {{{}}}", members.join(", "));
     }
     out

@@ -13,11 +13,13 @@
 
 use crate::rounds::RoundRecord;
 use crate::secretive;
-use llsc_shmem::{OpKind, ProcessId, RegisterId};
+use llsc_shmem::{OpKind, ProcMask, ProcessId, RegisterId};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A set of processes.
-pub type ProcSet = BTreeSet<ProcessId>;
+/// A set of processes — a fixed-width bitmask ([`ProcMask`]), so the
+/// `UP`-set bookkeeping unions and subset checks are word operations
+/// instead of tree merges.
+pub type ProcSet = ProcMask;
 
 /// One round's worth of `UP` values.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -49,8 +51,8 @@ impl UpSnapshot {
 
     /// The largest `|UP(X, r)|` over all processes and registers.
     pub fn max_size(&self) -> usize {
-        let p = self.procs.iter().map(BTreeSet::len).max().unwrap_or(0);
-        let r = self.regs.values().map(BTreeSet::len).max().unwrap_or(0);
+        let p = self.procs.iter().map(ProcSet::len).max().unwrap_or(0);
+        let r = self.regs.values().map(ProcSet::len).max().unwrap_or(0);
         p.max(r)
     }
 }
@@ -71,7 +73,7 @@ pub fn lemma_5_1_bound(r: usize) -> usize {
 ///
 /// let t = UpTracker::new(3);
 /// // Round 0: UP(p, 0) = {p}, UP(R, 0) = ∅.
-/// assert_eq!(t.proc(ProcessId(1), 0), &std::collections::BTreeSet::from([ProcessId(1)]));
+/// assert_eq!(t.proc(ProcessId(1), 0), &llsc_core::ProcSet::from([ProcessId(1)]));
 /// ```
 #[derive(Clone, Debug)]
 pub struct UpTracker {
@@ -252,7 +254,7 @@ impl UpTracker {
                 let mvs = secretive::movers(r, &rec.sigma, &rec.move_config);
                 let mut up = old_reg(src);
                 for q in mvs {
-                    up.extend(old_proc(q).iter().copied());
+                    up.union_with(old_proc(q));
                 }
                 up
             };
@@ -272,7 +274,7 @@ impl UpTracker {
             match op.kind {
                 // Rule P1: LL or validate on R joins UP(R, r-1).
                 OpKind::Ll | OpKind::Validate => {
-                    up.extend(old_reg(r));
+                    up.union_with(&old_reg(r));
                 }
                 // Rule P2: move learns nothing.
                 OpKind::Move => {}
@@ -285,30 +287,30 @@ impl UpTracker {
                             // Rule P4: first swapper, after moves into R.
                             let src = secretive::source(r, &rec.sigma, &rec.move_config);
                             let mvs = secretive::movers(r, &rec.sigma, &rec.move_config);
-                            up.extend(old_reg(src));
+                            up.union_with(&old_reg(src));
                             for q in mvs {
-                                up.extend(old_proc(q).iter().copied());
+                                up.union_with(old_proc(q));
                             }
                         } else {
                             // Rule P3: first swapper, no moves into R.
-                            up.extend(old_reg(r));
+                            up.union_with(&old_reg(r));
                         }
                     } else {
                         // Rule P5: learns the previous swapper's knowledge.
                         let q = swappers[my_pos - 1];
-                        up.extend(old_proc(q).iter().copied());
+                        up.union_with(old_proc(q));
                     }
                 }
                 // Rules P6/P7: SC on R.
                 OpKind::Sc => {
                     if op.sc_ok == Some(true) {
                         // Rule P6: successful SC sees the end-of-(r-1) value.
-                        up.extend(old_reg(r));
+                        up.union_with(&old_reg(r));
                     } else {
                         // Rule P7: unsuccessful SC may see the round-r
                         // value (already updated in `regs` above).
                         if let Some(new_reg) = regs.get(&r) {
-                            up.extend(new_reg.iter().copied());
+                            up.union_with(new_reg);
                         }
                     }
                 }

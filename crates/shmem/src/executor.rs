@@ -170,6 +170,49 @@ impl Executor {
         }
     }
 
+    /// Resets the executor in place for a fresh run of `alg` — the
+    /// reusable per-worker trial context of scratch sweeps
+    /// ([`Sweep::run_with_scratch`](crate::Sweep::run_with_scratch)):
+    /// programs are re-spawned, the shared memory is cleared back to its
+    /// initial values, and the run, counters, and fault state restart
+    /// from empty, reusing buffer allocations instead of building a new
+    /// executor per trial.
+    ///
+    /// `alg` must describe the same system this executor was built for
+    /// (same `n` and initial memory — the configured initial values are
+    /// kept, not recomputed); the toss assignment and config are also
+    /// kept. After a reset the executor is observationally
+    /// [`Executor::new`], so a sweep that resets between trials produces
+    /// byte-identical results to one that constructs per trial.
+    pub fn reset(&mut self, alg: &dyn Algorithm) {
+        self.memory.reset();
+        self.procs.clear();
+        let n = self.n;
+        self.procs.extend(ProcessId::all(n).map(|pid| ProcState {
+            program: alg.spawn(pid, n),
+            pending: None,
+            activated: false,
+        }));
+        self.run.reset();
+        self.rr_cursor = 0;
+        self.recorded_events = 0;
+        self.fault = None;
+        self.injector = None;
+    }
+
+    /// Takes the recorded run out of the executor, leaving a fresh empty
+    /// run (same recording mode) behind — the ownership-transfer half of
+    /// trial reuse: the trial's product keeps the run, the executor keeps
+    /// its other buffers for the next [`Executor::reset`].
+    pub fn take_run(&mut self) -> Run {
+        let fresh = if self.config.record_details {
+            Run::new(self.n)
+        } else {
+            Run::lightweight(self.n)
+        };
+        std::mem::replace(&mut self.run, fresh)
+    }
+
     /// Arms the memory-fault adversary: faults from `plan` are delivered
     /// at their event thresholds as the run progresses (see
     /// [`FaultPlan`]). Injection happens inside the executor's own
@@ -376,9 +419,11 @@ impl Executor {
     }
 
     /// The shared-memory operation `p` is poised to perform, if its next
-    /// step is a shared-memory step.
-    pub fn pending_op(&mut self, p: ProcessId) -> Option<Operation> {
-        match self.pending_action(p) {
+    /// step is a shared-memory step. Borrowed straight from the pending
+    /// slot — peeking never clones the operation.
+    pub fn pending_op(&mut self, p: ProcessId) -> Option<&Operation> {
+        self.ensure_activated(p);
+        match &self.procs[p.0].pending {
             Some(Action::Invoke(op)) => Some(op),
             _ => None,
         }
@@ -394,7 +439,9 @@ impl Executor {
     pub fn step(&mut self, p: ProcessId) -> Result<StepOutcome, RunError> {
         self.check_steppable(p)?;
         self.ensure_activated(p);
-        match self.procs[p.0].pending.clone() {
+        // Inspect by reference and dispatch; the pending action itself is
+        // taken by value exactly once, inside the branch that consumes it.
+        match self.procs[p.0].pending {
             None => Ok(StepOutcome::AlreadyTerminated),
             Some(Action::Toss) => {
                 let outcome = self.do_toss(p)?;
@@ -466,17 +513,16 @@ impl Executor {
     pub fn perform_shared(&mut self, p: ProcessId) -> Result<(Operation, Response), RunError> {
         self.check_steppable(p)?;
         self.ensure_activated(p);
-        let op = match self.procs[p.0].pending.clone() {
+        // The single point where a pending operation leaves its slot: taken
+        // by value, never cloned. `feed` installs the program's next action
+        // in the slot afterwards.
+        let op = match self.procs[p.0].pending.take() {
             Some(Action::Invoke(op)) => op,
             other => panic!("{p} has no pending shared-memory operation (pending: {other:?})"),
         };
         let resp = self.apply_with_faults(p, &op);
         self.guard_events()?;
-        self.run.record(RunEvent::SharedOp {
-            pid: p,
-            op: op.clone(),
-            resp: resp.clone(),
-        });
+        self.run.record_shared(p, &op, &resp);
         self.feed(p, Feedback::Response(resp.clone()));
         Ok((op, resp))
     }
@@ -496,8 +542,8 @@ impl Executor {
         // corrupted value is what the process sees.
         while let Some(clear_pset) = inj.take_corruption(self.recorded_events) {
             let reg = op.observed();
-            let fresh = inj.corrupt_value(&self.memory.peek(reg));
-            self.memory.corrupt(reg, fresh, clear_pset);
+            self.memory
+                .corrupt_in_place(reg, clear_pset, |v| inj.corrupt_in_place(v));
         }
         // A due spurious entry waits for an SC that would have succeeded;
         // suppressing an already-failing SC would inject nothing.
@@ -640,7 +686,7 @@ mod tests {
         let alg = counter_like();
         let mut exec = Executor::new(&alg, 1, Arc::new(ZeroTosses), ExecutorConfig::default());
         let op = exec.pending_op(ProcessId(0)).unwrap();
-        assert_eq!(op, Operation::Ll(RegisterId(0)));
+        assert_eq!(op, &Operation::Ll(RegisterId(0)));
         assert_eq!(exec.run().events().len(), 0, "peeking is not a step");
     }
 
@@ -792,6 +838,72 @@ mod tests {
         let run = exec.into_run();
         assert!(run.is_crashed(victim));
         assert_eq!(run.crashed().collect::<Vec<_>>(), vec![victim]);
+    }
+
+    #[test]
+    fn reset_executor_replays_identically_to_a_fresh_one() {
+        let alg = counter_like();
+        let mut fresh = Executor::new(&alg, 4, Arc::new(ZeroTosses), ExecutorConfig::default());
+        while fresh.step_round_robin().unwrap() {}
+        // Dirty an executor thoroughly — run it, crash nobody but arm a
+        // no-op fault plan — then reset and replay.
+        let mut reused = Executor::new(&alg, 4, Arc::new(ZeroTosses), ExecutorConfig::default());
+        reused.set_fault_plan(FaultPlan::none());
+        while reused.step_round_robin().unwrap() {}
+        reused.reset(&alg);
+        assert_eq!(reused.recorded_events(), 0);
+        assert_eq!(reused.memory().stats().total(), 0);
+        assert_eq!(
+            reused.fault_stats(),
+            FaultStats::default(),
+            "injector disarmed"
+        );
+        while reused.step_round_robin().unwrap() {}
+        assert_eq!(fresh.run().events(), reused.run().events());
+        assert_eq!(fresh.memory().stats(), reused.memory().stats());
+        assert_eq!(fresh.run_outcome(), reused.run_outcome());
+    }
+
+    #[test]
+    fn reset_clears_sticky_faults_and_crashes() {
+        let alg = ll_forever();
+        let cfg = ExecutorConfig {
+            max_events: 10,
+            max_local_burst: 1_000,
+            record_details: true,
+        };
+        let mut exec = Executor::new(&alg, 2, Arc::new(ZeroTosses), cfg);
+        exec.crash(ProcessId(1));
+        let err = exec
+            .drive(&mut RoundRobinScheduler::new(), 1_000_000)
+            .unwrap_err();
+        assert_eq!(err, RunError::BudgetExhausted { events: 10 });
+        exec.reset(&alg);
+        assert_eq!(exec.fault(), None, "sticky fault cleared");
+        assert!(exec.is_runnable(ProcessId(1)), "crash flag cleared");
+        // The budget is available again in full.
+        assert_eq!(
+            exec.drive(&mut RoundRobinScheduler::new(), 1_000_000),
+            Err(RunError::BudgetExhausted { events: 10 })
+        );
+    }
+
+    #[test]
+    fn take_run_hands_over_the_run_and_leaves_an_empty_one() {
+        for lightweight in [false, true] {
+            let alg = counter_like();
+            let cfg = ExecutorConfig {
+                record_details: !lightweight,
+                ..ExecutorConfig::default()
+            };
+            let mut exec = Executor::new(&alg, 2, Arc::new(ZeroTosses), cfg);
+            while exec.step_round_robin().unwrap() {}
+            let taken = exec.take_run();
+            assert!(taken.is_terminating());
+            assert_eq!(taken.is_detailed(), !lightweight);
+            assert_eq!(exec.run().event_count(), 0, "a fresh run remains");
+            assert_eq!(exec.run().is_detailed(), !lightweight, "same mode");
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! [`RunOutcome::FaultInjected`](crate::RunOutcome::FaultInjected).
 
 use crate::rng::XorShift64;
-use crate::{ProcessId, RegisterId, Value};
+use crate::{ProcessId, Value};
 use std::fmt;
 
 /// Domain-separation constant for the value-mutation stream.
@@ -227,45 +227,52 @@ impl FaultInjector {
         Some(clear)
     }
 
-    /// A seeded arbitrary replacement for `v` *of the same type*: the
-    /// corrupted register stays type-plausible (an `Int` stays an `Int`,
-    /// a bit string keeps its width) so corruption models transient bit
-    /// flips rather than arbitrary rewrites. [`Value::Unit`] has a single
-    /// inhabitant, so its corruption is observable only through the
-    /// optional `Pset` clear.
+    /// A seeded arbitrary replacement for `v` *of the same type*; the
+    /// by-value convenience form of [`FaultInjector::corrupt_in_place`]
+    /// (same mutation stream: both draw identically from the value seed).
     pub fn corrupt_value(&mut self, v: &Value) -> Value {
+        let mut out = v.clone();
+        self.corrupt_in_place(&mut out);
+        out
+    }
+
+    /// Corrupts `v` *in place*, preserving its type: the corrupted
+    /// register stays type-plausible (an `Int` stays an `Int`, a bit
+    /// string keeps its width — one word gets one bit flipped, no buffer
+    /// is rebuilt) so corruption models transient bit flips rather than
+    /// arbitrary rewrites. [`Value::Unit`] has a single inhabitant, so
+    /// its corruption is observable only through the optional `Pset`
+    /// clear.
+    pub fn corrupt_in_place(&mut self, v: &mut Value) {
         match v {
-            Value::Unit => Value::Unit,
-            Value::Bool(b) => Value::Bool(!b),
+            Value::Unit => {}
+            Value::Bool(b) => *b = !*b,
             Value::Int(i) => {
                 let fresh = i128::from(self.rng.range_i64(0, 1024));
-                Value::Int(if fresh == *i { fresh + 1 } else { fresh })
+                *i = if fresh == *i { fresh + 1 } else { fresh };
             }
             Value::Pid(p) => {
                 // Provably a *different* process name.
-                Value::Pid(ProcessId((p.0 + 1 + self.rng.index(63)) % 64))
+                *p = ProcessId((p.0 + 1 + self.rng.index(63)) % 64);
             }
-            Value::Reg(r) => Value::Reg(RegisterId(r.0 ^ (1 + self.rng.below(255)))),
+            Value::Reg(r) => r.0 ^= 1 + self.rng.below(255),
             Value::Bits(ws) => {
-                let mut ws = ws.clone();
                 if ws.is_empty() {
                     ws.push(self.rng.next_u64());
                 } else {
                     let i = self.rng.index(ws.len());
                     ws[i] ^= 1 << self.rng.below(64);
                 }
-                Value::Bits(ws)
             }
             Value::Tuple(vs) => {
                 if vs.is_empty() {
                     // An empty tuple corrupts to Unit: same "sequence"
                     // family, observably different.
-                    return Value::Unit;
+                    *v = Value::Unit;
+                } else {
+                    let i = self.rng.index(vs.len());
+                    self.corrupt_in_place(&mut vs[i]);
                 }
-                let i = self.rng.index(vs.len());
-                let mut vs = vs.clone();
-                vs[i] = self.corrupt_value(&vs[i]);
-                Value::Tuple(vs)
             }
         }
     }
@@ -274,6 +281,7 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RegisterId;
 
     #[test]
     fn empty_plan_never_fires() {
@@ -367,6 +375,28 @@ mod tests {
         assert_eq!(inj.corrupt_value(&t).len(), Some(2));
         // Empty tuple corrupts to Unit (still observable).
         assert_eq!(inj.corrupt_value(&Value::empty_tuple()), Value::Unit);
+    }
+
+    #[test]
+    fn corrupt_in_place_matches_the_by_value_stream() {
+        let mut a = FaultInjector::new(FaultPlan::at([], [], 13));
+        let mut b = FaultInjector::new(FaultPlan::at([], [], 13));
+        let cases = [
+            Value::Unit,
+            Value::Bool(false),
+            Value::Int(999),
+            Value::Pid(ProcessId(7)),
+            Value::Reg(RegisterId(2)),
+            Value::Bits(vec![5, 6]),
+            Value::Bits(vec![]),
+            Value::tuple([Value::Bits(vec![1]), Value::Int(0)]),
+            Value::empty_tuple(),
+        ];
+        for v in &cases {
+            let mut m = v.clone();
+            a.corrupt_in_place(&mut m);
+            assert_eq!(m, b.corrupt_value(v), "streams diverged on {v}");
+        }
     }
 
     #[test]

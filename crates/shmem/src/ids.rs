@@ -47,6 +47,269 @@ impl From<usize> for ProcessId {
     }
 }
 
+/// A set of [`ProcessId`]s stored as a bitmask.
+///
+/// The simulator's hot structures — a register's LL/SC `Pset` and the
+/// Lemma 5.1 `UP` sets — are sets of dense process ids that are inserted
+/// into, cleared, and subset-tested on every simulated event. A
+/// `BTreeSet<ProcessId>` pays a heap allocation per element for that;
+/// `ProcMask` packs ids below [`ProcMask::FAST_BITS`] into one inline
+/// `u128` word, making membership, insertion, clearing, union, and subset
+/// tests single word operations with **zero heap traffic**. Every subset
+/// sweep caps `n` at 16, so the exhaustive-verification hot path lives
+/// entirely in the fast word (debug-asserted in the sweeps); the scaling
+/// experiments push `n` to 4096, so ids `>= 128` spill into a
+/// lazily-allocated extension vector rather than being rejected.
+///
+/// Iteration order is ascending id order, matching the `BTreeSet` this
+/// type replaces — schedule construction and `Display` output depend on
+/// that order, and it keeps experiment output byte-identical.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_shmem::{ProcMask, ProcessId};
+/// let mut s = ProcMask::new();
+/// assert!(s.insert(ProcessId(2)));
+/// assert!(s.insert(ProcessId(0)));
+/// assert!(!s.insert(ProcessId(2)), "already present");
+/// assert!(s.contains(ProcessId(0)));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![ProcessId(0), ProcessId(2)]);
+/// assert!(s.is_subset(&ProcMask::full(3)));
+/// s.clear();
+/// assert!(s.is_empty());
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct ProcMask {
+    /// Ids `0 .. 128`: the allocation-free fast word.
+    lo: u128,
+    /// Ids `128 ..`: block `i` covers ids `128 * (i + 1) .. 128 * (i + 2)`.
+    /// Empty (no allocation) until a large id is inserted; trailing zero
+    /// blocks are trimmed so `Eq`/`Hash` see a canonical form.
+    hi: Vec<u128>,
+}
+
+impl ProcMask {
+    /// The number of ids the inline fast word covers.
+    pub const FAST_BITS: usize = 128;
+
+    /// The empty set. Allocation-free.
+    pub const fn new() -> ProcMask {
+        ProcMask {
+            lo: 0,
+            hi: Vec::new(),
+        }
+    }
+
+    /// The full set `{p_0, …, p_{n-1}}` of an `n`-process system.
+    pub fn full(n: usize) -> ProcMask {
+        let mut m = ProcMask::new();
+        for p in ProcessId::all(n) {
+            m.insert(p);
+        }
+        m
+    }
+
+    #[inline]
+    fn split(p: ProcessId) -> (Option<usize>, u128) {
+        if p.0 < Self::FAST_BITS {
+            (None, 1u128 << p.0)
+        } else {
+            let off = p.0 - Self::FAST_BITS;
+            (
+                Some(off / Self::FAST_BITS),
+                1u128 << (off % Self::FAST_BITS),
+            )
+        }
+    }
+
+    /// Inserts `p`; returns `true` iff it was not already present.
+    #[inline]
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        match Self::split(p) {
+            (None, bit) => {
+                let fresh = self.lo & bit == 0;
+                self.lo |= bit;
+                fresh
+            }
+            (Some(block), bit) => {
+                if self.hi.len() <= block {
+                    self.hi.resize(block + 1, 0);
+                }
+                let fresh = self.hi[block] & bit == 0;
+                self.hi[block] |= bit;
+                fresh
+            }
+        }
+    }
+
+    /// Removes `p`; returns `true` iff it was present.
+    #[inline]
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        match Self::split(p) {
+            (None, bit) => {
+                let had = self.lo & bit != 0;
+                self.lo &= !bit;
+                had
+            }
+            (Some(block), bit) => {
+                let Some(word) = self.hi.get_mut(block) else {
+                    return false;
+                };
+                let had = *word & bit != 0;
+                *word &= !bit;
+                while self.hi.last() == Some(&0) {
+                    self.hi.pop();
+                }
+                had
+            }
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, p: ProcessId) -> bool {
+        match Self::split(p) {
+            (None, bit) => self.lo & bit != 0,
+            (Some(block), bit) => self.hi.get(block).is_some_and(|w| w & bit != 0),
+        }
+    }
+
+    /// Empties the set, keeping any spill capacity for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.lo = 0;
+        self.hi.clear();
+    }
+
+    /// The number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.lo.count_ones() as usize
+            + self
+                .hi
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
+    }
+
+    /// `true` iff the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == 0 && self.hi.iter().all(|&w| w == 0)
+    }
+
+    /// `true` iff every id of `self` is in `other` — one AND-NOT per word,
+    /// where the `BTreeSet` predecessor walked both trees. This test runs
+    /// per process per round per subset in the Lemma 5.2 sweeps.
+    #[inline]
+    pub fn is_subset(&self, other: &ProcMask) -> bool {
+        if self.lo & !other.lo != 0 {
+            return false;
+        }
+        self.hi
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.hi.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// `true` iff every id of `other` is in `self`.
+    pub fn is_superset(&self, other: &ProcMask) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Adds every id of `other` to `self`.
+    pub fn union_with(&mut self, other: &ProcMask) {
+        self.lo |= other.lo;
+        if self.hi.len() < other.hi.len() {
+            self.hi.resize(other.hi.len(), 0);
+        }
+        for (dst, src) in self.hi.iter_mut().zip(&other.hi) {
+            *dst |= src;
+        }
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> ProcMaskIter<'_> {
+        ProcMaskIter {
+            word: self.lo,
+            base: 0,
+            hi: &self.hi,
+            next_block: 0,
+        }
+    }
+}
+
+impl fmt::Debug for ProcMask {
+    /// Renders like the `BTreeSet<ProcessId>` it replaces
+    /// (`{ProcessId(0), ProcessId(2)}`), keeping diagnostic strings —
+    /// including the subset-sweep violation reports — stable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<const N: usize> From<[ProcessId; N]> for ProcMask {
+    fn from(ids: [ProcessId; N]) -> Self {
+        ids.into_iter().collect()
+    }
+}
+
+impl FromIterator<ProcessId> for ProcMask {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut m = ProcMask::new();
+        for p in iter {
+            m.insert(p);
+        }
+        m
+    }
+}
+
+impl Extend<ProcessId> for ProcMask {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ProcMask {
+    type Item = ProcessId;
+    type IntoIter = ProcMaskIter<'a>;
+    fn into_iter(self) -> ProcMaskIter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending-order iterator over a [`ProcMask`].
+#[derive(Clone, Debug)]
+pub struct ProcMaskIter<'a> {
+    word: u128,
+    base: usize,
+    hi: &'a [u128],
+    next_block: usize,
+}
+
+impl Iterator for ProcMaskIter<'_> {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        loop {
+            if self.word != 0 {
+                let bit = self.word.trailing_zeros() as usize;
+                self.word &= self.word - 1;
+                return Some(ProcessId(self.base + bit));
+            }
+            let block = self.next_block;
+            if block >= self.hi.len() {
+                return None;
+            }
+            self.word = self.hi[block];
+            self.base = ProcMask::FAST_BITS * (block + 1);
+            self.next_block = block + 1;
+        }
+    }
+}
+
 /// The identity of a shared register `R_j`.
 ///
 /// The paper's shared memory has an infinite number of registers
@@ -109,6 +372,93 @@ mod tests {
     fn conversions() {
         assert_eq!(ProcessId::from(5), ProcessId(5));
         assert_eq!(RegisterId::from(5u64), RegisterId(5));
+    }
+
+    #[test]
+    fn proc_mask_insert_remove_contains() {
+        let mut m = ProcMask::new();
+        assert!(m.is_empty());
+        assert!(m.insert(ProcessId(5)));
+        assert!(!m.insert(ProcessId(5)));
+        assert!(m.contains(ProcessId(5)));
+        assert!(!m.contains(ProcessId(4)));
+        assert_eq!(m.len(), 1);
+        assert!(m.remove(ProcessId(5)));
+        assert!(!m.remove(ProcessId(5)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn proc_mask_iterates_in_ascending_id_order() {
+        let m: ProcMask = [9, 0, 127, 3].into_iter().map(ProcessId).collect();
+        let ids: Vec<_> = m.iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![0, 3, 9, 127]);
+    }
+
+    #[test]
+    fn proc_mask_spills_past_the_fast_word() {
+        // Scaling experiments run executors at n up to 4096; ids >= 128
+        // must round-trip through the spill blocks.
+        let ids = [0usize, 127, 128, 129, 1023, 4095];
+        let m: ProcMask = ids.into_iter().map(ProcessId).collect();
+        assert_eq!(m.len(), ids.len());
+        assert_eq!(m.iter().map(|p| p.0).collect::<Vec<_>>(), ids);
+        for i in ids {
+            assert!(m.contains(ProcessId(i)));
+        }
+        assert!(!m.contains(ProcessId(2048)));
+        let mut trimmed = m;
+        assert!(trimmed.remove(ProcessId(4095)));
+        assert!(trimmed.remove(ProcessId(1023)));
+        // Trailing zero blocks are trimmed, so equality is canonical.
+        let expect: ProcMask = [0usize, 127, 128, 129].into_iter().map(ProcessId).collect();
+        assert_eq!(trimmed, expect);
+    }
+
+    #[test]
+    fn proc_mask_subset_and_union() {
+        let small: ProcMask = [1usize, 3].into_iter().map(ProcessId).collect();
+        let big = ProcMask::full(4);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(ProcMask::new().is_subset(&small), "empty set is a subset");
+        // Subset tests across the spill boundary.
+        let tall: ProcMask = [1usize, 200].into_iter().map(ProcessId).collect();
+        assert!(!tall.is_subset(&big));
+        let mut u = small.clone();
+        u.union_with(&tall);
+        assert_eq!(u.iter().map(|p| p.0).collect::<Vec<_>>(), vec![1, 3, 200]);
+        assert!(small.is_subset(&u));
+        assert!(tall.is_subset(&u));
+    }
+
+    #[test]
+    fn proc_mask_full_matches_process_id_all() {
+        for n in [0usize, 1, 7, 128, 130] {
+            let m = ProcMask::full(n);
+            assert_eq!(m.len(), n);
+            assert_eq!(
+                m.iter().collect::<Vec<_>>(),
+                ProcessId::all(n).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn proc_mask_clear_keeps_nothing() {
+        let mut m = ProcMask::full(200);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m, ProcMask::new(), "cleared mask equals the empty mask");
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn proc_mask_debug_matches_btreeset_shape() {
+        let m: ProcMask = [0usize, 2].into_iter().map(ProcessId).collect();
+        let b: std::collections::BTreeSet<ProcessId> =
+            [0usize, 2].into_iter().map(ProcessId).collect();
+        assert_eq!(format!("{m:?}"), format!("{b:?}"));
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub use coin::{ConstantTosses, MapTosses, SeededTosses, TossAssignment, ZeroToss
 pub use crash::{CrashPlan, CrashScheduler};
 pub use executor::{Executor, ExecutorConfig, StepOutcome};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
-pub use ids::{ProcessId, RegisterId};
+pub use ids::{ProcMask, ProcMaskIter, ProcessId, RegisterId};
 pub use memory::{MemoryStats, SharedMemory};
 pub use op::{OpKind, Operation, Response};
 pub use outcome::{RunError, RunOutcome};

@@ -1,6 +1,6 @@
 //! The shared memory: a lazily-infinite array of registers.
 
-use crate::{OpKind, Operation, ProcessId, RegisterId, RegisterState, Response, Value};
+use crate::{OpKind, Operation, ProcMask, ProcessId, RegisterId, RegisterState, Response, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -153,6 +153,31 @@ impl SharedMemory {
         self.state_mut(reg).corrupt(value, clear_pset);
     }
 
+    /// Transient corruption of `reg` *in place*: materialises the register
+    /// and hands its value to `mutate` (no copy out, no copy back — the
+    /// fault injector rewrites individual fields/words directly). When
+    /// `clear_pset` is set, every link is dropped. Like
+    /// [`SharedMemory::corrupt`], not counted in [`MemoryStats`].
+    pub fn corrupt_in_place(
+        &mut self,
+        reg: RegisterId,
+        clear_pset: bool,
+        mutate: impl FnOnce(&mut Value),
+    ) {
+        self.state_mut(reg).corrupt_in_place(clear_pset, mutate);
+    }
+
+    /// Clears every touched register and the operation statistics while
+    /// keeping the configured initial values (and the initial map's
+    /// allocation): after a reset the memory is observationally the
+    /// freshly constructed [`SharedMemory::with_initial`] memory again.
+    /// The executor's trial-reset primitive
+    /// ([`Executor::reset`](crate::Executor::reset)).
+    pub fn reset(&mut self) {
+        self.regs.clear();
+        self.stats = MemoryStats::default();
+    }
+
     /// Cumulative operation statistics.
     pub fn stats(&self) -> &MemoryStats {
         &self.stats
@@ -168,11 +193,12 @@ impl SharedMemory {
             .collect()
     }
 
-    /// A snapshot of every touched register's `Pset`.
-    pub fn snapshot_psets(&self) -> BTreeMap<RegisterId, Vec<ProcessId>> {
+    /// A snapshot of every touched register's `Pset`, as bitmasks (one
+    /// word copy per register instead of a per-member allocation).
+    pub fn snapshot_psets(&self) -> BTreeMap<RegisterId, ProcMask> {
         self.regs
             .iter()
-            .map(|(r, s)| (*r, s.pset().iter().copied().collect()))
+            .map(|(r, s)| (*r, s.pset().clone()))
             .collect()
     }
 }
@@ -413,6 +439,9 @@ mod tests {
         mem.apply(P0, &Operation::Ll(RegisterId(0)));
         mem.apply(P1, &Operation::Ll(RegisterId(0)));
         let psets = mem.snapshot_psets();
-        assert_eq!(psets[&RegisterId(0)], vec![P0, P1]);
+        assert_eq!(
+            psets[&RegisterId(0)].iter().collect::<Vec<_>>(),
+            vec![P0, P1]
+        );
     }
 }

@@ -1,7 +1,6 @@
 //! The state of a single shared register: `value(R)` and `Pset(R)`.
 
-use crate::{ProcessId, Value};
-use std::collections::BTreeSet;
+use crate::{ProcMask, ProcessId, Value};
 use std::fmt;
 
 /// The state of a shared register.
@@ -30,7 +29,7 @@ use std::fmt;
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RegisterState {
     value: Value,
-    pset: BTreeSet<ProcessId>,
+    pset: ProcMask,
 }
 
 impl RegisterState {
@@ -38,7 +37,7 @@ impl RegisterState {
     pub fn new(value: Value) -> Self {
         RegisterState {
             value,
-            pset: BTreeSet::new(),
+            pset: ProcMask::new(),
         }
     }
 
@@ -48,13 +47,13 @@ impl RegisterState {
     }
 
     /// The register's current `Pset`.
-    pub fn pset(&self) -> &BTreeSet<ProcessId> {
+    pub fn pset(&self) -> &ProcMask {
         &self.pset
     }
 
     /// Whether `p` currently holds a valid link on this register.
     pub fn linked(&self, p: ProcessId) -> bool {
-        self.pset.contains(&p)
+        self.pset.contains(p)
     }
 
     /// `LL(R)` by `p`: adds `p` to `Pset(R)` and returns `value(R)`.
@@ -108,7 +107,7 @@ impl RegisterState {
     /// untouched. Returns the current value, matching the failed-SC
     /// response shape.
     pub fn suppress_sc(&mut self, p: ProcessId) -> Value {
-        self.pset.remove(&p);
+        self.pset.remove(p);
         self.value.clone()
     }
 
@@ -117,6 +116,16 @@ impl RegisterState {
     /// of the paper's operations.
     pub fn corrupt(&mut self, v: Value, clear_pset: bool) {
         self.value = v;
+        if clear_pset {
+            self.pset.clear();
+        }
+    }
+
+    /// Transient corruption that rewrites the stored value *in place* via
+    /// `mutate` instead of replacing it wholesale — the injector flips
+    /// words/fields directly, so no scratch copy of the value is built.
+    pub fn corrupt_in_place(&mut self, clear_pset: bool, mutate: impl FnOnce(&mut Value)) {
+        mutate(&mut self.value);
         if clear_pset {
             self.pset.clear();
         }

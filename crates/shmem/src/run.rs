@@ -222,9 +222,7 @@ impl Run {
     /// already terminated.
     pub fn record(&mut self, ev: RunEvent) {
         let pid = ev.pid();
-        assert!(pid.0 < self.n, "event for out-of-range {pid}");
-        assert!(self.verdicts[pid.0].is_none(), "event for terminated {pid}");
-        assert!(!self.crashed[pid.0], "event for crashed {pid}");
+        self.check_live(pid);
         match &ev {
             RunEvent::Toss { outcome, .. } => {
                 self.tosses[pid.0] += 1;
@@ -251,6 +249,54 @@ impl Run {
         }
     }
 
+    /// Records a shared-memory step from borrowed parts: equivalent to
+    /// [`Run::record`] with [`RunEvent::SharedOp`], but the operation and
+    /// response are cloned *only* when this run records details — the
+    /// lightweight mode's hot path just bumps two counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Run::record`].
+    pub fn record_shared(&mut self, pid: ProcessId, op: &Operation, resp: &Response) {
+        self.check_live(pid);
+        self.shared_steps[pid.0] += 1;
+        self.event_count += 1;
+        if self.details {
+            self.histories[pid.0].push(Interaction::Op(op.clone(), resp.clone()));
+            self.events.push(RunEvent::SharedOp {
+                pid,
+                op: op.clone(),
+                resp: resp.clone(),
+            });
+        }
+    }
+
+    /// Clears the run in place for reuse: counters zeroed, events,
+    /// histories, verdicts, and crash flags emptied — while every buffer
+    /// keeps its allocation. The recording mode and process count are
+    /// unchanged; after a reset the run is observationally a freshly
+    /// constructed one. This is the reusable-trial-context primitive
+    /// behind [`Executor::reset`](crate::Executor::reset).
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.event_count = 0;
+        for h in &mut self.histories {
+            h.clear();
+        }
+        self.shared_steps.fill(0);
+        self.tosses.fill(0);
+        for v in &mut self.verdicts {
+            *v = None;
+        }
+        self.crashed.fill(false);
+    }
+
+    fn check_live(&self, pid: ProcessId) {
+        assert!(pid.0 < self.n, "event for out-of-range {pid}");
+        assert!(self.verdicts[pid.0].is_none(), "event for terminated {pid}");
+        assert!(!self.crashed[pid.0], "event for crashed {pid}");
+    }
+
     /// The global event sequence, in execution order.
     pub fn events(&self) -> &[RunEvent] {
         &self.events
@@ -270,6 +316,19 @@ impl Run {
             tosses: self.tosses.clone(),
             events: self.event_count,
             terminated: self.verdicts.iter().filter(|v| v.is_some()).count(),
+        }
+    }
+
+    /// Consumes the run and returns its summary, *moving* the per-process
+    /// counter vectors out instead of cloning them — the right call when
+    /// the run is done (e.g. a lightweight sweep trial that only reports
+    /// counters).
+    pub fn into_counters(self) -> OpCounters {
+        OpCounters {
+            terminated: self.verdicts.iter().filter(|v| v.is_some()).count(),
+            ops: self.shared_steps,
+            tosses: self.tosses,
+            events: self.event_count,
         }
     }
 
@@ -497,6 +556,51 @@ mod tests {
             assert_eq!(run.events().is_empty(), lightweight);
             assert!(c.to_string().contains("2 procs"));
         }
+    }
+
+    #[test]
+    fn record_shared_matches_record_in_both_modes() {
+        for lightweight in [false, true] {
+            let make = || {
+                if lightweight {
+                    Run::lightweight(2)
+                } else {
+                    Run::new(2)
+                }
+            };
+            let (mut by_event, mut by_parts) = (make(), make());
+            let op = Operation::Ll(RegisterId(3));
+            let resp = Response::Value(Value::from(9i64));
+            by_event.record(RunEvent::SharedOp {
+                pid: ProcessId(1),
+                op: op.clone(),
+                resp: resp.clone(),
+            });
+            by_parts.record_shared(ProcessId(1), &op, &resp);
+            assert_eq!(by_event.events(), by_parts.events());
+            assert_eq!(
+                by_event.history(ProcessId(1)),
+                by_parts.history(ProcessId(1))
+            );
+            assert_eq!(by_event.counters(), by_parts.counters());
+            // The consuming summary agrees with the borrowing one.
+            assert_eq!(by_parts.counters(), by_event.into_counters());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated")]
+    fn record_shared_for_terminated_process_panics() {
+        let mut run = Run::new(1);
+        run.record(RunEvent::Terminated {
+            pid: ProcessId(0),
+            value: Value::Unit,
+        });
+        run.record_shared(
+            ProcessId(0),
+            &Operation::Ll(RegisterId(0)),
+            &Response::Value(Value::Unit),
+        );
     }
 
     #[test]

@@ -327,6 +327,93 @@ impl Sweep {
             .collect()
     }
 
+    /// Runs `f` once per item with a **per-worker scratch**: each worker
+    /// thread builds one scratch value via `init` and reuses it across
+    /// every trial it claims — a reusable executor, memory buffers, or
+    /// any other trial context that would otherwise be reallocated per
+    /// trial. Results are merged in item order, exactly as in
+    /// [`Sweep::run`].
+    ///
+    /// Trial seeds are derived precisely as in [`Sweep::run`]
+    /// (`trial_seed(sweep seed, index)`), so moving a sweep between the
+    /// two entry points cannot change any artifact. The determinism
+    /// contract extends to the scratch: `f`'s *output* must remain a pure
+    /// function of `(trial, item)` — the scratch may carry allocation
+    /// capacity between trials, but no trial-visible state (reset it at
+    /// the top of `f`, e.g. [`Executor::reset`](crate::Executor::reset)).
+    ///
+    /// The scratch never crosses threads (each worker builds, uses, and
+    /// drops its own), so `S` needs neither `Send` nor `Sync`.
+    ///
+    /// # Panics
+    ///
+    /// A panicking trial propagates out of the sweep. There is
+    /// deliberately no scratch-aware fallible variant: after an unwind
+    /// the scratch state is suspect, so retry-with-reuse would be a
+    /// false promise — use [`Sweep::run_fallible`] when isolation
+    /// matters more than reuse.
+    pub fn run_with_scratch<I, T, S, Init, F>(&self, items: &[I], init: Init, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, Trial, &I) -> T + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.threads.max(1).min(items.len());
+        let trial = |index: usize| Trial {
+            index,
+            seed: trial_seed(self.seed, index),
+        };
+        if threads <= 1 {
+            let mut scratch = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(&mut scratch, trial(i), item))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let out = f(&mut scratch, trial(i), item);
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every trial index was claimed exactly once")
+            })
+            .collect()
+    }
+
+    /// [`Sweep::run_indexed`] with a per-worker scratch: runs `f` once per
+    /// index in `0..count`, each worker reusing one `init()`-built scratch
+    /// across its trials. See [`Sweep::run_with_scratch`] for the
+    /// determinism contract.
+    pub fn run_indexed_with_scratch<T, S, Init, F>(&self, count: usize, init: Init, f: F) -> Vec<T>
+    where
+        T: Send,
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, Trial) -> T + Sync,
+    {
+        let indices: Vec<usize> = (0..count).collect();
+        self.run_with_scratch(&indices, init, |scratch, t, _| f(scratch, t))
+    }
+
     /// The fallible counterpart of [`Sweep::run_indexed`]: runs `f` once
     /// per index in `0..count` with panic isolation.
     pub fn run_indexed_fallible<T, F>(&self, count: usize, f: F) -> Vec<Result<T, TrialFailure>>
@@ -442,7 +529,7 @@ mod tests {
     fn run_fallible_is_thread_invariant() {
         let items: Vec<u64> = (0..40).collect();
         let f = |t: Trial, x: &u64| {
-            if x % 7 == 0 {
+            if x.is_multiple_of(7) {
                 panic!("bad seed {:#x}", t.seed);
             }
             t.seed ^ x
@@ -487,6 +574,59 @@ mod tests {
             ok.into_iter().collect::<Result<Vec<_>, _>>().unwrap(),
             vec![0, 2, 4, 6, 8]
         );
+    }
+
+    #[test]
+    fn scratch_sweep_matches_plain_sweep_at_any_thread_count() {
+        // Same seeds, same merge order: a scratch sweep whose closure
+        // ignores the scratch is indistinguishable from Sweep::run.
+        let items: Vec<u64> = (0..300).collect();
+        let base = Sweep::sequential()
+            .seeded(9)
+            .run(&items, |t, &x| t.seed ^ x);
+        for threads in [1, 2, 8] {
+            let scratched = Sweep::with_threads(threads).seeded(9).run_with_scratch(
+                &items,
+                Vec::<u64>::new,
+                |scratch, t, &x| {
+                    scratch.clear(); // reset: no trial-visible state survives
+                    scratch.push(t.seed ^ x);
+                    scratch[0]
+                },
+            );
+            assert_eq!(scratched, base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_built_once_per_worker_and_reused() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = Sweep::with_threads(4).run_with_scratch(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |uses, _, &x| {
+                *uses += 1;
+                x
+            },
+        );
+        assert_eq!(out, items);
+        let built = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&built),
+            "one scratch per worker, not per trial (built {built})"
+        );
+    }
+
+    #[test]
+    fn indexed_scratch_counts_up_in_order() {
+        let out = Sweep::with_threads(3).run_indexed_with_scratch(9, || (), |(), t| t.index * 2);
+        assert_eq!(out, (0..9).map(|i| i * 2).collect::<Vec<_>>());
+        let empty = Sweep::with_threads(3).run_indexed_with_scratch(0, || (), |(), t| t.index);
+        assert!(empty.is_empty());
     }
 
     #[test]
@@ -575,7 +715,7 @@ mod tests {
                     let mut events = 0u64;
                     loop {
                         events += 1;
-                        if events % 512 == 0 {
+                        if events.is_multiple_of(512) {
                             check_trial_deadline(events);
                         }
                     }

@@ -190,7 +190,7 @@ mod tests {
         use llsc_shmem::dsl::done;
         use llsc_shmem::{Executor, ExecutorConfig, FnAlgorithm, ZeroTosses};
         let spec = Arc::new(Counter::new(16));
-        let imp = Arc::new(DirectLlSc::new(spec.clone()));
+        let imp = Arc::new(DirectLlSc::new(spec));
         assert!(imp.is_multi_use());
         let imp2 = Arc::clone(&imp);
         let alg = FnAlgorithm::new("inc-then-read", move |pid, n| {
