@@ -18,9 +18,11 @@ use llsc_core::{
 // into `llsc_core` (see `crates/core/src/secretive.rs`).
 pub use llsc_core::random_move_config;
 use llsc_objects::FetchIncrement;
+use llsc_shmem::repro::{Provenance, ReproCase, ScheduleSpec, TossSpec};
 use llsc_shmem::{
-    Algorithm, CrashPlan, CrashScheduler, Executor, ExecutorConfig, FaultPlan, ProcessId,
-    RegisterId, RoundRobinScheduler, RunOutcome, SeededTosses, Sweep, TrialFailure, ZeroTosses,
+    Algorithm, ChaosPlan, CrashPlan, CrashScheduler, Executor, ExecutorConfig, FaultPlan,
+    ProcessId, RegisterId, RoundRobinScheduler, RunOutcome, SeededTosses, Sweep, TrialFailure,
+    ZeroTosses,
 };
 use llsc_universal::{
     measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HardenedAdtTreeUniversal,
@@ -978,6 +980,35 @@ pub fn e5_tournament_tightness(ns: &[usize], sweep: &Sweep) -> Experiment<(usize
     Experiment { table, rows }
 }
 
+/// Attaches a serialized [`ReproCase`] to every isolated trial failure.
+///
+/// `case_for` rebuilds the failing trial's inputs (plans re-derived from
+/// the failure's final-attempt seed); this helper stamps the provenance,
+/// re-executes the case once through the panic-isolated classifier to
+/// record its ground-truth outcome and failure class, and stores the
+/// JSON on the failure row so `--repro-dir` (and the artifact) can ship
+/// it to `llsc replay` / `llsc shrink`.
+fn attach_repro(
+    failures: &mut [TrialFailure],
+    sweep: &Sweep,
+    mut case_for: impl FnMut(&TrialFailure) -> ReproCase,
+) {
+    for failure in failures {
+        let mut case = case_for(failure);
+        case.provenance = Some(Provenance {
+            sweep_seed: sweep.seed,
+            trial_index: failure.index,
+            attempt: failure.attempts.saturating_sub(1),
+        });
+        if let Some(alg) = crate::repro::resolve_algorithm(&case.algorithm, case.n) {
+            let run = crate::repro::run_case_with(&case, alg.as_ref());
+            case.outcome = run.outcome_debug;
+            case.class = run.class;
+        }
+        failure.repro = Some(case.to_json());
+    }
+}
+
 /// One row of E15: how one wakeup solution degrades when `crashed`
 /// processes are crash-faulted mid-run.
 #[derive(Clone, Debug)]
@@ -1005,7 +1036,7 @@ pub struct E15Row {
 /// The algorithms E15 degrades: the three wakeup solutions the paper's
 /// bound covers plus the oblivious universal construction solving wakeup
 /// through the fetch&increment reduction.
-fn e15_algorithm(idx: usize, n: usize) -> Box<dyn Algorithm> {
+pub(crate) fn e15_algorithm(idx: usize, n: usize) -> Box<dyn Algorithm> {
     match idx {
         0 => Box::new(TournamentWakeup),
         1 => Box::new(CounterWakeup),
@@ -1137,6 +1168,23 @@ pub fn e15_crash_degradation(
             Err(f) => failures.push(f),
         }
     }
+    attach_repro(&mut failures, sweep, |failure| {
+        let (a, k, _rep) = items[failure.index];
+        ReproCase {
+            experiment: "e15".to_string(),
+            algorithm: names[a].clone(),
+            n,
+            toss: TossSpec::Seeded(failure.derived_seed),
+            schedule: ScheduleSpec::RoundRobin,
+            crashes: CrashPlan::seeded(failure.derived_seed, n, k, 8 * n as u64),
+            faults: FaultPlan::none(),
+            max_events,
+            max_steps: E15_MAX_STEPS,
+            outcome: String::new(),
+            class: String::new(),
+            provenance: None,
+        }
+    });
 
     let mut table = Table::new(
         format!("E15 - crash-fault degradation (n = {n}, {reps} trials per cell)"),
@@ -1199,7 +1247,7 @@ pub struct E16Row {
 /// The hardened algorithms E16 degrades: the three hardened wakeup
 /// solutions plus the three hardened universal constructions solving
 /// wakeup through the fetch&increment reduction.
-fn e16_algorithm(idx: usize, n: usize) -> Box<dyn Algorithm> {
+pub(crate) fn e16_algorithm(idx: usize, n: usize) -> Box<dyn Algorithm> {
     let kind = ReductionKind::FetchIncrement;
     match idx {
         0 => Box::new(HardenedCounterWakeup),
@@ -1226,7 +1274,7 @@ fn e16_algorithm(idx: usize, n: usize) -> Box<dyn Algorithm> {
 
 /// The unhardened twin of [`e16_algorithm`]`(idx, _)` — the zero-cost
 /// baseline every `f = 0` trial is compared against, access for access.
-fn e16_unhardened_twin(idx: usize, n: usize) -> Box<dyn Algorithm> {
+pub(crate) fn e16_unhardened_twin(idx: usize, n: usize) -> Box<dyn Algorithm> {
     let kind = ReductionKind::FetchIncrement;
     match idx {
         0 => Box::new(CounterWakeup),
@@ -1436,6 +1484,23 @@ pub fn e16_fault_degradation(
             ops as f64 / cell.trials as f64
         };
     }
+    attach_repro(&mut failures, sweep, |failure| {
+        let (a, f, _rep) = items[failure.index];
+        ReproCase {
+            experiment: "e16".to_string(),
+            algorithm: names[a].clone(),
+            n,
+            toss: TossSpec::Seeded(failure.derived_seed),
+            schedule: ScheduleSpec::RoundRobin,
+            crashes: CrashPlan::none(),
+            faults: plan_for(failure.derived_seed, f),
+            max_events,
+            max_steps: E16_MAX_STEPS,
+            outcome: String::new(),
+            class: String::new(),
+            provenance: None,
+        }
+    });
 
     let mut table = Table::new(
         format!("E16 - memory-fault degradation (n = {n}, {reps} trials per cell)"),
@@ -1464,6 +1529,223 @@ pub fn e16_fault_degradation(
             r.injected.to_string(),
             r.detected.to_string(),
             format!("{:.1}", r.mean_ops),
+        ]);
+    }
+    (Experiment { table, rows: cells }, failures)
+}
+
+/// One row of E17: the failure-class histogram of one algorithm at one
+/// chaos intensity, plus the median minimal-reproducer size.
+#[derive(Clone, Debug)]
+pub struct E17Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Chaos intensity: the [`ChaosPlan`] schedules `intensity / 2` crash
+    /// victims plus `intensity` spurious SC failures and `intensity`
+    /// register corruptions, under a seeded random schedule.
+    pub intensity: usize,
+    /// Trials run for this `(algorithm, intensity)` cell.
+    pub trials: usize,
+    /// Trials that terminated with a correct wakeup answer.
+    pub recovered: usize,
+    /// Trials that terminated wrong with a published detection.
+    pub detected_wrong: usize,
+    /// Trials that terminated wrong with no detection.
+    pub silent_wrong: usize,
+    /// Trials that exhausted their step/event budget.
+    pub stalled: usize,
+    /// Trials the executor classified as [`RunOutcome::Crashed`].
+    pub crashed: usize,
+    /// Trials that aborted (local-burst divergence or a panic inside the
+    /// isolated execution).
+    pub aborted: usize,
+    /// Median size (lower median) of the minimal reproducers shrunk from
+    /// this cell's non-recovered trials; `None` when every trial
+    /// recovered.
+    pub median_shrunk: Option<usize>,
+}
+
+/// The algorithms E17 stresses: the three hardened wakeup solutions and
+/// their unhardened twins, side by side under identical chaos plans.
+pub(crate) fn e17_algorithm(idx: usize, n: usize) -> Box<dyn Algorithm> {
+    if idx < 3 {
+        e16_algorithm(idx, n)
+    } else {
+        e16_unhardened_twin(idx - 3, n)
+    }
+}
+
+/// The step cap each E17 trial's random-schedule drive runs under.
+const E17_MAX_STEPS: u64 = 20_000;
+
+/// The per-trial replay budget [`crate::repro::shrink_case`] gets when
+/// minimizing a failing chaos trial.
+const E17_SHRINK_BUDGET: usize = 160;
+
+/// E17: combined chaos mode. Each trial composes every adversary the
+/// fault experiments exercise separately — crash faults, memory faults
+/// (spurious SC failures and register corruption), and a seeded random
+/// schedule — into one [`ChaosPlan`], runs a hardened wakeup solution or
+/// its unhardened twin under it, and classifies the result with the
+/// shared failure-class vocabulary ([`crate::repro::classify`]).
+///
+/// Every non-recovered trial is packaged as a [`ReproCase`] and shrunk
+/// on the spot ([`crate::repro::shrink_case`]); the cell reports the
+/// median minimal-reproducer size — how small the schedule/fault
+/// evidence for each failure mode gets. `intensity = 0` trials must
+/// recover; a violation panics, which the panic-isolated sweep reports
+/// as a [`TrialFailure`] with an attached reproducer. Rows and failures
+/// merge in index order, so the output is byte-identical at every thread
+/// count.
+pub fn e17_chaos_mode(
+    n: usize,
+    intensities: &[usize],
+    reps: usize,
+    max_events: u64,
+    sweep: &Sweep,
+) -> (Experiment<E17Row>, Vec<TrialFailure>) {
+    const ALGS: usize = 6;
+    assert!(reps >= 1, "need at least one repetition per cell");
+    let mut items = Vec::with_capacity(ALGS * intensities.len() * reps);
+    for a in 0..ALGS {
+        for &intensity in intensities {
+            for rep in 0..reps {
+                items.push((a, intensity, rep));
+            }
+        }
+    }
+
+    let names: Vec<String> = (0..ALGS)
+        .map(|a| e17_algorithm(a, n).name().to_string())
+        .collect();
+    let case_for = |a: usize, intensity: usize, seed: u64| {
+        ChaosPlan::seeded(seed, n, intensity, 8 * n as u64).to_case(
+            "e17",
+            &names[a],
+            n,
+            TossSpec::Seeded(seed),
+            max_events,
+            E17_MAX_STEPS,
+        )
+    };
+    let outcomes = sweep.run_fallible_with(
+        &items,
+        |trial, &(a, intensity, _rep)| {
+            let alg = e17_algorithm(a, n);
+            let mut case = case_for(a, intensity, trial.seed);
+            let run = crate::repro::run_case_with(&case, alg.as_ref());
+            if intensity == 0 {
+                assert!(
+                    run.class == "recovered",
+                    "{}: chaos-free trial must recover, got {} ({}) (seed {:#018x})",
+                    names[a],
+                    run.class,
+                    run.outcome_debug,
+                    trial.seed
+                );
+            }
+            let shrunk = if run.class == "recovered" {
+                None
+            } else {
+                case.outcome = run.outcome_debug.clone();
+                case.class = run.class.clone();
+                let report = crate::repro::shrink_case(&case, E17_SHRINK_BUDGET)
+                    .expect("E17 algorithm names resolve through the registry");
+                Some(report.final_size)
+            };
+            (run.class, shrunk)
+        },
+        |trial, &(a, intensity, _rep)| {
+            format!(
+                "alg={} n={n} {} tosses=seeded:{:#018x}",
+                names[a],
+                ChaosPlan::seeded(trial.seed, n, intensity, 8 * n as u64).summary(),
+                trial.seed
+            )
+        },
+    );
+
+    let mut failures = Vec::new();
+    let mut cells: Vec<E17Row> = Vec::new();
+    let mut cell_shrunk: Vec<Vec<usize>> = Vec::new();
+    for ((a, intensity, _rep), result) in items.iter().zip(outcomes) {
+        if cells
+            .last()
+            .is_none_or(|c| c.algorithm != names[*a] || c.intensity != *intensity)
+        {
+            cells.push(E17Row {
+                algorithm: names[*a].clone(),
+                intensity: *intensity,
+                trials: 0,
+                recovered: 0,
+                detected_wrong: 0,
+                silent_wrong: 0,
+                stalled: 0,
+                crashed: 0,
+                aborted: 0,
+                median_shrunk: None,
+            });
+            cell_shrunk.push(Vec::new());
+        }
+        let cell = cells.last_mut().expect("cell pushed above");
+        let shrunk = cell_shrunk.last_mut().expect("pushed alongside the cell");
+        match result {
+            Ok((class, size)) => {
+                cell.trials += 1;
+                match class.as_str() {
+                    "recovered" => cell.recovered += 1,
+                    "detected-wrong" => cell.detected_wrong += 1,
+                    "silent-wrong" => cell.silent_wrong += 1,
+                    "stalled" => cell.stalled += 1,
+                    "crashed" => cell.crashed += 1,
+                    _ => cell.aborted += 1,
+                }
+                shrunk.extend(size);
+            }
+            Err(fail) => failures.push(fail),
+        }
+    }
+    for (cell, sizes) in cells.iter_mut().zip(&mut cell_shrunk) {
+        sizes.sort_unstable();
+        cell.median_shrunk = if sizes.is_empty() {
+            None
+        } else {
+            Some(sizes[(sizes.len() - 1) / 2])
+        };
+    }
+    attach_repro(&mut failures, sweep, |failure| {
+        let (a, intensity, _rep) = items[failure.index];
+        case_for(a, intensity, failure.derived_seed)
+    });
+
+    let mut table = Table::new(
+        format!("E17 - combined chaos mode (n = {n}, {reps} trials per cell)"),
+        [
+            "algorithm",
+            "intensity",
+            "trials",
+            "recovered",
+            "detected wrong",
+            "silent wrong",
+            "stalled",
+            "crashed",
+            "aborted",
+            "median shrunk size",
+        ],
+    );
+    for r in &cells {
+        table.row([
+            r.algorithm.clone(),
+            r.intensity.to_string(),
+            r.trials.to_string(),
+            r.recovered.to_string(),
+            r.detected_wrong.to_string(),
+            r.silent_wrong.to_string(),
+            r.stalled.to_string(),
+            r.crashed.to_string(),
+            r.aborted.to_string(),
+            r.median_shrunk
+                .map_or_else(|| "-".to_string(), |m| m.to_string()),
         ]);
     }
     (Experiment { table, rows: cells }, failures)
@@ -1640,6 +1922,69 @@ mod tests {
             .iter()
             .all(|f| f.context.contains("fault-plan:none") && f.context.contains("alg=")));
         assert!(exp.table.render().contains("E16"));
+    }
+
+    #[test]
+    fn starved_failures_carry_replayable_reproducers() {
+        let (_, failures) = e16_fault_degradation(8, &[0], 1, 40, &Sweep::sequential());
+        assert!(!failures.is_empty(), "starved f=0 trials must panic");
+        for f in &failures {
+            let json = f.repro.as_ref().expect("failures carry a repro case");
+            let case = ReproCase::from_json(json).expect("attached repro round-trips");
+            assert_eq!(case.experiment, "e16");
+            // The experiment-level assert panicked, but the underlying
+            // execution is an honest stall — that's what the case records.
+            assert_eq!(case.class, "stalled");
+            let run = crate::repro::run_case(&case).expect("algorithm resolves");
+            assert_eq!(run.outcome_debug, case.outcome, "replay is byte-identical");
+            let prov = case.provenance.expect("provenance recorded");
+            assert_eq!(prov.trial_index, f.index);
+            assert_eq!(prov.attempt, f.attempts - 1);
+        }
+    }
+
+    #[test]
+    fn e17_classifies_chaos_trials_and_shrinks_reproducers() {
+        let (exp, failures) = e17_chaos_mode(4, &[0, 3], 2, 2_000_000, &Sweep::sequential());
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(exp.rows.len(), 12, "6 algorithms x 2 intensities");
+        let mut failing_cells = 0;
+        for r in &exp.rows {
+            assert_eq!(r.trials, 2);
+            assert_eq!(
+                r.recovered + r.detected_wrong + r.silent_wrong + r.stalled + r.crashed + r.aborted,
+                r.trials,
+                "{}: every trial classifies into exactly one bucket",
+                r.algorithm
+            );
+            assert_eq!(
+                r.median_shrunk.is_some(),
+                r.recovered < r.trials,
+                "{}: the median tracks exactly the failing trials",
+                r.algorithm
+            );
+            if r.intensity == 0 {
+                assert_eq!(
+                    r.recovered, r.trials,
+                    "{}: chaos-free trials recover",
+                    r.algorithm
+                );
+            } else if r.recovered < r.trials {
+                failing_cells += 1;
+            }
+        }
+        assert!(failing_cells > 0, "intensity-3 chaos must break something");
+    }
+
+    #[test]
+    fn e17_is_identical_across_thread_counts() {
+        let (base, base_f) = e17_chaos_mode(4, &[0, 2], 1, 2_000_000, &Sweep::sequential());
+        for threads in [2, 4] {
+            let (par, par_f) =
+                e17_chaos_mode(4, &[0, 2], 1, 2_000_000, &Sweep::with_threads(threads));
+            assert_eq!(par.table.render(), base.table.render(), "threads={threads}");
+            assert_eq!(par_f.len(), base_f.len());
+        }
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //!   hung trials into structured failures (default off; see
 //!   [`llsc_shmem::Sweep::with_trial_timeout`]).
 //!
+//! `--repro-dir DIR` additionally writes each failure's attached
+//! [`llsc_shmem::ReproCase`] to `DIR/repro-trial<index>.json`, feeding
+//! the `llsc replay` and `llsc shrink` subcommands.
+//!
 //! A binary's `main` is three lines:
 //!
 //! ```no_run
@@ -76,6 +80,12 @@ pub struct HarnessOpts {
     /// Per-trial wall-clock deadline in milliseconds
     /// (`--trial-timeout-ms MS`, default off).
     pub trial_timeout_ms: Option<u64>,
+    /// Where to write one repro-case file per trial failure
+    /// (`--repro-dir DIR`, default off). Each failure that carries a
+    /// serialized [`llsc_shmem::ReproCase`] lands in
+    /// `DIR/repro-trial<index>.json`, ready for `llsc replay` /
+    /// `llsc shrink`.
+    pub repro_dir: Option<PathBuf>,
 }
 
 impl HarnessOpts {
@@ -93,6 +103,7 @@ impl HarnessOpts {
             seed: 0,
             retries: 0,
             trial_timeout_ms: None,
+            repro_dir: None,
         };
         let mut args = args.into_iter().map(Into::into);
         while let Some(arg) = args.next() {
@@ -139,6 +150,10 @@ impl HarnessOpts {
                             .ok_or_else(|| format!("bad --trial-timeout-ms value `{v}`"))?,
                     );
                 }
+                "--repro-dir" => {
+                    let v = args.next().ok_or("--repro-dir needs a path")?;
+                    opts.repro_dir = Some(PathBuf::from(v));
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -152,7 +167,7 @@ impl HarnessOpts {
             Err(e) => {
                 eprintln!(
                     "error: {e}\n\nusage: [--threads N] [--json PATH] [--max-events N] \
-                     [--seed S] [--retries N] [--trial-timeout-ms MS]"
+                     [--seed S] [--retries N] [--trial-timeout-ms MS] [--repro-dir DIR]"
                 );
                 std::process::exit(2);
             }
@@ -191,6 +206,21 @@ impl HarnessOpts {
         }
         for f in failures {
             eprintln!("trial failure: {f}");
+        }
+        if let Some(dir) = &self.repro_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            for f in failures {
+                let Some(repro) = &f.repro else { continue };
+                let path = dir.join(format!("repro-trial{}.json", f.index));
+                if let Err(e) = std::fs::write(&path, repro) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
+            }
         }
         if let Some(path) = &self.json {
             let artifact = Table::render_json_artifact_with_failures(tables, failures);
@@ -259,12 +289,15 @@ mod tests {
             "7",
             "--trial-timeout-ms",
             "250",
+            "--repro-dir",
+            "repros",
             "--threads",
             "4",
         ])
         .unwrap();
         assert_eq!(opts.threads, 4);
         assert_eq!(opts.json, Some(PathBuf::from("out.json")));
+        assert_eq!(opts.repro_dir, Some(PathBuf::from("repros")));
         assert_eq!(opts.max_events, Some(50));
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.retries, 2);
@@ -288,6 +321,7 @@ mod tests {
         assert_eq!(opts.seed, 0);
         assert_eq!(opts.retries, 0);
         assert!(opts.trial_timeout_ms.is_none());
+        assert!(opts.repro_dir.is_none());
         assert!(opts.sweep().trial_timeout.is_none());
     }
 
@@ -304,6 +338,7 @@ mod tests {
         assert!(HarnessOpts::parse(["--seed", "-1"]).is_err());
         assert!(HarnessOpts::parse(["--retries", "many"]).is_err());
         assert!(HarnessOpts::parse(["--trial-timeout-ms", "0"]).is_err());
+        assert!(HarnessOpts::parse(["--repro-dir"]).is_err());
         assert!(HarnessOpts::parse(["--frobnicate"]).is_err());
     }
 
@@ -319,21 +354,28 @@ mod tests {
             seed: 0,
             retries: 0,
             trial_timeout_ms: None,
+            repro_dir: Some(dir.join("repros")),
         };
         let mut t = Table::new("t", ["c"]);
         t.row(["1"]);
         let failures = vec![TrialFailure {
             index: 3,
             seed: 9,
+            derived_seed: 9,
             payload: "boom".into(),
             context: String::new(),
             attempts: 1,
+            repro: Some("{\"version\":\"1\"}\n".into()),
         }];
         let code = opts.emit_with_failures(&[&t], &failures);
         assert_eq!(code, ExitCode::FAILURE);
         let artifact = std::fs::read_to_string(&path).unwrap();
         assert!(artifact.contains("\"failures\""));
         assert!(artifact.contains("boom"));
+        // The attached repro case landed in the requested directory.
+        let repro = std::fs::read_to_string(dir.join("repros/repro-trial3.json")).unwrap();
+        assert_eq!(repro, "{\"version\":\"1\"}\n");
+        std::fs::remove_dir_all(dir.join("repros")).ok();
         assert_eq!(Table::from_json_artifact(&artifact).unwrap().len(), 1);
         // A clean emit through the same path succeeds and omits the key.
         assert_eq!(opts.emit_with_failures(&[&t], &[]), ExitCode::SUCCESS);

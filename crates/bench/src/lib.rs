@@ -18,6 +18,7 @@
 //! | `table_e10` | E10 | the non-oblivious constant-time escape hatch |
 //! | `table_e15` | E15 | crash-fault degradation (graceful failure modes) |
 //! | `table_e16` | E16 | memory-fault degradation (hardened algorithms) |
+//! | `table_e17` | E17 | combined chaos mode (crash + memory faults + random schedule) |
 //!
 //! Each function returns an [`harness::Experiment`] — the rendered table
 //! plus its typed rows — so integration tests can assert on the numbers
@@ -27,13 +28,16 @@
 //! the sweep-resilience flags `--seed S`, `--retries N`, and
 //! `--trial-timeout-ms MS`; fault-injection binaries additionally accept
 //! `--max-events N` and report isolated trial failures in the artifact's
-//! `"failures"` array; see [`harness`].
+//! `"failures"` array, each carrying a replayable repro case
+//! (`--repro-dir DIR` writes them as files for `llsc replay` /
+//! `llsc shrink`; see [`repro`]); see [`harness`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod repro;
 pub mod table;
 
 pub use experiments::*;

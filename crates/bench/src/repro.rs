@@ -1,0 +1,342 @@
+//! The experiment-side half of the failure-replay subsystem.
+//!
+//! `llsc_shmem::repro` serializes, re-executes, and shrinks a
+//! [`ReproCase`] — but a case names its algorithm, and only this crate
+//! knows the experiment algorithm catalog. This module supplies that
+//! glue:
+//!
+//! * [`resolve_algorithm`] — the name → constructor registry covering
+//!   every algorithm the E15/E16/E17 fault experiments run (including the
+//!   labeled `ObjectWakeup` rows whose display names disambiguate the
+//!   backing universal construction);
+//! * [`run_case`] / [`run_case_with`] — execute a case under panic
+//!   isolation and classify the result into the failure-class vocabulary
+//!   the experiments share: `recovered`, `detected-wrong`,
+//!   `silent-wrong`, `stalled`, `crashed`, `aborted`, `panic`;
+//! * [`shrink_case`] — materialize the case's schedule into an explicit
+//!   pick list and delta-debug it (plus the fault/crash lists) down to a
+//!   minimal reproducer with the same failure class.
+//!
+//! The `llsc replay` and `llsc shrink` subcommands are thin wrappers over
+//! these functions.
+
+use crate::experiments::{e15_algorithm, e16_algorithm, e16_unhardened_twin};
+use llsc_core::check_wakeup;
+use llsc_shmem::repro::{execute, shrink, ReproCase, ShrinkReport};
+use llsc_shmem::{Algorithm, ProcessId, RunOutcome};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Resolves an algorithm name recorded in a [`ReproCase`] back to a
+/// constructor, or `None` for an unknown name.
+///
+/// The registry scans the experiment catalogs in a fixed order (E16
+/// hardened algorithms and their labeled `ObjectWakeup` rows, then the
+/// E15 algorithms, then the unhardened twins), so a name that appears in
+/// several catalogs — e.g. `counter-wakeup`, which E15 runs directly and
+/// E16 uses as a twin — resolves to the same construction every time.
+pub fn resolve_algorithm(name: &str, n: usize) -> Option<Box<dyn Algorithm>> {
+    match name {
+        "wakeup-from-fetch&increment[hardened-direct-llsc]" => return Some(e16_algorithm(3, n)),
+        "wakeup-from-fetch&increment[hardened-combining-tree]" => return Some(e16_algorithm(4, n)),
+        "wakeup-from-fetch&increment[hardened-adt-group-update]" => {
+            return Some(e16_algorithm(5, n))
+        }
+        _ => {}
+    }
+    for idx in 0..3 {
+        let alg = e16_algorithm(idx, n);
+        if alg.name() == name {
+            return Some(alg);
+        }
+    }
+    for idx in 0..4 {
+        let alg = e15_algorithm(idx, n);
+        if alg.name() == name {
+            return Some(alg);
+        }
+    }
+    for idx in 0..3 {
+        let alg = e16_unhardened_twin(idx, n);
+        if alg.name() == name {
+            return Some(alg);
+        }
+    }
+    None
+}
+
+/// Classifies a completed (non-panicking) execution into the shared
+/// failure-class vocabulary.
+///
+/// The outcome decides first (a stall is a stall whatever the partial
+/// run's safety looks like — matching E16's bucketing); only runs that
+/// actually terminated are judged on correctness and detection telemetry.
+pub fn classify(outcome: &RunOutcome, safe: bool, detected: u64) -> &'static str {
+    match outcome {
+        RunOutcome::BudgetExhausted { .. } => "stalled",
+        RunOutcome::Crashed { .. } => "crashed",
+        RunOutcome::DivergedLocalBurst { .. } => "aborted",
+        RunOutcome::Completed | RunOutcome::FaultInjected { .. } => {
+            if safe {
+                "recovered"
+            } else if detected > 0 {
+                "detected-wrong"
+            } else {
+                "silent-wrong"
+            }
+        }
+    }
+}
+
+/// The classified result of one case execution.
+#[derive(Clone, Debug)]
+pub struct CaseRun {
+    /// The replayed [`RunOutcome`] in `Debug` form — the string replay
+    /// compares byte-for-byte against [`ReproCase::outcome`] — or
+    /// `"panic"` when the execution panicked.
+    pub outcome_debug: String,
+    /// The failure class (see [`classify`]; `"panic"` for panicking
+    /// executions).
+    pub class: String,
+    /// The explicit schedule trace of the execution (empty on panic).
+    pub trace: Vec<ProcessId>,
+    /// Detections published to the hardened telemetry registers.
+    pub detected: u64,
+    /// Whether the recorded run satisfied the wakeup specification.
+    pub safe: bool,
+}
+
+/// Executes `case` against an already-resolved algorithm, under panic
+/// isolation, and classifies the result.
+pub fn run_case_with(case: &ReproCase, alg: &dyn Algorithm) -> CaseRun {
+    let replayed = catch_unwind(AssertUnwindSafe(|| {
+        let replayed = execute(case, alg);
+        // Telemetry from both hardened families, exactly as E16 reads it.
+        let detected: u64 = (0..case.n)
+            .map(ProcessId)
+            .map(|p| {
+                let wakeup = replayed
+                    .exec
+                    .memory()
+                    .peek(llsc_wakeup::hardened_detect_reg(p));
+                let universal = replayed
+                    .exec
+                    .memory()
+                    .peek(llsc_universal::hardened_detect_reg(p));
+                wakeup.as_int().unwrap_or(0).max(0) as u64
+                    + universal.as_int().unwrap_or(0).max(0) as u64
+            })
+            .sum();
+        let safe = check_wakeup(replayed.exec.run()).ok();
+        (replayed.outcome, replayed.trace, detected, safe)
+    }));
+    match replayed {
+        Ok((outcome, trace, detected, safe)) => CaseRun {
+            outcome_debug: format!("{outcome:?}"),
+            class: classify(&outcome, safe, detected).to_string(),
+            trace,
+            detected,
+            safe,
+        },
+        Err(_) => CaseRun {
+            outcome_debug: "panic".to_string(),
+            class: "panic".to_string(),
+            trace: Vec::new(),
+            detected: 0,
+            safe: false,
+        },
+    }
+}
+
+/// [`run_case_with`] after resolving the case's algorithm by name.
+///
+/// # Errors
+///
+/// Returns a message when [`ReproCase::algorithm`] is not in the
+/// registry.
+pub fn run_case(case: &ReproCase) -> Result<CaseRun, String> {
+    let alg = resolve_algorithm(&case.algorithm, case.n)
+        .ok_or_else(|| format!("unknown algorithm {:?}", case.algorithm))?;
+    Ok(run_case_with(case, alg.as_ref()))
+}
+
+/// Materializes and delta-debugs `case` down to a minimal reproducer
+/// with the same failure class.
+///
+/// The baseline execution both (re)establishes the failure class — the
+/// shrink target — and records the explicit schedule trace. If replaying
+/// that trace preserves the class (it does whenever the case is
+/// deterministic, which every seeded case is), the named schedule is
+/// swapped for the explicit one so the schedule and process-set passes
+/// have something to chew on; otherwise shrinking falls back to the
+/// fault/crash lists alone. The returned report's case has its outcome
+/// and class fields refreshed from the minimal reproducer's own
+/// execution.
+///
+/// # Errors
+///
+/// Returns a message when the case's algorithm is unknown.
+pub fn shrink_case(case: &ReproCase, max_replays: usize) -> Result<ShrinkReport, String> {
+    let alg = resolve_algorithm(&case.algorithm, case.n)
+        .ok_or_else(|| format!("unknown algorithm {:?}", case.algorithm))?;
+    let alg = alg.as_ref();
+    let baseline = run_case_with(case, alg);
+    let target = baseline.class.clone();
+    let mut prelude = Vec::new();
+    if !case.class.is_empty() && case.class != target {
+        prelude.push(format!(
+            "note: recorded class {:?} differs from re-executed class {:?}; shrinking \
+             toward the re-executed class",
+            case.class, target
+        ));
+    }
+
+    let mut start = case.clone();
+    start.class = target.clone();
+    if !baseline.trace.is_empty() {
+        let materialized = start.materialized(baseline.trace.clone());
+        if run_case_with(&materialized, alg).class == target {
+            prelude.push(format!(
+                "materialized schedule: {} explicit pick(s)",
+                baseline.trace.len()
+            ));
+            start = materialized;
+        } else {
+            prelude.push(
+                "schedule not materialized (trace replay changed the class); shrinking \
+                 fault lists only"
+                    .to_string(),
+            );
+        }
+    }
+
+    let mut report = shrink(
+        &start,
+        |cand| Some(run_case_with(cand, alg).class),
+        max_replays,
+    );
+    let final_run = run_case_with(&report.case, alg);
+    report.case.outcome = final_run.outcome_debug;
+    report.case.class = final_run.class;
+    prelude.append(&mut report.log);
+    report.log = prelude;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llsc_shmem::repro::{ScheduleSpec, TossSpec};
+    use llsc_shmem::{CrashPlan, FaultPlan};
+
+    fn clean_case(algorithm: &str, n: usize, seed: u64) -> ReproCase {
+        ReproCase {
+            experiment: "test".to_string(),
+            algorithm: algorithm.to_string(),
+            n,
+            toss: TossSpec::Seeded(seed),
+            schedule: ScheduleSpec::RoundRobin,
+            crashes: CrashPlan::none(),
+            faults: FaultPlan::none(),
+            max_events: 2_000_000,
+            max_steps: 40_000,
+            outcome: String::new(),
+            class: String::new(),
+            provenance: None,
+        }
+    }
+
+    #[test]
+    fn registry_resolves_every_experiment_name() {
+        let labeled = [
+            "wakeup-from-fetch&increment[hardened-direct-llsc]",
+            "wakeup-from-fetch&increment[hardened-combining-tree]",
+            "wakeup-from-fetch&increment[hardened-adt-group-update]",
+        ];
+        for name in labeled {
+            assert!(resolve_algorithm(name, 4).is_some(), "{name}");
+        }
+        for idx in 0..4 {
+            let name = e15_algorithm(idx, 4).name().to_string();
+            let resolved = resolve_algorithm(&name, 4).expect("e15 name resolves");
+            assert_eq!(resolved.name(), name);
+        }
+        for idx in 0..3 {
+            let name = e16_algorithm(idx, 4).name().to_string();
+            assert!(resolve_algorithm(&name, 4).is_some(), "{name}");
+            let twin = e16_unhardened_twin(idx, 4).name().to_string();
+            assert!(resolve_algorithm(&twin, 4).is_some(), "{twin}");
+        }
+        assert!(resolve_algorithm("no-such-algorithm", 4).is_none());
+    }
+
+    #[test]
+    fn clean_cases_classify_as_recovered() {
+        let case = clean_case("counter-wakeup", 4, 7);
+        let run = run_case(&case).unwrap();
+        assert_eq!(run.class, "recovered");
+        assert_eq!(run.outcome_debug, "Completed");
+        assert!(run.safe);
+        assert!(!run.trace.is_empty());
+    }
+
+    #[test]
+    fn run_case_is_deterministic() {
+        let case = clean_case("tournament-wakeup", 4, 11);
+        let a = run_case(&case).unwrap();
+        let b = run_case(&case).unwrap();
+        assert_eq!(a.outcome_debug, b.outcome_debug);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn starved_budget_classifies_as_stalled_and_shrinks() {
+        let mut case = clean_case("counter-wakeup", 4, 3);
+        case.max_events = 10;
+        let run = run_case(&case).unwrap();
+        assert_eq!(run.class, "stalled");
+        assert!(
+            run.outcome_debug.starts_with("BudgetExhausted"),
+            "{}",
+            run.outcome_debug
+        );
+        case.class = run.class.clone();
+        case.outcome = run.outcome_debug.clone();
+
+        let report = shrink_case(&case, 500).unwrap();
+        assert_eq!(report.case.class, "stalled", "class preserved");
+        assert!(
+            report.final_size < report.initial_size.max(run.trace.len()),
+            "strictly smaller: {} vs schedule {}",
+            report.final_size,
+            run.trace.len()
+        );
+        // The minimal reproducer replays to the class it records.
+        let replayed = run_case(&report.case).unwrap();
+        assert_eq!(replayed.class, "stalled");
+        assert_eq!(replayed.outcome_debug, report.case.outcome);
+    }
+
+    #[test]
+    fn classify_covers_the_vocabulary() {
+        use RunOutcome::*;
+        assert_eq!(classify(&Completed, true, 0), "recovered");
+        assert_eq!(classify(&Completed, false, 2), "detected-wrong");
+        assert_eq!(
+            classify(
+                &FaultInjected {
+                    spurious_sc: 1,
+                    corruptions: 0
+                },
+                false,
+                0
+            ),
+            "silent-wrong"
+        );
+        assert_eq!(classify(&BudgetExhausted { events: 9 }, true, 0), "stalled");
+        assert_eq!(classify(&Crashed { pid: ProcessId(1) }, true, 0), "crashed");
+        assert_eq!(
+            classify(&DivergedLocalBurst { pid: ProcessId(0) }, true, 0),
+            "aborted"
+        );
+    }
+}

@@ -7,6 +7,12 @@
 //! code path (`table_e4 --json` / `table_e13 --json` at `--threads 1`,
 //! which is byte-identical to `--threads 4`); these tests regenerate the
 //! artifacts in-process with the same seeds and assert byte equality.
+//!
+//! The E15/E16 fixtures play the same role for the fault experiments:
+//! captured from `table_e15 --json` / `table_e16 --json` with default
+//! parameters, they pin the crash- and memory-fault artifacts across the
+//! failure-replay/shrinking rework (and any future change to the trial
+//! engine).
 
 use llsc_bench::table::Table;
 use llsc_shmem::Sweep;
@@ -40,6 +46,42 @@ fn e13_artifact_matches_old_path_fixture() {
         assert_eq!(
             artifact, fixture,
             "E13 artifact diverged from the old-path fixture at --threads {threads}"
+        );
+    }
+}
+
+/// E15 with the `table_e15` parameters (`n = 8`, `ks = [0, 1, 2, 4]`,
+/// 6 reps): byte-identical to the checked-in fixture at 1 and 4 threads,
+/// pinning the crash-fault experiment across the replay/shrink rework.
+#[test]
+fn e15_artifact_matches_fixture() {
+    let fixture = include_str!("fixtures/e15.json");
+    for threads in [1, 4] {
+        let sweep = Sweep::with_threads(threads);
+        let (exp, failures) =
+            llsc_bench::e15_crash_degradation(8, &[0, 1, 2, 4], 6, 2_000_000, &sweep);
+        let artifact = Table::render_json_artifact_with_failures(&[&exp.table], &failures);
+        assert_eq!(
+            artifact, fixture,
+            "E15 artifact diverged from the fixture at --threads {threads}"
+        );
+    }
+}
+
+/// E16 with the `table_e16` parameters (`n = 8`, `fs = [0, 1, 2, 4, 8]`,
+/// 6 reps): byte-identical to the checked-in fixture at 1 and 4 threads,
+/// pinning the memory-fault experiment across the replay/shrink rework.
+#[test]
+fn e16_artifact_matches_fixture() {
+    let fixture = include_str!("fixtures/e16.json");
+    for threads in [1, 4] {
+        let sweep = Sweep::with_threads(threads);
+        let (exp, failures) =
+            llsc_bench::e16_fault_degradation(8, &[0, 1, 2, 4, 8], 6, 2_000_000, &sweep);
+        let artifact = Table::render_json_artifact_with_failures(&[&exp.table], &failures);
+        assert_eq!(
+            artifact, fixture,
+            "E16 artifact diverged from the fixture at --threads {threads}"
         );
     }
 }

@@ -118,6 +118,13 @@ impl FaultPlan {
         self.spurious.is_empty() && self.corruptions.is_empty()
     }
 
+    /// The seed of the replacement-value stream, so a plan can be
+    /// serialized (e.g. into a [`crate::repro::ReproCase`]) and rebuilt
+    /// byte-identically with [`FaultPlan::at`].
+    pub fn value_seed(&self) -> u64 {
+        self.value_seed
+    }
+
     /// A one-line human-readable summary, used in trial-failure context
     /// strings so a failed trial is reproducible from the artifact alone.
     pub fn summary(&self) -> String {

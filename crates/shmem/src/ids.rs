@@ -228,6 +228,20 @@ impl ProcMask {
         }
     }
 
+    /// Keeps only the ids present in both sets, trimming trailing zero
+    /// spill blocks so the result stays in the canonical `Eq`/`Hash`
+    /// form.
+    pub fn intersect_with(&mut self, other: &ProcMask) {
+        self.lo &= other.lo;
+        self.hi.truncate(other.hi.len());
+        for (dst, src) in self.hi.iter_mut().zip(&other.hi) {
+            *dst &= src;
+        }
+        while self.hi.last() == Some(&0) {
+            self.hi.pop();
+        }
+    }
+
     /// Iterates the ids in ascending order.
     pub fn iter(&self) -> ProcMaskIter<'_> {
         ProcMaskIter {

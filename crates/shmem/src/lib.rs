@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chaos;
 mod coin;
 mod crash;
 mod executor;
@@ -89,9 +90,11 @@ mod scheduler;
 mod value;
 
 pub mod dsl;
+pub mod repro;
 pub mod rng;
 pub mod sweep;
 
+pub use chaos::ChaosPlan;
 pub use coin::{ConstantTosses, MapTosses, SeededTosses, TossAssignment, ZeroTosses};
 pub use crash::{CrashPlan, CrashScheduler};
 pub use executor::{Executor, ExecutorConfig, StepOutcome};
@@ -102,10 +105,11 @@ pub use op::{OpKind, Operation, Response};
 pub use outcome::{RunError, RunOutcome};
 pub use process::{Action, Algorithm, Feedback, FnAlgorithm, Program};
 pub use register::RegisterState;
+pub use repro::{Provenance, Replayed, ReproCase, ScheduleSpec, ShrinkReport, TossSpec};
 pub use run::{Interaction, OpCounters, Run, RunEvent};
 pub use scheduler::{
-    ListScheduler, PartitionScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
-    SequentialScheduler,
+    ListScheduler, PartitionScheduler, RandomScheduler, RecordingScheduler, RoundRobinScheduler,
+    Scheduler, SequentialScheduler,
 };
 pub use sweep::{Sweep, Trial, TrialFailure};
 pub use value::Value;

@@ -1,0 +1,1045 @@
+//! Self-contained failure reproducers: serialize, replay, and shrink.
+//!
+//! A [`ReproCase`] captures everything a single executor run depends on —
+//! algorithm name, process count, toss assignment, schedule, crash plan,
+//! fault plan, and budgets — plus the outcome it produced, as a portable
+//! JSON artifact. Because every ingredient is a pure function of the
+//! recorded fields (seeded tosses, seeded plans, explicit schedules),
+//! re-executing the case reproduces the original run event-for-event:
+//! the debugging loop the paper's adversary argument is built on (a
+//! specific schedule plus specific coin tosses forcing a bad outcome,
+//! Section 5 / Figure 2) becomes a file you can pass around.
+//!
+//! Three layers live here:
+//!
+//! * **serialization** — [`ReproCase::to_json`] / [`ReproCase::from_json`],
+//!   a hand-rolled format (this workspace builds with no external crates;
+//!   see `llsc-bench`'s tables for the same convention: every scalar is a
+//!   JSON string, so one tiny parser suffices);
+//! * **replay** — [`execute`] rebuilds the executor and drives it under
+//!   the recorded schedule and plans, returning the live executor, the
+//!   classified [`RunOutcome`], and the explicit pick trace;
+//! * **shrinking** — [`shrink`] delta-debugs the schedule, the
+//!   participating process set, and the injected fault/crash lists against
+//!   a caller-supplied failure-class oracle, keeping every reduction that
+//!   preserves the class.
+//!
+//! The algorithm itself is *not* serialized (programs are code); a case
+//! records the algorithm's name and the caller resolves it back to a
+//! constructor — `llsc-bench` keeps the registry for the experiment
+//! algorithms, and the `llsc replay` / `llsc shrink` subcommands glue the
+//! two together.
+
+use crate::scheduler::RecordingScheduler;
+use crate::{
+    Algorithm, CrashPlan, CrashScheduler, Executor, ExecutorConfig, FaultPlan, ListScheduler,
+    ProcessId, RandomScheduler, RoundRobinScheduler, RunOutcome, Scheduler, SeededTosses,
+    TossAssignment, ZeroTosses,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The coin-toss assignment of a reproducible run.
+///
+/// Only pure seeded assignments are representable — which is all the
+/// experiment sweeps use — so a case never needs to embed a full toss log:
+/// the seed *is* the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TossSpec {
+    /// Every toss answers 0 ([`ZeroTosses`]).
+    Zero,
+    /// Tosses drawn from [`SeededTosses`] under the given seed.
+    Seeded(u64),
+}
+
+impl TossSpec {
+    /// Builds the toss assignment this spec describes.
+    pub fn assignment(&self) -> Arc<dyn TossAssignment> {
+        match self {
+            TossSpec::Zero => Arc::new(ZeroTosses),
+            TossSpec::Seeded(seed) => Arc::new(SeededTosses::new(*seed)),
+        }
+    }
+}
+
+/// The schedule of a reproducible run: a named deterministic scheduler,
+/// or an explicit pick-by-pick trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleSpec {
+    /// [`RoundRobinScheduler`] starting at `p_0`.
+    RoundRobin,
+    /// [`RandomScheduler`] under the given seed.
+    Random {
+        /// The scheduler's seed.
+        seed: u64,
+    },
+    /// An explicit pick list, replayed through a [`ListScheduler`]. This
+    /// is the form the shrinker works on: [`execute`] records the trace
+    /// of a named schedule, and [`ReproCase::materialized`] swaps it in.
+    List(Vec<ProcessId>),
+}
+
+impl ScheduleSpec {
+    /// The number of explicit picks, or 0 for a named schedule.
+    pub fn len(&self) -> usize {
+        match self {
+            ScheduleSpec::List(picks) => picks.len(),
+            _ => 0,
+        }
+    }
+
+    /// `true` iff this is an explicit empty pick list.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, ScheduleSpec::List(picks) if picks.is_empty())
+    }
+}
+
+/// Where a case came from: the sweep that produced it, so a failure row
+/// in an artifact and the repro file on disk can be cross-referenced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// The sweep seed the trial seed was derived from.
+    pub sweep_seed: u64,
+    /// The trial's index within the sweep.
+    pub trial_index: usize,
+    /// The retry attempt that produced this case (0 = first attempt).
+    pub attempt: u32,
+}
+
+/// A self-contained, replayable description of one executor run.
+///
+/// Every field is data (no code): the algorithm is referenced by name and
+/// resolved by the caller at replay time. See the module docs for the
+/// round-trip guarantees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReproCase {
+    /// The experiment that produced the case (`"e15"`, `"e16"`, `"e17"`,
+    /// or any caller-chosen tag).
+    pub experiment: String,
+    /// The algorithm's registry name (e.g. `"hardened-counter-wakeup"`).
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// The coin-toss assignment.
+    pub toss: TossSpec,
+    /// The schedule: named or explicit.
+    pub schedule: ScheduleSpec,
+    /// Crash-stop faults injected during the run.
+    pub crashes: CrashPlan,
+    /// Memory faults injected during the run.
+    pub faults: FaultPlan,
+    /// The executor's event budget ([`ExecutorConfig::max_events`]).
+    pub max_events: u64,
+    /// The driver's step budget.
+    pub max_steps: u64,
+    /// The recorded [`RunOutcome`] in `Debug` form — replay compares the
+    /// re-executed outcome against this byte-for-byte.
+    pub outcome: String,
+    /// The recorded failure class (e.g. `"stalled"`, `"silent-wrong"`);
+    /// the shrinker preserves it.
+    pub class: String,
+    /// The producing sweep, if the case came from one.
+    pub provenance: Option<Provenance>,
+}
+
+impl ReproCase {
+    /// The case's reproducer size: explicit schedule picks plus injected
+    /// crash and fault entries. This is the quantity the shrinker
+    /// minimizes (named schedules count 0 picks; materialize first).
+    pub fn size(&self) -> usize {
+        self.schedule.len()
+            + self.crashes.len()
+            + self.faults.spurious().len()
+            + self.faults.corruptions().len()
+    }
+
+    /// A copy of the case with its schedule replaced by the explicit
+    /// `trace` (as recorded by [`execute`]), ready for shrinking.
+    pub fn materialized(&self, trace: Vec<ProcessId>) -> ReproCase {
+        ReproCase {
+            schedule: ScheduleSpec::List(trace),
+            ..self.clone()
+        }
+    }
+}
+
+/// The result of [`execute`]: the driven executor (for safety checks and
+/// telemetry reads), the classified outcome, and the explicit pick trace.
+#[derive(Debug)]
+pub struct Replayed {
+    /// The executor after the drive; its [`Executor::run`] is the full
+    /// recorded run.
+    pub exec: Executor,
+    /// [`Executor::run_outcome`] at the end of the drive.
+    pub outcome: RunOutcome,
+    /// Every scheduler pick handed to the executor, in order. Replaying
+    /// this trace as a [`ScheduleSpec::List`] reproduces the run.
+    pub trace: Vec<ProcessId>,
+}
+
+/// Re-executes a case against `alg` (the algorithm its
+/// [`ReproCase::algorithm`] names), byte-deterministically.
+///
+/// The drive layers the recorded crash plan over the recorded schedule
+/// exactly as the fault experiments do ([`CrashScheduler`] with the
+/// schedule as its inner scheduler; an empty crash plan makes that
+/// identical to a plain drive), with the fault plan armed on the
+/// executor.
+pub fn execute(case: &ReproCase, alg: &dyn Algorithm) -> Replayed {
+    let config = ExecutorConfig {
+        max_events: case.max_events,
+        ..ExecutorConfig::default()
+    };
+    let mut exec = Executor::new(alg, case.n, case.toss.assignment(), config);
+    exec.set_fault_plan(case.faults.clone());
+    let trace = match &case.schedule {
+        ScheduleSpec::RoundRobin => drive_recorded(&mut exec, RoundRobinScheduler::new(), case),
+        ScheduleSpec::Random { seed } => {
+            drive_recorded(&mut exec, RandomScheduler::new(*seed), case)
+        }
+        ScheduleSpec::List(picks) => {
+            drive_recorded(&mut exec, ListScheduler::new(picks.iter().copied()), case)
+        }
+    };
+    let outcome = exec.run_outcome();
+    Replayed {
+        exec,
+        outcome,
+        trace,
+    }
+}
+
+fn drive_recorded<S: Scheduler>(exec: &mut Executor, inner: S, case: &ReproCase) -> Vec<ProcessId> {
+    let mut recorder = RecordingScheduler::new(inner);
+    let mut driver = CrashScheduler::new(&mut recorder, case.crashes.clone());
+    // Outcome classification reads the executor's sticky fault state, so
+    // the drive's own error result is redundant here.
+    let _ = driver.drive(exec, case.max_steps);
+    drop(driver);
+    recorder.into_trace()
+}
+
+/// One accepted reduction plus bookkeeping, as recorded by [`shrink`].
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The minimized case. Its `outcome` field is *not* refreshed (the
+    /// oracle only reports classes); callers that want the shrunk run's
+    /// outcome string re-execute once and overwrite it.
+    pub case: ReproCase,
+    /// Human-readable log of every accepted reduction.
+    pub log: Vec<String>,
+    /// Oracle invocations spent.
+    pub replays: usize,
+    /// [`ReproCase::size`] before shrinking.
+    pub initial_size: usize,
+    /// [`ReproCase::size`] after shrinking.
+    pub final_size: usize,
+}
+
+/// Delta-debugs `case` down to a smaller reproducer with the same failure
+/// class.
+///
+/// `oracle` executes a candidate and returns its failure class (`None`
+/// when the candidate cannot be executed at all); a candidate reduction
+/// is kept iff its class equals `case.class`. Four passes repeat until a
+/// fixpoint (or until `max_replays` oracle calls have been spent):
+///
+/// 1. **schedule** — classic ddmin over the explicit pick list, removing
+///    chunks of halving size (skipped for named schedules: call
+///    [`ReproCase::materialized`] with a recorded trace first);
+/// 2. **process set** — for each process appearing in the schedule, try
+///    dropping *all* of its picks at once;
+/// 3. **crashes** — try dropping each crash entry;
+/// 4. **faults** — try dropping each spurious-SC threshold and each
+///    corruption entry.
+///
+/// Everything is deterministic: candidate order is fixed, the oracle is
+/// pure, so the minimal reproducer is a pure function of the input case.
+pub fn shrink<F>(case: &ReproCase, mut oracle: F, max_replays: usize) -> ShrinkReport
+where
+    F: FnMut(&ReproCase) -> Option<String>,
+{
+    let target = case.class.clone();
+    let mut current = case.clone();
+    let mut log = Vec::new();
+    let mut replays = 0usize;
+    let initial_size = case.size();
+
+    // Tests a candidate against the oracle, honoring the replay budget.
+    let mut keeps_class = |cand: &ReproCase, replays: &mut usize| -> bool {
+        if *replays >= max_replays {
+            return false;
+        }
+        *replays += 1;
+        oracle(cand).as_deref() == Some(target.as_str())
+    };
+
+    loop {
+        let size_before = current.size();
+
+        // Pass 1: ddmin over the explicit schedule.
+        if let ScheduleSpec::List(picks) = &current.schedule {
+            let mut picks = picks.clone();
+            let mut chunk = (picks.len() / 2).max(1);
+            loop {
+                let mut i = 0;
+                while i < picks.len() {
+                    let mut cand_picks = picks.clone();
+                    cand_picks.drain(i..(i + chunk).min(cand_picks.len()));
+                    let cand = ReproCase {
+                        schedule: ScheduleSpec::List(cand_picks.clone()),
+                        ..current.clone()
+                    };
+                    if keeps_class(&cand, &mut replays) {
+                        log.push(format!(
+                            "schedule: removed {} pick(s) at {} ({} -> {})",
+                            picks.len() - cand_picks.len(),
+                            i,
+                            picks.len(),
+                            cand_picks.len()
+                        ));
+                        picks = cand_picks;
+                    } else {
+                        i += chunk;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk = (chunk / 2).max(1);
+            }
+            current.schedule = ScheduleSpec::List(picks);
+        }
+
+        // Pass 2: drop every pick of one process at a time.
+        if let ScheduleSpec::List(picks) = &current.schedule {
+            let mut pids: Vec<ProcessId> = picks.clone();
+            pids.sort_unstable();
+            pids.dedup();
+            for pid in pids.into_iter().rev() {
+                let ScheduleSpec::List(picks) = &current.schedule else {
+                    unreachable!("pass 2 only rewrites List schedules");
+                };
+                let cand_picks: Vec<ProcessId> =
+                    picks.iter().copied().filter(|p| *p != pid).collect();
+                if cand_picks.len() == picks.len() {
+                    continue;
+                }
+                let cand = ReproCase {
+                    schedule: ScheduleSpec::List(cand_picks.clone()),
+                    ..current.clone()
+                };
+                if keeps_class(&cand, &mut replays) {
+                    log.push(format!(
+                        "process set: removed all {} pick(s) of {pid}",
+                        picks.len() - cand_picks.len()
+                    ));
+                    current.schedule = ScheduleSpec::List(cand_picks);
+                }
+            }
+        }
+
+        // Pass 3: drop crash entries.
+        for i in (0..current.crashes.len()).rev() {
+            let mut pairs = current.crashes.crashes().to_vec();
+            let (victim, at) = pairs.remove(i);
+            let cand = ReproCase {
+                crashes: CrashPlan::at(pairs.clone()),
+                ..current.clone()
+            };
+            if keeps_class(&cand, &mut replays) {
+                log.push(format!("crashes: removed crash of {victim} at event {at}"));
+                current.crashes = CrashPlan::at(pairs);
+            }
+        }
+
+        // Pass 4: drop fault entries.
+        for i in (0..current.faults.spurious().len()).rev() {
+            let mut spurious = current.faults.spurious().to_vec();
+            let at = spurious.remove(i);
+            let cand = ReproCase {
+                faults: FaultPlan::at(
+                    spurious.clone(),
+                    current.faults.corruptions().to_vec(),
+                    current.faults.value_seed(),
+                ),
+                ..current.clone()
+            };
+            if keeps_class(&cand, &mut replays) {
+                log.push(format!("faults: removed spurious SC at event {at}"));
+                current.faults = cand.faults;
+            }
+        }
+        for i in (0..current.faults.corruptions().len()).rev() {
+            let mut corruptions = current.faults.corruptions().to_vec();
+            let (at, clear) = corruptions.remove(i);
+            let cand = ReproCase {
+                faults: FaultPlan::at(
+                    current.faults.spurious().to_vec(),
+                    corruptions.clone(),
+                    current.faults.value_seed(),
+                ),
+                ..current.clone()
+            };
+            if keeps_class(&cand, &mut replays) {
+                log.push(format!(
+                    "faults: removed corruption at event {at} (clear-pset={clear})"
+                ));
+                current.faults = cand.faults;
+            }
+        }
+
+        if current.size() >= size_before || replays >= max_replays {
+            break;
+        }
+    }
+
+    let final_size = current.size();
+    ShrinkReport {
+        case: current,
+        log,
+        replays,
+        initial_size,
+        final_size,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization.
+//
+// Same convention as the llsc-bench artifacts: every scalar is a JSON
+// string (seeds in hex, counters in decimal), so the parser below only
+// needs strings, arrays, and objects.
+// ---------------------------------------------------------------------------
+
+impl ReproCase {
+    /// Serializes the case to its JSON artifact form (one line, trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        push_str_field(&mut out, "version", "1");
+        out.push(',');
+        push_str_field(&mut out, "experiment", &self.experiment);
+        out.push(',');
+        push_str_field(&mut out, "algorithm", &self.algorithm);
+        out.push(',');
+        push_str_field(&mut out, "n", &self.n.to_string());
+        out.push(',');
+        let toss = match self.toss {
+            TossSpec::Zero => "zero".to_string(),
+            TossSpec::Seeded(seed) => format!("seeded:{seed:#018x}"),
+        };
+        push_str_field(&mut out, "toss", &toss);
+        out.push(',');
+        out.push_str("\"schedule\":");
+        match &self.schedule {
+            ScheduleSpec::RoundRobin => {
+                out.push('{');
+                push_str_field(&mut out, "kind", "round-robin");
+                out.push('}');
+            }
+            ScheduleSpec::Random { seed } => {
+                out.push('{');
+                push_str_field(&mut out, "kind", "random");
+                out.push(',');
+                push_str_field(&mut out, "seed", &format!("{seed:#018x}"));
+                out.push('}');
+            }
+            ScheduleSpec::List(picks) => {
+                out.push('{');
+                push_str_field(&mut out, "kind", "list");
+                out.push_str(",\"picks\":[");
+                for (i, p) in picks.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\"", p.0);
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str(",\"crashes\":[");
+        for (i, (pid, at)) in self.crashes.crashes().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"pid\":\"{}\",\"at\":\"{at}\"}}", pid.0);
+        }
+        out.push_str("],\"faults\":{\"spurious\":[");
+        for (i, at) in self.faults.spurious().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{at}\"");
+        }
+        out.push_str("],\"corruptions\":[");
+        for (i, (at, clear)) in self.faults.corruptions().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"at\":\"{at}\",\"clear\":\"{clear}\"}}");
+        }
+        let _ = write!(
+            out,
+            "],\"value_seed\":\"{:#018x}\"}}",
+            self.faults.value_seed()
+        );
+        out.push(',');
+        push_str_field(&mut out, "max_events", &self.max_events.to_string());
+        out.push(',');
+        push_str_field(&mut out, "max_steps", &self.max_steps.to_string());
+        out.push(',');
+        push_str_field(&mut out, "outcome", &self.outcome);
+        out.push(',');
+        push_str_field(&mut out, "class", &self.class);
+        if let Some(p) = &self.provenance {
+            let _ = write!(
+                out,
+                ",\"provenance\":{{\"sweep_seed\":\"{:#018x}\",\"trial_index\":\"{}\",\"attempt\":\"{}\"}}",
+                p.sweep_seed, p.trial_index, p.attempt
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a case back from [`ReproCase::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on malformed JSON, missing required
+    /// fields, or out-of-range numbers.
+    pub fn from_json(text: &str) -> Result<ReproCase, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object("case")?;
+        let toss_text = get_str(obj, "toss")?;
+        let toss = if toss_text == "zero" {
+            TossSpec::Zero
+        } else if let Some(hex) = toss_text.strip_prefix("seeded:") {
+            TossSpec::Seeded(parse_u64(hex)?)
+        } else {
+            return Err(format!("unknown toss spec {toss_text:?}"));
+        };
+        let schedule_obj = get(obj, "schedule")?.as_object("schedule")?;
+        let schedule = match get_str(schedule_obj, "kind")?.as_str() {
+            "round-robin" => ScheduleSpec::RoundRobin,
+            "random" => ScheduleSpec::Random {
+                seed: parse_u64(&get_str(schedule_obj, "seed")?)?,
+            },
+            "list" => {
+                let picks = get(schedule_obj, "picks")?
+                    .as_array("picks")?
+                    .iter()
+                    .map(|v| Ok(ProcessId(parse_usize(&v.as_string("pick")?)?)))
+                    .collect::<Result<Vec<_>, String>>()?;
+                ScheduleSpec::List(picks)
+            }
+            other => return Err(format!("unknown schedule kind {other:?}")),
+        };
+        let crashes = get(obj, "crashes")?
+            .as_array("crashes")?
+            .iter()
+            .map(|v| {
+                let c = v.as_object("crash")?;
+                Ok((
+                    ProcessId(parse_usize(&get_str(c, "pid")?)?),
+                    parse_u64(&get_str(c, "at")?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let faults_obj = get(obj, "faults")?.as_object("faults")?;
+        let spurious = get(faults_obj, "spurious")?
+            .as_array("spurious")?
+            .iter()
+            .map(|v| parse_u64(&v.as_string("spurious entry")?))
+            .collect::<Result<Vec<_>, String>>()?;
+        let corruptions = get(faults_obj, "corruptions")?
+            .as_array("corruptions")?
+            .iter()
+            .map(|v| {
+                let c = v.as_object("corruption")?;
+                Ok((
+                    parse_u64(&get_str(c, "at")?)?,
+                    parse_bool(&get_str(c, "clear")?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let value_seed = parse_u64(&get_str(faults_obj, "value_seed")?)?;
+        let provenance = match get(obj, "provenance") {
+            Ok(v) => {
+                let p = v.as_object("provenance")?;
+                Some(Provenance {
+                    sweep_seed: parse_u64(&get_str(p, "sweep_seed")?)?,
+                    trial_index: parse_usize(&get_str(p, "trial_index")?)?,
+                    attempt: parse_u64(&get_str(p, "attempt")?)? as u32,
+                })
+            }
+            Err(_) => None,
+        };
+        Ok(ReproCase {
+            experiment: get_str(obj, "experiment")?,
+            algorithm: get_str(obj, "algorithm")?,
+            n: parse_usize(&get_str(obj, "n")?)?,
+            toss,
+            schedule,
+            crashes: CrashPlan::at(crashes),
+            faults: FaultPlan::at(spurious, corruptions, value_seed),
+            max_events: parse_u64(&get_str(obj, "max_events")?)?,
+            max_steps: parse_u64(&get_str(obj, "max_steps")?)?,
+            outcome: get_str(obj, "outcome")?,
+            class: get_str(obj, "class")?,
+            provenance,
+        })
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, "\"{key}\":\"{}\"", json::escape(value));
+}
+
+fn get<'a>(obj: &'a [(String, json::Value)], key: &str) -> Result<&'a json::Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_str(obj: &[(String, json::Value)], key: &str) -> Result<String, String> {
+    get(obj, key)?.as_string(key)
+}
+
+fn parse_u64(text: &str) -> Result<u64, String> {
+    let (digits, radix) = match text.strip_prefix("0x") {
+        Some(hex) => (hex, 16),
+        None => (text, 10),
+    };
+    u64::from_str_radix(digits, radix).map_err(|e| format!("bad number {text:?}: {e}"))
+}
+
+fn parse_usize(text: &str) -> Result<usize, String> {
+    Ok(parse_u64(text)? as usize)
+}
+
+fn parse_bool(text: &str) -> Result<bool, String> {
+    match text {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("bad bool {other:?}")),
+    }
+}
+
+/// The minimal JSON subset the repro artifacts use: strings, arrays, and
+/// objects (every scalar is a string). Object key order is preserved.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// A string scalar.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, keys in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_string(&self, what: &str) -> Result<String, String> {
+            match self {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(format!("{what}: expected a string")),
+            }
+        }
+
+        pub fn as_array(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                _ => Err(format!("{what}: expected an array")),
+            }
+        }
+
+        pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Obj(fields) => Ok(fields),
+                _ => Err(format!("{what}: expected an object")),
+            }
+        }
+    }
+
+    /// Escapes a string for embedding in a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Parses a complete JSON document (of the subset above).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    expect(bytes, pos, b':')?;
+                    let value = parse_value(bytes, pos)?;
+                    fields.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            _ => Err(format!("unexpected value at byte {pos}")),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        while let Some(&b) = bytes.get(*pos) {
+            *pos += 1;
+            match b {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|e| format!("bad utf-8: {e}"));
+                }
+                b'\\' => {
+                    let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let hex = bytes.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                            *pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            let c = char::from_u32(code).ok_or("bad \\u escape")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{done, ll, sc};
+    use crate::{FnAlgorithm, RegisterId, Value};
+
+    fn contending_alg() -> impl Algorithm {
+        FnAlgorithm::new("contending-sc", |pid: ProcessId, _n| {
+            let r = RegisterId(0);
+            ll(r, move |_| {
+                sc(r, Value::from(pid.0 as i64), |ok, _| done(Value::from(ok)))
+            })
+            .into_program()
+        })
+    }
+
+    fn sample_case() -> ReproCase {
+        ReproCase {
+            experiment: "e16".to_string(),
+            algorithm: "wakeup-from-fetch&increment[hardened]".to_string(),
+            n: 4,
+            toss: TossSpec::Seeded(0xDEAD_BEEF),
+            schedule: ScheduleSpec::List(vec![ProcessId(0), ProcessId(3), ProcessId(1)]),
+            crashes: CrashPlan::at([(ProcessId(2), 7)]),
+            faults: FaultPlan::at([3, 10], [(5, true), (9, false)], 0x1234),
+            max_events: 1000,
+            max_steps: 500,
+            outcome: "BudgetExhausted { events: 40 }".to_string(),
+            class: "stalled".to_string(),
+            provenance: Some(Provenance {
+                sweep_seed: 42,
+                trial_index: 17,
+                attempt: 1,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let case = sample_case();
+        let text = case.to_json();
+        assert!(text.ends_with('\n'));
+        let back = ReproCase::from_json(&text).unwrap();
+        assert_eq!(back, case);
+    }
+
+    #[test]
+    fn json_round_trip_of_named_schedules_and_missing_provenance() {
+        for schedule in [ScheduleSpec::RoundRobin, ScheduleSpec::Random { seed: 99 }] {
+            let case = ReproCase {
+                schedule: schedule.clone(),
+                provenance: None,
+                toss: TossSpec::Zero,
+                crashes: CrashPlan::none(),
+                faults: FaultPlan::none(),
+                ..sample_case()
+            };
+            let back = ReproCase::from_json(&case.to_json()).unwrap();
+            assert_eq!(back, case);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(ReproCase::from_json("").is_err());
+        assert!(ReproCase::from_json("{\"n\":\"4\"}").is_err());
+        assert!(ReproCase::from_json("[]").is_err());
+        assert!(ReproCase::from_json("{\"n\":\"4\"} trailing").is_err());
+    }
+
+    #[test]
+    fn execute_is_deterministic_and_trace_replays_identically() {
+        let alg = contending_alg();
+        let case = ReproCase {
+            experiment: "test".to_string(),
+            algorithm: "contending-sc".to_string(),
+            n: 3,
+            toss: TossSpec::Zero,
+            schedule: ScheduleSpec::RoundRobin,
+            crashes: CrashPlan::none(),
+            faults: FaultPlan::none(),
+            max_events: 10_000,
+            max_steps: 10_000,
+            outcome: String::new(),
+            class: String::new(),
+            provenance: None,
+        };
+        let first = execute(&case, &alg);
+        let second = execute(&case, &alg);
+        assert_eq!(first.outcome, second.outcome);
+        assert_eq!(first.trace, second.trace);
+        assert_eq!(
+            first.exec.run().events(),
+            second.exec.run().events(),
+            "same case, same run"
+        );
+        assert_eq!(first.outcome, RunOutcome::Completed);
+        assert!(!first.trace.is_empty());
+
+        // The explicit trace reproduces the run event-for-event.
+        let replay = execute(&case.materialized(first.trace.clone()), &alg);
+        assert_eq!(replay.outcome, first.outcome);
+        assert_eq!(replay.exec.run().events(), first.exec.run().events());
+    }
+
+    #[test]
+    fn execute_applies_crash_and_fault_plans() {
+        let alg = contending_alg();
+        let case = ReproCase {
+            experiment: "test".to_string(),
+            algorithm: "contending-sc".to_string(),
+            n: 3,
+            toss: TossSpec::Zero,
+            schedule: ScheduleSpec::RoundRobin,
+            crashes: CrashPlan::at([(ProcessId(1), 0)]),
+            faults: FaultPlan::none(),
+            max_events: 10_000,
+            max_steps: 10_000,
+            outcome: String::new(),
+            class: String::new(),
+            provenance: None,
+        };
+        let replayed = execute(&case, &alg);
+        assert_eq!(replayed.outcome, RunOutcome::Crashed { pid: ProcessId(1) });
+        assert!(replayed.trace.iter().all(|p| *p != ProcessId(1)));
+    }
+
+    #[test]
+    fn shrink_reduces_schedule_process_set_and_fault_lists() {
+        // Synthetic oracle: the failure reproduces exactly when p1 still
+        // takes at least one step — everything else is noise the shrinker
+        // should strip.
+        let case = ReproCase {
+            experiment: "test".to_string(),
+            algorithm: "synthetic".to_string(),
+            n: 4,
+            toss: TossSpec::Zero,
+            schedule: ScheduleSpec::List(vec![
+                ProcessId(0),
+                ProcessId(1),
+                ProcessId(2),
+                ProcessId(3),
+                ProcessId(1),
+                ProcessId(0),
+                ProcessId(2),
+            ]),
+            crashes: CrashPlan::at([(ProcessId(3), 5)]),
+            faults: FaultPlan::at([2, 8], [(4, true)], 77),
+            max_events: 100,
+            max_steps: 100,
+            outcome: String::new(),
+            class: "bad".to_string(),
+            provenance: None,
+        };
+        let report = shrink(
+            &case,
+            |cand| {
+                let ScheduleSpec::List(picks) = &cand.schedule else {
+                    return None;
+                };
+                Some(if picks.contains(&ProcessId(1)) {
+                    "bad".to_string()
+                } else {
+                    "good".to_string()
+                })
+            },
+            10_000,
+        );
+        assert_eq!(
+            report.case.schedule,
+            ScheduleSpec::List(vec![ProcessId(1)]),
+            "minimal schedule is one pick of p1"
+        );
+        assert!(report.case.crashes.is_empty(), "irrelevant crash removed");
+        assert!(report.case.faults.is_empty(), "irrelevant faults removed");
+        assert_eq!(report.final_size, 1);
+        assert_eq!(report.initial_size, 11);
+        assert!(!report.log.is_empty());
+        assert!(report.replays > 0);
+    }
+
+    #[test]
+    fn shrink_keeps_entries_the_failure_needs() {
+        // The class depends on the spurious list being non-empty and the
+        // crash surviving: shrinking must keep one of each.
+        let case = ReproCase {
+            experiment: "test".to_string(),
+            algorithm: "synthetic".to_string(),
+            n: 2,
+            toss: TossSpec::Zero,
+            schedule: ScheduleSpec::List(vec![ProcessId(0), ProcessId(1), ProcessId(0)]),
+            crashes: CrashPlan::at([(ProcessId(0), 1), (ProcessId(1), 2)]),
+            faults: FaultPlan::at([1, 2, 3], [], 5),
+            max_events: 100,
+            max_steps: 100,
+            outcome: String::new(),
+            class: "bad".to_string(),
+            provenance: None,
+        };
+        let report = shrink(
+            &case,
+            |cand| {
+                Some(
+                    if !cand.faults.spurious().is_empty() && !cand.crashes.is_empty() {
+                        "bad".to_string()
+                    } else {
+                        "good".to_string()
+                    },
+                )
+            },
+            10_000,
+        );
+        assert_eq!(report.case.faults.spurious().len(), 1);
+        assert_eq!(report.case.crashes.len(), 1);
+        assert!(report.case.schedule.is_empty(), "schedule was irrelevant");
+        assert!(report.final_size < report.initial_size);
+    }
+
+    #[test]
+    fn shrink_respects_the_replay_budget() {
+        let case = ReproCase {
+            schedule: ScheduleSpec::List(vec![ProcessId(0); 64]),
+            crashes: CrashPlan::none(),
+            faults: FaultPlan::none(),
+            provenance: None,
+            class: "bad".to_string(),
+            ..sample_case()
+        };
+        let report = shrink(&case, |_| Some("bad".to_string()), 3);
+        assert!(report.replays <= 3);
+    }
+}

@@ -23,6 +23,16 @@ pub trait Scheduler {
     fn next(&mut self, exec: &Executor) -> Option<ProcessId>;
 }
 
+/// A mutable reference to a scheduler is itself a scheduler, so drivers
+/// that take schedulers by value (e.g. [`crate::CrashScheduler`]) can
+/// borrow one and hand it back — the replay machinery uses this to
+/// recover a [`RecordingScheduler`]'s trace after a drive.
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn next(&mut self, exec: &Executor) -> Option<ProcessId> {
+        (**self).next(exec)
+    }
+}
+
 /// Cycles through processes in id order, skipping terminated and crashed
 /// ones.
 ///
@@ -134,6 +144,49 @@ impl Scheduler for PartitionScheduler {
             }
         }
         None
+    }
+}
+
+/// Wraps any scheduler and records every pick it hands to the executor.
+///
+/// The recorded trace, replayed through a [`ListScheduler`] against the
+/// same executor configuration, reproduces the run event-for-event — this
+/// is how a [`crate::repro::ReproCase`] turns a *named* schedule
+/// (round-robin, seeded-random) into an *explicit* one that the shrinker
+/// can then delta-debug pick by pick.
+#[derive(Clone, Debug)]
+pub struct RecordingScheduler<S> {
+    inner: S,
+    trace: Vec<ProcessId>,
+}
+
+impl<S: Scheduler> RecordingScheduler<S> {
+    /// Wraps `inner`, starting with an empty trace.
+    pub fn new(inner: S) -> Self {
+        RecordingScheduler {
+            inner,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The picks recorded so far, in order.
+    pub fn trace(&self) -> &[ProcessId] {
+        &self.trace
+    }
+
+    /// Consumes the wrapper and returns the recorded trace.
+    pub fn into_trace(self) -> Vec<ProcessId> {
+        self.trace
+    }
+}
+
+impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
+    fn next(&mut self, exec: &Executor) -> Option<ProcessId> {
+        let pick = self.inner.next(exec);
+        if let Some(p) = pick {
+            self.trace.push(p);
+        }
+        pick
     }
 }
 
@@ -317,6 +370,22 @@ mod tests {
         e.crash(ProcessId(0));
         e.crash(ProcessId(1));
         assert_eq!(e.drive(&mut SequentialScheduler::new(), 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn recorded_trace_replays_identically_through_a_list_scheduler() {
+        let mut e = exec(3);
+        let mut s = RecordingScheduler::new(RoundRobinScheduler::new());
+        e.drive(&mut s, 100).unwrap();
+        assert!(e.all_terminated());
+        let events = e.into_run().events().to_vec();
+        let trace = s.into_trace();
+        assert!(!trace.is_empty());
+
+        let mut replay = exec(3);
+        let mut list = ListScheduler::new(trace);
+        replay.drive(&mut list, 100).unwrap();
+        assert_eq!(replay.into_run().events().to_vec(), events);
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub struct TrialFailure {
     /// The failing trial's *base* derived seed (attempt 0's seed; retry
     /// attempts derive theirs from it via [`retry_seed`]).
     pub seed: u64,
+    /// The seed the *final* attempt actually ran under
+    /// ([`retry_seed`]`(seed, attempts - 1)`; equal to `seed` when no
+    /// retries were configured). Recorded explicitly so a failure row is
+    /// actionable — replayable under the right seed — without re-deriving
+    /// the retry chain.
+    pub derived_seed: u64,
     /// The panic payload of the last attempt, stringified (`&str`/`String`
     /// payloads verbatim; anything else is labelled opaque).
     pub payload: String,
@@ -63,6 +69,10 @@ pub struct TrialFailure {
     pub context: String,
     /// Total attempts made (1 = no retries configured or needed).
     pub attempts: u32,
+    /// A serialized [`crate::repro::ReproCase`] for the failing run, when
+    /// the experiment attached one (the sweep engine itself cannot build
+    /// it: only the experiment knows the algorithm and plans).
+    pub repro: Option<String>,
 }
 
 impl fmt::Display for TrialFailure {
@@ -76,7 +86,11 @@ impl fmt::Display for TrialFailure {
             write!(f, " [{}]", self.context)?;
         }
         if self.attempts > 1 {
-            write!(f, " (after {} attempts)", self.attempts)?;
+            write!(
+                f,
+                " (after {} attempts; final seed {:#018x})",
+                self.attempts, self.derived_seed
+            )?;
         }
         Ok(())
     }
@@ -287,9 +301,11 @@ impl Sweep {
             Err(TrialFailure {
                 index: t.index,
                 seed: t.seed,
+                derived_seed: retry_seed(t.seed, attempts - 1),
                 payload: last_payload,
                 context: context(t, item),
                 attempts,
+                repro: None,
             })
         };
         if threads <= 1 {
@@ -351,7 +367,9 @@ impl Sweep {
     /// deliberately no scratch-aware fallible variant: after an unwind
     /// the scratch state is suspect, so retry-with-reuse would be a
     /// false promise — use [`Sweep::run_fallible`] when isolation
-    /// matters more than reuse.
+    /// matters more than reuse. The sweep's [`Sweep::trial_timeout`]
+    /// *does* apply here, exactly as in the fallible paths: a hung trial
+    /// panics (and propagates) rather than hanging the sweep forever.
     pub fn run_with_scratch<I, T, S, Init, F>(&self, items: &[I], init: Init, f: F) -> Vec<T>
     where
         I: Sync,
@@ -372,7 +390,10 @@ impl Sweep {
             return items
                 .iter()
                 .enumerate()
-                .map(|(i, item)| f(&mut scratch, trial(i), item))
+                .map(|(i, item)| {
+                    let _deadline = arm_deadline(self.trial_timeout);
+                    f(&mut scratch, trial(i), item)
+                })
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
@@ -384,6 +405,7 @@ impl Sweep {
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
+                        let _deadline = arm_deadline(self.trial_timeout);
                         let out = f(&mut scratch, trial(i), item);
                         *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                     }
@@ -659,6 +681,11 @@ mod tests {
         let failure = without[0].as_ref().unwrap_err();
         assert_eq!(failure.attempts, 1);
         assert_eq!(failure.seed, base, "failure reports the base seed");
+        assert_eq!(
+            failure.derived_seed, base,
+            "with no retries the final seed is the base seed"
+        );
+        assert!(failure.repro.is_none(), "the engine attaches no repro");
         assert!(
             !failure.to_string().contains("attempts"),
             "1 attempt is implied"
@@ -675,12 +702,20 @@ mod tests {
         let f = out[0].as_ref().unwrap_err();
         assert_eq!(f.attempts, 4, "1 original + 3 retries");
         let last = crate::rng::retry_seed(f.seed, 3);
+        assert_eq!(
+            f.derived_seed, last,
+            "failure records the final attempt's seed explicitly"
+        );
         assert!(
             f.payload.contains(&format!("{last:#x}")),
             "payload is from the final attempt: {}",
             f.payload
         );
         assert!(f.to_string().contains("after 4 attempts"), "{f}");
+        assert!(
+            f.to_string().contains(&format!("final seed {last:#018x}")),
+            "{f}"
+        );
     }
 
     #[test]
@@ -730,6 +765,47 @@ mod tests {
             "{}",
             f.payload
         );
+    }
+
+    #[test]
+    fn scratch_sweeps_honor_the_trial_timeout() {
+        use std::time::Duration;
+        // The PR 4 scratch paths used to skip deadline arming entirely; a
+        // hung trial now panics out of the sweep at any thread count.
+        for threads in [1, 2] {
+            let items: Vec<u64> = (0..2).collect();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                Sweep::with_threads(threads)
+                    .with_trial_timeout(Duration::from_millis(10))
+                    .run_with_scratch(
+                        &items,
+                        || (),
+                        |(), _, &x| -> u64 {
+                            if x == 0 {
+                                return 0;
+                            }
+                            let mut events = 0u64;
+                            loop {
+                                events += 1;
+                                if events.is_multiple_of(512) {
+                                    check_trial_deadline(events);
+                                }
+                            }
+                        },
+                    )
+            }));
+            let payload = payload_string(result.unwrap_err());
+            if threads == 1 {
+                assert!(
+                    payload.contains("wall-clock deadline exceeded"),
+                    "{payload}"
+                );
+            }
+            // (a worker panic surfaces as the scope's own payload, so only
+            // the sequential path can assert on the message — the unwrap
+            // above already proves the parallel path times out too.)
+        }
+        check_trial_deadline(0); // the guard restored the disarmed state
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! llsc indist    --alg bitset-wakeup     --n 5         Lemma 5.2, all subsets
 //! llsc secretive --n 8 [--seed 7]                      Section-4 schedules
 //! llsc universal --n 64 [--imp adt|naive|herlihy|direct] [--schedule adversary|rr|seq]
+//! llsc replay    repro.json                             re-execute a repro case
+//! llsc shrink    repro.json [--out min.json]            minimize a repro case
 //! llsc list                                            available algorithms
 //! ```
 //!
@@ -17,6 +19,7 @@
 //! with `wakeup`, `--json PATH` to write the result as the same
 //! `{"tables":[…]}` artifact the `table_*` binaries produce.
 
+use llsc_lowerbound::bench::repro::{run_case, shrink_case};
 use llsc_lowerbound::bench::table::Table;
 use llsc_lowerbound::core::{
     build_all_run, indist_all_subsets, is_secretive, movers, random_move_config,
@@ -25,7 +28,7 @@ use llsc_lowerbound::core::{
 };
 use llsc_lowerbound::objects::FetchIncrement;
 use llsc_lowerbound::shmem::{
-    Algorithm, ProcessId, RegisterId, SeededTosses, Sweep, TossAssignment, ZeroTosses,
+    Algorithm, ProcessId, RegisterId, ReproCase, SeededTosses, Sweep, TossAssignment, ZeroTosses,
 };
 use llsc_lowerbound::universal::{
     measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig,
@@ -43,6 +46,20 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // The repro subcommands take a positional file before any flags.
+    if matches!(cmd.as_str(), "replay" | "shrink") {
+        let result = match cmd.as_str() {
+            "replay" => cmd_replay(rest),
+            _ => cmd_shrink(rest),
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -82,6 +99,13 @@ subcommands:
   indist     --alg <name> --n <N> [--seed <s>]   Lemma 5.2, exhaustive subsets
   secretive  --n <N> [--seed <s>]                Section-4 schedule demo
   universal  --n <N> [--imp <i>] [--schedule <k>] measure a construction
+  replay     <file>                               re-execute a repro case and
+                                                  compare against its recorded
+                                                  outcome (nonzero on diverge)
+  shrink     <file> [--out <p>] [--log <p>]       delta-debug a repro case to a
+                                                  minimal reproducer with the
+                                                  same failure class
+                                                  [--max-replays <k>]
   list                                            list algorithm names
 
 options:
@@ -363,6 +387,103 @@ fn cmd_secretive(opts: &Opts) -> Result<(), String> {
         println!("  movers({r}) = [{}]", ms.join(", "));
     }
     println!("worst movers-list length: {worst} (Lemma 4.1 cap: 2)");
+    Ok(())
+}
+
+/// Splits the repro subcommands' leading positional `<file>` argument
+/// from the flags that follow it.
+fn split_file_arg(rest: &[String]) -> Result<(&String, Opts), String> {
+    let Some((file, flags)) = rest.split_first() else {
+        return Err("missing <file> argument (a repro case written by --repro-dir)".into());
+    };
+    if file.starts_with("--") {
+        return Err(format!(
+            "the repro file must come before flags, got `{file}`"
+        ));
+    }
+    Ok((file, parse_opts(flags)?))
+}
+
+fn load_case(file: &str) -> Result<ReproCase, String> {
+    let json = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    ReproCase::from_json(&json).map_err(|e| format!("{file}: {e}"))
+}
+
+fn cmd_replay(rest: &[String]) -> Result<(), String> {
+    let (file, _opts) = split_file_arg(rest)?;
+    let case = load_case(file)?;
+    let run = run_case(&case)?;
+    println!(
+        "case: experiment={} algorithm={} n={} size={}",
+        case.experiment,
+        case.algorithm,
+        case.n,
+        case.size()
+    );
+    if !case.outcome.is_empty() {
+        println!("recorded: class={} outcome={}", case.class, case.outcome);
+    }
+    println!(
+        "replayed: class={} outcome={}",
+        run.class, run.outcome_debug
+    );
+    if !case.outcome.is_empty() && run.outcome_debug != case.outcome {
+        return Err(format!(
+            "replay DIVERGED: recorded outcome `{}`, replayed `{}`",
+            case.outcome, run.outcome_debug
+        ));
+    }
+    if !case.class.is_empty() && run.class != case.class {
+        return Err(format!(
+            "replay DIVERGED: recorded class `{}`, replayed `{}`",
+            case.class, run.class
+        ));
+    }
+    if case.outcome.is_empty() && case.class.is_empty() {
+        println!("no recorded outcome to compare against");
+    } else {
+        println!("replay matches the recorded outcome");
+    }
+    Ok(())
+}
+
+fn cmd_shrink(rest: &[String]) -> Result<(), String> {
+    let (file, opts) = split_file_arg(rest)?;
+    let case = load_case(file)?;
+    let budget = match opts.flags.get("max-replays") {
+        None => 400,
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&k| k >= 1)
+            .ok_or_else(|| format!("bad --max-replays value `{v}`"))?,
+    };
+    let report = shrink_case(&case, budget)?;
+    let mut log = String::new();
+    for line in &report.log {
+        eprintln!("{line}");
+        log.push_str(line);
+        log.push('\n');
+    }
+    let summary = format!(
+        "shrunk size {} -> {} (class `{}`) in {} replay(s)",
+        report.initial_size, report.final_size, report.case.class, report.replays
+    );
+    eprintln!("{summary}");
+    log.push_str(&summary);
+    log.push('\n');
+    if let Some(path) = opts.flags.get("log") {
+        std::fs::write(path, &log).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    match opts.flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, report.case.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{}", report.case.to_json()),
+    }
     Ok(())
 }
 

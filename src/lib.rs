@@ -20,7 +20,7 @@
 //! | [`objects`] | `llsc-objects` | Sequential specs of the Theorem 6.2 types; linearizability checking |
 //! | [`wakeup`] | `llsc-wakeup` | Wakeup algorithms (correct, randomized, strawmen) and the object reductions |
 //! | [`universal`] | `llsc-universal` | Oblivious universal constructions and the direct LL/SC escape hatch |
-//! | [`bench`] | `llsc-bench` | E1–E15 experiment regenerators, the deterministic parallel harness, and the table/JSON renderers |
+//! | [`bench`] | `llsc-bench` | E1–E17 experiment regenerators, the deterministic parallel harness, failure replay/shrinking, and the table/JSON renderers |
 //!
 //! ## Quickstart
 //!
