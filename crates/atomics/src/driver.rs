@@ -1,0 +1,122 @@
+//! Thread-per-process execution: each paper process becomes one OS
+//! thread driving its [`Program`] against a shared [`HwMemory`].
+//!
+//! Unlike the simulator's discrete-event executor there is no schedule —
+//! the OS decides the interleaving. What the driver *does* control is
+//! observability: every invocation, first step, and response is stamped
+//! on the memory's global logical clock (a `SeqCst` `fetch_add`, so
+//! stamps respect real time), which is what lets the cross-validation
+//! harness check hardware histories for linearizability afterwards.
+
+use crate::memory::HwMemory;
+use llsc_shmem::{Action, Algorithm, ExecutionBackend, Feedback, ProcessId, RunError, Value};
+use std::time::{Duration, Instant};
+
+/// What one process did during a hardware run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HwProcessResult {
+    /// The process.
+    pub pid: ProcessId,
+    /// The value the process returned.
+    pub response: Value,
+    /// Shared-memory operations the process performed.
+    pub ops: u64,
+    /// Clock stamp taken just before the process's program was spawned
+    /// — its operation is "invoked" from this point on.
+    pub invoked_at: u64,
+    /// Clock stamp taken just before the process executed its first
+    /// action (toss, shared access, or immediate return). `None` only if
+    /// the process never produced an action (impossible for terminating
+    /// programs, but kept honest for partial runs).
+    pub first_step_at: Option<u64>,
+    /// Clock stamp taken when the process returned.
+    pub responded_at: u64,
+}
+
+/// The outcome of one thread-per-process hardware run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HwRun {
+    /// Per-process results, indexed by process id.
+    pub results: Vec<HwProcessResult>,
+    /// Wall-clock duration of the whole run (spawn to last join).
+    pub wall: Duration,
+}
+
+impl HwRun {
+    /// The largest per-process shared-access count — the hardware
+    /// analogue of the simulator's worst-case `t(p, R)`.
+    pub fn max_ops(&self) -> u64 {
+        self.results.iter().map(|r| r.ops).max().unwrap_or(0)
+    }
+
+    /// The per-process responses, indexed by process id.
+    pub fn responses(&self) -> Vec<Value> {
+        self.results.iter().map(|r| r.response.clone()).collect()
+    }
+}
+
+fn drive_one(
+    alg: &dyn Algorithm,
+    mem: &HwMemory,
+    pid: ProcessId,
+    max_steps: u64,
+) -> Result<HwProcessResult, RunError> {
+    let invoked_at = mem.stamp();
+    let ops_before = mem.shared_accesses(pid);
+    let mut program = alg.spawn(pid, mem.n());
+    let mut feedback = Feedback::Start;
+    let mut first_step_at = None;
+    for _ in 0..max_steps {
+        let action = program.next(feedback);
+        if first_step_at.is_none() {
+            first_step_at = Some(mem.stamp());
+        }
+        feedback = match action {
+            Action::Toss => Feedback::Coin(mem.toss(pid)),
+            Action::Invoke(op) => Feedback::Response(mem.apply(pid, &op)),
+            Action::Return(value) => {
+                let responded_at = mem.stamp();
+                return Ok(HwProcessResult {
+                    pid,
+                    response: value,
+                    ops: mem.shared_accesses(pid) - ops_before,
+                    invoked_at,
+                    first_step_at,
+                    responded_at,
+                });
+            }
+        };
+    }
+    Err(RunError::DivergedLocalBurst { pid })
+}
+
+/// Runs `alg` on `mem` with one OS thread per process, joining them all
+/// and collecting per-process results. Each thread gives up with
+/// [`RunError::DivergedLocalBurst`] after `max_steps` actions, so a
+/// non-terminating program cannot wedge the harness; the first such
+/// error (in process order) is reported.
+///
+/// # Panics
+///
+/// Panics if `mem` was not built for `alg` (fewer processes than the
+/// algorithm expects is fine; the run simply uses `mem.n()` processes),
+/// or if a process's program panics.
+pub fn run_threads(alg: &dyn Algorithm, mem: &HwMemory, max_steps: u64) -> Result<HwRun, RunError> {
+    let n = mem.n();
+    let started = Instant::now();
+    let joined: Vec<Result<HwProcessResult, RunError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|p| scope.spawn(move || drive_one(alg, mem, ProcessId(p), max_steps)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hardware process thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut results = Vec::with_capacity(n);
+    for outcome in joined {
+        results.push(outcome?);
+    }
+    Ok(HwRun { results, wall })
+}

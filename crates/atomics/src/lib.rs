@@ -1,0 +1,32 @@
+//! Real-hardware execution backend for the Jayanti PODC'98 reproduction.
+//!
+//! The simulator in `llsc-shmem` gives the paper's model exactly —
+//! deterministic schedules, strong LL/SC, per-access counting — but it
+//! never exercises a real memory system. This crate is the other half of
+//! the backend-generic story: the same five operations
+//! (LL/SC/validate/swap/move), the same [`llsc_shmem::Algorithm`]
+//! programs, executed by real OS threads against registers built from
+//! pointer-width compare-and-swap in the style of Blelloch–Wei
+//! (arXiv:1911.09671).
+//!
+//! * [`HwMemory`] — the CAS-based memory, implementing
+//!   [`llsc_shmem::ExecutionBackend`]; see its module docs for the
+//!   version-tag construction and why it is ABA-safe.
+//! * [`run_threads`] — the thread-per-process driver, stamping every
+//!   invocation and response on a global logical clock so runs can be
+//!   linearizability-checked after the fact.
+//!
+//! The crate deliberately depends on `llsc-shmem` alone: history
+//! checking against sequential specifications lives downstream in
+//! `llsc-bench`, which owns the simulator ⇄ hardware cross-validation
+//! harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod driver;
+mod memory;
+
+pub use driver::{run_threads, HwProcessResult, HwRun};
+pub use memory::{HwEvent, HwMemory};

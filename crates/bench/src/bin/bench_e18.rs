@@ -1,0 +1,131 @@
+//! E18: throughput/latency under genuine multi-core contention, on both
+//! execution backends.
+//!
+//! Runs a wakeup algorithm (`CounterWakeup`) and a universal
+//! construction (`DirectLlSc` over fetch&increment) on the deterministic
+//! simulator and on the CAS-based hardware backend (one OS thread per
+//! process), at several process counts, and writes a `BENCH_pr6.json`
+//! artifact with per-case wall-clock min/mean and shared-access counts.
+//!
+//! On a single-core host the atomic-backend numbers measure
+//! synchronization *overhead* (threads time-slice on one CPU), not
+//! scaling — see the E18 entry in EXPERIMENTS.md.
+//!
+//! Usage: `bench_e18 [--out PATH] [--samples N] [--ns 2,4]
+//! [--backend sim|atomic|both]` (defaults: `BENCH_pr6.json`, 5 samples,
+//! n ∈ {2, 4}, both backends).
+
+use llsc_bench::xcheck::{e18_case, BackendKind, E18Row};
+use llsc_objects::FetchIncrement;
+use llsc_shmem::Value;
+use llsc_universal::{DirectLlSc, ImplAlgorithm};
+use llsc_wakeup::CounterWakeup;
+use std::sync::Arc;
+
+const MAX_STEPS: u64 = 10_000_000;
+
+fn main() {
+    let mut out = String::from("BENCH_pr6.json");
+    let mut samples: u32 = 5;
+    let mut ns: Vec<usize> = vec![2, 4];
+    let mut backends = vec![BackendKind::Sim, BackendKind::Atomic];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .expect("--samples needs a value")
+                    .parse()
+                    .expect("--samples must be a positive integer");
+                assert!(samples > 0, "--samples must be >= 1");
+            }
+            "--ns" => {
+                ns = args
+                    .next()
+                    .expect("--ns needs a comma-separated list")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--ns entries must be integers"))
+                    .collect();
+                assert!(
+                    !ns.is_empty() && ns.iter().all(|&n| n >= 1),
+                    "--ns must list n >= 1"
+                );
+            }
+            "--backend" => {
+                let which = args.next().expect("--backend needs sim|atomic|both");
+                backends = match which.as_str() {
+                    "both" => vec![BackendKind::Sim, BackendKind::Atomic],
+                    one => vec![BackendKind::parse(one)
+                        .unwrap_or_else(|| panic!("unknown backend `{one}` (sim|atomic|both)"))],
+                };
+            }
+            other => {
+                eprintln!(
+                    "error: unknown flag `{other}`\nusage: bench_e18 [--out PATH] [--samples N] [--ns 2,4] [--backend sim|atomic|both]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let spec = Arc::new(FetchIncrement::new(64));
+    let imp = DirectLlSc::new(spec);
+    let mut rows: Vec<E18Row> = Vec::new();
+    for &backend in &backends {
+        for &n in &ns {
+            let row = e18_case(
+                "wakeup-counter",
+                &CounterWakeup,
+                backend,
+                n,
+                samples,
+                MAX_STEPS,
+            );
+            print_row(&row);
+            rows.push(row);
+
+            let ops: Vec<Value> = vec![FetchIncrement::op(); n];
+            let alg = ImplAlgorithm::new(&imp, &ops);
+            let row = e18_case("universal-direct", &alg, backend, n, samples, MAX_STEPS);
+            print_row(&row);
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from("{\"bench\":\"pr6\",\"samples\":");
+    json.push_str(&samples.to_string());
+    json.push_str(",\"cases\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"experiment\":\"e18\",\"workload\":\"{}\",\"backend\":\"{}\",\"n\":{},\"wall_ms_min\":{:.3},\"wall_ms_mean\":{:.3},\"max_ops\":{},\"total_ops\":{}}}",
+            r.workload,
+            r.backend.name(),
+            r.n,
+            r.wall_ms_min,
+            r.wall_ms_mean,
+            r.max_ops,
+            r.total_ops
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out, json).expect("cannot write the bench artifact");
+    eprintln!("wrote {out}");
+}
+
+fn print_row(r: &E18Row) {
+    println!(
+        "e18 {workload:<16} backend={backend:<6} n={n:<3} min {min:>9.3}ms mean {mean:>9.3}ms max_ops={max} total_ops={total}",
+        workload = r.workload,
+        backend = r.backend.name(),
+        n = r.n,
+        min = r.wall_ms_min,
+        mean = r.wall_ms_mean,
+        max = r.max_ops,
+        total = r.total_ops
+    );
+}

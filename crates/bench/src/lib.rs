@@ -39,5 +39,6 @@ pub mod experiments;
 pub mod harness;
 pub mod repro;
 pub mod table;
+pub mod xcheck;
 
 pub use experiments::*;

@@ -1,5 +1,6 @@
 //! Minimal fixed-width table rendering for the experiment binaries.
 
+use llsc_shmem::json;
 use std::fmt::Display;
 
 /// A simple right-aligned text table with a title and a header row.
@@ -129,13 +130,13 @@ impl Table {
     pub fn render_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"title\":");
-        push_json_string(&mut out, &self.title);
+        json::push_string(&mut out, &self.title);
         out.push_str(",\"headers\":[");
         for (i, h) in self.headers.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            push_json_string(&mut out, h);
+            json::push_string(&mut out, h);
         }
         out.push_str("],\"rows\":[");
         for (i, row) in self.rows.iter().enumerate() {
@@ -147,7 +148,7 @@ impl Table {
                 if j > 0 {
                     out.push(',');
                 }
-                push_json_string(&mut out, cell);
+                json::push_string(&mut out, cell);
             }
             out.push(']');
         }
@@ -199,24 +200,24 @@ impl Table {
                     out.push(',');
                 }
                 out.push_str("{\"trial\":");
-                push_json_string(&mut out, &f.index.to_string());
+                json::push_string(&mut out, &f.index.to_string());
                 out.push_str(",\"seed\":");
-                push_json_string(&mut out, &format!("{:#018x}", f.seed));
+                json::push_string(&mut out, &format!("{:#018x}", f.seed));
                 out.push_str(",\"message\":");
-                push_json_string(&mut out, &f.payload);
+                json::push_string(&mut out, &f.payload);
                 if !f.context.is_empty() {
                     out.push_str(",\"context\":");
-                    push_json_string(&mut out, &f.context);
+                    json::push_string(&mut out, &f.context);
                 }
                 if f.attempts != 1 {
                     out.push_str(",\"attempts\":");
-                    push_json_string(&mut out, &f.attempts.to_string());
+                    json::push_string(&mut out, &f.attempts.to_string());
                     out.push_str(",\"derived_seed\":");
-                    push_json_string(&mut out, &format!("{:#018x}", f.derived_seed));
+                    json::push_string(&mut out, &format!("{:#018x}", f.derived_seed));
                 }
                 if let Some(repro) = &f.repro {
                     out.push_str(",\"repro\":");
-                    push_json_string(&mut out, repro.trim_end());
+                    json::push_string(&mut out, repro.trim_end());
                 }
                 out.push('}');
             }
@@ -227,8 +228,8 @@ impl Table {
     }
 
     /// Parses a table back from the [`Table::render_json`] format.
-    pub fn from_json(json: &str) -> Result<Table, String> {
-        let (value, rest) = json::parse_value(json.trim_start())?;
+    pub fn from_json(text: &str) -> Result<Table, String> {
+        let (value, rest) = json::parse_prefix(text.trim_start())?;
         if !rest.trim_start().is_empty() {
             return Err("trailing data after JSON value".into());
         }
@@ -236,8 +237,8 @@ impl Table {
     }
 
     /// Parses a `{"tables":[…]}` artifact back into its tables.
-    pub fn from_json_artifact(json: &str) -> Result<Vec<Table>, String> {
-        let (value, rest) = json::parse_value(json.trim_start())?;
+    pub fn from_json_artifact(text: &str) -> Result<Vec<Table>, String> {
+        let (value, rest) = json::parse_prefix(text.trim_start())?;
         if !rest.trim_start().is_empty() {
             return Err("trailing data after JSON value".into());
         }
@@ -303,146 +304,6 @@ impl Table {
             push_row(row);
         }
         out
-    }
-}
-
-/// Escapes `s` into `out` as a JSON string literal.
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// The minimal JSON reader backing [`Table::from_json`]: objects, arrays,
-/// and strings (the only value kinds the table schema uses), with standard
-/// escape handling. Hand-rolled because the build environment has no
-/// registry access for a serde dependency.
-mod json {
-    /// A parsed JSON value restricted to the table schema's shapes.
-    #[derive(Clone, Debug, PartialEq)]
-    pub enum Value {
-        /// A string literal.
-        Str(String),
-        /// An array of values.
-        Array(Vec<Value>),
-        /// An object, in source order.
-        Object(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        /// The string contents, if this is a string.
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        /// The elements, if this is an array.
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Array(v) => Some(v),
-                _ => None,
-            }
-        }
-
-        /// Looks up an object field by key.
-        pub fn field(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parses one value, returning it and the unconsumed input.
-    pub fn parse_value(input: &str) -> Result<(Value, &str), String> {
-        let input = input.trim_start();
-        match input.chars().next() {
-            Some('"') => {
-                let (s, rest) = parse_string(input)?;
-                Ok((Value::Str(s), rest))
-            }
-            Some('[') => {
-                let mut rest = input[1..].trim_start();
-                let mut items = Vec::new();
-                if let Some(stripped) = rest.strip_prefix(']') {
-                    return Ok((Value::Array(items), stripped));
-                }
-                loop {
-                    let (item, r) = parse_value(rest)?;
-                    items.push(item);
-                    rest = r.trim_start();
-                    match rest.chars().next() {
-                        Some(',') => rest = rest[1..].trim_start(),
-                        Some(']') => return Ok((Value::Array(items), &rest[1..])),
-                        _ => return Err("expected `,` or `]` in array".into()),
-                    }
-                }
-            }
-            Some('{') => {
-                let mut rest = input[1..].trim_start();
-                let mut fields = Vec::new();
-                if let Some(stripped) = rest.strip_prefix('}') {
-                    return Ok((Value::Object(fields), stripped));
-                }
-                loop {
-                    let (key, r) = parse_string(rest.trim_start())?;
-                    let r = r.trim_start();
-                    let r = r.strip_prefix(':').ok_or("expected `:` after object key")?;
-                    let (value, r) = parse_value(r)?;
-                    fields.push((key, value));
-                    rest = r.trim_start();
-                    match rest.chars().next() {
-                        Some(',') => rest = rest[1..].trim_start(),
-                        Some('}') => return Ok((Value::Object(fields), &rest[1..])),
-                        _ => return Err("expected `,` or `}` in object".into()),
-                    }
-                }
-            }
-            _ => Err("expected a string, array, or object".into()),
-        }
-    }
-
-    fn parse_string(input: &str) -> Result<(String, &str), String> {
-        let rest = input.strip_prefix('"').ok_or("expected a string literal")?;
-        let mut out = String::new();
-        let mut chars = rest.char_indices();
-        while let Some((i, c)) = chars.next() {
-            match c {
-                '"' => return Ok((out, &rest[i + 1..])),
-                '\\' => match chars.next().map(|(_, e)| e) {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('n') => out.push('\n'),
-                    Some('r') => out.push('\r'),
-                    Some('t') => out.push('\t'),
-                    Some('u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let (_, h) = chars.next().ok_or("truncated \\u escape")?;
-                            code =
-                                code * 16 + h.to_digit(16).ok_or("bad hex digit in \\u escape")?;
-                        }
-                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
-                    }
-                    _ => return Err("unsupported string escape".into()),
-                },
-                c => out.push(c),
-            }
-        }
-        Err("unterminated string literal".into())
     }
 }
 

@@ -1,0 +1,591 @@
+//! Simulator ⇄ hardware cross-validation (the `llsc xcheck` harness)
+//! and experiment E18 (real-contention throughput, `BENCH_pr6.json`).
+//!
+//! The deterministic simulator and the CAS-based hardware backend
+//! (`llsc-atomics`) execute the *same* [`Algorithm`] programs; this
+//! module checks that they agree where the model says they must:
+//!
+//! * **Safety** — every hardware history must be valid. For a universal
+//!   construction, the per-process `(invoked_at, responded_at)` clock
+//!   stamps recorded by the thread driver yield a concurrent history
+//!   that must linearize against the sequential specification
+//!   ([`llsc_objects::is_linearizable`]). For a wakeup algorithm, all
+//!   processes must terminate with 0/1, someone must return 1, and no
+//!   winner may respond before every process has taken its first step.
+//! * **Cost** — per-process shared-access counts must land inside an
+//!   envelope derived from simulator sweeps over sequential,
+//!   round-robin, and seeded-random schedules: at least the cheapest
+//!   simulated schedule, at most `2 · max + 2`. The slack is principled:
+//!   OS preemption can realize adversarial interleavings the sampled
+//!   schedules miss, and LL/SC retry loops pay ~2× under a lost race,
+//!   but an unbounded blow-up (or an impossibly cheap run) means the
+//!   backends disagree about the algorithm, not the scheduler.
+//!
+//! E18 then times both backends on the same workloads — a wakeup
+//! algorithm and a universal construction — at several process counts.
+//! On a single-core host the hardware numbers measure synchronization
+//! *overhead*, not scaling; see EXPERIMENTS.md.
+
+use llsc_atomics::{run_threads, HwMemory, HwRun};
+use llsc_objects::{is_linearizable, History, ObjectSpec};
+use llsc_shmem::{
+    Algorithm, Executor, ExecutorConfig, ProcessId, RandomScheduler, RoundRobinScheduler, RunError,
+    Scheduler, SeededTosses, SequentialScheduler, Value,
+};
+use llsc_universal::{ImplAlgorithm, ObjectImplementation};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Limits and trial counts for one cross-validation.
+#[derive(Clone, Debug)]
+pub struct XcheckConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Hardware trials (each with a distinct toss seed).
+    pub trials: usize,
+    /// Seeds for the simulator's random-interleaving schedules (the
+    /// sequential and round-robin schedules always contribute).
+    pub sim_seeds: Vec<u64>,
+    /// Per-process action budget before a run is declared divergent.
+    pub max_steps: u64,
+    /// Whether shared-access counts must land inside the simulator
+    /// envelope for the check to pass. Disable for algorithms whose
+    /// counts are inherently schedule-dependent — a polling construction
+    /// (a parked follower in the adt tree spins until its combiner
+    /// serves it) does unboundedly many accesses under an unfair OS
+    /// schedule, so only its *safety* is comparable across backends;
+    /// the counts are still measured and reported as advisory.
+    pub check_envelope: bool,
+}
+
+impl Default for XcheckConfig {
+    fn default() -> Self {
+        XcheckConfig {
+            n: 4,
+            trials: 8,
+            sim_seeds: vec![1, 2, 3],
+            max_steps: 1_000_000,
+            check_envelope: true,
+        }
+    }
+}
+
+/// One hardware trial's verdict.
+#[derive(Clone, Debug)]
+pub struct XcheckTrial {
+    /// Toss seed the trial ran under.
+    pub seed: u64,
+    /// Worst per-process shared-access count of the trial.
+    pub max_ops: u64,
+    /// Whether the trial's history passed the safety check
+    /// (linearizability, or wakeup validity).
+    pub safe: bool,
+    /// Whether `max_ops` landed inside the simulator envelope.
+    pub in_envelope: bool,
+}
+
+/// The outcome of one simulator ⇄ hardware cross-validation.
+#[derive(Clone, Debug)]
+pub struct XcheckReport {
+    /// What was checked (algorithm or implementation name).
+    pub subject: String,
+    /// `"wakeup"` or `"universal"`.
+    pub kind: &'static str,
+    /// Number of processes.
+    pub n: usize,
+    /// `(min, max)` of the worst per-process count over the simulator
+    /// schedules.
+    pub sim_envelope: (u64, u64),
+    /// The acceptance interval derived from the envelope.
+    pub accept: (u64, u64),
+    /// Per-trial hardware verdicts.
+    pub trials: Vec<XcheckTrial>,
+    /// Whether the envelope verdicts counted toward `ok` (false in
+    /// safety-only mode; counts are then advisory).
+    pub envelope_checked: bool,
+    /// True iff every trial was safe and — when the envelope is
+    /// checked — inside the envelope.
+    pub ok: bool,
+}
+
+impl XcheckReport {
+    fn finish(
+        subject: String,
+        kind: &'static str,
+        n: usize,
+        sim_envelope: (u64, u64),
+        trials: Vec<XcheckTrial>,
+        envelope_checked: bool,
+    ) -> XcheckReport {
+        let ok = trials
+            .iter()
+            .all(|t| t.safe && (!envelope_checked || t.in_envelope));
+        XcheckReport {
+            subject,
+            kind,
+            n,
+            sim_envelope,
+            accept: accept_interval(sim_envelope),
+            trials,
+            envelope_checked,
+            ok,
+        }
+    }
+
+    /// A compact human-readable rendering, one line per trial.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "xcheck {kind} {subject}: n={n} sim envelope [{lo}, {hi}] accept [{alo}, {ahi}]{mode}\n",
+            kind = self.kind,
+            subject = self.subject,
+            n = self.n,
+            lo = self.sim_envelope.0,
+            hi = self.sim_envelope.1,
+            alo = self.accept.0,
+            ahi = self.accept.1,
+            mode = if self.envelope_checked {
+                ""
+            } else {
+                " (safety only; counts advisory)"
+            },
+        );
+        for t in &self.trials {
+            out.push_str(&format!(
+                "  trial seed={seed:<4} max_ops={ops:<6} safe={safe} in_envelope={env}\n",
+                seed = t.seed,
+                ops = t.max_ops,
+                safe = t.safe,
+                env = t.in_envelope,
+            ));
+        }
+        out.push_str(if self.ok { "  PASS\n" } else { "  FAIL\n" });
+        out
+    }
+}
+
+fn accept_interval((lo, hi): (u64, u64)) -> (u64, u64) {
+    (lo, 2 * hi + 2)
+}
+
+/// The simulator schedules that contribute to the envelope.
+fn sim_schedules(seeds: &[u64]) -> Vec<Box<dyn Scheduler>> {
+    let mut scheds: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(SequentialScheduler::new()),
+        Box::new(RoundRobinScheduler::new()),
+    ];
+    for &seed in seeds {
+        scheds.push(Box::new(RandomScheduler::new(seed)));
+    }
+    scheds
+}
+
+/// Worst per-process shared-access count of one simulated run.
+fn sim_max_ops(
+    alg: &dyn Algorithm,
+    n: usize,
+    toss_seed: u64,
+    sched: &mut dyn Scheduler,
+    max_steps: u64,
+) -> Result<u64, RunError> {
+    let mut exec = Executor::new(
+        alg,
+        n,
+        Arc::new(SeededTosses::new(toss_seed)),
+        ExecutorConfig::lightweight(),
+    );
+    exec.drive(sched, max_steps)?;
+    exec.run_outcome().into_result()?;
+    let run = exec.into_run();
+    Ok(ProcessId::all(n)
+        .map(|p| run.shared_steps(p))
+        .max()
+        .unwrap_or(0))
+}
+
+/// The `(min, max)` worst-case count over the envelope schedules that
+/// complete. Some algorithms are only live under fair schedulers — a
+/// parked follower in a combining tree polls forever under the strict
+/// sequential schedule (a documented fairness requirement, not a bug) —
+/// so a schedule that exhausts its budget is dropped from the envelope
+/// rather than failing the check. At least one schedule must complete;
+/// if none does, the last error is reported.
+fn sim_envelope(
+    alg: &dyn Algorithm,
+    cfg: &XcheckConfig,
+    toss_seed: u64,
+) -> Result<(u64, u64), RunError> {
+    let mut lo = u64::MAX;
+    let mut hi = 0;
+    let mut completed = false;
+    let mut last_err = None;
+    for mut sched in sim_schedules(&cfg.sim_seeds) {
+        match sim_max_ops(alg, cfg.n, toss_seed, sched.as_mut(), cfg.max_steps) {
+            Ok(max) => {
+                lo = lo.min(max);
+                hi = hi.max(max);
+                completed = true;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    if completed {
+        Ok((lo, hi))
+    } else {
+        Err(last_err.expect("at least one schedule ran"))
+    }
+}
+
+fn hw_trial(alg: &dyn Algorithm, n: usize, seed: u64, max_steps: u64) -> Result<HwRun, RunError> {
+    let mem = HwMemory::for_algorithm(alg, n, Arc::new(SeededTosses::new(seed)));
+    run_threads(alg, &mem, max_steps)
+}
+
+/// Wakeup validity on hardware: everyone terminates with 0/1, someone
+/// returns 1, and no winner's response is stamped before some process's
+/// first step (the paper's "only after every process has taken a step",
+/// checked on the driver's real-time-consistent logical clock).
+fn wakeup_run_valid(run: &HwRun) -> bool {
+    let mut winners = 0usize;
+    let latest_first_step = run
+        .results
+        .iter()
+        .map(|r| r.first_step_at.unwrap_or(r.responded_at))
+        .max()
+        .unwrap_or(0);
+    for r in &run.results {
+        match r.response.as_int() {
+            Some(0) => {}
+            Some(1) => {
+                winners += 1;
+                if r.responded_at < latest_first_step {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    winners >= 1
+}
+
+/// Cross-validates a wakeup algorithm: simulator envelope vs hardware
+/// trials, hardware runs checked for wakeup validity.
+///
+/// # Errors
+///
+/// Returns the first [`RunError`] from either backend (budget
+/// exhaustion, divergence) — an error is an inconclusive run, distinct
+/// from a `FAIL` report.
+pub fn xcheck_wakeup(alg: &dyn Algorithm, cfg: &XcheckConfig) -> Result<XcheckReport, RunError> {
+    let envelope = sim_envelope(alg, cfg, 1)?;
+    let accept = accept_interval(envelope);
+    let mut trials = Vec::with_capacity(cfg.trials);
+    for trial in 0..cfg.trials {
+        let seed = trial as u64 + 1;
+        let run = hw_trial(alg, cfg.n, seed, cfg.max_steps)?;
+        let max_ops = run.max_ops();
+        trials.push(XcheckTrial {
+            seed,
+            max_ops,
+            safe: wakeup_run_valid(&run),
+            in_envelope: (accept.0..=accept.1).contains(&max_ops),
+        });
+    }
+    Ok(XcheckReport::finish(
+        alg.name().to_string(),
+        "wakeup",
+        cfg.n,
+        envelope,
+        trials,
+        cfg.check_envelope,
+    ))
+}
+
+/// Builds the concurrent history of one hardware run from the driver's
+/// clock stamps: operations invoke and respond in stamp order, which is
+/// consistent with real time because stamps come from one `SeqCst`
+/// counter.
+fn hw_history(run: &HwRun, ops: &[Value]) -> History {
+    let mut events: Vec<(u64, usize, bool)> = Vec::with_capacity(2 * run.results.len());
+    for r in &run.results {
+        events.push((r.invoked_at, r.pid.0, true));
+        events.push((r.responded_at, r.pid.0, false));
+    }
+    events.sort_unstable();
+    let mut h = History::new();
+    let mut ids = vec![None; run.results.len()];
+    for (_, pid, is_invoke) in events {
+        if is_invoke {
+            ids[pid] = Some(h.invoke(ProcessId(pid), ops[pid].clone()));
+        } else {
+            let id = ids[pid].expect("respond stamp after invoke stamp");
+            h.respond(id, run.results[pid].response.clone());
+        }
+    }
+    h
+}
+
+/// Cross-validates a universal construction: the simulator envelope
+/// comes from running [`ImplAlgorithm`] under the standard schedules;
+/// every hardware trial's stamped history must linearize against `spec`.
+///
+/// # Errors
+///
+/// Returns the first [`RunError`] from either backend.
+///
+/// # Panics
+///
+/// Panics if `ops.len() != cfg.n`.
+pub fn xcheck_universal(
+    imp: &dyn ObjectImplementation,
+    spec: &dyn ObjectSpec,
+    ops: &[Value],
+    cfg: &XcheckConfig,
+) -> Result<XcheckReport, RunError> {
+    assert_eq!(ops.len(), cfg.n, "one operation per process");
+    let alg = ImplAlgorithm::new(imp, ops);
+    let envelope = sim_envelope(&alg, cfg, 1)?;
+    let accept = accept_interval(envelope);
+    let mut trials = Vec::with_capacity(cfg.trials);
+    for trial in 0..cfg.trials {
+        let seed = trial as u64 + 1;
+        let run = hw_trial(&alg, cfg.n, seed, cfg.max_steps)?;
+        let max_ops = run.max_ops();
+        let history = hw_history(&run, ops);
+        trials.push(XcheckTrial {
+            seed,
+            max_ops,
+            safe: is_linearizable(spec, &history),
+            in_envelope: (accept.0..=accept.1).contains(&max_ops),
+        });
+    }
+    Ok(XcheckReport::finish(
+        imp.name(),
+        "universal",
+        cfg.n,
+        envelope,
+        trials,
+        cfg.check_envelope,
+    ))
+}
+
+/// Which backend an E18 case ran on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The deterministic simulator (round-robin schedule).
+    Sim,
+    /// The CAS-based hardware backend, one OS thread per process.
+    Atomic,
+}
+
+impl BackendKind {
+    /// The backend's registry name (`"sim"` / `"atomic"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Atomic => "atomic",
+        }
+    }
+
+    /// Parses a `--backend` flag value.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "sim" => Some(BackendKind::Sim),
+            "atomic" => Some(BackendKind::Atomic),
+            _ => None,
+        }
+    }
+}
+
+/// One E18 measurement: a workload on a backend at a process count.
+#[derive(Clone, Debug)]
+pub struct E18Row {
+    /// Workload id (`"wakeup-counter"`, `"universal-direct"`).
+    pub workload: &'static str,
+    /// Backend the case ran on.
+    pub backend: BackendKind,
+    /// Number of processes (= OS threads on the atomic backend).
+    pub n: usize,
+    /// Fastest wall-clock time over the samples, milliseconds.
+    pub wall_ms_min: f64,
+    /// Mean wall-clock time over the samples, milliseconds.
+    pub wall_ms_mean: f64,
+    /// Worst per-process shared-access count of the last sample.
+    pub max_ops: u64,
+    /// Total shared accesses of the last sample.
+    pub total_ops: u64,
+}
+
+fn time_samples<F: FnMut() -> (u64, u64)>(samples: u32, mut f: F) -> (f64, f64, u64, u64) {
+    let mut min = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut last = (0, 0);
+    for _ in 0..samples {
+        let started = Instant::now();
+        last = f();
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        min = min.min(ms);
+        sum += ms;
+    }
+    (min, sum / f64::from(samples), last.0, last.1)
+}
+
+fn run_sim_case(alg: &dyn Algorithm, n: usize, max_steps: u64) -> (u64, u64) {
+    let mut sched = RoundRobinScheduler::new();
+    let mut exec = Executor::new(
+        alg,
+        n,
+        Arc::new(SeededTosses::new(1)),
+        ExecutorConfig::lightweight(),
+    );
+    exec.drive(&mut sched, max_steps)
+        .expect("sim case completes");
+    exec.run_outcome().into_result().expect("sim case clean");
+    let run = exec.into_run();
+    let per: Vec<u64> = ProcessId::all(n).map(|p| run.shared_steps(p)).collect();
+    (per.iter().copied().max().unwrap_or(0), per.iter().sum())
+}
+
+fn run_hw_case(alg: &dyn Algorithm, n: usize, max_steps: u64) -> (u64, u64) {
+    let mem = HwMemory::for_algorithm(alg, n, Arc::new(SeededTosses::new(1)));
+    // Throughput runs time the memory, not the history log.
+    mem.set_recording(false);
+    let run = run_threads(alg, &mem, max_steps).expect("hw case completes");
+    let per: Vec<u64> = run.results.iter().map(|r| r.ops).collect();
+    (per.iter().copied().max().unwrap_or(0), per.iter().sum())
+}
+
+/// Runs one E18 case: `alg` on `backend` with `n` processes, timed over
+/// `samples` repetitions.
+pub fn e18_case(
+    workload: &'static str,
+    alg: &dyn Algorithm,
+    backend: BackendKind,
+    n: usize,
+    samples: u32,
+    max_steps: u64,
+) -> E18Row {
+    let (wall_ms_min, wall_ms_mean, max_ops, total_ops) = match backend {
+        BackendKind::Sim => time_samples(samples, || run_sim_case(alg, n, max_steps)),
+        BackendKind::Atomic => time_samples(samples, || run_hw_case(alg, n, max_steps)),
+    };
+    E18Row {
+        workload,
+        backend,
+        n,
+        wall_ms_min,
+        wall_ms_mean,
+        max_ops,
+        total_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llsc_objects::FetchIncrement;
+    use llsc_universal::DirectLlSc;
+    use llsc_wakeup::CounterWakeup;
+
+    fn small() -> XcheckConfig {
+        XcheckConfig {
+            n: 3,
+            trials: 3,
+            sim_seeds: vec![1, 2],
+            max_steps: 100_000,
+            check_envelope: true,
+        }
+    }
+
+    #[test]
+    fn safety_only_mode_treats_counts_as_advisory() {
+        let out_of_envelope = XcheckTrial {
+            seed: 1,
+            max_ops: 1_000_000,
+            safe: true,
+            in_envelope: false,
+        };
+        let checked = XcheckReport::finish(
+            "x".into(),
+            "universal",
+            2,
+            (1, 2),
+            vec![out_of_envelope.clone()],
+            true,
+        );
+        assert!(!checked.ok, "envelope miss fails a full check");
+        let advisory = XcheckReport::finish(
+            "x".into(),
+            "universal",
+            2,
+            (1, 2),
+            vec![out_of_envelope],
+            false,
+        );
+        assert!(advisory.ok, "safety-only ignores the envelope verdict");
+        assert!(advisory.render().contains("safety only"));
+        let unsafe_trial = XcheckTrial {
+            seed: 1,
+            max_ops: 1,
+            safe: false,
+            in_envelope: true,
+        };
+        let report = XcheckReport::finish(
+            "x".into(),
+            "universal",
+            2,
+            (1, 2),
+            vec![unsafe_trial],
+            false,
+        );
+        assert!(!report.ok, "safety failures still fail safety-only mode");
+    }
+
+    #[test]
+    fn wakeup_counter_cross_validates() {
+        let report = xcheck_wakeup(&CounterWakeup, &small()).expect("runs complete");
+        assert!(report.ok, "{}", report.render());
+        assert_eq!(report.trials.len(), 3);
+        assert!(report.sim_envelope.0 <= report.sim_envelope.1);
+    }
+
+    #[test]
+    fn universal_direct_cross_validates() {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let imp = DirectLlSc::new(spec.clone());
+        let ops = vec![FetchIncrement::op(); 3];
+        let report = xcheck_universal(&imp, spec.as_ref(), &ops, &small()).expect("runs complete");
+        assert!(report.ok, "{}", report.render());
+        assert_eq!(report.kind, "universal");
+    }
+
+    #[test]
+    fn hw_history_respects_stamp_order() {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let imp = DirectLlSc::new(spec.clone());
+        let ops = vec![FetchIncrement::op(); 4];
+        let alg = ImplAlgorithm::new(&imp, &ops);
+        let run = hw_trial(&alg, 4, 7, 100_000).expect("completes");
+        let h = hw_history(&run, &ops);
+        assert!(h.is_complete());
+        assert_eq!(h.len(), 4);
+        assert!(is_linearizable(spec.as_ref(), &h));
+    }
+
+    #[test]
+    fn e18_case_reports_costs_on_both_backends() {
+        for backend in [BackendKind::Sim, BackendKind::Atomic] {
+            let row = e18_case("wakeup-counter", &CounterWakeup, backend, 2, 2, 100_000);
+            assert!(row.total_ops > 0, "{:?} counted ops", backend);
+            assert!(row.max_ops <= row.total_ops);
+            assert!(row.wall_ms_min <= row.wall_ms_mean);
+        }
+    }
+
+    #[test]
+    fn backend_kind_parses_registry_names() {
+        assert_eq!(BackendKind::parse("sim"), Some(BackendKind::Sim));
+        assert_eq!(BackendKind::parse("atomic"), Some(BackendKind::Atomic));
+        assert_eq!(BackendKind::parse("gpu"), None);
+        assert_eq!(BackendKind::Atomic.name(), "atomic");
+    }
+}

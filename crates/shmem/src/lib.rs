@@ -89,11 +89,14 @@ mod run;
 mod scheduler;
 mod value;
 
+pub mod backend;
 pub mod dsl;
+pub mod json;
 pub mod repro;
 pub mod rng;
 pub mod sweep;
 
+pub use backend::{drive_program, run_sequential, BackendRun, ExecutionBackend, SimBackend};
 pub use chaos::ChaosPlan;
 pub use coin::{ConstantTosses, MapTosses, SeededTosses, TossAssignment, ZeroTosses};
 pub use crash::{CrashPlan, CrashScheduler};

@@ -30,6 +30,7 @@
 //! algorithms, and the `llsc replay` / `llsc shrink` subcommands glue the
 //! two together.
 
+use crate::json;
 use crate::scheduler::RecordingScheduler;
 use crate::{
     Algorithm, CrashPlan, CrashScheduler, Executor, ExecutorConfig, FaultPlan, ListScheduler,
@@ -512,7 +513,7 @@ impl ReproCase {
     /// fields, or out-of-range numbers.
     pub fn from_json(text: &str) -> Result<ReproCase, String> {
         let value = json::parse(text)?;
-        let obj = value.as_object("case")?;
+        let obj = value.object_or("case")?;
         let toss_text = get_str(obj, "toss")?;
         let toss = if toss_text == "zero" {
             TossSpec::Zero
@@ -521,7 +522,7 @@ impl ReproCase {
         } else {
             return Err(format!("unknown toss spec {toss_text:?}"));
         };
-        let schedule_obj = get(obj, "schedule")?.as_object("schedule")?;
+        let schedule_obj = get(obj, "schedule")?.object_or("schedule")?;
         let schedule = match get_str(schedule_obj, "kind")?.as_str() {
             "round-robin" => ScheduleSpec::RoundRobin,
             "random" => ScheduleSpec::Random {
@@ -529,36 +530,36 @@ impl ReproCase {
             },
             "list" => {
                 let picks = get(schedule_obj, "picks")?
-                    .as_array("picks")?
+                    .array_or("picks")?
                     .iter()
-                    .map(|v| Ok(ProcessId(parse_usize(&v.as_string("pick")?)?)))
+                    .map(|v| Ok(ProcessId(parse_usize(&v.str_or("pick")?)?)))
                     .collect::<Result<Vec<_>, String>>()?;
                 ScheduleSpec::List(picks)
             }
             other => return Err(format!("unknown schedule kind {other:?}")),
         };
         let crashes = get(obj, "crashes")?
-            .as_array("crashes")?
+            .array_or("crashes")?
             .iter()
             .map(|v| {
-                let c = v.as_object("crash")?;
+                let c = v.object_or("crash")?;
                 Ok((
                     ProcessId(parse_usize(&get_str(c, "pid")?)?),
                     parse_u64(&get_str(c, "at")?)?,
                 ))
             })
             .collect::<Result<Vec<_>, String>>()?;
-        let faults_obj = get(obj, "faults")?.as_object("faults")?;
+        let faults_obj = get(obj, "faults")?.object_or("faults")?;
         let spurious = get(faults_obj, "spurious")?
-            .as_array("spurious")?
+            .array_or("spurious")?
             .iter()
-            .map(|v| parse_u64(&v.as_string("spurious entry")?))
+            .map(|v| parse_u64(&v.str_or("spurious entry")?))
             .collect::<Result<Vec<_>, String>>()?;
         let corruptions = get(faults_obj, "corruptions")?
-            .as_array("corruptions")?
+            .array_or("corruptions")?
             .iter()
             .map(|v| {
-                let c = v.as_object("corruption")?;
+                let c = v.object_or("corruption")?;
                 Ok((
                     parse_u64(&get_str(c, "at")?)?,
                     parse_bool(&get_str(c, "clear")?)?,
@@ -568,7 +569,7 @@ impl ReproCase {
         let value_seed = parse_u64(&get_str(faults_obj, "value_seed")?)?;
         let provenance = match get(obj, "provenance") {
             Ok(v) => {
-                let p = v.as_object("provenance")?;
+                let p = v.object_or("provenance")?;
                 Some(Provenance {
                     sweep_seed: parse_u64(&get_str(p, "sweep_seed")?)?,
                     trial_index: parse_usize(&get_str(p, "trial_index")?)?,
@@ -606,7 +607,7 @@ fn get<'a>(obj: &'a [(String, json::Value)], key: &str) -> Result<&'a json::Valu
 }
 
 fn get_str(obj: &[(String, json::Value)], key: &str) -> Result<String, String> {
-    get(obj, key)?.as_string(key)
+    get(obj, key)?.str_or(key)
 }
 
 fn parse_u64(text: &str) -> Result<u64, String> {
@@ -626,188 +627,6 @@ fn parse_bool(text: &str) -> Result<bool, String> {
         "true" => Ok(true),
         "false" => Ok(false),
         other => Err(format!("bad bool {other:?}")),
-    }
-}
-
-/// The minimal JSON subset the repro artifacts use: strings, arrays, and
-/// objects (every scalar is a string). Object key order is preserved.
-mod json {
-    /// A parsed JSON value.
-    #[derive(Clone, Debug, PartialEq)]
-    pub enum Value {
-        /// A string scalar.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, keys in source order.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn as_string(&self, what: &str) -> Result<String, String> {
-            match self {
-                Value::Str(s) => Ok(s.clone()),
-                _ => Err(format!("{what}: expected a string")),
-            }
-        }
-
-        pub fn as_array(&self, what: &str) -> Result<&[Value], String> {
-            match self {
-                Value::Arr(items) => Ok(items),
-                _ => Err(format!("{what}: expected an array")),
-            }
-        }
-
-        pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
-            match self {
-                Value::Obj(fields) => Ok(fields),
-                _ => Err(format!("{what}: expected an object")),
-            }
-        }
-    }
-
-    /// Escapes a string for embedding in a JSON string literal.
-    pub fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len());
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    out.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => out.push(c),
-            }
-        }
-        out
-    }
-
-    /// Parses a complete JSON document (of the subset above).
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&c) {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", c as char, *pos))
-        }
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
-            Some(b'[') => {
-                *pos += 1;
-                let mut items = Vec::new();
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                loop {
-                    items.push(parse_value(bytes, pos)?);
-                    skip_ws(bytes, pos);
-                    match bytes.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b']') => {
-                            *pos += 1;
-                            return Ok(Value::Arr(items));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                    }
-                }
-            }
-            Some(b'{') => {
-                *pos += 1;
-                let mut fields = Vec::new();
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                loop {
-                    skip_ws(bytes, pos);
-                    let key = parse_string(bytes, pos)?;
-                    expect(bytes, pos, b':')?;
-                    let value = parse_value(bytes, pos)?;
-                    fields.push((key, value));
-                    skip_ws(bytes, pos);
-                    match bytes.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b'}') => {
-                            *pos += 1;
-                            return Ok(Value::Obj(fields));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                    }
-                }
-            }
-            _ => Err(format!("unexpected value at byte {pos}")),
-        }
-    }
-
-    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-        if bytes.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string at byte {pos}"));
-        }
-        *pos += 1;
-        let mut out = Vec::new();
-        while let Some(&b) = bytes.get(*pos) {
-            *pos += 1;
-            match b {
-                b'"' => {
-                    return String::from_utf8(out).map_err(|e| format!("bad utf-8: {e}"));
-                }
-                b'\\' => {
-                    let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
-                    *pos += 1;
-                    match esc {
-                        b'"' => out.push(b'"'),
-                        b'\\' => out.push(b'\\'),
-                        b'/' => out.push(b'/'),
-                        b'n' => out.push(b'\n'),
-                        b'r' => out.push(b'\r'),
-                        b't' => out.push(b'\t'),
-                        b'u' => {
-                            let hex = bytes.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
-                            *pos += 4;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            let c = char::from_u32(code).ok_or("bad \\u escape")?;
-                            let mut buf = [0u8; 4];
-                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
-                        }
-                        other => return Err(format!("bad escape \\{}", other as char)),
-                    }
-                }
-                other => out.push(other),
-            }
-        }
-        Err("unterminated string".to_string())
     }
 }
 

@@ -79,7 +79,7 @@ pub use hardened::{
 };
 pub use herlihy::HerlihyUniversal;
 pub use implementation::ObjectImplementation;
-pub use measure::{measure, MeasureConfig, MeasureResult, ScheduleKind};
+pub use measure::{measure, ImplAlgorithm, MeasureConfig, MeasureResult, ScheduleKind};
 pub use ms_queue::MsQueue;
 pub use multi_use::{measure_multi_use, MultiUseResult};
 pub use treiber::TreiberStack;

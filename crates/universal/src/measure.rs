@@ -105,9 +105,30 @@ impl fmt::Display for MeasureResult {
 /// Adapts an implementation plus one operation per process into an
 /// [`Algorithm`] whose per-process return value is the operation's
 /// response.
-struct ImplAlgorithm<'a> {
+///
+/// Public so backend-generic harnesses (the simulator ⇄ hardware
+/// cross-validation in `llsc-bench`) can run the same object
+/// implementations through any [`llsc_shmem::ExecutionBackend`] driver.
+pub struct ImplAlgorithm<'a> {
     imp: &'a dyn ObjectImplementation,
     ops: &'a [Value],
+}
+
+impl fmt::Debug for ImplAlgorithm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ImplAlgorithm")
+            .field("imp", &self.imp.name())
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+impl<'a> ImplAlgorithm<'a> {
+    /// Wraps `imp` with one operation per process (`ops[p]` is process
+    /// `p`'s operation).
+    pub fn new(imp: &'a dyn ObjectImplementation, ops: &'a [Value]) -> ImplAlgorithm<'a> {
+        ImplAlgorithm { imp, ops }
+    }
 }
 
 impl Algorithm for ImplAlgorithm<'_> {
@@ -179,7 +200,7 @@ pub fn measure(
     cfg: &MeasureConfig,
 ) -> Result<MeasureResult, RunError> {
     assert_eq!(ops.len(), n, "one operation per process");
-    let alg = ImplAlgorithm { imp, ops };
+    let alg = ImplAlgorithm::new(imp, ops);
 
     // When linearizability checking is off, drop event/history/snapshot
     // recording: complexity sweeps over value-heavy constructions would

@@ -21,6 +21,9 @@
 
 use llsc_lowerbound::bench::repro::{run_case, shrink_case};
 use llsc_lowerbound::bench::table::Table;
+use llsc_lowerbound::bench::xcheck::{
+    e18_case, xcheck_universal, xcheck_wakeup, BackendKind, XcheckConfig,
+};
 use llsc_lowerbound::core::{
     build_all_run, indist_all_subsets, is_secretive, movers, random_move_config,
     secretive_complete_schedule, standard_portfolio, stress_wakeup_sweep, trace_all_run,
@@ -34,7 +37,9 @@ use llsc_lowerbound::universal::{
     measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HerlihyUniversal, MeasureConfig,
     ObjectImplementation, ScheduleKind,
 };
-use llsc_lowerbound::wakeup::{correct_algorithms, randomized_algorithms, strawman_algorithms};
+use llsc_lowerbound::wakeup::{
+    correct_algorithms, hardened_algorithms, randomized_algorithms, strawman_algorithms,
+};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -74,6 +79,8 @@ fn main() -> ExitCode {
         "indist" => cmd_indist(&opts),
         "secretive" => cmd_secretive(&opts),
         "universal" => cmd_universal(&opts),
+        "xcheck" => cmd_xcheck(&opts),
+        "bench" => cmd_bench(&opts),
         "list" => cmd_list(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -99,6 +106,17 @@ subcommands:
   indist     --alg <name> --n <N> [--seed <s>]   Lemma 5.2, exhaustive subsets
   secretive  --n <N> [--seed <s>]                Section-4 schedule demo
   universal  --n <N> [--imp <i>] [--schedule <k>] measure a construction
+  xcheck     [--alg <name>] [--imp <i>] [--n <N>] cross-validate the simulator
+             [--trials <K>] [--safety-only]       against the hardware (atomics)
+                                                  backend: every hardware
+                                                  history must be safe and its
+                                                  costs inside a simulator-
+                                                  derived envelope
+                                                  (--safety-only demotes the
+                                                  count check to advisory, for
+                                                  polling constructions)
+  bench      [--backend sim|atomic|both]          E18 throughput/latency on a
+             [--ns 2,4] [--samples <K>]           chosen execution backend
   replay     <file>                               re-execute a repro case and
                                                   compare against its recorded
                                                   outcome (nonzero on diverge)
@@ -106,7 +124,8 @@ subcommands:
                                                   minimal reproducer with the
                                                   same failure class
                                                   [--max-replays <k>]
-  list                                            list algorithm names
+  list                                            algorithm / experiment /
+                                                  backend registry
 
 options:
   --alg       an algorithm name from `llsc list`
@@ -192,6 +211,9 @@ impl Opts {
     }
 }
 
+/// Flags that take no value (presence alone is the setting).
+const BARE_FLAGS: &[&str] = &["safety-only"];
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut flags = BTreeMap::new();
     let mut it = args.iter();
@@ -199,6 +221,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
+        if BARE_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), String::new());
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
     }
@@ -209,24 +235,227 @@ fn all_algorithms() -> Vec<Box<dyn Algorithm>> {
     correct_algorithms()
         .into_iter()
         .chain(randomized_algorithms())
+        .chain(hardened_algorithms())
         .chain(strawman_algorithms())
         .collect()
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("correct wakeup algorithms:");
-    for a in correct_algorithms() {
-        println!("  {}", a.name());
+    println!("execution backends:");
+    for (name, what) in [
+        ("sim", "deterministic discrete-event simulator"),
+        ("atomic", "OS threads over CAS-built LL/SC (llsc-atomics)"),
+    ] {
+        println!("  {name:<24} {what}");
     }
-    println!("randomized wakeup algorithms:");
-    for a in randomized_algorithms() {
-        println!("  {}", a.name());
+    #[allow(clippy::type_complexity)]
+    let sections: [(&str, Vec<Box<dyn Algorithm>>, &str); 4] = [
+        (
+            "correct wakeup algorithms",
+            correct_algorithms(),
+            "sim, atomic",
+        ),
+        (
+            "randomized wakeup algorithms",
+            randomized_algorithms(),
+            "sim, atomic",
+        ),
+        (
+            "fault-hardened wakeup algorithms",
+            hardened_algorithms(),
+            "sim, atomic",
+        ),
+        // The strawmen exist to be refuted by the deterministic
+        // Theorem 6.1 driver; the hardware backend cannot replay the
+        // adversary's counterexample schedule.
+        (
+            "strawmen (deliberately broken)",
+            strawman_algorithms(),
+            "sim",
+        ),
+    ];
+    for (title, algorithms, backends) in sections {
+        println!("{title} (any --n >= 2):");
+        for a in algorithms {
+            println!("  {:<24} backends: {backends}", a.name());
+        }
     }
-    println!("strawmen (deliberately broken):");
-    for a in strawman_algorithms() {
-        println!("  {}", a.name());
+    println!("universal constructions (--imp, any --n >= 2):");
+    for (key, what) in [
+        ("adt", "oblivious combining tree, Theta(log n)"),
+        ("naive", "combining tree baseline"),
+        ("herlihy", "announce-and-help, Theta(n)"),
+        ("direct", "non-oblivious LL/SC loop, O(1) uncontended"),
+    ] {
+        println!("  {key:<24} backends: sim, atomic  ({what})");
+    }
+    println!("experiments:");
+    for (id, what, backends) in [
+        ("e1-e17", "table_* regenerators (see EXPERIMENTS.md)", "sim"),
+        (
+            "e18",
+            "bench_e18 / `llsc bench`: real-contention throughput",
+            "sim, atomic",
+        ),
+        (
+            "xcheck",
+            "`llsc xcheck`: simulator vs hardware cross-validation",
+            "sim + atomic",
+        ),
+    ] {
+        println!("  {id:<24} backends: {backends:<12} {what}");
     }
     Ok(())
+}
+
+fn cmd_xcheck(opts: &Opts) -> Result<(), String> {
+    let n = match opts.flags.get("n") {
+        None => 4,
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 2)
+            .ok_or_else(|| format!("bad --n value `{v}` (xcheck needs n >= 2)"))?,
+    };
+    let trials = match opts.flags.get("trials") {
+        None => 8,
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or_else(|| format!("bad --trials value `{v}`"))?,
+    };
+    let cfg = XcheckConfig {
+        n,
+        trials,
+        // Polling constructions (the adt tree parks followers on a
+        // spin loop) have schedule-dependent counts on real threads;
+        // --safety-only keeps the history checks and demotes the
+        // count envelope to advisory.
+        check_envelope: !opts.flags.contains_key("safety-only"),
+        ..XcheckConfig::default()
+    };
+    let mut reports = Vec::new();
+    // With neither --alg nor --imp, cross-validate one of each — a
+    // wakeup algorithm and a universal construction.
+    let default_both = !opts.flags.contains_key("alg") && !opts.flags.contains_key("imp");
+    if opts.flags.contains_key("alg") || default_both {
+        let alg = if default_both {
+            all_algorithms()
+                .into_iter()
+                .find(|a| a.name() == "counter-wakeup")
+                .expect("counter-wakeup is registered")
+        } else {
+            opts.alg()?
+        };
+        reports.push(
+            xcheck_wakeup(alg.as_ref(), &cfg).map_err(|e| format!("xcheck wakeup failed: {e}"))?,
+        );
+    }
+    if opts.flags.contains_key("imp") || default_both {
+        let spec = Arc::new(FetchIncrement::new(32));
+        let imp = universal_imp(opts, &spec, if default_both { "direct" } else { "adt" })?;
+        let ops = vec![FetchIncrement::op(); n];
+        reports.push(
+            xcheck_universal(imp.as_ref(), spec.as_ref(), &ops, &cfg)
+                .map_err(|e| format!("xcheck universal failed: {e}"))?,
+        );
+    }
+    let mut failed = false;
+    for report in &reports {
+        print!("{}", report.render());
+        failed |= !report.ok;
+    }
+    if failed {
+        return Err("cross-validation FAILED: the backends disagree".into());
+    }
+    Ok(())
+}
+
+fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    let backends = match opts
+        .flags
+        .get("backend")
+        .map(String::as_str)
+        .unwrap_or("both")
+    {
+        "both" => vec![BackendKind::Sim, BackendKind::Atomic],
+        one => vec![BackendKind::parse(one)
+            .ok_or_else(|| format!("unknown --backend `{one}` (sim|atomic|both)"))?],
+    };
+    let ns: Vec<usize> = match opts.flags.get("ns") {
+        None => vec![2, 4],
+        Some(list) => {
+            let parsed: Option<Vec<usize>> =
+                list.split(',').map(|s| s.trim().parse().ok()).collect();
+            parsed
+                .filter(|ns| !ns.is_empty() && ns.iter().all(|&n| n >= 1))
+                .ok_or_else(|| format!("bad --ns value `{list}` (e.g. `2,4`)"))?
+        }
+    };
+    let samples = match opts.flags.get("samples") {
+        None => 5,
+        Some(v) => v
+            .parse::<u32>()
+            .ok()
+            .filter(|&s| s >= 1)
+            .ok_or_else(|| format!("bad --samples value `{v}`"))?,
+    };
+    let spec = Arc::new(FetchIncrement::new(64));
+    let imp = DirectLlSc::new(spec);
+    let wakeup = all_algorithms()
+        .into_iter()
+        .find(|a| a.name() == "counter-wakeup")
+        .expect("counter-wakeup is registered");
+    for backend in backends {
+        for &n in &ns {
+            let row = e18_case(
+                "wakeup-counter",
+                wakeup.as_ref(),
+                backend,
+                n,
+                samples,
+                10_000_000,
+            );
+            print_e18_row(&row);
+            let ops = vec![FetchIncrement::op(); n];
+            let alg = llsc_lowerbound::universal::ImplAlgorithm::new(&imp, &ops);
+            let row = e18_case("universal-direct", &alg, backend, n, samples, 10_000_000);
+            print_e18_row(&row);
+        }
+    }
+    Ok(())
+}
+
+fn print_e18_row(r: &llsc_lowerbound::bench::xcheck::E18Row) {
+    println!(
+        "e18 {:<16} backend={:<6} n={:<3} min {:>9.3}ms mean {:>9.3}ms max_ops={} total_ops={}",
+        r.workload,
+        r.backend.name(),
+        r.n,
+        r.wall_ms_min,
+        r.wall_ms_mean,
+        r.max_ops,
+        r.total_ops
+    );
+}
+
+/// Resolves the `--imp` flag (with `default` when absent) against the
+/// universal-construction registry.
+fn universal_imp(
+    opts: &Opts,
+    spec: &Arc<FetchIncrement>,
+    default: &str,
+) -> Result<Box<dyn ObjectImplementation>, String> {
+    Ok(
+        match opts.flags.get("imp").map(String::as_str).unwrap_or(default) {
+            "adt" => Box::new(AdtTreeUniversal::new(spec.clone())),
+            "naive" => Box::new(CombiningTreeUniversal::new(spec.clone())),
+            "herlihy" => Box::new(HerlihyUniversal::new(spec.clone())),
+            "direct" => Box::new(DirectLlSc::new(spec.clone())),
+            other => return Err(format!("unknown --imp `{other}`")),
+        },
+    )
 }
 
 fn cmd_wakeup(opts: &Opts) -> Result<(), String> {
@@ -490,14 +719,7 @@ fn cmd_shrink(rest: &[String]) -> Result<(), String> {
 fn cmd_universal(opts: &Opts) -> Result<(), String> {
     let n = opts.n()?;
     let spec = Arc::new(FetchIncrement::new(32));
-    let imp: Box<dyn ObjectImplementation> =
-        match opts.flags.get("imp").map(String::as_str).unwrap_or("adt") {
-            "adt" => Box::new(AdtTreeUniversal::new(spec.clone())),
-            "naive" => Box::new(CombiningTreeUniversal::new(spec.clone())),
-            "herlihy" => Box::new(HerlihyUniversal::new(spec.clone())),
-            "direct" => Box::new(DirectLlSc::new(spec.clone())),
-            other => return Err(format!("unknown --imp `{other}`")),
-        };
+    let imp = universal_imp(opts, &spec, "adt")?;
     let schedule = match opts
         .flags
         .get("schedule")

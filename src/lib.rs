@@ -15,12 +15,13 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
-//! | [`shmem`] | `llsc-shmem` | Section-3 model: registers, operations, processes, schedulers, runs, executor |
+//! | [`shmem`] | `llsc-shmem` | Section-3 model: registers, operations, processes, schedulers, runs, executor, the [`shmem::ExecutionBackend`] trait and shared JSON helpers |
+//! | [`atomics`] | `llsc-atomics` | The real-hardware backend: LL/SC/VL built from pointer-width CAS, thread-per-process driver |
 //! | [`core`] | `llsc-core` | Sections 4–6: secretive schedules, adversary runs, `UP` sets, indistinguishability, the Theorem 6.1 driver |
 //! | [`objects`] | `llsc-objects` | Sequential specs of the Theorem 6.2 types; linearizability checking |
 //! | [`wakeup`] | `llsc-wakeup` | Wakeup algorithms (correct, randomized, strawmen) and the object reductions |
 //! | [`universal`] | `llsc-universal` | Oblivious universal constructions and the direct LL/SC escape hatch |
-//! | [`bench`] | `llsc-bench` | E1–E17 experiment regenerators, the deterministic parallel harness, failure replay/shrinking, and the table/JSON renderers |
+//! | [`bench`] | `llsc-bench` | E1–E18 experiment regenerators, the deterministic parallel harness, failure replay/shrinking, simulator ⇄ hardware cross-validation ([`bench::xcheck`]), and the table/JSON renderers |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use llsc_atomics as atomics;
 pub use llsc_bench as bench;
 pub use llsc_core as core;
 pub use llsc_objects as objects;
