@@ -7,9 +7,19 @@
 //! on the memory's global logical clock (a `SeqCst` `fetch_add`, so
 //! stamps respect real time), which is what lets the cross-validation
 //! harness check hardware histories for linearizability afterwards.
+//!
+//! Failures are *contained*: a process thread that panics, diverges, or
+//! gets stopped by the watchdog is reported as a structured
+//! [`HwRunError`] from [`run_threads`] / [`run_threads_watchdog`], never
+//! as a panic of the calling thread — so a bad trial fails one
+//! cross-validation case instead of aborting the whole harness.
+//!
+//! [`Program`]: llsc_shmem::Program
 
 use crate::memory::HwMemory;
 use llsc_shmem::{Action, Algorithm, ExecutionBackend, Feedback, ProcessId, RunError, Value};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// What one process did during a hardware run.
@@ -21,6 +31,12 @@ pub struct HwProcessResult {
     pub response: Value,
     /// Shared-memory operations the process performed.
     pub ops: u64,
+    /// Remote memory references billed to the process under the DSM
+    /// cost model (`home(R) = R mod n`; remoteness is history-free, so
+    /// the hardware backend counts it exactly — see
+    /// [`llsc_shmem::dsm_cost`]). The CC charge needs coherence history
+    /// and is simulator-only.
+    pub dsm_rmrs: u64,
     /// Clock stamp taken just before the process's program was spawned
     /// — its operation is "invoked" from this point on.
     pub invoked_at: u64,
@@ -49,10 +65,90 @@ impl HwRun {
         self.results.iter().map(|r| r.ops).max().unwrap_or(0)
     }
 
+    /// The largest per-process DSM RMR count — the hardware analogue of
+    /// the simulator's worst-case DSM bill.
+    pub fn max_dsm_rmrs(&self) -> u64 {
+        self.results.iter().map(|r| r.dsm_rmrs).max().unwrap_or(0)
+    }
+
+    /// Total DSM RMRs billed across all processes.
+    pub fn total_dsm_rmrs(&self) -> u64 {
+        self.results.iter().map(|r| r.dsm_rmrs).sum()
+    }
+
     /// The per-process responses, indexed by process id.
     pub fn responses(&self) -> Vec<Value> {
         self.results.iter().map(|r| r.response.clone()).collect()
     }
+}
+
+/// Why a hardware run failed to produce an [`HwRun`].
+///
+/// The driver never panics on behalf of an algorithm: a panicking
+/// program, a diverging loop, and a wedged trial all come back as a
+/// value, so harness code (`llsc xcheck`, `bench_e18`) can report the
+/// failed case and move on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HwRunError {
+    /// A structural fault shared with the simulator's vocabulary —
+    /// today always [`RunError::DivergedLocalBurst`]: some process
+    /// burned its `max_steps` action budget without returning.
+    Run(RunError),
+    /// A process's program panicked on its thread. The panic was
+    /// contained at `join()`; `message` is the payload when it was a
+    /// string (the common `panic!`/`assert!` case).
+    ThreadPanic {
+        /// The process whose thread panicked (first in process order
+        /// when several did).
+        pid: ProcessId,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The watchdog deadline elapsed before every process returned —
+    /// the run live- or deadlocked (or the deadline was too tight) and
+    /// the stuck threads were asked to abandon the trial.
+    WatchdogTimeout {
+        /// The deadline that fired.
+        timeout: Duration,
+        /// The processes that had not returned when it fired.
+        stuck: Vec<ProcessId>,
+    },
+}
+
+impl fmt::Display for HwRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwRunError::Run(e) => write!(f, "{e}"),
+            HwRunError::ThreadPanic { pid, message } => {
+                write!(f, "{pid}'s hardware thread panicked: {message}")
+            }
+            HwRunError::WatchdogTimeout { timeout, stuck } => {
+                let stuck: Vec<String> = stuck.iter().map(|p| p.to_string()).collect();
+                write!(
+                    f,
+                    "hardware watchdog fired after {:.1}s: {} never returned",
+                    timeout.as_secs_f64(),
+                    stuck.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwRunError {}
+
+impl From<RunError> for HwRunError {
+    fn from(e: RunError) -> HwRunError {
+        HwRunError::Run(e)
+    }
+}
+
+/// Why one process thread gave up without a result.
+enum ThreadStop {
+    /// Burned its `max_steps` budget.
+    Diverged,
+    /// Saw the watchdog's abort flag.
+    Aborted,
 }
 
 fn drive_one(
@@ -60,13 +156,18 @@ fn drive_one(
     mem: &HwMemory,
     pid: ProcessId,
     max_steps: u64,
-) -> Result<HwProcessResult, RunError> {
+    abort: &AtomicBool,
+) -> Result<HwProcessResult, ThreadStop> {
     let invoked_at = mem.stamp();
     let ops_before = mem.shared_accesses(pid);
+    let rmrs_before = mem.dsm_rmrs(pid);
     let mut program = alg.spawn(pid, mem.n());
     let mut feedback = Feedback::Start;
     let mut first_step_at = None;
     for _ in 0..max_steps {
+        if abort.load(Ordering::Relaxed) {
+            return Err(ThreadStop::Aborted);
+        }
         let action = program.next(feedback);
         if first_step_at.is_none() {
             first_step_at = Some(mem.stamp());
@@ -80,6 +181,7 @@ fn drive_one(
                     pid,
                     response: value,
                     ops: mem.shared_accesses(pid) - ops_before,
+                    dsm_rmrs: mem.dsm_rmrs(pid) - rmrs_before,
                     invoked_at,
                     first_step_at,
                     responded_at,
@@ -87,36 +189,222 @@ fn drive_one(
             }
         };
     }
-    Err(RunError::DivergedLocalBurst { pid })
+    Err(ThreadStop::Diverged)
 }
 
+/// Extracts the human-readable part of a `join()` panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How often stuck threads and the watchdog notice each other.
+const WATCHDOG_POLL: Duration = Duration::from_millis(2);
+
 /// Runs `alg` on `mem` with one OS thread per process, joining them all
-/// and collecting per-process results. Each thread gives up with
-/// [`RunError::DivergedLocalBurst`] after `max_steps` actions, so a
-/// non-terminating program cannot wedge the harness; the first such
-/// error (in process order) is reported.
+/// and collecting per-process results. Each thread gives up after
+/// `max_steps` actions ([`HwRunError::Run`] with
+/// [`RunError::DivergedLocalBurst`]), so a non-terminating program
+/// cannot wedge the harness, and a panicking program is contained as
+/// [`HwRunError::ThreadPanic`] instead of aborting the caller.
+///
+/// Equivalent to [`run_threads_watchdog`] without a deadline. Prefer
+/// the watchdog variant in harness loops: a livelocked trial under a
+/// huge `max_steps` budget can still stall for a very long time here.
 ///
 /// # Panics
 ///
 /// Panics if `mem` was not built for `alg` (fewer processes than the
-/// algorithm expects is fine; the run simply uses `mem.n()` processes),
-/// or if a process's program panics.
-pub fn run_threads(alg: &dyn Algorithm, mem: &HwMemory, max_steps: u64) -> Result<HwRun, RunError> {
+/// algorithm expects is fine; the run simply uses `mem.n()` processes).
+pub fn run_threads(
+    alg: &dyn Algorithm,
+    mem: &HwMemory,
+    max_steps: u64,
+) -> Result<HwRun, HwRunError> {
+    run_threads_inner(alg, mem, max_steps, None)
+}
+
+/// [`run_threads`] with a wall-clock deadline: if any process has not
+/// returned after `timeout`, every still-running thread is asked to
+/// abandon the trial (they poll an abort flag once per action) and the
+/// run fails with [`HwRunError::WatchdogTimeout`] naming the stuck
+/// processes — the hardware mirror of the simulator harness's
+/// `--trial-timeout-ms`, so a wedged trial fails cleanly instead of
+/// hanging CI until the job-level kill.
+pub fn run_threads_watchdog(
+    alg: &dyn Algorithm,
+    mem: &HwMemory,
+    max_steps: u64,
+    timeout: Duration,
+) -> Result<HwRun, HwRunError> {
+    run_threads_inner(alg, mem, max_steps, Some(timeout))
+}
+
+fn run_threads_inner(
+    alg: &dyn Algorithm,
+    mem: &HwMemory,
+    max_steps: u64,
+    watchdog: Option<Duration>,
+) -> Result<HwRun, HwRunError> {
     let n = mem.n();
     let started = Instant::now();
-    let joined: Vec<Result<HwProcessResult, RunError>> = std::thread::scope(|scope| {
+    let abort = AtomicBool::new(false);
+    let live = AtomicUsize::new(n);
+    type Joined = std::thread::Result<Result<HwProcessResult, ThreadStop>>;
+    let joined: Vec<Joined> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
-            .map(|p| scope.spawn(move || drive_one(alg, mem, ProcessId(p), max_steps)))
+            .map(|p| {
+                let (abort, live) = (&abort, &live);
+                scope.spawn(move || {
+                    // Decrement `live` even on unwind, or a panicked
+                    // worker would keep the watchdog polling until its
+                    // deadline.
+                    struct Departing<'a>(&'a AtomicUsize);
+                    impl Drop for Departing<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                    let _departing = Departing(live);
+                    drive_one(alg, mem, ProcessId(p), max_steps, abort)
+                })
+            })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("hardware process thread panicked"))
-            .collect()
+        if let Some(timeout) = watchdog {
+            let (abort, live) = (&abort, &live);
+            scope.spawn(move || {
+                while live.load(Ordering::Relaxed) > 0 {
+                    if started.elapsed() >= timeout {
+                        abort.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    std::thread::sleep(WATCHDOG_POLL);
+                }
+            });
+        }
+        handles.into_iter().map(|h| h.join()).collect()
     });
     let wall = started.elapsed();
+
     let mut results = Vec::with_capacity(n);
-    for outcome in joined {
-        results.push(outcome?);
+    let mut stuck = Vec::new();
+    let mut diverged = None;
+    for (p, outcome) in joined.into_iter().enumerate() {
+        let pid = ProcessId(p);
+        match outcome {
+            Err(payload) => {
+                return Err(HwRunError::ThreadPanic {
+                    pid,
+                    message: panic_message(payload),
+                })
+            }
+            Ok(Err(ThreadStop::Aborted)) => stuck.push(pid),
+            Ok(Err(ThreadStop::Diverged)) => {
+                diverged.get_or_insert(pid);
+            }
+            Ok(Ok(result)) => results.push(result),
+        }
+    }
+    if !stuck.is_empty() {
+        return Err(HwRunError::WatchdogTimeout {
+            timeout: watchdog.expect("threads only abort under a watchdog"),
+            stuck,
+        });
+    }
+    if let Some(pid) = diverged {
+        return Err(HwRunError::Run(RunError::DivergedLocalBurst { pid }));
     }
     Ok(HwRun { results, wall })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llsc_shmem::dsl::{done, fix, ll};
+    use llsc_shmem::{FnAlgorithm, RegisterId, SeededTosses};
+    use std::sync::Arc;
+
+    /// A program that LLs register 0 forever — livelocked, never returns.
+    fn spinner() -> impl Algorithm {
+        FnAlgorithm::new("spinner", |_pid, _n| {
+            fix(|(), again| ll(RegisterId(0), move |_| again.call(())), ()).into_program()
+        })
+    }
+
+    #[test]
+    fn panicked_thread_is_reported_not_fatal() {
+        let alg = FnAlgorithm::new("panicker", |pid: ProcessId, _n| {
+            assert!(pid.0 != 1, "injected panic in p1");
+            done(Value::from(0i64)).into_program()
+        });
+        let mem = HwMemory::for_algorithm(&alg, 2, Arc::new(SeededTosses::new(1)));
+        match run_threads(&alg, &mem, 1_000) {
+            Err(HwRunError::ThreadPanic { pid, message }) => {
+                assert_eq!(pid, ProcessId(1));
+                assert!(message.contains("injected panic in p1"), "{message}");
+            }
+            other => panic!("expected ThreadPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_stops_a_livelocked_trial() {
+        let alg = spinner();
+        let mem = HwMemory::for_algorithm(&alg, 2, Arc::new(SeededTosses::new(1)));
+        let started = Instant::now();
+        match run_threads_watchdog(&alg, &mem, u64::MAX, Duration::from_millis(50)) {
+            Err(HwRunError::WatchdogTimeout { timeout, stuck }) => {
+                assert_eq!(timeout, Duration::from_millis(50));
+                assert_eq!(stuck, vec![ProcessId(0), ProcessId(1)]);
+            }
+            other => panic!("expected WatchdogTimeout, got {other:?}"),
+        }
+        // Cleanly stopped: well before any CI job-level timeout.
+        assert!(started.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn divergence_still_reported_under_a_generous_watchdog() {
+        let alg = spinner();
+        let mem = HwMemory::for_algorithm(&alg, 2, Arc::new(SeededTosses::new(1)));
+        let err = run_threads_watchdog(&alg, &mem, 200, Duration::from_secs(60)).unwrap_err();
+        assert_eq!(
+            err,
+            HwRunError::Run(RunError::DivergedLocalBurst { pid: ProcessId(0) })
+        );
+    }
+
+    #[test]
+    fn watchdog_passthrough_on_a_terminating_run() {
+        let alg = FnAlgorithm::new("trivial", |pid: ProcessId, _n| {
+            done(Value::from(pid.0 as i64)).into_program()
+        });
+        let mem = HwMemory::for_algorithm(&alg, 3, Arc::new(SeededTosses::new(1)));
+        let run = run_threads_watchdog(&alg, &mem, 1_000, Duration::from_secs(60))
+            .expect("terminates well inside the deadline");
+        assert_eq!(run.results.len(), 3);
+    }
+
+    #[test]
+    fn errors_render_for_harness_reports() {
+        let panic = HwRunError::ThreadPanic {
+            pid: ProcessId(3),
+            message: "boom".into(),
+        };
+        assert!(panic.to_string().contains("panicked: boom"));
+        let wedged = HwRunError::WatchdogTimeout {
+            timeout: Duration::from_secs(2),
+            stuck: vec![ProcessId(0), ProcessId(2)],
+        };
+        let rendered = wedged.to_string();
+        assert!(rendered.contains("watchdog fired"), "{rendered}");
+        assert!(rendered.contains("never returned"), "{rendered}");
+        let diverged: HwRunError = RunError::DivergedLocalBurst { pid: ProcessId(1) }.into();
+        assert!(diverged.to_string().contains("diverged"));
+    }
 }

@@ -12,9 +12,12 @@
 //! * [`HwMemory`] — the CAS-based memory, implementing
 //!   [`llsc_shmem::ExecutionBackend`]; see its module docs for the
 //!   version-tag construction and why it is ABA-safe.
-//! * [`run_threads`] — the thread-per-process driver, stamping every
-//!   invocation and response on a global logical clock so runs can be
-//!   linearizability-checked after the fact.
+//! * [`run_threads`] / [`run_threads_watchdog`] — the thread-per-process
+//!   driver, stamping every invocation and response on a global logical
+//!   clock so runs can be linearizability-checked after the fact. A
+//!   panicking program or a wedged trial comes back as a structured
+//!   [`HwRunError`], never as a harness abort; the watchdog variant adds
+//!   a wall-clock deadline for CI.
 //!
 //! The crate deliberately depends on `llsc-shmem` alone: history
 //! checking against sequential specifications lives downstream in
@@ -28,5 +31,5 @@
 mod driver;
 mod memory;
 
-pub use driver::{run_threads, HwProcessResult, HwRun};
+pub use driver::{run_threads, run_threads_watchdog, HwProcessResult, HwRun, HwRunError};
 pub use memory::{HwEvent, HwMemory};

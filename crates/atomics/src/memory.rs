@@ -36,7 +36,8 @@
 //! repeat, so the tag cannot move back.
 
 use llsc_shmem::{
-    ExecutionBackend, OpKind, Operation, ProcessId, RegisterId, Response, TossAssignment, Value,
+    dsm_cost, ExecutionBackend, OpKind, Operation, ProcessId, RegisterId, Response, TossAssignment,
+    Value,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -133,6 +134,7 @@ pub struct HwMemory {
     initial: BTreeMap<RegisterId, Value>,
     locals: Vec<Mutex<LocalState>>,
     accesses: Vec<AtomicU64>,
+    dsm_rmrs: Vec<AtomicU64>,
     tosses: Vec<AtomicU64>,
     toss: Arc<dyn TossAssignment>,
     clock: AtomicU64,
@@ -157,6 +159,7 @@ impl HwMemory {
             initial: BTreeMap::new(),
             locals: (0..n).map(|_| Mutex::new(LocalState::default())).collect(),
             accesses: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            dsm_rmrs: (0..n).map(|_| AtomicU64::new(0)).collect(),
             tosses: (0..n).map(|_| AtomicU64::new(0)).collect(),
             toss,
             clock: AtomicU64::new(0),
@@ -361,6 +364,14 @@ impl ExecutionBackend for HwMemory {
 
     fn apply(&self, p: ProcessId, op: &Operation) -> Response {
         self.accesses[p.0].fetch_add(1, Ordering::Relaxed);
+        // DSM remoteness is a pure function of (process, register, n) —
+        // see `llsc_shmem::dsm_home` — so the hardware backend can bill
+        // it locally per thread, with no cache state to share. The CC
+        // model needs the coherence history and stays simulator-only.
+        let dsm = dsm_cost(p, op, self.n);
+        if dsm > 0 {
+            self.dsm_rmrs[p.0].fetch_add(dsm, Ordering::Relaxed);
+        }
         let response = self.apply_inner(p, op);
         if self.record.load(Ordering::Relaxed) {
             let at = self.stamp();
@@ -387,6 +398,10 @@ impl ExecutionBackend for HwMemory {
 
     fn shared_accesses(&self, p: ProcessId) -> u64 {
         self.accesses[p.0].load(Ordering::Relaxed)
+    }
+
+    fn dsm_rmrs(&self, p: ProcessId) -> u64 {
+        self.dsm_rmrs[p.0].load(Ordering::Relaxed)
     }
 
     fn peek(&self, r: RegisterId) -> Value {

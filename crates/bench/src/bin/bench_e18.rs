@@ -5,7 +5,14 @@
 //! construction (`DirectLlSc` over fetch&increment) on the deterministic
 //! simulator and on the CAS-based hardware backend (one OS thread per
 //! process), at several process counts, and writes a `BENCH_pr6.json`
-//! artifact with per-case wall-clock min/mean and shared-access counts.
+//! artifact with per-case wall-clock min/mean, shared-access counts, and
+//! DSM RMR totals (billed identically on both backends, so the column is
+//! directly comparable across `sim` and `atomic` rows).
+//!
+//! A failed case — a diverged run, a panicked hardware thread, the
+//! hardware trial watchdog — is reported on stderr and recorded in the
+//! artifact's `"failures"` array; the remaining cases still run and the
+//! binary exits nonzero.
 //!
 //! On a single-core host the atomic-backend numbers measure
 //! synchronization *overhead* (threads time-slice on one CPU), not
@@ -15,16 +22,20 @@
 //! [--backend sim|atomic|both]` (defaults: `BENCH_pr6.json`, 5 samples,
 //! n ∈ {2, 4}, both backends).
 
-use llsc_bench::xcheck::{e18_case, BackendKind, E18Row};
+use llsc_bench::xcheck::{e18_case, BackendKind, E18Row, XcheckError};
 use llsc_objects::FetchIncrement;
-use llsc_shmem::Value;
+use llsc_shmem::{json, Value};
 use llsc_universal::{DirectLlSc, ImplAlgorithm};
 use llsc_wakeup::CounterWakeup;
+use std::process::ExitCode;
 use std::sync::Arc;
 
 const MAX_STEPS: u64 = 10_000_000;
 
-fn main() {
+/// One case that failed to produce a row: workload, backend, n, error.
+type FailedCase = (&'static str, BackendKind, usize, String);
+
+fn main() -> ExitCode {
     let mut out = String::from("BENCH_pr6.json");
     let mut samples: u32 = 5;
     let mut ns: Vec<usize> = vec![2, 4];
@@ -73,9 +84,30 @@ fn main() {
     let spec = Arc::new(FetchIncrement::new(64));
     let imp = DirectLlSc::new(spec);
     let mut rows: Vec<E18Row> = Vec::new();
+    let mut failures: Vec<FailedCase> = Vec::new();
+    let record = |case: Result<E18Row, XcheckError>,
+                  workload: &'static str,
+                  backend: BackendKind,
+                  n: usize,
+                  rows: &mut Vec<E18Row>,
+                  failures: &mut Vec<FailedCase>| {
+        match case {
+            Ok(row) => {
+                print_row(&row);
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!(
+                    "e18 {workload} backend={} n={n} FAILED: {e}",
+                    backend.name()
+                );
+                failures.push((workload, backend, n, e.to_string()));
+            }
+        }
+    };
     for &backend in &backends {
         for &n in &ns {
-            let row = e18_case(
+            let case = e18_case(
                 "wakeup-counter",
                 &CounterWakeup,
                 backend,
@@ -83,14 +115,19 @@ fn main() {
                 samples,
                 MAX_STEPS,
             );
-            print_row(&row);
-            rows.push(row);
+            record(case, "wakeup-counter", backend, n, &mut rows, &mut failures);
 
             let ops: Vec<Value> = vec![FetchIncrement::op(); n];
             let alg = ImplAlgorithm::new(&imp, &ops);
-            let row = e18_case("universal-direct", &alg, backend, n, samples, MAX_STEPS);
-            print_row(&row);
-            rows.push(row);
+            let case = e18_case("universal-direct", &alg, backend, n, samples, MAX_STEPS);
+            record(
+                case,
+                "universal-direct",
+                backend,
+                n,
+                &mut rows,
+                &mut failures,
+            );
         }
     }
 
@@ -102,30 +139,52 @@ fn main() {
             json.push(',');
         }
         json.push_str(&format!(
-            "{{\"experiment\":\"e18\",\"workload\":\"{}\",\"backend\":\"{}\",\"n\":{},\"wall_ms_min\":{:.3},\"wall_ms_mean\":{:.3},\"max_ops\":{},\"total_ops\":{}}}",
+            "{{\"experiment\":\"e18\",\"workload\":\"{}\",\"backend\":\"{}\",\"n\":{},\"wall_ms_min\":{:.3},\"wall_ms_mean\":{:.3},\"max_ops\":{},\"total_ops\":{},\"dsm_rmrs\":{}}}",
             r.workload,
             r.backend.name(),
             r.n,
             r.wall_ms_min,
             r.wall_ms_mean,
             r.max_ops,
-            r.total_ops
+            r.total_ops,
+            r.dsm_rmrs
         ));
+    }
+    json.push_str("],\"failures\":[");
+    for (i, (workload, backend, n, error)) in failures.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"workload\":\"{}\",\"backend\":\"{}\",\"n\":{},\"error\":",
+            workload,
+            backend.name(),
+            n
+        ));
+        json::push_string(&mut json, error);
+        json.push('}');
     }
     json.push_str("]}\n");
     std::fs::write(&out, json).expect("cannot write the bench artifact");
     eprintln!("wrote {out}");
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} case(s) failed", failures.len());
+        ExitCode::FAILURE
+    }
 }
 
 fn print_row(r: &E18Row) {
     println!(
-        "e18 {workload:<16} backend={backend:<6} n={n:<3} min {min:>9.3}ms mean {mean:>9.3}ms max_ops={max} total_ops={total}",
+        "e18 {workload:<16} backend={backend:<6} n={n:<3} min {min:>9.3}ms mean {mean:>9.3}ms max_ops={max} total_ops={total} dsm_rmrs={dsm}",
         workload = r.workload,
         backend = r.backend.name(),
         n = r.n,
         min = r.wall_ms_min,
         mean = r.wall_ms_mean,
         max = r.max_ops,
-        total = r.total_ops
+        total = r.total_ops,
+        dsm = r.dsm_rmrs
     );
 }

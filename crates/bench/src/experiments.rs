@@ -18,11 +18,11 @@ use llsc_core::{
 // into `llsc_core` (see `crates/core/src/secretive.rs`).
 pub use llsc_core::random_move_config;
 use llsc_objects::FetchIncrement;
-use llsc_shmem::repro::{Provenance, ReproCase, ScheduleSpec, TossSpec};
+use llsc_shmem::repro::{Provenance, RecoverySpec, ReproCase, ScheduleSpec, TossSpec};
 use llsc_shmem::{
     Algorithm, ChaosPlan, CrashPlan, CrashScheduler, Executor, ExecutorConfig, FaultPlan,
-    ProcessId, RegisterId, RoundRobinScheduler, RunOutcome, SeededTosses, Sweep, TrialFailure,
-    ZeroTosses,
+    ProcessId, RecoveringCrashScheduler, RegisterId, RoundRobinScheduler, RunOutcome, SeededTosses,
+    Sweep, TrialFailure, ZeroTosses,
 };
 use llsc_universal::{
     measure, AdtTreeUniversal, CombiningTreeUniversal, DirectLlSc, HardenedAdtTreeUniversal,
@@ -30,9 +30,10 @@ use llsc_universal::{
     ObjectImplementation, ScheduleKind,
 };
 use llsc_wakeup::{
-    correct_algorithms, randomized_algorithms, CounterWakeup, HardenedCounterWakeup,
-    HardenedRandomizedCounterWakeup, HardenedTournamentWakeup, ObjectWakeup,
-    RandomizedCounterWakeup, ReductionKind, TournamentWakeup,
+    check_mutex_tokens, correct_algorithms, randomized_algorithms, CounterWakeup,
+    HardenedCounterWakeup, HardenedRandomizedCounterWakeup, HardenedTournamentWakeup, ObjectWakeup,
+    RandomizedCounterWakeup, RecoverableCounterWakeup, RecoverableMutex,
+    RecoverableRandCounterWakeup, ReductionKind, TournamentWakeup,
 };
 use std::sync::Arc;
 
@@ -1177,6 +1178,7 @@ pub fn e15_crash_degradation(
             toss: TossSpec::Seeded(failure.derived_seed),
             schedule: ScheduleSpec::RoundRobin,
             crashes: CrashPlan::seeded(failure.derived_seed, n, k, 8 * n as u64),
+            recovery: None,
             faults: FaultPlan::none(),
             max_events,
             max_steps: E15_MAX_STEPS,
@@ -1493,6 +1495,7 @@ pub fn e16_fault_degradation(
             toss: TossSpec::Seeded(failure.derived_seed),
             schedule: ScheduleSpec::RoundRobin,
             crashes: CrashPlan::none(),
+            recovery: None,
             faults: plan_for(failure.derived_seed, f),
             max_events,
             max_steps: E16_MAX_STEPS,
@@ -1751,9 +1754,305 @@ pub fn e17_chaos_mode(
     (Experiment { table, rows: cells }, failures)
 }
 
+/// One row of E19: how one recoverable algorithm's completion rate and
+/// remote-memory-reference bill grow with crash intensity under the
+/// crash-*recovery* adversary.
+#[derive(Clone, Debug)]
+pub struct E19Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of crash-recovery victims (`k`, the crash intensity).
+    pub crashed: usize,
+    /// Trials run for this `(algorithm, k)` cell.
+    pub trials: usize,
+    /// Trials that completed (every process terminated, possibly after
+    /// one or more crash/recovery cycles).
+    pub completed: usize,
+    /// Trials whose step cap fired while a victim was still down.
+    pub crash_reported: usize,
+    /// Trials that exhausted their event or step budget with every
+    /// process live.
+    pub budget_exhausted: usize,
+    /// Crashes actually delivered across the cell's trials (re-crashes
+    /// under the per-victim budget included).
+    pub crashes: u64,
+    /// Recoveries performed across the cell's trials.
+    pub recoveries: u64,
+    /// Total remote memory references under the cache-coherent cost
+    /// model across the cell (recovery cold-restarts the victim's cache,
+    /// so this is the CC-side recovery-cost curve).
+    pub cc_rmrs: u64,
+    /// Total remote memory references under the distributed-shared-memory
+    /// cost model across the cell.
+    pub dsm_rmrs: u64,
+    /// Whether every trial satisfied its algorithm's safety property
+    /// (wakeup conditions, or token distinctness for the mutex).
+    pub safety_ok: bool,
+}
+
+/// The recoverable algorithms E19 sweeps: the recoverable mutex and the
+/// two recoverable wakeup variants.
+pub(crate) fn e19_algorithm(idx: usize) -> Box<dyn Algorithm> {
+    match idx {
+        0 => Box::new(RecoverableMutex),
+        1 => Box::new(RecoverableCounterWakeup),
+        2 => Box::new(RecoverableRandCounterWakeup),
+        _ => unreachable!("E19 has 3 algorithms"),
+    }
+}
+
+/// The step cap each E19 trial's recovering drive runs under.
+const E19_MAX_STEPS: u64 = 40_000;
+
+/// The crash-recovery parameters every E19 trial (and its attached
+/// [`ReproCase`]) runs with: victims come back `n` events after each
+/// crash and may be re-crashed once (two crashes per victim in total) —
+/// enough to land re-crashes inside recovery sections without making
+/// completion hopeless.
+pub(crate) fn e19_recovery_spec(n: usize) -> RecoverySpec {
+    RecoverySpec {
+        delay: n as u64,
+        budget: 2,
+    }
+}
+
+/// E19: recovery cost vs crash intensity. Each trial runs one
+/// *recoverable* algorithm under a round-robin schedule with `k`
+/// processes crash-faulted at seeded points and revived by the
+/// [`RecoveringCrashScheduler`] (crashed processes lose their local state
+/// and re-enter through the algorithm's recovery section), then
+/// classifies the outcome and bills the run's remote memory references
+/// under both the CC and DSM cost models. `k = 0` trials must complete —
+/// a starved `max_events` makes them panic, which the panic-isolated
+/// sweep reports as [`TrialFailure`]s (each carrying a replayable
+/// [`ReproCase`] with its [`RecoverySpec`]) instead of aborting.
+///
+/// Safety is checked per algorithm: the wakeup variants against the
+/// checkable wakeup conditions, the mutex against token distinctness
+/// ([`check_mutex_tokens`]). Rows and failures merge in index order, so
+/// the output is byte-identical at every thread count.
+pub fn e19_recovery_sweep(
+    n: usize,
+    ks: &[usize],
+    reps: usize,
+    max_events: u64,
+    sweep: &Sweep,
+) -> (Experiment<E19Row>, Vec<TrialFailure>) {
+    const ALGS: usize = 3;
+    assert!(reps >= 1, "need at least one repetition per cell");
+    let mut items = Vec::with_capacity(ALGS * ks.len() * reps);
+    for a in 0..ALGS {
+        for &k in ks {
+            for rep in 0..reps {
+                items.push((a, k, rep));
+            }
+        }
+    }
+
+    let names: Vec<String> = (0..ALGS)
+        .map(|a| e19_algorithm(a).name().to_string())
+        .collect();
+    let spec = e19_recovery_spec(n);
+    let outcomes = sweep.run_fallible_with(
+        &items,
+        |trial, &(a, k, _rep)| {
+            let alg = e19_algorithm(a);
+            let cfg = ExecutorConfig {
+                max_events,
+                ..ExecutorConfig::default()
+            };
+            let mut exec = Executor::new(
+                alg.as_ref(),
+                n,
+                Arc::new(SeededTosses::new(trial.seed)),
+                cfg,
+            );
+            let plan = CrashPlan::seeded(trial.seed, n, k, 8 * n as u64);
+            let mut sched = RecoveringCrashScheduler::new(
+                RoundRobinScheduler::new(),
+                &plan,
+                spec.delay,
+                spec.budget,
+            );
+            let _ = sched.drive(&mut exec, alg.as_ref(), E19_MAX_STEPS);
+            let outcome = exec.run_outcome();
+            if k == 0 {
+                assert!(
+                    matches!(outcome, RunOutcome::Completed),
+                    "{}: crash-free trial must complete, got {outcome} (seed {:#018x})",
+                    alg.name(),
+                    trial.seed
+                );
+            }
+            let safe = if a == 0 {
+                check_mutex_tokens((0..n).map(|i| exec.verdict(ProcessId(i))), n).is_ok()
+            } else {
+                check_wakeup(exec.run()).ok()
+            };
+            let counters = exec.run().counters();
+            (
+                outcome,
+                safe,
+                counters.total_crashes(),
+                counters.total_recoveries(),
+                counters.total_cc_rmrs(),
+                counters.total_dsm_rmrs(),
+            )
+        },
+        |trial, &(a, k, _rep)| {
+            format!(
+                "alg={} n={n} recovery-crash-plan:k={k},window={},delay={},budget={} \
+                 tosses=seeded:{:#018x}",
+                names[a],
+                8 * n as u64,
+                spec.delay,
+                spec.budget,
+                trial.seed
+            )
+        },
+    );
+    let mut failures = Vec::new();
+    let mut cells: Vec<E19Row> = Vec::new();
+    for ((a, k, _rep), result) in items.iter().zip(outcomes) {
+        if cells
+            .last()
+            .is_none_or(|c| c.algorithm != names[*a] || c.crashed != *k)
+        {
+            cells.push(E19Row {
+                algorithm: names[*a].clone(),
+                crashed: *k,
+                trials: 0,
+                completed: 0,
+                crash_reported: 0,
+                budget_exhausted: 0,
+                crashes: 0,
+                recoveries: 0,
+                cc_rmrs: 0,
+                dsm_rmrs: 0,
+                safety_ok: true,
+            });
+        }
+        let cell = cells.last_mut().expect("cell pushed above");
+        match result {
+            Ok((outcome, safe, crashes, recoveries, cc, dsm)) => {
+                cell.trials += 1;
+                cell.safety_ok &= safe;
+                cell.crashes += crashes;
+                cell.recoveries += recoveries;
+                cell.cc_rmrs += cc;
+                cell.dsm_rmrs += dsm;
+                match outcome {
+                    RunOutcome::Completed => cell.completed += 1,
+                    RunOutcome::Crashed { .. } => cell.crash_reported += 1,
+                    RunOutcome::BudgetExhausted { .. } => cell.budget_exhausted += 1,
+                    RunOutcome::DivergedLocalBurst { pid } => {
+                        unreachable!("E19 local sections are finite, yet {pid} diverged")
+                    }
+                    RunOutcome::FaultInjected { .. } => {
+                        unreachable!("E19 injects crash faults only, never memory faults")
+                    }
+                }
+            }
+            Err(f) => failures.push(f),
+        }
+    }
+    attach_repro(&mut failures, sweep, |failure| {
+        let (a, k, _rep) = items[failure.index];
+        ReproCase {
+            experiment: "e19".to_string(),
+            algorithm: names[a].clone(),
+            n,
+            toss: TossSpec::Seeded(failure.derived_seed),
+            schedule: ScheduleSpec::RoundRobin,
+            crashes: CrashPlan::seeded(failure.derived_seed, n, k, 8 * n as u64),
+            recovery: Some(spec),
+            faults: FaultPlan::none(),
+            max_events,
+            max_steps: E19_MAX_STEPS,
+            outcome: String::new(),
+            class: String::new(),
+            provenance: None,
+        }
+    });
+
+    let mut table = Table::new(
+        format!(
+            "E19 - recovery cost vs crash intensity (n = {n}, {reps} trials per cell, \
+             recovery delay {}, crash budget {})",
+            spec.delay, spec.budget
+        ),
+        [
+            "algorithm",
+            "crashed",
+            "trials",
+            "completed",
+            "crash reported",
+            "budget exhausted",
+            "crashes",
+            "recoveries",
+            "CC RMRs",
+            "DSM RMRs",
+            "safety",
+        ],
+    );
+    for r in &cells {
+        table.row([
+            r.algorithm.clone(),
+            r.crashed.to_string(),
+            r.trials.to_string(),
+            r.completed.to_string(),
+            r.crash_reported.to_string(),
+            r.budget_exhausted.to_string(),
+            r.crashes.to_string(),
+            r.recoveries.to_string(),
+            r.cc_rmrs.to_string(),
+            r.dsm_rmrs.to_string(),
+            if r.safety_ok { "ok" } else { "VIOLATED" }.to_string(),
+        ]);
+    }
+    (Experiment { table, rows: cells }, failures)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e19_recovers_crashes_and_bills_rmrs() {
+        let (exp, failures) = e19_recovery_sweep(6, &[0, 2], 3, 2_000_000, &Sweep::sequential());
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(exp.rows.len(), 6, "3 algorithms x 2 crash counts");
+        for r in &exp.rows {
+            assert!(r.safety_ok, "{}: safety must survive recovery", r.algorithm);
+            assert_eq!(r.trials, 3);
+            assert_eq!(
+                r.completed + r.crash_reported + r.budget_exhausted,
+                r.trials,
+                "{}: every trial classifies",
+                r.algorithm
+            );
+            assert!(
+                r.cc_rmrs > 0 && r.dsm_rmrs > 0,
+                "{}: RMRs billed",
+                r.algorithm
+            );
+            if r.crashed == 0 {
+                assert_eq!(
+                    r.completed, 3,
+                    "{}: crash-free trials complete",
+                    r.algorithm
+                );
+                assert_eq!((r.crashes, r.recoveries), (0, 0));
+            } else {
+                assert!(r.crashes > 0, "{}: victims actually crash", r.algorithm);
+                assert_eq!(
+                    r.recoveries, r.crashes,
+                    "{}: every delivered crash is recovered",
+                    r.algorithm
+                );
+            }
+        }
+    }
 
     #[test]
     fn e1_small_sweep_passes() {

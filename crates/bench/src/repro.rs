@@ -6,7 +6,7 @@
 //! glue:
 //!
 //! * [`resolve_algorithm`] — the name → constructor registry covering
-//!   every algorithm the E15/E16/E17 fault experiments run (including the
+//!   every algorithm the E15/E16/E17/E19 fault experiments run (including the
 //!   labeled `ObjectWakeup` rows whose display names disambiguate the
 //!   backing universal construction);
 //! * [`run_case`] / [`run_case_with`] — execute a case under panic
@@ -20,10 +20,11 @@
 //! The `llsc replay` and `llsc shrink` subcommands are thin wrappers over
 //! these functions.
 
-use crate::experiments::{e15_algorithm, e16_algorithm, e16_unhardened_twin};
+use crate::experiments::{e15_algorithm, e16_algorithm, e16_unhardened_twin, e19_algorithm};
 use llsc_core::check_wakeup;
 use llsc_shmem::repro::{execute, shrink, ReproCase, ShrinkReport};
 use llsc_shmem::{Algorithm, ProcessId, RunOutcome};
+use llsc_wakeup::check_mutex_tokens;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Resolves an algorithm name recorded in a [`ReproCase`] back to a
@@ -31,7 +32,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 ///
 /// The registry scans the experiment catalogs in a fixed order (E16
 /// hardened algorithms and their labeled `ObjectWakeup` rows, then the
-/// E15 algorithms, then the unhardened twins), so a name that appears in
+/// E15 algorithms, then the E19 recoverable algorithms, then the
+/// unhardened twins), so a name that appears in
 /// several catalogs — e.g. `counter-wakeup`, which E15 runs directly and
 /// E16 uses as a twin — resolves to the same construction every time.
 pub fn resolve_algorithm(name: &str, n: usize) -> Option<Box<dyn Algorithm>> {
@@ -51,6 +53,12 @@ pub fn resolve_algorithm(name: &str, n: usize) -> Option<Box<dyn Algorithm>> {
     }
     for idx in 0..4 {
         let alg = e15_algorithm(idx, n);
+        if alg.name() == name {
+            return Some(alg);
+        }
+    }
+    for idx in 0..3 {
+        let alg = e19_algorithm(idx);
         if alg.name() == name {
             return Some(alg);
         }
@@ -126,7 +134,17 @@ pub fn run_case_with(case: &ReproCase, alg: &dyn Algorithm) -> CaseRun {
                     + universal.as_int().unwrap_or(0).max(0) as u64
             })
             .sum();
-        let safe = check_wakeup(replayed.exec.run()).ok();
+        // The recoverable mutex returns tokens, not wakeup bits: judge it
+        // on token distinctness instead of the wakeup conditions.
+        let safe = if case.algorithm == "recoverable-mutex" {
+            check_mutex_tokens(
+                (0..case.n).map(|i| replayed.exec.verdict(ProcessId(i))),
+                case.n,
+            )
+            .is_ok()
+        } else {
+            check_wakeup(replayed.exec.run()).ok()
+        };
         (replayed.outcome, replayed.trace, detected, safe)
     }));
     match replayed {
@@ -236,6 +254,7 @@ mod tests {
             toss: TossSpec::Seeded(seed),
             schedule: ScheduleSpec::RoundRobin,
             crashes: CrashPlan::none(),
+            recovery: None,
             faults: FaultPlan::none(),
             max_events: 2_000_000,
             max_steps: 40_000,
@@ -266,7 +285,53 @@ mod tests {
             let twin = e16_unhardened_twin(idx, 4).name().to_string();
             assert!(resolve_algorithm(&twin, 4).is_some(), "{twin}");
         }
+        for idx in 0..3 {
+            let name = e19_algorithm(idx).name().to_string();
+            let resolved = resolve_algorithm(&name, 4).expect("e19 name resolves");
+            assert_eq!(resolved.name(), name);
+        }
         assert!(resolve_algorithm("no-such-algorithm", 4).is_none());
+    }
+
+    #[test]
+    fn recoverable_mutex_case_judged_on_tokens_not_wakeup() {
+        // A clean recoverable-mutex run returns tokens 1..=n, which the
+        // wakeup checker would reject; the token checker accepts it.
+        let case = clean_case("recoverable-mutex", 4, 5);
+        let run = run_case(&case).unwrap();
+        assert_eq!(run.outcome_debug, "Completed");
+        assert_eq!(run.class, "recovered");
+        assert!(run.safe);
+    }
+
+    #[test]
+    fn crashed_recoverable_case_replays_and_shrinks_with_class_preserved() {
+        use llsc_shmem::repro::RecoverySpec;
+
+        // Crash-stop (no recovery): the victim stays down and the case
+        // classifies as crashed.
+        let mut case = clean_case("recoverable-mutex", 4, 9);
+        case.crashes = CrashPlan::at([(ProcessId(1), 2)]);
+        let run = run_case(&case).unwrap();
+        assert_eq!(run.class, "crashed");
+        case.class = run.class.clone();
+        case.outcome = run.outcome_debug.clone();
+
+        let report = shrink_case(&case, 500).unwrap();
+        assert_eq!(report.case.class, "crashed", "class preserved");
+        let replayed = run_case(&report.case).unwrap();
+        assert_eq!(replayed.class, "crashed");
+        assert_eq!(replayed.outcome_debug, report.case.outcome);
+
+        // The same crash with a recovery spec revives the victim and the
+        // trial completes safely.
+        case.recovery = Some(RecoverySpec {
+            delay: 4,
+            budget: 1,
+        });
+        let recovered = run_case(&case).unwrap();
+        assert_eq!(recovered.class, "recovered");
+        assert!(recovered.safe);
     }
 
     #[test]

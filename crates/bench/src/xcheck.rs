@@ -26,15 +26,59 @@
 //! On a single-core host the hardware numbers measure synchronization
 //! *overhead*, not scaling; see EXPERIMENTS.md.
 
-use llsc_atomics::{run_threads, HwMemory, HwRun};
+use llsc_atomics::{run_threads_watchdog, HwMemory, HwRun, HwRunError};
 use llsc_objects::{is_linearizable, History, ObjectSpec};
 use llsc_shmem::{
     Algorithm, Executor, ExecutorConfig, ProcessId, RandomScheduler, RoundRobinScheduler, RunError,
     Scheduler, SeededTosses, SequentialScheduler, Value,
 };
 use llsc_universal::{ImplAlgorithm, ObjectImplementation};
+use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Wall-clock deadline for one hardware trial: generous against slow CI
+/// hosts, tiny against a CI job-level kill. A wedged trial (livelock
+/// under a huge `max_steps` budget, an OS-starved thread that never
+/// runs) fails cleanly with [`HwRunError::WatchdogTimeout`] instead of
+/// hanging the harness — the hardware mirror of the simulator sweeps'
+/// `--trial-timeout-ms`.
+const HW_TRIAL_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Why a cross-validation (or E18 case) was inconclusive: one of the two
+/// backends failed to produce a run. Distinct from a `FAIL` report,
+/// which is a *conclusive* disagreement between backends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XcheckError {
+    /// The simulator side failed (budget exhaustion, divergence).
+    Sim(RunError),
+    /// The hardware side failed (divergence, a panicked process thread,
+    /// or the trial watchdog).
+    Hw(HwRunError),
+}
+
+impl fmt::Display for XcheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XcheckError::Sim(e) => write!(f, "simulator backend: {e}"),
+            XcheckError::Hw(e) => write!(f, "hardware backend: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XcheckError {}
+
+impl From<RunError> for XcheckError {
+    fn from(e: RunError) -> XcheckError {
+        XcheckError::Sim(e)
+    }
+}
+
+impl From<HwRunError> for XcheckError {
+    fn from(e: HwRunError) -> XcheckError {
+        XcheckError::Hw(e)
+    }
+}
 
 /// Limits and trial counts for one cross-validation.
 #[derive(Clone, Debug)]
@@ -77,11 +121,17 @@ pub struct XcheckTrial {
     pub seed: u64,
     /// Worst per-process shared-access count of the trial.
     pub max_ops: u64,
+    /// Worst per-process DSM RMR count of the trial (remoteness is
+    /// history-free — `home(R) = R mod n` — so both backends bill it
+    /// identically per access; see [`llsc_shmem::dsm_cost`]).
+    pub max_dsm_rmrs: u64,
     /// Whether the trial's history passed the safety check
     /// (linearizability, or wakeup validity).
     pub safe: bool,
     /// Whether `max_ops` landed inside the simulator envelope.
     pub in_envelope: bool,
+    /// Whether `max_dsm_rmrs` landed inside the simulator DSM envelope.
+    pub in_dsm_envelope: bool,
 }
 
 /// The outcome of one simulator ⇄ hardware cross-validation.
@@ -98,6 +148,11 @@ pub struct XcheckReport {
     pub sim_envelope: (u64, u64),
     /// The acceptance interval derived from the envelope.
     pub accept: (u64, u64),
+    /// `(min, max)` of the worst per-process DSM RMR count over the
+    /// simulator schedules.
+    pub sim_dsm_envelope: (u64, u64),
+    /// The acceptance interval derived from the DSM envelope.
+    pub dsm_accept: (u64, u64),
     /// Per-trial hardware verdicts.
     pub trials: Vec<XcheckTrial>,
     /// Whether the envelope verdicts counted toward `ok` (false in
@@ -114,18 +169,21 @@ impl XcheckReport {
         kind: &'static str,
         n: usize,
         sim_envelope: (u64, u64),
+        sim_dsm_envelope: (u64, u64),
         trials: Vec<XcheckTrial>,
         envelope_checked: bool,
     ) -> XcheckReport {
         let ok = trials
             .iter()
-            .all(|t| t.safe && (!envelope_checked || t.in_envelope));
+            .all(|t| t.safe && (!envelope_checked || (t.in_envelope && t.in_dsm_envelope)));
         XcheckReport {
             subject,
             kind,
             n,
             sim_envelope,
             accept: accept_interval(sim_envelope),
+            sim_dsm_envelope,
+            dsm_accept: accept_interval(sim_dsm_envelope),
             trials,
             envelope_checked,
             ok,
@@ -135,7 +193,7 @@ impl XcheckReport {
     /// A compact human-readable rendering, one line per trial.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "xcheck {kind} {subject}: n={n} sim envelope [{lo}, {hi}] accept [{alo}, {ahi}]{mode}\n",
+            "xcheck {kind} {subject}: n={n} sim envelope [{lo}, {hi}] accept [{alo}, {ahi}] dsm [{dlo}, {dhi}] accept [{dalo}, {dahi}]{mode}\n",
             kind = self.kind,
             subject = self.subject,
             n = self.n,
@@ -143,6 +201,10 @@ impl XcheckReport {
             hi = self.sim_envelope.1,
             alo = self.accept.0,
             ahi = self.accept.1,
+            dlo = self.sim_dsm_envelope.0,
+            dhi = self.sim_dsm_envelope.1,
+            dalo = self.dsm_accept.0,
+            dahi = self.dsm_accept.1,
             mode = if self.envelope_checked {
                 ""
             } else {
@@ -151,11 +213,13 @@ impl XcheckReport {
         );
         for t in &self.trials {
             out.push_str(&format!(
-                "  trial seed={seed:<4} max_ops={ops:<6} safe={safe} in_envelope={env}\n",
+                "  trial seed={seed:<4} max_ops={ops:<6} dsm_rmrs={dsm:<6} safe={safe} in_envelope={env} in_dsm_envelope={denv}\n",
                 seed = t.seed,
                 ops = t.max_ops,
+                dsm = t.max_dsm_rmrs,
                 safe = t.safe,
                 env = t.in_envelope,
+                denv = t.in_dsm_envelope,
             ));
         }
         out.push_str(if self.ok { "  PASS\n" } else { "  FAIL\n" });
@@ -179,14 +243,15 @@ fn sim_schedules(seeds: &[u64]) -> Vec<Box<dyn Scheduler>> {
     scheds
 }
 
-/// Worst per-process shared-access count of one simulated run.
-fn sim_max_ops(
+/// Worst per-process (shared-access, DSM RMR) counts of one simulated
+/// run.
+fn sim_max_costs(
     alg: &dyn Algorithm,
     n: usize,
     toss_seed: u64,
     sched: &mut dyn Scheduler,
     max_steps: u64,
-) -> Result<u64, RunError> {
+) -> Result<(u64, u64), RunError> {
     let mut exec = Executor::new(
         alg,
         n,
@@ -196,10 +261,24 @@ fn sim_max_ops(
     exec.drive(sched, max_steps)?;
     exec.run_outcome().into_result()?;
     let run = exec.into_run();
-    Ok(ProcessId::all(n)
+    let ops = ProcessId::all(n)
         .map(|p| run.shared_steps(p))
         .max()
-        .unwrap_or(0))
+        .unwrap_or(0);
+    let dsm = ProcessId::all(n)
+        .map(|p| run.dsm_rmrs(p))
+        .max()
+        .unwrap_or(0);
+    Ok((ops, dsm))
+}
+
+/// The `(min, max)` simulator envelopes for the two comparable cost
+/// measures: worst per-process shared accesses and worst per-process
+/// DSM RMRs. (CC RMRs depend on coherence history the hardware cannot
+/// observe, so they are not cross-checked.)
+struct SimEnvelopes {
+    ops: (u64, u64),
+    dsm: (u64, u64),
 }
 
 /// The `(min, max)` worst-case count over the envelope schedules that
@@ -213,31 +292,31 @@ fn sim_envelope(
     alg: &dyn Algorithm,
     cfg: &XcheckConfig,
     toss_seed: u64,
-) -> Result<(u64, u64), RunError> {
-    let mut lo = u64::MAX;
-    let mut hi = 0;
+) -> Result<SimEnvelopes, RunError> {
+    let mut ops = (u64::MAX, 0);
+    let mut dsm = (u64::MAX, 0);
     let mut completed = false;
     let mut last_err = None;
     for mut sched in sim_schedules(&cfg.sim_seeds) {
-        match sim_max_ops(alg, cfg.n, toss_seed, sched.as_mut(), cfg.max_steps) {
-            Ok(max) => {
-                lo = lo.min(max);
-                hi = hi.max(max);
+        match sim_max_costs(alg, cfg.n, toss_seed, sched.as_mut(), cfg.max_steps) {
+            Ok((max_ops, max_dsm)) => {
+                ops = (ops.0.min(max_ops), ops.1.max(max_ops));
+                dsm = (dsm.0.min(max_dsm), dsm.1.max(max_dsm));
                 completed = true;
             }
             Err(e) => last_err = Some(e),
         }
     }
     if completed {
-        Ok((lo, hi))
+        Ok(SimEnvelopes { ops, dsm })
     } else {
         Err(last_err.expect("at least one schedule ran"))
     }
 }
 
-fn hw_trial(alg: &dyn Algorithm, n: usize, seed: u64, max_steps: u64) -> Result<HwRun, RunError> {
+fn hw_trial(alg: &dyn Algorithm, n: usize, seed: u64, max_steps: u64) -> Result<HwRun, HwRunError> {
     let mem = HwMemory::for_algorithm(alg, n, Arc::new(SeededTosses::new(seed)));
-    run_threads(alg, &mem, max_steps)
+    run_threads_watchdog(alg, &mem, max_steps, HW_TRIAL_DEADLINE)
 }
 
 /// Wakeup validity on hardware: everyone terminates with 0/1, someone
@@ -267,34 +346,41 @@ fn wakeup_run_valid(run: &HwRun) -> bool {
     winners >= 1
 }
 
-/// Cross-validates a wakeup algorithm: simulator envelope vs hardware
-/// trials, hardware runs checked for wakeup validity.
+/// Cross-validates a wakeup algorithm: simulator envelopes (shared
+/// accesses and DSM RMRs) vs hardware trials, hardware runs checked for
+/// wakeup validity.
 ///
 /// # Errors
 ///
-/// Returns the first [`RunError`] from either backend (budget
-/// exhaustion, divergence) — an error is an inconclusive run, distinct
-/// from a `FAIL` report.
-pub fn xcheck_wakeup(alg: &dyn Algorithm, cfg: &XcheckConfig) -> Result<XcheckReport, RunError> {
-    let envelope = sim_envelope(alg, cfg, 1)?;
-    let accept = accept_interval(envelope);
+/// Returns the first [`XcheckError`] from either backend (budget
+/// exhaustion, divergence, a panicked hardware thread, the trial
+/// watchdog) — an error is an inconclusive run, distinct from a `FAIL`
+/// report.
+pub fn xcheck_wakeup(alg: &dyn Algorithm, cfg: &XcheckConfig) -> Result<XcheckReport, XcheckError> {
+    let envelopes = sim_envelope(alg, cfg, 1)?;
+    let accept = accept_interval(envelopes.ops);
+    let dsm_accept = accept_interval(envelopes.dsm);
     let mut trials = Vec::with_capacity(cfg.trials);
     for trial in 0..cfg.trials {
         let seed = trial as u64 + 1;
         let run = hw_trial(alg, cfg.n, seed, cfg.max_steps)?;
         let max_ops = run.max_ops();
+        let max_dsm_rmrs = run.max_dsm_rmrs();
         trials.push(XcheckTrial {
             seed,
             max_ops,
+            max_dsm_rmrs,
             safe: wakeup_run_valid(&run),
             in_envelope: (accept.0..=accept.1).contains(&max_ops),
+            in_dsm_envelope: (dsm_accept.0..=dsm_accept.1).contains(&max_dsm_rmrs),
         });
     }
     Ok(XcheckReport::finish(
         alg.name().to_string(),
         "wakeup",
         cfg.n,
-        envelope,
+        envelopes.ops,
+        envelopes.dsm,
         trials,
         cfg.check_envelope,
     ))
@@ -324,13 +410,13 @@ fn hw_history(run: &HwRun, ops: &[Value]) -> History {
     h
 }
 
-/// Cross-validates a universal construction: the simulator envelope
-/// comes from running [`ImplAlgorithm`] under the standard schedules;
+/// Cross-validates a universal construction: the simulator envelopes
+/// come from running [`ImplAlgorithm`] under the standard schedules;
 /// every hardware trial's stamped history must linearize against `spec`.
 ///
 /// # Errors
 ///
-/// Returns the first [`RunError`] from either backend.
+/// Returns the first [`XcheckError`] from either backend.
 ///
 /// # Panics
 ///
@@ -340,29 +426,34 @@ pub fn xcheck_universal(
     spec: &dyn ObjectSpec,
     ops: &[Value],
     cfg: &XcheckConfig,
-) -> Result<XcheckReport, RunError> {
+) -> Result<XcheckReport, XcheckError> {
     assert_eq!(ops.len(), cfg.n, "one operation per process");
     let alg = ImplAlgorithm::new(imp, ops);
-    let envelope = sim_envelope(&alg, cfg, 1)?;
-    let accept = accept_interval(envelope);
+    let envelopes = sim_envelope(&alg, cfg, 1)?;
+    let accept = accept_interval(envelopes.ops);
+    let dsm_accept = accept_interval(envelopes.dsm);
     let mut trials = Vec::with_capacity(cfg.trials);
     for trial in 0..cfg.trials {
         let seed = trial as u64 + 1;
         let run = hw_trial(&alg, cfg.n, seed, cfg.max_steps)?;
         let max_ops = run.max_ops();
+        let max_dsm_rmrs = run.max_dsm_rmrs();
         let history = hw_history(&run, ops);
         trials.push(XcheckTrial {
             seed,
             max_ops,
+            max_dsm_rmrs,
             safe: is_linearizable(spec, &history),
             in_envelope: (accept.0..=accept.1).contains(&max_ops),
+            in_dsm_envelope: (dsm_accept.0..=dsm_accept.1).contains(&max_dsm_rmrs),
         });
     }
     Ok(XcheckReport::finish(
         imp.name(),
         "universal",
         cfg.n,
-        envelope,
+        envelopes.ops,
+        envelopes.dsm,
         trials,
         cfg.check_envelope,
     ))
@@ -413,23 +504,34 @@ pub struct E18Row {
     pub max_ops: u64,
     /// Total shared accesses of the last sample.
     pub total_ops: u64,
+    /// Total DSM RMRs of the last sample — billed identically per
+    /// access on both backends (`home(R) = R mod n`), so the column is
+    /// directly comparable across the `sim` and `atomic` rows.
+    pub dsm_rmrs: u64,
 }
 
-fn time_samples<F: FnMut() -> (u64, u64)>(samples: u32, mut f: F) -> (f64, f64, u64, u64) {
+/// Per-sample costs an E18 case reports: worst per-process shared
+/// accesses, total shared accesses, total DSM RMRs.
+type CaseCosts = (u64, u64, u64);
+
+fn time_samples<F: FnMut() -> Result<CaseCosts, XcheckError>>(
+    samples: u32,
+    mut f: F,
+) -> Result<(f64, f64, CaseCosts), XcheckError> {
     let mut min = f64::INFINITY;
     let mut sum = 0.0;
-    let mut last = (0, 0);
+    let mut last = (0, 0, 0);
     for _ in 0..samples {
         let started = Instant::now();
-        last = f();
+        last = f()?;
         let ms = started.elapsed().as_secs_f64() * 1e3;
         min = min.min(ms);
         sum += ms;
     }
-    (min, sum / f64::from(samples), last.0, last.1)
+    Ok((min, sum / f64::from(samples), last))
 }
 
-fn run_sim_case(alg: &dyn Algorithm, n: usize, max_steps: u64) -> (u64, u64) {
+fn run_sim_case(alg: &dyn Algorithm, n: usize, max_steps: u64) -> Result<CaseCosts, XcheckError> {
     let mut sched = RoundRobinScheduler::new();
     let mut exec = Executor::new(
         alg,
@@ -437,25 +539,40 @@ fn run_sim_case(alg: &dyn Algorithm, n: usize, max_steps: u64) -> (u64, u64) {
         Arc::new(SeededTosses::new(1)),
         ExecutorConfig::lightweight(),
     );
-    exec.drive(&mut sched, max_steps)
-        .expect("sim case completes");
-    exec.run_outcome().into_result().expect("sim case clean");
+    exec.drive(&mut sched, max_steps)?;
+    exec.run_outcome().into_result()?;
     let run = exec.into_run();
     let per: Vec<u64> = ProcessId::all(n).map(|p| run.shared_steps(p)).collect();
-    (per.iter().copied().max().unwrap_or(0), per.iter().sum())
+    let dsm: u64 = ProcessId::all(n).map(|p| run.dsm_rmrs(p)).sum();
+    Ok((
+        per.iter().copied().max().unwrap_or(0),
+        per.iter().sum(),
+        dsm,
+    ))
 }
 
-fn run_hw_case(alg: &dyn Algorithm, n: usize, max_steps: u64) -> (u64, u64) {
+fn run_hw_case(alg: &dyn Algorithm, n: usize, max_steps: u64) -> Result<CaseCosts, XcheckError> {
     let mem = HwMemory::for_algorithm(alg, n, Arc::new(SeededTosses::new(1)));
     // Throughput runs time the memory, not the history log.
     mem.set_recording(false);
-    let run = run_threads(alg, &mem, max_steps).expect("hw case completes");
+    let run = run_threads_watchdog(alg, &mem, max_steps, HW_TRIAL_DEADLINE)?;
     let per: Vec<u64> = run.results.iter().map(|r| r.ops).collect();
-    (per.iter().copied().max().unwrap_or(0), per.iter().sum())
+    Ok((
+        per.iter().copied().max().unwrap_or(0),
+        per.iter().sum(),
+        run.total_dsm_rmrs(),
+    ))
 }
 
 /// Runs one E18 case: `alg` on `backend` with `n` processes, timed over
 /// `samples` repetitions.
+///
+/// # Errors
+///
+/// Returns the [`XcheckError`] of the first failed sample — a diverged
+/// or budget-starved run on either backend, a panicked hardware thread,
+/// or the hardware trial watchdog. The caller (`bench_e18`, `llsc
+/// bench`) reports the failed case and keeps going.
 pub fn e18_case(
     workload: &'static str,
     alg: &dyn Algorithm,
@@ -463,12 +580,12 @@ pub fn e18_case(
     n: usize,
     samples: u32,
     max_steps: u64,
-) -> E18Row {
-    let (wall_ms_min, wall_ms_mean, max_ops, total_ops) = match backend {
-        BackendKind::Sim => time_samples(samples, || run_sim_case(alg, n, max_steps)),
-        BackendKind::Atomic => time_samples(samples, || run_hw_case(alg, n, max_steps)),
+) -> Result<E18Row, XcheckError> {
+    let (wall_ms_min, wall_ms_mean, (max_ops, total_ops, dsm_rmrs)) = match backend {
+        BackendKind::Sim => time_samples(samples, || run_sim_case(alg, n, max_steps))?,
+        BackendKind::Atomic => time_samples(samples, || run_hw_case(alg, n, max_steps))?,
     };
-    E18Row {
+    Ok(E18Row {
         workload,
         backend,
         n,
@@ -476,7 +593,8 @@ pub fn e18_case(
         wall_ms_mean,
         max_ops,
         total_ops,
-    }
+        dsm_rmrs,
+    })
 }
 
 #[cfg(test)]
@@ -501,13 +619,16 @@ mod tests {
         let out_of_envelope = XcheckTrial {
             seed: 1,
             max_ops: 1_000_000,
+            max_dsm_rmrs: 1_000_000,
             safe: true,
             in_envelope: false,
+            in_dsm_envelope: false,
         };
         let checked = XcheckReport::finish(
             "x".into(),
             "universal",
             2,
+            (1, 2),
             (1, 2),
             vec![out_of_envelope.clone()],
             true,
@@ -518,6 +639,7 @@ mod tests {
             "universal",
             2,
             (1, 2),
+            (1, 2),
             vec![out_of_envelope],
             false,
         );
@@ -526,18 +648,37 @@ mod tests {
         let unsafe_trial = XcheckTrial {
             seed: 1,
             max_ops: 1,
+            max_dsm_rmrs: 1,
             safe: false,
             in_envelope: true,
+            in_dsm_envelope: true,
         };
         let report = XcheckReport::finish(
             "x".into(),
             "universal",
             2,
             (1, 2),
+            (1, 2),
             vec![unsafe_trial],
             false,
         );
         assert!(!report.ok, "safety failures still fail safety-only mode");
+    }
+
+    #[test]
+    fn dsm_envelope_miss_fails_a_full_check() {
+        let trial = XcheckTrial {
+            seed: 1,
+            max_ops: 2,
+            max_dsm_rmrs: 1_000_000,
+            safe: true,
+            in_envelope: true,
+            in_dsm_envelope: false,
+        };
+        let report =
+            XcheckReport::finish("x".into(), "wakeup", 2, (1, 2), (1, 2), vec![trial], true);
+        assert!(!report.ok, "a DSM envelope miss is a backend disagreement");
+        assert!(report.render().contains("dsm_rmrs="));
     }
 
     #[test]
@@ -574,11 +715,33 @@ mod tests {
     #[test]
     fn e18_case_reports_costs_on_both_backends() {
         for backend in [BackendKind::Sim, BackendKind::Atomic] {
-            let row = e18_case("wakeup-counter", &CounterWakeup, backend, 2, 2, 100_000);
+            let row = e18_case("wakeup-counter", &CounterWakeup, backend, 2, 2, 100_000)
+                .expect("case completes");
             assert!(row.total_ops > 0, "{:?} counted ops", backend);
             assert!(row.max_ops <= row.total_ops);
+            assert!(row.dsm_rmrs > 0, "{:?} billed DSM RMRs", backend);
             assert!(row.wall_ms_min <= row.wall_ms_mean);
         }
+    }
+
+    #[test]
+    fn hardware_panic_is_reported_not_fatal() {
+        use llsc_shmem::dsl::done;
+        use llsc_shmem::FnAlgorithm;
+        let alg = FnAlgorithm::new("hw-panicker", |pid: ProcessId, _n| {
+            assert!(pid.0 != 1, "injected panic");
+            done(Value::from(1i64)).into_program()
+        });
+        let err = e18_case("hw-panicker", &alg, BackendKind::Atomic, 2, 1, 1_000)
+            .expect_err("the panicking case must fail, not abort");
+        assert!(
+            matches!(
+                err,
+                XcheckError::Hw(llsc_atomics::HwRunError::ThreadPanic { .. })
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("panicked"), "{err}");
     }
 
     #[test]

@@ -59,6 +59,17 @@ pub trait ExecutionBackend: Send + Sync {
     /// `t(p, R)` accounting summed over registers.
     fn shared_accesses(&self, p: ProcessId) -> u64;
 
+    /// Remote memory references `p` has been billed so far under the
+    /// distributed-shared-memory cost model (`home(R) = R mod n`, see
+    /// [`crate::dsm_home`]). DSM remoteness is a pure function of
+    /// `(process, register, n)`, so *every* backend can account it
+    /// locally — unlike the cache-coherent charge, which needs the
+    /// coherence history the simulator's executor tracks. Defaults to 0
+    /// for backends that do not bill RMRs.
+    fn dsm_rmrs(&self, _p: ProcessId) -> u64 {
+        0
+    }
+
     /// Diagnostic: the register's current value without performing an
     /// operation (no access is counted and no link state changes).
     fn peek(&self, r: RegisterId) -> Value;
@@ -90,6 +101,7 @@ pub struct SimBackend {
     mem: Mutex<SharedMemory>,
     toss: Arc<dyn TossAssignment>,
     accesses: Vec<AtomicU64>,
+    dsm_rmrs: Vec<AtomicU64>,
     tosses: Vec<AtomicU64>,
 }
 
@@ -101,6 +113,7 @@ impl SimBackend {
             mem: Mutex::new(SharedMemory::new()),
             toss,
             accesses: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            dsm_rmrs: (0..n).map(|_| AtomicU64::new(0)).collect(),
             tosses: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -135,6 +148,10 @@ impl ExecutionBackend for SimBackend {
 
     fn apply(&self, p: ProcessId, op: &Operation) -> Response {
         self.accesses[p.0].fetch_add(1, Ordering::Relaxed);
+        let dsm = crate::dsm_cost(p, op, self.n);
+        if dsm > 0 {
+            self.dsm_rmrs[p.0].fetch_add(dsm, Ordering::Relaxed);
+        }
         self.mem().apply(p, op)
     }
 
@@ -145,6 +162,10 @@ impl ExecutionBackend for SimBackend {
 
     fn shared_accesses(&self, p: ProcessId) -> u64 {
         self.accesses[p.0].load(Ordering::Relaxed)
+    }
+
+    fn dsm_rmrs(&self, p: ProcessId) -> u64 {
+        self.dsm_rmrs[p.0].load(Ordering::Relaxed)
     }
 
     fn peek(&self, r: RegisterId) -> Value {

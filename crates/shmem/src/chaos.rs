@@ -118,6 +118,7 @@ impl ChaosPlan {
             toss,
             schedule: self.schedule(),
             crashes: self.crashes.clone(),
+            recovery: None,
             faults: self.faults.clone(),
             max_events,
             max_steps,

@@ -35,7 +35,7 @@
 //! ```
 
 use crate::rng::XorShift64;
-use crate::{Executor, ProcessId, RunError, Scheduler};
+use crate::{Algorithm, Executor, ProcessId, RunError, Scheduler};
 
 /// A deterministic crash schedule: which processes crash, and at which
 /// global event count each crash fires.
@@ -162,6 +162,178 @@ impl<S: Scheduler> CrashScheduler<S> {
         loop {
             self.apply_due_crashes(exec);
             if steps >= max_steps || exec.all_settled() {
+                return Ok(steps);
+            }
+            let took = exec.drive(&mut self.inner, 1)?;
+            if took == 0 {
+                // The inner scheduler declined.
+                return Ok(steps);
+            }
+            steps += took;
+        }
+    }
+}
+
+/// One victim's crash/recovery state inside a
+/// [`RecoveringCrashScheduler`].
+#[derive(Clone, Debug)]
+struct RecoveryEntry {
+    victim: ProcessId,
+    /// Event threshold of the next crash.
+    next_at: u64,
+    /// Crashes still allowed for this victim (the bounded crash budget).
+    crashes_left: u64,
+    /// Event threshold of the pending recovery, while crashed.
+    recover_at: Option<u64>,
+    /// Re-arm distance between a recovery and the victim's next crash
+    /// (the plan's original threshold, clamped to at least 1 so a re-crash
+    /// never fires at the same event count as the recovery).
+    period: u64,
+}
+
+/// Drives an executor under the crash-*recovery* fault model: the
+/// [`CrashPlan`]'s crashes fire exactly as under [`CrashScheduler`], but
+/// each victim is *recovered* ([`Executor::recover`]) a fixed number of
+/// events later — it loses its local state and re-enters through the
+/// algorithm's recovery section (its respawned program) against the
+/// surviving shared memory. Each victim may be re-crashed after
+/// recovering, up to a per-victim crash `budget`, re-armed at the plan's
+/// original threshold distance; this is the "repeated crashes of the same
+/// process" adversary the recoverable algorithms are measured against.
+///
+/// Recoveries are driven by the same deterministic global event clock as
+/// crashes. One asymmetry: when every process has settled (so no event
+/// will ever advance the clock again), pending recoveries fire
+/// immediately instead of deadlocking the run — a crashed-but-recoverable
+/// process is *not* gone forever, which is the whole point of the model.
+///
+/// Like [`CrashScheduler`] this is a driver, not a [`Scheduler`]: both
+/// crashing and recovering mutate the executor.
+#[derive(Clone, Debug)]
+pub struct RecoveringCrashScheduler<S> {
+    inner: S,
+    entries: Vec<RecoveryEntry>,
+    delay: u64,
+    crashes_delivered: u64,
+    recoveries: u64,
+}
+
+impl<S: Scheduler> RecoveringCrashScheduler<S> {
+    /// Wraps `inner` with `plan`'s crashes, recovering each victim
+    /// `delay` events after its crash (clamped to at least 1) and
+    /// allowing each victim at most `budget` crashes in total (`budget
+    /// >= 1`; the plan's own crash is the first).
+    pub fn new(inner: S, plan: &CrashPlan, delay: u64, budget: u64) -> Self {
+        let entries = plan
+            .crashes()
+            .iter()
+            .map(|&(victim, at)| RecoveryEntry {
+                victim,
+                next_at: at,
+                crashes_left: budget.max(1),
+                recover_at: None,
+                period: at.max(1),
+            })
+            .collect();
+        RecoveringCrashScheduler {
+            inner,
+            entries,
+            delay: delay.max(1),
+            crashes_delivered: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Crashes delivered so far (across all victims and re-crashes).
+    pub fn crashes_delivered(&self) -> u64 {
+        self.crashes_delivered
+    }
+
+    /// Recoveries performed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Fires every due recovery and due crash at the current event count.
+    /// Recoveries are checked first so a victim whose recovery and
+    /// re-crash are both due gets to recover (and take its re-armed crash
+    /// at a strictly later event).
+    fn apply_due(&mut self, exec: &mut Executor, alg: &dyn Algorithm) {
+        let now = exec.recorded_events();
+        let (mut crashed, mut recovered) = (0u64, 0u64);
+        for e in &mut self.entries {
+            if let Some(at) = e.recover_at {
+                if now >= at {
+                    if exec.recover(e.victim, alg) {
+                        recovered += 1;
+                    }
+                    e.recover_at = None;
+                    if e.crashes_left > 0 {
+                        e.next_at = now + e.period;
+                    }
+                }
+            }
+            if e.crashes_left > 0
+                && e.recover_at.is_none()
+                && now >= e.next_at
+                && exec.crash(e.victim)
+            {
+                crashed += 1;
+                e.crashes_left -= 1;
+                e.recover_at = Some(now + self.delay);
+            }
+        }
+        self.crashes_delivered += crashed;
+        self.recoveries += recovered;
+    }
+
+    /// Fires every pending recovery regardless of its threshold — called
+    /// when the run has settled, so the event clock will never reach the
+    /// thresholds. Returns `true` iff at least one process was revived.
+    fn force_pending_recoveries(&mut self, exec: &mut Executor, alg: &dyn Algorithm) -> bool {
+        let now = exec.recorded_events();
+        let mut revived = false;
+        for e in &mut self.entries {
+            if e.recover_at.take().is_some() {
+                if exec.recover(e.victim, alg) {
+                    self.recoveries += 1;
+                    revived = true;
+                }
+                if e.crashes_left > 0 {
+                    e.next_at = now + e.period;
+                }
+            }
+        }
+        revived
+    }
+
+    /// Runs the executor under the inner scheduler until every process
+    /// settles with no recovery pending, the inner scheduler declines, or
+    /// `max_steps` steps have been taken. Returns the steps taken;
+    /// classify the result with [`Executor::run_outcome`]. `alg` must be
+    /// the algorithm the executor is running (recovery respawns its
+    /// programs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RunError`] the executor reports, exactly
+    /// like [`CrashScheduler::drive`].
+    pub fn drive(
+        &mut self,
+        exec: &mut Executor,
+        alg: &dyn Algorithm,
+        max_steps: u64,
+    ) -> Result<u64, RunError> {
+        let mut steps = 0;
+        loop {
+            self.apply_due(exec, alg);
+            if steps >= max_steps {
+                return Ok(steps);
+            }
+            if exec.all_settled() {
+                if self.force_pending_recoveries(exec, alg) {
+                    continue;
+                }
                 return Ok(steps);
             }
             let took = exec.drive(&mut self.inner, 1)?;
@@ -355,6 +527,91 @@ mod tests {
         // window = 0 clamps to 1, so every threshold is exactly 0.
         let plan = CrashPlan::seeded(5, 3, 2, 0);
         assert!(plan.crashes().iter().all(|&(_, at)| at == 0));
+    }
+
+    #[test]
+    fn recovery_revives_a_victim_crashed_at_event_zero() {
+        // Crash before the victim's first step: the recovery section is
+        // its very first code to run.
+        let alg = counter_like();
+        let mut e = exec(3);
+        let plan = CrashPlan::at([(ProcessId(1), 0)]);
+        let mut sched = RecoveringCrashScheduler::new(RoundRobinScheduler::new(), &plan, 3, 1);
+        sched.drive(&mut e, &alg, 10_000).unwrap();
+        assert_eq!(e.run_outcome(), RunOutcome::Completed);
+        assert_eq!(sched.crashes_delivered(), 1);
+        assert_eq!(sched.recoveries(), 1);
+        assert_eq!(e.run().crash_count(ProcessId(1)), 1);
+        assert_eq!(e.run().recovery_count(ProcessId(1)), 1);
+        assert!(e.run().shared_steps(ProcessId(1)) > 0, "it ran after all");
+    }
+
+    #[test]
+    fn second_crash_lands_inside_the_recovery_section() {
+        // Budget 2 with a threshold of 1: the victim crashes at event 1,
+        // recovers 2 events later, is re-crashed 1 event after that
+        // (mid-recovery-section), and recovers again. The run still
+        // completes and both crash/recovery pairs are accounted.
+        let alg = counter_like();
+        let mut e = exec(2);
+        let plan = CrashPlan::at([(ProcessId(0), 1)]);
+        let mut sched = RecoveringCrashScheduler::new(RoundRobinScheduler::new(), &plan, 2, 2);
+        sched.drive(&mut e, &alg, 10_000).unwrap();
+        assert_eq!(e.run_outcome(), RunOutcome::Completed);
+        assert_eq!(sched.crashes_delivered(), 2);
+        assert_eq!(sched.recoveries(), 2);
+        assert_eq!(e.run().crash_count(ProcessId(0)), 2);
+        assert_eq!(e.run().recovery_count(ProcessId(0)), 2);
+    }
+
+    #[test]
+    fn bounded_budget_limits_repeated_crashes_of_one_process() {
+        let alg = counter_like();
+        for budget in [1u64, 2, 3] {
+            let mut e = exec(2);
+            let plan = CrashPlan::at([(ProcessId(1), 1)]);
+            let mut sched =
+                RecoveringCrashScheduler::new(RoundRobinScheduler::new(), &plan, 1, budget);
+            sched.drive(&mut e, &alg, 100_000).unwrap();
+            assert_eq!(e.run_outcome(), RunOutcome::Completed);
+            assert_eq!(sched.crashes_delivered(), budget, "budget is spent");
+            assert_eq!(sched.recoveries(), budget, "every crash is recovered");
+            assert_eq!(e.run().crash_count(ProcessId(1)), budget);
+        }
+    }
+
+    #[test]
+    fn pending_recovery_fires_when_the_run_settles_early() {
+        // The victim's recovery threshold is far beyond the survivors'
+        // total events; once they finish, the event clock stops, and the
+        // pending recovery must fire anyway instead of stranding the run
+        // as Crashed.
+        let alg = counter_like();
+        let mut e = exec(2);
+        let plan = CrashPlan::at([(ProcessId(0), 0)]);
+        let mut sched =
+            RecoveringCrashScheduler::new(RoundRobinScheduler::new(), &plan, 1_000_000, 1);
+        sched.drive(&mut e, &alg, 10_000).unwrap();
+        assert_eq!(e.run_outcome(), RunOutcome::Completed);
+        assert_eq!(sched.recoveries(), 1);
+    }
+
+    #[test]
+    fn recovering_drive_is_deterministic() {
+        let alg = counter_like();
+        let run_once = || {
+            let mut e = exec(5);
+            let plan = CrashPlan::seeded(11, 5, 3, 12);
+            let mut sched = RecoveringCrashScheduler::new(RoundRobinScheduler::new(), &plan, 4, 2);
+            sched.drive(&mut e, &alg, 100_000).unwrap();
+            (
+                e.run().events().to_vec(),
+                e.run_outcome(),
+                sched.crashes_delivered(),
+                sched.recoveries(),
+            )
+        };
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The deterministic discrete-event engine.
 
 use crate::{
-    Action, Algorithm, FaultInjector, FaultPlan, FaultStats, Feedback, Operation, ProcessId,
-    Program, Response, Run, RunError, RunEvent, RunOutcome, Scheduler, SharedMemory,
+    Action, Algorithm, CcTracker, FaultInjector, FaultPlan, FaultStats, Feedback, Operation,
+    ProcessId, Program, Response, Run, RunError, RunEvent, RunOutcome, Scheduler, SharedMemory,
     TossAssignment, Value,
 };
 use std::fmt;
@@ -130,6 +130,9 @@ pub struct Executor {
     /// The memory-fault adversary, if one was armed
     /// ([`Executor::set_fault_plan`]).
     injector: Option<FaultInjector>,
+    /// Cache-validity state behind the cache-coherent RMR charge; the DSM
+    /// charge is stateless (see [`CcTracker`] / [`crate::dsm_cost`]).
+    rmr_cc: CcTracker,
 }
 
 impl Executor {
@@ -167,6 +170,7 @@ impl Executor {
             recorded_events: 0,
             fault: None,
             injector: None,
+            rmr_cc: CcTracker::new(),
         }
     }
 
@@ -198,6 +202,7 @@ impl Executor {
         self.recorded_events = 0;
         self.fault = None;
         self.injector = None;
+        self.rmr_cc.reset();
     }
 
     /// Takes the recorded run out of the executor, leaving a fresh empty
@@ -304,6 +309,31 @@ impl Executor {
             return false;
         }
         self.run.mark_crashed(p);
+        true
+    }
+
+    /// Recovers a crashed `p` under the crash-*recovery* fault model
+    /// (Golab–Ramaraju): `p` loses all local state — its program is
+    /// respawned from `alg` and restarts from the top, which for a
+    /// recoverable algorithm *is* its recovery section — while the shared
+    /// memory keeps whatever the crash left behind. The process's cached
+    /// copies are also invalidated (a recovering process restarts with a
+    /// cold cache), so recovery cost is measured honestly in RMRs.
+    ///
+    /// Returns `true` iff the recovery took effect (`false` when `p` is
+    /// not currently crashed, or a sticky structural fault has already
+    /// ended the run).
+    pub fn recover(&mut self, p: ProcessId, alg: &dyn Algorithm) -> bool {
+        if self.fault.is_some() || !self.is_crashed(p) {
+            return false;
+        }
+        self.run.clear_crash(p);
+        self.rmr_cc.evict(p);
+        self.procs[p.0] = ProcState {
+            program: alg.spawn(p, self.n),
+            pending: None,
+            activated: false,
+        };
         true
     }
 
@@ -523,6 +553,9 @@ impl Executor {
         let resp = self.apply_with_faults(p, &op);
         self.guard_events()?;
         self.run.record_shared(p, &op, &resp);
+        let cc = self.rmr_cc.charge(p, &op, &resp);
+        let dsm = crate::dsm_cost(p, &op, self.n);
+        self.run.record_rmrs(p, cc, dsm);
         self.feed(p, Feedback::Response(resp.clone()));
         Ok((op, resp))
     }
@@ -544,6 +577,9 @@ impl Executor {
             let reg = op.observed();
             self.memory
                 .corrupt_in_place(reg, clear_pset, |v| inj.corrupt_in_place(v));
+            // An out-of-band rewrite: every cached copy of the victim is
+            // stale, so the CC model must re-fetch it.
+            self.rmr_cc.invalidate(reg);
         }
         // A due spurious entry waits for an SC that would have succeeded;
         // suppressing an already-failing SC would inject nothing.
@@ -838,6 +874,45 @@ mod tests {
         let run = exec.into_run();
         assert!(run.is_crashed(victim));
         assert_eq!(run.crashed().collect::<Vec<_>>(), vec![victim]);
+    }
+
+    #[test]
+    fn rmr_counters_track_both_models() {
+        // Two processes incrementing R0: p0's home register under DSM
+        // (0 % 2 = 0), so p0 pays 0 DSM RMRs and p1 pays one per access.
+        let alg = counter_like();
+        let mut exec = Executor::new(&alg, 2, Arc::new(ZeroTosses), ExecutorConfig::default());
+        while exec.step_round_robin().unwrap() {}
+        let run = exec.run();
+        assert_eq!(run.dsm_rmrs(ProcessId(0)), 0);
+        assert_eq!(run.dsm_rmrs(ProcessId(1)), run.shared_steps(ProcessId(1)));
+        // CC: every step here either misses a cold/invalidated cache or is
+        // a write, so each shared step costs exactly 1 under round-robin
+        // interleaving on one register.
+        let c = exec.counters();
+        assert!(c.total_cc_rmrs() > 0);
+        assert!(c.total_cc_rmrs() <= c.total_ops());
+        assert_eq!(c.cc_rmrs.len(), 2);
+    }
+
+    #[test]
+    fn recover_respawns_a_crashed_process() {
+        let alg = counter_like();
+        let mut exec = Executor::new(&alg, 2, Arc::new(ZeroTosses), ExecutorConfig::default());
+        let victim = ProcessId(0);
+        // Let the victim take its LL, then crash it mid-attempt.
+        exec.step(victim).unwrap();
+        assert!(exec.crash(victim));
+        assert!(!exec.recover(ProcessId(1), &alg), "p1 is not crashed");
+        assert!(exec.recover(victim, &alg));
+        assert!(exec.is_runnable(victim));
+        assert_eq!(exec.run().crash_count(victim), 1);
+        assert_eq!(exec.run().recovery_count(victim), 1);
+        // The respawned program restarts from the top and completes.
+        while exec.step_round_robin().unwrap() {}
+        assert!(exec.all_terminated());
+        assert_eq!(exec.run_outcome(), RunOutcome::Completed);
+        assert_eq!(exec.memory().peek(RegisterId(0)), Value::from(2i64));
     }
 
     #[test]

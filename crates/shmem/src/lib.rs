@@ -85,6 +85,7 @@ mod op;
 mod outcome;
 mod process;
 mod register;
+mod rmr;
 mod run;
 mod scheduler;
 mod value;
@@ -99,7 +100,7 @@ pub mod sweep;
 pub use backend::{drive_program, run_sequential, BackendRun, ExecutionBackend, SimBackend};
 pub use chaos::ChaosPlan;
 pub use coin::{ConstantTosses, MapTosses, SeededTosses, TossAssignment, ZeroTosses};
-pub use crash::{CrashPlan, CrashScheduler};
+pub use crash::{CrashPlan, CrashScheduler, RecoveringCrashScheduler};
 pub use executor::{Executor, ExecutorConfig, StepOutcome};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use ids::{ProcMask, ProcMaskIter, ProcessId, RegisterId};
@@ -108,7 +109,10 @@ pub use op::{OpKind, Operation, Response};
 pub use outcome::{RunError, RunOutcome};
 pub use process::{Action, Algorithm, Feedback, FnAlgorithm, Program};
 pub use register::RegisterState;
-pub use repro::{Provenance, Replayed, ReproCase, ScheduleSpec, ShrinkReport, TossSpec};
+pub use repro::{
+    Provenance, RecoverySpec, Replayed, ReproCase, ScheduleSpec, ShrinkReport, TossSpec,
+};
+pub use rmr::{dsm_cost, dsm_home, dsm_remote, CcTracker};
 pub use run::{Interaction, OpCounters, Run, RunEvent};
 pub use scheduler::{
     ListScheduler, PartitionScheduler, RandomScheduler, RecordingScheduler, RoundRobinScheduler,

@@ -34,8 +34,8 @@ use crate::json;
 use crate::scheduler::RecordingScheduler;
 use crate::{
     Algorithm, CrashPlan, CrashScheduler, Executor, ExecutorConfig, FaultPlan, ListScheduler,
-    ProcessId, RandomScheduler, RoundRobinScheduler, RunOutcome, Scheduler, SeededTosses,
-    TossAssignment, ZeroTosses,
+    ProcessId, RandomScheduler, RecoveringCrashScheduler, RoundRobinScheduler, RunOutcome,
+    Scheduler, SeededTosses, TossAssignment, ZeroTosses,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -95,6 +95,19 @@ impl ScheduleSpec {
     }
 }
 
+/// The crash-*recovery* regime of a reproducible run: when present, the
+/// case's crash plan is driven through a
+/// [`RecoveringCrashScheduler`] instead of a [`CrashScheduler`] — each
+/// victim is revived `delay` events after crashing, and may be
+/// re-crashed up to `budget` times in total.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoverySpec {
+    /// Events between a crash and the victim's recovery.
+    pub delay: u64,
+    /// Maximum crashes per victim (>= 1).
+    pub budget: u64,
+}
+
 /// Where a case came from: the sweep that produced it, so a failure row
 /// in an artifact and the repro file on disk can be cross-referenced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -127,6 +140,10 @@ pub struct ReproCase {
     pub schedule: ScheduleSpec,
     /// Crash-stop faults injected during the run.
     pub crashes: CrashPlan,
+    /// The crash-recovery regime, if the run recovers its crash victims
+    /// (`None` reproduces the plain crash-stop model; old artifacts
+    /// without the field parse as `None`).
+    pub recovery: Option<RecoverySpec>,
     /// Memory faults injected during the run.
     pub faults: FaultPlan,
     /// The executor's event budget ([`ExecutorConfig::max_events`]).
@@ -183,8 +200,9 @@ pub struct Replayed {
 ///
 /// The drive layers the recorded crash plan over the recorded schedule
 /// exactly as the fault experiments do ([`CrashScheduler`] with the
-/// schedule as its inner scheduler; an empty crash plan makes that
-/// identical to a plain drive), with the fault plan armed on the
+/// schedule as its inner scheduler — or a [`RecoveringCrashScheduler`]
+/// when the case records a [`RecoverySpec`]; an empty crash plan makes
+/// either identical to a plain drive), with the fault plan armed on the
 /// executor.
 pub fn execute(case: &ReproCase, alg: &dyn Algorithm) -> Replayed {
     let config = ExecutorConfig {
@@ -194,13 +212,18 @@ pub fn execute(case: &ReproCase, alg: &dyn Algorithm) -> Replayed {
     let mut exec = Executor::new(alg, case.n, case.toss.assignment(), config);
     exec.set_fault_plan(case.faults.clone());
     let trace = match &case.schedule {
-        ScheduleSpec::RoundRobin => drive_recorded(&mut exec, RoundRobinScheduler::new(), case),
+        ScheduleSpec::RoundRobin => {
+            drive_recorded(&mut exec, RoundRobinScheduler::new(), case, alg)
+        }
         ScheduleSpec::Random { seed } => {
-            drive_recorded(&mut exec, RandomScheduler::new(*seed), case)
+            drive_recorded(&mut exec, RandomScheduler::new(*seed), case, alg)
         }
-        ScheduleSpec::List(picks) => {
-            drive_recorded(&mut exec, ListScheduler::new(picks.iter().copied()), case)
-        }
+        ScheduleSpec::List(picks) => drive_recorded(
+            &mut exec,
+            ListScheduler::new(picks.iter().copied()),
+            case,
+            alg,
+        ),
     };
     let outcome = exec.run_outcome();
     Replayed {
@@ -210,13 +233,30 @@ pub fn execute(case: &ReproCase, alg: &dyn Algorithm) -> Replayed {
     }
 }
 
-fn drive_recorded<S: Scheduler>(exec: &mut Executor, inner: S, case: &ReproCase) -> Vec<ProcessId> {
+fn drive_recorded<S: Scheduler>(
+    exec: &mut Executor,
+    inner: S,
+    case: &ReproCase,
+    alg: &dyn Algorithm,
+) -> Vec<ProcessId> {
     let mut recorder = RecordingScheduler::new(inner);
-    let mut driver = CrashScheduler::new(&mut recorder, case.crashes.clone());
     // Outcome classification reads the executor's sticky fault state, so
-    // the drive's own error result is redundant here.
-    let _ = driver.drive(exec, case.max_steps);
-    drop(driver);
+    // the drives' own error results are redundant here.
+    match case.recovery {
+        Some(spec) => {
+            let mut driver = RecoveringCrashScheduler::new(
+                &mut recorder,
+                &case.crashes,
+                spec.delay,
+                spec.budget,
+            );
+            let _ = driver.drive(exec, alg, case.max_steps);
+        }
+        None => {
+            let mut driver = CrashScheduler::new(&mut recorder, case.crashes.clone());
+            let _ = driver.drive(exec, case.max_steps);
+        }
+    }
     recorder.into_trace()
 }
 
@@ -494,6 +534,13 @@ impl ReproCase {
         push_str_field(&mut out, "outcome", &self.outcome);
         out.push(',');
         push_str_field(&mut out, "class", &self.class);
+        if let Some(r) = &self.recovery {
+            let _ = write!(
+                out,
+                ",\"recovery\":{{\"delay\":\"{}\",\"budget\":\"{}\"}}",
+                r.delay, r.budget
+            );
+        }
         if let Some(p) = &self.provenance {
             let _ = write!(
                 out,
@@ -567,6 +614,16 @@ impl ReproCase {
             })
             .collect::<Result<Vec<_>, String>>()?;
         let value_seed = parse_u64(&get_str(faults_obj, "value_seed")?)?;
+        let recovery = match get(obj, "recovery") {
+            Ok(v) => {
+                let r = v.object_or("recovery")?;
+                Some(RecoverySpec {
+                    delay: parse_u64(&get_str(r, "delay")?)?,
+                    budget: parse_u64(&get_str(r, "budget")?)?,
+                })
+            }
+            Err(_) => None,
+        };
         let provenance = match get(obj, "provenance") {
             Ok(v) => {
                 let p = v.object_or("provenance")?;
@@ -585,6 +642,7 @@ impl ReproCase {
             toss,
             schedule,
             crashes: CrashPlan::at(crashes),
+            recovery,
             faults: FaultPlan::at(spurious, corruptions, value_seed),
             max_events: parse_u64(&get_str(obj, "max_events")?)?,
             max_steps: parse_u64(&get_str(obj, "max_steps")?)?,
@@ -654,6 +712,7 @@ mod tests {
             toss: TossSpec::Seeded(0xDEAD_BEEF),
             schedule: ScheduleSpec::List(vec![ProcessId(0), ProcessId(3), ProcessId(1)]),
             crashes: CrashPlan::at([(ProcessId(2), 7)]),
+            recovery: None,
             faults: FaultPlan::at([3, 10], [(5, true), (9, false)], 0x1234),
             max_events: 1000,
             max_steps: 500,
@@ -710,6 +769,7 @@ mod tests {
             toss: TossSpec::Zero,
             schedule: ScheduleSpec::RoundRobin,
             crashes: CrashPlan::none(),
+            recovery: None,
             faults: FaultPlan::none(),
             max_events: 10_000,
             max_steps: 10_000,
@@ -745,6 +805,7 @@ mod tests {
             toss: TossSpec::Zero,
             schedule: ScheduleSpec::RoundRobin,
             crashes: CrashPlan::at([(ProcessId(1), 0)]),
+            recovery: None,
             faults: FaultPlan::none(),
             max_events: 10_000,
             max_steps: 10_000,
@@ -777,6 +838,7 @@ mod tests {
                 ProcessId(2),
             ]),
             crashes: CrashPlan::at([(ProcessId(3), 5)]),
+            recovery: None,
             faults: FaultPlan::at([2, 8], [(4, true)], 77),
             max_events: 100,
             max_steps: 100,
@@ -822,6 +884,7 @@ mod tests {
             toss: TossSpec::Zero,
             schedule: ScheduleSpec::List(vec![ProcessId(0), ProcessId(1), ProcessId(0)]),
             crashes: CrashPlan::at([(ProcessId(0), 1), (ProcessId(1), 2)]),
+            recovery: None,
             faults: FaultPlan::at([1, 2, 3], [], 5),
             max_events: 100,
             max_steps: 100,
@@ -846,6 +909,63 @@ mod tests {
         assert_eq!(report.case.crashes.len(), 1);
         assert!(report.case.schedule.is_empty(), "schedule was irrelevant");
         assert!(report.final_size < report.initial_size);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_recovery_spec() {
+        let case = ReproCase {
+            recovery: Some(RecoverySpec {
+                delay: 16,
+                budget: 2,
+            }),
+            ..sample_case()
+        };
+        let back = ReproCase::from_json(&case.to_json()).unwrap();
+        assert_eq!(back, case);
+        // A case without the field (any pre-recovery artifact) still
+        // parses, as None.
+        assert_eq!(sample_case().recovery, None);
+        let back = ReproCase::from_json(&sample_case().to_json()).unwrap();
+        assert_eq!(back.recovery, None);
+    }
+
+    #[test]
+    fn execute_recovers_crash_victims_when_the_case_says_so() {
+        let alg = contending_alg();
+        let base = ReproCase {
+            experiment: "test".to_string(),
+            algorithm: "contending-sc".to_string(),
+            n: 3,
+            toss: TossSpec::Zero,
+            schedule: ScheduleSpec::RoundRobin,
+            crashes: CrashPlan::at([(ProcessId(1), 0)]),
+            recovery: None,
+            faults: FaultPlan::none(),
+            max_events: 10_000,
+            max_steps: 10_000,
+            outcome: String::new(),
+            class: String::new(),
+            provenance: None,
+        };
+        // Crash-stop: the victim stays down.
+        let stopped = execute(&base, &alg);
+        assert_eq!(stopped.outcome, RunOutcome::Crashed { pid: ProcessId(1) });
+        // Crash-recovery: the same plan, but the victim comes back and
+        // the run completes. Replay of the recovering run is still
+        // deterministic.
+        let recovering = ReproCase {
+            recovery: Some(RecoverySpec {
+                delay: 2,
+                budget: 1,
+            }),
+            ..base
+        };
+        let first = execute(&recovering, &alg);
+        assert_eq!(first.outcome, RunOutcome::Completed);
+        assert_eq!(first.exec.run().recovery_count(ProcessId(1)), 1);
+        let second = execute(&recovering, &alg);
+        assert_eq!(first.exec.run().events(), second.exec.run().events());
+        assert_eq!(first.trace, second.trace);
     }
 
     #[test]

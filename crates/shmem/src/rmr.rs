@@ -1,0 +1,284 @@
+//! Remote-memory-reference (RMR) cost models.
+//!
+//! The paper states its lower bound in shared-access complexity — every
+//! shared-memory step costs 1 — but the standard cost measure for
+//! crash-prone shared memory (Golab–Ramaraju recoverable mutual
+//! exclusion, and Chan–Woelfel's tight RMR bound for it) only charges
+//! *remote* memory references. This module implements both classical
+//! machine models:
+//!
+//! * **Cache-coherent (CC)** — every process has a local cache. A *read*
+//!   access (`LL`, `validate`, the source of a `move`) is remote only
+//!   when the reader's cached copy is missing or was invalidated by
+//!   another process's write since the reader last fetched it; the fetch
+//!   re-validates the copy, so spinning on an unchanged register is
+//!   free after the first read. A *write* access (`SC`, `swap`, the
+//!   destination of a `move`) always goes to the interconnect (1 RMR);
+//!   a *mutating* write — a successful SC, any swap or move — also
+//!   invalidates every other process's cached copy while installing a
+//!   valid copy for the writer. A failed SC mutates nothing and
+//!   invalidates nothing.
+//! * **Distributed shared memory (DSM)** — no caches; each register
+//!   permanently lives in one process's memory segment, assigned by
+//!   [`dsm_home`] (`home(R) = R mod n`). An access is remote exactly
+//!   when the accessing process is not the register's home, regardless
+//!   of history. Unlike the CC charge, DSM remoteness is a pure function
+//!   of `(process, register, n)`, which is what lets the hardware
+//!   backend count DSM RMRs locally per thread.
+//!
+//! A `move` touches two registers and is charged per register (up to 2
+//! RMRs); every other operation touches one. The executor calls
+//! [`CcTracker::charge`] / [`dsm_cost`] once per shared step and
+//! accumulates the results next to the shared-access counters in
+//! [`Run`](crate::Run) / [`OpCounters`](crate::OpCounters).
+
+use crate::{Operation, ProcMask, ProcessId, RegisterId, Response};
+use std::collections::HashMap;
+
+/// The home process of `reg` in the DSM model: `home(R) = R mod n`.
+///
+/// Deterministic and independent of execution history, so both backends
+/// (and the cross-check envelope) agree on it by construction. For the
+/// degenerate `n = 0` system every register is homed at `p0`.
+pub fn dsm_home(reg: RegisterId, n: usize) -> ProcessId {
+    ProcessId((reg.0 % n.max(1) as u64) as usize)
+}
+
+/// `true` iff `p`'s access to `reg` is remote in the DSM model.
+pub fn dsm_remote(p: ProcessId, reg: RegisterId, n: usize) -> bool {
+    dsm_home(reg, n) != p
+}
+
+/// The DSM-model RMR cost of one shared-memory operation by `p`: the
+/// number of registers it touches that are not homed at `p` (0, 1, or —
+/// for a `move` between two foreign registers — 2).
+pub fn dsm_cost(p: ProcessId, op: &Operation, n: usize) -> u64 {
+    match op {
+        Operation::Ll(r) | Operation::Validate(r) | Operation::Sc(r, _) | Operation::Swap(r, _) => {
+            u64::from(dsm_remote(p, *r, n))
+        }
+        Operation::Move { src, dst } => {
+            u64::from(dsm_remote(p, *src, n)) + u64::from(dsm_remote(p, *dst, n))
+        }
+    }
+}
+
+/// The cache-coherence state behind the CC cost model: for each register,
+/// the set of processes whose cached copy is currently valid.
+///
+/// The executor owns one of these, consults it on every shared step, and
+/// clears it on [`reset`](CcTracker::reset) (and on adversarial register
+/// corruption, which invalidates every cached copy of the victim —
+/// [`invalidate`](CcTracker::invalidate)).
+#[derive(Debug, Default)]
+pub struct CcTracker {
+    valid: HashMap<RegisterId, ProcMask>,
+}
+
+impl CcTracker {
+    /// An empty tracker: no process caches anything, so every first
+    /// access is remote.
+    pub fn new() -> CcTracker {
+        CcTracker::default()
+    }
+
+    /// Forgets all cache state (every copy invalid), keeping allocations.
+    pub fn reset(&mut self) {
+        for mask in self.valid.values_mut() {
+            mask.clear();
+        }
+    }
+
+    /// Invalidates every process's cached copy of `reg` — the effect of
+    /// an out-of-band write such as the fault adversary's register
+    /// corruption.
+    pub fn invalidate(&mut self, reg: RegisterId) {
+        if let Some(mask) = self.valid.get_mut(&reg) {
+            mask.clear();
+        }
+    }
+
+    /// Drops every cached copy `p` holds — the cold-cache restart of a
+    /// process recovering from a crash: its first read of each register
+    /// after recovery is remote again.
+    pub fn evict(&mut self, p: ProcessId) {
+        for mask in self.valid.values_mut() {
+            mask.remove(p);
+        }
+    }
+
+    /// `true` iff `p` currently holds a valid cached copy of `reg`.
+    pub fn is_cached(&self, p: ProcessId, reg: RegisterId) -> bool {
+        self.valid.get(&reg).is_some_and(|m| m.contains(p))
+    }
+
+    /// A read access by `p`: remote (1) iff `p`'s copy is invalid; the
+    /// fetch validates it either way.
+    fn read(&mut self, p: ProcessId, reg: RegisterId) -> u64 {
+        let mask = self.valid.entry(reg).or_default();
+        u64::from(mask.insert(p))
+    }
+
+    /// A write access by `p`: always remote (1). When the write mutates
+    /// the register it invalidates every other cached copy and installs
+    /// a valid one for the writer; a non-mutating write (failed SC)
+    /// leaves cache state untouched.
+    fn write(&mut self, p: ProcessId, reg: RegisterId, mutates: bool) -> u64 {
+        if mutates {
+            let mask = self.valid.entry(reg).or_default();
+            mask.clear();
+            mask.insert(p);
+        }
+        1
+    }
+
+    /// Charges one shared-memory step under the CC model, updating the
+    /// cache state, and returns its RMR cost. `resp` is the response the
+    /// operation produced (a failed SC — `Flagged { ok: false, .. }` —
+    /// is a non-mutating write).
+    pub fn charge(&mut self, p: ProcessId, op: &Operation, resp: &Response) -> u64 {
+        match op {
+            Operation::Ll(r) | Operation::Validate(r) => self.read(p, *r),
+            Operation::Sc(r, _) => self.write(p, *r, resp.flag() == Some(true)),
+            Operation::Swap(r, _) => self.write(p, *r, true),
+            Operation::Move { src, dst } => self.read(p, *src) + self.write(p, *dst, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    const R: RegisterId = RegisterId(0);
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+
+    fn ok_sc() -> Response {
+        Response::Flagged {
+            ok: true,
+            value: Value::Unit,
+        }
+    }
+
+    fn failed_sc() -> Response {
+        Response::Flagged {
+            ok: false,
+            value: Value::Unit,
+        }
+    }
+
+    #[test]
+    fn dsm_home_is_register_mod_n() {
+        assert_eq!(dsm_home(RegisterId(0), 3), ProcessId(0));
+        assert_eq!(dsm_home(RegisterId(5), 3), ProcessId(2));
+        assert!(!dsm_remote(ProcessId(2), RegisterId(5), 3));
+        assert!(dsm_remote(ProcessId(0), RegisterId(5), 3));
+        // n = 0 degenerates to everything homed at p0 instead of dividing
+        // by zero.
+        assert_eq!(dsm_home(RegisterId(7), 0), ProcessId(0));
+    }
+
+    #[test]
+    fn dsm_cost_charges_per_foreign_register() {
+        let n = 4;
+        assert_eq!(dsm_cost(P0, &Operation::Ll(RegisterId(0)), n), 0);
+        assert_eq!(dsm_cost(P0, &Operation::Ll(RegisterId(1)), n), 1);
+        assert_eq!(
+            dsm_cost(
+                P0,
+                &Operation::Move {
+                    src: RegisterId(1),
+                    dst: RegisterId(2)
+                },
+                n
+            ),
+            2
+        );
+        assert_eq!(
+            dsm_cost(
+                P1,
+                &Operation::Move {
+                    src: RegisterId(1),
+                    dst: RegisterId(2)
+                },
+                n
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn cc_spinning_read_is_free_after_first_fetch() {
+        let mut cc = CcTracker::new();
+        assert_eq!(
+            cc.charge(P0, &Operation::Ll(R), &Response::Value(Value::Unit)),
+            1
+        );
+        assert_eq!(
+            cc.charge(P0, &Operation::Ll(R), &Response::Value(Value::Unit)),
+            0
+        );
+        assert_eq!(cc.charge(P0, &Operation::Validate(R), &failed_sc()), 0);
+        assert!(cc.is_cached(P0, R));
+    }
+
+    #[test]
+    fn cc_mutating_write_invalidates_other_readers() {
+        let mut cc = CcTracker::new();
+        cc.charge(P0, &Operation::Ll(R), &Response::Value(Value::Unit));
+        cc.charge(P1, &Operation::Ll(R), &Response::Value(Value::Unit));
+        // p1's successful SC: 1 RMR, and p0's copy is invalidated while
+        // p1 keeps a valid one.
+        assert_eq!(cc.charge(P1, &Operation::Sc(R, Value::Unit), &ok_sc()), 1);
+        assert!(!cc.is_cached(P0, R));
+        assert!(cc.is_cached(P1, R));
+        assert_eq!(
+            cc.charge(P0, &Operation::Ll(R), &Response::Value(Value::Unit)),
+            1
+        );
+    }
+
+    #[test]
+    fn cc_failed_sc_costs_but_does_not_invalidate() {
+        let mut cc = CcTracker::new();
+        cc.charge(P0, &Operation::Ll(R), &Response::Value(Value::Unit));
+        assert_eq!(
+            cc.charge(P1, &Operation::Sc(R, Value::Unit), &failed_sc()),
+            1
+        );
+        assert!(cc.is_cached(P0, R), "failed SC mutates nothing");
+        assert!(!cc.is_cached(P1, R), "a failed SC installs no copy");
+    }
+
+    #[test]
+    fn cc_corruption_invalidates_everyone() {
+        let mut cc = CcTracker::new();
+        cc.charge(P0, &Operation::Ll(R), &Response::Value(Value::Unit));
+        cc.invalidate(R);
+        assert!(!cc.is_cached(P0, R));
+        assert_eq!(
+            cc.charge(P0, &Operation::Ll(R), &Response::Value(Value::Unit)),
+            1
+        );
+    }
+
+    #[test]
+    fn cc_evict_cold_starts_one_process() {
+        let mut cc = CcTracker::new();
+        cc.charge(P0, &Operation::Ll(R), &Response::Value(Value::Unit));
+        cc.charge(P1, &Operation::Ll(R), &Response::Value(Value::Unit));
+        cc.evict(P0);
+        assert!(!cc.is_cached(P0, R));
+        assert!(cc.is_cached(P1, R), "other caches survive the eviction");
+    }
+
+    #[test]
+    fn cc_reset_forgets_all_state() {
+        let mut cc = CcTracker::new();
+        cc.charge(P0, &Operation::Ll(R), &Response::Value(Value::Unit));
+        cc.reset();
+        assert!(!cc.is_cached(P0, R));
+    }
+}

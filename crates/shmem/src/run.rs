@@ -108,8 +108,18 @@ pub struct Run {
     tosses: Vec<u64>,
     verdicts: Vec<Option<Value>>,
     /// Crash-stop flags (see [`Run::mark_crashed`]); a crashed process
-    /// takes no further events.
+    /// takes no further events until [`Run::clear_crash`] revives it.
     crashed: Vec<bool>,
+    /// Remote memory references per process under the cache-coherent
+    /// cost model (see [`Run::cc_rmrs`]).
+    cc_rmrs: Vec<u64>,
+    /// Remote memory references per process under the
+    /// distributed-shared-memory cost model (see [`Run::dsm_rmrs`]).
+    dsm_rmrs: Vec<u64>,
+    /// Crashes suffered per process (each [`Run::mark_crashed`] call).
+    crash_counts: Vec<u64>,
+    /// Recoveries per process (each [`Run::clear_crash`] call).
+    recovery_counts: Vec<u64>,
 }
 
 /// A cheap structured summary of a run: per-process operation and toss
@@ -130,6 +140,14 @@ pub struct OpCounters {
     pub events: u64,
     /// Processes that have terminated.
     pub terminated: usize,
+    /// Remote memory references per process, cache-coherent model.
+    pub cc_rmrs: Vec<u64>,
+    /// Remote memory references per process, DSM model.
+    pub dsm_rmrs: Vec<u64>,
+    /// Crashes suffered per process.
+    pub crashes: Vec<u64>,
+    /// Recoveries (crash flags cleared) per process.
+    pub recoveries: Vec<u64>,
 }
 
 impl OpCounters {
@@ -146,6 +164,26 @@ impl OpCounters {
     /// Total coin tosses across all processes.
     pub fn total_tosses(&self) -> u64 {
         self.tosses.iter().sum()
+    }
+
+    /// Total cache-coherent RMRs across all processes.
+    pub fn total_cc_rmrs(&self) -> u64 {
+        self.cc_rmrs.iter().sum()
+    }
+
+    /// Total DSM RMRs across all processes.
+    pub fn total_dsm_rmrs(&self) -> u64 {
+        self.dsm_rmrs.iter().sum()
+    }
+
+    /// Total crashes suffered across all processes.
+    pub fn total_crashes(&self) -> u64 {
+        self.crashes.iter().sum()
+    }
+
+    /// Total recoveries across all processes.
+    pub fn total_recoveries(&self) -> u64 {
+        self.recoveries.iter().sum()
     }
 }
 
@@ -201,6 +239,10 @@ impl Run {
             tosses: vec![0; n],
             verdicts: vec![None; n],
             crashed: vec![false; n],
+            cc_rmrs: vec![0; n],
+            dsm_rmrs: vec![0; n],
+            crash_counts: vec![0; n],
+            recovery_counts: vec![0; n],
         }
     }
 
@@ -289,6 +331,10 @@ impl Run {
             *v = None;
         }
         self.crashed.fill(false);
+        self.cc_rmrs.fill(0);
+        self.dsm_rmrs.fill(0);
+        self.crash_counts.fill(0);
+        self.recovery_counts.fill(0);
     }
 
     fn check_live(&self, pid: ProcessId) {
@@ -316,6 +362,10 @@ impl Run {
             tosses: self.tosses.clone(),
             events: self.event_count,
             terminated: self.verdicts.iter().filter(|v| v.is_some()).count(),
+            cc_rmrs: self.cc_rmrs.clone(),
+            dsm_rmrs: self.dsm_rmrs.clone(),
+            crashes: self.crash_counts.clone(),
+            recoveries: self.recovery_counts.clone(),
         }
     }
 
@@ -329,6 +379,10 @@ impl Run {
             ops: self.shared_steps,
             tosses: self.tosses,
             events: self.event_count,
+            cc_rmrs: self.cc_rmrs,
+            dsm_rmrs: self.dsm_rmrs,
+            crashes: self.crash_counts,
+            recoveries: self.recovery_counts,
         }
     }
 
@@ -345,6 +399,36 @@ impl Run {
     /// `numtosses(p)`: the number of coin tosses `p` has performed.
     pub fn tosses(&self, p: ProcessId) -> u64 {
         self.tosses[p.0]
+    }
+
+    /// Charges `p` for the remote memory references one shared step cost:
+    /// `cc` under the cache-coherent model, `dsm` under the DSM model. The
+    /// executor calls this right after [`Run::record_shared`]; the run
+    /// itself only aggregates (remoteness is decided by the executor's
+    /// cache/home tracking).
+    pub fn record_rmrs(&mut self, pid: ProcessId, cc: u64, dsm: u64) {
+        self.cc_rmrs[pid.0] += cc;
+        self.dsm_rmrs[pid.0] += dsm;
+    }
+
+    /// `p`'s remote memory references under the cache-coherent model.
+    pub fn cc_rmrs(&self, p: ProcessId) -> u64 {
+        self.cc_rmrs[p.0]
+    }
+
+    /// `p`'s remote memory references under the DSM model.
+    pub fn dsm_rmrs(&self, p: ProcessId) -> u64 {
+        self.dsm_rmrs[p.0]
+    }
+
+    /// The number of crashes `p` has suffered.
+    pub fn crash_count(&self, p: ProcessId) -> u64 {
+        self.crash_counts[p.0]
+    }
+
+    /// The number of times `p` has recovered from a crash.
+    pub fn recovery_count(&self, p: ProcessId) -> u64 {
+        self.recovery_counts[p.0]
     }
 
     /// The value `p` returned, if `p` has terminated.
@@ -379,6 +463,23 @@ impl Run {
         assert!(p.0 < self.n, "crash for out-of-range {p}");
         assert!(self.verdicts[p.0].is_none(), "crash for terminated {p}");
         self.crashed[p.0] = true;
+        self.crash_counts[p.0] += 1;
+    }
+
+    /// Clears `p`'s crash flag, re-admitting its events: the
+    /// crash-*recovery* counterpart of [`Run::mark_crashed`]. The recorded
+    /// prefix before the crash stays part of the run — a recoverable
+    /// algorithm's recovery section continues from the shared state the
+    /// crash left behind, having lost only its local (program) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or not currently crashed.
+    pub fn clear_crash(&mut self, p: ProcessId) {
+        assert!(p.0 < self.n, "recovery for out-of-range {p}");
+        assert!(self.crashed[p.0], "recovery for non-crashed {p}");
+        self.crashed[p.0] = false;
+        self.recovery_counts[p.0] += 1;
     }
 
     /// `true` iff `p` has been crash-stopped.
@@ -608,6 +709,53 @@ mod tests {
         let run = Run::new(0);
         assert_eq!(run.max_shared_steps(), 0);
         assert!(run.is_terminating(), "vacuously terminating");
+    }
+
+    #[test]
+    fn rmr_accounting_aggregates_per_process() {
+        let mut run = Run::lightweight(2);
+        run.record(op_event(0));
+        run.record_rmrs(ProcessId(0), 1, 1);
+        run.record(op_event(0));
+        run.record_rmrs(ProcessId(0), 0, 1);
+        run.record(op_event(1));
+        run.record_rmrs(ProcessId(1), 2, 0);
+        assert_eq!(run.cc_rmrs(ProcessId(0)), 1);
+        assert_eq!(run.dsm_rmrs(ProcessId(0)), 2);
+        assert_eq!(run.cc_rmrs(ProcessId(1)), 2);
+        let c = run.counters();
+        assert_eq!(c.cc_rmrs, vec![1, 2]);
+        assert_eq!(c.dsm_rmrs, vec![2, 0]);
+        assert_eq!(c.total_cc_rmrs(), 3);
+        assert_eq!(c.total_dsm_rmrs(), 2);
+        run.reset();
+        assert_eq!(run.counters().total_cc_rmrs(), 0);
+    }
+
+    #[test]
+    fn crash_and_recovery_counting() {
+        let mut run = Run::new(2);
+        run.mark_crashed(ProcessId(0));
+        assert!(run.is_crashed(ProcessId(0)));
+        run.clear_crash(ProcessId(0));
+        assert!(!run.is_crashed(ProcessId(0)));
+        // Events are legal again after recovery, and a second crash of the
+        // same process is counted separately.
+        run.record(op_event(0));
+        run.mark_crashed(ProcessId(0));
+        assert_eq!(run.crash_count(ProcessId(0)), 2);
+        assert_eq!(run.recovery_count(ProcessId(0)), 1);
+        let c = run.counters();
+        assert_eq!(c.total_crashes(), 2);
+        assert_eq!(c.total_recoveries(), 1);
+        assert_eq!(c.crashes, vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-crashed")]
+    fn recovery_of_live_process_panics() {
+        let mut run = Run::new(1);
+        run.clear_crash(ProcessId(0));
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod counter_alg;
 mod gossip;
 mod hardened;
 mod randomized;
+mod recoverable;
 mod reductions;
 mod strawman;
 mod tournament;
@@ -51,6 +52,9 @@ pub use hardened::{
     HardenedTournamentWakeup, BACKOFF_CAP, DETECT_BASE,
 };
 pub use randomized::{BackoffWakeup, RandomizedCounterWakeup};
+pub use recoverable::{
+    check_mutex_tokens, RecoverableCounterWakeup, RecoverableMutex, RecoverableRandCounterWakeup,
+};
 pub use reductions::{ObjectWakeup, ReductionKind};
 pub use strawman::{HalfCountWakeup, NoStepWakeup, PrematureWakeup, SilentWakeup};
 pub use tournament::TournamentWakeup;
@@ -86,6 +90,18 @@ pub fn hardened_algorithms() -> Vec<Box<dyn Algorithm>> {
     ]
 }
 
+/// The crash-recoverable algorithms: durable state machines whose spawn
+/// path doubles as a recovery section under the
+/// [`llsc_shmem::RecoveringCrashScheduler`] adversary. The standard sweep
+/// set for experiment E19.
+pub fn recoverable_algorithms() -> Vec<Box<dyn Algorithm>> {
+    vec![
+        Box::new(RecoverableMutex),
+        Box::new(RecoverableCounterWakeup),
+        Box::new(RecoverableRandCounterWakeup),
+    ]
+}
+
 /// The deliberately broken algorithms, for the refutation experiments.
 pub fn strawman_algorithms() -> Vec<Box<dyn Algorithm>> {
     vec![
@@ -107,10 +123,11 @@ mod tests {
             .iter()
             .chain(randomized_algorithms().iter())
             .chain(hardened_algorithms().iter())
+            .chain(recoverable_algorithms().iter())
             .chain(strawman_algorithms().iter())
         {
             assert!(names.insert(alg.name().to_string()), "dup {}", alg.name());
         }
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 16);
     }
 }

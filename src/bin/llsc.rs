@@ -38,7 +38,8 @@ use llsc_lowerbound::universal::{
     ObjectImplementation, ScheduleKind,
 };
 use llsc_lowerbound::wakeup::{
-    correct_algorithms, hardened_algorithms, randomized_algorithms, strawman_algorithms,
+    correct_algorithms, hardened_algorithms, randomized_algorithms, recoverable_algorithms,
+    strawman_algorithms,
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -236,6 +237,7 @@ fn all_algorithms() -> Vec<Box<dyn Algorithm>> {
         .into_iter()
         .chain(randomized_algorithms())
         .chain(hardened_algorithms())
+        .chain(recoverable_algorithms())
         .chain(strawman_algorithms())
         .collect()
 }
@@ -249,7 +251,7 @@ fn cmd_list() -> Result<(), String> {
         println!("  {name:<24} {what}");
     }
     #[allow(clippy::type_complexity)]
-    let sections: [(&str, Vec<Box<dyn Algorithm>>, &str); 4] = [
+    let sections: [(&str, Vec<Box<dyn Algorithm>>, &str); 5] = [
         (
             "correct wakeup algorithms",
             correct_algorithms(),
@@ -264,6 +266,16 @@ fn cmd_list() -> Result<(), String> {
             "fault-hardened wakeup algorithms",
             hardened_algorithms(),
             "sim, atomic",
+        ),
+        // Crash-recovery (the RecoveringCrashScheduler driver) is a
+        // simulator-only fault model: the hardware backend cannot kill
+        // and revive an OS thread mid-operation. The recoverable mutex
+        // returns lock tokens, not wakeup bits — it is exercised by E19
+        // and the repro subcommands, not the Theorem 6.1 driver.
+        (
+            "crash-recoverable algorithms (E19)",
+            recoverable_algorithms(),
+            "sim",
         ),
         // The strawmen exist to be refuted by the deterministic
         // Theorem 6.1 driver; the hardware backend cannot replay the
@@ -291,7 +303,11 @@ fn cmd_list() -> Result<(), String> {
     }
     println!("experiments:");
     for (id, what, backends) in [
-        ("e1-e17", "table_* regenerators (see EXPERIMENTS.md)", "sim"),
+        (
+            "e1-e17, e19",
+            "table_* regenerators (see EXPERIMENTS.md)",
+            "sim",
+        ),
         (
             "e18",
             "bench_e18 / `llsc bench`: real-contention throughput",
@@ -416,11 +432,24 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
                 n,
                 samples,
                 10_000_000,
-            );
+            )
+            .map_err(|e| {
+                format!(
+                    "e18 wakeup-counter on {} (n={n}) failed: {e}",
+                    backend.name()
+                )
+            })?;
             print_e18_row(&row);
             let ops = vec![FetchIncrement::op(); n];
             let alg = llsc_lowerbound::universal::ImplAlgorithm::new(&imp, &ops);
-            let row = e18_case("universal-direct", &alg, backend, n, samples, 10_000_000);
+            let row = e18_case("universal-direct", &alg, backend, n, samples, 10_000_000).map_err(
+                |e| {
+                    format!(
+                        "e18 universal-direct on {} (n={n}) failed: {e}",
+                        backend.name()
+                    )
+                },
+            )?;
             print_e18_row(&row);
         }
     }
@@ -429,14 +458,15 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
 
 fn print_e18_row(r: &llsc_lowerbound::bench::xcheck::E18Row) {
     println!(
-        "e18 {:<16} backend={:<6} n={:<3} min {:>9.3}ms mean {:>9.3}ms max_ops={} total_ops={}",
+        "e18 {:<16} backend={:<6} n={:<3} min {:>9.3}ms mean {:>9.3}ms max_ops={} total_ops={} dsm_rmrs={}",
         r.workload,
         r.backend.name(),
         r.n,
         r.wall_ms_min,
         r.wall_ms_mean,
         r.max_ops,
-        r.total_ops
+        r.total_ops,
+        r.dsm_rmrs
     );
 }
 
