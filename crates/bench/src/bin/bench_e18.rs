@@ -165,7 +165,8 @@ fn main() -> ExitCode {
         json.push('}');
     }
     json.push_str("]}\n");
-    std::fs::write(&out, json).expect("cannot write the bench artifact");
+    llsc_shmem::atomic_write(std::path::Path::new(&out), json)
+        .expect("cannot write the bench artifact");
     eprintln!("wrote {out}");
     if failures.is_empty() {
         ExitCode::SUCCESS

@@ -106,6 +106,7 @@ fn main() {
         json.push('}');
     }
     json.push_str("]}\n");
-    std::fs::write(&out, json).expect("cannot write the bench artifact");
+    llsc_shmem::atomic_write(std::path::Path::new(&out), json)
+        .expect("cannot write the bench artifact");
     eprintln!("wrote {out}");
 }

@@ -4,8 +4,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let opts = HarnessOpts::from_env();
-    let sweep = opts.sweep();
-    let a = llsc_bench::e10_direct_escape_hatch(&[4, 16, 64, 256], &sweep);
-    let b = llsc_bench::e10b_structural_escape_hatches(&[1, 16, 256, 4096], &sweep);
-    opts.emit(&[&a.table, &b.table])
+    opts.emit_guarded(|sweep| {
+        vec![
+            llsc_bench::e10_direct_escape_hatch(&[4, 16, 64, 256], sweep).table,
+            llsc_bench::e10b_structural_escape_hatches(&[1, 16, 256, 4096], sweep).table,
+        ]
+    })
 }

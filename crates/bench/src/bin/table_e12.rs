@@ -4,7 +4,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let opts = HarnessOpts::from_env();
-    let sweep = opts.sweep();
-    let exp = llsc_bench::e12_multi_use(&[2, 8, 32], &[1, 4, 16], &sweep);
-    opts.emit(&[&exp.table])
+    opts.emit_guarded(|sweep| {
+        vec![llsc_bench::e12_multi_use(&[2, 8, 32], &[1, 4, 16], sweep).table]
+    })
 }

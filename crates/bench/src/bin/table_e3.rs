@@ -4,7 +4,5 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let opts = HarnessOpts::from_env();
-    let sweep = opts.sweep();
-    let exp = llsc_bench::e3_up_growth(&[4, 16, 64, 256, 1024], &sweep);
-    opts.emit(&[&exp.table])
+    opts.emit_guarded(|sweep| vec![llsc_bench::e3_up_growth(&[4, 16, 64, 256, 1024], sweep).table])
 }

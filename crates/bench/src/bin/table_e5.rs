@@ -4,8 +4,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let opts = HarnessOpts::from_env();
-    let sweep = opts.sweep();
-    let a = llsc_bench::e5_wakeup_lower_bound(&[4, 16, 64, 256, 1024], &sweep);
-    let b = llsc_bench::e5_tournament_tightness(&[4, 16, 64, 256, 1024, 4096], &sweep);
-    opts.emit(&[&a.table, &b.table])
+    opts.emit_guarded(|sweep| {
+        vec![
+            llsc_bench::e5_wakeup_lower_bound(&[4, 16, 64, 256, 1024], sweep).table,
+            llsc_bench::e5_tournament_tightness(&[4, 16, 64, 256, 1024, 4096], sweep).table,
+        ]
+    })
 }

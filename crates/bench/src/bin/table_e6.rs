@@ -1,10 +1,16 @@
 //! E6: randomized expected complexity (Lemma 3.1).
 use llsc_bench::harness::HarnessOpts;
+use llsc_bench::job::{table_job_mode, JobExperiment};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // `--job-dir DIR [--resume] [--threads N]` switches to the
+    // checkpointed, resumable job runner (see `llsc job --help`).
+    if let Some(code) = table_job_mode(JobExperiment::E6) {
+        return code;
+    }
     let opts = HarnessOpts::from_env();
-    let sweep = opts.sweep();
-    let exp = llsc_bench::e6_randomized_expectation(&[4, 16, 64], 30, &sweep);
-    opts.emit(&[&exp.table])
+    opts.emit_guarded(|sweep| {
+        vec![llsc_bench::e6_randomized_expectation(&[4, 16, 64], 30, sweep).table]
+    })
 }

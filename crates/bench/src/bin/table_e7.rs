@@ -4,7 +4,5 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let opts = HarnessOpts::from_env();
-    let sweep = opts.sweep();
-    let exp = llsc_bench::e7_reductions(&[4, 16, 64, 256], &sweep);
-    opts.emit(&[&exp.table])
+    opts.emit_guarded(|sweep| vec![llsc_bench::e7_reductions(&[4, 16, 64, 256], sweep).table])
 }

@@ -4,7 +4,9 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let opts = HarnessOpts::from_env();
-    let sweep = opts.sweep();
-    let exp = llsc_bench::e8_universal_constructions(&[4, 8, 16, 32, 64, 128, 256, 512], &sweep);
-    opts.emit(&[&exp.table])
+    opts.emit_guarded(|sweep| {
+        vec![
+            llsc_bench::e8_universal_constructions(&[4, 8, 16, 32, 64, 128, 256, 512], sweep).table,
+        ]
+    })
 }

@@ -37,6 +37,16 @@ use llsc_wakeup::{
 };
 use std::sync::Arc;
 
+/// The E4 table title — shared with the job runner, whose assembled
+/// artifact must match the `table_e4` binary's byte for byte.
+pub const E4_TITLE: &str =
+    "E4 - Lemma 5.2: (All,A)-run vs (S,A)-run indistinguishability, exhaustive over S";
+/// The E6 table title (see [`E4_TITLE`] for why it is shared).
+pub const E6_TITLE: &str =
+    "E6 - randomized wakeup: sampled expected complexity vs c*log4(n) (Lemma 3.1)";
+/// The E13 table title (see [`E4_TITLE`] for why it is shared).
+pub const E13_TITLE: &str = "E13 - appendix claims A.2-A.9 + Lemma 5.2, exhaustive over subsets";
+
 /// The `(algorithm index, n)` product used by the per-algorithm sweeps.
 fn alg_size_pairs(algs: usize, ns: &[usize]) -> Vec<(usize, usize)> {
     let mut pairs = Vec::with_capacity(algs * ns.len());
@@ -210,7 +220,7 @@ pub struct E4Row {
 /// The `2^n` subsets of each run fan out over the sweep.
 pub fn e4_indistinguishability(ns: &[usize], seeds: &[u64], sweep: &Sweep) -> Experiment<E4Row> {
     let mut table = Table::new(
-        "E4 - Lemma 5.2: (All,A)-run vs (S,A)-run indistinguishability, exhaustive over S",
+        E4_TITLE,
         ["algorithm", "n", "subsets", "comparisons", "violations"],
     );
     let cfg = AdversaryConfig::default();
@@ -350,7 +360,7 @@ pub struct E6Row {
 /// of each `(algorithm, n)` estimate fan out over the sweep.
 pub fn e6_randomized_expectation(ns: &[usize], samples: u64, sweep: &Sweep) -> Experiment<E6Row> {
     let mut table = Table::new(
-        "E6 - randomized wakeup: sampled expected complexity vs c*log4(n) (Lemma 3.1)",
+        E6_TITLE,
         [
             "algorithm",
             "n",
@@ -859,10 +869,7 @@ pub struct E13Row {
 /// subsets, for every shipped wakeup algorithm. The `2^n` subsets of each
 /// check fan out over the sweep.
 pub fn e13_appendix_claims(ns: &[usize], sweep: &Sweep) -> Experiment<E13Row> {
-    let mut table = Table::new(
-        "E13 - appendix claims A.2-A.9 + Lemma 5.2, exhaustive over subsets",
-        ["algorithm", "n", "subsets", "violations"],
-    );
+    let mut table = Table::new(E13_TITLE, ["algorithm", "n", "subsets", "violations"]);
     let cfg = AdversaryConfig::default();
     let mut rows = Vec::new();
     for alg in correct_algorithms()

@@ -197,7 +197,9 @@ impl HarnessOpts {
     /// `--json` was given — writes the
     /// `{"tables":[…],"failures":[…]}` artifact (the `failures` key is
     /// omitted when there are none, keeping clean artifacts
-    /// byte-identical to [`HarnessOpts::emit`]'s). Returns
+    /// byte-identical to [`HarnessOpts::emit`]'s). All files are written
+    /// crash-safely (temp file + atomic rename, [`llsc_shmem::atomic_write`]),
+    /// so an interrupted run never leaves a truncated artifact. Returns
     /// [`ExitCode::FAILURE`] iff any trial failed or the artifact could
     /// not be written — partial results are still emitted either way.
     pub fn emit_with_failures(&self, tables: &[&Table], failures: &[TrialFailure]) -> ExitCode {
@@ -215,7 +217,7 @@ impl HarnessOpts {
             for f in failures {
                 let Some(repro) = &f.repro else { continue };
                 let path = dir.join(format!("repro-trial{}.json", f.index));
-                if let Err(e) = std::fs::write(&path, repro) {
+                if let Err(e) = llsc_shmem::atomic_write(&path, repro) {
                     eprintln!("error: cannot write {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
@@ -224,7 +226,7 @@ impl HarnessOpts {
         }
         if let Some(path) = &self.json {
             let artifact = Table::render_json_artifact_with_failures(tables, failures);
-            if let Err(e) = std::fs::write(path, artifact) {
+            if let Err(e) = llsc_shmem::atomic_write(path, artifact) {
                 eprintln!("error: cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
@@ -235,6 +237,42 @@ impl HarnessOpts {
         } else {
             eprintln!("{} trial(s) failed", failures.len());
             ExitCode::FAILURE
+        }
+    }
+
+    /// Runs an experiment body and emits its tables with a **unified
+    /// failure contract**: if the body panics (a sweep re-raising an
+    /// isolated trial failure, or an experiment-internal assertion), the
+    /// panic is converted into a [`TrialFailure`] and emitted through
+    /// [`HarnessOpts::emit_with_failures`] — so *every* `table_*` binary
+    /// exits nonzero with a populated `failures` array in its artifact on
+    /// any trial failure, instead of aborting with no artifact at all.
+    pub fn emit_guarded(&self, build: impl FnOnce(&Sweep) -> Vec<Table>) -> ExitCode {
+        let sweep = self.sweep();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| build(&sweep))) {
+            Ok(tables) => {
+                let refs: Vec<&Table> = tables.iter().collect();
+                self.emit_with_failures(&refs, &[])
+            }
+            Err(panic) => {
+                let payload = if let Some(s) = panic.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = panic.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                let failure = TrialFailure {
+                    index: 0,
+                    seed: self.seed,
+                    derived_seed: self.seed,
+                    payload,
+                    context: "experiment aborted; no tables were produced".to_string(),
+                    attempts: 1,
+                    repro: None,
+                };
+                self.emit_with_failures(&[], &[failure])
+            }
         }
     }
 }
@@ -382,5 +420,36 @@ mod tests {
         let artifact = std::fs::read_to_string(&path).unwrap();
         assert!(!artifact.contains("failures"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn emit_guarded_converts_a_panicking_experiment_into_a_failure_artifact() {
+        let dir = std::env::temp_dir().join("llsc-bench-guarded-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("guarded.json");
+        let opts = HarnessOpts {
+            json: Some(path.clone()),
+            seed: 11,
+            threads: 1,
+            ..HarnessOpts::default()
+        };
+
+        let code = opts.emit_guarded(|_| panic!("trial 7 exploded"));
+        assert_eq!(code, ExitCode::FAILURE);
+        let artifact = std::fs::read_to_string(&path).unwrap();
+        assert!(artifact.contains("\"failures\":[{\"trial\""));
+        assert!(artifact.contains("trial 7 exploded"));
+        assert!(artifact.contains("no tables were produced"));
+
+        // A healthy build through the same path emits cleanly.
+        let code = opts.emit_guarded(|_| {
+            let mut t = Table::new("t", ["c"]);
+            t.row(["1"]);
+            vec![t]
+        });
+        assert_eq!(code, ExitCode::SUCCESS);
+        let artifact = std::fs::read_to_string(&path).unwrap();
+        assert!(!artifact.contains("failures"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,1713 @@
+//! Checkpointed, resumable sweep jobs.
+//!
+//! The `2^n` subset sweeps (E4/E13) and the sampled expectation sweep
+//! (E6) are the repository's longest-running workloads, and a plain
+//! `table_e*` invocation loses everything when the process dies. This
+//! module wraps those sweeps in a *job*: the trial index space is
+//! partitioned into contiguous chunks, each chunk executes through the
+//! ordinary [`Sweep`] path, and after every chunk the accumulated
+//! per-trial records are persisted as an atomic, checksummed checkpoint
+//! ([`llsc_shmem::checkpoint`]). Because per-trial work is deterministic
+//! in the spec alone, a job killed at *any* point — `SIGKILL` included —
+//! resumes from its newest valid checkpoint and produces a final
+//! artifact byte-identical to an uninterrupted run, at any thread count.
+//!
+//! The robustness semantics, in one place:
+//!
+//! * **chunk watchdog** — each chunk attempt runs under an optional
+//!   wall-clock deadline; on expiry the runner raises the global sweep
+//!   abort ([`llsc_shmem::sweep::request_sweep_abort`]), in-flight trials
+//!   panic at their next executor poll, and the attempt is recorded as a
+//!   timeout.
+//! * **bounded retry with deterministic backoff** — a failed chunk
+//!   attempt sleeps `backoff_ms · 2^attempt` and retries, up to the
+//!   spec's retry budget.
+//! * **interrupt flush** — a [`JobControl`] interrupt flag (wired to
+//!   SIGINT/SIGTERM by the `llsc job` CLI) aborts the in-flight chunk,
+//!   flushes a final checkpoint, and exits with the interrupted status;
+//!   nothing completed is lost.
+//! * **graceful degradation** — a chunk that exhausts its retry budget
+//!   is recorded in the job manifest as failed; the job still completes,
+//!   emitting a *partial* artifact (rows whose trials all finished) plus
+//!   an explicit `incomplete` manifest and a nonzero exit.
+//!
+//! Layout of a job directory:
+//!
+//! ```text
+//! <dir>/spec.json                  the JobSpec (written by `run`)
+//! <dir>/checkpoints/ckpt-*.llsc    rolling checkpoints (2 newest kept)
+//! <dir>/artifact.json              final {"tables":[…]} artifact
+//! <dir>/manifest.json              status, chunk ledger, failures
+//! ```
+
+use crate::experiments::{E13_TITLE, E4_TITLE, E6_TITLE};
+use crate::table::Table;
+use llsc_core::{
+    indist_subset_range, report_from_samples, sample_expectation, AdversaryConfig,
+    ExpectationSample,
+};
+use llsc_shmem::json;
+use llsc_shmem::sweep::{clear_sweep_abort, request_sweep_abort};
+use llsc_shmem::{atomic_write, checkpoint, Algorithm, SeededTosses, Sweep, ZeroTosses};
+use llsc_wakeup::{correct_algorithms, randomized_algorithms};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The experiments a job can drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobExperiment {
+    /// E4 — Lemma 5.2 indistinguishability, exhaustive over subsets.
+    E4,
+    /// E6 — sampled expected complexity of the randomized algorithms.
+    E6,
+    /// E13 — appendix claims A.2–A.9 + Lemma 5.2, exhaustive over subsets.
+    E13,
+}
+
+impl JobExperiment {
+    /// Parses the artifact's experiment tag (`"e4"`, `"e6"`, `"e13"`).
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown tag.
+    pub fn parse(tag: &str) -> Result<JobExperiment, String> {
+        match tag {
+            "e4" => Ok(JobExperiment::E4),
+            "e6" => Ok(JobExperiment::E6),
+            "e13" => Ok(JobExperiment::E13),
+            other => Err(format!(
+                "unknown job experiment `{other}` (want e4, e6, or e13)"
+            )),
+        }
+    }
+
+    /// The artifact tag this experiment serialises as.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobExperiment::E4 => "e4",
+            JobExperiment::E6 => "e6",
+            JobExperiment::E13 => "e13",
+        }
+    }
+}
+
+/// A resumable job's complete description. Everything a trial's result
+/// depends on lives here, so the spec *is* the reproducibility contract:
+/// two runs of the same spec — chunked or not, interrupted or not, at any
+/// thread count — emit byte-identical artifacts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Which experiment the job drives.
+    pub experiment: JobExperiment,
+    /// A human-readable job name (recorded in the manifest).
+    pub name: String,
+    /// The sweep seed; per-trial seeds derive from `(seed, index)`.
+    pub seed: u64,
+    /// Process counts to sweep.
+    pub ns: Vec<usize>,
+    /// Toss-assignment seeds (E4 only; `0` means [`ZeroTosses`]).
+    pub toss_seeds: Vec<u64>,
+    /// Toss samples per `(algorithm, n)` estimate (E6 only).
+    pub samples: u64,
+    /// Number of chunks the trial space is partitioned into. Chunk
+    /// boundaries depend on this alone — never on the thread count — so
+    /// checkpoints from different `--threads` runs are interchangeable.
+    pub chunks: usize,
+    /// Extra attempts granted to a failing chunk before it is recorded as
+    /// permanently failed.
+    pub retries: u32,
+    /// Base backoff in milliseconds; attempt `k` sleeps `backoff_ms · 2^k`
+    /// before retrying (deterministic, no jitter).
+    pub backoff_ms: u64,
+    /// Per-chunk wall-clock watchdog in milliseconds (`0` disables it).
+    pub chunk_timeout_ms: u64,
+    /// Per-trial executor event budget override (`0` keeps the default).
+    /// Starving it is the supported way to exercise the retry-exhaustion
+    /// path end to end.
+    pub max_events: u64,
+}
+
+impl JobSpec {
+    /// The default spec for an experiment — the same parameter grid the
+    /// experiment's `table_*` binary uses, split into 8 chunks with a
+    /// small retry budget.
+    pub fn default_for(experiment: JobExperiment) -> JobSpec {
+        let (ns, toss_seeds, samples) = match experiment {
+            JobExperiment::E4 => (vec![4, 6], vec![0, 1, 42], 0),
+            JobExperiment::E6 => (vec![4, 16, 64], vec![], 30),
+            JobExperiment::E13 => (vec![4, 6], vec![], 0),
+        };
+        JobSpec {
+            experiment,
+            name: format!("{}-job", experiment.tag()),
+            seed: 0,
+            ns,
+            toss_seeds,
+            samples,
+            chunks: 8,
+            retries: 2,
+            backoff_ms: 50,
+            chunk_timeout_ms: 0,
+            max_events: 0,
+        }
+    }
+
+    /// Renders the spec in its canonical JSON form (all scalars as
+    /// strings, fixed key order — the form [`JobSpec::fingerprint`]
+    /// hashes).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"version\":\"1\",\"experiment\":");
+        json::push_string(&mut out, self.experiment.tag());
+        out.push_str(",\"name\":");
+        json::push_string(&mut out, &self.name);
+        out.push_str(",\"seed\":");
+        json::push_string(&mut out, &self.seed.to_string());
+        let push_list = |out: &mut String, key: &str, items: &[String]| {
+            out.push_str(&format!(",\"{key}\":["));
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_string(out, item);
+            }
+            out.push(']');
+        };
+        let ns: Vec<String> = self.ns.iter().map(|n| n.to_string()).collect();
+        push_list(&mut out, "ns", &ns);
+        let toss: Vec<String> = self.toss_seeds.iter().map(|s| s.to_string()).collect();
+        push_list(&mut out, "toss_seeds", &toss);
+        for (key, value) in [
+            ("samples", self.samples),
+            ("chunks", self.chunks as u64),
+            ("retries", u64::from(self.retries)),
+            ("backoff_ms", self.backoff_ms),
+            ("chunk_timeout_ms", self.chunk_timeout_ms),
+            ("max_events", self.max_events),
+        ] {
+            out.push_str(&format!(",\"{key}\":"));
+            json::push_string(&mut out, &value.to_string());
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a spec from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or malformed field.
+    pub fn parse(text: &str) -> Result<JobSpec, String> {
+        let value = json::parse(text)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            value
+                .field(key)
+                .ok_or_else(|| format!("job spec: missing `{key}`"))?
+                .str_or(&format!("job spec `{key}`"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            str_field(key)?
+                .parse::<u64>()
+                .map_err(|_| format!("job spec: bad `{key}` value"))
+        };
+        let list_field = |key: &str| -> Result<Vec<u64>, String> {
+            value
+                .field(key)
+                .ok_or_else(|| format!("job spec: missing `{key}`"))?
+                .array_or(&format!("job spec `{key}`"))?
+                .iter()
+                .map(|v| {
+                    v.str_or(&format!("job spec `{key}` entry"))?
+                        .parse::<u64>()
+                        .map_err(|_| format!("job spec: bad `{key}` entry"))
+                })
+                .collect()
+        };
+        let version = str_field("version")?;
+        if version != "1" {
+            return Err(format!("job spec: unsupported version `{version}`"));
+        }
+        let spec = JobSpec {
+            experiment: JobExperiment::parse(&str_field("experiment")?)?,
+            name: str_field("name")?,
+            seed: u64_field("seed")?,
+            ns: list_field("ns")?.into_iter().map(|n| n as usize).collect(),
+            toss_seeds: list_field("toss_seeds")?,
+            samples: u64_field("samples")?,
+            chunks: u64_field("chunks")? as usize,
+            retries: u64_field("retries")? as u32,
+            backoff_ms: u64_field("backoff_ms")?,
+            chunk_timeout_ms: u64_field("chunk_timeout_ms")?,
+            max_events: u64_field("max_events")?,
+        };
+        if spec.chunks == 0 {
+            return Err("job spec: `chunks` must be at least 1".into());
+        }
+        if spec.ns.is_empty() {
+            return Err("job spec: `ns` must not be empty".into());
+        }
+        if spec.ns.contains(&0) {
+            return Err("job spec: every n must be positive".into());
+        }
+        if spec.experiment != JobExperiment::E6 && spec.ns.iter().any(|&n| n > 16) {
+            return Err("job spec: exhaustive subset sweeps need n <= 16".into());
+        }
+        match spec.experiment {
+            JobExperiment::E4 if spec.toss_seeds.is_empty() => {
+                Err("job spec: e4 needs at least one toss seed".into())
+            }
+            JobExperiment::E6 if spec.samples == 0 => {
+                Err("job spec: e6 needs at least one sample".into())
+            }
+            _ => Ok(spec),
+        }
+    }
+
+    /// The FNV-1a fingerprint of the canonical rendering — recorded in
+    /// every checkpoint so `resume` refuses state from a different spec.
+    pub fn fingerprint(&self) -> u64 {
+        llsc_shmem::fnv64(self.render().as_bytes())
+    }
+
+    /// The algorithms this job sweeps, in row order.
+    fn algorithms(&self) -> Vec<Box<dyn Algorithm>> {
+        match self.experiment {
+            JobExperiment::E4 | JobExperiment::E13 => correct_algorithms()
+                .into_iter()
+                .chain(randomized_algorithms())
+                .collect(),
+            JobExperiment::E6 => randomized_algorithms(),
+        }
+    }
+
+    /// The flat trial-space cells, in row order. A *cell* is the unit the
+    /// assembler groups by: one `(algorithm, n, toss seed)` subset sweep
+    /// for E4, one `(algorithm, n)` sweep for E6/E13.
+    fn cells(&self) -> Vec<Cell> {
+        let algs = self.algorithms().len();
+        let mut cells = Vec::new();
+        let mut start = 0usize;
+        let mut push = |alg: usize, n: usize, toss_seed: u64, len: usize| {
+            cells.push(Cell {
+                start,
+                len,
+                alg,
+                n,
+                toss_seed,
+            });
+            start += len;
+        };
+        match self.experiment {
+            JobExperiment::E4 => {
+                for alg in 0..algs {
+                    for &n in &self.ns {
+                        for &seed in &self.toss_seeds {
+                            push(alg, n, seed, 1usize << n);
+                        }
+                    }
+                }
+            }
+            JobExperiment::E6 => {
+                for alg in 0..algs {
+                    for &n in &self.ns {
+                        push(alg, n, 0, self.samples as usize);
+                    }
+                }
+            }
+            JobExperiment::E13 => {
+                for alg in 0..algs {
+                    for &n in &self.ns {
+                        push(alg, n, 0, 1usize << n);
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total trials in the job's flat index space.
+    pub fn total_trials(&self) -> usize {
+        self.cells().iter().map(|c| c.len).sum()
+    }
+
+    /// The adversary configuration the job's trials run under.
+    fn adversary_config(&self) -> AdversaryConfig {
+        let mut cfg = match self.experiment {
+            JobExperiment::E6 => AdversaryConfig {
+                max_rounds: 10_000,
+                ..AdversaryConfig::default()
+            },
+            _ => AdversaryConfig::default(),
+        };
+        if self.max_events > 0 {
+            cfg.executor.max_events = self.max_events;
+        }
+        cfg
+    }
+}
+
+/// One contiguous cell of the flat trial space.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    /// Global index of the cell's first trial.
+    start: usize,
+    /// Number of trials in the cell.
+    len: usize,
+    /// Index into [`JobSpec::algorithms`].
+    alg: usize,
+    /// Process count.
+    n: usize,
+    /// Toss seed (E4; `0` means [`ZeroTosses`]).
+    toss_seed: u64,
+}
+
+/// Splits `total` trials into `chunks` contiguous `(start, len)` ranges,
+/// the first `total % chunks` of them one trial longer. Depends only on
+/// its arguments, so chunk boundaries are stable across invocations.
+pub fn chunk_bounds(total: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.clamp(1, total.max(1));
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        bounds.push((start, len));
+        start += len;
+    }
+    bounds
+}
+
+/// One trial's persisted result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TrialRecord {
+    /// An E4/E13 subset comparison.
+    Subset {
+        /// Global trial index.
+        index: usize,
+        /// Cell index (assembler group).
+        cell: usize,
+        /// Subset bitmask within the cell.
+        mask: usize,
+        /// Lemma 5.2 comparisons performed.
+        comparisons: usize,
+        /// Appendix-claim instances evaluated.
+        claims: usize,
+        /// Violations, rendered.
+        violations: Vec<String>,
+    },
+    /// An E6 toss-assignment sample.
+    Sample {
+        /// Global trial index.
+        index: usize,
+        /// Cell index (assembler group).
+        cell: usize,
+        /// The sampled contribution.
+        sample: ExpectationSample,
+    },
+}
+
+impl TrialRecord {
+    fn index(&self) -> usize {
+        match self {
+            TrialRecord::Subset { index, .. } | TrialRecord::Sample { index, .. } => *index,
+        }
+    }
+
+    fn cell(&self) -> usize {
+        match self {
+            TrialRecord::Subset { cell, .. } | TrialRecord::Sample { cell, .. } => *cell,
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        let field = |out: &mut String, key: &str, value: &str, first: bool| {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{key}\":"));
+            json::push_string(out, value);
+        };
+        out.push('{');
+        match self {
+            TrialRecord::Subset {
+                index,
+                cell,
+                mask,
+                comparisons,
+                claims,
+                violations,
+            } => {
+                field(out, "kind", "subset", true);
+                field(out, "index", &index.to_string(), false);
+                field(out, "cell", &cell.to_string(), false);
+                field(out, "mask", &mask.to_string(), false);
+                field(out, "comparisons", &comparisons.to_string(), false);
+                field(out, "claims", &claims.to_string(), false);
+                out.push_str(",\"violations\":[");
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::push_string(out, v);
+                }
+                out.push(']');
+            }
+            TrialRecord::Sample {
+                index,
+                cell,
+                sample,
+            } => {
+                field(out, "kind", "sample", true);
+                field(out, "index", &index.to_string(), false);
+                field(out, "cell", &cell.to_string(), false);
+                field(
+                    out,
+                    "terminated",
+                    if sample.terminated { "1" } else { "0" },
+                    false,
+                );
+                field(
+                    out,
+                    "wakeup_ok",
+                    if sample.wakeup_ok { "1" } else { "0" },
+                    false,
+                );
+                let opt = |v: Option<u64>| v.map_or("none".to_string(), |x| x.to_string());
+                field(out, "winner_steps", &opt(sample.winner_steps), false);
+                field(out, "max_steps", &opt(sample.max_steps), false);
+            }
+        }
+        out.push('}');
+    }
+
+    fn parse(value: &json::Value) -> Result<TrialRecord, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            value
+                .field(key)
+                .ok_or_else(|| format!("trial record: missing `{key}`"))?
+                .str_or(&format!("trial record `{key}`"))
+        };
+        let num = |key: &str| -> Result<usize, String> {
+            str_field(key)?
+                .parse::<usize>()
+                .map_err(|_| format!("trial record: bad `{key}`"))
+        };
+        match str_field("kind")?.as_str() {
+            "subset" => Ok(TrialRecord::Subset {
+                index: num("index")?,
+                cell: num("cell")?,
+                mask: num("mask")?,
+                comparisons: num("comparisons")?,
+                claims: num("claims")?,
+                violations: value
+                    .field("violations")
+                    .ok_or("trial record: missing `violations`")?
+                    .array_or("trial record `violations`")?
+                    .iter()
+                    .map(|v| v.str_or("violation entry"))
+                    .collect::<Result<_, _>>()?,
+            }),
+            "sample" => {
+                let opt = |key: &str| -> Result<Option<u64>, String> {
+                    let s = str_field(key)?;
+                    if s == "none" {
+                        Ok(None)
+                    } else {
+                        s.parse::<u64>()
+                            .map(Some)
+                            .map_err(|_| format!("trial record: bad `{key}`"))
+                    }
+                };
+                Ok(TrialRecord::Sample {
+                    index: num("index")?,
+                    cell: num("cell")?,
+                    sample: ExpectationSample {
+                        terminated: str_field("terminated")? == "1",
+                        wakeup_ok: str_field("wakeup_ok")? == "1",
+                        winner_steps: opt("winner_steps")?,
+                        max_steps: opt("max_steps")?,
+                    },
+                })
+            }
+            other => Err(format!("trial record: unknown kind `{other}`")),
+        }
+    }
+}
+
+/// A chunk that exhausted its retry budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkFailure {
+    /// The failed chunk's index.
+    pub chunk: usize,
+    /// Attempts consumed (1 + retries).
+    pub attempts: u32,
+    /// Failure kind: `run-error`, `panic`, or `timeout`.
+    pub kind: String,
+    /// The last attempt's error message.
+    pub message: String,
+    /// What the chunk covers — experiment, trial range, and the
+    /// overlapped `(algorithm, n, toss seed)` cells — enough to reproduce
+    /// the failure by re-running this spec's chunk alone.
+    pub context: String,
+}
+
+/// How a job invocation ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Every chunk completed; the artifact is whole.
+    Complete,
+    /// At least one chunk exhausted its retry budget; the artifact is
+    /// partial and the manifest lists what is missing.
+    Incomplete,
+    /// The run was interrupted (signal or [`JobControl`] stop); resume
+    /// with `llsc job resume`.
+    Interrupted,
+}
+
+impl JobStatus {
+    /// The manifest's status string.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobStatus::Complete => "complete",
+            JobStatus::Incomplete => "incomplete",
+            JobStatus::Interrupted => "interrupted",
+        }
+    }
+}
+
+/// Cooperative control handles for a running job: an interrupt flag (the
+/// CLI wires SIGINT/SIGTERM to it) and a deterministic stop-after hook
+/// used by the kill/resume tests to simulate a crash at an exact chunk
+/// boundary.
+#[derive(Clone, Debug, Default)]
+pub struct JobControl {
+    /// Set to request a graceful stop: the in-flight chunk is aborted,
+    /// a final checkpoint is flushed, and the runner returns
+    /// [`JobStatus::Interrupted`].
+    pub interrupt: Arc<AtomicBool>,
+    /// Stop (as if interrupted) after this many chunks have been
+    /// *executed by this invocation* — a crash simulation for tests.
+    pub stop_after_chunks: Option<usize>,
+}
+
+impl JobControl {
+    /// A control handle that never interrupts.
+    pub fn new() -> JobControl {
+        JobControl::default()
+    }
+
+    fn interrupted(&self) -> bool {
+        self.interrupt.load(Ordering::SeqCst)
+    }
+}
+
+/// What a job invocation did, for the CLI to report and map to an exit
+/// code.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// How the invocation ended.
+    pub status: JobStatus,
+    /// Chunks completed over the job's lifetime (including prior
+    /// invocations).
+    pub completed_chunks: usize,
+    /// Total chunks in the spec.
+    pub total_chunks: usize,
+    /// Chunks that exhausted their retry budget in this invocation.
+    pub failed: Vec<ChunkFailure>,
+    /// Checkpoints that were skipped as invalid while loading state.
+    pub fallback_notes: Vec<String>,
+    /// The final artifact path (written unless the run was interrupted).
+    pub artifact: Option<PathBuf>,
+}
+
+/// In-memory job state, round-tripped through checkpoints.
+struct JobState {
+    completed: BTreeSet<usize>,
+    records: Vec<TrialRecord>,
+    next_seq: u64,
+    fallback_notes: Vec<String>,
+}
+
+impl JobState {
+    fn fresh() -> JobState {
+        JobState {
+            completed: BTreeSet::new(),
+            records: Vec::new(),
+            next_seq: 1,
+            fallback_notes: Vec::new(),
+        }
+    }
+}
+
+fn checkpoint_dir(dir: &Path) -> PathBuf {
+    dir.join("checkpoints")
+}
+
+/// The spec file inside a job directory.
+pub fn spec_path(dir: &Path) -> PathBuf {
+    dir.join("spec.json")
+}
+
+/// The final artifact inside a job directory.
+pub fn artifact_path(dir: &Path) -> PathBuf {
+    dir.join("artifact.json")
+}
+
+/// The manifest inside a job directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.json")
+}
+
+fn render_checkpoint(spec: &JobSpec, state: &JobState) -> String {
+    let mut out = String::from("{\"experiment\":");
+    json::push_string(&mut out, spec.experiment.tag());
+    out.push_str(",\"spec_fnv64\":");
+    json::push_string(&mut out, &format!("{:016x}", spec.fingerprint()));
+    out.push_str(",\"rng\":");
+    json::push_string(
+        &mut out,
+        &format!(
+            "sweep_seed={:#018x}; trial seeds derive as split_mix over (seed, index)",
+            spec.seed
+        ),
+    );
+    out.push_str(",\"completed\":[");
+    for (i, chunk) in state.completed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_string(&mut out, &chunk.to_string());
+    }
+    out.push_str("],\"records\":[");
+    for (i, record) in state.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        record.render(&mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn parse_checkpoint(
+    spec: &JobSpec,
+    payload: &[u8],
+) -> Result<(BTreeSet<usize>, Vec<TrialRecord>), String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "checkpoint payload is not UTF-8")?;
+    let value = json::parse(text)?;
+    let fnv = value
+        .field("spec_fnv64")
+        .ok_or("checkpoint: missing `spec_fnv64`")?
+        .str_or("checkpoint `spec_fnv64`")?;
+    let expected = format!("{:016x}", spec.fingerprint());
+    if fnv != expected {
+        return Err(format!(
+            "checkpoint belongs to a different job spec (fingerprint {fnv}, expected {expected})"
+        ));
+    }
+    let completed = value
+        .field("completed")
+        .ok_or("checkpoint: missing `completed`")?
+        .array_or("checkpoint `completed`")?
+        .iter()
+        .map(|v| {
+            v.str_or("completed chunk")?
+                .parse::<usize>()
+                .map_err(|_| "checkpoint: bad chunk index".to_string())
+        })
+        .collect::<Result<BTreeSet<usize>, String>>()?;
+    let records = value
+        .field("records")
+        .ok_or("checkpoint: missing `records`")?
+        .array_or("checkpoint `records`")?
+        .iter()
+        .map(TrialRecord::parse)
+        .collect::<Result<Vec<TrialRecord>, String>>()?;
+    Ok((completed, records))
+}
+
+/// How one chunk attempt ended.
+enum AttemptOutcome {
+    Success(Vec<TrialRecord>),
+    Interrupted,
+    Failed { kind: &'static str, message: String },
+}
+
+/// Runs one chunk attempt under the wall-clock watchdog and the
+/// interrupt flag. The body executes on a scoped worker thread; on
+/// timeout or interrupt the monitor raises the global sweep abort, the
+/// body's in-flight trials panic at their next executor poll, and the
+/// unwound attempt is classified here. The abort flag is always cleared
+/// before returning.
+fn run_chunk_guarded(
+    timeout: Option<Duration>,
+    interrupt: &AtomicBool,
+    body: impl FnOnce() -> Result<Vec<TrialRecord>, String> + Send,
+) -> AttemptOutcome {
+    type BodyResult = std::thread::Result<Result<Vec<TrialRecord>, String>>;
+    let done = AtomicBool::new(false);
+    let slot: Mutex<Option<BodyResult>> = Mutex::new(None);
+    let mut timed_out = false;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let result = catch_unwind(AssertUnwindSafe(body));
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+            done.store(true, Ordering::SeqCst);
+        });
+        let started = Instant::now();
+        while !done.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+            if interrupt.load(Ordering::SeqCst) {
+                request_sweep_abort();
+            } else if let Some(limit) = timeout {
+                if !timed_out && started.elapsed() > limit {
+                    timed_out = true;
+                    request_sweep_abort();
+                }
+            }
+        }
+    });
+    clear_sweep_abort();
+    let result = slot
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+        .expect("worker stored its result before setting done");
+    match result {
+        Ok(Ok(records)) => AttemptOutcome::Success(records),
+        Ok(Err(message)) => AttemptOutcome::Failed {
+            kind: "run-error",
+            message,
+        },
+        Err(panic) => {
+            let message = panic_message(panic.as_ref());
+            if interrupt.load(Ordering::SeqCst) {
+                AttemptOutcome::Interrupted
+            } else if timed_out {
+                AttemptOutcome::Failed {
+                    kind: "timeout",
+                    message: format!("chunk exceeded its wall-clock budget ({message})"),
+                }
+            } else {
+                AttemptOutcome::Failed {
+                    kind: "panic",
+                    message,
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes the trials `start .. start + len` of the job's flat index
+/// space and returns their records in index order.
+fn run_chunk_body(
+    spec: &JobSpec,
+    cells: &[Cell],
+    start: usize,
+    len: usize,
+    threads: usize,
+) -> Result<Vec<TrialRecord>, String> {
+    let algs = spec.algorithms();
+    let cfg = spec.adversary_config();
+    let sweep = Sweep::with_threads(threads).seeded(spec.seed);
+    let end = start + len;
+    let mut records = Vec::with_capacity(len);
+    for (cell_index, cell) in cells.iter().enumerate() {
+        let lo = start.max(cell.start);
+        let hi = end.min(cell.start + cell.len);
+        if lo >= hi {
+            continue;
+        }
+        let local_lo = lo - cell.start;
+        let local_count = hi - lo;
+        let alg = algs[cell.alg].as_ref();
+        match spec.experiment {
+            JobExperiment::E4 | JobExperiment::E13 => {
+                let toss: Arc<dyn llsc_shmem::TossAssignment> = if cell.toss_seed == 0 {
+                    Arc::new(ZeroTosses)
+                } else {
+                    Arc::new(SeededTosses::new(cell.toss_seed))
+                };
+                let check_claims = spec.experiment == JobExperiment::E13;
+                let chunk = indist_subset_range(
+                    alg,
+                    cell.n,
+                    toss,
+                    &cfg,
+                    check_claims,
+                    &sweep,
+                    local_lo..local_lo + local_count,
+                )
+                .map_err(|e| {
+                    format!(
+                        "alg={} n={} toss_seed={}: {e:?}",
+                        alg.name(),
+                        cell.n,
+                        cell.toss_seed
+                    )
+                })?;
+                records.extend(chunk.records.into_iter().map(|r| TrialRecord::Subset {
+                    index: cell.start + r.mask,
+                    cell: cell_index,
+                    mask: r.mask,
+                    comparisons: r.comparisons,
+                    claims: r.claim_instances,
+                    violations: r.violations,
+                }));
+            }
+            JobExperiment::E6 => {
+                let seeds: Vec<u64> = (local_lo as u64..(local_lo + local_count) as u64).collect();
+                let sampled = sweep
+                    .run(&seeds, |_trial, &seed| {
+                        sample_expectation(alg, cell.n, seed, &cfg)
+                    })
+                    .into_iter()
+                    .collect::<Result<Vec<ExpectationSample>, _>>()
+                    .map_err(|e| format!("alg={} n={}: {e:?}", alg.name(), cell.n))?;
+                records.extend(sampled.into_iter().enumerate().map(|(i, sample)| {
+                    TrialRecord::Sample {
+                        index: cell.start + local_lo + i,
+                        cell: cell_index,
+                        sample,
+                    }
+                }));
+            }
+        }
+    }
+    Ok(records)
+}
+
+fn chunk_context(spec: &JobSpec, cells: &[Cell], start: usize, len: usize) -> String {
+    let algs = spec.algorithms();
+    let end = start + len;
+    let mut parts = Vec::new();
+    for cell in cells {
+        if start.max(cell.start) >= end.min(cell.start + cell.len) {
+            continue;
+        }
+        parts.push(match spec.experiment {
+            JobExperiment::E4 => format!(
+                "alg={} n={} toss_seed={}",
+                algs[cell.alg].name(),
+                cell.n,
+                cell.toss_seed
+            ),
+            _ => format!("alg={} n={}", algs[cell.alg].name(), cell.n),
+        });
+    }
+    format!(
+        "{} trials {start}..{end}: {}",
+        spec.experiment.tag(),
+        parts.join("; ")
+    )
+}
+
+/// Assembles the final table artifact from the persisted records —
+/// a pure function of `(spec, records)`, so chunked, resumed, and
+/// uninterrupted runs agree byte for byte. Rows whose trials are not all
+/// present (failed chunks) are omitted and reported in the returned list
+/// of incomplete row labels.
+fn assemble(spec: &JobSpec, records: &[TrialRecord]) -> (Table, Vec<String>) {
+    let algs = spec.algorithms();
+    let cells = spec.cells();
+    let mut by_cell: Vec<Vec<&TrialRecord>> = vec![Vec::new(); cells.len()];
+    for record in records {
+        if record.cell() < by_cell.len() {
+            by_cell[record.cell()].push(record);
+        }
+    }
+    for group in &mut by_cell {
+        group.sort_by_key(|r| r.index());
+        group.dedup_by_key(|r| r.index());
+    }
+    let complete = |cell: usize| by_cell[cell].len() == cells[cell].len;
+
+    let mut incomplete = Vec::new();
+    let table = match spec.experiment {
+        JobExperiment::E4 => {
+            let mut table = Table::new(
+                E4_TITLE,
+                ["algorithm", "n", "subsets", "comparisons", "violations"],
+            );
+            // Cells are laid out alg-major, then n, then toss seed: each
+            // row merges `toss_seeds.len()` consecutive cells.
+            let per_row = spec.toss_seeds.len();
+            for (row, cell_block) in cells.chunks(per_row).enumerate() {
+                let first = row * per_row;
+                let alg = algs[cell_block[0].alg].name().to_string();
+                let n = cell_block[0].n;
+                if !(first..first + per_row).all(complete) {
+                    incomplete.push(format!("alg={alg} n={n}"));
+                    continue;
+                }
+                let mut subsets = 0usize;
+                let mut comparisons = 0usize;
+                let mut violations = 0usize;
+                for cell_records in by_cell.iter().skip(first).take(per_row) {
+                    subsets += cell_records.len();
+                    for record in cell_records {
+                        if let TrialRecord::Subset {
+                            comparisons: c,
+                            violations: v,
+                            ..
+                        } = record
+                        {
+                            comparisons += c;
+                            violations += v.len();
+                        }
+                    }
+                }
+                table.row([
+                    alg,
+                    n.to_string(),
+                    subsets.to_string(),
+                    comparisons.to_string(),
+                    violations.to_string(),
+                ]);
+            }
+            table
+        }
+        JobExperiment::E6 => {
+            let mut table = Table::new(
+                E6_TITLE,
+                [
+                    "algorithm",
+                    "n",
+                    "c",
+                    "E[winner]",
+                    "min winner",
+                    "c*k",
+                    "log4(n)",
+                ],
+            );
+            for (cell_index, cell) in cells.iter().enumerate() {
+                let alg = algs[cell.alg].name();
+                if !complete(cell_index) {
+                    incomplete.push(format!("alg={alg} n={}", cell.n));
+                    continue;
+                }
+                let samples: Vec<ExpectationSample> = by_cell[cell_index]
+                    .iter()
+                    .filter_map(|r| match r {
+                        TrialRecord::Sample { sample, .. } => Some(sample.clone()),
+                        TrialRecord::Subset { .. } => None,
+                    })
+                    .collect();
+                let rep = report_from_samples(alg, cell.n, &samples);
+                table.row([
+                    alg.to_string(),
+                    cell.n.to_string(),
+                    format!("{:.2}", rep.termination_rate),
+                    format!("{:.1}", rep.mean_winner_steps),
+                    rep.min_winner_steps.to_string(),
+                    format!("{:.2}", rep.lemma_3_1_bound),
+                    format!("{:.2}", rep.log4_n),
+                ]);
+            }
+            table
+        }
+        JobExperiment::E13 => {
+            let mut table = Table::new(E13_TITLE, ["algorithm", "n", "subsets", "violations"]);
+            for (cell_index, cell) in cells.iter().enumerate() {
+                let alg = algs[cell.alg].name();
+                if !complete(cell_index) {
+                    incomplete.push(format!("alg={alg} n={}", cell.n));
+                    continue;
+                }
+                let violations: usize = by_cell[cell_index]
+                    .iter()
+                    .map(|r| match r {
+                        TrialRecord::Subset { violations, .. } => violations.len(),
+                        TrialRecord::Sample { .. } => 0,
+                    })
+                    .sum();
+                table.row([
+                    alg.to_string(),
+                    cell.n.to_string(),
+                    (1u64 << cell.n).to_string(),
+                    violations.to_string(),
+                ]);
+            }
+            table
+        }
+    };
+    (table, incomplete)
+}
+
+fn render_manifest(
+    spec: &JobSpec,
+    status: JobStatus,
+    state: &JobState,
+    total_chunks: usize,
+    failed: &[ChunkFailure],
+    incomplete_rows: &[String],
+) -> String {
+    let mut out = String::from("{\"name\":");
+    json::push_string(&mut out, &spec.name);
+    out.push_str(",\"experiment\":");
+    json::push_string(&mut out, spec.experiment.tag());
+    out.push_str(",\"status\":");
+    json::push_string(&mut out, status.tag());
+    for (key, value) in [
+        ("chunks", total_chunks.to_string()),
+        ("completed", state.completed.len().to_string()),
+        ("trials", state.records.len().to_string()),
+        ("total_trials", spec.total_trials().to_string()),
+    ] {
+        out.push_str(&format!(",\"{key}\":"));
+        json::push_string(&mut out, &value);
+    }
+    out.push_str(",\"incomplete_rows\":[");
+    for (i, row) in incomplete_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_string(&mut out, row);
+    }
+    out.push_str("],\"failed\":[");
+    for (i, f) in failed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"chunk\":");
+        json::push_string(&mut out, &f.chunk.to_string());
+        out.push_str(",\"attempts\":");
+        json::push_string(&mut out, &f.attempts.to_string());
+        out.push_str(",\"kind\":");
+        json::push_string(&mut out, &f.kind);
+        out.push_str(",\"message\":");
+        json::push_string(&mut out, &f.message);
+        out.push_str(",\"context\":");
+        json::push_string(&mut out, &f.context);
+        out.push('}');
+    }
+    out.push_str("],\"fallback_checkpoints\":[");
+    for (i, note) in state.fallback_notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_string(&mut out, note);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Starts a job in `dir` from `spec`, writing `spec.json` first. Refuses
+/// a directory that already has checkpoints (resume instead).
+///
+/// # Errors
+///
+/// I/O errors, a populated checkpoint directory, or chunk execution
+/// errors surfaced through the returned report's `failed` list.
+pub fn run_job(
+    dir: &Path,
+    spec: &JobSpec,
+    threads: usize,
+    control: &JobControl,
+) -> Result<JobReport, String> {
+    if !checkpoint::list_seqs(&checkpoint_dir(dir)).is_empty() {
+        return Err(format!(
+            "{} already has checkpoints; use `llsc job resume`",
+            dir.display()
+        ));
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    atomic_write(&spec_path(dir), spec.render())
+        .map_err(|e| format!("cannot write {}: {e}", spec_path(dir).display()))?;
+    drive(dir, spec, JobState::fresh(), threads, control)
+}
+
+/// Resumes the job in `dir` from its newest valid checkpoint (or from
+/// scratch when no checkpoint survived), re-executing only missing
+/// chunks. Previously failed chunks get a fresh retry budget.
+///
+/// # Errors
+///
+/// A missing or unparseable `spec.json`, or a checkpoint that belongs to
+/// a different spec.
+pub fn resume_job(dir: &Path, threads: usize, control: &JobControl) -> Result<JobReport, String> {
+    let spec = load_spec(dir)?;
+    let mut state = JobState::fresh();
+    if let Some(loaded) = checkpoint::load_latest(&checkpoint_dir(dir)) {
+        let (completed, records) = parse_checkpoint(&spec, &loaded.payload)?;
+        state.completed = completed;
+        state.records = records;
+        state.next_seq = loaded.seq + 1;
+        state.fallback_notes = loaded
+            .skipped
+            .iter()
+            .map(|s| format!("seq={}: {}", s.seq, s.error))
+            .collect();
+    }
+    drive(dir, &spec, state, threads, control)
+}
+
+/// Loads a job directory's spec.
+///
+/// # Errors
+///
+/// A missing or unparseable `spec.json`.
+pub fn load_spec(dir: &Path) -> Result<JobSpec, String> {
+    let path = spec_path(dir);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    JobSpec::parse(&text)
+}
+
+fn drive(
+    dir: &Path,
+    spec: &JobSpec,
+    mut state: JobState,
+    threads: usize,
+    control: &JobControl,
+) -> Result<JobReport, String> {
+    let cells = spec.cells();
+    let bounds = chunk_bounds(spec.total_trials(), spec.chunks);
+    let ckpt_dir = checkpoint_dir(dir);
+    let mut failed: Vec<ChunkFailure> = Vec::new();
+    let mut executed = 0usize;
+    let mut interrupted = false;
+
+    for (chunk, &(start, len)) in bounds.iter().enumerate() {
+        if state.completed.contains(&chunk) {
+            continue;
+        }
+        if control.interrupted() {
+            interrupted = true;
+            break;
+        }
+        if control
+            .stop_after_chunks
+            .is_some_and(|limit| executed >= limit)
+        {
+            interrupted = true;
+            break;
+        }
+
+        let attempts = 1 + spec.retries;
+        let mut last_failure: Option<(&'static str, String)> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 && spec.backoff_ms > 0 {
+                // Deterministic exponential backoff, interrupt-aware.
+                let sleep = Duration::from_millis(spec.backoff_ms << (attempt - 1));
+                let waited = Instant::now();
+                while waited.elapsed() < sleep && !control.interrupted() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            if control.interrupted() {
+                interrupted = true;
+                break;
+            }
+            let timeout =
+                (spec.chunk_timeout_ms > 0).then(|| Duration::from_millis(spec.chunk_timeout_ms));
+            let outcome = run_chunk_guarded(timeout, &control.interrupt, || {
+                run_chunk_body(spec, &cells, start, len, threads)
+            });
+            match outcome {
+                AttemptOutcome::Success(records) => {
+                    state.records.extend(records);
+                    state.records.sort_by_key(TrialRecord::index);
+                    state.records.dedup_by_key(|r| r.index());
+                    state.completed.insert(chunk);
+                    last_failure = None;
+                    break;
+                }
+                AttemptOutcome::Interrupted => {
+                    interrupted = true;
+                    break;
+                }
+                AttemptOutcome::Failed { kind, message } => {
+                    last_failure = Some((kind, message));
+                }
+            }
+        }
+        if let Some((kind, message)) = last_failure {
+            failed.push(ChunkFailure {
+                chunk,
+                attempts,
+                kind: kind.to_string(),
+                message,
+                context: chunk_context(spec, &cells, start, len),
+            });
+        }
+        executed += 1;
+
+        let payload = render_checkpoint(spec, &state);
+        checkpoint::write(&ckpt_dir, state.next_seq, payload.as_bytes())
+            .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+        state.next_seq += 1;
+
+        if interrupted {
+            break;
+        }
+    }
+
+    // Flush a final checkpoint so even a run interrupted before its first
+    // chunk boundary leaves a resumable, validated state on disk.
+    let payload = render_checkpoint(spec, &state);
+    checkpoint::write(&ckpt_dir, state.next_seq, payload.as_bytes())
+        .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+    state.next_seq += 1;
+
+    let status = if interrupted || control.interrupted() {
+        JobStatus::Interrupted
+    } else if failed.is_empty() && state.completed.len() == bounds.len() {
+        JobStatus::Complete
+    } else {
+        JobStatus::Incomplete
+    };
+
+    let (table, incomplete_rows) = assemble(spec, &state.records);
+    let artifact = if status == JobStatus::Interrupted {
+        None
+    } else {
+        let path = artifact_path(dir);
+        let rendered = Table::render_json_artifact(&[&table]);
+        atomic_write(&path, rendered)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Some(path)
+    };
+    let manifest = render_manifest(
+        spec,
+        status,
+        &state,
+        bounds.len(),
+        &failed,
+        &incomplete_rows,
+    );
+    atomic_write(&manifest_path(dir), manifest)
+        .map_err(|e| format!("cannot write {}: {e}", manifest_path(dir).display()))?;
+
+    Ok(JobReport {
+        status,
+        completed_chunks: state.completed.len(),
+        total_chunks: bounds.len(),
+        failed,
+        fallback_notes: state.fallback_notes,
+        artifact,
+    })
+}
+
+/// The exit code a job outcome maps to, shared by `llsc job` and the
+/// table binaries' `--job-dir` mode: 0 complete, 1 incomplete (partial
+/// artifact + manifest), 130 interrupted (resume to continue).
+pub fn job_exit_code(status: JobStatus) -> u8 {
+    match status {
+        JobStatus::Complete => 0,
+        JobStatus::Incomplete => 1,
+        JobStatus::Interrupted => 130,
+    }
+}
+
+/// The `--job-dir` mode of the `table_e4`/`table_e6`/`table_e13`
+/// binaries: when the process arguments contain `--job-dir DIR`, runs
+/// (or, with `--resume`, resumes) this experiment's default-grid job in
+/// `DIR` — checkpointed, retryable, interruptible — and returns the exit
+/// code. Returns `None` when the flag is absent, letting the binary
+/// proceed with its ordinary one-shot sweep.
+pub fn table_job_mode(experiment: JobExperiment) -> Option<std::process::ExitCode> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = None;
+    let mut threads = 1usize;
+    let mut resume = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--job-dir" => {
+                i += 1;
+                dir = args.get(i).cloned();
+            }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+            }
+            "--resume" => resume = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    let dir = PathBuf::from(dir?);
+    let control = JobControl::new();
+    let result = if resume {
+        resume_job(&dir, threads, &control)
+    } else {
+        run_job(&dir, &JobSpec::default_for(experiment), threads, &control)
+    };
+    Some(match result {
+        Ok(report) => {
+            eprintln!(
+                "job {}: {}/{} chunk(s) complete, {} failed",
+                report.status.tag(),
+                report.completed_chunks,
+                report.total_chunks,
+                report.failed.len()
+            );
+            std::process::ExitCode::from(job_exit_code(report.status))
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::from(2)
+        }
+    })
+}
+
+/// Renders a human-readable status report for the job in `dir` without
+/// executing anything: spec summary, checkpoint progress, and — when a
+/// manifest exists — the last invocation's outcome.
+///
+/// # Errors
+///
+/// A missing or unparseable `spec.json`, or an unreadable checkpoint
+/// that matches a different spec.
+pub fn job_status(dir: &Path) -> Result<String, String> {
+    let spec = load_spec(dir)?;
+    let bounds = chunk_bounds(spec.total_trials(), spec.chunks);
+    let mut out = format!(
+        "job `{}` ({}) in {}\n  trials: {} in {} chunk(s), sweep seed {:#018x}\n",
+        spec.name,
+        spec.experiment.tag(),
+        dir.display(),
+        spec.total_trials(),
+        bounds.len(),
+        spec.seed,
+    );
+    match checkpoint::load_latest(&checkpoint_dir(dir)) {
+        Some(loaded) => {
+            let (completed, records) = parse_checkpoint(&spec, &loaded.payload)?;
+            out.push_str(&format!(
+                "  checkpoint: seq {} with {}/{} chunk(s) complete, {} trial record(s)\n",
+                loaded.seq,
+                completed.len(),
+                bounds.len(),
+                records.len(),
+            ));
+            for s in &loaded.skipped {
+                out.push_str(&format!(
+                    "  skipped invalid checkpoint seq={}: {}\n",
+                    s.seq, s.error
+                ));
+            }
+        }
+        None => out.push_str("  checkpoint: none\n"),
+    }
+    if let Ok(manifest) = std::fs::read_to_string(manifest_path(dir)) {
+        if let Ok(value) = json::parse(&manifest) {
+            if let Some(status) = value.field("status").and_then(json::Value::as_str) {
+                out.push_str(&format!("  last invocation: {status}\n"));
+            }
+            if let Some(failed) = value.field("failed").and_then(json::Value::as_array) {
+                for f in failed {
+                    let chunk = f
+                        .field("chunk")
+                        .and_then(json::Value::as_str)
+                        .unwrap_or("?");
+                    let kind = f.field("kind").and_then(json::Value::as_str).unwrap_or("?");
+                    out.push_str(&format!("  failed chunk {chunk}: {kind}\n"));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llsc_shmem::rng::trial_seed;
+    use llsc_shmem::sweep::sweep_abort_requested;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("llsc-job-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_e4_spec() -> JobSpec {
+        JobSpec {
+            ns: vec![3],
+            toss_seeds: vec![0],
+            chunks: 4,
+            retries: 0,
+            backoff_ms: 0,
+            ..JobSpec::default_for(JobExperiment::E4)
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for experiment in [JobExperiment::E4, JobExperiment::E6, JobExperiment::E13] {
+            let spec = JobSpec::default_for(experiment);
+            let back = JobSpec::parse(&spec.render()).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.fingerprint(), spec.fingerprint());
+        }
+    }
+
+    #[test]
+    fn spec_parse_rejects_bad_documents() {
+        assert!(JobSpec::parse("{}").is_err());
+        assert!(JobSpec::parse("not json").is_err());
+        let spec = JobSpec::default_for(JobExperiment::E4);
+        assert!(JobSpec::parse(&spec.render().replace("\"e4\"", "\"e99\"")).is_err());
+        assert!(JobSpec::parse(
+            &spec
+                .render()
+                .replace("\"version\":\"1\"", "\"version\":\"2\"")
+        )
+        .is_err());
+        let no_chunks = JobSpec {
+            chunks: 0,
+            ..spec.clone()
+        };
+        assert!(JobSpec::parse(&no_chunks.render()).is_err());
+    }
+
+    #[test]
+    fn chunk_bounds_partition_the_space() {
+        assert_eq!(chunk_bounds(10, 3), vec![(0, 4), (4, 3), (7, 3)]);
+        assert_eq!(chunk_bounds(4, 8), vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
+        assert_eq!(chunk_bounds(0, 3), vec![(0, 0)]);
+        let bounds = chunk_bounds(97, 8);
+        assert_eq!(bounds.len(), 8);
+        assert_eq!(bounds.iter().map(|&(_, l)| l).sum::<usize>(), 97);
+        let mut expected = 0;
+        for (start, len) in bounds {
+            assert_eq!(start, expected);
+            expected = start + len;
+        }
+    }
+
+    #[test]
+    fn cells_cover_the_trial_space_in_row_order() {
+        let spec = tiny_e4_spec();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 6, "6 algorithms x 1 n x 1 toss seed");
+        assert_eq!(spec.total_trials(), 6 * 8);
+        assert_eq!(cells[0].start, 0);
+        assert_eq!(cells[5].start, 40);
+        let e6 = JobSpec {
+            ns: vec![4, 8],
+            samples: 5,
+            ..JobSpec::default_for(JobExperiment::E6)
+        };
+        assert_eq!(e6.total_trials(), 2 * 2 * 5);
+    }
+
+    #[test]
+    fn complete_job_artifact_matches_the_table_binary() {
+        let dir = scratch_dir("e4-identity");
+        let spec = tiny_e4_spec();
+        let report = run_job(&dir, &spec, 2, &JobControl::new()).unwrap();
+        assert_eq!(report.status, JobStatus::Complete);
+        assert_eq!(report.completed_chunks, 4);
+        let artifact = std::fs::read_to_string(report.artifact.unwrap()).unwrap();
+        let direct = crate::e4_indistinguishability(&[3], &[0], &Sweep::sequential());
+        assert_eq!(
+            artifact,
+            Table::render_json_artifact(&[&direct.table]),
+            "job artifact must be byte-identical to the table binary's"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stop_and_resume_reproduces_the_uninterrupted_artifact() {
+        let dir = scratch_dir("e13-resume");
+        let spec = JobSpec {
+            ns: vec![4],
+            chunks: 5,
+            retries: 0,
+            backoff_ms: 0,
+            ..JobSpec::default_for(JobExperiment::E13)
+        };
+        let stopper = JobControl {
+            stop_after_chunks: Some(2),
+            ..JobControl::new()
+        };
+        let first = run_job(&dir, &spec, 1, &stopper).unwrap();
+        assert_eq!(first.status, JobStatus::Interrupted);
+        assert_eq!(first.completed_chunks, 2);
+        assert!(first.artifact.is_none());
+        // Resume at a different thread count.
+        let second = resume_job(&dir, 3, &JobControl::new()).unwrap();
+        assert_eq!(second.status, JobStatus::Complete);
+        let resumed = std::fs::read_to_string(second.artifact.unwrap()).unwrap();
+
+        let clean_dir = scratch_dir("e13-clean");
+        let clean = run_job(&clean_dir, &spec, 2, &JobControl::new()).unwrap();
+        let uninterrupted = std::fs::read_to_string(clean.artifact.unwrap()).unwrap();
+        assert_eq!(resumed, uninterrupted);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&clean_dir).ok();
+    }
+
+    #[test]
+    fn e6_job_matches_the_expectation_sweep() {
+        let dir = scratch_dir("e6-identity");
+        let spec = JobSpec {
+            ns: vec![4],
+            samples: 6,
+            chunks: 3,
+            ..JobSpec::default_for(JobExperiment::E6)
+        };
+        let report = run_job(&dir, &spec, 2, &JobControl::new()).unwrap();
+        assert_eq!(report.status, JobStatus::Complete);
+        let artifact = std::fs::read_to_string(report.artifact.unwrap()).unwrap();
+        let direct = crate::e6_randomized_expectation(&[4], 6, &Sweep::sequential());
+        assert_eq!(artifact, Table::render_json_artifact(&[&direct.table]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retry_exhaustion_degrades_to_an_incomplete_manifest() {
+        let dir = scratch_dir("starved");
+        let spec = JobSpec {
+            ns: vec![3],
+            toss_seeds: vec![0],
+            chunks: 2,
+            retries: 1,
+            backoff_ms: 1,
+            max_events: 1, // starve the executor: every chunk fails
+            ..JobSpec::default_for(JobExperiment::E4)
+        };
+        let report = run_job(&dir, &spec, 1, &JobControl::new()).unwrap();
+        assert_eq!(report.status, JobStatus::Incomplete);
+        assert_eq!(report.failed.len(), 2);
+        assert_eq!(report.failed[0].attempts, 2, "1 try + 1 retry");
+        assert_eq!(report.failed[0].kind, "run-error");
+        assert!(report.failed[0].context.contains("e4 trials 0..24"));
+        let manifest = std::fs::read_to_string(manifest_path(&dir)).unwrap();
+        assert!(manifest.contains("\"status\":\"incomplete\""));
+        assert!(manifest.contains("\"failed\":[{\"chunk\":\"0\""));
+        // The partial artifact exists and simply has no completed rows.
+        let artifact = std::fs::read_to_string(artifact_path(&dir)).unwrap();
+        assert!(artifact.contains("\"rows\":[]"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_refuses_a_directory_with_checkpoints() {
+        let dir = scratch_dir("refuse");
+        let spec = tiny_e4_spec();
+        run_job(&dir, &spec, 1, &JobControl::new()).unwrap();
+        let err = run_job(&dir, &spec, 1, &JobControl::new()).unwrap_err();
+        assert!(err.contains("resume"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_from_a_different_spec() {
+        let dir = scratch_dir("spec-mismatch");
+        run_job(&dir, &tiny_e4_spec(), 1, &JobControl::new()).unwrap();
+        // Rewrite the spec with a different grid; the checkpoint's
+        // fingerprint no longer matches.
+        let other = JobSpec {
+            toss_seeds: vec![0, 1],
+            ..tiny_e4_spec()
+        };
+        atomic_write(&spec_path(&dir), other.render()).unwrap();
+        let err = resume_job(&dir, 1, &JobControl::new()).unwrap_err();
+        assert!(err.contains("different job spec"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn status_reports_progress_without_executing() {
+        let dir = scratch_dir("status");
+        let spec = tiny_e4_spec();
+        let stopper = JobControl {
+            stop_after_chunks: Some(1),
+            ..JobControl::new()
+        };
+        run_job(&dir, &spec, 1, &stopper).unwrap();
+        let status = job_status(&dir).unwrap();
+        assert!(status.contains("1/4 chunk(s) complete"), "{status}");
+        assert!(status.contains("last invocation: interrupted"), "{status}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn guarded_chunk_classifies_interrupts() {
+        let interrupt = AtomicBool::new(true);
+        // The body mimics an executor-polling trial: it spins until the
+        // monitor raises the global abort, then panics like
+        // `check_trial_deadline` does.
+        let outcome = run_chunk_guarded(None, &interrupt, || loop {
+            if sweep_abort_requested() {
+                panic!("sweep abort requested after 0 recorded events");
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert!(matches!(outcome, AttemptOutcome::Interrupted));
+        assert!(!sweep_abort_requested(), "abort flag is cleared afterwards");
+    }
+
+    #[test]
+    fn guarded_chunk_classifies_timeouts() {
+        let interrupt = AtomicBool::new(false);
+        let outcome = run_chunk_guarded(Some(Duration::from_millis(30)), &interrupt, || loop {
+            if sweep_abort_requested() {
+                panic!("sweep abort requested after 0 recorded events");
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        match outcome {
+            AttemptOutcome::Failed { kind, .. } => assert_eq!(kind, "timeout"),
+            _ => panic!("expected a timeout failure"),
+        }
+        assert!(!sweep_abort_requested());
+    }
+
+    #[test]
+    fn trial_records_round_trip_through_checkpoint_json() {
+        let spec = tiny_e4_spec();
+        let state = JobState {
+            completed: [0, 2].into_iter().collect(),
+            records: vec![
+                TrialRecord::Subset {
+                    index: 3,
+                    cell: 0,
+                    mask: 3,
+                    comparisons: 17,
+                    claims: 2,
+                    violations: vec!["S={p0}: bad \"state\"".into()],
+                },
+                TrialRecord::Sample {
+                    index: 9,
+                    cell: 1,
+                    sample: ExpectationSample {
+                        terminated: true,
+                        wakeup_ok: false,
+                        winner_steps: Some(4),
+                        max_steps: None,
+                    },
+                },
+            ],
+            next_seq: 3,
+            fallback_notes: Vec::new(),
+        };
+        let payload = render_checkpoint(&spec, &state);
+        let (completed, records) = parse_checkpoint(&spec, payload.as_bytes()).unwrap();
+        assert_eq!(completed, state.completed);
+        assert_eq!(records, state.records);
+        assert!(payload.contains(&format!("{:016x}", spec.fingerprint())));
+        assert!(payload.contains("trial seeds derive as split_mix"));
+        // The provenance helper the rng field documents.
+        assert_ne!(trial_seed(spec.seed, 0), trial_seed(spec.seed, 1));
+    }
+}

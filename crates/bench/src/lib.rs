@@ -37,6 +37,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod job;
 pub mod repro;
 pub mod table;
 pub mod xcheck;

@@ -104,53 +104,61 @@ pub fn estimate_expected_complexity(
     estimate_expected_complexity_sweep(alg, n, &seeds, cfg, &Sweep::sequential())
 }
 
-/// What one sampled toss assignment contributed to the estimate.
-struct Sample {
-    terminated: bool,
-    wakeup_ok: bool,
-    winner_steps: Option<u64>,
-    max_steps: Option<u64>,
+/// What one sampled toss assignment contributed to the estimate — the
+/// checkpointable per-trial unit of a chunked expectation job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExpectationSample {
+    /// Whether the `(All, A)`-run terminated within the round limit.
+    pub terminated: bool,
+    /// Whether the terminated run satisfied the wakeup spec.
+    pub wakeup_ok: bool,
+    /// The first winner's shared-step count (terminating runs only).
+    pub winner_steps: Option<u64>,
+    /// `t(R) = max_p t(p, R)` (terminating runs only).
+    pub max_steps: Option<u64>,
 }
 
-/// [`estimate_expected_complexity`], fanning the seed samples out over the
-/// given [`Sweep`]. Each seed's `(All, A)`-run is independent, and samples
-/// are merged in seed order, so the report is identical at any thread
-/// count.
+/// Runs one seeded toss assignment through the Figure-2 adversary and
+/// records what it contributes to the estimate. Deterministic in
+/// `(alg, n, seed, cfg)`, so samples may be computed in any order — or
+/// any chunking — and reassembled via [`report_from_samples`].
 ///
 /// # Errors
 ///
-/// Propagates the first (lowest-seed-index) [`RunError`] any sampled run
-/// reports; the other samples still execute to completion under the
-/// sweep's panic/fault isolation.
-pub fn estimate_expected_complexity_sweep(
+/// Propagates the [`RunError`] the `(All, A)`-run reports.
+pub fn sample_expectation(
     alg: &dyn Algorithm,
     n: usize,
-    seeds: &[u64],
+    seed: u64,
     cfg: &AdversaryConfig,
-    sweep: &Sweep,
-) -> Result<ExpectationReport, RunError> {
-    let sampled = sweep
-        .run(seeds, |_trial, &seed| {
-            let all = build_all_run(alg, n, Arc::new(SeededTosses::new(seed)), cfg)?;
-            if !all.base.completed {
-                return Ok(Sample {
-                    terminated: false,
-                    wakeup_ok: false,
-                    winner_steps: None,
-                    max_steps: None,
-                });
-            }
-            let check = check_wakeup(&all.base.run);
-            Ok(Sample {
-                terminated: true,
-                wakeup_ok: check.ok(),
-                winner_steps: check.first_winner().map(|w| all.base.run.shared_steps(w)),
-                max_steps: Some(all.base.run.max_shared_steps()),
-            })
-        })
-        .into_iter()
-        .collect::<Result<Vec<Sample>, RunError>>()?;
+) -> Result<ExpectationSample, RunError> {
+    let all = build_all_run(alg, n, Arc::new(SeededTosses::new(seed)), cfg)?;
+    if !all.base.completed {
+        return Ok(ExpectationSample {
+            terminated: false,
+            wakeup_ok: false,
+            winner_steps: None,
+            max_steps: None,
+        });
+    }
+    let check = check_wakeup(&all.base.run);
+    Ok(ExpectationSample {
+        terminated: true,
+        wakeup_ok: check.ok(),
+        winner_steps: check.first_winner().map(|w| all.base.run.shared_steps(w)),
+        max_steps: Some(all.base.run.max_shared_steps()),
+    })
+}
 
+/// Folds per-seed samples (in seed order) into an [`ExpectationReport`].
+/// A pure function of its inputs — both the plain sweep path and the
+/// chunked job path assemble through here, so their floating-point
+/// results are bit-identical by construction.
+pub fn report_from_samples(
+    algorithm: &str,
+    n: usize,
+    sampled: &[ExpectationSample],
+) -> ExpectationReport {
     let samples = sampled.len();
     let mut terminating = 0usize;
     let mut wakeup_ok = 0usize;
@@ -183,8 +191,8 @@ pub fn estimate_expected_complexity_sweep(
     let min_winner = winner_steps.iter().copied().min().unwrap_or(0);
     let bound = ceil_log4(n);
 
-    Ok(ExpectationReport {
-        algorithm: alg.name().to_string(),
+    ExpectationReport {
+        algorithm: algorithm.to_string(),
         n,
         samples,
         termination_rate: c,
@@ -200,7 +208,31 @@ pub fn estimate_expected_complexity_sweep(
         log4_n: log4(n),
         lemma_3_1_bound: c * min_winner as f64,
         all_meet_bound: winner_steps.iter().all(|&s| s >= bound),
-    })
+    }
+}
+
+/// [`estimate_expected_complexity`], fanning the seed samples out over the
+/// given [`Sweep`]. Each seed's `(All, A)`-run is independent, and samples
+/// are merged in seed order, so the report is identical at any thread
+/// count.
+///
+/// # Errors
+///
+/// Propagates the first (lowest-seed-index) [`RunError`] any sampled run
+/// reports; the other samples still execute to completion under the
+/// sweep's panic/fault isolation.
+pub fn estimate_expected_complexity_sweep(
+    alg: &dyn Algorithm,
+    n: usize,
+    seeds: &[u64],
+    cfg: &AdversaryConfig,
+    sweep: &Sweep,
+) -> Result<ExpectationReport, RunError> {
+    let sampled = sweep
+        .run(seeds, |_trial, &seed| sample_expectation(alg, n, seed, cfg))
+        .into_iter()
+        .collect::<Result<Vec<ExpectationSample>, RunError>>()?;
+    Ok(report_from_samples(alg.name(), n, &sampled))
 }
 
 #[cfg(test)]
@@ -281,6 +313,34 @@ mod tests {
         // terminate.
         assert!(rep.termination_rate > 0.0);
         assert!(rep.lemma_3_1_bound <= rep.termination_rate * rep.min_winner_steps as f64 + 1e-9);
+    }
+
+    #[test]
+    fn chunked_samples_reassemble_to_the_sweep_report() {
+        let alg = randomized_counter_wakeup();
+        let cfg = AdversaryConfig::default();
+        let seeds: Vec<u64> = (0..12).collect();
+        let full =
+            estimate_expected_complexity_sweep(&alg, 8, &seeds, &cfg, &Sweep::with_threads(3))
+                .unwrap();
+        // Sample the same seeds one at a time, out of order, then
+        // reassemble in seed order.
+        let mut sampled: Vec<(u64, ExpectationSample)> = seeds
+            .iter()
+            .rev()
+            .map(|&seed| (seed, sample_expectation(&alg, 8, seed, &cfg).unwrap()))
+            .collect();
+        sampled.sort_by_key(|(seed, _)| *seed);
+        let ordered: Vec<ExpectationSample> = sampled.into_iter().map(|(_, s)| s).collect();
+        let assembled = report_from_samples(alg.name(), 8, &ordered);
+        assert_eq!(assembled.samples, full.samples);
+        assert_eq!(assembled.termination_rate, full.termination_rate);
+        assert_eq!(assembled.mean_winner_steps, full.mean_winner_steps);
+        assert_eq!(assembled.min_winner_steps, full.min_winner_steps);
+        assert_eq!(assembled.max_winner_steps, full.max_winner_steps);
+        assert_eq!(assembled.mean_max_steps, full.mean_max_steps);
+        assert_eq!(assembled.lemma_3_1_bound, full.lemma_3_1_bound);
+        assert_eq!(assembled.all_meet_bound, full.all_meet_bound);
     }
 
     #[test]

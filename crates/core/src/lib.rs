@@ -76,7 +76,8 @@ pub use claims::{
     ClaimViolation, ClaimsReport,
 };
 pub use expectation::{
-    estimate_expected_complexity, estimate_expected_complexity_sweep, ExpectationReport,
+    estimate_expected_complexity, estimate_expected_complexity_sweep, report_from_samples,
+    sample_expectation, ExpectationReport, ExpectationSample,
 };
 pub use indist::{check_indistinguishability, IndistReport, IndistViolation};
 pub use rounds::{
@@ -91,7 +92,10 @@ pub use stress::{
     standard_portfolio, stress_wakeup, stress_wakeup_sweep, StressFailure, StressReport,
     StressSchedule,
 };
-pub use subsets::{indist_all_subsets, SubsetSweepReport};
+pub use subsets::{
+    indist_all_subsets, indist_subset_range, report_from_subset_records, SubsetChunk,
+    SubsetSweepReport, SubsetTrialRecord,
+};
 pub use theorem::{
     ceil_log4, log4, report_from_all_run, verify_lower_bound, LowerBoundReport, Refutation,
 };

@@ -56,6 +56,132 @@ impl fmt::Display for SubsetSweepReport {
     }
 }
 
+/// What one subset trial (one mask) contributed to the sweep — the
+/// checkpointable per-trial unit of a chunked subset job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubsetTrialRecord {
+    /// The subset bitmask (trial index within the `2^n` space).
+    pub mask: usize,
+    /// Lemma 5.2 comparisons performed for this subset.
+    pub comparisons: usize,
+    /// Appendix-claim instances evaluated (0 unless claims were checked).
+    pub claim_instances: usize,
+    /// Simulated events of this subset's `(S, A)`-run.
+    pub events: u64,
+    /// Violations exposed by this subset, rendered with the subset.
+    pub violations: Vec<String>,
+}
+
+/// The output of one contiguous mask-range of a subset sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubsetChunk {
+    /// Events of the shared `(All, A)`-run (identical for every chunk of
+    /// the same sweep — counted once at assembly).
+    pub all_events: u64,
+    /// One record per mask, in mask order.
+    pub records: Vec<SubsetTrialRecord>,
+}
+
+/// Checks Lemma 5.2 — and, when `check_claims` is set, claims A.2 – A.9 —
+/// for the masks `offset .. offset + count` of an `n`-process system,
+/// fanning them out over `sweep`.
+///
+/// This is the chunkable core of [`indist_all_subsets`]: the `(All, A)`-run
+/// is rebuilt deterministically per call (it depends only on
+/// `(alg, n, toss, cfg)`), so concatenating the records of any partition
+/// of `0 .. 2^n` into mask ranges reproduces the full sweep exactly — see
+/// [`report_from_subset_records`].
+///
+/// # Errors
+///
+/// Propagates the first (lowest-mask) [`RunError`] the `(All, A)`-run or
+/// any `(S, A)`-run reports.
+///
+/// # Panics
+///
+/// Panics if `n > 16` or the range exceeds the `2^n` mask space.
+pub fn indist_subset_range(
+    alg: &dyn Algorithm,
+    n: usize,
+    toss: Arc<dyn TossAssignment>,
+    cfg: &AdversaryConfig,
+    check_claims: bool,
+    sweep: &Sweep,
+    masks: std::ops::Range<usize>,
+) -> Result<SubsetChunk, RunError> {
+    assert!(n <= 16, "exhaustive subset check needs small n");
+    assert!(
+        masks.end <= 1usize << n && masks.start <= masks.end,
+        "mask range {}..{} exceeds the 2^{n} subset space",
+        masks.start,
+        masks.end
+    );
+    let all = Arc::new(build_all_run(alg, n, toss.clone(), cfg)?);
+
+    let per_mask = sweep.run_indexed_range_with_scratch(
+        masks.start,
+        masks.len(),
+        || Executor::new(alg, n, toss.clone(), cfg.executor),
+        |exec, trial| {
+            let mask = trial.index;
+            let s: ProcSet = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(ProcessId)
+                .collect();
+            let srun = build_s_run_with(exec, alg, &s, &all, cfg)?;
+            let lemma = check_indistinguishability(&all, &srun);
+            let mut record = SubsetTrialRecord {
+                mask,
+                comparisons: lemma.process_checks + lemma.register_checks,
+                claim_instances: 0,
+                events: srun.base.run.event_count(),
+                violations: lemma
+                    .violations
+                    .iter()
+                    .map(|v| format!("S={s:?}: {v}"))
+                    .collect(),
+            };
+            if check_claims {
+                let claims = check_appendix_claims(&all, &srun);
+                record.claim_instances = claims.instances;
+                record
+                    .violations
+                    .extend(claims.violations.iter().map(|v| format!("S={s:?}: {v}")));
+            }
+            Ok(record)
+        },
+    );
+
+    let records = per_mask
+        .into_iter()
+        .collect::<Result<Vec<SubsetTrialRecord>, RunError>>()?;
+    Ok(SubsetChunk {
+        all_events: all.base.run.event_count(),
+        records,
+    })
+}
+
+/// Assembles a [`SubsetSweepReport`] from per-mask records — a pure fold,
+/// so any chunking of the mask space yields the same report as long as
+/// `records` is presented in mask order.
+pub fn report_from_subset_records(
+    all_events: u64,
+    records: &[SubsetTrialRecord],
+) -> SubsetSweepReport {
+    let mut report = SubsetSweepReport {
+        events: all_events,
+        ..SubsetSweepReport::default()
+    };
+    for record in records {
+        report.subsets += 1;
+        report.comparisons += record.comparisons;
+        report.claim_instances += record.claim_instances;
+        report.events += record.events;
+        report.violations.extend(record.violations.iter().cloned());
+    }
+    report
+}
+
 /// Checks Lemma 5.2 — and, when `check_claims` is set, claims A.2 – A.9 —
 /// on every subset of an `n`-process system, fanning the `2^n` masks out
 /// over `sweep`.
@@ -84,55 +210,8 @@ pub fn indist_all_subsets(
     check_claims: bool,
     sweep: &Sweep,
 ) -> Result<SubsetSweepReport, RunError> {
-    assert!(n <= 16, "exhaustive subset check needs small n");
-    let all = Arc::new(build_all_run(alg, n, toss.clone(), cfg)?);
-
-    let per_mask = sweep.run_indexed_with_scratch(
-        1usize << n,
-        || Executor::new(alg, n, toss.clone(), cfg.executor),
-        |exec, trial| {
-            let mask = trial.index;
-            let s: ProcSet = (0..n)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(ProcessId)
-                .collect();
-            let srun = build_s_run_with(exec, alg, &s, &all, cfg)?;
-            let lemma = check_indistinguishability(&all, &srun);
-            let mut partial = SubsetSweepReport {
-                subsets: 1,
-                comparisons: lemma.process_checks + lemma.register_checks,
-                claim_instances: 0,
-                events: srun.base.run.event_count(),
-                violations: lemma
-                    .violations
-                    .iter()
-                    .map(|v| format!("S={s:?}: {v}"))
-                    .collect(),
-            };
-            if check_claims {
-                let claims = check_appendix_claims(&all, &srun);
-                partial.claim_instances = claims.instances;
-                partial
-                    .violations
-                    .extend(claims.violations.iter().map(|v| format!("S={s:?}: {v}")));
-            }
-            Ok(partial)
-        },
-    );
-
-    let mut report = SubsetSweepReport {
-        events: all.base.run.event_count(),
-        ..SubsetSweepReport::default()
-    };
-    for partial in per_mask {
-        let partial: SubsetSweepReport = partial?;
-        report.subsets += partial.subsets;
-        report.comparisons += partial.comparisons;
-        report.claim_instances += partial.claim_instances;
-        report.events += partial.events;
-        report.violations.extend(partial.violations);
-    }
-    Ok(report)
+    let chunk = indist_subset_range(alg, n, toss, cfg, check_claims, sweep, 0..1usize << n)?;
+    Ok(report_from_subset_records(chunk.all_events, &chunk.records))
 }
 
 #[cfg(test)]
@@ -190,6 +269,47 @@ mod tests {
             assert_eq!(par.claim_instances, base.claim_instances);
             assert_eq!(par.violations, base.violations);
         }
+    }
+
+    #[test]
+    fn chunked_ranges_concatenate_to_the_full_sweep() {
+        let alg = llsc_contenders();
+        let cfg = AdversaryConfig::default();
+        let full = indist_all_subsets(
+            &alg,
+            5,
+            Arc::new(ZeroTosses),
+            &cfg,
+            true,
+            &Sweep::sequential(),
+        )
+        .unwrap();
+        // An uneven partition of the 32-mask space, executed out of order
+        // and at a different thread count per chunk.
+        let mut all_events = 0;
+        let mut records = Vec::new();
+        for (offset, count, threads) in [(20, 12, 3), (0, 7, 1), (7, 13, 2)] {
+            let chunk = indist_subset_range(
+                &alg,
+                5,
+                Arc::new(ZeroTosses),
+                &cfg,
+                true,
+                &Sweep::with_threads(threads),
+                offset..offset + count,
+            )
+            .unwrap();
+            assert_eq!(chunk.records.len(), count);
+            all_events = chunk.all_events;
+            records.extend(chunk.records);
+        }
+        records.sort_by_key(|r| r.mask);
+        let assembled = report_from_subset_records(all_events, &records);
+        assert_eq!(assembled.subsets, full.subsets);
+        assert_eq!(assembled.comparisons, full.comparisons);
+        assert_eq!(assembled.claim_instances, full.claim_instances);
+        assert_eq!(assembled.events, full.events);
+        assert_eq!(assembled.violations, full.violations);
     }
 
     #[test]

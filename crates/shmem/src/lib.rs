@@ -91,7 +91,9 @@ mod scheduler;
 mod value;
 
 pub mod backend;
+pub mod checkpoint;
 pub mod dsl;
+pub mod durable;
 pub mod json;
 pub mod repro;
 pub mod rng;
@@ -99,8 +101,10 @@ pub mod sweep;
 
 pub use backend::{drive_program, run_sequential, BackendRun, ExecutionBackend, SimBackend};
 pub use chaos::ChaosPlan;
+pub use checkpoint::{CheckpointError, LoadedCheckpoint, SkippedCheckpoint};
 pub use coin::{ConstantTosses, MapTosses, SeededTosses, TossAssignment, ZeroTosses};
 pub use crash::{CrashPlan, CrashScheduler, RecoveringCrashScheduler};
+pub use durable::{atomic_write, fnv64};
 pub use executor::{Executor, ExecutorConfig, StepOutcome};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use ids::{ProcMask, ProcMaskIter, ProcessId, RegisterId};

@@ -30,9 +30,37 @@ use crate::rng::{retry_seed, trial_seed};
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Process-wide cooperative abort for in-flight sweeps.
+///
+/// The resumable job runner's chunk watchdog and signal handler both need
+/// a way to stop a sweep that is already running: set this flag and every
+/// trial that polls [`check_trial_deadline`] (the executor's event guard
+/// does, every 512 events) panics into its failure path at the next poll.
+/// The flag is process-global — one job per process is the supported
+/// shape — and must be cleared (see [`clear_sweep_abort`]) before the
+/// next sweep runs.
+static SWEEP_ABORT: AtomicBool = AtomicBool::new(false);
+
+/// Requests that every in-flight sweep trial abandon work at its next
+/// deadline poll. Async-signal-safe (a single atomic store), so signal
+/// handlers may call it directly.
+pub fn request_sweep_abort() {
+    SWEEP_ABORT.store(true, Ordering::SeqCst);
+}
+
+/// Clears a previously requested sweep abort.
+pub fn clear_sweep_abort() {
+    SWEEP_ABORT.store(false, Ordering::SeqCst);
+}
+
+/// Whether a sweep abort is currently requested.
+pub fn sweep_abort_requested() -> bool {
+    SWEEP_ABORT.load(Ordering::SeqCst)
+}
 
 /// One unit of work within a sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,6 +147,9 @@ thread_local! {
 /// threads with no armed deadline, so code under test or outside sweeps
 /// is unaffected.
 pub(crate) fn check_trial_deadline(events: u64) {
+    if sweep_abort_requested() {
+        panic!("sweep abort requested after {events} recorded events");
+    }
     let expired = TRIAL_DEADLINE.with(|d| d.get().is_some_and(|t| Instant::now() >= t));
     if expired {
         panic!("trial wall-clock deadline exceeded after {events} recorded events");
@@ -377,13 +408,39 @@ impl Sweep {
         Init: Fn() -> S + Sync,
         F: Fn(&mut S, Trial, &I) -> T + Sync,
     {
+        self.run_with_scratch_at(0, items, init, f)
+    }
+
+    /// [`Sweep::run_with_scratch`] with a **trial-index offset**: item `i`
+    /// runs as global trial `offset + i`, with its seed derived from that
+    /// global index (`trial_seed(sweep seed, offset + i)`).
+    ///
+    /// This is the chunking hook the resumable job layer is built on: a
+    /// sweep partitioned into contiguous chunks and executed chunk by
+    /// chunk — in any order, at any thread count, interleaved with process
+    /// restarts — produces exactly the per-trial outputs of one
+    /// uninterrupted sweep over the full index space, because nothing but
+    /// the global index feeds a trial's identity.
+    fn run_with_scratch_at<I, T, S, Init, F>(
+        &self,
+        offset: usize,
+        items: &[I],
+        init: Init,
+        f: F,
+    ) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, Trial, &I) -> T + Sync,
+    {
         if items.is_empty() {
             return Vec::new();
         }
         let threads = self.threads.max(1).min(items.len());
         let trial = |index: usize| Trial {
-            index,
-            seed: trial_seed(self.seed, index),
+            index: offset + index,
+            seed: trial_seed(self.seed, offset + index),
         };
         if threads <= 1 {
             let mut scratch = init();
@@ -432,8 +489,31 @@ impl Sweep {
         Init: Fn() -> S + Sync,
         F: Fn(&mut S, Trial) -> T + Sync,
     {
-        let indices: Vec<usize> = (0..count).collect();
-        self.run_with_scratch(&indices, init, |scratch, t, _| f(scratch, t))
+        self.run_indexed_range_with_scratch(0, count, init, f)
+    }
+
+    /// Runs `f` once per index in `offset..offset + count`, each worker
+    /// reusing one `init()`-built scratch across its trials. Trial
+    /// identity (index *and* derived seed) comes from the global index,
+    /// so executing a sweep's index space as a sequence of ranges —
+    /// across separate calls, thread counts, or process lifetimes —
+    /// yields exactly the outputs of [`Sweep::run_indexed_with_scratch`]
+    /// over `0..total`, sliced. See [`Sweep::run_with_scratch`] for the
+    /// determinism contract.
+    pub fn run_indexed_range_with_scratch<T, S, Init, F>(
+        &self,
+        offset: usize,
+        count: usize,
+        init: Init,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, Trial) -> T + Sync,
+    {
+        let indices: Vec<usize> = (offset..offset + count).collect();
+        self.run_with_scratch_at(offset, &indices, init, |scratch, t, _| f(scratch, t))
     }
 
     /// The fallible counterpart of [`Sweep::run_indexed`]: runs `f` once
@@ -469,6 +549,11 @@ pub fn threads_or_default(explicit: Option<usize>) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tests that exercise the ambient deadline/abort machinery hold this
+    /// lock: the abort flag is process-global, so a concurrently running
+    /// deadline test could otherwise observe another test's abort.
+    static AMBIENT_STATE: Mutex<()> = Mutex::new(());
 
     #[test]
     fn results_are_in_index_order() {
@@ -739,6 +824,7 @@ mod tests {
 
     #[test]
     fn trial_timeout_converts_a_hung_trial_into_a_failure() {
+        let _ambient = AMBIENT_STATE.lock().unwrap_or_else(PoisonError::into_inner);
         use std::time::Duration;
         let items: Vec<u64> = (0..3).collect();
         let out = Sweep::sequential()
@@ -769,6 +855,7 @@ mod tests {
 
     #[test]
     fn scratch_sweeps_honor_the_trial_timeout() {
+        let _ambient = AMBIENT_STATE.lock().unwrap_or_else(PoisonError::into_inner);
         use std::time::Duration;
         // The PR 4 scratch paths used to skip deadline arming entirely; a
         // hung trial now panics out of the sweep at any thread count.
@@ -809,7 +896,52 @@ mod tests {
     }
 
     #[test]
+    fn range_sweep_is_a_slice_of_the_full_sweep() {
+        // The chunking contract: any partition of the index space into
+        // contiguous ranges, executed in any order at any thread count,
+        // reproduces the full sweep's outputs exactly.
+        let full = Sweep::sequential().seeded(42).run_indexed_with_scratch(
+            100,
+            || (),
+            |(), t| (t.index, t.seed),
+        );
+        for threads in [1, 3] {
+            let sweep = Sweep::with_threads(threads).seeded(42);
+            let mut chunked = Vec::new();
+            for (offset, count) in [(64, 36), (0, 10), (10, 54)] {
+                let part = sweep.run_indexed_range_with_scratch(
+                    offset,
+                    count,
+                    || (),
+                    |(), t| (t.index, t.seed),
+                );
+                assert_eq!(part.len(), count);
+                chunked.push((offset, part));
+            }
+            chunked.sort_by_key(|(offset, _)| *offset);
+            let merged: Vec<(usize, u64)> =
+                chunked.into_iter().flat_map(|(_, part)| part).collect();
+            assert_eq!(merged, full, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_abort_panics_polling_trials_and_clears() {
+        let _ambient = AMBIENT_STATE.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(!sweep_abort_requested());
+        request_sweep_abort();
+        assert!(sweep_abort_requested());
+        let result = catch_unwind(AssertUnwindSafe(|| check_trial_deadline(7)));
+        let payload = payload_string(result.unwrap_err());
+        assert!(payload.contains("sweep abort requested"), "{payload}");
+        clear_sweep_abort();
+        assert!(!sweep_abort_requested());
+        check_trial_deadline(7); // no abort, no deadline: a no-op again
+    }
+
+    #[test]
     fn deadline_is_cleared_after_each_trial_even_across_unwind() {
+        let _ambient = AMBIENT_STATE.lock().unwrap_or_else(PoisonError::into_inner);
         use std::time::Duration;
         // A timed sweep whose trial panics must not leave a stale
         // deadline armed on the worker thread.

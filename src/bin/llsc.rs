@@ -9,6 +9,7 @@
 //! llsc universal --n 64 [--imp adt|naive|herlihy|direct] [--schedule adversary|rr|seq]
 //! llsc replay    repro.json                             re-execute a repro case
 //! llsc shrink    repro.json [--out min.json]            minimize a repro case
+//! llsc job       run|resume|status --dir <d> [...]      checkpointed sweep jobs
 //! llsc list                                            available algorithms
 //! ```
 //!
@@ -52,6 +53,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // The job subcommand takes a positional action, maps job outcomes to
+    // its own exit codes (0 complete, 1 incomplete, 130 interrupted), and
+    // installs signal handlers — handle it before the generic dispatch.
+    if cmd == "job" {
+        return cmd_job(rest);
+    }
     // The repro subcommands take a positional file before any flags.
     if matches!(cmd.as_str(), "replay" | "shrink") {
         let result = match cmd.as_str() {
@@ -125,6 +132,22 @@ subcommands:
                                                   minimal reproducer with the
                                                   same failure class
                                                   [--max-replays <k>]
+  job run    --dir <d> --experiment e4|e6|e13     start a checkpointed,
+             [--ns 4,6] [--toss-seeds 0,1,42]     resumable sweep job; after
+             [--samples <K>] [--chunks <C>]       every chunk the results are
+             [--seed <s>] [--retries <R>]         persisted atomically, so a
+             [--backoff-ms <MS>]                  killed job loses at most one
+             [--chunk-timeout-ms <MS>]            chunk of work (SIGINT/SIGTERM
+             [--max-events <N>] [--threads <T>]   flush a final checkpoint)
+  job resume --dir <d> [--threads <T>]            continue from the newest
+                                                  valid checkpoint; the final
+                                                  artifact is byte-identical
+                                                  to an uninterrupted run at
+                                                  any thread count
+  job status --dir <d>                            report progress without
+                                                  executing anything
+             (job exit codes: 0 complete, 1 incomplete with a partial
+              artifact and populated manifest, 130 interrupted, 2 error)
   list                                            algorithm / experiment /
                                                   backend registry
 
@@ -193,7 +216,7 @@ impl Opts {
     fn emit_json(&self, tables: &[&Table]) -> Result<(), String> {
         if let Some(path) = self.json() {
             let artifact = Table::render_json_artifact(tables);
-            std::fs::write(&path, artifact)
+            llsc_lowerbound::shmem::atomic_write(&path, artifact)
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             eprintln!("wrote {}", path.display());
         }
@@ -732,12 +755,13 @@ fn cmd_shrink(rest: &[String]) -> Result<(), String> {
     log.push_str(&summary);
     log.push('\n');
     if let Some(path) = opts.flags.get("log") {
-        std::fs::write(path, &log).map_err(|e| format!("cannot write {path}: {e}"))?;
+        llsc_lowerbound::shmem::atomic_write(std::path::Path::new(path), &log)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
     match opts.flags.get("out") {
         Some(path) => {
-            std::fs::write(path, report.case.to_json())
+            llsc_lowerbound::shmem::atomic_write(std::path::Path::new(path), report.case.to_json())
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("wrote {path}");
         }
@@ -774,4 +798,192 @@ fn cmd_universal(opts: &Opts) -> Result<(), String> {
     println!("{result}");
     println!("per-process ops: {:?}", result.per_process_ops);
     Ok(())
+}
+
+/// SIGINT/SIGTERM wiring for `llsc job`: the handler (required to be
+/// async-signal-safe, so it only stores two atomics) raises both a local
+/// interrupted flag and the global sweep abort, converting in-flight
+/// trials into prompt panics the job runner classifies as an interrupt
+/// and answers with a final checkpoint flush.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        llsc_lowerbound::shmem::sweep::request_sweep_abort();
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Installs the handlers for SIGINT and SIGTERM.
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    /// `true` once either signal has been delivered.
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+/// `llsc job run|resume|status` — the checkpointed, resumable front end
+/// of the E4/E6/E13 sweeps (see `llsc_lowerbound::bench::job`).
+fn cmd_job(args: &[String]) -> ExitCode {
+    use llsc_lowerbound::bench::job::{
+        job_exit_code, job_status, resume_job, run_job, JobControl, JobExperiment, JobSpec,
+    };
+
+    fn parse_job(args: &[String]) -> Result<(String, Opts), String> {
+        let (action, rest) = args
+            .split_first()
+            .ok_or("job needs an action: run, resume, or status")?;
+        Ok((action.clone(), parse_opts(rest)?))
+    }
+
+    fn spec_from(opts: &Opts) -> Result<JobSpec, String> {
+        let tag = opts
+            .flags
+            .get("experiment")
+            .ok_or("job run needs --experiment e4|e6|e13")?;
+        let mut spec = JobSpec::default_for(JobExperiment::parse(tag)?);
+        if let Some(name) = opts.flags.get("name") {
+            spec.name = name.clone();
+        }
+        let parse_u64 = |key: &str, target: &mut u64| -> Result<(), String> {
+            if let Some(v) = opts.flags.get(key) {
+                *target = v.parse().map_err(|_| format!("bad --{key} value `{v}`"))?;
+            }
+            Ok(())
+        };
+        parse_u64("seed", &mut spec.seed)?;
+        parse_u64("samples", &mut spec.samples)?;
+        parse_u64("backoff-ms", &mut spec.backoff_ms)?;
+        parse_u64("chunk-timeout-ms", &mut spec.chunk_timeout_ms)?;
+        parse_u64("max-events", &mut spec.max_events)?;
+        if let Some(v) = opts.flags.get("chunks") {
+            spec.chunks = v.parse().map_err(|_| format!("bad --chunks value `{v}`"))?;
+        }
+        if let Some(v) = opts.flags.get("retries") {
+            spec.retries = v
+                .parse()
+                .map_err(|_| format!("bad --retries value `{v}`"))?;
+        }
+        let parse_list = |key: &str| -> Result<Option<Vec<u64>>, String> {
+            match opts.flags.get(key) {
+                None => Ok(None),
+                Some(list) => list
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad --{key} entry `{v}`"))
+                    })
+                    .collect::<Result<Vec<u64>, String>>()
+                    .map(Some),
+            }
+        };
+        if let Some(ns) = parse_list("ns")? {
+            spec.ns = ns.into_iter().map(|n| n as usize).collect();
+        }
+        if let Some(seeds) = parse_list("toss-seeds")? {
+            spec.toss_seeds = seeds;
+        }
+        // Round-trip through the canonical form so flag validation matches
+        // file validation exactly.
+        JobSpec::parse(&spec.render())
+    }
+
+    fn control_with_signals() -> JobControl {
+        signals::install();
+        let control = JobControl::new();
+        let flag = control.interrupt.clone();
+        // The handler itself may only touch atomics; this relay forwards
+        // the static flag into the runner's shared handle.
+        std::thread::spawn(move || loop {
+            if signals::interrupted() {
+                flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        });
+        control
+    }
+
+    let run = || -> Result<u8, String> {
+        let (action, opts) = parse_job(args)?;
+        let dir = PathBuf::from(
+            opts.flags
+                .get("dir")
+                .ok_or("job needs --dir <job directory>")?,
+        );
+        match action.as_str() {
+            "run" => {
+                let spec = spec_from(&opts)?;
+                let mut control = control_with_signals();
+                // Crash simulation for tests and smoke scripts: stop (as
+                // if interrupted) after N chunks, deterministically.
+                if let Some(v) = opts.flags.get("stop-after-chunks") {
+                    control.stop_after_chunks = Some(
+                        v.parse()
+                            .map_err(|_| format!("bad --stop-after-chunks value `{v}`"))?,
+                    );
+                }
+                let report = run_job(&dir, &spec, opts.threads()?, &control)?;
+                report_summary(&report);
+                Ok(job_exit_code(report.status))
+            }
+            "resume" => {
+                let report = resume_job(&dir, opts.threads()?, &control_with_signals())?;
+                report_summary(&report);
+                Ok(job_exit_code(report.status))
+            }
+            "status" => {
+                print!("{}", job_status(&dir)?);
+                Ok(0)
+            }
+            other => Err(format!(
+                "unknown job action `{other}` (run, resume, status)"
+            )),
+        }
+    };
+
+    fn report_summary(report: &llsc_lowerbound::bench::job::JobReport) {
+        for note in &report.fallback_notes {
+            eprintln!("skipped invalid checkpoint: {note}");
+        }
+        for f in &report.failed {
+            eprintln!(
+                "chunk {} failed after {} attempt(s) [{}]: {} ({})",
+                f.chunk, f.attempts, f.kind, f.message, f.context
+            );
+        }
+        eprintln!(
+            "job {}: {}/{} chunk(s) complete, {} failed",
+            report.status.tag(),
+            report.completed_chunks,
+            report.total_chunks,
+            report.failed.len()
+        );
+        if let Some(path) = &report.artifact {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
