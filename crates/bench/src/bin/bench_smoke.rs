@@ -5,11 +5,22 @@
 //! [`llsc_bench::harness::measure_case`] — the exact workloads of the
 //! corresponding `table_*` binaries — and writes a `BENCH_pr4.json`
 //! artifact recording, per experiment: the id, min/mean wall-clock, and
-//! (for the subset sweeps) simulated executor events per second.
+//! (for the subset sweeps) simulated executor events per second plus how
+//! many of those events were *replayed* from a Gray-code checkpoint
+//! rather than re-executed.
 //!
-//! Usage: `bench_smoke [--out PATH] [--samples N]` (defaults:
-//! `BENCH_pr4.json`, 10 samples). Single-threaded sweeps throughout, so
-//! the numbers are comparable on the 1-core reference container.
+//! The replayed counts double as a counted-work regression gate: the
+//! Gray-code incremental sweep must replay a nonzero share of each
+//! subset sweep's events (i.e. execute strictly fewer events than a
+//! from-scratch enumeration would). Event counts are deterministic, so
+//! the gate is meaningful even on noisy shared CI runners where
+//! wall-clock is trend-watching only. The binary exits nonzero if the
+//! gate fails.
+//!
+//! Usage: `bench_smoke [--out PATH] [--samples N] [--label NAME]`
+//! (defaults: `BENCH_pr4.json`, 10 samples, label `pr4`). Single-threaded
+//! sweeps throughout, so the numbers are comparable on the 1-core
+//! reference container.
 
 use llsc_bench::harness::measure_case;
 use llsc_shmem::Sweep;
@@ -21,15 +32,20 @@ struct Case {
     /// Total simulated executor events of one run, when the experiment
     /// reports them (the subset sweeps do; E6 rows do not).
     events: Option<u64>,
+    /// Of `events`, how many were replayed from a checkpoint instead of
+    /// re-executed (subset sweeps only).
+    replayed: Option<u64>,
 }
 
 fn main() {
     let mut out = String::from("BENCH_pr4.json");
+    let mut label = String::from("pr4");
     let mut samples: u32 = 10;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out = args.next().expect("--out needs a path"),
+            "--label" => label = args.next().expect("--label needs a name"),
             "--samples" => {
                 samples = args
                     .next()
@@ -40,7 +56,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "error: unknown flag `{other}`\nusage: bench_smoke [--out PATH] [--samples N]"
+                    "error: unknown flag `{other}`\nusage: bench_smoke [--out PATH] [--samples N] [--label NAME]"
                 );
                 std::process::exit(2);
             }
@@ -52,15 +68,19 @@ fn main() {
 
     let e4 = llsc_bench::e4_indistinguishability(&[4, 6], &[0, 1, 42], &sweep);
     let e4_events: u64 = e4.rows.iter().map(|r| r.events).sum();
+    let e4_replayed: u64 = e4.rows.iter().map(|r| r.replayed).sum();
     let (min, mean) = measure_case(samples, || {
         llsc_bench::e4_indistinguishability(&[4, 6], &[0, 1, 42], &sweep)
     });
-    println!("e4  min {min:>10.3?}  mean {mean:>10.3?}  ({e4_events} events/run)");
+    println!(
+        "e4  min {min:>10.3?}  mean {mean:>10.3?}  ({e4_events} events/run, {e4_replayed} replayed)"
+    );
     cases.push(Case {
         id: "e4",
         min_ms: min.as_secs_f64() * 1e3,
         mean_ms: mean.as_secs_f64() * 1e3,
         events: Some(e4_events),
+        replayed: Some(e4_replayed),
     });
 
     let (min, mean) = measure_case(samples, || {
@@ -72,20 +92,25 @@ fn main() {
         min_ms: min.as_secs_f64() * 1e3,
         mean_ms: mean.as_secs_f64() * 1e3,
         events: None,
+        replayed: None,
     });
 
     let e13 = llsc_bench::e13_appendix_claims(&[4, 6], &sweep);
     let e13_events: u64 = e13.rows.iter().map(|r| r.events).sum();
+    let e13_replayed: u64 = e13.rows.iter().map(|r| r.replayed).sum();
     let (min, mean) = measure_case(samples, || llsc_bench::e13_appendix_claims(&[4, 6], &sweep));
-    println!("e13 min {min:>10.3?}  mean {mean:>10.3?}  ({e13_events} events/run)");
+    println!(
+        "e13 min {min:>10.3?}  mean {mean:>10.3?}  ({e13_events} events/run, {e13_replayed} replayed)"
+    );
     cases.push(Case {
         id: "e13",
         min_ms: min.as_secs_f64() * 1e3,
         mean_ms: mean.as_secs_f64() * 1e3,
         events: Some(e13_events),
+        replayed: Some(e13_replayed),
     });
 
-    let mut json = String::from("{\"bench\":\"pr4\",\"samples\":");
+    let mut json = format!("{{\"bench\":\"{label}\",\"samples\":");
     json.push_str(&samples.to_string());
     json.push_str(",\"cases\":[");
     for (i, c) in cases.iter().enumerate() {
@@ -103,10 +128,32 @@ fn main() {
                 eps
             ));
         }
+        if let Some(replayed) = c.replayed {
+            json.push_str(&format!(",\"replayed_events_per_run\":{replayed}"));
+        }
         json.push('}');
     }
     json.push_str("]}\n");
     llsc_shmem::atomic_write(std::path::Path::new(&out), json)
         .expect("cannot write the bench artifact");
     eprintln!("wrote {out}");
+
+    // Counted-work regression gate: every subset sweep must have replayed
+    // a nonzero, strictly partial share of its events from checkpoints.
+    let mut gate_ok = true;
+    for c in &cases {
+        if let (Some(events), Some(replayed)) = (c.events, c.replayed) {
+            if replayed == 0 || replayed >= events {
+                eprintln!(
+                    "counted-work gate FAILED for {}: {replayed} of {events} events replayed \
+                     (need 0 < replayed < events)",
+                    c.id
+                );
+                gate_ok = false;
+            }
+        }
+    }
+    if !gate_ok {
+        std::process::exit(1);
+    }
 }

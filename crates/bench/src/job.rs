@@ -1470,10 +1470,7 @@ mod tests {
                 .replace("\"version\":\"1\"", "\"version\":\"2\"")
         )
         .is_err());
-        let no_chunks = JobSpec {
-            chunks: 0,
-            ..spec.clone()
-        };
+        let no_chunks = JobSpec { chunks: 0, ..spec };
         assert!(JobSpec::parse(&no_chunks.render()).is_err());
     }
 

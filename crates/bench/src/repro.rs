@@ -315,7 +315,7 @@ mod tests {
         let run = run_case(&case).unwrap();
         assert_eq!(run.class, "crashed");
         case.class = run.class.clone();
-        case.outcome = run.outcome_debug.clone();
+        case.outcome = run.outcome_debug;
 
         let report = shrink_case(&case, 500).unwrap();
         assert_eq!(report.case.class, "crashed", "class preserved");
@@ -365,7 +365,7 @@ mod tests {
             run.outcome_debug
         );
         case.class = run.class.clone();
-        case.outcome = run.outcome_debug.clone();
+        case.outcome = run.outcome_debug;
 
         let report = shrink_case(&case, 500).unwrap();
         assert_eq!(report.case.class, "stalled", "class preserved");

@@ -8,7 +8,7 @@ use llsc_bench::job::{
     JobStatus,
 };
 use llsc_shmem::checkpoint;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn scratch(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("llsc-jobtest-{name}-{}", std::process::id()));
@@ -47,7 +47,7 @@ fn uninterrupted_artifact(spec: &JobSpec, threads: usize) -> String {
     artifact
 }
 
-fn newest_checkpoint(dir: &PathBuf) -> PathBuf {
+fn newest_checkpoint(dir: &Path) -> PathBuf {
     let ckpt_dir = dir.join("checkpoints");
     let seq = *checkpoint::list_seqs(&ckpt_dir).iter().max().unwrap();
     ckpt_dir.join(checkpoint::file_name(seq))

@@ -145,6 +145,17 @@ pub fn check_indistinguishability(all: &AllRun, srun: &SRun) -> IndistReport {
     }
     regs.sort_unstable();
 
+    // Per-process incremental history comparison. The compared prefixes
+    // only ever grow with `r`, so instead of re-walking the full prefix
+    // each round (quadratic in rounds) we verify just the extension since
+    // the previous round. `verified[p]` is the length compared equal so
+    // far; a content mismatch is permanent (both histories are immutable
+    // and only grow), so round `r`'s full-prefix comparison differs
+    // exactly when a content mismatch was ever seen or the two prefix
+    // lengths differ at `r`.
+    let mut verified = vec![0usize; n];
+    let mut content_mismatch = vec![false; n];
+
     for r in 0..=rounds {
         let sr = s_round(r);
         // Processes.
@@ -155,7 +166,15 @@ pub fn check_indistinguishability(all: &AllRun, srun: &SRun) -> IndistReport {
             report.process_checks += 1;
             let h_all = all.base.history_at(p, r);
             let h_s = srun.base.history_at(p, sr);
-            if h_all != h_s {
+            if !content_mismatch[p.0] {
+                let common = h_all.len().min(h_s.len());
+                if h_all[verified[p.0]..common] != h_s[verified[p.0]..common] {
+                    content_mismatch[p.0] = true;
+                } else {
+                    verified[p.0] = common;
+                }
+            }
+            if content_mismatch[p.0] || h_all.len() != h_s.len() {
                 report
                     .violations
                     .push(IndistViolation::ProcessHistory { p, round: r });

@@ -124,12 +124,12 @@ impl FetchMultiply {
 
     /// The operation `fetch&multiply(v)` for a small multiplier.
     pub fn op(v: u64) -> Value {
-        encode_op(TAG_FETCH_MULTIPLY, [Value::Bits(vec![v])])
+        encode_op(TAG_FETCH_MULTIPLY, [Value::bits(vec![v])])
     }
 
     /// The operation `fetch&multiply(v)` for a full-width multiplier.
     pub fn op_wide(v: Vec<u64>) -> Value {
-        encode_op(TAG_FETCH_MULTIPLY, [Value::Bits(v)])
+        encode_op(TAG_FETCH_MULTIPLY, [Value::bits(v)])
     }
 }
 
@@ -139,7 +139,7 @@ impl ObjectSpec for FetchMultiply {
     }
 
     fn initial(&self) -> Value {
-        Value::Bits(bits::from_u64(1, self.k))
+        Value::bits(bits::from_u64(1, self.k))
     }
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
@@ -154,8 +154,8 @@ impl ObjectSpec for FetchMultiply {
             .expect("fetch&multiply argument is bits");
         let next = bits::mul(s, v, self.k);
         (
-            Value::Bits(next),
-            Value::Bits(bits::normalize(s.to_vec(), self.k)),
+            Value::bits(next),
+            Value::bits(bits::normalize(s.to_vec(), self.k)),
         )
     }
 }
@@ -211,7 +211,7 @@ mod tests {
         }
         // The n-th multiplier saw 2^(n-1) ≠ 0; everyone before saw smaller
         // nonzero powers; the state is now 0.
-        assert_eq!(s, Value::Bits(bits::from_u64(0, n)));
+        assert_eq!(s, Value::bits(bits::from_u64(0, n)));
         let resp_bits = last_resp.as_bits().unwrap();
         assert!(bits::bit(resp_bits, n - 1));
         assert!(!bits::is_zero(resp_bits));
@@ -221,9 +221,9 @@ mod tests {
     fn fetch_multiply_returns_previous_state() {
         let obj = FetchMultiply::new(64);
         let (s1, r1) = obj.apply(&obj.initial(), &FetchMultiply::op(3));
-        assert_eq!(r1, Value::Bits(vec![1]));
+        assert_eq!(r1, Value::bits(vec![1]));
         let (_, r2) = obj.apply(&s1, &FetchMultiply::op(5));
-        assert_eq!(r2, Value::Bits(vec![3]));
+        assert_eq!(r2, Value::bits(vec![3]));
     }
 
     #[test]
@@ -231,7 +231,7 @@ mod tests {
         let obj = FetchMultiply::new(128);
         let big = FetchMultiply::op_wide(vec![0, 1]); // 2^64
         let (s, _) = obj.apply(&obj.initial(), &big);
-        assert_eq!(s, Value::Bits(vec![0, 1]));
+        assert_eq!(s, Value::bits(vec![0, 1]));
     }
 
     #[test]

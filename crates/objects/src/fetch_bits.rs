@@ -55,7 +55,7 @@ impl FetchAnd {
 
     /// `fetch&and(v)` with an explicit mask.
     pub fn op(v: Vec<u64>) -> Value {
-        encode_op(TAG_FETCH_AND, [Value::Bits(v)])
+        encode_op(TAG_FETCH_AND, [Value::bits(v)])
     }
 
     /// The Theorem 6.2 per-process mask: all ones except bit `i`.
@@ -73,7 +73,7 @@ impl ObjectSpec for FetchAnd {
     }
 
     fn initial(&self) -> Value {
-        Value::Bits(bits::normalize(
+        Value::bits(bits::normalize(
             vec![u64::MAX; bits::limbs_for(self.k)],
             self.k,
         ))
@@ -88,8 +88,8 @@ impl ObjectSpec for FetchAnd {
             .and_then(Value::as_bits)
             .expect("fetch&and/fetch&or operations carry exactly one Bits argument");
         (
-            Value::Bits(bits::and(s, v, self.k)),
-            Value::Bits(bits::normalize(s.to_vec(), self.k)),
+            Value::bits(bits::and(s, v, self.k)),
+            Value::bits(bits::normalize(s.to_vec(), self.k)),
         )
     }
 }
@@ -119,7 +119,7 @@ impl FetchOr {
 
     /// `fetch&or(v)` with an explicit mask.
     pub fn op(v: Vec<u64>) -> Value {
-        encode_op(TAG_FETCH_OR, [Value::Bits(v)])
+        encode_op(TAG_FETCH_OR, [Value::bits(v)])
     }
 
     /// The per-process mask: only bit `i` set.
@@ -137,7 +137,7 @@ impl ObjectSpec for FetchOr {
     }
 
     fn initial(&self) -> Value {
-        Value::Bits(vec![0; bits::limbs_for(self.k)])
+        Value::bits(vec![0; bits::limbs_for(self.k)])
     }
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
@@ -149,8 +149,8 @@ impl ObjectSpec for FetchOr {
             .and_then(Value::as_bits)
             .expect("fetch&and/fetch&or operations carry exactly one Bits argument");
         (
-            Value::Bits(bits::or(s, v, self.k)),
-            Value::Bits(bits::normalize(s.to_vec(), self.k)),
+            Value::bits(bits::or(s, v, self.k)),
+            Value::bits(bits::normalize(s.to_vec(), self.k)),
         )
     }
 }
@@ -190,7 +190,7 @@ impl ObjectSpec for FetchComplement {
     }
 
     fn initial(&self) -> Value {
-        Value::Bits(vec![0; bits::limbs_for(self.k)])
+        Value::bits(vec![0; bits::limbs_for(self.k)])
     }
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
@@ -207,8 +207,8 @@ impl ObjectSpec for FetchComplement {
             .expect("fetch&complement operations carry exactly one integer bit-index argument")
             as usize;
         (
-            Value::Bits(bits::complement_bit(s, i, self.k)),
-            Value::Bits(bits::normalize(s.to_vec(), self.k)),
+            Value::bits(bits::complement_bit(s, i, self.k)),
+            Value::bits(bits::normalize(s.to_vec(), self.k)),
         )
     }
 }
@@ -276,7 +276,7 @@ mod tests {
     fn masks_are_width_limited() {
         let obj = FetchOr::new(4);
         let (s, _) = obj.apply(&obj.initial(), &FetchOr::op(vec![u64::MAX]));
-        assert_eq!(s, Value::Bits(vec![0xf]));
+        assert_eq!(s, Value::bits(vec![0xf]));
     }
 
     #[test]

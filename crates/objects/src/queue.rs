@@ -73,7 +73,7 @@ impl ObjectSpec for Queue {
     }
 
     fn initial(&self) -> Value {
-        Value::Tuple(self.initial_items.clone())
+        Value::tuple(self.initial_items.clone())
     }
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
@@ -83,10 +83,10 @@ impl ObjectSpec for Queue {
                 let v = op_arg(op, 0).expect("enqueue argument").clone();
                 let mut next = items.to_vec();
                 next.push(v);
-                (Value::Tuple(next), Value::Unit)
+                (Value::tuple(next), Value::Unit)
             }
             Some(t) if t == i128::from(TAG_DEQUEUE) => match items.split_first() {
-                Some((front, rest)) => (Value::Tuple(rest.to_vec()), front.clone()),
+                Some((front, rest)) => (Value::tuple(rest.to_vec()), front.clone()),
                 None => (state.clone(), empty_response()),
             },
             _ => panic!("bad queue op {op}"),

@@ -41,7 +41,7 @@ pub trait ObjectSpec: Debug + Send + Sync {
 pub fn encode_op<I: IntoIterator<Item = Value>>(tag: i64, args: I) -> Value {
     let mut items = vec![Value::from(tag)];
     items.extend(args);
-    Value::Tuple(items)
+    Value::tuple(items)
 }
 
 /// Decodes the tag of an [`encode_op`]-encoded operation.

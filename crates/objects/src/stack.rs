@@ -72,7 +72,7 @@ impl ObjectSpec for Stack {
     }
 
     fn initial(&self) -> Value {
-        Value::Tuple(self.initial_items.clone())
+        Value::tuple(self.initial_items.clone())
     }
 
     fn apply(&self, state: &Value, op: &Value) -> (Value, Value) {
@@ -82,10 +82,10 @@ impl ObjectSpec for Stack {
                 let v = op_arg(op, 0).expect("push argument").clone();
                 let mut next = items.to_vec();
                 next.push(v);
-                (Value::Tuple(next), Value::Unit)
+                (Value::tuple(next), Value::Unit)
             }
             Some(t) if t == i128::from(TAG_POP) => match items.split_last() {
-                Some((top, rest)) => (Value::Tuple(rest.to_vec()), top.clone()),
+                Some((top, rest)) => (Value::tuple(rest.to_vec()), top.clone()),
                 None => (state.clone(), empty_response()),
             },
             _ => panic!("bad stack op {op}"),

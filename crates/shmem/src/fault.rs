@@ -264,12 +264,17 @@ impl FaultInjector {
             }
             Value::Reg(r) => r.0 ^= 1 + self.rng.below(255),
             Value::Bits(ws) => {
-                if ws.is_empty() {
-                    ws.push(self.rng.next_u64());
+                // The word slab may be shared with run histories and
+                // snapshots; corruption rebuilds the node so the mutation
+                // stays local to this register.
+                let mut words = ws.to_vec();
+                if words.is_empty() {
+                    words.push(self.rng.next_u64());
                 } else {
-                    let i = self.rng.index(ws.len());
-                    ws[i] ^= 1 << self.rng.below(64);
+                    let i = self.rng.index(words.len());
+                    words[i] ^= 1 << self.rng.below(64);
                 }
+                *v = Value::bits(words);
             }
             Value::Tuple(vs) => {
                 if vs.is_empty() {
@@ -277,8 +282,10 @@ impl FaultInjector {
                     // family, observably different.
                     *v = Value::Unit;
                 } else {
-                    let i = self.rng.index(vs.len());
-                    self.corrupt_in_place(&mut vs[i]);
+                    let mut items = vs.to_vec();
+                    let i = self.rng.index(items.len());
+                    self.corrupt_in_place(&mut items[i]);
+                    *v = Value::tuple(items);
                 }
             }
         }
@@ -360,7 +367,7 @@ mod tests {
             Value::Int(5),
             Value::Pid(ProcessId(3)),
             Value::Reg(RegisterId(9)),
-            Value::Bits(vec![0, 1]),
+            Value::bits(vec![0, 1]),
             Value::tuple([Value::Int(1), Value::Bool(false)]),
         ];
         for v in &cases {
@@ -375,7 +382,7 @@ mod tests {
         // Unit is the documented fixed point.
         assert_eq!(inj.corrupt_value(&Value::Unit), Value::Unit);
         // Bit strings keep their width.
-        let c = inj.corrupt_value(&Value::Bits(vec![7, 7, 7]));
+        let c = inj.corrupt_value(&Value::bits(vec![7, 7, 7]));
         assert_eq!(c.as_bits().map(<[u64]>::len), Some(3));
         // Tuples keep their arity (one corrupted element).
         let t = Value::tuple([Value::Int(1), Value::Int(2)]);
@@ -394,9 +401,9 @@ mod tests {
             Value::Int(999),
             Value::Pid(ProcessId(7)),
             Value::Reg(RegisterId(2)),
-            Value::Bits(vec![5, 6]),
-            Value::Bits(vec![]),
-            Value::tuple([Value::Bits(vec![1]), Value::Int(0)]),
+            Value::bits(vec![5, 6]),
+            Value::bits(vec![]),
+            Value::tuple([Value::bits(vec![1]), Value::Int(0)]),
             Value::empty_tuple(),
         ];
         for v in &cases {

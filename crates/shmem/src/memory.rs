@@ -12,6 +12,13 @@ use std::fmt;
 /// [`Value::Unit`] unless set via [`SharedMemory::set_initial`]). This makes
 /// the "infinite number of words" of the paper observationally exact.
 ///
+/// Internally the registers live in two tiers: ids below
+/// [`DENSE_REGISTERS`] — every id the shipped algorithms actually use — sit
+/// in a directly indexed slab, so the operation hot path costs one bounds
+/// check instead of an ordered-map search, while arbitrarily large ids
+/// spill into a [`BTreeMap`]. The split is invisible: iteration and
+/// snapshots present both tiers merged in id order.
+///
 /// # Examples
 ///
 /// ```
@@ -25,10 +32,18 @@ use std::fmt;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SharedMemory {
-    regs: BTreeMap<RegisterId, RegisterState>,
+    /// Slab tier: slot `i` is `R_i`'s state, `None` until first touch.
+    /// Grown on demand, never beyond [`DENSE_REGISTERS`] slots.
+    dense: Vec<Option<RegisterState>>,
+    /// Spill tier for register ids at or above [`DENSE_REGISTERS`].
+    sparse: BTreeMap<RegisterId, RegisterState>,
     initial: BTreeMap<RegisterId, Value>,
     stats: MemoryStats,
 }
+
+/// Register ids below this bound live in the directly indexed slab tier;
+/// ids at or above it live in the ordered spill map.
+const DENSE_REGISTERS: u64 = 1024;
 
 impl SharedMemory {
     /// Creates an empty shared memory: every register holds
@@ -60,7 +75,7 @@ impl SharedMemory {
     /// values are part of the experiment setup, not of its execution.
     pub fn set_initial(&mut self, reg: RegisterId, value: Value) {
         assert!(
-            !self.regs.contains_key(&reg),
+            self.state(reg).is_none(),
             "set_initial({reg}) after the register was touched"
         );
         self.initial.insert(reg, value);
@@ -70,32 +85,65 @@ impl SharedMemory {
         self.initial.get(&reg).cloned().unwrap_or_default()
     }
 
-    fn state_mut(&mut self, reg: RegisterId) -> &mut RegisterState {
-        if !self.regs.contains_key(&reg) {
-            let init = self.initial_value(reg);
-            self.regs.insert(reg, RegisterState::new(init));
+    /// The state of `reg` if it has been touched, `None` otherwise.
+    fn state(&self, reg: RegisterId) -> Option<&RegisterState> {
+        if reg.0 < DENSE_REGISTERS {
+            self.dense.get(reg.0 as usize)?.as_ref()
+        } else {
+            self.sparse.get(&reg)
         }
-        self.regs.get_mut(&reg).expect("just inserted")
+    }
+
+    fn state_mut(&mut self, reg: RegisterId) -> &mut RegisterState {
+        if reg.0 < DENSE_REGISTERS {
+            let i = reg.0 as usize;
+            if i >= self.dense.len() {
+                self.dense.resize_with(i + 1, || None);
+            }
+            if self.dense[i].is_none() {
+                let init = self.initial_value(reg);
+                self.dense[i] = Some(RegisterState::new(init));
+            }
+            self.dense[i].as_mut().expect("just materialised")
+        } else {
+            match self.sparse.entry(reg) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    let init = self.initial.get(&reg).cloned().unwrap_or_default();
+                    v.insert(RegisterState::new(init))
+                }
+            }
+        }
+    }
+
+    /// Every touched register with its state, in id order (the slab tier
+    /// holds strictly smaller ids than the spill tier, so chaining them
+    /// preserves the order).
+    fn states(&self) -> impl Iterator<Item = (RegisterId, &RegisterState)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| Some((RegisterId(i as u64), s.as_ref()?)))
+            .chain(self.sparse.iter().map(|(r, s)| (*r, s)))
     }
 
     /// Reads the current value of `reg` without perturbing any state
     /// (an omniscient-observer read, used by checkers — not a process step).
     pub fn peek(&self, reg: RegisterId) -> Value {
-        self.regs
-            .get(&reg)
+        self.state(reg)
             .map(|s| s.value().clone())
             .unwrap_or_else(|| self.initial_value(reg))
     }
 
     /// Whether `p` is currently in `Pset(reg)` (omniscient view).
     pub fn peek_linked(&self, reg: RegisterId, p: ProcessId) -> bool {
-        self.regs.get(&reg).is_some_and(|s| s.linked(p))
+        self.state(reg).is_some_and(|s| s.linked(p))
     }
 
     /// The set of registers that have been touched by at least one
     /// operation, in id order.
     pub fn touched(&self) -> impl Iterator<Item = RegisterId> + '_ {
-        self.regs.keys().copied()
+        self.states().map(|(r, _)| r)
     }
 
     /// Applies `op` on behalf of process `p` and returns the response,
@@ -137,7 +185,7 @@ impl SharedMemory {
     /// The suppressed SC is still a shared access and is counted in
     /// [`MemoryStats::scs`] (but not as successful).
     pub fn suppress_sc(&mut self, p: ProcessId, reg: RegisterId) -> Option<Response> {
-        if !self.regs.get(&reg).is_some_and(|s| s.linked(p)) {
+        if !self.state(reg).is_some_and(|s| s.linked(p)) {
             return None;
         }
         self.stats.record(OpKind::Sc);
@@ -174,7 +222,8 @@ impl SharedMemory {
     /// The executor's trial-reset primitive
     /// ([`Executor::reset`](crate::Executor::reset)).
     pub fn reset(&mut self) {
-        self.regs.clear();
+        self.dense.clear();
+        self.sparse.clear();
         self.stats = MemoryStats::default();
     }
 
@@ -187,19 +236,13 @@ impl SharedMemory {
     /// comparisons. Untouched registers are omitted (they hold their initial
     /// values by definition).
     pub fn snapshot_values(&self) -> BTreeMap<RegisterId, Value> {
-        self.regs
-            .iter()
-            .map(|(r, s)| (*r, s.value().clone()))
-            .collect()
+        self.states().map(|(r, s)| (r, s.value().clone())).collect()
     }
 
     /// A snapshot of every touched register's `Pset`, as bitmasks (one
     /// word copy per register instead of a per-member allocation).
     pub fn snapshot_psets(&self) -> BTreeMap<RegisterId, ProcMask> {
-        self.regs
-            .iter()
-            .map(|(r, s)| (*r, s.pset().clone()))
-            .collect()
+        self.states().map(|(r, s)| (r, s.pset().clone())).collect()
     }
 }
 
@@ -418,6 +461,28 @@ mod tests {
         assert_eq!(values[&RegisterId(2)], int(4));
         let touched: Vec<_> = mem.touched().collect();
         assert_eq!(touched, vec![RegisterId(2)]);
+    }
+
+    #[test]
+    fn dense_and_sparse_tiers_merge_in_id_order() {
+        let mut mem = SharedMemory::with_initial([(RegisterId(5_000_000), int(7))]);
+        // Touch a spill-tier register first, then two slab registers.
+        mem.apply(P0, &Operation::Ll(RegisterId(5_000_000)));
+        mem.apply(P0, &Operation::Swap(RegisterId(9), int(1)));
+        mem.apply(P0, &Operation::Swap(RegisterId(2), int(2)));
+        assert_eq!(
+            mem.touched().collect::<Vec<_>>(),
+            vec![RegisterId(2), RegisterId(9), RegisterId(5_000_000)]
+        );
+        assert_eq!(mem.peek(RegisterId(5_000_000)), int(7));
+        assert!(mem.peek_linked(RegisterId(5_000_000), P0));
+        let values = mem.snapshot_values();
+        assert_eq!(values.len(), 3);
+        assert_eq!(values[&RegisterId(5_000_000)], int(7));
+        // Spill-tier registers reset like slab ones.
+        mem.reset();
+        assert_eq!(mem.touched().count(), 0);
+        assert_eq!(mem.peek(RegisterId(5_000_000)), int(7), "initial kept");
     }
 
     #[test]

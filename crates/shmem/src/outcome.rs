@@ -56,6 +56,18 @@ pub enum RunError {
         /// The crashed process.
         pid: ProcessId,
     },
+    /// An exhaustive subset sweep was requested outside its supported
+    /// domain: more processes than the `2^n` mask space handles, or a
+    /// trial range extending past `2^n`. Reported by the `llsc-core`
+    /// subset sweeps as a pre-flight validation error (no run is ever
+    /// started), so chunked jobs surface a structured failure instead of
+    /// a panic.
+    UnsupportedSweep {
+        /// The requested process count.
+        n: usize,
+        /// The end of the requested trial range.
+        end: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -68,6 +80,11 @@ impl fmt::Display for RunError {
                 write!(f, "{pid} diverged: local coin-toss burst limit reached")
             }
             RunError::Crashed { pid } => write!(f, "{pid} crashed before terminating"),
+            RunError::UnsupportedSweep { n, end } => write!(
+                f,
+                "subset sweep outside the supported domain: n = {n}, trial range end = {end} \
+                 (need n <= 16 and end <= 2^n)"
+            ),
         }
     }
 }
@@ -151,6 +168,9 @@ impl From<RunError> for RunOutcome {
             RunError::BudgetExhausted { events } => RunOutcome::BudgetExhausted { events },
             RunError::DivergedLocalBurst { pid } => RunOutcome::DivergedLocalBurst { pid },
             RunError::Crashed { pid } => RunOutcome::Crashed { pid },
+            // Pre-flight validation: no run was started, so there is no
+            // more specific classification than "stopped with 0 events".
+            RunError::UnsupportedSweep { .. } => RunOutcome::BudgetExhausted { events: 0 },
         }
     }
 }

@@ -70,7 +70,7 @@ pub fn dsm_cost(p: ProcessId, op: &Operation, n: usize) -> u64 {
 /// clears it on [`reset`](CcTracker::reset) (and on adversarial register
 /// corruption, which invalidates every cached copy of the victim —
 /// [`invalidate`](CcTracker::invalidate)).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct CcTracker {
     valid: HashMap<RegisterId, ProcMask>,
 }

@@ -7,14 +7,30 @@
 //! enough to hold anything the paper's constructions store in a register —
 //! counters, process sets, announced operations, whole object states, and
 //! linked structures encoded by register names.
+//!
+//! # Representation: inline scalars, shared heavy nodes
+//!
+//! Small values (`Unit`, `Bool`, `Int`, `Pid`, `Reg`) are stored inline in
+//! the enum word. The two unbounded variants — [`Value::Bits`] and
+//! [`Value::Tuple`] — store their payload behind an [`Arc`] slab, so a
+//! `Value` is a *handle*: cloning one is a reference-count bump, never a
+//! deep copy. The simulator clones register contents constantly (into run
+//! histories, round snapshots, operation responses, and checkpoint
+//! serializers), and with handle semantics every one of those clones is
+//! O(1) regardless of how wide the register word is. The payloads are
+//! immutable once built — "mutation" (e.g. [`Value::with_bit`]) builds a
+//! fresh node — which is exactly what makes the sharing sound across the
+//! sweep worker threads that hold the same `(All, A)`-run.
 
 use crate::{ProcessId, RegisterId};
 use std::fmt;
+use std::sync::Arc;
 
 /// The contents of a shared register: an unbounded, structured word.
 ///
-/// `Value` is a deep-comparable, hashable term. Registers initially hold
-/// [`Value::Unit`] unless the experiment configures otherwise.
+/// `Value` is a deep-comparable, hashable term with O(1) clones (see the
+/// module docs). Registers initially hold [`Value::Unit`] unless the
+/// experiment configures otherwise.
 ///
 /// # Examples
 ///
@@ -25,7 +41,11 @@ use std::fmt;
 /// assert_eq!(v.index(1).and_then(Value::as_bool), Some(true));
 /// assert_eq!(v.to_string(), "(1, true)");
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+// The manual `PartialEq` below is structural-equality-consistent with the
+// derived `Hash` (its pointer check only short-circuits structurally equal
+// slabs), so the derive is sound.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Debug, Default, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// The distinguished initial value of every register ("⊥").
     #[default]
@@ -43,10 +63,31 @@ pub enum Value {
     /// structures and the `move` operation's indirection patterns).
     Reg(RegisterId),
     /// An arbitrary-width bit string, least-significant word first.
-    /// Width is `words.len() * 64` bits.
-    Bits(Vec<u64>),
-    /// An ordered sequence of values.
-    Tuple(Vec<Value>),
+    /// Width is `words.len() * 64` bits. The word slab is shared: clones
+    /// alias it.
+    Bits(Arc<[u64]>),
+    /// An ordered sequence of values. The element slab is shared: clones
+    /// alias it.
+    Tuple(Arc<[Value]>),
+}
+
+/// Structural equality with a handle fast path: two clones of the same
+/// `Bits`/`Tuple` slab compare equal by pointer without walking the
+/// payload. Consistent with the derived `Ord`/`Hash` — the pointer check
+/// only short-circuits cases that are structurally equal anyway.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Pid(a), Value::Pid(b)) => a == b,
+            (Value::Reg(a), Value::Reg(b)) => a == b,
+            (Value::Bits(a), Value::Bits(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Tuple(a), Value::Tuple(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Value {
@@ -61,19 +102,24 @@ impl Value {
         Value::Tuple(items.into_iter().collect())
     }
 
+    /// Builds a bit-string value from its little-endian words.
+    pub fn bits(words: impl Into<Arc<[u64]>>) -> Value {
+        Value::Bits(words.into())
+    }
+
     /// Builds an empty tuple (distinct from [`Value::Unit`]).
     pub fn empty_tuple() -> Value {
-        Value::Tuple(Vec::new())
+        Value::Tuple(Arc::from([]))
     }
 
     /// Builds a bit string of `words * 64` bits, all zero.
     pub fn zero_bits(words: usize) -> Value {
-        Value::Bits(vec![0; words])
+        Value::bits(vec![0; words])
     }
 
     /// Builds a bit string of `words * 64` bits, all one.
     pub fn ones_bits(words: usize) -> Value {
-        Value::Bits(vec![u64::MAX; words])
+        Value::bits(vec![u64::MAX; words])
     }
 
     /// Returns the integer payload, if this is an [`Value::Int`].
@@ -167,7 +213,7 @@ impl Value {
         } else {
             *w &= !(1 << off);
         }
-        Some(Value::Bits(ws))
+        Some(Value::bits(ws))
     }
 
     /// A 64-bit structural checksum of the value term (FNV-1a over a
@@ -364,13 +410,29 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_their_slab() {
+        let t = Value::tuple([Value::from(1i64), Value::zero_bits(4)]);
+        let u = t.clone();
+        match (&t, &u) {
+            (Value::Tuple(a), Value::Tuple(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+        // Sharing is invisible to structural operations.
+        assert_eq!(t, u);
+        assert_eq!(t.fingerprint(), u.fingerprint());
+        // Equality also holds for structurally equal, separately built terms.
+        let rebuilt = Value::tuple([Value::from(1i64), Value::zero_bits(4)]);
+        assert_eq!(t, rebuilt);
+    }
+
+    #[test]
     fn display_is_nonempty_and_structured() {
         assert_eq!(Value::Unit.to_string(), "⊥");
         assert_eq!(
             Value::tuple([Value::from(1i64), Value::Bool(false)]).to_string(),
             "(1, false)"
         );
-        assert_eq!(Value::Bits(vec![0xff]).to_string(), "0x00000000000000ff");
+        assert_eq!(Value::bits(vec![0xff]).to_string(), "0x00000000000000ff");
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn union(a: &Value, b: &Value) -> Value {
         }
     }
     entries.sort_by_key(entry_pid);
-    Value::Tuple(entries)
+    Value::tuple(entries)
 }
 
 fn replay_response(spec: &dyn ObjectSpec, log: &Value, p: ProcessId) -> Value {

@@ -78,7 +78,7 @@ fn union(a: &Value, b: &Value) -> Value {
         }
     }
     entries.sort_by_key(entry_pid);
-    Value::Tuple(entries)
+    Value::tuple(entries)
 }
 
 /// Appends to `log` every entry of `batch` not already present, in
@@ -97,7 +97,7 @@ fn extend_log(log: &Value, batch: &Value) -> Value {
         .collect();
     fresh.sort_by_key(entry_pid);
     entries.extend(fresh);
-    Value::Tuple(entries)
+    Value::tuple(entries)
 }
 
 fn replay_response(spec: &dyn ObjectSpec, log: &Value, p: ProcessId) -> Value {

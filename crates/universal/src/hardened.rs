@@ -148,7 +148,7 @@ fn union(a: &Value, b: &Value) -> Value {
         }
     }
     entries.sort_by_key(|e| entry_pid(e).unwrap_or(ProcessId(usize::MAX)));
-    Value::Tuple(entries)
+    Value::tuple(entries)
 }
 
 /// Appends to `log` every entry of `batch` not already present, in
@@ -164,7 +164,7 @@ fn extend_log(log: &Value, batch: &Value) -> Value {
         .collect();
     fresh.sort_by_key(|e| entry_pid(e).unwrap_or(ProcessId(usize::MAX)));
     entries.extend(fresh);
-    Value::Tuple(entries)
+    Value::tuple(entries)
 }
 
 /// Replays the log prefix up to `p`'s entry through the sequential spec;

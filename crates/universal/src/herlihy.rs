@@ -166,7 +166,7 @@ fn scan(
     if next == n {
         let mut entries = log.as_tuple().expect("log tuple").to_vec();
         entries.extend(gathered);
-        let new_log = Value::Tuple(entries);
+        let new_log = Value::tuple(entries);
         return sc(LOG_REG, new_log.clone(), move |ok, _| {
             if ok {
                 k(replay_response(spec.as_ref(), &new_log, pid))

@@ -84,7 +84,7 @@ impl Algorithm for ArcAlgorithm {
             mut collected: Vec<Value>,
         ) -> Step {
             match remaining.pop_front() {
-                None => done(Value::Tuple(collected)),
+                None => done(Value::tuple(collected)),
                 Some(op) => {
                     let imp2 = Arc::clone(&imp);
                     imp.invoke(

@@ -53,7 +53,7 @@ impl Algorithm for BitsetWakeup {
                 let mut words = prev.as_bits().map(<[u64]>::to_vec).unwrap_or_default();
                 words.resize(limbs(n), 0);
                 words[pid.0 / 64] |= 1 << (pid.0 % 64);
-                sc(WORD, Value::Bits(words), move |ok, _| {
+                sc(WORD, Value::bits(words), move |ok, _| {
                     if !ok {
                         attempt(pid, n)
                     } else if all_set_except(&prev, n, pid.0) {
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn helpers() {
-        let v = Value::Bits(vec![0b0111]);
+        let v = Value::bits(vec![0b0111]);
         assert!(all_set_except(&v, 4, 3));
         assert!(!all_set_except(&v, 4, 2));
         assert!(bit_is_set(&v, 1));

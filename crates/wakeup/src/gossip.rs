@@ -101,7 +101,7 @@ impl Algorithm for GossipWakeup {
 
     fn spawn(&self, pid: ProcessId, n: usize) -> Box<dyn Program> {
         let known = own_bits(pid, n);
-        swap(a_reg(pid.0), Value::Bits(known.clone()), move |_| {
+        swap(a_reg(pid.0), Value::bits(known.clone()), move |_| {
             gossip(pid, n, 0, known)
         })
         .into_program()
@@ -135,7 +135,7 @@ fn gossip(pid: ProcessId, n: usize, dim: u32, known: Vec<u64>) -> Step {
         validate(b_reg(pid.0), move |_ok, seen| {
             let mut known = known;
             merge(&mut known, &seen);
-            swap(a_reg(pid.0), Value::Bits(known.clone()), move |_| {
+            swap(a_reg(pid.0), Value::bits(known.clone()), move |_| {
                 gossip(pid, n, dim + 1, known)
             })
         })
@@ -329,10 +329,10 @@ mod tests {
     #[test]
     fn bit_helpers() {
         let mut k = own_bits(ProcessId(3), 8);
-        merge(&mut k, &Value::Bits(own_bits(ProcessId(7), 8)));
+        merge(&mut k, &Value::bits(own_bits(ProcessId(7), 8)));
         assert!(!is_full(&k, 8));
         for p in 0..8 {
-            merge(&mut k, &Value::Bits(own_bits(ProcessId(p), 8)));
+            merge(&mut k, &Value::bits(own_bits(ProcessId(p), 8)));
         }
         assert!(is_full(&k, 8));
         // Merging a non-bits value is a no-op.

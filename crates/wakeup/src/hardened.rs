@@ -160,7 +160,7 @@ impl Algorithm for HardenedRandomizedCounterWakeup {
 /// Seals a tournament bitset with its structural checksum, so a meeting
 /// point corrupted in place is recognised on receipt.
 fn park_value(bits: Vec<u64>) -> Value {
-    let payload = Value::Bits(bits);
+    let payload = Value::bits(bits);
     let fp = payload.fingerprint();
     Value::tuple([payload, Value::from(fp)])
 }
@@ -431,10 +431,10 @@ mod tests {
         assert_eq!(unpark(&sealed), Some(vec![0b1011, 7]));
         // Tamper with the payload: checksum mismatch.
         let items = sealed.as_tuple().unwrap();
-        let forged = Value::tuple([Value::Bits(vec![0b1111, 7]), items[1].clone()]);
+        let forged = Value::tuple([Value::bits(vec![0b1111, 7]), items[1].clone()]);
         assert_eq!(unpark(&forged), None);
         // Plain (unsealed) bits are rejected too.
-        assert_eq!(unpark(&Value::Bits(vec![1])), None);
+        assert_eq!(unpark(&Value::bits(vec![1])), None);
         assert_eq!(unpark(&Value::from(3i64)), None);
         assert_eq!(unpark(&Value::Unit), None);
     }

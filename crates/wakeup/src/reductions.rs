@@ -369,15 +369,15 @@ mod tests {
         assert!(ReductionKind::FetchIncrement.decide(ProcessId(0), n, &Value::from(4i64)));
         assert!(!ReductionKind::FetchIncrement.decide(ProcessId(0), n, &Value::from(3i64)));
         // fetch&and: only own bit surviving.
-        let only_2 = Value::Bits(vec![0b00100]);
+        let only_2 = Value::bits(vec![0b00100]);
         assert!(ReductionKind::FetchAnd.decide(ProcessId(2), n, &only_2));
         assert!(!ReductionKind::FetchAnd.decide(ProcessId(1), n, &only_2));
         // fetch&or: everything but own bit.
-        let all_but_2 = Value::Bits(vec![0b11011]);
+        let all_but_2 = Value::bits(vec![0b11011]);
         assert!(ReductionKind::FetchOr.decide(ProcessId(2), n, &all_but_2));
         assert!(!ReductionKind::FetchOr.decide(ProcessId(2), n, &only_2));
         // fetch&multiply: 2^(n-1).
-        let pow = Value::Bits(vec![0b10000]);
+        let pow = Value::bits(vec![0b10000]);
         assert!(ReductionKind::FetchMultiply.decide(ProcessId(0), n, &pow));
         assert!(!ReductionKind::FetchMultiply.decide(ProcessId(0), n, &only_2));
         // queue/stack/read+increment: the integer n.

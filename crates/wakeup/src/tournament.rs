@@ -101,7 +101,7 @@ fn climb(n: usize, child: u64, bits: Vec<u64>) -> Step {
         // Survived every meeting: the bitset must cover everyone.
         debug_assert!(is_full(&bits, n), "tournament leader missing bits");
         let verdict = i64::from(is_full(&bits, n));
-        return swap(DONE_REG, Value::Bits(bits), move |_| {
+        return swap(DONE_REG, Value::bits(bits), move |_| {
             done(Value::from(verdict))
         });
     }
@@ -110,7 +110,7 @@ fn climb(n: usize, child: u64, bits: Vec<u64>) -> Step {
     if !subtree_nonempty(sibling, n) {
         return climb(n, v, bits);
     }
-    swap(node_reg(v), Value::Bits(bits.clone()), move |received| {
+    swap(node_reg(v), Value::bits(bits.clone()), move |received| {
         match received.as_bits() {
             // First at the meeting point: lose, leave the bits parked.
             None => done(Value::from(0i64)),
