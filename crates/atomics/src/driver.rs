@@ -16,9 +16,14 @@
 //!
 //! [`Program`]: llsc_shmem::Program
 
-use crate::memory::HwMemory;
-use llsc_shmem::{Action, Algorithm, ExecutionBackend, Feedback, ProcessId, RunError, Value};
+use crate::memory::{HwEventKind, HwMemory};
+use crate::supervisor::{CrashSupervisor, InjectedCrash};
+use llsc_shmem::{
+    Action, Algorithm, CrashPlan, ExecutionBackend, Feedback, ProcessId, RecoverySpec, RunError,
+    Value,
+};
 use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -113,6 +118,18 @@ pub enum HwRunError {
         /// The processes that had not returned when it fired.
         stuck: Vec<ProcessId>,
     },
+    /// A crash victim was killed more times than its
+    /// [`RecoverySpec::budget`] covers respawns for — the respawn loop
+    /// exhausted. The supervisor escalated by aborting the whole trial
+    /// (through the same flag the watchdog uses), so peers stop instead
+    /// of spinning on the permanently dead victim.
+    RespawnExhausted {
+        /// The crash-looping victim.
+        pid: ProcessId,
+        /// Crashes the victim suffered, the final unrecovered one
+        /// included.
+        crashes: u64,
+    },
 }
 
 impl fmt::Display for HwRunError {
@@ -131,6 +148,11 @@ impl fmt::Display for HwRunError {
                     stuck.join(", ")
                 )
             }
+            HwRunError::RespawnExhausted { pid, crashes } => write!(
+                f,
+                "{pid}'s respawn budget exhausted after {crashes} crash(es): \
+                 the victim is crash-looping and the trial was aborted"
+            ),
         }
     }
 }
@@ -149,6 +171,11 @@ enum ThreadStop {
     Diverged,
     /// Saw the watchdog's abort flag.
     Aborted,
+    /// Was killed more times than its respawn budget covers.
+    RespawnExhausted {
+        /// Crashes delivered, the final unrecovered one included.
+        crashes: u64,
+    },
 }
 
 fn drive_one(
@@ -157,20 +184,33 @@ fn drive_one(
     pid: ProcessId,
     max_steps: u64,
     abort: &AtomicBool,
+    supervisor: Option<&CrashSupervisor>,
+    first_step_at: &mut Option<u64>,
 ) -> Result<HwProcessResult, ThreadStop> {
     let invoked_at = mem.stamp();
     let ops_before = mem.shared_accesses(pid);
     let rmrs_before = mem.dsm_rmrs(pid);
     let mut program = alg.spawn(pid, mem.n());
     let mut feedback = Feedback::Start;
-    let mut first_step_at = None;
     for _ in 0..max_steps {
         if abort.load(Ordering::Relaxed) {
             return Err(ThreadStop::Aborted);
         }
+        if let Some(sup) = supervisor {
+            if sup.tick(pid) {
+                // The incarnation dies here: the unwind drops the
+                // program (and this whole frame), and the supervised
+                // wrapper below catches the typed payload.
+                CrashSupervisor::crash_now();
+            }
+        }
         let action = program.next(feedback);
+        // Owned by the caller so the stamp survives crash/respawn: a
+        // revived victim "showed up" at its first incarnation's first
+        // step (the simulator's history keeps that step too), and the
+        // wakeup condition is judged against that instant.
         if first_step_at.is_none() {
-            first_step_at = Some(mem.stamp());
+            *first_step_at = Some(mem.stamp());
         }
         feedback = match action {
             Action::Toss => Feedback::Coin(mem.toss(pid)),
@@ -183,13 +223,105 @@ fn drive_one(
                     ops: mem.shared_accesses(pid) - ops_before,
                     dsm_rmrs: mem.dsm_rmrs(pid) - rmrs_before,
                     invoked_at,
-                    first_step_at,
+                    first_step_at: *first_step_at,
                     responded_at,
                 });
             }
         };
     }
     Err(ThreadStop::Diverged)
+}
+
+/// How many cooperative yields a respawning victim waits for the
+/// logical clock to advance before concluding its peers are done too —
+/// the clock only ticks on memory activity, so a lone survivor must not
+/// wait out a delay nobody can deliver.
+const RECOVERY_STALL_YIELDS: u32 = 50_000;
+
+/// Realizes the recovery delay in *logical* time: the victim rejoins
+/// once the global clock has advanced [`RecoverySpec::delay`] ticks past
+/// its death (the hardware analogue of the simulator's
+/// delay-in-events), bounded by an abort check and a stall limit.
+fn recovery_pause(mem: &HwMemory, delay: u64, abort: &AtomicBool) {
+    let resume_at = mem.clock_now().saturating_add(delay);
+    let mut stalled = 0u32;
+    while mem.clock_now() < resume_at && !abort.load(Ordering::Relaxed) {
+        std::thread::yield_now();
+        stalled += 1;
+        if stalled > RECOVERY_STALL_YIELDS {
+            return;
+        }
+    }
+}
+
+/// [`drive_one`] for a crash victim: incarnations run under
+/// `catch_unwind`, the supervisor's typed kills tear down local state
+/// and (within budget) respawn a fresh incarnation after the recovery
+/// delay; genuine panics unwind onward to the normal
+/// [`HwRunError::ThreadPanic`] containment.
+fn drive_supervised(
+    alg: &dyn Algorithm,
+    mem: &HwMemory,
+    pid: ProcessId,
+    max_steps: u64,
+    abort: &AtomicBool,
+    sup: &CrashSupervisor,
+) -> Result<HwProcessResult, ThreadStop> {
+    let invoked_at = mem.stamp();
+    let ops_before = mem.shared_accesses(pid);
+    let rmrs_before = mem.dsm_rmrs(pid);
+    let mut first_step_at = None;
+    loop {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            drive_one(
+                alg,
+                mem,
+                pid,
+                max_steps,
+                abort,
+                Some(sup),
+                &mut first_step_at,
+            )
+        }));
+        let payload = match attempt {
+            Ok(done) => {
+                return done.map(|mut result| {
+                    // Bill the whole lifetime, crashed incarnations
+                    // included — their wasted work *is* the recovery
+                    // cost — and date the operation from the first
+                    // incarnation's invocation.
+                    result.ops = mem.shared_accesses(pid) - ops_before;
+                    result.dsm_rmrs = mem.dsm_rmrs(pid) - rmrs_before;
+                    result.invoked_at = invoked_at;
+                    result
+                });
+            }
+            Err(payload) => payload,
+        };
+        if payload.downcast_ref::<InjectedCrash>().is_none() {
+            // A genuine algorithm panic: re-raise so the join path
+            // reports ThreadPanic, not a phantom recovery.
+            resume_unwind(payload);
+        }
+        let crashes = sup.crashes_of(pid);
+        mem.clear_local(pid);
+        mem.record_event(pid, HwEventKind::Killed { crashes });
+        match sup.grant_respawn(pid) {
+            None => {
+                // Escalate: stop the peers through the watchdog's own
+                // abort flag, then report the structured exhaustion.
+                abort.store(true, Ordering::Relaxed);
+                return Err(ThreadStop::RespawnExhausted { crashes });
+            }
+            Some(respawns_left) => {
+                recovery_pause(mem, sup.recovery().delay, abort);
+                if abort.load(Ordering::Relaxed) {
+                    return Err(ThreadStop::Aborted);
+                }
+                mem.record_event(pid, HwEventKind::Respawned { respawns_left });
+            }
+        }
+    }
 }
 
 /// Extracts the human-readable part of a `join()` panic payload.
@@ -226,7 +358,7 @@ pub fn run_threads(
     mem: &HwMemory,
     max_steps: u64,
 ) -> Result<HwRun, HwRunError> {
-    run_threads_inner(alg, mem, max_steps, None)
+    run_threads_inner(alg, mem, max_steps, None, None)
 }
 
 /// [`run_threads`] with a wall-clock deadline: if any process has not
@@ -242,7 +374,27 @@ pub fn run_threads_watchdog(
     max_steps: u64,
     timeout: Duration,
 ) -> Result<HwRun, HwRunError> {
-    run_threads_inner(alg, mem, max_steps, Some(timeout))
+    run_threads_inner(alg, mem, max_steps, Some(timeout), None)
+}
+
+/// [`run_threads_watchdog`] under the crash adversary: a
+/// [`CrashSupervisor`] armed with `plan` and `recovery` kills each
+/// victim's thread at its (per-process-rescaled) crash step via a typed
+/// unwind, drops the incarnation's local state, and respawns it after
+/// the recovery delay while the re-crash budget lasts. Kills and
+/// respawns are stamped into the [`crate::HwEvent`] history; a victim
+/// that outruns its budget aborts the trial and is reported as
+/// [`HwRunError::RespawnExhausted`].
+pub fn run_threads_supervised(
+    alg: &dyn Algorithm,
+    mem: &HwMemory,
+    max_steps: u64,
+    timeout: Duration,
+    plan: &CrashPlan,
+    recovery: RecoverySpec,
+) -> Result<HwRun, HwRunError> {
+    let sup = CrashSupervisor::new(plan, recovery, mem.n());
+    run_threads_inner(alg, mem, max_steps, Some(timeout), Some(&sup))
 }
 
 fn run_threads_inner(
@@ -250,6 +402,7 @@ fn run_threads_inner(
     mem: &HwMemory,
     max_steps: u64,
     watchdog: Option<Duration>,
+    supervisor: Option<&CrashSupervisor>,
 ) -> Result<HwRun, HwRunError> {
     let n = mem.n();
     let started = Instant::now();
@@ -263,15 +416,28 @@ fn run_threads_inner(
                 scope.spawn(move || {
                     // Decrement `live` even on unwind, or a panicked
                     // worker would keep the watchdog polling until its
-                    // deadline.
-                    struct Departing<'a>(&'a AtomicUsize);
+                    // deadline — and raise the abort flag, so peers
+                    // blocked on the dead thread stop immediately
+                    // instead of spinning until the watchdog masks the
+                    // panic as a timeout.
+                    struct Departing<'a> {
+                        live: &'a AtomicUsize,
+                        abort: &'a AtomicBool,
+                    }
                     impl Drop for Departing<'_> {
                         fn drop(&mut self) {
-                            self.0.fetch_sub(1, Ordering::Relaxed);
+                            if std::thread::panicking() {
+                                self.abort.store(true, Ordering::Relaxed);
+                            }
+                            self.live.fetch_sub(1, Ordering::Relaxed);
                         }
                     }
-                    let _departing = Departing(live);
-                    drive_one(alg, mem, ProcessId(p), max_steps, abort)
+                    let _departing = Departing { live, abort };
+                    let pid = ProcessId(p);
+                    match supervisor.filter(|s| s.is_victim(pid)) {
+                        Some(sup) => drive_supervised(alg, mem, pid, max_steps, abort, sup),
+                        None => drive_one(alg, mem, pid, max_steps, abort, None, &mut None),
+                    }
                 })
             })
             .collect();
@@ -294,6 +460,7 @@ fn run_threads_inner(
     let mut results = Vec::with_capacity(n);
     let mut stuck = Vec::new();
     let mut diverged = None;
+    let mut exhausted = None;
     for (p, outcome) in joined.into_iter().enumerate() {
         let pid = ProcessId(p);
         match outcome {
@@ -307,12 +474,20 @@ fn run_threads_inner(
             Ok(Err(ThreadStop::Diverged)) => {
                 diverged.get_or_insert(pid);
             }
+            Ok(Err(ThreadStop::RespawnExhausted { crashes })) => {
+                exhausted.get_or_insert((pid, crashes));
+            }
             Ok(Ok(result)) => results.push(result),
         }
     }
+    // An exhausted respawn loop set the abort flag itself, so its peers
+    // come back Aborted: the root cause outranks their symptom.
+    if let Some((pid, crashes)) = exhausted {
+        return Err(HwRunError::RespawnExhausted { pid, crashes });
+    }
     if !stuck.is_empty() {
         return Err(HwRunError::WatchdogTimeout {
-            timeout: watchdog.expect("threads only abort under a watchdog"),
+            timeout: watchdog.expect("threads only abort under a watchdog or after an escalation"),
             stuck,
         });
     }
@@ -390,6 +565,130 @@ mod tests {
         assert_eq!(run.results.len(), 3);
     }
 
+    /// A program of six LLs on register 0, then return — long enough to
+    /// cross a small crash step.
+    fn six_lls() -> impl Algorithm {
+        FnAlgorithm::new("six-lls", |_pid, _n| {
+            let r = RegisterId(0);
+            ll(r, move |_| {
+                ll(r, move |_| {
+                    ll(r, move |_| {
+                        ll(r, move |_| {
+                            ll(r, move |_| ll(r, move |_| done(Value::from(1i64))))
+                        })
+                    })
+                })
+            })
+            .into_program()
+        })
+    }
+
+    #[test]
+    fn supervised_victim_respawns_and_the_history_shows_it() {
+        use llsc_shmem::{CrashPlan, RecoverySpec};
+
+        let alg = six_lls();
+        let mem = HwMemory::for_algorithm(&alg, 2, Arc::new(SeededTosses::new(1)));
+        // Global threshold 8 over n=2 → p1 crashes before its 5th
+        // action; budget 1 means one kill, one respawn, then a clean
+        // second incarnation.
+        let plan = CrashPlan::at([(ProcessId(1), 8)]);
+        let recovery = RecoverySpec {
+            delay: 2,
+            budget: 1,
+        };
+        let run =
+            run_threads_supervised(&alg, &mem, 1_000, Duration::from_secs(60), &plan, recovery)
+                .expect("victim recovers within budget");
+        assert_eq!(run.results.len(), 2);
+        let victim = run.results.iter().find(|r| r.pid == ProcessId(1)).unwrap();
+        // 4 accesses wasted by the killed incarnation + 6 by the clean
+        // one: the surcharge is the recovery cost, and it is
+        // deterministic because the crash step is keyed on p1's private
+        // step clock.
+        assert_eq!(victim.ops, 10);
+
+        let events = mem.take_events();
+        let kills: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, crate::HwEventKind::Killed { .. }))
+            .collect();
+        let respawns: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, crate::HwEventKind::Respawned { .. }))
+            .collect();
+        assert_eq!(kills.len(), 1);
+        assert_eq!(respawns.len(), 1);
+        assert_eq!(kills[0].pid, ProcessId(1));
+        assert_eq!(kills[0].kind, crate::HwEventKind::Killed { crashes: 1 });
+        assert_eq!(respawns[0].pid, ProcessId(1));
+        assert_eq!(
+            respawns[0].kind,
+            crate::HwEventKind::Respawned { respawns_left: 0 }
+        );
+        assert!(
+            kills[0].at < respawns[0].at,
+            "kill ({}) precedes recovery ({})",
+            kills[0].at,
+            respawns[0].at
+        );
+    }
+
+    #[test]
+    fn respawn_exhaustion_escalates_as_a_structured_error() {
+        use llsc_shmem::{CrashPlan, RecoverySpec};
+
+        let alg = six_lls();
+        let mem = HwMemory::for_algorithm(&alg, 2, Arc::new(SeededTosses::new(1)));
+        // Budget 0: no respawn allowance at all, so p0's first kill
+        // exhausts the loop and aborts the trial.
+        let plan = CrashPlan::at([(ProcessId(0), 0)]);
+        let recovery = RecoverySpec {
+            delay: 1,
+            budget: 0,
+        };
+        let err =
+            run_threads_supervised(&alg, &mem, 1_000, Duration::from_secs(60), &plan, recovery)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            HwRunError::RespawnExhausted {
+                pid: ProcessId(0),
+                crashes: 1
+            }
+        );
+        // The kill still made it into the history before the escalation.
+        assert!(mem
+            .take_events()
+            .iter()
+            .any(|e| e.pid == ProcessId(0) && matches!(e.kind, crate::HwEventKind::Killed { .. })));
+    }
+
+    #[test]
+    fn a_panicking_thread_aborts_stuck_peers_instead_of_waiting_for_the_watchdog() {
+        // p0 spins forever, p1 panics immediately. Before the
+        // panic-aborts fix, p0 would spin until the 60s deadline and
+        // the report would be WatchdogTimeout; now the dying thread
+        // raises the abort flag and the panic is reported in moments.
+        let alg = FnAlgorithm::new("spin-or-panic", |pid: ProcessId, _n| {
+            assert!(pid.0 != 1, "injected panic in p1");
+            fix(|(), again| ll(RegisterId(0), move |_| again.call(())), ()).into_program()
+        });
+        let mem = HwMemory::for_algorithm(&alg, 2, Arc::new(SeededTosses::new(1)));
+        let started = Instant::now();
+        match run_threads_watchdog(&alg, &mem, u64::MAX, Duration::from_secs(60)) {
+            Err(HwRunError::ThreadPanic { pid, message }) => {
+                assert_eq!(pid, ProcessId(1));
+                assert!(message.contains("injected panic in p1"), "{message}");
+            }
+            other => panic!("expected ThreadPanic, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the panic must not be masked until the watchdog deadline"
+        );
+    }
+
     #[test]
     fn errors_render_for_harness_reports() {
         let panic = HwRunError::ThreadPanic {
@@ -406,5 +705,12 @@ mod tests {
         assert!(rendered.contains("never returned"), "{rendered}");
         let diverged: HwRunError = RunError::DivergedLocalBurst { pid: ProcessId(1) }.into();
         assert!(diverged.to_string().contains("diverged"));
+        let exhausted = HwRunError::RespawnExhausted {
+            pid: ProcessId(2),
+            crashes: 3,
+        };
+        let rendered = exhausted.to_string();
+        assert!(rendered.contains("respawn budget exhausted"), "{rendered}");
+        assert!(rendered.contains("3 crash(es)"), "{rendered}");
     }
 }

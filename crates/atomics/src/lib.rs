@@ -18,6 +18,17 @@
 //!   panicking program or a wedged trial comes back as a structured
 //!   [`HwRunError`], never as a harness abort; the watchdog variant adds
 //!   a wall-clock deadline for CI.
+//! * [`fault`] / [`CrashSupervisor`] — the simulator's fault stack,
+//!   ported to real threads: a [`llsc_shmem::FaultPlan`] re-timed onto
+//!   each process's private access clock injects spurious SC failures
+//!   and register corruption deterministically
+//!   ([`HwMemory::with_faults`]), and a
+//!   [`llsc_shmem::CrashPlan`]-driven supervisor kills victim threads
+//!   at their crash step (panic-based teardown), respawns them after
+//!   the recovery delay with a re-crash budget, and reports budget
+//!   exhaustion as a structured [`HwRunError::RespawnExhausted`]
+//!   ([`run_threads_supervised`]). Every delivery is stamped into the
+//!   [`HwEvent`] history.
 //!
 //! The crate deliberately depends on `llsc-shmem` alone: history
 //! checking against sequential specifications lives downstream in
@@ -29,7 +40,13 @@
 #![warn(missing_debug_implementations)]
 
 mod driver;
+pub mod fault;
 mod memory;
+mod supervisor;
 
-pub use driver::{run_threads, run_threads_watchdog, HwProcessResult, HwRun, HwRunError};
-pub use memory::{HwEvent, HwMemory};
+pub use driver::{
+    run_threads, run_threads_supervised, run_threads_watchdog, HwProcessResult, HwRun, HwRunError,
+};
+pub use fault::{split_plan, HwFaultLayer};
+pub use memory::{HwEvent, HwEventKind, HwMemory};
+pub use supervisor::CrashSupervisor;

@@ -35,30 +35,84 @@
 //! install of its other slot, which moved the tag — and versions never
 //! repeat, so the tag cannot move back.
 
+use crate::fault::HwFaultLayer;
 use llsc_shmem::{
-    dsm_cost, ExecutionBackend, OpKind, Operation, ProcessId, RegisterId, Response, TossAssignment,
-    Value,
+    dsm_cost, ExecutionBackend, FaultInjector, FaultPlan, FaultStats, OpKind, Operation, ProcessId,
+    RegisterId, Response, TossAssignment, Value,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-/// One timestamped shared-memory operation, as recorded by the hardware
-/// backend's history. Stamps come from the backend's global logical
-/// clock: a `fetch_add` total order that respects real time, so sorting
-/// by `at` yields a valid linearization order for the run's accesses.
+/// One timestamped record in the hardware backend's history. Stamps come
+/// from the backend's global logical clock: a `fetch_add` total order
+/// that respects real time, so sorting by `at` yields a valid
+/// linearization order for the run's accesses — and interleaves the
+/// fault and crash adversaries' deliveries with the operations they hit.
 #[derive(Clone, Debug, PartialEq)]
 pub struct HwEvent {
-    /// Logical-clock stamp of the operation's linearization.
+    /// Logical-clock stamp of the record.
     pub at: u64,
-    /// The performing process.
+    /// The process the record belongs to (the performer of an operation,
+    /// the victim of a fault or crash).
     pub pid: ProcessId,
-    /// Which of the five operations ran.
-    pub kind: OpKind,
-    /// The operation's target register (`dst` for moves).
-    pub target: RegisterId,
-    /// The response the process observed.
-    pub response: Response,
+    /// What happened.
+    pub kind: HwEventKind,
+}
+
+impl HwEvent {
+    /// `true` iff this record is a shared-memory operation (as opposed
+    /// to an adversary delivery).
+    pub fn is_op(&self) -> bool {
+        matches!(self.kind, HwEventKind::Op { .. })
+    }
+}
+
+/// What one [`HwEvent`] records: a shared-memory operation, a
+/// memory-fault delivery, or a crash-adversary action on the owning
+/// thread.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HwEventKind {
+    /// A shared-memory operation the process performed.
+    Op {
+        /// Which of the five operations ran.
+        op: OpKind,
+        /// The operation's target register (`dst` for moves).
+        target: RegisterId,
+        /// The response the process observed.
+        response: Response,
+    },
+    /// The fault layer suppressed an SC whose link was still valid — the
+    /// weak-LL/SC spurious failure. The suppressed operation itself is
+    /// recorded as the next [`HwEventKind::Op`] with a failed response.
+    SpuriousSc {
+        /// The SC's target register.
+        target: RegisterId,
+    },
+    /// The fault layer corrupted the register this process's next
+    /// operation observes.
+    Corruption {
+        /// The corrupted register.
+        target: RegisterId,
+        /// Whether the corruption also invalidated every outstanding
+        /// link (the hardware realization of the simulator's
+        /// clear-`Pset` flag: a corrupted value is *installed*, moving
+        /// the tag, instead of rewritten in place).
+        cleared: bool,
+    },
+    /// The crash supervisor killed this process's thread at its crash
+    /// step (panic-based teardown; links dropped).
+    Killed {
+        /// How many crashes this victim has now suffered, this one
+        /// included.
+        crashes: u64,
+    },
+    /// The crash supervisor respawned this process after its recovery
+    /// delay.
+    Respawned {
+        /// Respawns left in the victim's re-crash budget after this one.
+        respawns_left: u64,
+    },
 }
 
 /// One register: the version-tagged word plus its slot pool.
@@ -140,6 +194,7 @@ pub struct HwMemory {
     clock: AtomicU64,
     record: AtomicBool,
     events: Vec<Mutex<Vec<HwEvent>>>,
+    faults: Option<HwFaultLayer>,
 }
 
 impl HwMemory {
@@ -165,7 +220,45 @@ impl HwMemory {
             clock: AtomicU64::new(0),
             record: AtomicBool::new(true),
             events: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            faults: None,
         }
+    }
+
+    /// Arms the memory-fault adversary: `plan`'s global-event thresholds
+    /// are re-timed onto each process's private access clock (see
+    /// [`crate::fault::split_plan`]), so the delivered fault stream is
+    /// deterministic across thread interleavings. Stats are surfaced by
+    /// [`HwMemory::fault_stats`] and every delivery is stamped into the
+    /// [`HwEvent`] history.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> HwMemory {
+        self.faults = Some(HwFaultLayer::new(plan, self.n));
+        self
+    }
+
+    /// Arms an explicit per-process fault-plan assignment (thresholds
+    /// already in per-process access time) — the targeted form the
+    /// conformance tests use to aim a fault at a specific process.
+    pub fn with_fault_assignments<I>(mut self, plans: I) -> HwMemory
+    where
+        I: IntoIterator<Item = FaultPlan>,
+    {
+        let layer = HwFaultLayer::from_assignments(plans);
+        assert_eq!(
+            layer.processes(),
+            self.n,
+            "one fault plan per process, in process order"
+        );
+        self.faults = Some(layer);
+        self
+    }
+
+    /// Faults the armed adversary actually delivered so far (all zeros
+    /// when no plan is armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(HwFaultLayer::stats)
+            .unwrap_or_default()
     }
 
     /// Sets the initial contents of registers (before first touch).
@@ -206,6 +299,40 @@ impl HwMemory {
     /// responses in the same total order as the memory accesses.
     pub fn stamp(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// The global logical clock's current value, without advancing it.
+    /// The crash supervisor polls this to realize recovery delays in
+    /// logical time (clock ticks are memory activity by the surviving
+    /// processes).
+    pub fn clock_now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Drops `p`'s process-local memory state — its LL links. The crash
+    /// supervisor calls this when it kills a victim thread, so the
+    /// respawned incarnation starts with no reservations, exactly like
+    /// the simulator's crash teardown. The slot-parity bits survive: they
+    /// are an artifact of the memory's slot pool (resetting them could
+    /// overwrite the currently published slot), not algorithm state.
+    pub fn clear_local(&self, p: ProcessId) {
+        self.local(p).links.clear();
+    }
+
+    /// Stamps `kind` into `p`'s history on the global logical clock.
+    /// Used by the fault hooks below and by the crash supervisor for its
+    /// kill/respawn records; respects the recording switch like every
+    /// other history write.
+    pub(crate) fn record_event(&self, p: ProcessId, kind: HwEventKind) {
+        if self.record.load(Ordering::Relaxed) {
+            let at = self.stamp();
+            self.events[p.0]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(HwEvent { at, pid: p, kind });
+        } else {
+            self.stamp();
+        }
     }
 
     /// Drains every process's recorded operation events, merged and
@@ -351,6 +478,94 @@ impl HwMemory {
             }
         }
     }
+
+    /// Stamps one completed operation into the history (or just burns a
+    /// clock tick when recording is off, keeping stamps dense either
+    /// way).
+    fn record_op(&self, p: ProcessId, op: &Operation, response: &Response) {
+        if self.record.load(Ordering::Relaxed) {
+            self.record_event(
+                p,
+                HwEventKind::Op {
+                    op: op.kind(),
+                    target: op.target(),
+                    response: response.clone(),
+                },
+            );
+        } else {
+            self.stamp();
+        }
+    }
+
+    /// Delivers one corruption to `r` on behalf of `p`'s fault injector.
+    ///
+    /// With `clear` set the corrupted value is *installed* through one
+    /// of `p`'s own slots: the tag moves, so every outstanding link
+    /// drops — the hardware realization of the simulator's clear-`Pset`
+    /// flag. Without it the currently published slot is rewritten in
+    /// place under tag validation: links stay valid but now vouch for a
+    /// corrupted value, the sneakier of the two modes.
+    fn inject_corruption(&self, p: ProcessId, r: RegisterId, clear: bool, inj: &mut FaultInjector) {
+        let reg = self.reg(r);
+        if clear {
+            let (_, mut value) = reg.read(self.slot_mask);
+            inj.corrupt_in_place(&mut value);
+            let slot = {
+                let mut local = self.local(p);
+                self.next_own_slot(p, r, &mut local)
+            };
+            self.install(&reg, slot, value);
+        } else {
+            loop {
+                let t1 = reg.tag.load(Ordering::Acquire);
+                let mut slot = reg.slots[reg.slot_of(t1, self.slot_mask)]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                if reg.tag.load(Ordering::Acquire) == t1 {
+                    inj.corrupt_in_place(&mut slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The fault hooks of [`HwMemory::apply`]: due corruptions strike
+    /// the register this operation is about to observe (the source of a
+    /// move, the target of everything else — mirroring the simulator),
+    /// then a due spurious entry suppresses an SC whose link is still
+    /// valid (suppressing an already-failing SC would inject nothing).
+    /// Returns the forced failure response when the SC was suppressed.
+    fn apply_faulted(
+        &self,
+        faults: &HwFaultLayer,
+        p: ProcessId,
+        op: &Operation,
+        ticks: u64,
+    ) -> Option<Response> {
+        let mut inj = faults.injector(p);
+        while let Some(cleared) = inj.take_corruption(ticks) {
+            let target = op.observed();
+            self.inject_corruption(p, target, cleared, &mut inj);
+            self.record_event(p, HwEventKind::Corruption { target, cleared });
+        }
+        let Operation::Sc(r, _) = op else { return None };
+        if !inj.spurious_due(ticks) || !self.linked(p, *r) {
+            return None;
+        }
+        inj.consume_spurious();
+        drop(inj);
+        // Drop only the caller's link, exactly like a lost reservation:
+        // the register's value and every other process's link survive.
+        self.local(p).links.remove(r);
+        let (_, current) = self.reg(*r).read(self.slot_mask);
+        let response = Response::Flagged {
+            ok: false,
+            value: current,
+        };
+        self.record_event(p, HwEventKind::SpuriousSc { target: *r });
+        self.record_op(p, op, &response);
+        Some(response)
+    }
 }
 
 impl ExecutionBackend for HwMemory {
@@ -363,7 +578,10 @@ impl ExecutionBackend for HwMemory {
     }
 
     fn apply(&self, p: ProcessId, op: &Operation) -> Response {
-        self.accesses[p.0].fetch_add(1, Ordering::Relaxed);
+        // The previous count is `p`'s private logical clock — the
+        // fault layer keys its thresholds on it, because it is the one
+        // clock the OS scheduler cannot perturb (see `crate::fault`).
+        let ticks = self.accesses[p.0].fetch_add(1, Ordering::Relaxed);
         // DSM remoteness is a pure function of (process, register, n) —
         // see `llsc_shmem::dsm_home` — so the hardware backend can bill
         // it locally per thread, with no cache state to share. The CC
@@ -372,22 +590,13 @@ impl ExecutionBackend for HwMemory {
         if dsm > 0 {
             self.dsm_rmrs[p.0].fetch_add(dsm, Ordering::Relaxed);
         }
-        let response = self.apply_inner(p, op);
-        if self.record.load(Ordering::Relaxed) {
-            let at = self.stamp();
-            self.events[p.0]
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(HwEvent {
-                    at,
-                    pid: p,
-                    kind: op.kind(),
-                    target: op.target(),
-                    response: response.clone(),
-                });
-        } else {
-            self.stamp();
+        if let Some(faults) = &self.faults {
+            if let Some(suppressed) = self.apply_faulted(faults, p, op, ticks) {
+                return suppressed;
+            }
         }
+        let response = self.apply_inner(p, op);
+        self.record_op(p, op, &response);
         response
     }
 

@@ -6,8 +6,8 @@
 
 use llsc_atomics::{run_threads, HwMemory};
 use llsc_shmem::{
-    dsl, ConstantTosses, ExecutionBackend, FnAlgorithm, Operation, ProcessId, RegisterId, Response,
-    SeededTosses, SimBackend, TossAssignment, Value, ZeroTosses,
+    dsl, ConstantTosses, ExecutionBackend, FaultPlan, FnAlgorithm, Operation, ProcessId,
+    RegisterId, Response, SeededTosses, SimBackend, TossAssignment, Value, ZeroTosses,
 };
 use std::sync::Arc;
 
@@ -295,6 +295,161 @@ fn hardware_llsc_counter_loses_no_updates() {
     for r in &run.results {
         assert!(r.first_step_at.is_some());
         assert!(r.invoked_at < r.responded_at, "clock stamps are ordered");
+    }
+}
+
+/// A spurious SC failure behaves exactly like a lost reservation, even
+/// past one ProcMask word: with n = 130 every process links, the
+/// targeted process's SC is suppressed (fails, writes nothing, drops
+/// only its own link — the other 129 links survive the spill word), and
+/// the consumed entry lets the retried SC through.
+#[test]
+fn spurious_sc_beyond_mask_word_drops_only_the_victims_link() {
+    let n = 130;
+    let victim = 129;
+    let mem = HwMemory::new(n, Arc::new(ZeroTosses)).with_fault_assignments((0..n).map(|i| {
+        if i == victim {
+            FaultPlan::at([0], [], 1)
+        } else {
+            FaultPlan::none()
+        }
+    }));
+    for pid in 0..n {
+        ll(&mem, pid);
+    }
+    let (ok, current) = sc(&mem, victim, 7);
+    assert!(!ok, "the armed entry suppresses the SC");
+    assert_eq!(
+        current,
+        Value::Unit,
+        "a suppressed SC reports the current value"
+    );
+    assert_eq!(mem.peek(R), Value::Unit, "a suppressed SC writes nothing");
+    assert_eq!(mem.fault_stats().spurious_sc, 1, "one delivery recorded");
+    assert!(
+        !mem.linked(p(victim), R),
+        "the victim's own link is consumed"
+    );
+    for pid in 0..victim {
+        assert!(
+            mem.linked(p(pid), R),
+            "p{pid}'s link survives a peer's spurious failure"
+        );
+    }
+    // The entry is spent: the retried LL;SC goes through and clears the
+    // whole 130-process Pset.
+    ll(&mem, victim);
+    let (ok, _) = sc(&mem, victim, 7);
+    assert!(ok, "the retry after the consumed entry succeeds");
+    assert_eq!(mem.peek(R), Value::from(7i64));
+    for pid in 0..n {
+        assert!(!mem.linked(p(pid), R), "p{pid} unlinked by the real SC");
+    }
+}
+
+/// Injected corruption mutates the stored value *within its type* (an
+/// Int stays an Int, a Bool flips), in both delivery modes: the
+/// in-place rewrite leaves outstanding links valid (they now vouch for
+/// a corrupted value), the clearing install moves the tag and drops
+/// them.
+#[test]
+fn corruption_preserves_value_type_in_both_modes() {
+    let int_r = RegisterId(0);
+    let bool_r = RegisterId(1);
+    let mem = HwMemory::new(2, Arc::new(ZeroTosses)).with_fault_assignments([
+        FaultPlan::at([], [(0, false), (1, true)], 9),
+        FaultPlan::none(),
+    ]);
+    mem.apply(p(1), &Operation::Swap(int_r, Value::from(42i64)));
+    mem.apply(p(1), &Operation::Swap(bool_r, Value::Bool(true)));
+    mem.apply(p(1), &Operation::Ll(int_r));
+    mem.apply(p(1), &Operation::Ll(bool_r));
+    // p0's first access observes int_r: the non-clearing entry rewrites
+    // the published slot in place.
+    let observed = match mem.apply(p(0), &Operation::Ll(int_r)) {
+        Response::Value(v) => v,
+        other => panic!("LL returned {other:?}"),
+    };
+    assert!(
+        matches!(observed, Value::Int(_)),
+        "corruption keeps the Int type, got {observed:?}"
+    );
+    assert_ne!(observed, Value::from(42i64), "the value did change");
+    assert_eq!(mem.peek(int_r), observed, "rewritten in place, no install");
+    assert!(
+        mem.linked(p(1), int_r),
+        "in-place corruption leaves links valid (vouching for a corrupted value)"
+    );
+    // p0's second access observes bool_r: the clearing entry installs
+    // the corrupted value, so the tag moves and p1's link drops.
+    mem.apply(p(0), &Operation::Validate(bool_r));
+    assert_eq!(
+        mem.peek(bool_r),
+        Value::Bool(false),
+        "a corrupted Bool is the flipped Bool"
+    );
+    assert!(
+        !mem.linked(p(1), bool_r),
+        "the clearing mode invalidates outstanding links"
+    );
+    assert_eq!(mem.fault_stats().corruptions, 2);
+}
+
+/// The delivered fault stream is a pure function of `(algorithm, plan,
+/// n)`: two multi-threaded runs of a contention-free program (each
+/// process owns its register, so its operation sequence cannot depend
+/// on the OS interleaving) deliver byte-identical per-process fault
+/// histories, final register values included — the property `split_plan`
+/// exists to provide.
+#[test]
+fn fault_delivery_is_seed_deterministic_across_interleavings() {
+    let n = 4;
+    let rounds = 10i64;
+    let own_counter = FnAlgorithm::new("own-register-counter", move |pid, _n| {
+        let own = RegisterId(pid.0 as u64);
+        fn attempt(own: RegisterId, left: i64) -> dsl::Step {
+            if left == 0 {
+                return dsl::done(Value::Unit);
+            }
+            dsl::ll(own, move |v| {
+                let next = v.as_int().unwrap_or(0) + 1;
+                dsl::sc(own, Value::from(next), move |ok, _| {
+                    attempt(own, if ok { left - 1 } else { left })
+                })
+            })
+        }
+        attempt(own, rounds).into_program()
+    });
+    let plan = FaultPlan::seeded(0xE20, 8, 4, 200);
+    let run_once = || {
+        let mem = HwMemory::for_algorithm(&own_counter, n, Arc::new(ZeroTosses)).with_faults(&plan);
+        run_threads(&own_counter, &mem, 100_000).expect("terminates");
+        let stats = mem.fault_stats();
+        // Per-process (kind, payload) subsequences — the global stamps
+        // are a race outcome, the per-process streams must not be.
+        let events = mem.take_events();
+        let per_process: Vec<Vec<String>> = (0..n)
+            .map(|pid| {
+                events
+                    .iter()
+                    .filter(|e| e.pid == p(pid))
+                    .map(|e| format!("{:?}", e.kind))
+                    .collect()
+            })
+            .collect();
+        let finals: Vec<Value> = (0..n).map(|pid| mem.peek(RegisterId(pid as u64))).collect();
+        (stats, per_process, finals)
+    };
+    let (stats_a, events_a, finals_a) = run_once();
+    let (stats_b, events_b, finals_b) = run_once();
+    assert!(stats_a.total() > 0, "the plan must actually deliver faults");
+    assert_eq!(stats_a, stats_b, "same deliveries in both runs");
+    assert_eq!(finals_a, finals_b, "same final registers in both runs");
+    for pid in 0..n {
+        assert_eq!(
+            events_a[pid], events_b[pid],
+            "p{pid}'s event stream must not depend on the interleaving"
+        );
     }
 }
 

@@ -47,6 +47,35 @@ pub const E6_TITLE: &str =
 /// The E13 table title (see [`E4_TITLE`] for why it is shared).
 pub const E13_TITLE: &str = "E13 - appendix claims A.2-A.9 + Lemma 5.2, exhaustive over subsets";
 
+/// The E20 table title (see [`E4_TITLE`] for why it is shared).
+pub fn e20_title(n: usize, reps: usize) -> String {
+    format!(
+        "E20 - cross-backend chaos: degradation class and recovery RMR cost vs fault \
+         intensity (n = {n}, {reps} trials per cell, simulator backend)"
+    )
+}
+
+/// The E20 table's column headers (see [`E4_TITLE`] for why they are
+/// shared).
+pub const E20_HEADERS: [&str; 16] = [
+    "algorithm",
+    "arm",
+    "intensity",
+    "trials",
+    "recovered",
+    "detected wrong",
+    "silent wrong",
+    "stalled",
+    "crashed",
+    "aborted",
+    "crashes",
+    "recoveries",
+    "spurious SC",
+    "corruptions",
+    "CC RMRs",
+    "DSM RMRs",
+];
+
 /// The `(algorithm index, n)` product used by the per-algorithm sweeps.
 fn alg_size_pairs(algs: usize, ns: &[usize]) -> Vec<(usize, usize)> {
     let mut pairs = Vec::with_capacity(algs * ns.len());
@@ -2032,9 +2061,343 @@ pub fn e19_recovery_sweep(
     (Experiment { table, rows: cells }, failures)
 }
 
+/// One row of E20: how one algorithm family degrades — and what its
+/// recovery costs — as chaos intensity grows, on the simulator backend.
+/// The hardware half of E20 lives in `bench_e20` / `llsc bench`
+/// (`BENCH_pr10.json`), which runs the same seeded plans through the
+/// thread-per-process driver and records sim-vs-hardware divergence.
+#[derive(Clone, Debug)]
+pub struct E20Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The adversary arm the algorithm's family gets
+    /// (`"memory-faults"` for the hardened trio, `"crash-recovery"`
+    /// for the recoverable trio — see [`crate::xcheck::chaos_arm`]).
+    pub arm: &'static str,
+    /// Chaos intensity (scales every armed layer at once).
+    pub intensity: usize,
+    /// Trials run for this `(algorithm, intensity)` cell.
+    pub trials: usize,
+    /// Trials that terminated with a correct answer.
+    pub recovered: usize,
+    /// Trials that terminated wrong with a published detection.
+    pub detected_wrong: usize,
+    /// Trials that terminated wrong with no detection — the class the
+    /// chaos-validated families must never produce (the goldens pin it
+    /// at 0).
+    pub silent_wrong: usize,
+    /// Trials that exhausted their step/event budget.
+    pub stalled: usize,
+    /// Trials classified [`RunOutcome::Crashed`] (a victim still down
+    /// at the step cap).
+    pub crashed: usize,
+    /// Trials that aborted (local-burst divergence).
+    pub aborted: usize,
+    /// Crashes delivered across the cell's trials.
+    pub crashes: u64,
+    /// Recoveries performed across the cell's trials.
+    pub recoveries: u64,
+    /// Spurious SC failures delivered across the cell's trials.
+    pub spurious_sc: u64,
+    /// Register corruptions delivered across the cell's trials.
+    pub corruptions: u64,
+    /// Total CC-model remote memory references across the cell — with
+    /// [`E20Row::dsm_rmrs`], the recovery-RMR-cost curve vs intensity.
+    pub cc_rmrs: u64,
+    /// Total DSM-model remote memory references across the cell.
+    pub dsm_rmrs: u64,
+}
+
+/// The algorithms E20 stresses: the three hardened wakeup solutions
+/// (memory-fault arm, indices 0–2) and the three crash-recoverable
+/// algorithms (crash-recovery arm, indices 3–5).
+pub fn e20_algorithm(idx: usize, n: usize) -> Box<dyn Algorithm> {
+    if idx < 3 {
+        e16_algorithm(idx, n)
+    } else {
+        e19_algorithm(idx - 3)
+    }
+}
+
+/// The recovery regime of E20's crash-recovery arm (`None` for the
+/// hardened trio's memory-fault arm).
+pub fn e20_recovery(idx: usize, n: usize) -> Option<RecoverySpec> {
+    (idx >= 3).then(|| e19_recovery_spec(n))
+}
+
+/// The step cap each E20 trial runs under, on both backends.
+pub const E20_MAX_STEPS: u64 = 40_000;
+
+/// Builds the replayable case one E20 trial runs: a chaos plan seeded
+/// from `seed`, tailored to algorithm `idx`'s capability arm
+/// ([`crate::xcheck::chaos_arm`]), with the arm's recovery regime
+/// recorded — so `llsc replay` and the hardware side of E20 run exactly
+/// the plan the simulator sweep did.
+pub fn e20_case(idx: usize, n: usize, intensity: usize, seed: u64, max_events: u64) -> ReproCase {
+    let chaos = ChaosPlan::seeded(seed, n, intensity, 8 * n as u64);
+    let recovery = e20_recovery(idx, n);
+    let (crashes, faults) = crate::xcheck::chaos_arm(&chaos, recovery);
+    let mut case = chaos.to_case(
+        "e20",
+        e20_algorithm(idx, n).name(),
+        n,
+        TossSpec::Seeded(seed),
+        max_events,
+        E20_MAX_STEPS,
+    );
+    case.crashes = crashes;
+    case.faults = faults;
+    case.recovery = recovery;
+    case
+}
+
+/// E20: cross-backend chaos validation, simulator half. Each trial
+/// tailors a seeded [`ChaosPlan`] to its algorithm's capability arm
+/// ([`crate::xcheck::chaos_arm`]): the hardened wakeup trio faces
+/// spurious SC failures and register corruption under an adversarial
+/// random schedule; the recoverable trio faces crash/recovery cycles
+/// plus spurious SC failures. Every trial is classified with the shared
+/// degradation vocabulary and billed under both RMR cost models, so the
+/// table reads as *degradation class and recovery RMR cost vs fault
+/// intensity*. `intensity = 0` trials must recover; a violation panics,
+/// which the panic-isolated sweep reports as a [`TrialFailure`] with an
+/// attached reproducer. Rows and failures merge in index order, so the
+/// output is byte-identical at every thread count.
+///
+/// The hardware half runs the same plans through `llsc-atomics`
+/// (`bench_e20`, `llsc bench`), where crashes are real thread kills and
+/// the fault layer is re-timed onto per-process access clocks.
+pub fn e20_chaos_recovery_sweep(
+    n: usize,
+    intensities: &[usize],
+    reps: usize,
+    max_events: u64,
+    sweep: &Sweep,
+) -> (Experiment<E20Row>, Vec<TrialFailure>) {
+    const ALGS: usize = 6;
+    assert!(reps >= 1, "need at least one repetition per cell");
+    let mut items = Vec::with_capacity(ALGS * intensities.len() * reps);
+    for a in 0..ALGS {
+        for &intensity in intensities {
+            for rep in 0..reps {
+                items.push((a, intensity, rep));
+            }
+        }
+    }
+
+    let names: Vec<String> = (0..ALGS)
+        .map(|a| e20_algorithm(a, n).name().to_string())
+        .collect();
+    let outcomes = sweep.run_fallible_with(
+        &items,
+        |trial, &(a, intensity, _rep)| {
+            let alg = e20_algorithm(a, n);
+            let case = e20_case(a, n, intensity, trial.seed, max_events);
+            let run = crate::repro::run_case_with(&case, alg.as_ref());
+            if intensity == 0 {
+                assert!(
+                    run.class == "recovered",
+                    "{}: chaos-free trial must recover, got {} ({}) (seed {:#018x})",
+                    names[a],
+                    run.class,
+                    run.outcome_debug,
+                    trial.seed
+                );
+            }
+            // Re-execute for the cost counters (run_case_with classifies
+            // but does not bill); the replay is deterministic, so the
+            // second drive sees the identical run.
+            let replayed = llsc_shmem::repro::execute(&case, alg.as_ref());
+            let counters = replayed.exec.run().counters();
+            let (spurious_sc, corruptions) = match replayed.outcome {
+                RunOutcome::FaultInjected {
+                    spurious_sc,
+                    corruptions,
+                } => (spurious_sc, corruptions),
+                _ => (0, 0),
+            };
+            (
+                run.class,
+                counters.total_crashes(),
+                counters.total_recoveries(),
+                spurious_sc,
+                corruptions,
+                counters.total_cc_rmrs(),
+                counters.total_dsm_rmrs(),
+            )
+        },
+        |trial, &(a, intensity, _rep)| {
+            let recovery = e20_recovery(a, n);
+            let arm = if recovery.is_some() {
+                "crash-recovery"
+            } else {
+                "memory-faults"
+            };
+            format!(
+                "alg={} n={n} arm={arm} {} tosses=seeded:{:#018x}",
+                names[a],
+                ChaosPlan::seeded(trial.seed, n, intensity, 8 * n as u64).summary(),
+                trial.seed
+            )
+        },
+    );
+
+    let mut failures = Vec::new();
+    let mut cells: Vec<E20Row> = Vec::new();
+    for ((a, intensity, _rep), result) in items.iter().zip(outcomes) {
+        if cells
+            .last()
+            .is_none_or(|c| c.algorithm != names[*a] || c.intensity != *intensity)
+        {
+            cells.push(E20Row {
+                algorithm: names[*a].clone(),
+                arm: if *a < 3 {
+                    "memory-faults"
+                } else {
+                    "crash-recovery"
+                },
+                intensity: *intensity,
+                trials: 0,
+                recovered: 0,
+                detected_wrong: 0,
+                silent_wrong: 0,
+                stalled: 0,
+                crashed: 0,
+                aborted: 0,
+                crashes: 0,
+                recoveries: 0,
+                spurious_sc: 0,
+                corruptions: 0,
+                cc_rmrs: 0,
+                dsm_rmrs: 0,
+            });
+        }
+        let cell = cells.last_mut().expect("cell pushed above");
+        match result {
+            Ok((class, crashes, recoveries, sc, co, cc, dsm)) => {
+                cell.trials += 1;
+                match class.as_str() {
+                    "recovered" => cell.recovered += 1,
+                    "detected-wrong" => cell.detected_wrong += 1,
+                    "silent-wrong" => cell.silent_wrong += 1,
+                    "stalled" => cell.stalled += 1,
+                    "crashed" => cell.crashed += 1,
+                    _ => cell.aborted += 1,
+                }
+                cell.crashes += crashes;
+                cell.recoveries += recoveries;
+                cell.spurious_sc += sc;
+                cell.corruptions += co;
+                cell.cc_rmrs += cc;
+                cell.dsm_rmrs += dsm;
+            }
+            Err(fail) => failures.push(fail),
+        }
+    }
+    attach_repro(&mut failures, sweep, |failure| {
+        let (a, intensity, _rep) = items[failure.index];
+        e20_case(a, n, intensity, failure.derived_seed, max_events)
+    });
+
+    let mut table = Table::new(e20_title(n, reps), E20_HEADERS);
+    for r in &cells {
+        table.row([
+            r.algorithm.clone(),
+            r.arm.to_string(),
+            r.intensity.to_string(),
+            r.trials.to_string(),
+            r.recovered.to_string(),
+            r.detected_wrong.to_string(),
+            r.silent_wrong.to_string(),
+            r.stalled.to_string(),
+            r.crashed.to_string(),
+            r.aborted.to_string(),
+            r.crashes.to_string(),
+            r.recoveries.to_string(),
+            r.spurious_sc.to_string(),
+            r.corruptions.to_string(),
+            r.cc_rmrs.to_string(),
+            r.dsm_rmrs.to_string(),
+        ]);
+    }
+    (Experiment { table, rows: cells }, failures)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e20_arms_match_family_capabilities_with_zero_silent_wrong() {
+        let (exp, failures) =
+            e20_chaos_recovery_sweep(6, &[0, 2], 2, 2_000_000, &Sweep::sequential());
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(exp.rows.len(), 12, "6 algorithms x 2 intensities");
+        for r in &exp.rows {
+            assert_eq!(
+                r.silent_wrong, 0,
+                "{}: chaos-validated families never go silently wrong",
+                r.algorithm
+            );
+            assert_eq!(r.trials, 2);
+            assert!(
+                r.cc_rmrs > 0 && r.dsm_rmrs > 0,
+                "{}: RMRs billed",
+                r.algorithm
+            );
+            if r.intensity == 0 {
+                assert_eq!(
+                    r.recovered, r.trials,
+                    "{}: clean trials recover",
+                    r.algorithm
+                );
+                assert_eq!((r.crashes, r.spurious_sc, r.corruptions), (0, 0, 0));
+            }
+            match r.arm {
+                "memory-faults" => {
+                    assert_eq!(
+                        (r.crashes, r.recoveries),
+                        (0, 0),
+                        "{}: the hardened trio never faces the crash layer",
+                        r.algorithm
+                    );
+                }
+                "crash-recovery" => {
+                    assert_eq!(
+                        r.corruptions, 0,
+                        "{}: the recoverable trio never faces corruption",
+                        r.algorithm
+                    );
+                    assert_eq!(
+                        r.recoveries, r.crashes,
+                        "{}: every delivered crash is recovered",
+                        r.algorithm
+                    );
+                }
+                other => panic!("unknown arm {other}"),
+            }
+        }
+        // The fault layers actually fire at intensity 2.
+        let delivered: u64 = exp
+            .rows
+            .iter()
+            .filter(|r| r.intensity > 0)
+            .map(|r| r.crashes + r.spurious_sc + r.corruptions)
+            .sum();
+        assert!(delivered > 0, "intensity-2 cells must deliver faults");
+    }
+
+    #[test]
+    fn e20_is_identical_across_thread_counts() {
+        let (base, base_f) =
+            e20_chaos_recovery_sweep(6, &[0, 2], 2, 2_000_000, &Sweep::sequential());
+        for threads in [2, 4] {
+            let (par, par_f) =
+                e20_chaos_recovery_sweep(6, &[0, 2], 2, 2_000_000, &Sweep::with_threads(threads));
+            assert_eq!(par.table.render(), base.table.render(), "threads={threads}");
+            assert_eq!(par_f.len(), base_f.len());
+        }
+    }
 
     #[test]
     fn e19_recovers_crashes_and_bills_rmrs() {

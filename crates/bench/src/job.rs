@@ -1,7 +1,8 @@
 //! Checkpointed, resumable sweep jobs.
 //!
-//! The `2^n` subset sweeps (E4/E13) and the sampled expectation sweep
-//! (E6) are the repository's longest-running workloads, and a plain
+//! The `2^n` subset sweeps (E4/E13), the sampled expectation sweep
+//! (E6), and the chaos degradation sweep (E20, simulator half) are the
+//! repository's longest-running workloads, and a plain
 //! `table_e*` invocation loses everything when the process dies. This
 //! module wraps those sweeps in a *job*: the trial index space is
 //! partitioned into contiguous chunks, each chunk executes through the
@@ -40,7 +41,7 @@
 //! <dir>/manifest.json              status, chunk ledger, failures
 //! ```
 
-use crate::experiments::{E13_TITLE, E4_TITLE, E6_TITLE};
+use crate::experiments::{e20_title, E13_TITLE, E20_HEADERS, E4_TITLE, E6_TITLE};
 use crate::table::Table;
 use llsc_core::{
     indist_subset_range, report_from_samples, sample_expectation, AdversaryConfig,
@@ -66,10 +67,14 @@ pub enum JobExperiment {
     E6,
     /// E13 — appendix claims A.2–A.9 + Lemma 5.2, exhaustive over subsets.
     E13,
+    /// E20 — chaos degradation classes and recovery RMR cost (the
+    /// simulator half; the hardware half is `bench_e20`).
+    E20,
 }
 
 impl JobExperiment {
-    /// Parses the artifact's experiment tag (`"e4"`, `"e6"`, `"e13"`).
+    /// Parses the artifact's experiment tag (`"e4"`, `"e6"`, `"e13"`,
+    /// `"e20"`).
     ///
     /// # Errors
     ///
@@ -79,8 +84,9 @@ impl JobExperiment {
             "e4" => Ok(JobExperiment::E4),
             "e6" => Ok(JobExperiment::E6),
             "e13" => Ok(JobExperiment::E13),
+            "e20" => Ok(JobExperiment::E20),
             other => Err(format!(
-                "unknown job experiment `{other}` (want e4, e6, or e13)"
+                "unknown job experiment `{other}` (want e4, e6, e13, or e20)"
             )),
         }
     }
@@ -91,6 +97,7 @@ impl JobExperiment {
             JobExperiment::E4 => "e4",
             JobExperiment::E6 => "e6",
             JobExperiment::E13 => "e13",
+            JobExperiment::E20 => "e20",
         }
     }
 }
@@ -111,8 +118,18 @@ pub struct JobSpec {
     pub ns: Vec<usize>,
     /// Toss-assignment seeds (E4 only; `0` means [`ZeroTosses`]).
     pub toss_seeds: Vec<u64>,
-    /// Toss samples per `(algorithm, n)` estimate (E6 only).
+    /// Toss samples per `(algorithm, n)` estimate (E6), or trials per
+    /// `(algorithm, intensity)` cell (E20).
     pub samples: u64,
+    /// Chaos intensities to sweep (E20 only).
+    pub intensities: Vec<u64>,
+    /// Recovery-delay override for E20's crash-recovery arm (`0` keeps
+    /// the arm's own regime). Part of the fingerprint: two jobs with
+    /// different recovery knobs never share checkpoints.
+    pub recovery_delay: u64,
+    /// Respawn-budget override for E20's crash-recovery arm (`0` keeps
+    /// the arm's own regime).
+    pub respawn_budget: u64,
     /// Number of chunks the trial space is partitioned into. Chunk
     /// boundaries depend on this alone — never on the thread count — so
     /// checkpoints from different `--threads` runs are interchangeable.
@@ -136,10 +153,12 @@ impl JobSpec {
     /// experiment's `table_*` binary uses, split into 8 chunks with a
     /// small retry budget.
     pub fn default_for(experiment: JobExperiment) -> JobSpec {
-        let (ns, toss_seeds, samples) = match experiment {
-            JobExperiment::E4 => (vec![4, 6], vec![0, 1, 42], 0),
-            JobExperiment::E6 => (vec![4, 16, 64], vec![], 30),
-            JobExperiment::E13 => (vec![4, 6], vec![], 0),
+        let (ns, toss_seeds, samples, intensities) = match experiment {
+            JobExperiment::E4 => (vec![4, 6], vec![0, 1, 42], 0, vec![]),
+            JobExperiment::E6 => (vec![4, 16, 64], vec![], 30, vec![]),
+            JobExperiment::E13 => (vec![4, 6], vec![], 0, vec![]),
+            // The table_e20 grid: 6 algorithms x 4 intensities x 6 reps.
+            JobExperiment::E20 => (vec![8], vec![], 6, vec![0, 1, 2, 4]),
         };
         JobSpec {
             experiment,
@@ -148,6 +167,9 @@ impl JobSpec {
             ns,
             toss_seeds,
             samples,
+            intensities,
+            recovery_delay: 0,
+            respawn_budget: 0,
             chunks: 8,
             retries: 2,
             backoff_ms: 50,
@@ -180,8 +202,12 @@ impl JobSpec {
         push_list(&mut out, "ns", &ns);
         let toss: Vec<String> = self.toss_seeds.iter().map(|s| s.to_string()).collect();
         push_list(&mut out, "toss_seeds", &toss);
+        let intensities: Vec<String> = self.intensities.iter().map(|i| i.to_string()).collect();
+        push_list(&mut out, "intensities", &intensities);
         for (key, value) in [
             ("samples", self.samples),
+            ("recovery_delay", self.recovery_delay),
+            ("respawn_budget", self.respawn_budget),
             ("chunks", self.chunks as u64),
             ("retries", u64::from(self.retries)),
             ("backoff_ms", self.backoff_ms),
@@ -237,6 +263,9 @@ impl JobSpec {
             ns: list_field("ns")?.into_iter().map(|n| n as usize).collect(),
             toss_seeds: list_field("toss_seeds")?,
             samples: u64_field("samples")?,
+            intensities: list_field("intensities")?,
+            recovery_delay: u64_field("recovery_delay")?,
+            respawn_budget: u64_field("respawn_budget")?,
             chunks: u64_field("chunks")? as usize,
             retries: u64_field("retries")? as u32,
             backoff_ms: u64_field("backoff_ms")?,
@@ -252,7 +281,9 @@ impl JobSpec {
         if spec.ns.contains(&0) {
             return Err("job spec: every n must be positive".into());
         }
-        if spec.experiment != JobExperiment::E6 && spec.ns.iter().any(|&n| n > 16) {
+        if matches!(spec.experiment, JobExperiment::E4 | JobExperiment::E13)
+            && spec.ns.iter().any(|&n| n > 16)
+        {
             return Err("job spec: exhaustive subset sweeps need n <= 16".into());
         }
         match spec.experiment {
@@ -261,6 +292,15 @@ impl JobSpec {
             }
             JobExperiment::E6 if spec.samples == 0 => {
                 Err("job spec: e6 needs at least one sample".into())
+            }
+            JobExperiment::E20 if spec.ns.len() != 1 => {
+                Err("job spec: e20 sweeps exactly one n per job".into())
+            }
+            JobExperiment::E20 if spec.intensities.is_empty() => {
+                Err("job spec: e20 needs at least one intensity".into())
+            }
+            JobExperiment::E20 if spec.samples == 0 => {
+                Err("job spec: e20 needs at least one trial per cell".into())
             }
             _ => Ok(spec),
         }
@@ -280,6 +320,12 @@ impl JobSpec {
                 .chain(randomized_algorithms())
                 .collect(),
             JobExperiment::E6 => randomized_algorithms(),
+            // The hardened trio (memory-fault arm) then the recoverable
+            // trio (crash-recovery arm); e20 validates ns.len() == 1.
+            JobExperiment::E20 => {
+                let n = self.ns.first().copied().unwrap_or(2);
+                (0..6).map(|a| crate::e20_algorithm(a, n)).collect()
+            }
         }
     }
 
@@ -290,13 +336,14 @@ impl JobSpec {
         let algs = self.algorithms().len();
         let mut cells = Vec::new();
         let mut start = 0usize;
-        let mut push = |alg: usize, n: usize, toss_seed: u64, len: usize| {
+        let mut push = |alg: usize, n: usize, toss_seed: u64, intensity: usize, len: usize| {
             cells.push(Cell {
                 start,
                 len,
                 alg,
                 n,
                 toss_seed,
+                intensity,
             });
             start += len;
         };
@@ -305,7 +352,7 @@ impl JobSpec {
                 for alg in 0..algs {
                     for &n in &self.ns {
                         for &seed in &self.toss_seeds {
-                            push(alg, n, seed, 1usize << n);
+                            push(alg, n, seed, 0, 1usize << n);
                         }
                     }
                 }
@@ -313,14 +360,27 @@ impl JobSpec {
             JobExperiment::E6 => {
                 for alg in 0..algs {
                     for &n in &self.ns {
-                        push(alg, n, 0, self.samples as usize);
+                        push(alg, n, 0, 0, self.samples as usize);
                     }
                 }
             }
             JobExperiment::E13 => {
                 for alg in 0..algs {
                     for &n in &self.ns {
-                        push(alg, n, 0, 1usize << n);
+                        push(alg, n, 0, 0, 1usize << n);
+                    }
+                }
+            }
+            // Matches the item order of `e20_chaos_recovery_sweep`:
+            // algorithm-major, then intensity, then repetition — so the
+            // flat index space (and with it every derived trial seed)
+            // lines up with the table binary's.
+            JobExperiment::E20 => {
+                for alg in 0..algs {
+                    for &n in &self.ns {
+                        for &intensity in &self.intensities {
+                            push(alg, n, 0, intensity as usize, self.samples as usize);
+                        }
                     }
                 }
             }
@@ -362,6 +422,8 @@ struct Cell {
     n: usize,
     /// Toss seed (E4; `0` means [`ZeroTosses`]).
     toss_seed: u64,
+    /// Chaos intensity (E20).
+    intensity: usize,
 }
 
 /// Splits `total` trials into `chunks` contiguous `(start, len)` ranges,
@@ -408,18 +470,43 @@ enum TrialRecord {
         /// The sampled contribution.
         sample: ExpectationSample,
     },
+    /// An E20 classified chaos trial.
+    Chaos {
+        /// Global trial index.
+        index: usize,
+        /// Cell index (assembler group).
+        cell: usize,
+        /// Degradation class (`recovered`, `detected-wrong`, …).
+        class: String,
+        /// Crashes delivered.
+        crashes: u64,
+        /// Recoveries performed.
+        recoveries: u64,
+        /// Spurious SC failures delivered.
+        spurious_sc: u64,
+        /// Register corruptions delivered.
+        corruptions: u64,
+        /// CC-model remote memory references billed.
+        cc_rmrs: u64,
+        /// DSM-model remote memory references billed.
+        dsm_rmrs: u64,
+    },
 }
 
 impl TrialRecord {
     fn index(&self) -> usize {
         match self {
-            TrialRecord::Subset { index, .. } | TrialRecord::Sample { index, .. } => *index,
+            TrialRecord::Subset { index, .. }
+            | TrialRecord::Sample { index, .. }
+            | TrialRecord::Chaos { index, .. } => *index,
         }
     }
 
     fn cell(&self) -> usize {
         match self {
-            TrialRecord::Subset { cell, .. } | TrialRecord::Sample { cell, .. } => *cell,
+            TrialRecord::Subset { cell, .. }
+            | TrialRecord::Sample { cell, .. }
+            | TrialRecord::Chaos { cell, .. } => *cell,
         }
     }
 
@@ -480,6 +567,28 @@ impl TrialRecord {
                 field(out, "winner_steps", &opt(sample.winner_steps), false);
                 field(out, "max_steps", &opt(sample.max_steps), false);
             }
+            TrialRecord::Chaos {
+                index,
+                cell,
+                class,
+                crashes,
+                recoveries,
+                spurious_sc,
+                corruptions,
+                cc_rmrs,
+                dsm_rmrs,
+            } => {
+                field(out, "kind", "chaos", true);
+                field(out, "index", &index.to_string(), false);
+                field(out, "cell", &cell.to_string(), false);
+                field(out, "class", class, false);
+                field(out, "crashes", &crashes.to_string(), false);
+                field(out, "recoveries", &recoveries.to_string(), false);
+                field(out, "spurious_sc", &spurious_sc.to_string(), false);
+                field(out, "corruptions", &corruptions.to_string(), false);
+                field(out, "cc_rmrs", &cc_rmrs.to_string(), false);
+                field(out, "dsm_rmrs", &dsm_rmrs.to_string(), false);
+            }
         }
         out.push('}');
     }
@@ -531,6 +640,24 @@ impl TrialRecord {
                         winner_steps: opt("winner_steps")?,
                         max_steps: opt("max_steps")?,
                     },
+                })
+            }
+            "chaos" => {
+                let u64_field = |key: &str| -> Result<u64, String> {
+                    str_field(key)?
+                        .parse::<u64>()
+                        .map_err(|_| format!("trial record: bad `{key}`"))
+                };
+                Ok(TrialRecord::Chaos {
+                    index: num("index")?,
+                    cell: num("cell")?,
+                    class: str_field("class")?,
+                    crashes: u64_field("crashes")?,
+                    recoveries: u64_field("recoveries")?,
+                    spurious_sc: u64_field("spurious_sc")?,
+                    corruptions: u64_field("corruptions")?,
+                    cc_rmrs: u64_field("cc_rmrs")?,
+                    dsm_rmrs: u64_field("dsm_rmrs")?,
                 })
             }
             other => Err(format!("trial record: unknown kind `{other}`")),
@@ -812,6 +939,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The per-trial event budget E20 job trials run under when the spec
+/// does not override it — the same default as `table_e20`, so the job
+/// artifact matches the binary's byte for byte.
+const E20_DEFAULT_MAX_EVENTS: u64 = 2_000_000;
+
 /// Executes the trials `start .. start + len` of the job's flat index
 /// space and returns their records in index order.
 fn run_chunk_body(
@@ -886,6 +1018,89 @@ fn run_chunk_body(
                     }
                 }));
             }
+            JobExperiment::E20 => {
+                let max_events = if spec.max_events > 0 {
+                    spec.max_events
+                } else {
+                    E20_DEFAULT_MAX_EVENTS
+                };
+                // Trial identity is the global index alone (the range
+                // variant derives each seed from `(sweep seed, global
+                // index)`), so chunked execution reproduces exactly the
+                // trials `e20_chaos_recovery_sweep` runs — same cases,
+                // same classes, same counters.
+                let chunk = sweep.run_indexed_range_with_scratch(
+                    lo,
+                    local_count,
+                    || (),
+                    |(), trial| {
+                        let alg = crate::e20_algorithm(cell.alg, cell.n);
+                        let mut case = crate::e20_case(
+                            cell.alg,
+                            cell.n,
+                            cell.intensity,
+                            trial.seed,
+                            max_events,
+                        );
+                        if let Some(recovery) = case.recovery.as_mut() {
+                            if spec.recovery_delay > 0 {
+                                recovery.delay = spec.recovery_delay;
+                            }
+                            if spec.respawn_budget > 0 {
+                                recovery.budget = spec.respawn_budget;
+                            }
+                        }
+                        let run = crate::repro::run_case_with(&case, alg.as_ref());
+                        if cell.intensity == 0 {
+                            assert!(
+                                run.class == "recovered",
+                                "{}: chaos-free trial must recover, got {} ({}) (seed {:#018x})",
+                                alg.name(),
+                                run.class,
+                                run.outcome_debug,
+                                trial.seed
+                            );
+                        }
+                        // Re-execute for the cost counters (run_case_with
+                        // classifies but does not bill); the replay is
+                        // deterministic, so the second drive sees the
+                        // identical run.
+                        let replayed = llsc_shmem::repro::execute(&case, alg.as_ref());
+                        let counters = replayed.exec.run().counters();
+                        let (spurious_sc, corruptions) = match replayed.outcome {
+                            llsc_shmem::RunOutcome::FaultInjected {
+                                spurious_sc,
+                                corruptions,
+                            } => (spurious_sc, corruptions),
+                            _ => (0, 0),
+                        };
+                        (
+                            run.class,
+                            counters.total_crashes(),
+                            counters.total_recoveries(),
+                            spurious_sc,
+                            corruptions,
+                            counters.total_cc_rmrs(),
+                            counters.total_dsm_rmrs(),
+                        )
+                    },
+                );
+                records.extend(chunk.into_iter().enumerate().map(
+                    |(i, (class, crashes, recoveries, spurious_sc, corruptions, cc, dsm))| {
+                        TrialRecord::Chaos {
+                            index: lo + i,
+                            cell: cell_index,
+                            class,
+                            crashes,
+                            recoveries,
+                            spurious_sc,
+                            corruptions,
+                            cc_rmrs: cc,
+                            dsm_rmrs: dsm,
+                        }
+                    },
+                ));
+            }
         }
     }
     Ok(records)
@@ -905,6 +1120,12 @@ fn chunk_context(spec: &JobSpec, cells: &[Cell], start: usize, len: usize) -> St
                 algs[cell.alg].name(),
                 cell.n,
                 cell.toss_seed
+            ),
+            JobExperiment::E20 => format!(
+                "alg={} n={} intensity={}",
+                algs[cell.alg].name(),
+                cell.n,
+                cell.intensity
             ),
             _ => format!("alg={} n={}", algs[cell.alg].name(), cell.n),
         });
@@ -1004,7 +1225,7 @@ fn assemble(spec: &JobSpec, records: &[TrialRecord]) -> (Table, Vec<String>) {
                     .iter()
                     .filter_map(|r| match r {
                         TrialRecord::Sample { sample, .. } => Some(sample.clone()),
-                        TrialRecord::Subset { .. } => None,
+                        _ => None,
                     })
                     .collect();
                 let rep = report_from_samples(alg, cell.n, &samples);
@@ -1032,7 +1253,7 @@ fn assemble(spec: &JobSpec, records: &[TrialRecord]) -> (Table, Vec<String>) {
                     .iter()
                     .map(|r| match r {
                         TrialRecord::Subset { violations, .. } => violations.len(),
-                        TrialRecord::Sample { .. } => 0,
+                        _ => 0,
                     })
                     .sum();
                 table.row([
@@ -1040,6 +1261,82 @@ fn assemble(spec: &JobSpec, records: &[TrialRecord]) -> (Table, Vec<String>) {
                     cell.n.to_string(),
                     (1u64 << cell.n).to_string(),
                     violations.to_string(),
+                ]);
+            }
+            table
+        }
+        JobExperiment::E20 => {
+            let n = spec.ns.first().copied().unwrap_or(2);
+            let mut table = Table::new(e20_title(n, spec.samples as usize), E20_HEADERS);
+            // One job cell per `(algorithm, intensity)` — exactly the
+            // grouping `e20_chaos_recovery_sweep` accumulates, so a
+            // complete job's rows match the table binary's byte for
+            // byte.
+            for (cell_index, cell) in cells.iter().enumerate() {
+                let alg = algs[cell.alg].name();
+                if !complete(cell_index) {
+                    incomplete.push(format!("alg={alg} intensity={}", cell.intensity));
+                    continue;
+                }
+                let arm = if cell.alg < 3 {
+                    "memory-faults"
+                } else {
+                    "crash-recovery"
+                };
+                let mut trials = 0usize;
+                let mut classes = [0usize; 6]; // recovered, detected, silent, stalled, crashed, aborted
+                let mut sums = [0u64; 6]; // crashes, recoveries, sc, corruptions, cc, dsm
+                for record in &by_cell[cell_index] {
+                    if let TrialRecord::Chaos {
+                        class,
+                        crashes,
+                        recoveries,
+                        spurious_sc,
+                        corruptions,
+                        cc_rmrs,
+                        dsm_rmrs,
+                        ..
+                    } = record
+                    {
+                        trials += 1;
+                        let slot = match class.as_str() {
+                            "recovered" => 0,
+                            "detected-wrong" => 1,
+                            "silent-wrong" => 2,
+                            "stalled" => 3,
+                            "crashed" => 4,
+                            _ => 5,
+                        };
+                        classes[slot] += 1;
+                        for (sum, value) in sums.iter_mut().zip([
+                            *crashes,
+                            *recoveries,
+                            *spurious_sc,
+                            *corruptions,
+                            *cc_rmrs,
+                            *dsm_rmrs,
+                        ]) {
+                            *sum += value;
+                        }
+                    }
+                }
+                table.row([
+                    alg.to_string(),
+                    arm.to_string(),
+                    cell.intensity.to_string(),
+                    trials.to_string(),
+                    classes[0].to_string(),
+                    classes[1].to_string(),
+                    classes[2].to_string(),
+                    classes[3].to_string(),
+                    classes[4].to_string(),
+                    classes[5].to_string(),
+                    sums[0].to_string(),
+                    sums[1].to_string(),
+                    sums[2].to_string(),
+                    sums[3].to_string(),
+                    sums[4].to_string(),
+                    sums[5].to_string(),
                 ]);
             }
             table
@@ -1450,7 +1747,12 @@ mod tests {
 
     #[test]
     fn spec_round_trips_through_json() {
-        for experiment in [JobExperiment::E4, JobExperiment::E6, JobExperiment::E13] {
+        for experiment in [
+            JobExperiment::E4,
+            JobExperiment::E6,
+            JobExperiment::E13,
+            JobExperiment::E20,
+        ] {
             let spec = JobSpec::default_for(experiment);
             let back = JobSpec::parse(&spec.render()).unwrap();
             assert_eq!(back, spec);
@@ -1551,6 +1853,52 @@ mod tests {
         assert_eq!(resumed, uninterrupted);
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&clean_dir).ok();
+    }
+
+    #[test]
+    fn e20_job_artifact_matches_the_chaos_sweep() {
+        let dir = scratch_dir("e20-identity");
+        let spec = JobSpec {
+            ns: vec![4],
+            intensities: vec![0, 2],
+            samples: 2,
+            chunks: 3,
+            retries: 0,
+            backoff_ms: 0,
+            ..JobSpec::default_for(JobExperiment::E20)
+        };
+        let report = run_job(&dir, &spec, 2, &JobControl::new()).unwrap();
+        assert_eq!(report.status, JobStatus::Complete);
+        let artifact = std::fs::read_to_string(report.artifact.unwrap()).unwrap();
+        let (direct, failures) =
+            crate::e20_chaos_recovery_sweep(4, &[0, 2], 2, 2_000_000, &Sweep::sequential());
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(
+            artifact,
+            Table::render_json_artifact(&[&direct.table]),
+            "e20 job artifact must be byte-identical to the chaos sweep's"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn e20_recovery_knobs_change_the_fingerprint() {
+        let base = JobSpec::default_for(JobExperiment::E20);
+        let tightened = JobSpec {
+            respawn_budget: 1,
+            ..base.clone()
+        };
+        let delayed = JobSpec {
+            recovery_delay: 7,
+            ..base.clone()
+        };
+        assert_ne!(base.fingerprint(), tightened.fingerprint());
+        assert_ne!(base.fingerprint(), delayed.fingerprint());
+        let widened = JobSpec {
+            intensities: vec![0, 1, 2, 4, 8],
+            ..base.clone()
+        };
+        assert_ne!(base.fingerprint(), widened.fingerprint());
     }
 
     #[test]

@@ -87,6 +87,26 @@ fn e19_artifact_matches_fixture() {
     }
 }
 
+/// E20 (simulator half) with the `table_e20` parameters (`n = 8`,
+/// `intensities = [0, 1, 2, 4]`, 6 reps): byte-identical to the
+/// checked-in fixture at 1, 4, and 8 threads, pinning the chaos
+/// experiment's degradation classes and both RMR cost models across
+/// thread counts and future reworks of the fault layer.
+#[test]
+fn e20_artifact_matches_fixture() {
+    let fixture = include_str!("fixtures/e20.json");
+    for threads in [1, 4, 8] {
+        let sweep = Sweep::with_threads(threads);
+        let (exp, failures) =
+            llsc_bench::e20_chaos_recovery_sweep(8, &[0, 1, 2, 4], 6, 2_000_000, &sweep);
+        let artifact = Table::render_json_artifact_with_failures(&[&exp.table], &failures);
+        assert_eq!(
+            artifact, fixture,
+            "E20 artifact diverged from the fixture at --threads {threads}"
+        );
+    }
+}
+
 /// E16 with the `table_e16` parameters (`n = 8`, `fs = [0, 1, 2, 4, 8]`,
 /// 6 reps): byte-identical to the checked-in fixture at 1 and 4 threads,
 /// pinning the memory-fault experiment across the replay/shrink rework.

@@ -78,6 +78,12 @@ pub enum ScheduleSpec {
     /// is the form the shrinker works on: [`execute`] records the trace
     /// of a named schedule, and [`ReproCase::materialized`] swaps it in.
     List(Vec<ProcessId>),
+    /// A hardware-backend run: the OS scheduler chose the interleaving,
+    /// so the schedule itself is not replayable. [`execute`] re-runs the
+    /// case on the simulator under a round-robin schedule — the recorded
+    /// faults, crashes, and tosses still apply, which is usually enough
+    /// to triage a hardware failure deterministically.
+    Hardware,
 }
 
 impl ScheduleSpec {
@@ -224,6 +230,9 @@ pub fn execute(case: &ReproCase, alg: &dyn Algorithm) -> Replayed {
             case,
             alg,
         ),
+        // The OS-chosen interleaving is gone; triage on the simulator
+        // under the deterministic round-robin stand-in.
+        ScheduleSpec::Hardware => drive_recorded(&mut exec, RoundRobinScheduler::new(), case, alg),
     };
     let outcome = exec.run_outcome();
     Replayed {
@@ -487,6 +496,11 @@ impl ReproCase {
                 push_str_field(&mut out, "seed", &format!("{seed:#018x}"));
                 out.push('}');
             }
+            ScheduleSpec::Hardware => {
+                out.push('{');
+                push_str_field(&mut out, "kind", "hardware");
+                out.push('}');
+            }
             ScheduleSpec::List(picks) => {
                 out.push('{');
                 push_str_field(&mut out, "kind", "list");
@@ -572,6 +586,7 @@ impl ReproCase {
         let schedule_obj = get(obj, "schedule")?.object_or("schedule")?;
         let schedule = match get_str(schedule_obj, "kind")?.as_str() {
             "round-robin" => ScheduleSpec::RoundRobin,
+            "hardware" => ScheduleSpec::Hardware,
             "random" => ScheduleSpec::Random {
                 seed: parse_u64(&get_str(schedule_obj, "seed")?)?,
             },
@@ -737,7 +752,11 @@ mod tests {
 
     #[test]
     fn json_round_trip_of_named_schedules_and_missing_provenance() {
-        for schedule in [ScheduleSpec::RoundRobin, ScheduleSpec::Random { seed: 99 }] {
+        for schedule in [
+            ScheduleSpec::RoundRobin,
+            ScheduleSpec::Random { seed: 99 },
+            ScheduleSpec::Hardware,
+        ] {
             let case = ReproCase {
                 schedule: schedule.clone(),
                 provenance: None,
@@ -793,6 +812,16 @@ mod tests {
         let replay = execute(&case.materialized(first.trace.clone()), &alg);
         assert_eq!(replay.outcome, first.outcome);
         assert_eq!(replay.exec.run().events(), first.exec.run().events());
+
+        // A hardware schedule (whose interleaving is unrecoverable)
+        // triages under the round-robin stand-in.
+        let hw = ReproCase {
+            schedule: ScheduleSpec::Hardware,
+            ..case.clone()
+        };
+        let triaged = execute(&hw, &alg);
+        assert_eq!(triaged.outcome, first.outcome);
+        assert_eq!(triaged.trace, first.trace);
     }
 
     #[test]

@@ -132,13 +132,16 @@ subcommands:
                                                   minimal reproducer with the
                                                   same failure class
                                                   [--max-replays <k>]
-  job run    --dir <d> --experiment e4|e6|e13     start a checkpointed,
+  job run    --dir <d> --experiment e4|e6|e13|e20 start a checkpointed,
              [--ns 4,6] [--toss-seeds 0,1,42]     resumable sweep job; after
              [--samples <K>] [--chunks <C>]       every chunk the results are
              [--seed <s>] [--retries <R>]         persisted atomically, so a
              [--backoff-ms <MS>]                  killed job loses at most one
              [--chunk-timeout-ms <MS>]            chunk of work (SIGINT/SIGTERM
              [--max-events <N>] [--threads <T>]   flush a final checkpoint)
+             [--intensities 0,1,2,4]              e20 chaos/fault knobs, all
+             [--recovery-delay <D>]               part of the job fingerprint
+             [--respawn-budget <B>]               (0 keeps the arm's regime)
   job resume --dir <d> [--threads <T>]            continue from the newest
                                                   valid checkpoint; the final
                                                   artifact is byte-identical
@@ -290,15 +293,17 @@ fn cmd_list() -> Result<(), String> {
             hardened_algorithms(),
             "sim, atomic",
         ),
-        // Crash-recovery (the RecoveringCrashScheduler driver) is a
-        // simulator-only fault model: the hardware backend cannot kill
-        // and revive an OS thread mid-operation. The recoverable mutex
-        // returns lock tokens, not wakeup bits — it is exercised by E19
-        // and the repro subcommands, not the Theorem 6.1 driver.
+        // Crash-recovery runs on both backends: the simulator's
+        // RecoveringCrashScheduler kills and revives virtual processes,
+        // and the hardware supervisor (llsc-atomics) kills the victim's
+        // OS thread and respawns it against the shared memory image
+        // under a bounded respawn budget. The recoverable mutex returns
+        // lock tokens, not wakeup bits — it is exercised by E19/E20 and
+        // the repro subcommands, not the Theorem 6.1 driver.
         (
-            "crash-recoverable algorithms (E19)",
+            "crash-recoverable algorithms (E19/E20)",
             recoverable_algorithms(),
-            "sim",
+            "sim, atomic",
         ),
         // The strawmen exist to be refuted by the deterministic
         // Theorem 6.1 driver; the hardware backend cannot replay the
@@ -335,6 +340,11 @@ fn cmd_list() -> Result<(), String> {
             "e18",
             "bench_e18 / `llsc bench`: real-contention throughput",
             "sim, atomic",
+        ),
+        (
+            "e20",
+            "table_e20 (goldenable sim half) + bench_e20 chaos validation",
+            "sim + atomic",
         ),
         (
             "xcheck",
@@ -838,7 +848,7 @@ mod signals {
 }
 
 /// `llsc job run|resume|status` — the checkpointed, resumable front end
-/// of the E4/E6/E13 sweeps (see `llsc_lowerbound::bench::job`).
+/// of the E4/E6/E13/E20 sweeps (see `llsc_lowerbound::bench::job`).
 fn cmd_job(args: &[String]) -> ExitCode {
     use llsc_lowerbound::bench::job::{
         job_exit_code, job_status, resume_job, run_job, JobControl, JobExperiment, JobSpec,
@@ -855,7 +865,7 @@ fn cmd_job(args: &[String]) -> ExitCode {
         let tag = opts
             .flags
             .get("experiment")
-            .ok_or("job run needs --experiment e4|e6|e13")?;
+            .ok_or("job run needs --experiment e4|e6|e13|e20")?;
         let mut spec = JobSpec::default_for(JobExperiment::parse(tag)?);
         if let Some(name) = opts.flags.get("name") {
             spec.name = name.clone();
@@ -868,6 +878,8 @@ fn cmd_job(args: &[String]) -> ExitCode {
         };
         parse_u64("seed", &mut spec.seed)?;
         parse_u64("samples", &mut spec.samples)?;
+        parse_u64("recovery-delay", &mut spec.recovery_delay)?;
+        parse_u64("respawn-budget", &mut spec.respawn_budget)?;
         parse_u64("backoff-ms", &mut spec.backoff_ms)?;
         parse_u64("chunk-timeout-ms", &mut spec.chunk_timeout_ms)?;
         parse_u64("max-events", &mut spec.max_events)?;
@@ -898,6 +910,9 @@ fn cmd_job(args: &[String]) -> ExitCode {
         }
         if let Some(seeds) = parse_list("toss-seeds")? {
             spec.toss_seeds = seeds;
+        }
+        if let Some(intensities) = parse_list("intensities")? {
+            spec.intensities = intensities;
         }
         // Round-trip through the canonical form so flag validation matches
         // file validation exactly.
